@@ -1,0 +1,28 @@
+# Convenience targets for the BFDN reproduction.
+
+.PHONY: all test bench experiments experiments-quick docs lint clean
+
+all: test
+
+test:
+	cargo test --workspace
+
+bench:
+	cargo bench --workspace
+
+# Regenerates every table of EXPERIMENTS.md (plus CSVs under results/csv).
+experiments:
+	cargo run --release -p bfdn-bench --bin experiments -- all --csv results/csv
+
+experiments-quick:
+	cargo run --release -p bfdn-bench --bin experiments -- all --quick
+
+docs:
+	cargo doc --workspace --no-deps
+
+lint:
+	cargo fmt --all -- --check
+	cargo clippy --workspace --all-targets -- -D warnings
+
+clean:
+	cargo clean

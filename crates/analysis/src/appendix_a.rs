@@ -1,0 +1,117 @@
+//! The pairwise comparisons of Appendix A, as executable predicates.
+//!
+//! Each function returns `true` when the paper's Appendix A calculation
+//! says the first algorithm outperforms the second for the given
+//! parameters (up to the multiplicative constants the appendix drops).
+
+/// BFDN is faster than CTE in the range `D²·log²k ≤ n` (comparing the
+/// suboptimal terms `D²·log k` and `n/log k`).
+pub fn bfdn_beats_cte(n: usize, d: usize, k: usize) -> bool {
+    let log_k = (k.max(2) as f64).ln();
+    (d as f64).powi(2) * log_k * log_k <= n as f64
+}
+
+/// Yo* can outperform CTE only when `n ≤ e^k` (simplifying Yo* to
+/// `log(n)·n/k + D`).
+pub fn yostar_can_beat_cte_n(n: usize, k: usize) -> bool {
+    (n as f64).ln() <= k as f64
+}
+
+/// Yo* can outperform CTE only when `D ≤ e^{log²k}` (simplifying Yo* to
+/// `e^{√log D}·n/k + D`).
+pub fn yostar_can_beat_cte_d(d: usize, k: usize) -> bool {
+    let log_k = (k.max(2) as f64).ln();
+    (d.max(1) as f64).ln() <= log_k * log_k
+}
+
+/// CTE outperforms Yo* for trees with `D ≥ (n/log n)·log²k`
+/// (simplifying Yo* to `D·log n·log k`).
+pub fn cte_beats_yostar_deep(n: usize, d: usize, k: usize) -> bool {
+    let n_f = n.max(2) as f64;
+    let log_k = (k.max(2) as f64).ln();
+    d as f64 >= n_f / n_f.ln() * log_k * log_k
+}
+
+/// BFDN is faster than Yo* when `k·D² ≤ n/k` (simplifying Yo* to
+/// `log(k)·n/k + D`).
+pub fn bfdn_beats_yostar(n: usize, d: usize, k: usize) -> bool {
+    (k as f64) * (d as f64).powi(2) <= n as f64 / k as f64
+}
+
+/// `BFDN_ℓ` may outperform CTE only when `ℓ < log k / log log k`.
+pub fn ell_is_admissible(ell: u32, k: usize) -> bool {
+    let log_k = (k.max(3) as f64).ln();
+    f64::from(ell) < log_k / log_k.ln().max(f64::MIN_POSITIVE)
+}
+
+/// `BFDN_ℓ` outperforms CTE when `D < n^{ℓ/(ℓ+1)} / (k·log²k)`.
+pub fn bfdn_l_beats_cte(n: usize, d: usize, k: usize, ell: u32) -> bool {
+    let l = f64::from(ell.max(1));
+    let log_k = (k.max(2) as f64).ln();
+    (d as f64) < (n as f64).powf(l / (l + 1.0)) / (k as f64 * log_k * log_k)
+}
+
+/// BFDN outperforms `BFDN_ℓ` when `n/k > D²`; `BFDN_ℓ` wins when
+/// `n/k^{1/ℓ} < D²`. Returns `None` in the gap between the two rules.
+pub fn bfdn_vs_bfdn_l(n: usize, d: usize, k: usize, ell: u32) -> Option<bool> {
+    let d2 = (d as f64).powi(2);
+    let k_f = k as f64;
+    if n as f64 / k_f > d2 {
+        Some(true) // plain BFDN wins
+    } else if n as f64 / k_f.powf(1.0 / f64::from(ell.max(1))) < d2 {
+        Some(false) // the recursion wins
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{guarantee, Algorithm};
+
+    #[test]
+    fn predicates_match_formula_argmin_in_clear_regimes() {
+        let k = 256;
+        // Shallow + huge n: BFDN beats CTE, predicate agrees.
+        assert!(bfdn_beats_cte(1 << 26, 16, k));
+        assert!(
+            guarantee(Algorithm::Bfdn, 1 << 26, 16, k) < guarantee(Algorithm::Cte, 1 << 26, 16, k)
+        );
+        // Deep + smallish n: CTE beats BFDN.
+        assert!(!bfdn_beats_cte(1 << 14, 1 << 10, k));
+        assert!(
+            guarantee(Algorithm::Cte, 1 << 14, 1 << 10, k)
+                < guarantee(Algorithm::Bfdn, 1 << 14, 1 << 10, k)
+        );
+    }
+
+    #[test]
+    fn admissible_ell_shrinks_with_small_k() {
+        assert!(ell_is_admissible(2, 1 << 20));
+        assert!(!ell_is_admissible(40, 16));
+    }
+
+    #[test]
+    fn bfdn_vs_recursion_gap() {
+        // n/k > D²: plain wins.
+        assert_eq!(bfdn_vs_bfdn_l(1 << 20, 4, 16, 2), Some(true));
+        // n/k^{1/ℓ} < D²: recursion wins.
+        assert_eq!(bfdn_vs_bfdn_l(1 << 10, 1 << 10, 16, 2), Some(false));
+    }
+
+    #[test]
+    fn yostar_windows() {
+        assert!(yostar_can_beat_cte_n(1000, 64));
+        assert!(!yostar_can_beat_cte_n(usize::MAX, 8));
+        assert!(yostar_can_beat_cte_d(100, 64));
+    }
+
+    #[test]
+    fn cte_beats_yostar_on_very_deep_trees() {
+        // Threshold D ≥ (n/log n)·log²k: with n = 2^16 and k = 8 the
+        // threshold is ≈ 25.5k, so D = 2^15 qualifies.
+        assert!(cte_beats_yostar_deep(1 << 16, 1 << 15, 8));
+        assert!(!cte_beats_yostar_deep(1 << 26, 4, 64));
+    }
+}

@@ -1,0 +1,156 @@
+//! The four runtime guarantees compared in Figure 1.
+
+use std::fmt;
+
+/// The algorithms whose guarantees Figure 1 compares.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Collective Tree Exploration \[10\]: `n/log k + D`.
+    Cte,
+    /// Yo* \[13\]: `2^{O(√(log D · log log k))}·log k·(log n + log k)·(n/k + D)`.
+    YoStar,
+    /// Breadth-First Depth-Next (Theorem 1): `2n/k + D²·(log k + 3)`.
+    Bfdn,
+    /// Recursive BFDN with parameter `ℓ` (Theorem 10).
+    BfdnL(u32),
+}
+
+impl Algorithm {
+    /// Short label used by the region map.
+    pub fn label(self) -> char {
+        match self {
+            Algorithm::Cte => 'C',
+            Algorithm::YoStar => 'Y',
+            Algorithm::Bfdn => 'B',
+            Algorithm::BfdnL(_) => 'L',
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> String {
+        match self {
+            Algorithm::Cte => "CTE".into(),
+            Algorithm::YoStar => "Yo*".into(),
+            Algorithm::Bfdn => "BFDN".into(),
+            Algorithm::BfdnL(l) => format!("BFDN_{l}"),
+        }
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Evaluates the runtime guarantee of `alg` on trees with `n` nodes and
+/// depth `d`, explored by `k` robots. Constants hidden by the `O(·)` of
+/// CTE and Yo* are taken as 1, as in the paper's Appendix A comparison;
+/// BFDN and `BFDN_ℓ` use their exact theorem constants.
+///
+/// # Panics
+///
+/// Panics if `k < 2` (logarithms of the number of robots appear in every
+/// formula) or `n < 2`.
+pub fn guarantee(alg: Algorithm, n: usize, d: usize, k: usize) -> f64 {
+    assert!(k >= 2, "guarantees compare teams of at least two robots");
+    assert!(n >= 2, "trees with at least one edge");
+    let n_f = n as f64;
+    let d_f = (d.max(1)) as f64;
+    let k_f = k as f64;
+    let log_k = k_f.ln();
+    match alg {
+        Algorithm::Cte => n_f / log_k + d_f,
+        Algorithm::YoStar => {
+            let warp = (d_f.ln().max(0.0) * k_f.ln().ln().max(0.0)).sqrt().exp2();
+            warp * log_k * (n_f.ln() + log_k) * (n_f / k_f + d_f)
+        }
+        Algorithm::Bfdn => 2.0 * n_f / k_f + d_f * d_f * (log_k + 3.0),
+        Algorithm::BfdnL(l) => {
+            let l_f = f64::from(l.max(1));
+            4.0 * n_f / k_f.powf(1.0 / l_f)
+                + 2f64.powf(l_f + 1.0) * (l_f + 1.0 + log_k / l_f) * d_f.powf(1.0 + 1.0 / l_f)
+        }
+    }
+}
+
+/// The `ℓ ≥ 2` minimizing the `BFDN_ℓ` guarantee, subject to the
+/// figure's constraint `ℓ ≤ cst·log k / log log k` (with `cst = 1`).
+pub fn best_ell(n: usize, d: usize, k: usize) -> u32 {
+    let k_f = k as f64;
+    let cap = (k_f.ln() / k_f.ln().ln().max(1.0)).floor().max(2.0) as u32;
+    (2..=cap.max(2))
+        .min_by(|&a, &b| {
+            guarantee(Algorithm::BfdnL(a), n, d, k).total_cmp(&guarantee(
+                Algorithm::BfdnL(b),
+                n,
+                d,
+                k,
+            ))
+        })
+        .unwrap_or(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn appendix_a_bfdn_vs_cte_crossover() {
+        // BFDN beats CTE iff roughly D²·log²k ≤ n.
+        let k = 256;
+        let d = 100;
+        let log_k = (k as f64).ln();
+        let threshold = (d as f64 * d as f64 * log_k * log_k) as usize;
+        let n_small = threshold / 100;
+        let n_large = threshold * 100;
+        assert!(
+            guarantee(Algorithm::Cte, n_small.max(2), d, k)
+                < guarantee(Algorithm::Bfdn, n_small.max(2), d, k)
+        );
+        assert!(
+            guarantee(Algorithm::Bfdn, n_large, d, k) < guarantee(Algorithm::Cte, n_large, d, k)
+        );
+    }
+
+    #[test]
+    fn bfdn_l_wins_on_deep_trees() {
+        // n/k^{1/ℓ} < D² regime (Appendix A's last comparison).
+        let k = 1024;
+        let n = 1 << 22;
+        let d = 1 << 14; // very deep
+        let ell = best_ell(n, d, k);
+        assert!(guarantee(Algorithm::BfdnL(ell), n, d, k) < guarantee(Algorithm::Bfdn, n, d, k));
+    }
+
+    #[test]
+    fn bfdn_wins_on_shallow_wide_trees() {
+        let k = 64;
+        let n = 1 << 24;
+        let d = 8;
+        let g_bfdn = guarantee(Algorithm::Bfdn, n, d, k);
+        for other in [Algorithm::Cte, Algorithm::YoStar, Algorithm::BfdnL(2)] {
+            assert!(g_bfdn < guarantee(other, n, d, k), "{other}");
+        }
+    }
+
+    #[test]
+    fn labels_unique() {
+        let labels = [
+            Algorithm::Cte.label(),
+            Algorithm::YoStar.label(),
+            Algorithm::Bfdn.label(),
+            Algorithm::BfdnL(2).label(),
+        ];
+        let mut sorted = labels.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two robots")]
+    fn k1_is_rejected() {
+        guarantee(Algorithm::Cte, 10, 2, 1);
+    }
+}

@@ -1,0 +1,63 @@
+//! Runtime-guarantee formulas and the Figure 1 region map.
+//!
+//! Figure 1 of the paper shows, for a fixed number of robots `k`, the
+//! regions of the `(n, D)` plane in which each of four algorithms — CTE
+//! \[10\], Yo* \[13\], BFDN and `BFDN_ℓ` — has the best runtime *guarantee*.
+//! This crate transcribes the guarantees (Appendix A's simplifications)
+//! and recomputes the map: [`RegionMap::compute`] evaluates the argmin
+//! over a logarithmic grid, [`RegionMap::to_ascii`] renders it like the
+//! paper's figure, and the [`appendix_a`] predicates reproduce the
+//! pairwise boundary calculations.
+//!
+//! # Example
+//!
+//! ```
+//! use bfdn_analysis::{Algorithm, RegionMap};
+//!
+//! let map = RegionMap::compute(1024, 40, 24);
+//! // Deep in the work-dominated corner (huge n, small D) BFDN's
+//! // 2n/k + D²log k dominates CTE's n/log k.
+//! assert_eq!(map.winner_at(1 << 30, 1 << 3), Algorithm::Bfdn);
+//! println!("{}", map.to_ascii());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod appendix_a;
+mod guarantees;
+mod regions;
+
+pub use guarantees::{best_ell, guarantee, Algorithm};
+pub use regions::RegionMap;
+
+/// Competitive ratio of a measured runtime against the offline yardstick
+/// `n/k + D` (Section 1's definition, up to its constant).
+///
+/// # Example
+///
+/// ```
+/// let r = bfdn_analysis::competitive_ratio(400.0, 1000, 20, 10);
+/// assert!((r - 400.0 / 120.0).abs() < 1e-9);
+/// ```
+pub fn competitive_ratio(rounds: f64, n: usize, depth: usize, k: usize) -> f64 {
+    rounds / (n as f64 / k as f64 + depth as f64)
+}
+
+/// Competitive overhead of a measured runtime: rounds beyond the
+/// irreducible `2n/k` work term (the criterion of Brass et al. \[1\] that
+/// the paper adopts).
+pub fn competitive_overhead(rounds: f64, n: usize, k: usize) -> f64 {
+    rounds - 2.0 * n as f64 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_and_overhead() {
+        assert!((competitive_ratio(100.0, 100, 0, 1) - 1.0).abs() < 1e-12);
+        assert!((competitive_overhead(250.0, 1000, 10) - 50.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,340 @@
+//! The Figure 1 region map.
+
+use crate::{best_ell, guarantee, Algorithm};
+use std::fmt::Write as _;
+
+/// The best-guarantee map over a logarithmic `(n, D)` grid for a fixed
+/// `k` — the reproduction of Figure 1.
+///
+/// Cells with `D > n` hold no trees and are left blank (the figure's
+/// shaded region).
+///
+/// # Example
+///
+/// ```
+/// use bfdn_analysis::RegionMap;
+/// let map = RegionMap::compute(64, 30, 18);
+/// let ascii = map.to_ascii();
+/// assert!(ascii.contains('B')); // BFDN wins somewhere
+/// assert!(ascii.contains('C')); // CTE wins somewhere
+/// ```
+#[derive(Clone, Debug)]
+pub struct RegionMap {
+    k: usize,
+    /// log₂(n) per column.
+    log_n: Vec<f64>,
+    /// log₂(D) per row (bottom row first).
+    log_d: Vec<f64>,
+    /// `cells[row * width + col]`, `None` where `D > n`.
+    cells: Vec<Option<Algorithm>>,
+}
+
+impl RegionMap {
+    /// Maximum log₂(n) of the grid.
+    pub const MAX_LOG_N: f64 = 36.0;
+    /// Maximum log₂(D) of the grid.
+    pub const MAX_LOG_D: f64 = 30.0;
+
+    /// Computes the argmin of the four guarantees over a `width × height`
+    /// grid with `log₂ n ∈ [2, MAX_LOG_N]`, `log₂ D ∈ [0, MAX_LOG_D]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` or the grid is degenerate.
+    pub fn compute(k: usize, width: usize, height: usize) -> Self {
+        Self::compute_with(k, width, height, Self::winner)
+    }
+
+    fn compute_with(
+        k: usize,
+        width: usize,
+        height: usize,
+        winner: fn(usize, usize, usize) -> Algorithm,
+    ) -> Self {
+        assert!(k >= 2, "region maps need at least two robots");
+        assert!(width >= 2 && height >= 2, "grid too small");
+        let log_n: Vec<f64> = (0..width)
+            .map(|c| 2.0 + (Self::MAX_LOG_N - 2.0) * c as f64 / (width - 1) as f64)
+            .collect();
+        let log_d: Vec<f64> = (0..height)
+            .map(|r| Self::MAX_LOG_D * r as f64 / (height - 1) as f64)
+            .collect();
+        let mut cells = vec![None; width * height];
+        for (r, &ld) in log_d.iter().enumerate() {
+            for (c, &ln) in log_n.iter().enumerate() {
+                if ld > ln {
+                    continue; // no tree has D > n
+                }
+                let n = (2f64.powf(ln)).round() as usize;
+                let d = (2f64.powf(ld)).round().max(1.0) as usize;
+                cells[r * width + c] = Some(winner(n, d, k));
+            }
+        }
+        RegionMap {
+            k,
+            log_n,
+            log_d,
+            cells,
+        }
+    }
+
+    /// Computes the map using Appendix A's *asymptotic decision
+    /// boundaries* instead of the numeric argmin.
+    ///
+    /// With every hidden constant set to 1, Yo*'s polylogarithmic
+    /// prefactor dominates at any laptop-reachable `k`, so the numeric
+    /// map of [`RegionMap::compute`] never awards it a cell; the paper's
+    /// figure is drawn in the `k → ∞` regime where those prefactors
+    /// vanish, with axes extending to `n = e^k` and `D = e^{log²k}`.
+    /// This variant reconstructs that schematic in log space over the
+    /// figure's own axis ranges (`ln n` up to `2k/log k`, `ln D` up to
+    /// `1.5·log²k`), assigning each cell by the pairwise dominance
+    /// calculations of [`crate::appendix_a`] (transcribed to log space, since
+    /// `n` overflows any integer type at these scales).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 3` or the grid is degenerate.
+    pub fn compute_schematic(k: usize, width: usize, height: usize) -> Self {
+        assert!(k >= 3, "the schematic needs log log k > 0");
+        assert!(width >= 2 && height >= 2, "grid too small");
+        let k_f = k as f64;
+        let log_k = k_f.ln();
+        let loglog_k = log_k.ln();
+        // Axis ranges of the paper's figure, in natural logs.
+        let max_ln_n = 2.0 * k_f / log_k;
+        let max_ln_d = 1.5 * log_k * log_k;
+        let ln2 = std::f64::consts::LN_2;
+        let log_n: Vec<f64> = (0..width)
+            .map(|c| (2.0 + (max_ln_n - 2.0) * c as f64 / (width - 1) as f64) / ln2)
+            .collect();
+        let log_d: Vec<f64> = (0..height)
+            .map(|r| (max_ln_d * r as f64 / (height - 1) as f64) / ln2)
+            .collect();
+        let mut cells = vec![None; width * height];
+        for (r, &ld2) in log_d.iter().enumerate() {
+            for (c, &ln2n) in log_n.iter().enumerate() {
+                if ld2 > ln2n {
+                    continue; // no tree has D > n
+                }
+                let ln_n = ln2n * ln2;
+                let ln_d = ld2 * ln2;
+                cells[r * width + c] =
+                    Some(Self::schematic_winner_log(ln_n, ln_d, k_f, log_k, loglog_k));
+            }
+        }
+        RegionMap {
+            k,
+            log_n,
+            log_d,
+            cells,
+        }
+    }
+
+    /// Cell assignment by Appendix A's dominance rules, in log space.
+    fn schematic_winner_log(ln_n: f64, ln_d: f64, k: f64, log_k: f64, loglog_k: f64) -> Algorithm {
+        let ln2 = std::f64::consts::LN_2;
+        // Admissible recursion parameter ℓ ≤ log k / log log k, ℓ ≥ 2.
+        let ell_cap = (log_k / loglog_k.max(1.0)).floor().max(2.0);
+        // Pick the admissible ℓ ≥ 2 minimizing the BFDN_ℓ guarantee in
+        // log space (the max of its two terms).
+        let bfdn_l_cost = |l: f64| -> f64 {
+            let work = ln_n - log_k / l; // ln(n / k^{1/ℓ})
+            let depth = l * ln2 + loglog_k + (1.0 + 1.0 / l) * ln_d; // ln(2^ℓ log k D^{1+1/ℓ})
+            work.max(depth)
+        };
+        let mut ell = 2.0;
+        for cand in 2..=(ell_cap as u32) {
+            if bfdn_l_cost(f64::from(cand)) < bfdn_l_cost(ell) {
+                ell = f64::from(cand);
+            }
+        }
+        // BFDN_ℓ region: the recursion beats plain BFDN
+        // (n/k^{1/ℓ} < D², Appendix A's last comparison) and beats CTE
+        // (2^ℓ·log k·D^{1+1/ℓ} < n/log k, the direct condition).
+        let recursion_beats_bfdn = ln_n - log_k / ell < 2.0 * ln_d;
+        let recursion_beats_cte = ell * ln2 + 2.0 * loglog_k + (1.0 + 1.0 / ell) * ln_d < ln_n;
+        if recursion_beats_bfdn && recursion_beats_cte {
+            return Algorithm::BfdnL(ell as u32);
+        }
+        // BFDN region: D²·log²k ≤ n (beats CTE; it also beats Yo* there,
+        // whose guarantee carries at least a log k·log n prefactor on the
+        // same n/k term).
+        let bfdn_beats_cte = 2.0 * ln_d + 2.0 * loglog_k <= ln_n;
+        if bfdn_beats_cte && !recursion_beats_bfdn {
+            return Algorithm::Bfdn;
+        }
+        // Yo* region: n ≤ e^{k/log k} and D ≤ e^{log²k} and not so deep
+        // that CTE's D-term wins (D ≥ (n/log n)·log²k).
+        let yostar_n = ln_n <= k / log_k;
+        let yostar_d = ln_d <= log_k * log_k;
+        let cte_deep = ln_d >= ln_n - ln_n.max(2.0).ln() + 2.0 * loglog_k;
+        if yostar_n && yostar_d && !cte_deep {
+            return Algorithm::YoStar;
+        }
+        Algorithm::Cte
+    }
+
+    /// The best algorithm for a concrete `(n, D)` point.
+    pub fn winner_at(&self, n: usize, d: usize) -> Algorithm {
+        Self::winner(n, d, self.k)
+    }
+
+    fn winner(n: usize, d: usize, k: usize) -> Algorithm {
+        let candidates = [
+            Algorithm::Cte,
+            Algorithm::YoStar,
+            Algorithm::Bfdn,
+            Algorithm::BfdnL(best_ell(n, d, k)),
+        ];
+        candidates
+            .into_iter()
+            .min_by(|&a, &b| guarantee(a, n, d, k).total_cmp(&guarantee(b, n, d, k)))
+            .expect("non-empty candidate list")
+    }
+
+    /// Number of robots `k` the map was computed for.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Fraction of valid cells won by `alg` (ignoring the `ℓ` parameter
+    /// for `BFDN_ℓ`).
+    pub fn share(&self, alg: Algorithm) -> f64 {
+        let valid: Vec<&Algorithm> = self.cells.iter().flatten().collect();
+        if valid.is_empty() {
+            return 0.0;
+        }
+        let hits = valid
+            .iter()
+            .filter(|&&&c| {
+                matches!(
+                    (c, alg),
+                    (Algorithm::Cte, Algorithm::Cte)
+                        | (Algorithm::YoStar, Algorithm::YoStar)
+                        | (Algorithm::Bfdn, Algorithm::Bfdn)
+                        | (Algorithm::BfdnL(_), Algorithm::BfdnL(_))
+                )
+            })
+            .count();
+        hits as f64 / valid.len() as f64
+    }
+
+    /// Renders the map in ASCII, `log₂ D` increasing upwards and `log₂ n`
+    /// rightwards, as in Figure 1. Legend: `C` = CTE, `Y` = Yo*, `B` =
+    /// BFDN, `L` = `BFDN_ℓ`, blank = no trees (`D > n`).
+    pub fn to_ascii(&self) -> String {
+        let width = self.log_n.len();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Figure 1 region map, k = {} (C=CTE, Y=Yo*, B=BFDN, L=BFDN_l)",
+            self.k
+        );
+        for (r, &ld) in self.log_d.iter().enumerate().rev() {
+            let _ = write!(out, "log2 D={ld:5.1} |");
+            for c in 0..width {
+                let ch = self.cells[r * width + c].map_or(' ', Algorithm::label);
+                out.push(ch);
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(out, "{}+{}", " ".repeat(12), "-".repeat(width));
+        let _ = writeln!(
+            out,
+            "{} log2 n = {:.0} .. {:.0}",
+            " ".repeat(12),
+            self.log_n.first().unwrap(),
+            self.log_n.last().unwrap()
+        );
+        out
+    }
+
+    /// Emits `log2_n,log2_d,winner` CSV rows for plotting.
+    pub fn to_csv(&self) -> String {
+        let width = self.log_n.len();
+        let mut out = String::from("log2_n,log2_d,winner\n");
+        for (r, &ld) in self.log_d.iter().enumerate() {
+            for (c, &ln) in self.log_n.iter().enumerate() {
+                if let Some(alg) = self.cells[r * width + c] {
+                    let _ = writeln!(out, "{ln:.3},{ld:.3},{}", alg.name());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_map_awards_cte_bfdn_and_recursion() {
+        // With unit constants Yo* never wins at laptop-reachable k (see
+        // `compute_schematic`); the other three split the plane.
+        let map = RegionMap::compute(1024, 48, 30);
+        for alg in [Algorithm::Cte, Algorithm::Bfdn, Algorithm::BfdnL(2)] {
+            assert!(
+                map.share(alg) > 0.0,
+                "{alg} should win somewhere in Figure 1"
+            );
+        }
+    }
+
+    #[test]
+    fn schematic_map_shows_all_four_regions() {
+        let map = RegionMap::compute_schematic(1024, 48, 30);
+        for alg in [
+            Algorithm::Cte,
+            Algorithm::YoStar,
+            Algorithm::Bfdn,
+            Algorithm::BfdnL(2),
+        ] {
+            assert!(
+                map.share(alg) > 0.0,
+                "{alg} should win somewhere in the schematic Figure 1"
+            );
+        }
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let map = RegionMap::compute(64, 30, 20);
+        let total: f64 = [
+            Algorithm::Cte,
+            Algorithm::YoStar,
+            Algorithm::Bfdn,
+            Algorithm::BfdnL(2),
+        ]
+        .iter()
+        .map(|&a| map.share(a))
+        .sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bfdn_wins_the_wide_shallow_corner() {
+        let map = RegionMap::compute(256, 30, 20);
+        assert_eq!(map.winner_at(1 << 34, 4), Algorithm::Bfdn);
+    }
+
+    #[test]
+    fn infeasible_region_is_blank() {
+        let map = RegionMap::compute(64, 30, 20);
+        let ascii = map.to_ascii();
+        // The top-left corner (D huge, n small) must be blank.
+        let first_grid_line = ascii.lines().nth(1).unwrap();
+        let after_bar = first_grid_line.split('|').nth(1).unwrap();
+        assert!(after_bar.starts_with(' '));
+    }
+
+    #[test]
+    fn csv_has_rows() {
+        let map = RegionMap::compute(64, 10, 8);
+        let csv = map.to_csv();
+        assert!(csv.lines().count() > 20);
+        assert!(csv.starts_with("log2_n,log2_d,winner"));
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests for the guarantee formulas and region maps.
+
+use bfdn_analysis::{best_ell, guarantee, Algorithm, RegionMap};
+use proptest::prelude::*;
+
+proptest! {
+    /// Guarantees are positive and finite wherever defined.
+    #[test]
+    fn guarantees_are_positive_finite(
+        n in 2usize..1_000_000,
+        d in 1usize..100_000,
+        k in 2usize..100_000,
+        ell in 1u32..6,
+    ) {
+        for alg in [Algorithm::Cte, Algorithm::YoStar, Algorithm::Bfdn, Algorithm::BfdnL(ell)] {
+            let g = guarantee(alg, n, d, k);
+            prop_assert!(g.is_finite() && g > 0.0, "{alg}: {g}");
+        }
+    }
+
+    /// Every guarantee is monotone in n (more work never helps).
+    #[test]
+    fn guarantees_monotone_in_n(
+        n in 2usize..500_000,
+        d in 1usize..10_000,
+        k in 2usize..10_000,
+    ) {
+        for alg in [Algorithm::Cte, Algorithm::YoStar, Algorithm::Bfdn, Algorithm::BfdnL(2)] {
+            prop_assert!(
+                guarantee(alg, n, d, k) <= guarantee(alg, 2 * n, d, k) + 1e-9,
+                "{alg} not monotone in n"
+            );
+        }
+    }
+
+    /// `best_ell` really minimizes over its admissible range.
+    #[test]
+    fn best_ell_minimizes(n in 2usize..1_000_000, d in 1usize..100_000, k in 3usize..100_000) {
+        let ell = best_ell(n, d, k);
+        let best = guarantee(Algorithm::BfdnL(ell), n, d, k);
+        for cand in 2..=6u32 {
+            let k_f = k as f64;
+            let cap = (k_f.ln() / k_f.ln().ln().max(1.0)).floor().max(2.0) as u32;
+            if cand <= cap.max(2) {
+                prop_assert!(best <= guarantee(Algorithm::BfdnL(cand), n, d, k) + 1e-9);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The numeric map's cells agree with a direct argmin evaluation.
+    #[test]
+    fn region_map_cells_match_argmin(k_pow in 3u32..12) {
+        let k = 1usize << k_pow;
+        let map = RegionMap::compute(k, 12, 8);
+        for (n, d) in [(1usize << 20, 4usize), (1 << 12, 1 << 10), (1 << 30, 1 << 8)] {
+            let winner = map.winner_at(n, d);
+            let w = guarantee(winner, n, d, k);
+            for other in [
+                Algorithm::Cte,
+                Algorithm::YoStar,
+                Algorithm::Bfdn,
+                Algorithm::BfdnL(best_ell(n, d, k)),
+            ] {
+                prop_assert!(w <= guarantee(other, n, d, k) + 1e-9);
+            }
+        }
+    }
+}

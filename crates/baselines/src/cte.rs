@@ -1,0 +1,207 @@
+//! CTE — Collective Tree Exploration (Fraigniaud, Gasieniec, Kowalski,
+//! Pelc \[10\]).
+//!
+//! The even-split strategy: at every round, the robots standing at a
+//! node whose explored subtree still contains dangling edges divide
+//! themselves as evenly as possible among the "unfinished" directions
+//! (adjacent dangling edges and children with unfinished subtrees);
+//! robots at a finished node walk up. CTE explores any tree in
+//! `O(n/log k + D)` rounds and its competitive ratio `Θ(k/log k)` is
+//! tight \[11\] — experiment E6 reproduces the lower-bound side, where
+//! BFDN's additive-overhead guarantee wins.
+
+use bfdn_sim::{Explorer, Move, RoundContext};
+use bfdn_trees::{NodeId, PartialTree, Port};
+use std::collections::{HashMap, HashSet};
+
+/// The CTE explorer (complete-communication model).
+///
+/// # Example
+///
+/// ```
+/// use bfdn_baselines::Cte;
+/// use bfdn_sim::Simulator;
+/// use bfdn_trees::generators;
+///
+/// let tree = generators::binary(5);
+/// let mut cte = Cte::new(16);
+/// let outcome = Simulator::new(&tree, 16).run(&mut cte)?;
+/// assert!(outcome.rounds >= 2 * tree.depth() as u64);
+/// # Ok::<(), bfdn_sim::SimError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cte {
+    k: usize,
+    /// Dangling edges inside the explored subtree of each explored node.
+    subtree_open: HashMap<NodeId, u64>,
+    /// Dangling selections made last round, to account once applied.
+    pending: HashSet<(NodeId, Port)>,
+    initialized: bool,
+}
+
+impl Cte {
+    /// Creates the explorer for `k` robots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "need at least one robot");
+        Cte {
+            k,
+            subtree_open: HashMap::new(),
+            pending: HashSet::new(),
+            initialized: false,
+        }
+    }
+
+    /// Number of robots `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Folds last round's discoveries into the subtree-open counters.
+    fn sync(&mut self, tree: &PartialTree) {
+        if !self.initialized {
+            self.subtree_open
+                .insert(NodeId::ROOT, tree.degree(NodeId::ROOT) as u64);
+            self.initialized = true;
+        }
+        let pending: Vec<_> = self.pending.drain().collect();
+        for (u, port) in pending {
+            let child = tree
+                .child_at(u, port)
+                .expect("selected dangling moves are applied");
+            let child_open = (tree.degree(child) - 1) as u64;
+            self.subtree_open.insert(child, child_open);
+            // The traversal consumed one dangling edge and revealed
+            // `deg(child) - 1` new ones; propagate the delta upward.
+            let mut cur = Some(u);
+            while let Some(v) = cur {
+                let e = self
+                    .subtree_open
+                    .get_mut(&v)
+                    .expect("ancestors are explored");
+                *e = *e + child_open - 1;
+                cur = tree.parent(v);
+            }
+        }
+    }
+
+    fn open_in_subtree(&self, v: NodeId) -> u64 {
+        self.subtree_open.get(&v).copied().unwrap_or(0)
+    }
+}
+
+impl Explorer for Cte {
+    fn select_moves(&mut self, ctx: &RoundContext<'_>, out: &mut [Move]) {
+        debug_assert_eq!(ctx.k(), self.k, "robot count changed mid-run");
+        let tree = ctx.tree;
+        self.sync(tree);
+        // Group robots by node.
+        let mut groups: HashMap<NodeId, Vec<usize>> = HashMap::new();
+        for i in 0..self.k {
+            groups.entry(ctx.positions[i]).or_default().push(i);
+        }
+        let mut nodes: Vec<NodeId> = groups.keys().copied().collect();
+        nodes.sort_unstable();
+        for v in nodes {
+            let robots = &groups[&v];
+            if self.open_in_subtree(v) == 0 {
+                // Finished subtree: everyone heads home.
+                for &i in robots {
+                    out[i] = Move::Up; // ⊥ at the root
+                }
+                continue;
+            }
+            // Unfinished directions: dangling ports, then children with
+            // unfinished subtrees, in port order.
+            let mut candidates: Vec<Port> = tree.dangling_ports(v).collect();
+            candidates.extend(
+                tree.known_children(v)
+                    .filter(|&(_, c)| self.open_in_subtree(c) > 0)
+                    .map(|(p, _)| p),
+            );
+            candidates.sort_unstable();
+            debug_assert!(
+                !candidates.is_empty(),
+                "positive subtree-open count implies an unfinished direction"
+            );
+            for (j, &i) in robots.iter().enumerate() {
+                let port = candidates[j % candidates.len()];
+                if tree.child_at(v, port).is_none() {
+                    self.pending.insert((v, port));
+                }
+                out[i] = Move::Down(port);
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "cte"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfdn_sim::Simulator;
+    use bfdn_trees::generators::{self, Family};
+    use rand::SeedableRng;
+
+    fn run_cte(tree: &bfdn_trees::Tree, k: usize) -> u64 {
+        let mut cte = Cte::new(k);
+        Simulator::new(tree, k)
+            .run(&mut cte)
+            .unwrap_or_else(|e| panic!("cte stuck on {tree} with k={k}: {e}"))
+            .rounds
+    }
+
+    #[test]
+    fn explores_all_families() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        for fam in Family::ALL {
+            let tree = fam.instance(120, &mut rng);
+            for k in [1usize, 2, 6, 16] {
+                let rounds = run_cte(&tree, k);
+                assert!(rounds >= 2 * tree.depth() as u64, "{fam} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_robot_cte_is_dfs() {
+        let tree = generators::comb(6, 4);
+        assert_eq!(run_cte(&tree, 1), 2 * tree.num_edges() as u64);
+    }
+
+    #[test]
+    fn star_with_k_robots_is_two_rounds() {
+        let tree = generators::star(8);
+        assert_eq!(run_cte(&tree, 8), 2);
+    }
+
+    #[test]
+    fn even_split_parallelizes_binary_trees() {
+        let tree = generators::binary(10); // 2047 nodes
+        let r1 = run_cte(&tree, 1);
+        let r16 = run_cte(&tree, 16);
+        assert!(r16 * 4 < r1, "r1={r1} r16={r16}");
+    }
+
+    #[test]
+    fn respects_fgkp_guarantee_shape() {
+        // O(n/log k + D) with a generous constant of 8.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for fam in [Family::Binary, Family::RandomRecursive, Family::Caterpillar] {
+            let tree = fam.instance(600, &mut rng);
+            for k in [4usize, 32] {
+                let rounds = run_cte(&tree, k) as f64;
+                let guarantee =
+                    8.0 * (tree.len() as f64 / (k as f64).ln() + tree.depth() as f64 + 1.0);
+                assert!(rounds <= guarantee, "{fam} k={k}: {rounds} > {guarantee}");
+            }
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Single-robot online depth-first search.
+
+use bfdn_sim::{Explorer, Move, RoundContext};
+
+/// The optimal single-robot online explorer: go through an adjacent
+/// unexplored edge if possible, one step towards the root otherwise
+/// (Section 1). Finishes any tree in exactly `2(n-1)` rounds.
+///
+/// With `k > 1` robots, every robot runs the same rule but dangling
+/// edges are claimed at most once per round, so surplus robots trail the
+/// leader — DFS does not parallelize, which is the paper's motivation
+/// for collaborative strategies.
+///
+/// # Example
+///
+/// ```
+/// use bfdn_baselines::OnlineDfs;
+/// use bfdn_sim::Simulator;
+/// use bfdn_trees::generators;
+///
+/// let tree = generators::spider(3, 4);
+/// let outcome = Simulator::new(&tree, 1).run(&mut OnlineDfs)?;
+/// assert_eq!(outcome.rounds, 2 * tree.num_edges() as u64);
+/// # Ok::<(), bfdn_sim::SimError>(())
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OnlineDfs;
+
+impl Explorer for OnlineDfs {
+    #[allow(clippy::needless_range_loop)]
+    fn select_moves(&mut self, ctx: &RoundContext<'_>, out: &mut [Move]) {
+        let mut selected = std::collections::HashSet::new();
+        for i in 0..ctx.k() {
+            let at = ctx.positions[i];
+            let mut chosen = None;
+            for port in ctx.tree.dangling_ports(at) {
+                if selected.insert((at, port)) {
+                    chosen = Some(port);
+                    break;
+                }
+            }
+            out[i] = match chosen {
+                Some(port) => Move::Down(port),
+                None => Move::Up,
+            };
+        }
+    }
+
+    fn name(&self) -> &str {
+        "online-dfs"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfdn_sim::Simulator;
+    use bfdn_trees::generators::{self, Family};
+    use rand::SeedableRng;
+
+    #[test]
+    fn dfs_is_exactly_2n_minus_2() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        for fam in Family::ALL {
+            let tree = fam.instance(120, &mut rng);
+            let outcome = Simulator::new(&tree, 1).run(&mut OnlineDfs).unwrap();
+            assert_eq!(
+                outcome.rounds,
+                2 * tree.num_edges() as u64,
+                "{fam}: DFS is optimal at 2(n-1)"
+            );
+        }
+    }
+
+    #[test]
+    fn extra_robots_do_not_break_dfs() {
+        let tree = generators::comb(8, 3);
+        for k in [2usize, 5] {
+            let outcome = Simulator::new(&tree, k).run(&mut OnlineDfs).unwrap();
+            // Multiple identical DFS walkers still finish (possibly faster
+            // thanks to claimed-once dangling edges).
+            assert!(outcome.rounds <= 2 * tree.num_edges() as u64);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Baseline exploration algorithms the paper compares against.
+//!
+//! * [`OnlineDfs`] — the optimal single-robot online depth-first search
+//!   (`2(n-1)` rounds, Section 1),
+//! * [`OfflineSplit`] — the offline `2(n/k + D)` k-traversal: split the
+//!   closed DFS tour into `k` segments and send one robot to each
+//!   (Dynia et al. / Ortolf–Schindelhauer, as recalled in Section 1),
+//! * [`Cte`] — Collective Tree Exploration of Fraigniaud, Gasieniec,
+//!   Kowalski and Pelc: the even-split strategy with the
+//!   `O(n/log k + D)` guarantee and `Θ(k/log k)` competitive ratio,
+//! * [`ScriptedExplorer`] — replays precomputed per-robot routes through
+//!   the simulator (used to validate offline plans round by round).
+//!
+//! # Example
+//!
+//! ```
+//! use bfdn_baselines::{Cte, OnlineDfs};
+//! use bfdn_sim::Simulator;
+//! use bfdn_trees::generators;
+//!
+//! let tree = generators::binary(4);
+//! let dfs = Simulator::new(&tree, 1).run(&mut OnlineDfs)?;
+//! assert_eq!(dfs.rounds, 2 * tree.num_edges() as u64);
+//!
+//! let mut cte = Cte::new(8);
+//! let team = Simulator::new(&tree, 8).run(&mut cte)?;
+//! assert!(team.rounds < dfs.rounds);
+//! # Ok::<(), bfdn_sim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cte;
+mod dfs;
+mod offline;
+mod scripted;
+
+pub use cte::Cte;
+pub use dfs::OnlineDfs;
+pub use offline::{OfflinePlan, OfflineSplit};
+pub use scripted::ScriptedExplorer;

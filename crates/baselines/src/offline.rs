@@ -1,0 +1,157 @@
+//! The offline `2(n/k + D)` k-traversal (Section 1).
+//!
+//! With the tree known in advance, take the closed DFS tour of length
+//! `2(n-1)`, split it into `k` segments of `⌈2(n-1)/k⌉` hops each, and
+//! send robot `i` to reach, traverse, and return from segment `i`. The
+//! makespan is at most `⌈2(n-1)/k⌉ + 2D`, within a factor 2 of the
+//! offline lower bound `max{2n/k, 2D}` (computing the *optimal* offline
+//! k-traversal is NP-hard by reduction from 3-PARTITION \[10\]).
+
+use bfdn_trees::{NodeId, Tree};
+
+/// A per-robot routing plan produced by [`OfflineSplit`].
+#[derive(Clone, Debug)]
+pub struct OfflinePlan {
+    /// Node route of each robot, starting and ending at the root.
+    routes: Vec<Vec<NodeId>>,
+    rounds: u64,
+}
+
+impl OfflinePlan {
+    /// The makespan: rounds until the last robot is home.
+    #[inline]
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// The route of robot `i` (consecutive nodes are adjacent).
+    pub fn route(&self, i: usize) -> &[NodeId] {
+        &self.routes[i]
+    }
+
+    /// Number of robots.
+    pub fn k(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Checks the plan against the tree: routes are walks from the root
+    /// back to the root, and together they traverse every edge.
+    pub fn validate(&self, tree: &Tree) -> Result<(), String> {
+        let mut covered = vec![false; tree.len()];
+        covered[0] = true;
+        for (i, route) in self.routes.iter().enumerate() {
+            if route.first() != Some(&NodeId::ROOT) || route.last() != Some(&NodeId::ROOT) {
+                return Err(format!("robot {i}: route does not start/end at the root"));
+            }
+            for w in route.windows(2) {
+                if tree.distance(w[0], w[1]) != 1 {
+                    return Err(format!("robot {i}: {} and {} not adjacent", w[0], w[1]));
+                }
+                covered[w[0].index()] = true;
+                covered[w[1].index()] = true;
+            }
+        }
+        if let Some(v) = covered.iter().position(|&c| !c) {
+            return Err(format!("node {v} never visited"));
+        }
+        Ok(())
+    }
+}
+
+/// The offline segment-split traversal planner.
+///
+/// # Example
+///
+/// ```
+/// use bfdn_baselines::OfflineSplit;
+/// use bfdn_trees::generators;
+///
+/// let tree = generators::comb(10, 3);
+/// let plan = OfflineSplit::plan(&tree, 4);
+/// assert!(plan.validate(&tree).is_ok());
+/// let bound = (2 * tree.num_edges()).div_ceil(4) + 2 * tree.depth();
+/// assert!(plan.rounds() <= bound as u64);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct OfflineSplit;
+
+impl OfflineSplit {
+    /// Splits the closed DFS tour of `tree` among `k` robots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn plan(tree: &Tree, k: usize) -> OfflinePlan {
+        assert!(k >= 1, "need at least one robot");
+        let tour = tree.euler_tour(); // 2(n-1) + 1 nodes
+        let hops = tour.len() - 1;
+        let seg = hops.div_ceil(k).max(1);
+        let mut routes = Vec::with_capacity(k);
+        for i in 0..k {
+            let start = (i * seg).min(hops);
+            let end = ((i + 1) * seg).min(hops);
+            if start >= end {
+                // More robots than segments: stay home.
+                routes.push(vec![NodeId::ROOT]);
+                continue;
+            }
+            let mut route = tree.path_from_root(tour[start]);
+            route.extend_from_slice(&tour[start + 1..=end]);
+            let back = tree.path_to_root(tour[end]);
+            route.extend_from_slice(&back[1..]);
+            routes.push(route);
+        }
+        let rounds = routes.iter().map(|r| r.len() as u64 - 1).max().unwrap_or(0);
+        OfflinePlan { routes, rounds }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfdn_trees::generators::{self, Family};
+    use rand::SeedableRng;
+
+    #[test]
+    fn plans_are_valid_and_bounded() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        for fam in Family::ALL {
+            let tree = fam.instance(150, &mut rng);
+            for k in [1usize, 2, 5, 16, 200] {
+                let plan = OfflineSplit::plan(&tree, k);
+                plan.validate(&tree)
+                    .unwrap_or_else(|e| panic!("{fam} k={k}: {e}"));
+                let bound = ((2 * tree.num_edges()).div_ceil(k) + 2 * tree.depth()) as u64;
+                assert!(
+                    plan.rounds() <= bound,
+                    "{fam} k={k}: {} > {bound}",
+                    plan.rounds()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_robot_plan_is_the_dfs_tour() {
+        let tree = generators::binary(3);
+        let plan = OfflineSplit::plan(&tree, 1);
+        assert_eq!(plan.rounds(), 2 * tree.num_edges() as u64);
+    }
+
+    #[test]
+    fn surplus_robots_stay_home() {
+        let tree = generators::path(3);
+        let plan = OfflineSplit::plan(&tree, 10);
+        assert!(plan.validate(&tree).is_ok());
+        assert_eq!(plan.route(9), &[NodeId::ROOT]);
+    }
+
+    #[test]
+    fn rounds_shrink_with_k() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let tree = generators::random_recursive(2000, &mut rng);
+        let r1 = OfflineSplit::plan(&tree, 1).rounds();
+        let r8 = OfflineSplit::plan(&tree, 8).rounds();
+        assert!(r8 * 4 < r1);
+    }
+}

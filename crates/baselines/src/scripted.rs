@@ -1,0 +1,121 @@
+//! Replaying precomputed routes through the simulator.
+
+use bfdn_sim::{Explorer, Move, RoundContext};
+use bfdn_trees::{NodeId, Tree};
+
+/// An explorer that executes fixed per-robot routes (node walks computed
+/// offline with full knowledge of the tree). Used to validate
+/// [`OfflinePlan`](crate::OfflinePlan)s against the simulator's movement
+/// rules, and as the scripted arm of ablation benches.
+///
+/// # Example
+///
+/// ```
+/// use bfdn_baselines::{OfflineSplit, ScriptedExplorer};
+/// use bfdn_sim::Simulator;
+/// use bfdn_trees::generators;
+///
+/// let tree = generators::spider(4, 3);
+/// let plan = OfflineSplit::plan(&tree, 3);
+/// let mut script = ScriptedExplorer::from_routes(
+///     &tree,
+///     (0..3).map(|i| plan.route(i).to_vec()).collect(),
+/// );
+/// let outcome = Simulator::new(&tree, 3).run(&mut script)?;
+/// assert_eq!(outcome.rounds, plan.rounds());
+/// # Ok::<(), bfdn_sim::SimError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct ScriptedExplorer {
+    /// Move list per robot, in execution order.
+    moves: Vec<Vec<Move>>,
+    cursor: usize,
+}
+
+impl ScriptedExplorer {
+    /// Compiles node routes into port moves using the ground-truth tree
+    /// (legitimate: scripts come from offline planners that know it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if consecutive route nodes are not adjacent.
+    pub fn from_routes(tree: &Tree, routes: Vec<Vec<NodeId>>) -> Self {
+        let moves = routes
+            .into_iter()
+            .map(|route| {
+                route
+                    .windows(2)
+                    .map(|w| {
+                        if tree.parent(w[1]) == Some(w[0]) {
+                            Move::Down(tree.port_to_child(w[0], w[1]))
+                        } else if tree.parent(w[0]) == Some(w[1]) {
+                            Move::Up
+                        } else {
+                            panic!("route nodes {} and {} not adjacent", w[0], w[1]);
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        ScriptedExplorer { moves, cursor: 0 }
+    }
+
+    /// The scripted makespan (longest move list).
+    pub fn rounds(&self) -> u64 {
+        self.moves.iter().map(Vec::len).max().unwrap_or(0) as u64
+    }
+}
+
+impl Explorer for ScriptedExplorer {
+    #[allow(clippy::needless_range_loop)]
+    fn select_moves(&mut self, ctx: &RoundContext<'_>, out: &mut [Move]) {
+        for i in 0..ctx.k() {
+            if let Some(script) = self.moves.get(i) {
+                if let Some(&m) = script.get(self.cursor) {
+                    out[i] = m;
+                }
+            }
+        }
+        self.cursor += 1;
+    }
+
+    fn name(&self) -> &str {
+        "scripted"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OfflineSplit;
+    use bfdn_sim::Simulator;
+    use bfdn_trees::generators::{self, Family};
+    use rand::SeedableRng;
+
+    #[test]
+    fn offline_plans_replay_exactly() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        for fam in [Family::Comb, Family::Binary, Family::RandomRecursive] {
+            let tree = fam.instance(200, &mut rng);
+            for k in [1usize, 3, 9] {
+                let plan = OfflineSplit::plan(&tree, k);
+                let routes = (0..k).map(|i| plan.route(i).to_vec()).collect();
+                let mut script = ScriptedExplorer::from_routes(&tree, routes);
+                let outcome = Simulator::new(&tree, k).run(&mut script).unwrap();
+                assert_eq!(outcome.rounds, plan.rounds(), "{fam} k={k}");
+                assert_eq!(
+                    outcome.metrics.edges_discovered,
+                    tree.num_edges() as u64,
+                    "{fam} k={k}: the replayed plan must traverse every edge"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not adjacent")]
+    fn non_adjacent_route_is_rejected() {
+        let tree = generators::path(3);
+        ScriptedExplorer::from_routes(&tree, vec![vec![NodeId::ROOT, NodeId::new(2)]]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Ablation benches for the design choices called out in `DESIGN.md`.
+//!
+//! Criterion measures wall-clock; the *round counts* of the same arms
+//! are tabulated by `experiments -- ablations` — both matter: a variant
+//! could save rounds while being computationally heavier.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bfdn::{Bfdn, BfdnL, ReanchorRule, SelectionOrder};
+use bfdn_sim::Simulator;
+use bfdn_trees::generators;
+use rand::SeedableRng;
+
+fn bench_reanchor_rules(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    let tree = generators::uniform_labeled(2000, &mut rng);
+    let k = 16;
+    let mut group = c.benchmark_group("ablation_reanchor_rule");
+    group.sample_size(10);
+    for (name, rule) in [
+        ("least_loaded", ReanchorRule::LeastLoaded),
+        ("first_candidate", ReanchorRule::FirstCandidate),
+        ("round_robin", ReanchorRule::RoundRobin),
+        ("random", ReanchorRule::Random(3)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut algo = Bfdn::builder(k).reanchor_rule(rule.clone()).build();
+                black_box(Simulator::new(&tree, k).run(&mut algo).unwrap().rounds)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_selection_order(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+    let tree = generators::random_recursive(3000, &mut rng);
+    let k = 16;
+    let mut group = c.benchmark_group("ablation_selection_order");
+    group.sample_size(10);
+    for (name, order) in [
+        ("fixed", SelectionOrder::Fixed),
+        ("rotating", SelectionOrder::Rotating),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut algo = Bfdn::builder(k).selection_order(order).build();
+                black_box(Simulator::new(&tree, k).run(&mut algo).unwrap().rounds)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_shortcut(c: &mut Criterion) {
+    let tree = generators::caterpillar(200, 16);
+    let k = 16;
+    let mut group = c.benchmark_group("ablation_shortcut");
+    group.sample_size(10);
+    for (name, shortcut) in [("root_return", false), ("shortcut", true)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut algo = Bfdn::builder(k).shortcut(shortcut).build();
+                black_box(Simulator::new(&tree, k).run(&mut algo).unwrap().rounds)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_depth_schedule(c: &mut Criterion) {
+    let tree = generators::caterpillar(300, 16);
+    let k = 16;
+    let mut group = c.benchmark_group("ablation_depth_schedule");
+    group.sample_size(10);
+    for (name, base) in [("doubling", 2u32), ("quadrupling", 4u32)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut algo = BfdnL::with_growth(k, 2, base);
+                black_box(Simulator::new(&tree, k).run(&mut algo).unwrap().rounds)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reanchor_rules,
+    bench_selection_order,
+    bench_shortcut,
+    bench_depth_schedule
+);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Wall-clock cost of one full exploration per algorithm — the
+//! implementation-throughput companion to experiments E1/E2/E7/E10.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bfdn::{Bfdn, BfdnL, WriteReadBfdn};
+use bfdn_baselines::{Cte, OfflineSplit};
+use bfdn_sim::Simulator;
+use bfdn_trees::generators;
+use rand::SeedableRng;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let tree = generators::random_recursive(4000, &mut rng);
+    let k = 16;
+    let mut group = c.benchmark_group("explore_random_recursive_n4000_k16");
+    group.sample_size(10);
+    group.bench_function("bfdn", |b| {
+        b.iter(|| {
+            let mut algo = Bfdn::new(k);
+            black_box(Simulator::new(&tree, k).run(&mut algo).unwrap().rounds)
+        })
+    });
+    group.bench_function("bfdn_write_read", |b| {
+        b.iter(|| {
+            let mut algo = WriteReadBfdn::new(k);
+            black_box(Simulator::new(&tree, k).run(&mut algo).unwrap().rounds)
+        })
+    });
+    group.bench_function("bfdn_l2", |b| {
+        b.iter(|| {
+            let mut algo = BfdnL::new(k, 2);
+            black_box(Simulator::new(&tree, k).run(&mut algo).unwrap().rounds)
+        })
+    });
+    group.bench_function("cte", |b| {
+        b.iter(|| {
+            let mut algo = Cte::new(k);
+            black_box(Simulator::new(&tree, k).run(&mut algo).unwrap().rounds)
+        })
+    });
+    group.bench_function("offline_split_plan", |b| {
+        b.iter(|| black_box(OfflineSplit::plan(&tree, k).rounds()))
+    });
+    group.finish();
+}
+
+fn bench_k_scaling(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let tree = generators::uniform_labeled(3000, &mut rng);
+    let mut group = c.benchmark_group("bfdn_k_scaling_n3000");
+    group.sample_size(10);
+    for k in [1usize, 8, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut algo = Bfdn::new(k);
+                black_box(Simulator::new(&tree, k).run(&mut algo).unwrap().rounds)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_graph_grid(c: &mut Criterion) {
+    use bfdn::GraphBfdn;
+    use bfdn_trees::grid::{GridGraph, Rect};
+    let grid = GridGraph::new(40, 40, &[Rect::new(10, 10, 25, 20)]);
+    let mut group = c.benchmark_group("graph_bfdn_grid_40x40");
+    group.sample_size(10);
+    for k in [4usize, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                black_box(
+                    GraphBfdn::explore(grid.graph(), grid.origin(), k)
+                        .unwrap()
+                        .rounds,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_k_scaling, bench_graph_grid);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Wall-clock cost of the substrates: tree generation, fog-of-war
+//! maintenance and the simulator's round loop overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bfdn_sim::{Explorer, Move, RoundContext, Simulator};
+use bfdn_trees::{generators, NodeId, PartialTree};
+use rand::SeedableRng;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators_n20000");
+    group.sample_size(20);
+    group.bench_function("random_recursive", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        b.iter(|| black_box(generators::random_recursive(20_000, &mut rng).len()))
+    });
+    group.bench_function("uniform_labeled_prufer", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        b.iter(|| black_box(generators::uniform_labeled(20_000, &mut rng).len()))
+    });
+    group.bench_function("comb", |b| {
+        b.iter(|| black_box(generators::comb(141, 141).len()))
+    });
+    group.finish();
+}
+
+fn bench_partial_tree_reveal(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let tree = generators::random_recursive(20_000, &mut rng);
+    c.bench_function("partial_tree_full_reveal_n20000", |b| {
+        b.iter(|| {
+            let mut pt = PartialTree::new(tree.len(), tree.degree(NodeId::ROOT));
+            let mut queue = std::collections::VecDeque::from([NodeId::ROOT]);
+            while let Some(u) = queue.pop_front() {
+                for (port, child) in tree.child_ports(u) {
+                    pt.attach(u, port, child, tree.degree(child));
+                    queue.push_back(child);
+                }
+            }
+            black_box(pt.num_explored())
+        })
+    });
+}
+
+/// A do-nothing-useful explorer that walks one robot down and up — pure
+/// simulator overhead.
+struct PingPong;
+impl Explorer for PingPong {
+    fn select_moves(&mut self, ctx: &RoundContext<'_>, out: &mut [Move]) {
+        let at = ctx.positions[0];
+        out[0] = match ctx.tree.dangling_ports(at).next() {
+            Some(p) => Move::Down(p),
+            None => Move::Up,
+        };
+    }
+}
+
+fn bench_simulator_overhead(c: &mut Criterion) {
+    let tree = generators::path(5_000);
+    c.bench_function("simulator_round_loop_path5000", |b| {
+        b.iter(|| {
+            let outcome = Simulator::new(&tree, 1).run(&mut PingPong).unwrap();
+            black_box(outcome.rounds)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_generators,
+    bench_partial_tree_reveal,
+    bench_simulator_overhead
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Wall-clock cost of the Section 3 machinery: game playouts, the exact
+//! dynamic program, and the allocation scheduler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use urn_game::allocation::{run, ReassignPolicy};
+use urn_game::{play, DrainAdversary, GameValue, GreedyAdversary, LeastLoadedPlayer, UrnGame};
+
+fn bench_playouts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("urn_game_playout");
+    group.sample_size(20);
+    for k in [64usize, 512] {
+        group.bench_with_input(BenchmarkId::new("greedy", k), &k, |b, &k| {
+            b.iter(|| {
+                black_box(
+                    play(
+                        UrnGame::new(k, k),
+                        &mut LeastLoadedPlayer,
+                        &mut GreedyAdversary,
+                    )
+                    .steps,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("drain", k), &k, |b, &k| {
+            b.iter(|| {
+                black_box(
+                    play(
+                        UrnGame::new(k, k),
+                        &mut LeastLoadedPlayer,
+                        &mut DrainAdversary,
+                    )
+                    .steps,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("urn_game_dp");
+    group.sample_size(10);
+    for k in [64usize, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(GameValue::new(k, k).value()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_allocation(c: &mut Criterion) {
+    let k = 256;
+    let lengths: Vec<u64> = (0..k).map(|i| 1u64 << (i % 10)).collect();
+    let mut group = c.benchmark_group("allocation_geometric_k256");
+    group.sample_size(20);
+    group.bench_function("least_crowded", |b| {
+        b.iter(|| black_box(run(&lengths, k, ReassignPolicy::LeastCrowded).switches))
+    });
+    group.bench_function("most_crowded", |b| {
+        b.iter(|| black_box(run(&lengths, k, ReassignPolicy::MostCrowded).switches))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_playouts, bench_dp, bench_allocation);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Regenerates every experiment of the reproduction (see `DESIGN.md`
+//! for the index and `EXPERIMENTS.md` for the recorded outcomes).
+//!
+//! ```text
+//! experiments [all|e1|e2|...|e11] [--quick]
+//! ```
+//!
+//! Without arguments, runs everything at full (laptop) scale. `--quick`
+//! uses the CI-sized configuration; `--csv DIR` additionally writes each
+//! table as `DIR/<experiment>.csv`.
+
+use bfdn_bench::{experiments as ex, Scale, Table};
+use std::path::Path;
+
+fn emit(id: &str, t: &Table, csv_dir: Option<&Path>) {
+    println!("{t}");
+    if let Some(dir) = csv_dir {
+        let path = dir.join(format!("{id}.csv"));
+        if let Err(e) = std::fs::write(&path, t.to_csv()) {
+            eprintln!("failed to write {}: {e}", path.display());
+        }
+    }
+}
+
+fn run_one(id: &str, scale: Scale, csv_dir: Option<&Path>) -> bool {
+    match id {
+        "e1" => emit(id, &ex::e1_theorem1_bound(scale), csv_dir),
+        "e2" => emit(id, &ex::e2_overhead_comparison(scale), csv_dir),
+        "e3" => emit(id, &ex::e3_urn_game(scale), csv_dir),
+        "e4" => emit(id, &ex::e4_lemma2_reanchors(scale), csv_dir),
+        "e5" => {
+            let fig = ex::e5_figure1(scale);
+            emit(id, &fig.shares, csv_dir);
+            for map in &fig.maps {
+                println!("{map}");
+            }
+        }
+        "e6" => emit(id, &ex::e6_cte_adversarial(scale), csv_dir),
+        "e7" => emit(id, &ex::e7_write_read(scale), csv_dir),
+        "e8" => emit(id, &ex::e8_breakdowns(scale), csv_dir),
+        "e9" => emit(id, &ex::e9_graphs(scale), csv_dir),
+        "e10" => emit(id, &ex::e10_recursive(scale), csv_dir),
+        "e11" => emit(id, &ex::e11_allocation(scale), csv_dir),
+        "e12" => emit(id, &ex::e12_ratio_curves(scale), csv_dir),
+        "e13" => emit(id, &ex::e13_statistics(scale), csv_dir),
+        "ablations" => emit(id, &ex::a1_ablations(scale), csv_dir),
+        _ => return false,
+    }
+    true
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let csv_dir: Option<std::path::PathBuf> = args.iter().position(|a| a == "--csv").map(|i| {
+        let dir = args
+            .get(i + 1)
+            .unwrap_or_else(|| {
+                eprintln!("--csv needs a directory argument");
+                std::process::exit(2);
+            })
+            .into();
+        args.drain(i..=i + 1);
+        dir
+    });
+    if let Some(dir) = &csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+    }
+    let ids: Vec<String> = args.into_iter().filter(|a| a != "--quick").collect();
+    let mut all: Vec<String> = (1..=13).map(|i| format!("e{i}")).collect();
+    all.push("ablations".into());
+    let selected = if ids.is_empty() || ids.iter().any(|a| a == "all") {
+        all
+    } else {
+        ids
+    };
+    for id in &selected {
+        let start = std::time::Instant::now();
+        if !run_one(id, scale, csv_dir.as_deref()) {
+            eprintln!("unknown experiment `{id}` (expected e1..e13, ablations, or all)");
+            std::process::exit(2);
+        }
+        eprintln!("[{id} done in {:.1?}]", start.elapsed());
+    }
+}

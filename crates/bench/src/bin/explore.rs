@@ -1,0 +1,29 @@
+//! Run any exploration algorithm of the workspace on any workload:
+//!
+//! ```text
+//! explore --family comb --n 2000 --k 16 --algo bfdn-l2 --seed 7
+//! explore --family binary --n 30 --k 3 --algo bfdn --render
+//! ```
+//!
+//! Flags: `--family` (see `bfdn_trees::generators::Family`), `--n`,
+//! `--k`, `--algo` (bfdn, bfdn-robust, bfdn-shortcut, write-read,
+//! bfdn-l2, bfdn-l3, cte), `--seed`, `--render`.
+
+use bfdn_bench::cli::ExploreArgs;
+
+fn main() {
+    let args = match ExploreArgs::parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    match args.run() {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("exploration failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

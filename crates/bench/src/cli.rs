@@ -1,0 +1,263 @@
+//! Argument parsing and execution for the `explore` binary: run any
+//! algorithm of the workspace on any workload family from the command
+//! line. Hand-rolled flag parsing — the workspace deliberately carries
+//! no CLI dependency.
+
+use bfdn::{Bfdn, BfdnL, WriteReadBfdn};
+use bfdn_baselines::{Cte, OnlineDfs};
+use bfdn_sim::{Explorer, Simulator};
+use bfdn_trees::generators::Family;
+use bfdn_trees::Tree;
+use rand::SeedableRng;
+use std::fmt;
+
+/// A parsed `explore` invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExploreArgs {
+    /// Workload family (any [`Family`] name).
+    pub family: Family,
+    /// Approximate node count.
+    pub n: usize,
+    /// Number of robots.
+    pub k: usize,
+    /// Algorithm name (see [`ExploreArgs::ALGORITHMS`]).
+    pub algo: String,
+    /// RNG seed for the randomized families.
+    pub seed: u64,
+    /// Render an ASCII animation (small trees only).
+    pub render: bool,
+}
+
+/// Errors of [`ExploreArgs::parse`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError(String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Default for ExploreArgs {
+    fn default() -> Self {
+        ExploreArgs {
+            family: Family::RandomRecursive,
+            n: 1000,
+            k: 8,
+            algo: "bfdn".into(),
+            seed: 42,
+            render: false,
+        }
+    }
+}
+
+impl ExploreArgs {
+    /// The accepted `--algo` values.
+    pub const ALGORITHMS: [&'static str; 8] = [
+        "bfdn",
+        "bfdn-robust",
+        "bfdn-shortcut",
+        "write-read",
+        "bfdn-l2",
+        "bfdn-l3",
+        "cte",
+        "dfs",
+    ];
+
+    /// Parses `--family F --n N --k K --algo A --seed S [--render]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] describing the first unknown flag,
+    /// missing value, unknown family/algorithm, or malformed number.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ParseError> {
+        let mut out = ExploreArgs::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .ok_or_else(|| ParseError(format!("{name} needs a value")))
+            };
+            match flag.as_str() {
+                "--family" => {
+                    let v = value("--family")?;
+                    out.family =
+                        Family::ALL
+                            .into_iter()
+                            .find(|f| f.name() == v)
+                            .ok_or_else(|| {
+                                ParseError(format!(
+                                    "unknown family `{v}` (one of: {})",
+                                    Family::ALL.map(|f| f.name()).join(", ")
+                                ))
+                            })?;
+                }
+                "--n" => {
+                    let v = value("--n")?;
+                    out.n = v
+                        .parse()
+                        .map_err(|_| ParseError(format!("bad --n `{v}`")))?;
+                }
+                "--k" => {
+                    let v = value("--k")?;
+                    out.k = v
+                        .parse()
+                        .map_err(|_| ParseError(format!("bad --k `{v}`")))?;
+                    if out.k == 0 {
+                        return Err(ParseError("--k must be at least 1".into()));
+                    }
+                }
+                "--algo" => {
+                    let v = value("--algo")?;
+                    if !Self::ALGORITHMS.contains(&v.as_str()) {
+                        return Err(ParseError(format!(
+                            "unknown algorithm `{v}` (one of: {})",
+                            Self::ALGORITHMS.join(", ")
+                        )));
+                    }
+                    out.algo = v;
+                }
+                "--seed" => {
+                    let v = value("--seed")?;
+                    out.seed = v
+                        .parse()
+                        .map_err(|_| ParseError(format!("bad --seed `{v}`")))?;
+                }
+                "--render" => out.render = true,
+                other => {
+                    return Err(ParseError(format!(
+                        "unknown flag `{other}` (try --family --n --k --algo --seed --render)"
+                    )))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Builds the workload tree.
+    pub fn build_tree(&self) -> Tree {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        self.family.instance(self.n, &mut rng)
+    }
+
+    /// Instantiates the chosen explorer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `algo` was not validated by [`ExploreArgs::parse`].
+    pub fn build_explorer(&self) -> Box<dyn Explorer> {
+        match self.algo.as_str() {
+            "bfdn" => Box::new(Bfdn::new(self.k)),
+            "bfdn-robust" => Box::new(Bfdn::new_robust(self.k)),
+            "bfdn-shortcut" => Box::new(Bfdn::builder(self.k).shortcut(true).build()),
+            "write-read" => Box::new(WriteReadBfdn::new(self.k)),
+            "bfdn-l2" => Box::new(BfdnL::new(self.k, 2)),
+            "bfdn-l3" => Box::new(BfdnL::new(self.k, 3)),
+            "cte" => Box::new(Cte::new(self.k)),
+            "dfs" => Box::new(OnlineDfs),
+            other => panic!("unvalidated algorithm `{other}`"),
+        }
+    }
+
+    /// Runs the exploration and returns a human-readable report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors as strings.
+    pub fn run(&self) -> Result<String, String> {
+        let tree = self.build_tree();
+        let mut explorer = self.build_explorer();
+        let mut sim = Simulator::new(&tree, self.k);
+        if self.render {
+            sim = sim.record_trace();
+        }
+        let outcome = sim.run(explorer.as_mut()).map_err(|e| e.to_string())?;
+        let bound = bfdn::theorem1_bound(tree.len(), tree.depth(), self.k, tree.max_degree());
+        let mut report = String::new();
+        if let Some(trace) = &outcome.trace {
+            let renderer = bfdn_sim::render::TraceRenderer::new(&tree, trace);
+            let stride = (trace.len() / 8).max(1);
+            report.push_str(&renderer.animate(stride));
+            report.push('\n');
+        }
+        report.push_str(&format!(
+            "{} on {} (seed {}): {} rounds with k={} \
+             ({} edges discovered, {} edge events, Theorem 1 envelope {:.0})\n",
+            self.algo,
+            tree,
+            self.seed,
+            outcome.rounds,
+            self.k,
+            outcome.metrics.edges_discovered,
+            outcome.metrics.edge_events,
+            bound,
+        ));
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<ExploreArgs, ParseError> {
+        ExploreArgs::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_parse_empty() {
+        assert_eq!(parse(&[]).unwrap(), ExploreArgs::default());
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let a = parse(&[
+            "--family", "comb", "--n", "500", "--k", "12", "--algo", "cte", "--seed", "7",
+            "--render",
+        ])
+        .unwrap();
+        assert_eq!(a.family.name(), "comb");
+        assert_eq!((a.n, a.k, a.seed), (500, 12, 7));
+        assert_eq!(a.algo, "cte");
+        assert!(a.render);
+    }
+
+    #[test]
+    fn rejects_unknowns() {
+        assert!(parse(&["--algo", "quantum"]).is_err());
+        assert!(parse(&["--family", "nope"]).is_err());
+        assert!(parse(&["--wat"]).is_err());
+        assert!(parse(&["--n"]).is_err());
+        assert!(parse(&["--k", "0"]).is_err());
+        assert!(parse(&["--n", "many"]).is_err());
+    }
+
+    #[test]
+    fn every_advertised_algorithm_runs() {
+        for algo in ExploreArgs::ALGORITHMS {
+            let args = ExploreArgs {
+                n: 60,
+                k: 4,
+                algo: algo.into(),
+                ..ExploreArgs::default()
+            };
+            let report = args.run().unwrap_or_else(|e| panic!("{algo}: {e}"));
+            assert!(report.contains("rounds"), "{algo}: {report}");
+        }
+    }
+
+    #[test]
+    fn render_produces_frames() {
+        let args = ExploreArgs {
+            family: Family::Comb,
+            n: 12,
+            k: 2,
+            render: true,
+            ..ExploreArgs::default()
+        };
+        let report = args.run().unwrap();
+        assert!(report.contains("round 0:"));
+    }
+}

@@ -1,0 +1,86 @@
+//! E1 — Theorem 1: measured rounds against the
+//! `2n/k + D²(min{log Δ, log k} + 3)` guarantee, across every workload
+//! family and a `k` sweep.
+
+use crate::{Scale, Table};
+use bfdn::{theorem1_bound, Bfdn};
+use bfdn_sim::Simulator;
+use bfdn_trees::generators::Family;
+use rand::SeedableRng;
+
+/// Runs E1 and returns one row per (family, n, k).
+///
+/// # Panics
+///
+/// Panics if any run exceeds the Theorem 1 bound — that would falsify
+/// the reproduction.
+pub fn e1_theorem1_bound(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E1: Theorem 1 — rounds vs 2n/k + D^2(min(log Δ, log k)+3)",
+        &[
+            "family",
+            "n",
+            "D",
+            "Δ",
+            "k",
+            "rounds",
+            "bound",
+            "rounds/bound",
+        ],
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xE1);
+    let sizes = match scale {
+        Scale::Quick => vec![200],
+        Scale::Full => vec![2_000, 50_000],
+    };
+    let ks: &[usize] = match scale {
+        Scale::Quick => &[2, 8, 32],
+        Scale::Full => &[1, 2, 8, 32, 128, 512],
+    };
+    for fam in Family::ALL {
+        for &n in &sizes {
+            let tree = fam.instance(n, &mut rng);
+            for &k in ks {
+                let mut algo = Bfdn::new(k);
+                let outcome = Simulator::new(&tree, k)
+                    .run(&mut algo)
+                    .unwrap_or_else(|e| panic!("E1 {fam} n={n} k={k}: {e}"));
+                let bound = theorem1_bound(tree.len(), tree.depth(), k, tree.max_degree());
+                let ratio = outcome.rounds as f64 / bound;
+                assert!(
+                    ratio <= 1.0,
+                    "E1 violation: {fam} n={n} k={k}: {} > {bound}",
+                    outcome.rounds
+                );
+                table.row(vec![
+                    fam.name().into(),
+                    tree.len().to_string(),
+                    tree.depth().to_string(),
+                    tree.max_degree().to_string(),
+                    k.to_string(),
+                    outcome.rounds.to_string(),
+                    format!("{bound:.0}"),
+                    format!("{ratio:.3}"),
+                ]);
+            }
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_passes_and_fills_rows() {
+        let t = e1_theorem1_bound(Scale::Quick);
+        assert_eq!(t.len(), Family::ALL.len() * 3);
+        // Every ratio is at most 1 (asserted inside), and positive.
+        let col = t.col("rounds/bound");
+        for r in 0..t.len() {
+            let v: f64 = t.cell(r, col).parse().unwrap();
+            assert!(v > 0.0 && v <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! E2 — Competitive overhead: BFDN against CTE, the offline split
+//! traversal and the offline lower bound, on the workload families.
+//!
+//! The paper's thesis: BFDN's rounds are `2n/k` plus an overhead of at
+//! most `D²(log k + 3)` — on work-dominated trees it tracks the offline
+//! optimum while CTE pays a `k/log k` factor.
+
+use crate::{Scale, Table};
+use bfdn::{offline_lower_bound, theorem1_bound, Bfdn};
+use bfdn_baselines::{Cte, OfflineSplit};
+use bfdn_sim::Simulator;
+use bfdn_trees::generators::Family;
+use rand::SeedableRng;
+
+/// Runs E2 and returns one row per (family, k).
+pub fn e2_overhead_comparison(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E2: rounds of BFDN / CTE / offline-split vs the offline lower bound",
+        &[
+            "family",
+            "n",
+            "D",
+            "k",
+            "bfdn",
+            "cte",
+            "offline",
+            "lower",
+            "bfdn_overhead",
+            "overhead_cap",
+        ],
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xE2);
+    let n = scale.size(20_000);
+    let ks: &[usize] = match scale {
+        Scale::Quick => &[4, 16],
+        Scale::Full => &[4, 16, 64, 256],
+    };
+    for fam in Family::ALL {
+        let tree = fam.instance(n, &mut rng);
+        for &k in ks {
+            let mut bfdn = Bfdn::new(k);
+            let bfdn_rounds = Simulator::new(&tree, k)
+                .run(&mut bfdn)
+                .unwrap_or_else(|e| panic!("E2 bfdn {fam} k={k}: {e}"))
+                .rounds;
+            let mut cte = Cte::new(k);
+            let cte_rounds = Simulator::new(&tree, k)
+                .run(&mut cte)
+                .unwrap_or_else(|e| panic!("E2 cte {fam} k={k}: {e}"))
+                .rounds;
+            let offline = OfflineSplit::plan(&tree, k).rounds();
+            let lower = offline_lower_bound(tree.len(), tree.depth(), k);
+            let overhead = bfdn_rounds as f64 - 2.0 * tree.num_edges() as f64 / k as f64;
+            let cap = theorem1_bound(tree.len(), tree.depth(), k, tree.max_degree())
+                - 2.0 * tree.len() as f64 / k as f64;
+            table.row(vec![
+                fam.name().into(),
+                tree.len().to_string(),
+                tree.depth().to_string(),
+                k.to_string(),
+                bfdn_rounds.to_string(),
+                cte_rounds.to_string(),
+                offline.to_string(),
+                format!("{lower:.0}"),
+                format!("{overhead:.0}"),
+                format!("{cap:.0}"),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offline_never_beats_lower_bound() {
+        let t = e2_overhead_comparison(Scale::Quick);
+        let (off, low) = (t.col("offline"), t.col("lower"));
+        for r in 0..t.len() {
+            let o: f64 = t.cell(r, off).parse().unwrap();
+            let l: f64 = t.cell(r, low).parse().unwrap();
+            assert!(o + 1e-9 >= l, "row {r}: offline {o} < lower bound {l}");
+        }
+    }
+
+    #[test]
+    fn bfdn_overhead_stays_under_cap() {
+        let t = e2_overhead_comparison(Scale::Quick);
+        let (ov, cap) = (t.col("bfdn_overhead"), t.col("overhead_cap"));
+        for r in 0..t.len() {
+            let o: f64 = t.cell(r, ov).parse().unwrap();
+            let c: f64 = t.cell(r, cap).parse().unwrap();
+            assert!(o <= c + 1.0, "row {r}: overhead {o} > cap {c}");
+        }
+    }
+}

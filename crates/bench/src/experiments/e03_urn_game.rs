@@ -1,0 +1,96 @@
+//! E3 — Theorem 3: measured game lengths against
+//! `k·min{log Δ, log k} + 2k`, for every adversary, plus the exact game
+//! value from the dynamic program for moderate `k`.
+
+use crate::{Scale, Table};
+use urn_game::{
+    play, theorem3_bound, Adversary, DrainAdversary, GameValue, GreedyAdversary, LeastLoadedPlayer,
+    RandomAdversary, UrnGame,
+};
+
+/// Runs E3: one row per (k, Δ, adversary).
+///
+/// # Panics
+///
+/// Panics if any game exceeds the Theorem 3 bound.
+pub fn e3_urn_game(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E3: Theorem 3 — game length vs k·min(log Δ, log k) + 2k (least-loaded player)",
+        &[
+            "k",
+            "Δ",
+            "adversary",
+            "steps",
+            "dp_exact",
+            "bound",
+            "steps/bound",
+        ],
+    );
+    let ks: &[usize] = match scale {
+        Scale::Quick => &[8, 64],
+        Scale::Full => &[8, 64, 512, 4096],
+    };
+    let dp_cutoff = match scale {
+        Scale::Quick => 64,
+        Scale::Full => 512,
+    };
+    for &k in ks {
+        let mut deltas = vec![2usize, 8, k];
+        deltas.sort_unstable();
+        deltas.dedup();
+        for delta in deltas {
+            let dp = (k <= dp_cutoff).then(|| GameValue::new(k, delta).value());
+            let adversaries: Vec<Box<dyn Adversary>> = vec![
+                Box::new(GreedyAdversary),
+                Box::new(RandomAdversary::new(k as u64 ^ 0xE3)),
+                Box::new(DrainAdversary),
+            ];
+            for mut adv in adversaries {
+                let name = adv.name().to_string();
+                let rec = play(UrnGame::new(k, delta), &mut LeastLoadedPlayer, &mut *adv);
+                let bound = theorem3_bound(k, delta);
+                assert!(
+                    (rec.steps as f64) <= bound,
+                    "E3 violation: k={k} Δ={delta} {name}: {} > {bound}",
+                    rec.steps
+                );
+                if let (Some(dp), "greedy") = (dp, name.as_str()) {
+                    assert_eq!(
+                        rec.steps as u32, dp,
+                        "greedy adversary must realize the DP optimum"
+                    );
+                }
+                table.row(vec![
+                    k.to_string(),
+                    delta.to_string(),
+                    name,
+                    rec.steps.to_string(),
+                    dp.map_or("-".into(), |v| v.to_string()),
+                    format!("{bound:.0}"),
+                    format!("{:.3}", rec.steps as f64 / bound),
+                ]);
+            }
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_passes() {
+        let t = e3_urn_game(Scale::Quick);
+        // k = 8 contributes 2 distinct Δ values, k = 64 contributes 3;
+        // three adversaries each.
+        assert_eq!(t.len(), (2 + 3) * 3);
+        // The greedy adversary always lasts at least as long as drain.
+        let steps = t.col("steps");
+        for chunk in 0..t.len() / 3 {
+            let greedy: u64 = t.cell(chunk * 3, steps).parse().unwrap();
+            let drain: u64 = t.cell(chunk * 3 + 2, steps).parse().unwrap();
+            assert!(greedy >= drain);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! E4 — Lemma 2: the number of `Reanchor` calls returning an anchor at
+//! any fixed depth `d ≥ 1` never exceeds `k·(min{log k, log Δ} + 3)`.
+
+use crate::{Scale, Table};
+use bfdn::{lemma2_bound, Bfdn};
+use bfdn_sim::Simulator;
+use bfdn_trees::generators::Family;
+use rand::SeedableRng;
+
+/// Runs E4: one row per (family, k), reporting the worst depth.
+///
+/// # Panics
+///
+/// Panics if any per-depth reanchor count exceeds the Lemma 2 bound.
+pub fn e4_lemma2_reanchors(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E4: Lemma 2 — per-depth Reanchor calls vs k·(min(log k, log Δ)+3)",
+        &[
+            "family",
+            "n",
+            "k",
+            "total_reanchors",
+            "worst_depth",
+            "worst_count",
+            "bound",
+            "worst/bound",
+        ],
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xE4);
+    let n = scale.size(8_000);
+    let ks: &[usize] = match scale {
+        Scale::Quick => &[4, 16],
+        Scale::Full => &[4, 16, 64, 256],
+    };
+    for fam in Family::ALL {
+        let tree = fam.instance(n, &mut rng);
+        for &k in ks {
+            let mut algo = Bfdn::new(k);
+            Simulator::new(&tree, k)
+                .run(&mut algo)
+                .unwrap_or_else(|e| panic!("E4 {fam} k={k}: {e}"));
+            let bound = lemma2_bound(k, tree.max_degree());
+            let (worst_depth, worst_count) = algo
+                .reanchors_by_depth()
+                .iter()
+                .enumerate()
+                .skip(1) // Lemma 2 concerns depths 1..D-1
+                .max_by_key(|&(_, &c)| c)
+                .map(|(d, &c)| (d, c))
+                .unwrap_or((0, 0));
+            assert!(
+                (worst_count as f64) <= bound,
+                "E4 violation: {fam} k={k} depth {worst_depth}: {worst_count} > {bound}"
+            );
+            table.row(vec![
+                fam.name().into(),
+                tree.len().to_string(),
+                k.to_string(),
+                algo.total_reanchors().to_string(),
+                worst_depth.to_string(),
+                worst_count.to_string(),
+                format!("{bound:.0}"),
+                format!("{:.3}", worst_count as f64 / bound),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_passes() {
+        let t = e4_lemma2_reanchors(Scale::Quick);
+        assert_eq!(t.len(), Family::ALL.len() * 2);
+    }
+}

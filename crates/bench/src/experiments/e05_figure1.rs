@@ -1,0 +1,62 @@
+//! E5 — Figure 1: the best-guarantee region maps.
+
+use crate::{Scale, Table};
+use bfdn_analysis::{Algorithm, RegionMap};
+
+/// The two maps (numeric argmin and Appendix-A schematic) plus the share
+/// summary table.
+#[derive(Clone, Debug)]
+pub struct Figure1 {
+    /// Share of the plane won by each algorithm, per `k`, per map kind.
+    pub shares: Table,
+    /// ASCII renderings, one per `(k, kind)`.
+    pub maps: Vec<String>,
+}
+
+/// Runs E5 for `k ∈ {64, 1024}`.
+pub fn e5_figure1(scale: Scale) -> Figure1 {
+    let (w, h) = match scale {
+        Scale::Quick => (30, 18),
+        Scale::Full => (64, 40),
+    };
+    let mut shares = Table::new(
+        "E5: Figure 1 — share of the (n, D) plane won by each guarantee",
+        &["k", "map", "CTE", "Yo*", "BFDN", "BFDN_l"],
+    );
+    let mut maps = Vec::new();
+    for k in [64usize, 1024] {
+        for (kind, map) in [
+            ("numeric", RegionMap::compute(k, w, h)),
+            ("schematic", RegionMap::compute_schematic(k, w, h)),
+        ] {
+            shares.row(vec![
+                k.to_string(),
+                kind.into(),
+                format!("{:.3}", map.share(Algorithm::Cte)),
+                format!("{:.3}", map.share(Algorithm::YoStar)),
+                format!("{:.3}", map.share(Algorithm::Bfdn)),
+                format!("{:.3}", map.share(Algorithm::BfdnL(2))),
+            ]);
+            maps.push(map.to_ascii());
+        }
+    }
+    Figure1 { shares, maps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_four_maps_with_all_regions_in_schematic() {
+        let fig = e5_figure1(Scale::Quick);
+        assert_eq!(fig.maps.len(), 4);
+        assert_eq!(fig.shares.len(), 4);
+        // Schematic rows show a non-zero Yo* share.
+        let y = fig.shares.col("Yo*");
+        for r in [1usize, 3] {
+            let share: f64 = fig.shares.cell(r, y).parse().unwrap();
+            assert!(share > 0.0, "schematic row {r} lost the Yo* region");
+        }
+    }
+}

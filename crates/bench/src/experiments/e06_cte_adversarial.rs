@@ -1,0 +1,88 @@
+//! E6 — The CTE lower-bound side: adversarial families (realizing the
+//! ingredients of Higashikawa et al.'s tightness construction \[11\])
+//! where CTE's even split wastes robots, while BFDN stays within its
+//! additive overhead.
+
+use crate::{Scale, Table};
+use bfdn::{offline_lower_bound, Bfdn};
+use bfdn_baselines::Cte;
+use bfdn_sim::Simulator;
+use bfdn_trees::{generators, Tree};
+
+/// Runs E6: one row per (adversarial family, k) with the CTE/BFDN ratio.
+pub fn e6_cte_adversarial(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E6: adversarial trees — CTE vs BFDN (ratios against the offline lower bound)",
+        &[
+            "tree",
+            "n",
+            "D",
+            "k",
+            "cte",
+            "bfdn",
+            "cte/lower",
+            "bfdn/lower",
+            "cte/bfdn",
+        ],
+    );
+    let depth = scale.size(256);
+    let ks: &[usize] = match scale {
+        Scale::Quick => &[8, 32],
+        Scale::Full => &[8, 32, 128],
+    };
+    for &k in ks {
+        let instances: Vec<(&str, Tree)> = vec![
+            ("decoy-spine", generators::decoy_spine(depth, depth / 16, 2)),
+            ("uneven-star", generators::uneven_star(4 * k, depth)),
+            (
+                "hidden-pocket",
+                generators::hidden_pocket(k, depth, k * depth / 2),
+            ),
+            ("vine", generators::lopsided_vine(depth)),
+            ("caterpillar", generators::caterpillar(depth, k)),
+        ];
+        for (name, tree) in instances {
+            let mut cte = Cte::new(k);
+            let cte_rounds = Simulator::new(&tree, k)
+                .run(&mut cte)
+                .unwrap_or_else(|e| panic!("E6 cte {name} k={k}: {e}"))
+                .rounds;
+            let mut bfdn = Bfdn::new(k);
+            let bfdn_rounds = Simulator::new(&tree, k)
+                .run(&mut bfdn)
+                .unwrap_or_else(|e| panic!("E6 bfdn {name} k={k}: {e}"))
+                .rounds;
+            let lower = offline_lower_bound(tree.len(), tree.depth(), k);
+            table.row(vec![
+                name.into(),
+                tree.len().to_string(),
+                tree.depth().to_string(),
+                k.to_string(),
+                cte_rounds.to_string(),
+                bfdn_rounds.to_string(),
+                format!("{:.2}", cte_rounds as f64 / lower),
+                format!("{:.2}", bfdn_rounds as f64 / lower),
+                format!("{:.2}", cte_rounds as f64 / bfdn_rounds as f64),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn some_family_separates_cte_from_bfdn() {
+        let t = e6_cte_adversarial(Scale::Quick);
+        let ratio = t.col("cte/bfdn");
+        let max: f64 = (0..t.len())
+            .map(|r| t.cell(r, ratio).parse::<f64>().unwrap())
+            .fold(0.0, f64::max);
+        assert!(
+            max > 1.2,
+            "expected at least one family where CTE trails BFDN by >20% (max ratio {max})"
+        );
+    }
+}

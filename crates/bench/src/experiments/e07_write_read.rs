@@ -1,0 +1,76 @@
+//! E7 — Proposition 6: the write-read (restricted memory and
+//! communication) implementation matches the Theorem 1 envelope and
+//! stays comparable to the complete-communication version.
+
+use crate::{Scale, Table};
+use bfdn::{theorem1_bound, Bfdn, WriteReadBfdn};
+use bfdn_sim::Simulator;
+use bfdn_trees::generators::Family;
+use rand::SeedableRng;
+
+/// Runs E7: one row per (family, k).
+///
+/// # Panics
+///
+/// Panics if the write-read implementation exceeds the Theorem 1 bound.
+pub fn e7_write_read(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E7: Proposition 6 — write-read model vs complete communication",
+        &[
+            "family",
+            "n",
+            "k",
+            "complete",
+            "write_read",
+            "bound",
+            "wr/bound",
+        ],
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xE7);
+    let n = scale.size(8_000);
+    let ks: &[usize] = match scale {
+        Scale::Quick => &[4, 16],
+        Scale::Full => &[4, 16, 64],
+    };
+    for fam in Family::ALL {
+        let tree = fam.instance(n, &mut rng);
+        for &k in ks {
+            let mut cc = Bfdn::new(k);
+            let cc_rounds = Simulator::new(&tree, k)
+                .run(&mut cc)
+                .unwrap_or_else(|e| panic!("E7 cc {fam} k={k}: {e}"))
+                .rounds;
+            let mut wr = WriteReadBfdn::new(k);
+            let wr_rounds = Simulator::new(&tree, k)
+                .run(&mut wr)
+                .unwrap_or_else(|e| panic!("E7 wr {fam} k={k}: {e}"))
+                .rounds;
+            let bound = theorem1_bound(tree.len(), tree.depth(), k, tree.max_degree());
+            assert!(
+                (wr_rounds as f64) <= bound,
+                "E7 violation: {fam} k={k}: {wr_rounds} > {bound}"
+            );
+            table.row(vec![
+                fam.name().into(),
+                tree.len().to_string(),
+                k.to_string(),
+                cc_rounds.to_string(),
+                wr_rounds.to_string(),
+                format!("{bound:.0}"),
+                format!("{:.3}", wr_rounds as f64 / bound),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_passes() {
+        let t = e7_write_read(Scale::Quick);
+        assert_eq!(t.len(), Family::ALL.len() * 2);
+    }
+}

@@ -1,0 +1,81 @@
+//! E8 — Proposition 7: under adversarial break-downs, the robust BFDN
+//! variant finishes once the average allowed moves per robot reaches
+//! `2n/k + D²(log k + 3)`.
+
+use crate::{Scale, Table};
+use bfdn::{proposition7_bound, Bfdn};
+use bfdn_sim::{
+    BurstStall, MoveSchedule, RandomStall, RoundRobinStall, Simulator, StopCondition, TargetedStall,
+};
+use bfdn_trees::generators::Family;
+use rand::SeedableRng;
+
+/// Runs E8: one row per (family, schedule).
+///
+/// # Panics
+///
+/// Panics if exploration completes only after the allowed-move average
+/// exceeds the Proposition 7 bound.
+pub fn e8_breakdowns(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E8: Proposition 7 — break-down adversaries (A(M) = allowed moves per robot)",
+        &[
+            "family",
+            "n",
+            "k",
+            "schedule",
+            "rounds",
+            "A(M)",
+            "bound",
+            "A(M)/bound",
+        ],
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xE8);
+    let n = scale.size(4_000);
+    let k = 16;
+    for fam in Family::ALL {
+        let tree = fam.instance(n, &mut rng);
+        let depths: Vec<usize> = tree.node_ids().map(|v| tree.node_depth(v)).collect();
+        let schedules: Vec<Box<dyn MoveSchedule>> = vec![
+            Box::new(RandomStall::new(0.4, 0xE8)),
+            Box::new(RoundRobinStall::new(k / 2)),
+            Box::new(BurstStall::new(11, 4)),
+            Box::new(TargetedStall::new(depths, 0.5, 0xE8)),
+        ];
+        for mut schedule in schedules {
+            let name = schedule.name().to_string();
+            let mut algo = Bfdn::new_robust(k);
+            let outcome = Simulator::new(&tree, k)
+                .run_with(&mut algo, &mut *schedule, StopCondition::Explored)
+                .unwrap_or_else(|e| panic!("E8 {fam} {name}: {e}"));
+            let avg_allowed = outcome.metrics.average_allowed();
+            let bound = proposition7_bound(tree.len(), tree.depth(), k);
+            assert!(
+                avg_allowed <= bound,
+                "E8 violation: {fam} {name}: A(M)={avg_allowed:.0} > {bound:.0}"
+            );
+            table.row(vec![
+                fam.name().into(),
+                tree.len().to_string(),
+                k.to_string(),
+                name,
+                outcome.rounds.to_string(),
+                format!("{avg_allowed:.0}"),
+                format!("{bound:.0}"),
+                format!("{:.3}", avg_allowed / bound),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_passes() {
+        let t = e8_breakdowns(Scale::Quick);
+        assert_eq!(t.len(), Family::ALL.len() * 4);
+    }
+}

@@ -1,0 +1,106 @@
+//! E9 — Proposition 9: exploration of grid graphs with rectangular
+//! obstacles, with the `2m/k + D²(min{log Δ, log k}+3)` bound on a graph
+//! with `m` edges and radius `D`.
+
+use crate::{Scale, Table};
+use bfdn::GraphBfdn;
+use bfdn_trees::grid::{GridGraph, Rect};
+
+/// Runs E9: one row per (grid, k).
+///
+/// # Panics
+///
+/// Panics if any run exceeds the Proposition 9 bound.
+pub fn e9_graphs(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E9: Proposition 9 — grid graphs with rectangular obstacles",
+        &[
+            "grid",
+            "nodes",
+            "edges",
+            "radius",
+            "manhattan",
+            "k",
+            "rounds",
+            "closed",
+            "bound",
+            "rounds/bound",
+        ],
+    );
+    let side = match scale {
+        Scale::Quick => 12,
+        Scale::Full => 60,
+    };
+    let grids = vec![
+        ("open", GridGraph::new(side, side, &[])),
+        (
+            "one-block",
+            GridGraph::new(
+                side,
+                side,
+                &[Rect::new(side / 4, side / 4, side / 2, side / 2)],
+            ),
+        ),
+        (
+            "two-walls",
+            GridGraph::new(
+                side,
+                side,
+                &[
+                    Rect::new(side / 5, 1, side / 5 + 1, side - 2),
+                    Rect::new(3 * side / 5, 2, 3 * side / 5 + 1, side - 1),
+                ],
+            ),
+        ),
+        (
+            "maze-blocks",
+            GridGraph::new(
+                side,
+                side,
+                &[
+                    Rect::new(2, 2, side / 3, side / 3),
+                    Rect::new(side / 2, side / 3, side - 2, side / 2),
+                    Rect::new(side / 4, 2 * side / 3, side / 2, side - 2),
+                ],
+            ),
+        ),
+    ];
+    for (name, grid) in grids {
+        let g = grid.graph();
+        for k in [1usize, 4, 16, 64] {
+            let out = GraphBfdn::explore(g, grid.origin(), k)
+                .unwrap_or_else(|e| panic!("E9 {name} k={k}: {e}"));
+            assert!(
+                (out.rounds as f64) <= out.bound,
+                "E9 violation: {name} k={k}: {} > {}",
+                out.rounds,
+                out.bound
+            );
+            table.row(vec![
+                name.into(),
+                g.len().to_string(),
+                g.num_edges().to_string(),
+                g.radius_from(grid.origin()).to_string(),
+                grid.distances_are_manhattan().to_string(),
+                k.to_string(),
+                out.rounds.to_string(),
+                out.closed_edges.to_string(),
+                format!("{:.0}", out.bound),
+                format!("{:.3}", out.rounds as f64 / out.bound),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_passes_and_open_grid_is_manhattan() {
+        let t = e9_graphs(Scale::Quick);
+        assert_eq!(t.len(), 16);
+        assert_eq!(t.cell(0, t.col("manhattan")), "true");
+    }
+}

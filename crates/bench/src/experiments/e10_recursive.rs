@@ -1,0 +1,118 @@
+//! E10 — Theorem 10: `BFDN_ℓ` on deep trees — bound checks plus the
+//! `ℓ`-crossover (plain BFDN wins on shallow trees, the recursion wins
+//! once `n/k^{1/ℓ} < D²`).
+
+use crate::{Scale, Table};
+use bfdn::{theorem10_bound, Bfdn, BfdnL};
+use bfdn_sim::Simulator;
+use bfdn_trees::{generators, Tree};
+
+/// Runs E10: one row per (tree, ℓ), with `ℓ = 0` denoting plain BFDN.
+///
+/// # Panics
+///
+/// Panics if any `BFDN_ℓ` run exceeds the Theorem 10 bound.
+pub fn e10_recursive(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E10: Theorem 10 — recursive BFDN_l on deep trees (l=0 row is plain BFDN)",
+        &[
+            "tree",
+            "n",
+            "D",
+            "k",
+            "l",
+            "rounds",
+            "bound",
+            "rounds/bound",
+        ],
+    );
+    let base = scale.size(2_048);
+    let k = match scale {
+        Scale::Quick => 16,
+        Scale::Full => 64,
+    };
+    let instances: Vec<(&str, Tree)> = vec![
+        // Shallow and bushy: the 2n/k work term dominates — plain BFDN's
+        // side of the crossover.
+        (
+            "bushy",
+            generators::complete_bary(4, ((base as f64).log2() / 2.0) as usize),
+        ),
+        // A deep caterpillar with k legs per spine node: every leg at
+        // depth d costs plain BFDN a 2d root round-trip, the recursion
+        // only a local trip — the regime where BFDN_l wins outright.
+        ("deep-caterpillar", generators::caterpillar(base / 4, k)),
+        // Broom: one long handle then parallel bristles.
+        ("broom", generators::broom(base / 2, 16, base / 64)),
+        // The extreme: a bare path (depth = n, inherently sequential).
+        ("path", generators::path(base)),
+    ];
+    for (name, tree) in instances {
+        let mut plain = Bfdn::new(k);
+        let plain_rounds = Simulator::new(&tree, k)
+            .run(&mut plain)
+            .unwrap_or_else(|e| panic!("E10 bfdn {name}: {e}"))
+            .rounds;
+        table.row(vec![
+            name.into(),
+            tree.len().to_string(),
+            tree.depth().to_string(),
+            k.to_string(),
+            "0".into(),
+            plain_rounds.to_string(),
+            "-".into(),
+            "-".into(),
+        ]);
+        for ell in [1u32, 2, 3] {
+            let mut algo = BfdnL::new(k, ell);
+            let rounds = Simulator::new(&tree, k)
+                .run(&mut algo)
+                .unwrap_or_else(|e| panic!("E10 bfdn_l{ell} {name}: {e}"))
+                .rounds;
+            let bound = theorem10_bound(tree.len(), tree.depth(), k, tree.max_degree(), ell);
+            assert!(
+                (rounds as f64) <= bound,
+                "E10 violation: {name} ℓ={ell}: {rounds} > {bound}"
+            );
+            table.row(vec![
+                name.into(),
+                tree.len().to_string(),
+                tree.depth().to_string(),
+                k.to_string(),
+                ell.to_string(),
+                rounds.to_string(),
+                format!("{bound:.0}"),
+                format!("{:.3}", rounds as f64 / bound),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_passes() {
+        let t = e10_recursive(Scale::Quick);
+        assert_eq!(t.len(), 4 * 4);
+    }
+
+    #[test]
+    fn recursion_beats_plain_on_the_deep_caterpillar() {
+        // The headline of Theorem 10, measured. Needs a depth where the
+        // 2d root round-trips dominate, hence a slightly larger run.
+        use bfdn_sim::Simulator;
+        let k = 64;
+        let tree = bfdn_trees::generators::caterpillar(400, k);
+        let mut plain = bfdn::Bfdn::new(k);
+        let plain_rounds = Simulator::new(&tree, k).run(&mut plain).unwrap().rounds;
+        let mut rec = bfdn::BfdnL::new(k, 2);
+        let rec_rounds = Simulator::new(&tree, k).run(&mut rec).unwrap().rounds;
+        assert!(
+            rec_rounds * 3 < plain_rounds * 2,
+            "BFDN_2 ({rec_rounds}) should beat plain BFDN ({plain_rounds}) by ≥ 1.5x"
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! E11 — The resource-allocation interpretation of Section 3: `k`
+//! workers on `k` tasks of unknown length; least-crowded reassignment
+//! bounds total task switches by `k·log k + 2k`.
+
+use crate::{Scale, Table};
+use urn_game::allocation::{run, ReassignPolicy};
+use urn_game::theorem3_bound;
+
+fn lengths(kind: &str, k: usize) -> Vec<u64> {
+    match kind {
+        "equal" => vec![64; k],
+        "geometric" => (0..k).map(|i| 1u64 << (i % 12)).collect(),
+        "linear" => (1..=k as u64).map(|i| i * 4).collect(),
+        "one-giant" => {
+            let mut v = vec![1u64; k];
+            v[0] = 8 * k as u64;
+            v
+        }
+        _ => unreachable!("unknown workload kind"),
+    }
+}
+
+/// Runs E11: one row per (k, workload, policy).
+///
+/// # Panics
+///
+/// Panics if the least-crowded policy exceeds the `k·log k + 2k` switch
+/// bound.
+pub fn e11_allocation(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E11: online resource allocation — task switches vs k·log k + 2k",
+        &[
+            "k",
+            "workload",
+            "policy",
+            "rounds",
+            "switches",
+            "bound",
+            "switches/bound",
+        ],
+    );
+    let ks: &[usize] = match scale {
+        Scale::Quick => &[16, 64],
+        Scale::Full => &[16, 64, 256, 1024],
+    };
+    for &k in ks {
+        for kind in ["equal", "geometric", "linear", "one-giant"] {
+            let ls = lengths(kind, k);
+            for policy in [
+                ReassignPolicy::LeastCrowded,
+                ReassignPolicy::MostCrowded,
+                ReassignPolicy::random(0xE11),
+                ReassignPolicy::RoundRobin { next: 0 },
+            ] {
+                let name = policy.name();
+                let out = run(&ls, k, policy);
+                let bound = theorem3_bound(k, k);
+                if name == "least-crowded" {
+                    assert!(
+                        (out.switches as f64) <= bound,
+                        "E11 violation: k={k} {kind}: {} > {bound}",
+                        out.switches
+                    );
+                }
+                table.row(vec![
+                    k.to_string(),
+                    kind.into(),
+                    name.into(),
+                    out.rounds.to_string(),
+                    out.switches.to_string(),
+                    format!("{bound:.0}"),
+                    format!("{:.3}", out.switches as f64 / bound),
+                ]);
+            }
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_passes_and_equal_tasks_never_switch() {
+        let t = e11_allocation(Scale::Quick);
+        let (wl, pol, sw) = (t.col("workload"), t.col("policy"), t.col("switches"));
+        for r in 0..t.len() {
+            if t.cell(r, wl) == "equal" && t.cell(r, pol) == "least-crowded" {
+                assert_eq!(t.cell(r, sw), "0");
+            }
+        }
+    }
+}

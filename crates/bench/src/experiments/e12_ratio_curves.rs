@@ -1,0 +1,103 @@
+//! E12 — Competitive-ratio curves: how the ratio
+//! `rounds / (n/k + D)` evolves with `k` for BFDN vs CTE.
+//!
+//! The paper's story in one sweep: CTE's ratio is `Θ(k/log k)` in the
+//! worst case (here realized by the uneven star), while BFDN's
+//! *overhead* form keeps its ratio flat wherever `D²·log k ≪ n/k` — and
+//! on bushy trees both stay near the optimum.
+
+use crate::{Scale, Table};
+use bfdn::Bfdn;
+use bfdn_analysis::competitive_ratio;
+use bfdn_baselines::Cte;
+use bfdn_sim::Simulator;
+use bfdn_trees::{generators, Tree};
+use rand::SeedableRng;
+
+/// Runs E12: one row per (workload, k) with both ratios.
+pub fn e12_ratio_curves(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E12: competitive ratio rounds/(n/k + D) as k grows — BFDN vs CTE",
+        &["tree", "n", "D", "k", "bfdn_ratio", "cte_ratio", "cte/bfdn"],
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xE12);
+    let depth = scale.size(2_048) / 8;
+    let n = scale.size(16_000);
+    let ks: &[usize] = match scale {
+        Scale::Quick => &[2, 8, 32],
+        Scale::Full => &[2, 8, 32, 128, 512],
+    };
+    let workloads: Vec<(&str, Tree)> = vec![
+        // The CTE-adversarial family: ratio should climb ~k/log k.
+        ("uneven-star", {
+            let legs = 4 * ks.last().copied().unwrap_or(32);
+            generators::uneven_star(legs, depth)
+        }),
+        // The BFDN-friendly regime: both ratios stay near 1.
+        (
+            "random-recursive",
+            generators::random_recursive(n, &mut rng),
+        ),
+    ];
+    for (name, tree) in &workloads {
+        for &k in ks {
+            let mut bfdn = Bfdn::new(k);
+            let b = Simulator::new(tree, k)
+                .run(&mut bfdn)
+                .unwrap_or_else(|e| panic!("E12 bfdn {name} k={k}: {e}"))
+                .rounds;
+            let mut cte = Cte::new(k);
+            let c = Simulator::new(tree, k)
+                .run(&mut cte)
+                .unwrap_or_else(|e| panic!("E12 cte {name} k={k}: {e}"))
+                .rounds;
+            let br = competitive_ratio(b as f64, tree.len(), tree.depth(), k);
+            let cr = competitive_ratio(c as f64, tree.len(), tree.depth(), k);
+            table.row(vec![
+                (*name).into(),
+                tree.len().to_string(),
+                tree.depth().to_string(),
+                k.to_string(),
+                format!("{br:.2}"),
+                format!("{cr:.2}"),
+                format!("{:.2}", cr / br),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cte_ratio_grows_on_the_uneven_star_while_bfdn_stays_flat() {
+        let t = e12_ratio_curves(Scale::Quick);
+        let (tree_col, k_col, b_col, c_col) = (
+            t.col("tree"),
+            t.col("k"),
+            t.col("bfdn_ratio"),
+            t.col("cte_ratio"),
+        );
+        let star_rows: Vec<usize> = (0..t.len())
+            .filter(|&r| t.cell(r, tree_col) == "uneven-star")
+            .collect();
+        let first = star_rows[0];
+        let last = *star_rows.last().unwrap();
+        let _ = k_col;
+        let cte_first: f64 = t.cell(first, c_col).parse().unwrap();
+        let cte_last: f64 = t.cell(last, c_col).parse().unwrap();
+        // Quick scale only sweeps k up to 32; the climb is modest there
+        // (the full-scale table shows the Θ(k/log k) growth).
+        assert!(
+            cte_last > 1.3 * cte_first,
+            "CTE ratio should climb with k: {cte_first} -> {cte_last}"
+        );
+        let bfdn_last: f64 = t.cell(last, b_col).parse().unwrap();
+        assert!(
+            bfdn_last < cte_last / 2.0,
+            "BFDN stays far below CTE at large k ({bfdn_last} vs {cte_last})"
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! E13 — Seed-robustness: the random-workload numbers elsewhere in the
+//! suite come from single seeds; this sweep re-runs BFDN and CTE over
+//! many seeds and reports mean ± standard deviation, so `EXPERIMENTS.md`
+//! can claim the shapes are not seed artifacts.
+
+use crate::{Scale, Table};
+use bfdn::{theorem1_bound, Bfdn};
+use bfdn_baselines::Cte;
+use bfdn_sim::Simulator;
+use bfdn_trees::generators::Family;
+use rand::SeedableRng;
+
+fn mean_sd(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n.max(1.0);
+    (mean, var.sqrt())
+}
+
+/// Runs E13: one row per (random family, k) with statistics over seeds.
+///
+/// # Panics
+///
+/// Panics if any single run violates Theorem 1.
+pub fn e13_statistics(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E13: seed robustness — mean ± sd over seeds (random families)",
+        &[
+            "family",
+            "n",
+            "k",
+            "seeds",
+            "bfdn_mean",
+            "bfdn_sd",
+            "cte_mean",
+            "cte_sd",
+            "worst_bound_ratio",
+        ],
+    );
+    let n = scale.size(6_000);
+    let seeds: u64 = match scale {
+        Scale::Quick => 4,
+        Scale::Full => 12,
+    };
+    let ks: &[usize] = match scale {
+        Scale::Quick => &[8],
+        Scale::Full => &[4, 16, 64],
+    };
+    for fam in [
+        Family::RandomRecursive,
+        Family::UniformLabeled,
+        Family::RandomBoundedDegree,
+    ] {
+        for &k in ks {
+            let mut bfdn_rounds = Vec::new();
+            let mut cte_rounds = Vec::new();
+            let mut worst_ratio = 0f64;
+            for seed in 0..seeds {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(0xE13_000 + seed);
+                let tree = fam.instance(n, &mut rng);
+                let mut bfdn = Bfdn::new(k);
+                let b = Simulator::new(&tree, k)
+                    .run(&mut bfdn)
+                    .unwrap_or_else(|e| panic!("E13 bfdn {fam} k={k} seed={seed}: {e}"))
+                    .rounds as f64;
+                let bound = theorem1_bound(tree.len(), tree.depth(), k, tree.max_degree());
+                assert!(b <= bound, "E13 violation: {fam} k={k} seed={seed}");
+                worst_ratio = worst_ratio.max(b / bound);
+                bfdn_rounds.push(b);
+                let mut cte = Cte::new(k);
+                let c = Simulator::new(&tree, k)
+                    .run(&mut cte)
+                    .unwrap_or_else(|e| panic!("E13 cte {fam} k={k} seed={seed}: {e}"))
+                    .rounds as f64;
+                cte_rounds.push(c);
+            }
+            let (bm, bs) = mean_sd(&bfdn_rounds);
+            let (cm, cs) = mean_sd(&cte_rounds);
+            table.row(vec![
+                fam.name().into(),
+                n.to_string(),
+                k.to_string(),
+                seeds.to_string(),
+                format!("{bm:.0}"),
+                format!("{bs:.1}"),
+                format!("{cm:.0}"),
+                format!("{cs:.1}"),
+                format!("{worst_ratio:.3}"),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statistics_are_stable_at_quick_scale() {
+        let t = e13_statistics(Scale::Quick);
+        assert_eq!(t.len(), 3);
+        // Relative spread stays small on these concentrated families.
+        let (m, s) = (t.col("bfdn_mean"), t.col("bfdn_sd"));
+        for r in 0..t.len() {
+            let mean: f64 = t.cell(r, m).parse().unwrap();
+            let sd: f64 = t.cell(r, s).parse().unwrap();
+            assert!(sd < mean * 0.25, "row {r}: sd {sd} vs mean {mean}");
+        }
+    }
+}

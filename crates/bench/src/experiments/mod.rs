@@ -1,0 +1,32 @@
+//! Experiments E1–E13 plus the A1 ablations (see `DESIGN.md` for the
+//! index).
+
+mod ablations;
+mod e01_theorem1;
+mod e02_overhead;
+mod e03_urn_game;
+mod e04_lemma2;
+mod e05_figure1;
+mod e06_cte_adversarial;
+mod e07_write_read;
+mod e08_breakdowns;
+mod e09_graphs;
+mod e10_recursive;
+mod e11_allocation;
+mod e12_ratio_curves;
+mod e13_statistics;
+
+pub use ablations::a1_ablations;
+pub use e01_theorem1::e1_theorem1_bound;
+pub use e02_overhead::e2_overhead_comparison;
+pub use e03_urn_game::e3_urn_game;
+pub use e04_lemma2::e4_lemma2_reanchors;
+pub use e05_figure1::{e5_figure1, Figure1};
+pub use e06_cte_adversarial::e6_cte_adversarial;
+pub use e07_write_read::e7_write_read;
+pub use e08_breakdowns::e8_breakdowns;
+pub use e09_graphs::e9_graphs;
+pub use e10_recursive::e10_recursive;
+pub use e11_allocation::e11_allocation;
+pub use e12_ratio_curves::e12_ratio_curves;
+pub use e13_statistics::e13_statistics;

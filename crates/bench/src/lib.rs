@@ -1,0 +1,38 @@
+//! The experiment harness: one module per experiment of `DESIGN.md`'s
+//! index (E1–E13 plus the A1 ablations), each regenerating a table that
+//! `EXPERIMENTS.md` records. The `experiments` binary drives them; the
+//! criterion benches under `benches/` measure wall-clock implementation
+//! costs and the ablations; the `explore` binary runs one-off scenarios.
+//!
+//! Every experiment function is pure computation returning a [`Table`],
+//! so the test-suite can assert on the same numbers the binary prints.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod experiments;
+mod table;
+
+pub use table::Table;
+
+/// Scale knob shared by all experiments: `quick` keeps every run under a
+/// couple of seconds (CI), `full` is the laptop-scale configuration the
+/// committed `EXPERIMENTS.md` numbers come from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Small instances for CI and tests.
+    Quick,
+    /// The configuration reported in `EXPERIMENTS.md`.
+    Full,
+}
+
+impl Scale {
+    /// Scales a "full" size down in quick mode.
+    pub fn size(self, full: usize) -> usize {
+        match self {
+            Scale::Quick => (full / 8).max(32),
+            Scale::Full => full,
+        }
+    }
+}

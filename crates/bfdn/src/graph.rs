@@ -1,0 +1,508 @@
+//! Collaborative exploration of non-tree graphs (Section 4.3,
+//! Proposition 9).
+//!
+//! BFDN runs on a general graph after one modification: a robot that
+//! traverses a dangling (never-traversed) edge and arrives at a node that
+//! is (1) already explored, or (2) not strictly farther from the origin
+//! than the edge's first endpoint, goes back where it came from and
+//! *closes* the edge — it is never used again. In case (2) the reached
+//! node does not count as explored.
+//!
+//! Under the assumption that robots always know their distance to the
+//! origin in the underlying graph (true e.g. for grid graphs with
+//! rectangular obstacles, where the distance is the Manhattan distance),
+//! the never-closed edges form a breadth-first tree of the graph, which
+//! BFDN explores with its usual guarantee; closed edges cost at most two
+//! traversals each. Proposition 9: at most
+//! `2m/k + D²(min{log Δ, log k} + 3)` rounds for a graph with `m` edges
+//! and radius `D`.
+//!
+//! The exploration loop is self-contained (complete-communication model);
+//! the fog of war is maintained in the `Known` structure below, and every
+//! decision reads only `Known` plus the current robot's own distance —
+//! exactly the information the model grants.
+
+use crate::bounds::proposition9_bound;
+use bfdn_trees::{Graph, NodeId, Port};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+/// What the team knows about one port of an explored node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+enum PortStatus {
+    /// Never traversed — the graph analogue of a dangling edge.
+    #[default]
+    Unknown,
+    /// The BFS-tree edge towards the origin.
+    Parent,
+    /// A BFS-tree edge to a child.
+    Child(NodeId),
+    /// Probed and closed (led to an explored or not-strictly-farther
+    /// node).
+    Closed,
+}
+
+/// Fog-of-war state for the graph setting.
+#[derive(Clone, Debug)]
+struct Known {
+    /// Per explored node: status of each port. Unexplored nodes have no
+    /// entry.
+    ports: HashMap<NodeId, Vec<PortStatus>>,
+    /// BFS-tree parent (node, port-at-child-towards-parent).
+    parent: HashMap<NodeId, (NodeId, Port)>,
+    /// Depth = known distance to the origin.
+    depth: HashMap<NodeId, usize>,
+    /// Half-edges closed from afar (the far endpoint was unexplored at
+    /// closing time).
+    closed_halves: HashSet<(NodeId, Port)>,
+    /// Open nodes (≥ 1 unknown port) by depth.
+    open_by_depth: Vec<BTreeSet<NodeId>>,
+    /// Total unknown ports.
+    unknown: usize,
+}
+
+impl Known {
+    fn new(graph: &Graph, origin: NodeId) -> Self {
+        let mut k = Known {
+            ports: HashMap::new(),
+            parent: HashMap::new(),
+            depth: HashMap::new(),
+            closed_halves: HashSet::new(),
+            open_by_depth: Vec::new(),
+            unknown: 0,
+        };
+        k.explore_node(graph, origin, 0, None);
+        k
+    }
+
+    fn is_explored(&self, v: NodeId) -> bool {
+        self.ports.contains_key(&v)
+    }
+
+    fn explore_node(
+        &mut self,
+        graph: &Graph,
+        v: NodeId,
+        depth: usize,
+        parent: Option<(NodeId, Port)>,
+    ) {
+        let deg = graph.degree(v);
+        let mut statuses = vec![PortStatus::Unknown; deg];
+        let mut unknown_here = deg;
+        if let Some((_, back)) = parent {
+            statuses[back.index()] = PortStatus::Parent;
+            unknown_here -= 1;
+        }
+        for (p, s) in statuses.iter_mut().enumerate() {
+            if *s == PortStatus::Unknown && self.closed_halves.remove(&(v, Port::new(p))) {
+                *s = PortStatus::Closed;
+                unknown_here -= 1;
+            }
+        }
+        self.ports.insert(v, statuses);
+        self.depth.insert(v, depth);
+        if let Some(par) = parent {
+            self.parent.insert(v, par);
+        }
+        self.unknown += unknown_here;
+        if self.open_by_depth.len() <= depth {
+            self.open_by_depth.resize_with(depth + 1, BTreeSet::new);
+        }
+        if unknown_here > 0 {
+            self.open_by_depth[depth].insert(v);
+        }
+    }
+
+    fn set_status(&mut self, v: NodeId, p: Port, status: PortStatus) {
+        let d = self.depth[&v];
+        let ports = self.ports.get_mut(&v).expect("status of explored node");
+        debug_assert_eq!(ports[p.index()], PortStatus::Unknown);
+        ports[p.index()] = status;
+        self.unknown -= 1;
+        if !ports.contains(&PortStatus::Unknown) {
+            self.open_by_depth[d].remove(&v);
+        }
+    }
+
+    /// Closes the half-edge `(v, p)`; works whether or not `v` is
+    /// explored yet.
+    fn close_half(&mut self, v: NodeId, p: Port) {
+        if let Some(ports) = self.ports.get(&v) {
+            if ports[p.index()] == PortStatus::Unknown {
+                self.set_status(v, p, PortStatus::Closed);
+            }
+        } else {
+            self.closed_halves.insert((v, p));
+        }
+    }
+
+    fn unknown_ports(&self, v: NodeId) -> impl Iterator<Item = Port> + '_ {
+        self.ports[&v]
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s == PortStatus::Unknown)
+            .map(|(i, _)| Port::new(i))
+    }
+
+    fn min_open_depth(&self) -> Option<usize> {
+        self.open_by_depth.iter().position(|s| !s.is_empty())
+    }
+}
+
+/// Per-robot control state.
+#[derive(Clone, Debug)]
+enum RState {
+    /// Descending to the anchor along BFS-tree edges.
+    Bf(Vec<Port>),
+    /// Depth-next walking.
+    Dn,
+    /// Returning through `port` after probing a closing edge.
+    Backtrack(Port),
+}
+
+/// Result of a graph exploration run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphOutcome {
+    /// Rounds until every edge was resolved and all robots returned.
+    pub rounds: u64,
+    /// Edges that ended up in the breadth-first tree.
+    pub tree_edges: u64,
+    /// Edges that were probed and closed.
+    pub closed_edges: u64,
+    /// The Proposition 9 bound for this instance.
+    pub bound: f64,
+}
+
+impl fmt::Display for GraphOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rounds={} tree_edges={} closed_edges={} bound={:.1}",
+            self.rounds, self.tree_edges, self.closed_edges, self.bound
+        )
+    }
+}
+
+/// Errors of [`GraphBfdn::explore`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// Some node is unreachable from the origin.
+    Disconnected,
+    /// The safety round limit was exceeded (indicates a bug).
+    RoundLimit(u64),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Disconnected => write!(f, "graph is not connected from the origin"),
+            GraphError::RoundLimit(l) => write!(f, "round limit {l} exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// The BFDN variant for non-tree graphs (Proposition 9).
+///
+/// # Example
+///
+/// ```
+/// use bfdn::GraphBfdn;
+/// use bfdn_trees::grid::{GridGraph, Rect};
+///
+/// let grid = GridGraph::new(8, 6, &[Rect::new(2, 2, 4, 4)]);
+/// let outcome = GraphBfdn::explore(grid.graph(), grid.origin(), 4)?;
+/// assert!((outcome.rounds as f64) <= outcome.bound);
+/// # Ok::<(), bfdn::GraphError>(())
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct GraphBfdn;
+
+impl GraphBfdn {
+    /// Explores `graph` from `origin` with `k` robots; robots know their
+    /// distance to the origin at all times (Proposition 9's assumption).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::Disconnected`] if some node is unreachable from
+    /// `origin`; [`GraphError::RoundLimit`] if exploration stalls (a
+    /// bug, not an expected outcome).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn explore(graph: &Graph, origin: NodeId, k: usize) -> Result<GraphOutcome, GraphError> {
+        assert!(k >= 1, "need at least one robot");
+        let dist_table = graph.bfs_distances(origin);
+        if dist_table.iter().any(Option::is_none) {
+            return Err(GraphError::Disconnected);
+        }
+        // `dist(v)` below is only consulted for the node a robot stands
+        // on or arrives at — the knowledge Proposition 9 grants.
+        let dist = |v: NodeId| dist_table[v.index()].expect("connected");
+
+        let mut known = Known::new(graph, origin);
+        let mut positions = vec![origin; k];
+        let mut states: Vec<RState> = vec![RState::Dn; k];
+        let mut anchors = vec![origin; k];
+        let mut loads: HashMap<NodeId, u32> = HashMap::new();
+        loads.insert(origin, k as u32);
+        let m = graph.num_edges() as u64;
+        let radius = graph.radius_from(origin);
+        let max_rounds = 64 * (m + 2) * (radius as u64 + 2) + 1024;
+        let mut rounds = 0u64;
+        let mut closed_edges = 0u64;
+
+        loop {
+            let done = known.unknown == 0 && positions.iter().all(|&p| p == origin);
+            if done {
+                break;
+            }
+            if rounds >= max_rounds {
+                return Err(GraphError::RoundLimit(max_rounds));
+            }
+            // Selection phase (sequential, as in Algorithm 1).
+            let mut selected: HashSet<(NodeId, Port)> = HashSet::new();
+            let mut moves: Vec<Option<Port>> = vec![None; k];
+            for i in 0..k {
+                let pos = positions[i];
+                if let RState::Backtrack(port) = states[i] {
+                    moves[i] = Some(port);
+                    states[i] = RState::Dn;
+                    continue;
+                }
+                let is_bf_empty = matches!(&states[i], RState::Bf(s) if s.is_empty());
+                if is_bf_empty {
+                    states[i] = RState::Dn;
+                }
+                if pos == origin && matches!(states[i], RState::Dn) {
+                    // Reanchor: open node of minimum depth, least load.
+                    let new_anchor = match known.min_open_depth() {
+                        Some(d) => {
+                            let mut best: Option<(u32, NodeId)> = None;
+                            for v in known.open_by_depth[d].iter().copied() {
+                                let load = loads.get(&v).copied().unwrap_or(0);
+                                if load == 0 {
+                                    best = Some((0, v));
+                                    break;
+                                }
+                                if best.is_none_or(|(bl, _)| load < bl) {
+                                    best = Some((load, v));
+                                }
+                            }
+                            best.expect("open depth has nodes").1
+                        }
+                        None => origin,
+                    };
+                    let old = anchors[i];
+                    if old != new_anchor {
+                        if let Some(l) = loads.get_mut(&old) {
+                            *l = l.saturating_sub(1);
+                        }
+                        *loads.entry(new_anchor).or_insert(0) += 1;
+                        anchors[i] = new_anchor;
+                    }
+                    // Build the BF stack along BFS-tree parent links.
+                    let mut stack = Vec::new();
+                    let mut cur = new_anchor;
+                    while cur != origin {
+                        let (par, back) = known.parent[&cur];
+                        // The port at the parent leading to `cur`:
+                        let down = graph.endpoint(cur, back).expect("parent edge").back;
+                        stack.push(down);
+                        cur = par;
+                    }
+                    states[i] = RState::Bf(stack);
+                }
+                match &mut states[i] {
+                    RState::Bf(stack) => {
+                        if let Some(port) = stack.pop() {
+                            moves[i] = Some(port);
+                            continue;
+                        }
+                        states[i] = RState::Dn;
+                    }
+                    RState::Dn => {}
+                    RState::Backtrack(_) => unreachable!("handled above"),
+                }
+                // DN: lowest unknown unselected port, else up.
+                let mut chosen = None;
+                for port in known.unknown_ports(pos) {
+                    if selected.insert((pos, port)) {
+                        chosen = Some(port);
+                        break;
+                    }
+                }
+                moves[i] = match chosen {
+                    Some(p) => Some(p),
+                    None => {
+                        if pos == origin {
+                            None // ⊥
+                        } else {
+                            Some(known.parent[&pos].1)
+                        }
+                    }
+                };
+            }
+            // Move phase: apply synchronously; resolve probe arrivals in
+            // robot order.
+            for i in 0..k {
+                let Some(port) = moves[i] else { continue };
+                let u = positions[i];
+                // Backtracking robots may stand on an unexplored node
+                // (case 2) — their return hop is never a probe.
+                let was_unknown = known
+                    .ports
+                    .get(&u)
+                    .is_some_and(|ps| ps[port.index()] == PortStatus::Unknown);
+                let e = graph.endpoint(u, port).expect("valid port");
+                positions[i] = e.node;
+                if !was_unknown {
+                    continue;
+                }
+                // Probe resolution.
+                let w = e.node;
+                if known.is_explored(w) {
+                    // Case (1): already explored — close both halves.
+                    known.set_status(u, port, PortStatus::Closed);
+                    known.close_half(w, e.back);
+                    closed_edges += 1;
+                    states[i] = RState::Backtrack(e.back);
+                } else if dist(w) <= dist(u) {
+                    // Case (2): not strictly farther — close; `w` stays
+                    // unexplored.
+                    known.set_status(u, port, PortStatus::Closed);
+                    known.close_half(w, e.back);
+                    closed_edges += 1;
+                    states[i] = RState::Backtrack(e.back);
+                } else {
+                    // A BFS-tree edge: `w` becomes explored.
+                    known.set_status(u, port, PortStatus::Child(w));
+                    known.explore_node(graph, w, dist(w), Some((u, e.back)));
+                }
+            }
+            rounds += 1;
+        }
+
+        Ok(GraphOutcome {
+            rounds,
+            tree_edges: graph.len() as u64 - 1,
+            closed_edges,
+            bound: proposition9_bound(graph.num_edges(), radius, k, graph.max_degree()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfdn_trees::grid::{GridGraph, Rect};
+    use bfdn_trees::GraphBuilder;
+
+    fn cycle(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n {
+            b.add_edge(NodeId::new(i), NodeId::new((i + 1) % n));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn explores_a_cycle() {
+        for n in [3usize, 4, 7, 20] {
+            for k in [1usize, 2, 5] {
+                let g = cycle(n);
+                let out = GraphBfdn::explore(&g, NodeId::new(0), k)
+                    .unwrap_or_else(|e| panic!("cycle n={n} k={k}: {e}"));
+                assert!((out.rounds as f64) <= out.bound, "n={n} k={k}");
+                // A cycle has exactly one non-tree edge.
+                assert_eq!(out.closed_edges, 1, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn explores_complete_graphs() {
+        for n in [3usize, 5, 8] {
+            let mut b = GraphBuilder::new(n);
+            for i in 0..n {
+                for j in i + 1..n {
+                    b.add_edge(NodeId::new(i), NodeId::new(j));
+                }
+            }
+            let g = b.build();
+            for k in [1usize, 4] {
+                let out = GraphBfdn::explore(&g, NodeId::new(0), k).unwrap();
+                assert!((out.rounds as f64) <= out.bound);
+                assert_eq!(
+                    out.closed_edges as usize,
+                    g.num_edges() - (n - 1),
+                    "n={n} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn explores_grids_with_obstacles() {
+        let grids = [
+            GridGraph::new(6, 6, &[]),
+            GridGraph::new(8, 5, &[Rect::new(2, 1, 4, 3)]),
+            GridGraph::new(10, 10, &[Rect::new(1, 1, 3, 8), Rect::new(5, 2, 9, 4)]),
+        ];
+        for grid in &grids {
+            for k in [1usize, 3, 8, 16] {
+                let out = GraphBfdn::explore(grid.graph(), grid.origin(), k).unwrap();
+                assert!(
+                    (out.rounds as f64) <= out.bound,
+                    "{}x{} k={k}: {} > {}",
+                    grid.width(),
+                    grid.height(),
+                    out.rounds,
+                    out.bound
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tree_graphs_close_nothing() {
+        // A path as a graph: no cycles, no closed edges.
+        let mut b = GraphBuilder::new(6);
+        for i in 0..5 {
+            b.add_edge(NodeId::new(i), NodeId::new(i + 1));
+        }
+        let g = b.build();
+        let out = GraphBfdn::explore(&g, NodeId::new(0), 2).unwrap();
+        assert_eq!(out.closed_edges, 0);
+    }
+
+    #[test]
+    fn disconnected_graph_is_an_error() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId::new(0), NodeId::new(1));
+        let g = b.build();
+        assert_eq!(
+            GraphBfdn::explore(&g, NodeId::new(0), 2),
+            Err(GraphError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn every_edge_is_resolved() {
+        // tree edges + closed edges == total edges on a mixed graph.
+        let grid = GridGraph::new(7, 4, &[Rect::new(3, 1, 4, 3)]);
+        let g = grid.graph();
+        let out = GraphBfdn::explore(g, grid.origin(), 5).unwrap();
+        assert_eq!(out.tree_edges + out.closed_edges, g.num_edges() as u64);
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let g = GraphBuilder::new(1).build();
+        let out = GraphBfdn::explore(&g, NodeId::new(0), 3).unwrap();
+        assert_eq!(out.rounds, 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for `BFDN_ℓ`: arbitrary trees, arbitrary team
+//! sizes, all recursion parameters — Theorem 10 must hold and every edge
+//! must be explored.
+
+use bfdn::{theorem10_bound, BfdnL};
+use bfdn_sim::Simulator;
+use bfdn_trees::{NodeId, Tree, TreeBuilder};
+use proptest::prelude::*;
+
+fn tree_from_choices(choices: &[usize]) -> Tree {
+    let mut b = TreeBuilder::with_capacity(choices.len() + 1);
+    for (i, &c) in choices.iter().enumerate() {
+        b.add_child(NodeId::new(c % (i + 1)));
+    }
+    b.build()
+}
+
+/// Trees biased towards depth (recent-parent attachment).
+fn arb_deep_tree() -> impl Strategy<Value = Tree> {
+    prop::collection::vec(0usize..3, 1..200).prop_map(|c| {
+        let mut b = TreeBuilder::with_capacity(c.len() + 1);
+        for (i, &back) in c.iter().enumerate() {
+            b.add_child(NodeId::new(i.saturating_sub(back)));
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn theorem10_holds_on_arbitrary_trees(
+        choices in prop::collection::vec(any::<usize>(), 1..200),
+        k in 1usize..28,
+        ell in 1u32..4,
+    ) {
+        let tree = tree_from_choices(&choices);
+        let mut algo = BfdnL::new(k, ell);
+        let outcome = Simulator::new(&tree, k)
+            .run(&mut algo)
+            .unwrap_or_else(|e| panic!("BFDN_{ell} stuck on {tree} k={k}: {e}"));
+        prop_assert_eq!(outcome.metrics.edges_discovered, tree.num_edges() as u64);
+        let bound = theorem10_bound(tree.len(), tree.depth(), k, tree.max_degree(), ell);
+        prop_assert!(
+            (outcome.rounds as f64) <= bound,
+            "{} > {bound} on {tree} k={k} ℓ={ell}", outcome.rounds
+        );
+    }
+
+    #[test]
+    fn theorem10_holds_on_deep_trees(tree in arb_deep_tree(), k in 1usize..20, ell in 1u32..4) {
+        let mut algo = BfdnL::new(k, ell);
+        let outcome = Simulator::new(&tree, k)
+            .run(&mut algo)
+            .unwrap_or_else(|e| panic!("BFDN_{ell} stuck on {tree} k={k}: {e}"));
+        prop_assert_eq!(outcome.metrics.edges_discovered, tree.num_edges() as u64);
+        let bound = theorem10_bound(tree.len(), tree.depth(), k, tree.max_degree(), ell);
+        prop_assert!((outcome.rounds as f64) <= bound);
+    }
+
+    /// The custom depth schedule must also explore everything.
+    #[test]
+    fn growth_schedules_explore(tree in arb_deep_tree(), base in 2u32..5) {
+        let k = 9;
+        let mut algo = BfdnL::with_growth(k, 2, base);
+        let outcome = Simulator::new(&tree, k)
+            .run(&mut algo)
+            .unwrap_or_else(|e| panic!("growth {base} stuck on {tree}: {e}"));
+        prop_assert_eq!(outcome.metrics.edges_discovered, tree.num_edges() as u64);
+    }
+
+    /// All robots end the run back at the root (the paper's objective
+    /// includes the return).
+    #[test]
+    fn everyone_returns_home(tree in arb_deep_tree(), k in 1usize..12, ell in 1u32..4) {
+        let mut algo = BfdnL::new(k, ell);
+        let mut sim = Simulator::new(&tree, k);
+        sim.run(&mut algo).unwrap();
+        prop_assert!(sim.positions().iter().all(|p| p.is_root()));
+        prop_assert!(sim.partial().is_complete());
+    }
+}

@@ -1,0 +1,61 @@
+//! Synchronous round-based simulation of collaborative tree exploration.
+//!
+//! This crate implements the model of Section 2 of the paper: `k` robots
+//! start at the root of an *unknown* tree; at each round every robot
+//! moves along one incident edge (or stays); edges adjacent to newly
+//! occupied nodes become *discovered*; exploration is complete when every
+//! edge has been traversed and (in the standard setting) all robots are
+//! back at the root.
+//!
+//! The [`Simulator`] owns the ground-truth [`Tree`](bfdn_trees::Tree) and
+//! the fog-of-war [`PartialTree`](bfdn_trees::PartialTree); an
+//! [`Explorer`] only ever sees the latter, so the information discipline
+//! of the online model holds by construction.
+//!
+//! Movement adversaries (Section 4.2's break-downs) are modelled by
+//! [`MoveSchedule`]s that decide, per round and robot, who is allowed to
+//! move.
+//!
+//! # Example
+//!
+//! ```
+//! use bfdn_sim::{Explorer, Move, RoundContext, Simulator};
+//! use bfdn_trees::generators;
+//!
+//! /// One robot walking an online DFS.
+//! struct Dfs;
+//! impl Explorer for Dfs {
+//!     fn select_moves(&mut self, ctx: &RoundContext<'_>, out: &mut [Move]) {
+//!         let at = ctx.positions[0];
+//!         out[0] = match ctx.tree.dangling_ports(at).next() {
+//!             Some(p) => Move::Down(p),
+//!             None => Move::Up,
+//!         };
+//!     }
+//!     fn name(&self) -> &'static str { "dfs" }
+//! }
+//!
+//! let tree = generators::comb(4, 2);
+//! let mut sim = Simulator::new(&tree, 1);
+//! let outcome = sim.run(&mut Dfs).unwrap();
+//! assert_eq!(outcome.rounds, 2 * tree.num_edges() as u64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod explorer;
+mod metrics;
+pub mod render;
+mod schedule;
+mod simulator;
+mod trace;
+
+pub use explorer::{Explorer, Move, RoundContext};
+pub use metrics::Metrics;
+pub use schedule::{
+    AlwaysAllow, BurstStall, MoveSchedule, PostSelectionSchedule, RandomStall, ReactiveStall,
+    RoundRobinStall, TargetedStall,
+};
+pub use simulator::{explore, Outcome, SimError, Simulator, StopCondition};
+pub use trace::{RoundRecord, Trace};

@@ -1,0 +1,185 @@
+//! ASCII rendering of exploration traces — the Rust counterpart of the
+//! Python demo the paper credits (a frame-by-frame view of who stands
+//! where while the fog of war lifts).
+//!
+//! Intended for small trees (tens of nodes); the experiment harness uses
+//! numbers, this module is for eyeballs and documentation.
+
+use crate::Trace;
+use bfdn_trees::{NodeId, Tree};
+
+/// Renders frames of an exploration [`Trace`] over its ground-truth
+/// [`Tree`].
+///
+/// Each frame draws the tree as an indented outline; nodes explored so
+/// far are marked `o` (`?` if still unexplored at that round), and the
+/// robots standing on a node are listed after it.
+///
+/// # Example
+///
+/// ```
+/// use bfdn_sim::{render::TraceRenderer, Explorer, Move, RoundContext, Simulator};
+/// use bfdn_trees::generators;
+///
+/// struct Dfs;
+/// impl Explorer for Dfs {
+///     fn select_moves(&mut self, ctx: &RoundContext<'_>, out: &mut [Move]) {
+///         out[0] = match ctx.tree.dangling_ports(ctx.positions[0]).next() {
+///             Some(p) => Move::Down(p),
+///             None => Move::Up,
+///         };
+///     }
+/// }
+///
+/// let tree = generators::star(2);
+/// let mut sim = Simulator::new(&tree, 1).record_trace();
+/// let outcome = sim.run(&mut Dfs)?;
+/// let renderer = TraceRenderer::new(&tree, outcome.trace.as_ref().unwrap());
+/// let first = renderer.frame(0);
+/// assert!(first.contains("round 0"));
+/// # Ok::<(), bfdn_sim::SimError>(())
+/// ```
+#[derive(Debug)]
+pub struct TraceRenderer<'a> {
+    tree: &'a Tree,
+    trace: &'a Trace,
+}
+
+impl<'a> TraceRenderer<'a> {
+    /// Creates a renderer for a trace recorded on `tree`.
+    pub fn new(tree: &'a Tree, trace: &'a Trace) -> Self {
+        TraceRenderer { tree, trace }
+    }
+
+    /// Number of renderable frames (one per recorded round).
+    pub fn len(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Returns `true` if the trace recorded no rounds.
+    pub fn is_empty(&self) -> bool {
+        self.trace.is_empty()
+    }
+
+    /// Renders the state *after* round `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn frame(&self, index: usize) -> String {
+        let record = &self.trace.records()[index];
+        // A node is explored by round r if any robot stood on it at some
+        // round ≤ r (the root is always explored).
+        let mut explored = vec![false; self.tree.len()];
+        explored[NodeId::ROOT.index()] = true;
+        for rec in &self.trace.records()[..=index] {
+            for &p in &rec.positions {
+                explored[p.index()] = true;
+            }
+        }
+        let mut out = format!("round {}:\n", record.round);
+        let mut stack = vec![(NodeId::ROOT, 0usize)];
+        while let Some((v, depth)) = stack.pop() {
+            let robots: Vec<String> = record
+                .positions
+                .iter()
+                .enumerate()
+                .filter(|&(_, &p)| p == v)
+                .map(|(i, _)| format!("r{i}"))
+                .collect();
+            let mark = if explored[v.index()] { 'o' } else { '?' };
+            out.push_str(&"  ".repeat(depth));
+            out.push(mark);
+            if !robots.is_empty() {
+                out.push_str(" [");
+                out.push_str(&robots.join(" "));
+                out.push(']');
+            }
+            out.push('\n');
+            for &c in self.tree.children(v).iter().rev() {
+                stack.push((c, depth + 1));
+            }
+        }
+        out
+    }
+
+    /// Renders every `stride`-th frame joined by blank lines — a cheap
+    /// animation for documentation and debugging.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`.
+    pub fn animate(&self, stride: usize) -> String {
+        assert!(stride > 0, "stride must be positive");
+        (0..self.trace.len())
+            .step_by(stride)
+            .map(|i| self.frame(i))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Explorer, Move, RoundContext, Simulator};
+    use bfdn_trees::generators;
+
+    struct Dfs;
+    impl Explorer for Dfs {
+        fn select_moves(&mut self, ctx: &RoundContext<'_>, out: &mut [Move]) {
+            for (pos, mv) in ctx.positions.iter().zip(out.iter_mut()) {
+                *mv = match ctx.tree.dangling_ports(*pos).next() {
+                    Some(p) => Move::Down(p),
+                    None => Move::Up,
+                };
+            }
+        }
+    }
+
+    fn traced(tree: &bfdn_trees::Tree, k: usize) -> Trace {
+        let mut sim = Simulator::new(tree, k).record_trace();
+        sim.run(&mut Dfs).unwrap().trace.unwrap()
+    }
+
+    #[test]
+    fn frames_mark_progressive_exploration() {
+        let tree = generators::path(3);
+        let trace = traced(&tree, 1);
+        let r = TraceRenderer::new(&tree, &trace);
+        assert_eq!(r.len(), 6); // 2(n-1) rounds
+        let first = r.frame(0);
+        let last = r.frame(r.len() - 1);
+        assert!(first.contains('?'), "unexplored nodes early: {first}");
+        assert!(
+            !last.contains('?'),
+            "everything explored at the end: {last}"
+        );
+    }
+
+    #[test]
+    fn robots_are_listed_at_their_positions() {
+        let tree = generators::star(2);
+        let trace = traced(&tree, 2);
+        let r = TraceRenderer::new(&tree, &trace);
+        let f = r.frame(0);
+        assert!(f.contains("[r0]") || f.contains("[r0 r1]"), "{f}");
+    }
+
+    #[test]
+    fn animate_concatenates_frames() {
+        let tree = generators::path(2);
+        let trace = traced(&tree, 1);
+        let r = TraceRenderer::new(&tree, &trace);
+        let anim = r.animate(2);
+        assert!(anim.matches("round").count() >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn zero_stride_rejected() {
+        let tree = generators::path(1);
+        let trace = traced(&tree, 1);
+        TraceRenderer::new(&tree, &trace).animate(0);
+    }
+}

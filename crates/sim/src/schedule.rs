@@ -1,0 +1,430 @@
+//! Movement adversaries for the break-down setting of Section 4.2.
+//!
+//! A [`MoveSchedule`] decides, at each round, which robots are allowed to
+//! move (`M_ti = 1` in the paper's notation). The paper's guarantee
+//! (Proposition 7) is that BFDN finishes once the *average allowed moves
+//! per robot* reaches `2n/k + D²(log k + 3)`, for any schedule.
+
+use bfdn_trees::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Decides which robots are allowed to move each round.
+pub trait MoveSchedule {
+    /// Fills `allowed[i]` for every robot at the given round. `positions`
+    /// lets targeted adversaries react to where robots stand.
+    fn fill(&mut self, round: u64, positions: &[NodeId], allowed: &mut [bool]);
+
+    /// A short name for reports.
+    fn name(&self) -> &str {
+        "schedule"
+    }
+}
+
+/// The benign schedule: every robot may move every round.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AlwaysAllow;
+
+impl MoveSchedule for AlwaysAllow {
+    fn fill(&mut self, _round: u64, _positions: &[NodeId], allowed: &mut [bool]) {
+        allowed.fill(true);
+    }
+
+    fn name(&self) -> &str {
+        "always-allow"
+    }
+}
+
+/// Stalls each robot independently with probability `p` each round.
+#[derive(Clone, Debug)]
+pub struct RandomStall {
+    p: f64,
+    rng: StdRng,
+}
+
+impl RandomStall {
+    /// Creates the schedule with stall probability `p ∈ [0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1)` (with `p = 1` no robot ever
+    /// moves and no schedule with finitely many allowed moves explores).
+    pub fn new(p: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "stall probability must be in [0, 1)"
+        );
+        RandomStall {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl MoveSchedule for RandomStall {
+    fn fill(&mut self, _round: u64, _positions: &[NodeId], allowed: &mut [bool]) {
+        for a in allowed.iter_mut() {
+            *a = self.rng.random::<f64>() >= self.p;
+        }
+    }
+
+    fn name(&self) -> &str {
+        "random-stall"
+    }
+}
+
+/// Allows only a rotating window of `active` robots each round.
+#[derive(Clone, Copy, Debug)]
+pub struct RoundRobinStall {
+    active: usize,
+}
+
+impl RoundRobinStall {
+    /// Creates the schedule; `active` robots move per round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active == 0`.
+    pub fn new(active: usize) -> Self {
+        assert!(active > 0, "at least one robot must move per round");
+        RoundRobinStall { active }
+    }
+}
+
+impl MoveSchedule for RoundRobinStall {
+    fn fill(&mut self, round: u64, _positions: &[NodeId], allowed: &mut [bool]) {
+        let k = allowed.len();
+        allowed.fill(false);
+        let start = (round as usize * self.active) % k;
+        for j in 0..self.active.min(k) {
+            allowed[(start + j) % k] = true;
+        }
+    }
+
+    fn name(&self) -> &str {
+        "round-robin-stall"
+    }
+}
+
+/// Stalls every robot during periodic bursts: within each period of
+/// `period` rounds, the first `stall_len` rounds block everyone.
+#[derive(Clone, Copy, Debug)]
+pub struct BurstStall {
+    period: u64,
+    stall_len: u64,
+}
+
+impl BurstStall {
+    /// Creates the schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stall_len >= period` (no robot would ever move).
+    pub fn new(period: u64, stall_len: u64) -> Self {
+        assert!(stall_len < period, "bursts must leave rounds to move in");
+        BurstStall { period, stall_len }
+    }
+}
+
+impl MoveSchedule for BurstStall {
+    fn fill(&mut self, round: u64, _positions: &[NodeId], allowed: &mut [bool]) {
+        let blocked = round % self.period < self.stall_len;
+        allowed.fill(!blocked);
+    }
+
+    fn name(&self) -> &str {
+        "burst-stall"
+    }
+}
+
+/// The adversary sketched in Section 4.2's proof discussion: it blocks
+/// robots standing at the *deepest* occupied node, trying to pile all
+/// robots onto one anchor (this is why the `log Δ` part of the guarantee
+/// is forfeited under break-downs). A fraction of the fleet always stays
+/// allowed so the schedule keeps granting moves.
+#[derive(Clone, Debug)]
+pub struct TargetedStall {
+    depths: Vec<usize>,
+    block_fraction: f64,
+    rng: StdRng,
+}
+
+impl TargetedStall {
+    /// Creates the schedule. `depths[v]` must give the ground-truth depth
+    /// of every node (the adversary is omniscient); `block_fraction` of
+    /// the deepest robots are stalled each round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_fraction` is not in `[0, 1)`.
+    pub fn new(depths: Vec<usize>, block_fraction: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&block_fraction),
+            "block fraction must be in [0, 1)"
+        );
+        TargetedStall {
+            depths,
+            block_fraction,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl MoveSchedule for TargetedStall {
+    fn fill(&mut self, _round: u64, positions: &[NodeId], allowed: &mut [bool]) {
+        let k = positions.len();
+        let mut order: Vec<usize> = (0..k).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(self.depths[positions[i].index()]));
+        let to_block = ((k as f64) * self.block_fraction) as usize;
+        allowed.fill(true);
+        for &i in order.iter().take(to_block) {
+            // Randomize slightly so the adversary is not perfectly
+            // predictable by index order.
+            if self.rng.random::<f64>() < 0.95 {
+                allowed[i] = false;
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "targeted-stall"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn positions(k: usize) -> Vec<NodeId> {
+        vec![NodeId::ROOT; k]
+    }
+
+    #[test]
+    fn always_allow_allows_all() {
+        let mut s = AlwaysAllow;
+        let mut a = vec![false; 4];
+        s.fill(0, &positions(4), &mut a);
+        assert!(a.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn random_stall_is_deterministic_per_seed() {
+        let mut s1 = RandomStall::new(0.5, 9);
+        let mut s2 = RandomStall::new(0.5, 9);
+        let mut a1 = vec![false; 16];
+        let mut a2 = vec![false; 16];
+        for r in 0..10 {
+            s1.fill(r, &positions(16), &mut a1);
+            s2.fill(r, &positions(16), &mut a2);
+            assert_eq!(a1, a2);
+        }
+    }
+
+    #[test]
+    fn random_stall_mixes() {
+        let mut s = RandomStall::new(0.5, 1);
+        let mut a = vec![false; 1000];
+        s.fill(0, &positions(1000), &mut a);
+        let allowed = a.iter().filter(|&&x| x).count();
+        assert!(allowed > 300 && allowed < 700);
+    }
+
+    #[test]
+    fn round_robin_counts() {
+        let mut s = RoundRobinStall::new(3);
+        let mut a = vec![false; 8];
+        for r in 0..20 {
+            s.fill(r, &positions(8), &mut a);
+            assert_eq!(a.iter().filter(|&&x| x).count(), 3, "round {r}");
+        }
+    }
+
+    #[test]
+    fn round_robin_rotates_over_everyone() {
+        let mut s = RoundRobinStall::new(2);
+        let mut seen = [false; 5];
+        let mut a = vec![false; 5];
+        for r in 0..10 {
+            s.fill(r, &positions(5), &mut a);
+            for (i, &x) in a.iter().enumerate() {
+                seen[i] |= x;
+            }
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn burst_blocks_then_releases() {
+        let mut s = BurstStall::new(5, 2);
+        let mut a = vec![false; 2];
+        s.fill(0, &positions(2), &mut a);
+        assert!(a.iter().all(|&x| !x));
+        s.fill(2, &positions(2), &mut a);
+        assert!(a.iter().all(|&x| x));
+    }
+
+    #[test]
+    #[should_panic(expected = "bursts must leave")]
+    fn full_burst_rejected() {
+        BurstStall::new(3, 3);
+    }
+
+    #[test]
+    fn targeted_blocks_deepest() {
+        let depths = vec![0usize, 1, 2, 3];
+        let mut s = TargetedStall::new(depths, 0.5, 3);
+        let pos = vec![
+            NodeId::new(3),
+            NodeId::new(0),
+            NodeId::new(2),
+            NodeId::new(1),
+        ];
+        let mut a = vec![true; 4];
+        let mut blocked_deep = 0;
+        for r in 0..50 {
+            s.fill(r, &pos, &mut a);
+            if !a[0] {
+                blocked_deep += 1;
+            }
+            // The shallowest robot (index 1, depth 0) is essentially never
+            // among the deepest half.
+            assert!(a[1], "round {r}");
+        }
+        assert!(blocked_deep > 40);
+    }
+}
+
+/// A movement adversary that decides *after* seeing the robots' selected
+/// moves — the stronger model sketched in Remark 8 of the paper. Used
+/// with [`Simulator::run_post`](crate::Simulator::run_post).
+pub trait PostSelectionSchedule {
+    /// Fills `allowed[i]` given the already-selected `moves`.
+    fn fill_after(
+        &mut self,
+        round: u64,
+        positions: &[NodeId],
+        moves: &[crate::Move],
+        allowed: &mut [bool],
+    );
+
+    /// A short name for reports.
+    fn name(&self) -> &str {
+        "post-selection-schedule"
+    }
+}
+
+/// The nastiest reactive adversary: each round it stalls exactly the
+/// robots that selected a *downward* move — the moves that could discover
+/// new edges — leaving up-moves and idlers untouched (they still count as
+/// allowed, inflating `A(M)` for free).
+///
+/// Without a fairness cap this adversary **livelocks any explorer**: it
+/// blocks every would-be discoverer forever while granting unbounded
+/// useless allowed moves, so Proposition 7's `A(M)`-budget guarantee does
+/// *not* carry over to the Remark 8 model — a negative result this
+/// reproduction documents (see `tests/breakdown_resilience.rs`). With
+/// `max_consecutive` finite, a robot blocked that many rounds in a row
+/// must be released, and exploration completes with `A(M)` inflated by at
+/// most a `max_consecutive + 1` factor.
+#[derive(Clone, Debug)]
+pub struct ReactiveStall {
+    /// `None` = unrestricted (livelocks); `Some(c)` = fairness cap.
+    max_consecutive: Option<u32>,
+    consecutive: Vec<u32>,
+}
+
+impl ReactiveStall {
+    /// The unrestricted adversary (demonstrates the livelock).
+    pub fn unrestricted() -> Self {
+        ReactiveStall {
+            max_consecutive: None,
+            consecutive: Vec::new(),
+        }
+    }
+
+    /// The fair adversary: no robot is stalled more than
+    /// `max_consecutive` rounds in a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_consecutive == 0`.
+    pub fn with_fairness(max_consecutive: u32) -> Self {
+        assert!(max_consecutive >= 1, "a zero cap blocks nobody");
+        ReactiveStall {
+            max_consecutive: Some(max_consecutive),
+            consecutive: Vec::new(),
+        }
+    }
+}
+
+impl PostSelectionSchedule for ReactiveStall {
+    fn fill_after(
+        &mut self,
+        _round: u64,
+        positions: &[NodeId],
+        moves: &[crate::Move],
+        allowed: &mut [bool],
+    ) {
+        if self.consecutive.len() != positions.len() {
+            self.consecutive = vec![0; positions.len()];
+        }
+        allowed.fill(true);
+        for i in 0..positions.len() {
+            let wants_down = matches!(moves[i], crate::Move::Down(_));
+            let may_block = self.max_consecutive.is_none_or(|c| self.consecutive[i] < c);
+            if wants_down && may_block {
+                allowed[i] = false;
+                self.consecutive[i] += 1;
+            } else {
+                self.consecutive[i] = 0;
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "reactive-stall"
+    }
+}
+
+#[cfg(test)]
+mod post_selection_tests {
+    use super::*;
+    use crate::Move;
+    use bfdn_trees::Port;
+
+    #[test]
+    fn reactive_stall_blocks_only_down_movers() {
+        let mut s = ReactiveStall::unrestricted();
+        let positions = vec![NodeId::ROOT; 4];
+        let moves = vec![
+            Move::Down(Port::new(0)),
+            Move::Up,
+            Move::Stay,
+            Move::Down(Port::new(1)),
+        ];
+        let mut allowed = vec![true; 4];
+        s.fill_after(0, &positions, &moves, &mut allowed);
+        assert_eq!(allowed, vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn fairness_cap_releases_after_c_rounds() {
+        let mut s = ReactiveStall::with_fairness(2);
+        let positions = vec![NodeId::ROOT];
+        let moves = vec![Move::Down(Port::new(0))];
+        let mut allowed = vec![true];
+        s.fill_after(0, &positions, &moves, &mut allowed);
+        assert!(!allowed[0]);
+        s.fill_after(1, &positions, &moves, &mut allowed);
+        assert!(!allowed[0]);
+        // Third consecutive attempt must be released.
+        s.fill_after(2, &positions, &moves, &mut allowed);
+        assert!(allowed[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero cap")]
+    fn zero_fairness_rejected() {
+        ReactiveStall::with_fairness(0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Optional per-round event recording.
+
+use crate::Move;
+use bfdn_trees::NodeId;
+
+/// What happened in one round: the position of every robot *after* the
+/// synchronous move, and the move each robot performed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoundRecord {
+    /// Round number (0-based).
+    pub round: u64,
+    /// Selected (post-validation) move per robot.
+    pub moves: Vec<Move>,
+    /// Positions after the move.
+    pub positions: Vec<NodeId>,
+}
+
+/// A full per-round log of a simulation, recorded when tracing is enabled
+/// via [`Simulator::record_trace`](crate::Simulator::record_trace).
+///
+/// Traces make runs comparable step by step — experiment E7 uses them to
+/// check that the write-read implementation of BFDN visits the same
+/// node-set milestones as the complete-communication one.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    records: Vec<RoundRecord>,
+}
+
+impl Trace {
+    pub(crate) fn push(&mut self, record: RoundRecord) {
+        self.records.push(record);
+    }
+
+    /// All recorded rounds in order.
+    pub fn records(&self) -> &[RoundRecord] {
+        &self.records
+    }
+
+    /// Number of recorded rounds.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The first round at which `v` was occupied by some robot, if any.
+    pub fn first_visit(&self, v: NodeId) -> Option<u64> {
+        self.records
+            .iter()
+            .find(|r| r.positions.contains(&v))
+            .map(|r| r.round)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_visit_finds_earliest() {
+        let mut t = Trace::default();
+        t.push(RoundRecord {
+            round: 0,
+            moves: vec![Move::Stay],
+            positions: vec![NodeId::ROOT],
+        });
+        t.push(RoundRecord {
+            round: 1,
+            moves: vec![Move::Down(bfdn_trees::Port::new(0))],
+            positions: vec![NodeId::new(1)],
+        });
+        assert_eq!(t.first_visit(NodeId::new(1)), Some(1));
+        assert_eq!(t.first_visit(NodeId::new(2)), None);
+        assert_eq!(t.len(), 2);
+    }
+}

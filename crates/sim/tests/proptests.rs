@@ -1,0 +1,109 @@
+//! Property-based tests of the simulation engine itself: arbitrary
+//! explorers (random-walkers) must never corrupt the fog of war or the
+//! metrics.
+
+use bfdn_sim::{Explorer, Move, RoundContext, SimError, Simulator, StopCondition};
+use bfdn_trees::{NodeId, Tree, TreeBuilder};
+use proptest::prelude::*;
+
+fn tree_from_choices(choices: &[usize]) -> Tree {
+    let mut b = TreeBuilder::with_capacity(choices.len() + 1);
+    for (i, &c) in choices.iter().enumerate() {
+        b.add_child(NodeId::new(c % (i + 1)));
+    }
+    b.build()
+}
+
+/// An explorer driven by an arbitrary byte script: each robot each round
+/// takes one of its legal moves, indexed by the next script byte.
+struct ScriptedWalker {
+    script: Vec<u8>,
+    cursor: usize,
+}
+
+impl Explorer for ScriptedWalker {
+    #[allow(clippy::needless_range_loop)]
+    fn select_moves(&mut self, ctx: &RoundContext<'_>, out: &mut [Move]) {
+        for i in 0..ctx.k() {
+            let at = ctx.positions[i];
+            let mut options: Vec<Move> = vec![Move::Stay, Move::Up];
+            let deg = ctx.tree.degree(at);
+            let first_down = usize::from(!at.is_root());
+            for p in first_down..deg {
+                options.push(Move::Down(bfdn_trees::Port::new(p)));
+            }
+            let b = *self.script.get(self.cursor).unwrap_or(&0);
+            self.cursor += 1;
+            out[i] = options[b as usize % options.len()];
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever a (legal) explorer does, the simulator's invariants hold:
+    /// counters are consistent, positions stay on explored nodes, and
+    /// edge events never exceed 2(n-1).
+    #[test]
+    fn random_walkers_never_corrupt_the_simulation(
+        choices in prop::collection::vec(any::<usize>(), 1..80),
+        script in prop::collection::vec(any::<u8>(), 0..3000),
+        k in 1usize..6,
+    ) {
+        let tree = tree_from_choices(&choices);
+        let budget = (script.len() / k.max(1)) as u64 + 1;
+        let mut sim = Simulator::new(&tree, k).with_max_rounds(budget);
+        let mut walker = ScriptedWalker { script, cursor: 0 };
+        match sim.run_with(&mut walker, &mut bfdn_sim::AlwaysAllow, StopCondition::ExploredAndReturned) {
+            Ok(outcome) => {
+                prop_assert_eq!(outcome.metrics.edges_discovered, tree.num_edges() as u64);
+                prop_assert_eq!(outcome.metrics.robot_rounds(), outcome.rounds * k as u64);
+            }
+            Err(SimError::RoundLimit { explored, total, .. }) => {
+                prop_assert!(explored <= total);
+            }
+            Err(e) => {
+                // The walker only offers legal moves; anything but a
+                // round limit is a bug.
+                return Err(TestCaseError::fail(format!("unexpected {e}")));
+            }
+        }
+        // Invariants that hold either way:
+        prop_assert!(sim.partial().validate().is_ok());
+        for &p in sim.positions() {
+            prop_assert!(sim.partial().is_explored(p), "robot on unexplored node");
+        }
+        // The fog of war is a faithful subgraph of the ground truth.
+        let pt = sim.partial();
+        prop_assert!(pt.num_explored() >= 1 && pt.num_explored() <= tree.len());
+        for &v in pt.explored_nodes() {
+            prop_assert_eq!(pt.depth(v), tree.node_depth(v));
+            prop_assert_eq!(pt.parent(v), tree.parent(v));
+            prop_assert_eq!(pt.degree(v), tree.degree(v));
+        }
+    }
+}
+
+#[test]
+fn partial_view_never_exceeds_ground_truth() {
+    // A deterministic deep walk on a comb, checking the fog of war stays
+    // a subgraph of the ground truth at every step.
+    let tree = bfdn_trees::generators::comb(10, 3);
+    let script: Vec<u8> = (0..2000u32).map(|i| (i * 7 % 251) as u8).collect();
+    let mut sim = Simulator::new(&tree, 2).with_max_rounds(500);
+    let mut walker = ScriptedWalker { script, cursor: 0 };
+    let _ = sim.run_with(
+        &mut walker,
+        &mut bfdn_sim::AlwaysAllow,
+        StopCondition::ExploredAndReturned,
+    );
+    let pt = sim.partial();
+    for v in tree.node_ids() {
+        if pt.is_explored(v) {
+            assert_eq!(pt.depth(v), tree.node_depth(v));
+            assert_eq!(pt.parent(v), tree.parent(v));
+            assert_eq!(pt.degree(v), tree.degree(v));
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Adversarial families designed to separate BFDN from the CTE baseline
+//! (experiment E6) and to exercise the deep-tree regime of `BFDN_ℓ`.
+//!
+//! Higashikawa et al. \[11\] show a tree with `n = kD` edges on which the
+//! even-split CTE strategy needs `Θ(Dk/log₂ k)` rounds. Their adversarial
+//! argument is adaptive; these families realize its two ingredients as
+//! static trees — decoys that look identical to productive branches, and
+//! work hidden far from where robots were sent — and the E6 harness
+//! measures which produces the largest CTE/BFDN gap.
+
+use crate::{Tree, TreeBuilder};
+
+/// A spine with decoy paths: every `gap` spine levels the spine node forks
+/// into `decoys` pendant paths, each as long as the remaining spine, plus
+/// the true continuation. Online, decoys are indistinguishable from the
+/// spine, so an even-split strategy keeps halving its force.
+///
+/// Depth is `depth`; size is `Θ(decoys · depth² / gap)`.
+///
+/// # Panics
+///
+/// Panics if `gap == 0`.
+pub fn decoy_spine(depth: usize, gap: usize, decoys: usize) -> Tree {
+    assert!(gap > 0, "gap must be positive");
+    let mut b = TreeBuilder::new();
+    let mut cur = b.root();
+    let mut d = 0;
+    while d < depth {
+        if d % gap == 0 {
+            let remaining = depth - d;
+            for _ in 0..decoys {
+                b.add_path(cur, remaining);
+            }
+        }
+        cur = b.add_child(cur);
+        d += 1;
+    }
+    b.build()
+}
+
+/// A star of paths with linearly ramped lengths: leg `i` (of `legs`) has
+/// length `max(1, depth·(i+1)/legs)`. Paths serialize robots, so surplus
+/// robots on short legs free up gradually and must relocate.
+///
+/// # Panics
+///
+/// Panics if `legs == 0`.
+pub fn uneven_star(legs: usize, depth: usize) -> Tree {
+    assert!(legs > 0, "need at least one leg");
+    let mut b = TreeBuilder::new();
+    let root = b.root();
+    for i in 0..legs {
+        let len = (depth * (i + 1) / legs).max(1);
+        b.add_path(root, len);
+    }
+    b.build()
+}
+
+/// `dead_paths` dead-end paths of length `depth` from the root, plus one
+/// more path of length `depth/2` ending in a bushy "pocket" of
+/// `pocket_size` leaves. Robots committed to dead ends discover the real
+/// work only after travelling `Θ(depth)`.
+pub fn hidden_pocket(dead_paths: usize, depth: usize, pocket_size: usize) -> Tree {
+    let mut b = TreeBuilder::new();
+    let root = b.root();
+    for _ in 0..dead_paths {
+        b.add_path(root, depth);
+    }
+    let hub = b.add_path(root, (depth / 2).max(1));
+    for _ in 0..pocket_size {
+        b.add_child(hub);
+    }
+    b.build()
+}
+
+/// A vine: a path of length `depth` where every internal node carries one
+/// pendant leaf (`n = 2·depth + 1`). The minimal-work tree of maximal
+/// depth with branching everywhere — a stress test for reanchoring.
+pub fn lopsided_vine(depth: usize) -> Tree {
+    let mut b = TreeBuilder::with_capacity(2 * depth + 1);
+    let mut cur = b.root();
+    for _ in 0..depth {
+        b.add_child(cur);
+        cur = b.add_child(cur);
+    }
+    b.build()
+}
+
+/// A spider whose `legs` equal-length legs each end in a "pocket" star of
+/// hidden, geometrically varying size (`pocket_base·2^(i mod 8)` leaves on
+/// leg `i`). All pocket hubs sit at the same depth, so they stay
+/// minimum-depth anchor candidates together while holding wildly unequal
+/// work — the workload that separates anchor-assignment rules (the
+/// Theorem 3 game made into a tree).
+///
+/// # Panics
+///
+/// Panics if `legs == 0` or `leg_len == 0`.
+pub fn spider_with_pockets(legs: usize, leg_len: usize, pocket_base: usize) -> Tree {
+    assert!(legs > 0 && leg_len > 0, "need legs of positive length");
+    let mut b = TreeBuilder::new();
+    let root = b.root();
+    for i in 0..legs {
+        let hub = b.add_path(root, leg_len);
+        let pocket = pocket_base.max(1) << (i % 8);
+        for _ in 0..pocket {
+            b.add_child(hub);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decoy_spine_shape() {
+        let t = decoy_spine(20, 5, 1);
+        assert_eq!(t.depth(), 20);
+        assert!(t.validate().is_ok());
+        // Decoys at depths 0,5,10,15 of lengths 20,15,10,5 plus spine 20.
+        assert_eq!(t.len(), 1 + 20 + 20 + 15 + 10 + 5);
+    }
+
+    #[test]
+    fn decoy_spine_multiple_decoys() {
+        let t = decoy_spine(10, 2, 3);
+        assert_eq!(t.depth(), 10);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn uneven_star_shape() {
+        let t = uneven_star(4, 8);
+        assert_eq!(t.depth(), 8);
+        // Legs of lengths 2, 4, 6, 8.
+        assert_eq!(t.len(), 1 + 2 + 4 + 6 + 8);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn hidden_pocket_shape() {
+        let t = hidden_pocket(3, 10, 50);
+        assert_eq!(t.depth(), 10);
+        assert_eq!(t.len(), 1 + 3 * 10 + 5 + 50);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn spider_with_pockets_shape() {
+        let t = spider_with_pockets(4, 5, 2);
+        assert_eq!(t.depth(), 6);
+        // Legs: 4·5 edges; pockets: 2 + 4 + 8 + 16 leaves.
+        assert_eq!(t.len(), 1 + 20 + 30);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn lopsided_vine_shape() {
+        let t = lopsided_vine(7);
+        assert_eq!(t.depth(), 7);
+        assert_eq!(t.len(), 15);
+        assert_eq!(t.max_degree(), 3);
+        assert!(t.validate().is_ok());
+    }
+}

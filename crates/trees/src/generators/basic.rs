@@ -1,0 +1,190 @@
+//! Deterministic tree families.
+
+use crate::{Tree, TreeBuilder};
+
+/// A path with `edges` edges hanging below the root (depth = `edges`).
+pub fn path(edges: usize) -> Tree {
+    let mut b = TreeBuilder::with_capacity(edges + 1);
+    let root = b.root();
+    b.add_path(root, edges);
+    b.build()
+}
+
+/// A star: `leaves` children directly below the root (depth 1, `Δ = leaves`).
+pub fn star(leaves: usize) -> Tree {
+    let mut b = TreeBuilder::with_capacity(leaves + 1);
+    let root = b.root();
+    for _ in 0..leaves {
+        b.add_child(root);
+    }
+    b.build()
+}
+
+/// A complete binary tree of the given depth.
+pub fn binary(depth: usize) -> Tree {
+    complete_bary(2, depth)
+}
+
+/// A complete `arity`-ary tree of the given depth
+/// (`(arity^{depth+1} - 1)/(arity - 1)` nodes).
+///
+/// # Panics
+///
+/// Panics if `arity == 0`.
+pub fn complete_bary(arity: usize, depth: usize) -> Tree {
+    assert!(arity >= 1, "arity must be positive");
+    let mut b = TreeBuilder::new();
+    let mut frontier = vec![b.root()];
+    for _ in 0..depth {
+        let mut next = Vec::with_capacity(frontier.len() * arity);
+        for v in frontier {
+            for _ in 0..arity {
+                next.push(b.add_child(v));
+            }
+        }
+        frontier = next;
+    }
+    b.build()
+}
+
+/// A caterpillar: a spine of `spine` edges where every spine node
+/// (including the root, excluding the tip) carries `legs` pendant leaves.
+pub fn caterpillar(spine: usize, legs: usize) -> Tree {
+    let mut b = TreeBuilder::with_capacity(spine * (legs + 1) + 1);
+    let mut cur = b.root();
+    for _ in 0..spine {
+        for _ in 0..legs {
+            b.add_child(cur);
+        }
+        cur = b.add_child(cur);
+    }
+    b.build()
+}
+
+/// A spider: `legs` disjoint paths of `leg_len` edges from the root.
+pub fn spider(legs: usize, leg_len: usize) -> Tree {
+    let mut b = TreeBuilder::with_capacity(legs * leg_len + 1);
+    let root = b.root();
+    for _ in 0..legs {
+        b.add_path(root, leg_len);
+    }
+    b.build()
+}
+
+/// A comb: a spine of `spine` edges; each spine node (including the root)
+/// roots a pendant path ("tooth") of `tooth` edges.
+///
+/// Depth is `spine + tooth` (the tooth of the spine tip is the deepest).
+pub fn comb(spine: usize, tooth: usize) -> Tree {
+    let mut b = TreeBuilder::with_capacity((spine + 1) * tooth + spine + 1);
+    let mut cur = b.root();
+    for _ in 0..spine {
+        b.add_path(cur, tooth);
+        cur = b.add_child(cur);
+    }
+    b.add_path(cur, tooth);
+    b.build()
+}
+
+/// A broom: a handle path of `handle` edges ending in `bristles` paths of
+/// `bristle_len` edges each. Deep and skinny on top, parallel at the
+/// bottom — the shape that motivates `BFDN_ℓ`.
+pub fn broom(handle: usize, bristles: usize, bristle_len: usize) -> Tree {
+    let mut b = TreeBuilder::with_capacity(handle + bristles * bristle_len + 1);
+    let root = b.root();
+    let hub = b.add_path(root, handle);
+    for _ in 0..bristles {
+        b.add_path(hub, bristle_len);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_shape() {
+        let t = path(7);
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.depth(), 7);
+        assert_eq!(t.max_degree(), 2);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn path_zero_edges() {
+        let t = path(0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.depth(), 0);
+    }
+
+    #[test]
+    fn star_shape() {
+        let t = star(9);
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.max_degree(), 9);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn complete_binary_counts() {
+        let t = binary(4);
+        assert_eq!(t.len(), 31);
+        assert_eq!(t.depth(), 4);
+        assert_eq!(t.max_degree(), 3);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn complete_ternary_counts() {
+        let t = complete_bary(3, 3);
+        assert_eq!(t.len(), 1 + 3 + 9 + 27);
+        assert_eq!(t.depth(), 3);
+    }
+
+    #[test]
+    fn arity_one_is_a_path() {
+        let t = complete_bary(1, 5);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.depth(), 5);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let t = caterpillar(5, 3);
+        assert_eq!(t.len(), 5 * 4 + 1);
+        assert_eq!(t.depth(), 5);
+        // Spine nodes: parent + legs + next spine.
+        assert_eq!(t.max_degree(), 5);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn spider_shape() {
+        let t = spider(4, 6);
+        assert_eq!(t.len(), 25);
+        assert_eq!(t.depth(), 6);
+        assert_eq!(t.max_degree(), 4);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn comb_shape() {
+        let t = comb(3, 2);
+        // 4 spine nodes (incl. root) each with a 2-tooth + 3 spine edges.
+        assert_eq!(t.len(), 4 * 2 + 3 + 1);
+        assert_eq!(t.depth(), 5);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn broom_shape() {
+        let t = broom(10, 4, 3);
+        assert_eq!(t.len(), 10 + 12 + 1);
+        assert_eq!(t.depth(), 13);
+        assert_eq!(t.max_degree(), 5);
+        assert!(t.validate().is_ok());
+    }
+}

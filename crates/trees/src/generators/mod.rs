@@ -1,0 +1,164 @@
+//! Workload generators: the tree families used throughout the experiments.
+//!
+//! Deterministic families live in `basic`, randomized families in
+//! `random`, and the adversarial families built to stress the CTE
+//! baseline (experiment E6) in `adversarial`. All functions are
+//! re-exported here.
+//!
+//! # Example
+//!
+//! ```
+//! use bfdn_trees::generators;
+//! use rand::SeedableRng;
+//!
+//! let comb = generators::comb(10, 4);
+//! assert_eq!(comb.depth(), 14);
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let random = generators::random_recursive(100, &mut rng);
+//! assert_eq!(random.len(), 100);
+//! ```
+
+mod adversarial;
+mod basic;
+mod random;
+
+pub use adversarial::{
+    decoy_spine, hidden_pocket, lopsided_vine, spider_with_pockets, uneven_star,
+};
+pub use basic::{binary, broom, caterpillar, comb, complete_bary, path, spider, star};
+pub use random::{random_bounded_degree, random_recursive, uniform_labeled};
+
+use crate::Tree;
+
+/// A named tree family with a default laptop-scale instance, used by the
+/// experiment harness to sweep over heterogeneous workloads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// A single path (the pure-depth extreme).
+    Path,
+    /// A star (the pure-width extreme).
+    Star,
+    /// Complete binary tree.
+    Binary,
+    /// Caterpillar: spine with pendant legs.
+    Caterpillar,
+    /// Spider: legs of equal length from the root.
+    Spider,
+    /// Comb: spine with pendant paths ("teeth").
+    Comb,
+    /// Broom: a handle path ending in a star of bristle paths.
+    Broom,
+    /// Uniform random recursive tree.
+    RandomRecursive,
+    /// Uniform random labeled tree (Prüfer decode).
+    UniformLabeled,
+    /// Random tree with bounded number of children.
+    RandomBoundedDegree,
+}
+
+impl Family {
+    /// All families, in a fixed order used by sweeps and reports.
+    pub const ALL: [Family; 10] = [
+        Family::Path,
+        Family::Star,
+        Family::Binary,
+        Family::Caterpillar,
+        Family::Spider,
+        Family::Comb,
+        Family::Broom,
+        Family::RandomRecursive,
+        Family::UniformLabeled,
+        Family::RandomBoundedDegree,
+    ];
+
+    /// A short identifier for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Path => "path",
+            Family::Star => "star",
+            Family::Binary => "binary",
+            Family::Caterpillar => "caterpillar",
+            Family::Spider => "spider",
+            Family::Comb => "comb",
+            Family::Broom => "broom",
+            Family::RandomRecursive => "random-recursive",
+            Family::UniformLabeled => "uniform-labeled",
+            Family::RandomBoundedDegree => "random-bounded-degree",
+        }
+    }
+
+    /// Builds an instance with roughly `n` nodes, using `rng` for the
+    /// randomized families.
+    pub fn instance(self, n: usize, rng: &mut impl rand::Rng) -> Tree {
+        let n = n.max(2);
+        match self {
+            Family::Path => path(n - 1),
+            Family::Star => star(n - 1),
+            Family::Binary => {
+                // Smallest complete binary tree with at least n nodes.
+                let mut d = 1;
+                while (1usize << (d + 1)) - 1 < n {
+                    d += 1;
+                }
+                binary(d)
+            }
+            Family::Caterpillar => {
+                let spine = (n / 4).max(1);
+                let legs = (n.saturating_sub(spine) / spine.max(1)).max(1);
+                caterpillar(spine, legs)
+            }
+            Family::Spider => {
+                let legs = (n as f64).sqrt().ceil() as usize;
+                let leg_len = (n / legs.max(1)).max(1);
+                spider(legs, leg_len)
+            }
+            Family::Comb => {
+                let spine = (n as f64).sqrt().ceil() as usize;
+                let tooth = (n / spine.max(1)).max(1);
+                comb(spine, tooth)
+            }
+            Family::Broom => {
+                let handle = n / 2;
+                let bristles = (n as f64 / 2.0).sqrt().ceil() as usize;
+                let blen = (n / 2 / bristles.max(1)).max(1);
+                broom(handle, bristles, blen)
+            }
+            Family::RandomRecursive => random_recursive(n, rng),
+            Family::UniformLabeled => uniform_labeled(n, rng),
+            Family::RandomBoundedDegree => random_bounded_degree(n, 3, rng),
+        }
+    }
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_family_builds_valid_trees() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for fam in Family::ALL {
+            for n in [2usize, 10, 257] {
+                let t = fam.instance(n, &mut rng);
+                assert!(t.validate().is_ok(), "{fam} n={n}: {:?}", t.validate());
+                assert!(t.len() >= 2, "{fam} produced a trivial tree");
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = Family::ALL.iter().map(|f| f.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Family::ALL.len());
+    }
+}

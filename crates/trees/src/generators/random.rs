@@ -1,0 +1,187 @@
+//! Randomized tree families.
+
+use crate::tree::Tree;
+use crate::{NodeId, TreeBuilder};
+use rand::Rng;
+
+/// A uniform random recursive tree on `n` nodes: node `i` attaches to a
+/// uniformly random earlier node. Expected depth is `Θ(log n)` — the bushy
+/// regime where `BFDN` is order-optimal.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn random_recursive(n: usize, rng: &mut impl Rng) -> Tree {
+    assert!(n >= 1, "need at least the root");
+    let mut b = TreeBuilder::with_capacity(n);
+    for i in 1..n {
+        let parent = NodeId::new(rng.random_range(0..i));
+        b.add_child(parent);
+    }
+    b.build()
+}
+
+/// A uniformly random labeled tree on `n` nodes (decoded from a random
+/// Prüfer sequence), rooted at node 0. Expected depth is `Θ(√n)` — the
+/// intermediate regime of Figure 1.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn uniform_labeled(n: usize, rng: &mut impl Rng) -> Tree {
+    assert!(n >= 1, "need at least the root");
+    if n == 1 {
+        return TreeBuilder::new().build();
+    }
+    if n == 2 {
+        let mut b = TreeBuilder::new();
+        let r = b.root();
+        b.add_child(r);
+        return b.build();
+    }
+    // Prüfer decode on labels 0..n.
+    let seq: Vec<usize> = (0..n - 2).map(|_| rng.random_range(0..n)).collect();
+    let mut degree = vec![1usize; n];
+    for &s in &seq {
+        degree[s] += 1;
+    }
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    // Min-leaf selection via a BinaryHeap of candidates.
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut leaves: BinaryHeap<Reverse<usize>> =
+        (0..n).filter(|&v| degree[v] == 1).map(Reverse).collect();
+    for &s in &seq {
+        let Reverse(leaf) = leaves.pop().expect("a leaf always exists");
+        adj[leaf].push(s);
+        adj[s].push(leaf);
+        degree[s] -= 1;
+        if degree[s] == 1 {
+            leaves.push(Reverse(s));
+        }
+    }
+    let Reverse(u) = leaves.pop().expect("two labels remain");
+    let Reverse(v) = leaves.pop().expect("two labels remain");
+    adj[u].push(v);
+    adj[v].push(u);
+
+    // Root the unrooted tree at label 0 with a BFS, mapping labels to
+    // builder ids on the fly.
+    let mut b = TreeBuilder::with_capacity(n);
+    let mut id_of = vec![None::<NodeId>; n];
+    id_of[0] = Some(b.root());
+    let mut queue = std::collections::VecDeque::from([0usize]);
+    while let Some(x) = queue.pop_front() {
+        let xid = id_of[x].expect("queued labels are mapped");
+        for &y in &adj[x] {
+            if id_of[y].is_none() {
+                id_of[y] = Some(b.add_child(xid));
+                queue.push_back(y);
+            }
+        }
+    }
+    b.build()
+}
+
+/// A random tree where every node has at most `max_children` children:
+/// node `i` attaches to a random earlier node that still has spare
+/// capacity. With `max_children = 1` this degenerates to a path.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `max_children == 0`.
+pub fn random_bounded_degree(n: usize, max_children: usize, rng: &mut impl Rng) -> Tree {
+    assert!(n >= 1, "need at least the root");
+    assert!(max_children >= 1, "nodes must be able to have children");
+    let mut b = TreeBuilder::with_capacity(n);
+    let mut open: Vec<NodeId> = vec![b.root()];
+    let mut child_count = vec![0usize; n];
+    for _ in 1..n {
+        let slot = rng.random_range(0..open.len());
+        let parent = open[slot];
+        let child = b.add_child(parent);
+        child_count[parent.index()] += 1;
+        if child_count[parent.index()] >= max_children {
+            open.swap_remove(slot);
+        }
+        open.push(child);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn recursive_tree_size_and_validity() {
+        let mut r = rng(1);
+        for n in [1usize, 2, 17, 500] {
+            let t = random_recursive(n, &mut r);
+            assert_eq!(t.len(), n);
+            assert!(t.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn recursive_tree_is_shallow() {
+        let mut r = rng(2);
+        let t = random_recursive(10_000, &mut r);
+        // Expected depth ~ e·ln n ≈ 25; 60 is a generous ceiling.
+        assert!(t.depth() < 60, "depth {} too large", t.depth());
+    }
+
+    #[test]
+    fn prufer_tree_size_and_validity() {
+        let mut r = rng(3);
+        for n in [1usize, 2, 3, 4, 33, 1000] {
+            let t = uniform_labeled(n, &mut r);
+            assert_eq!(t.len(), n, "n={n}");
+            assert!(t.validate().is_ok(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn prufer_depth_scales_like_sqrt() {
+        let mut r = rng(4);
+        let t = uniform_labeled(10_000, &mut r);
+        let d = t.depth() as f64;
+        let sqrt_n = 100.0;
+        assert!(d > 0.2 * sqrt_n && d < 10.0 * sqrt_n, "depth {d}");
+    }
+
+    #[test]
+    fn bounded_degree_respects_bound() {
+        let mut r = rng(5);
+        for max_c in [1usize, 2, 5] {
+            let t = random_bounded_degree(300, max_c, &mut r);
+            assert_eq!(t.len(), 300);
+            assert!(t.validate().is_ok());
+            for v in t.node_ids() {
+                assert!(t.children(v).len() <= max_c);
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_degree_one_is_path() {
+        let mut r = rng(6);
+        let t = random_bounded_degree(50, 1, &mut r);
+        assert_eq!(t.depth(), 49);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = random_recursive(100, &mut rng(7));
+        let b = random_recursive(100, &mut rng(7));
+        assert_eq!(a.depth(), b.depth());
+        for v in a.node_ids() {
+            assert_eq!(a.parent(v), b.parent(v));
+        }
+    }
+}

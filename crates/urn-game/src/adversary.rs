@@ -1,0 +1,154 @@
+//! Adversary (ball-picker) strategies.
+
+use crate::Board;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The adversary of the game: picks the urn to take a ball from.
+pub trait Adversary {
+    /// Chooses a non-empty urn `a_t`, or `None` to resign early (the
+    /// harness treats this as the game ending).
+    fn choose(&mut self, board: &Board, delta: usize) -> Option<usize>;
+
+    /// A short name for reports.
+    fn name(&self) -> &str {
+        "adversary"
+    }
+}
+
+/// The optimal adversary derived from Lemma 4: always prefers option (a)
+/// — picking from an already-touched urn — and when forced to option (b)
+/// picks the fullest untouched urn (`⌈N_t/u_t⌉` balls, the better branch
+/// of the recursion).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GreedyAdversary;
+
+impl Adversary for GreedyAdversary {
+    fn choose(&mut self, board: &Board, delta: usize) -> Option<usize> {
+        if board.is_finished(delta) {
+            return None;
+        }
+        // Option (a): a non-empty touched urn, available iff some ball
+        // lies outside U_t.
+        if let Some(i) = board
+            .pickable()
+            .filter(|&i| board.is_touched(i))
+            .max_by_key(|&i| board.load(i))
+        {
+            return Some(i);
+        }
+        // Option (b): the fullest untouched urn.
+        board
+            .untouched()
+            .filter(|&i| board.load(i) > 0)
+            .max_by_key(|&i| (board.load(i), usize::MAX - i))
+    }
+
+    fn name(&self) -> &str {
+        "greedy"
+    }
+}
+
+/// Picks a uniformly random non-empty urn.
+#[derive(Clone, Debug)]
+pub struct RandomAdversary {
+    rng: StdRng,
+}
+
+impl RandomAdversary {
+    /// Creates the strategy with a fixed seed.
+    pub fn new(seed: u64) -> Self {
+        RandomAdversary {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Adversary for RandomAdversary {
+    fn choose(&mut self, board: &Board, delta: usize) -> Option<usize> {
+        if board.is_finished(delta) {
+            return None;
+        }
+        let cands: Vec<usize> = board.pickable().collect();
+        Some(cands[self.rng.random_range(0..cands.len())])
+    }
+
+    fn name(&self) -> &str {
+        "random"
+    }
+}
+
+/// The weakest adversary: always picks an untouched urn (pure option (b)),
+/// draining `U_t` as fast as possible — ends the game in at most `k` steps
+/// when `Δ ≥ k`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DrainAdversary;
+
+impl Adversary for DrainAdversary {
+    fn choose(&mut self, board: &Board, delta: usize) -> Option<usize> {
+        if board.is_finished(delta) {
+            return None;
+        }
+        board
+            .untouched()
+            .filter(|&i| board.load(i) > 0)
+            .min_by_key(|&i| (board.load(i), i))
+            // All untouched urns empty (they then all hold ≥ Δ only if
+            // Δ = 0; otherwise the game would have to continue via (a)):
+            .or_else(|| board.pickable().next())
+    }
+
+    fn name(&self) -> &str {
+        "drain"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_prefers_touched() {
+        let mut b = Board::uniform(3);
+        b.step(0, 1); // loads [0,2,1]; touched: {0}
+        b.step(1, 0); // loads [1,1,1]; touched: {0,1}
+        let mut a = GreedyAdversary;
+        let pick = a.choose(&b, 3).unwrap();
+        assert!(b.is_touched(pick), "greedy must play option (a)");
+    }
+
+    #[test]
+    fn greedy_forced_option_b_takes_fullest() {
+        let b = Board::uniform(3); // nothing touched, all balls in U_t
+        let mut a = GreedyAdversary;
+        let pick = a.choose(&b, 3).unwrap();
+        assert!(!b.is_touched(pick));
+    }
+
+    #[test]
+    fn greedy_stops_when_finished() {
+        let mut b = Board::uniform(2);
+        b.step(0, 1); // urn 1 untouched with 2 = Δ balls
+        let mut a = GreedyAdversary;
+        assert_eq!(a.choose(&b, 2), None);
+    }
+
+    #[test]
+    fn random_picks_nonempty() {
+        let mut b = Board::uniform(4);
+        b.step(0, 1);
+        let mut a = RandomAdversary::new(5);
+        for _ in 0..20 {
+            let pick = a.choose(&b, 100).unwrap();
+            assert!(b.load(pick) > 0);
+        }
+    }
+
+    #[test]
+    fn drain_touches_fresh_urns() {
+        let b = Board::uniform(3);
+        let mut a = DrainAdversary;
+        let pick = a.choose(&b, 100).unwrap();
+        assert!(!b.is_touched(pick));
+    }
+}

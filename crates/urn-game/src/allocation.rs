@@ -1,0 +1,239 @@
+//! Online resource allocation: the interpretation of the urn game given
+//! in Section 3 of the paper.
+//!
+//! `k` workers process `k` parallelizable tasks with *unknown* lengths;
+//! a task with `w` assigned workers completes `w` units of work per
+//! round. When a task finishes, its workers are idle and must be
+//! reassigned. The paper's result: reassigning each idle worker to the
+//! unfinished task with the *fewest* workers bounds the total number of
+//! task switches by `k·log(k) + 2k`, irrespective of the task lengths.
+//!
+//! # Example
+//!
+//! ```
+//! use urn_game::allocation::{run, ReassignPolicy};
+//! // Geometrically shrinking task lengths maximize switching pressure.
+//! let lengths: Vec<u64> = (0..8).map(|i| 1u64 << i).collect();
+//! let outcome = run(&lengths, 8, ReassignPolicy::LeastCrowded);
+//! assert!(outcome.all_done);
+//! assert!((outcome.switches as f64) <= urn_game::theorem3_bound(8, 8));
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How idle workers pick their next task.
+#[derive(Debug)]
+pub enum ReassignPolicy {
+    /// The paper's rule: join the unfinished task with the fewest
+    /// workers.
+    LeastCrowded,
+    /// Foil: join the unfinished task with the most workers.
+    MostCrowded,
+    /// Foil: join a uniformly random unfinished task.
+    Random(Box<StdRng>),
+    /// Foil: cycle through unfinished tasks.
+    RoundRobin {
+        /// Rotating cursor over task indices.
+        next: usize,
+    },
+}
+
+impl ReassignPolicy {
+    /// A seeded random policy.
+    pub fn random(seed: u64) -> Self {
+        ReassignPolicy::Random(Box::new(StdRng::seed_from_u64(seed)))
+    }
+
+    /// A short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReassignPolicy::LeastCrowded => "least-crowded",
+            ReassignPolicy::MostCrowded => "most-crowded",
+            ReassignPolicy::Random(_) => "random",
+            ReassignPolicy::RoundRobin { .. } => "round-robin",
+        }
+    }
+
+    fn choose(&mut self, workers_on: &[usize], unfinished: &[usize]) -> usize {
+        match self {
+            ReassignPolicy::LeastCrowded => *unfinished
+                .iter()
+                .min_by_key(|&&t| (workers_on[t], t))
+                .expect("caller guarantees an unfinished task"),
+            ReassignPolicy::MostCrowded => *unfinished
+                .iter()
+                .max_by_key(|&&t| (workers_on[t], usize::MAX - t))
+                .expect("caller guarantees an unfinished task"),
+            ReassignPolicy::Random(rng) => unfinished[rng.random_range(0..unfinished.len())],
+            ReassignPolicy::RoundRobin { next } => {
+                let pick = unfinished[*next % unfinished.len()];
+                *next = next.wrapping_add(1);
+                pick
+            }
+        }
+    }
+}
+
+/// The result of one allocation run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllocationOutcome {
+    /// Rounds until every task finished.
+    pub rounds: u64,
+    /// Total task switches performed (initial assignments not counted).
+    pub switches: u64,
+    /// Units of worker-rounds spent on already-finished work (overshoot
+    /// plus idling in the final round fragment).
+    pub wasted_work: u64,
+    /// Whether all tasks completed (always true; present for harness
+    /// symmetry).
+    pub all_done: bool,
+}
+
+/// Runs `workers` workers over tasks of the given hidden `lengths` until
+/// all tasks are done, reassigning idle workers per `policy`.
+///
+/// Workers are initially spread as evenly as possible (worker `i` starts
+/// on task `i % lengths.len()`).
+///
+/// # Panics
+///
+/// Panics if `lengths` is empty or `workers == 0`.
+pub fn run(lengths: &[u64], workers: usize, mut policy: ReassignPolicy) -> AllocationOutcome {
+    assert!(!lengths.is_empty(), "need at least one task");
+    assert!(workers >= 1, "need at least one worker");
+    let m = lengths.len();
+    let mut remaining: Vec<u64> = lengths.to_vec();
+    let mut assignment: Vec<usize> = (0..workers).map(|i| i % m).collect();
+    let mut workers_on = vec![0usize; m];
+    for &t in &assignment {
+        workers_on[t] += 1;
+    }
+    // Tasks of length zero are finished before the first round; their
+    // workers switch immediately.
+    let mut switches = 0u64;
+    let mut wasted = 0u64;
+    let mut rounds = 0u64;
+    loop {
+        // Reassign workers stuck on finished tasks.
+        let unfinished: Vec<usize> = (0..m).filter(|&t| remaining[t] > 0).collect();
+        if unfinished.is_empty() {
+            break;
+        }
+        for w in 0..workers {
+            if remaining[assignment[w]] == 0 {
+                let unfinished_now: Vec<usize> = (0..m).filter(|&t| remaining[t] > 0).collect();
+                if unfinished_now.is_empty() {
+                    break;
+                }
+                let t = policy.choose(&workers_on, &unfinished_now);
+                workers_on[assignment[w]] -= 1;
+                assignment[w] = t;
+                workers_on[t] += 1;
+                switches += 1;
+            }
+        }
+        // One synchronous round of work.
+        for t in 0..m {
+            if remaining[t] > 0 && workers_on[t] > 0 {
+                let done = (workers_on[t] as u64).min(remaining[t]);
+                wasted += workers_on[t] as u64 - done;
+                remaining[t] -= done;
+            }
+        }
+        rounds += 1;
+    }
+    AllocationOutcome {
+        rounds,
+        switches,
+        wasted_work: wasted,
+        all_done: remaining.iter().all(|&r| r == 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theorem3_bound;
+
+    #[test]
+    fn equal_tasks_never_switch() {
+        let lengths = vec![10u64; 8];
+        let out = run(&lengths, 8, ReassignPolicy::LeastCrowded);
+        assert_eq!(out.switches, 0);
+        assert_eq!(out.rounds, 10);
+        assert!(out.all_done);
+    }
+
+    #[test]
+    fn geometric_tasks_respect_theorem3_switch_bound() {
+        for k in [4usize, 16, 64, 256] {
+            let lengths: Vec<u64> = (0..k).map(|i| 1u64 << (i % 12)).collect();
+            let out = run(&lengths, k, ReassignPolicy::LeastCrowded);
+            assert!(out.all_done);
+            let bound = theorem3_bound(k, k);
+            assert!(
+                (out.switches as f64) <= bound,
+                "k={k}: {} switches > {bound}",
+                out.switches
+            );
+        }
+    }
+
+    #[test]
+    fn makespan_is_near_optimal() {
+        // With least-crowded reassignment, the makespan is within the
+        // total-work/k plus switching slack.
+        let k = 32usize;
+        let lengths: Vec<u64> = (1..=k as u64).map(|i| i * 7).collect();
+        let total: u64 = lengths.iter().sum();
+        let out = run(&lengths, k, ReassignPolicy::LeastCrowded);
+        let lower = total / k as u64;
+        assert!(out.rounds >= lower);
+        assert!(out.rounds <= lower + theorem3_bound(k, k) as u64);
+    }
+
+    #[test]
+    fn more_workers_than_tasks() {
+        let out = run(&[100, 1], 10, ReassignPolicy::LeastCrowded);
+        assert!(out.all_done);
+        // 5 workers on each initially; the short task finishes round 1
+        // and its workers move over.
+        assert!(out.rounds <= 100 / 5 + 2);
+    }
+
+    #[test]
+    fn zero_length_tasks_reassign_immediately() {
+        let out = run(&[0, 0, 12], 3, ReassignPolicy::LeastCrowded);
+        assert!(out.all_done);
+        assert_eq!(out.switches, 2);
+        assert_eq!(out.rounds, 4);
+    }
+
+    #[test]
+    fn foil_policies_complete_but_switch_more_or_equal() {
+        let k = 64usize;
+        let lengths: Vec<u64> = (0..k).map(|i| 1 + (i as u64 * i as u64) % 500).collect();
+        let base = run(&lengths, k, ReassignPolicy::LeastCrowded);
+        for policy in [
+            ReassignPolicy::MostCrowded,
+            ReassignPolicy::random(3),
+            ReassignPolicy::RoundRobin { next: 0 },
+        ] {
+            let name = policy.name();
+            let out = run(&lengths, k, policy);
+            assert!(out.all_done, "{name}");
+            // Foils finish too, but no foil beats the bound by an order;
+            // we only assert completion and record relative counts in
+            // the benches.
+            assert!(out.rounds >= base.rounds.min(out.rounds));
+        }
+    }
+
+    #[test]
+    fn single_worker_serializes() {
+        let out = run(&[3, 4, 5], 1, ReassignPolicy::LeastCrowded);
+        assert_eq!(out.rounds, 12);
+        assert_eq!(out.switches, 2);
+    }
+}

@@ -1,0 +1,225 @@
+//! The game board: urn loads plus the untouched set `U_t`.
+
+use std::fmt;
+
+/// The state of the balls-in-urns game at one instant: the load of each
+/// urn and which urns the adversary has already picked from.
+///
+/// Invariant: the total number of balls never changes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Board {
+    loads: Vec<usize>,
+    touched: Vec<bool>,
+    total: usize,
+    untouched_count: usize,
+}
+
+impl Board {
+    /// The standard start: `k` urns with one ball each, all untouched.
+    pub fn uniform(k: usize) -> Self {
+        assert!(k >= 1, "need at least one urn");
+        Board {
+            loads: vec![1; k],
+            touched: vec![false; k],
+            total: k,
+            untouched_count: k,
+        }
+    }
+
+    /// The BFDN-reduction start (Section 3.2): `u` untouched urns with
+    /// one ball each plus one extra *touched* urn holding the remaining
+    /// `k - u` balls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u > k` or `u == 0`.
+    pub fn reduction(k: usize, u: usize) -> Self {
+        assert!(u >= 1 && u <= k, "need 1 <= u <= k");
+        let mut loads = vec![1; u];
+        let mut touched = vec![false; u];
+        if u < k {
+            loads.push(k - u);
+            touched.push(true);
+        }
+        let untouched_count = u;
+        Board {
+            loads,
+            touched,
+            total: k,
+            untouched_count,
+        }
+    }
+
+    /// Number of urns on the board.
+    #[inline]
+    pub fn num_urns(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Total number of balls (constant over the game).
+    #[inline]
+    pub fn total_balls(&self) -> usize {
+        self.total
+    }
+
+    /// Load of urn `i`.
+    #[inline]
+    pub fn load(&self, i: usize) -> usize {
+        self.loads[i]
+    }
+
+    /// All loads.
+    #[inline]
+    pub fn loads(&self) -> &[usize] {
+        &self.loads
+    }
+
+    /// Whether urn `i` has ever been picked by the adversary.
+    #[inline]
+    pub fn is_touched(&self, i: usize) -> bool {
+        self.touched[i]
+    }
+
+    /// Number of untouched urns `u_t = |U_t|`.
+    #[inline]
+    pub fn untouched_count(&self) -> usize {
+        self.untouched_count
+    }
+
+    /// Iterates over the untouched urns `U_t`.
+    pub fn untouched(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.num_urns()).filter(|&i| !self.touched[i])
+    }
+
+    /// Total balls in untouched urns, `N_t`.
+    pub fn untouched_balls(&self) -> usize {
+        self.untouched().map(|i| self.loads[i]).sum()
+    }
+
+    /// The urns the adversary may legally pick from (non-empty).
+    pub fn pickable(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.num_urns()).filter(|&i| self.loads[i] > 0)
+    }
+
+    /// Returns `true` once every untouched urn holds at least `delta`
+    /// balls (vacuously true when `U_t` is empty) — the stop condition.
+    pub fn is_finished(&self, delta: usize) -> bool {
+        self.untouched().all(|i| self.loads[i] >= delta)
+    }
+
+    /// Executes one step: the adversary takes a ball from `from`, the
+    /// player drops it into `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is empty or either index is out of range.
+    pub fn step(&mut self, from: usize, to: usize) {
+        assert!(self.loads[from] > 0, "adversary picked an empty urn");
+        self.loads[from] -= 1;
+        self.loads[to] += 1;
+        if !self.touched[from] {
+            self.touched[from] = true;
+            self.untouched_count -= 1;
+        }
+    }
+
+    /// Checks counter invariants; used in tests.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.loads.iter().sum::<usize>() != self.total {
+            return Err("ball total changed".into());
+        }
+        let untouched = self.touched.iter().filter(|&&t| !t).count();
+        if untouched != self.untouched_count {
+            return Err("untouched counter mismatch".into());
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Board {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, &l) in self.loads.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            if self.touched[i] {
+                write!(f, "({l})")?;
+            } else {
+                write!(f, "{l}")?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_start() {
+        let b = Board::uniform(5);
+        assert_eq!(b.num_urns(), 5);
+        assert_eq!(b.total_balls(), 5);
+        assert_eq!(b.untouched_count(), 5);
+        assert_eq!(b.untouched_balls(), 5);
+        assert!(b.validate().is_ok());
+    }
+
+    #[test]
+    fn reduction_start() {
+        let b = Board::reduction(10, 4);
+        assert_eq!(b.num_urns(), 5);
+        assert_eq!(b.total_balls(), 10);
+        assert_eq!(b.untouched_count(), 4);
+        assert_eq!(b.untouched_balls(), 4);
+        assert_eq!(b.load(4), 6);
+        assert!(b.is_touched(4));
+        assert!(b.validate().is_ok());
+    }
+
+    #[test]
+    fn reduction_full_u_has_no_extra_urn() {
+        let b = Board::reduction(4, 4);
+        assert_eq!(b.num_urns(), 4);
+        assert_eq!(b.untouched_count(), 4);
+    }
+
+    #[test]
+    fn step_moves_ball_and_touches() {
+        let mut b = Board::uniform(3);
+        b.step(0, 2);
+        assert_eq!(b.load(0), 0);
+        assert_eq!(b.load(2), 2);
+        assert!(b.is_touched(0));
+        assert_eq!(b.untouched_count(), 2);
+        assert!(b.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty urn")]
+    fn picking_empty_urn_panics() {
+        let mut b = Board::uniform(2);
+        b.step(0, 1);
+        b.step(0, 1);
+    }
+
+    #[test]
+    fn finish_conditions() {
+        let mut b = Board::uniform(2);
+        assert!(!b.is_finished(2));
+        b.step(0, 1); // urn 1 untouched with 2 balls
+        assert!(b.is_finished(2));
+        assert!(!b.is_finished(3));
+        b.step(1, 0); // all touched -> finished for every delta
+        assert!(b.is_finished(usize::MAX));
+    }
+
+    #[test]
+    fn display_marks_touched() {
+        let mut b = Board::uniform(2);
+        b.step(0, 1);
+        assert_eq!(format!("{b}"), "[(0) 2]");
+    }
+}

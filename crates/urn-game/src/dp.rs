@@ -1,0 +1,208 @@
+//! Exact game value by dynamic programming (the `R(N, u)` recursion of
+//! Theorem 3's proof).
+//!
+//! `R(N, u)` is the largest number of steps the game may still last after
+//! the player's move led to a configuration with `N` balls spread over
+//! `u` untouched urns (loads within ±1 of each other, which the
+//! least-loaded player maintains). The recursion of the paper:
+//!
+//! * `R(N, u) = 0` when `Δ·u − N ≤ 0`,
+//! * option (a) — pick a touched urn — available when `N < k`:
+//!   contributes `R(N + 1, u)`,
+//! * option (b) — pick an untouched urn (needs `N ≥ 1`): contributes
+//!   `R(N − ⌈N/u⌉ + 1, u − 1)` and `R(N − ⌊N/u⌋ + 1, u − 1)`.
+//!
+//! The table also lets us *verify Lemma 4 exhaustively* for concrete
+//! `(k, Δ)`: option (a) always dominates, and `R(·, u)` is non-increasing.
+
+/// The exact-value table for one `(k, Δ)` pair.
+///
+/// # Example
+///
+/// ```
+/// use urn_game::GameValue;
+/// let gv = GameValue::new(16, 16);
+/// let exact = gv.value();
+/// assert!(exact as f64 <= urn_game::theorem3_bound(16, 16));
+/// ```
+#[derive(Clone, Debug)]
+pub struct GameValue {
+    k: usize,
+    delta: usize,
+    /// `table[n * (k + 1) + u] = R(n, u)`.
+    table: Vec<u32>,
+}
+
+impl GameValue {
+    /// Builds the full table for `k` balls and threshold `delta`.
+    ///
+    /// Time and space are `O(k²)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize, delta: usize) -> Self {
+        assert!(k >= 1, "need at least one ball");
+        let w = k + 1;
+        let mut table = vec![0u32; w * w];
+        for u in 0..=k {
+            // N from k down: R(N, u) depends on R(N+1, u).
+            for n in (0..=k).rev() {
+                if (delta * u) <= n || u == 0 {
+                    continue; // stays 0
+                }
+                let mut best: Option<u32> = None;
+                if n < k {
+                    best = Some(table[(n + 1) * w + u]);
+                }
+                if n >= 1 {
+                    let ceil = n.div_ceil(u);
+                    let floor = n / u;
+                    for take in [ceil, floor] {
+                        if take >= 1 {
+                            let n2 = n - take + 1;
+                            let v = table[n2 * w + (u - 1)];
+                            best = Some(best.map_or(v, |b| b.max(v)));
+                        }
+                    }
+                }
+                if let Some(b) = best {
+                    table[n * w + u] = 1 + b;
+                }
+            }
+        }
+        GameValue { k, delta, table }
+    }
+
+    /// `R(N, u)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > k` or `u > k`.
+    pub fn r(&self, n: usize, u: usize) -> u32 {
+        assert!(n <= self.k && u <= self.k);
+        self.table[n * (self.k + 1) + u]
+    }
+
+    /// The value of the standard game (all `k` urns untouched, one ball
+    /// each): `R(k, k)`.
+    pub fn value(&self) -> u32 {
+        self.r(self.k, self.k)
+    }
+
+    /// Number of balls `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Threshold `Δ`.
+    #[inline]
+    pub fn delta(&self) -> usize {
+        self.delta
+    }
+
+    /// Exhaustively checks Lemma 4(i): `N ↦ R(N, u)` is non-increasing.
+    pub fn check_monotone(&self) -> bool {
+        (0..=self.k).all(|u| (0..self.k).all(|n| self.r(n, u) >= self.r(n + 1, u)))
+    }
+
+    /// Exhaustively checks Lemma 4(ii): whenever option (a) is available
+    /// (`N < k`, game not over), it achieves the maximum.
+    pub fn check_option_a_dominates(&self) -> bool {
+        for u in 1..=self.k {
+            for n in 1..self.k {
+                if self.delta * u <= n {
+                    continue;
+                }
+                let via_a = self.r(n + 1, u);
+                let ceil = n.div_ceil(u);
+                let floor = (n / u).max(1);
+                let via_b = self
+                    .r(n - ceil + 1, u - 1)
+                    .max(self.r(n - floor + 1, u - 1));
+                if via_b > via_a {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{play, theorem3_bound, GreedyAdversary, LeastLoadedPlayer, UrnGame};
+
+    #[test]
+    fn tiny_values_by_hand() {
+        // k = 1, Δ = 1: the single urn already holds 1 ≥ Δ ball: over.
+        assert_eq!(GameValue::new(1, 1).value(), 0);
+        // k = 1, Δ = 2: u = 1, N = 1 < Δ·u = 2. Only option (b) (N = k so
+        // no option (a)): take the ball, game over (u becomes 0): 1 step.
+        assert_eq!(GameValue::new(1, 2).value(), 1);
+    }
+
+    #[test]
+    fn k2_value() {
+        // k = 2, Δ = 2, start (N=2, u=2): adversary must play (b)
+        // (N = k): R(2,2) = 1 + R(2-1+1, 1) = 1 + R(2, 1); Δ·1 = 2 ≤ 2 so
+        // R(2,1) = 0. Value 1.
+        assert_eq!(GameValue::new(2, 2).value(), 1);
+    }
+
+    #[test]
+    fn dp_below_theorem3_bound() {
+        for k in [2usize, 3, 5, 8, 16, 48, 100] {
+            for delta in [2usize, 3, k] {
+                let v = GameValue::new(k, delta).value() as f64;
+                let b = theorem3_bound(k, delta);
+                assert!(v <= b, "k={k} Δ={delta}: DP {v} > bound {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn dp_is_order_k_log_k() {
+        // The value should be Ω(k log k) too (the bound is near-tight):
+        // check it exceeds k·log(k)/4 for Δ = k.
+        for k in [16usize, 64, 256] {
+            let v = GameValue::new(k, k).value() as f64;
+            let lower = (k as f64) * (k as f64).ln() / 4.0;
+            assert!(v >= lower, "k={k}: DP {v} < {lower}");
+        }
+    }
+
+    #[test]
+    fn lemma4_checks_pass() {
+        for (k, delta) in [(8usize, 8usize), (16, 4), (32, 32), (48, 7)] {
+            let gv = GameValue::new(k, delta);
+            assert!(gv.check_monotone(), "monotonicity k={k} Δ={delta}");
+            assert!(gv.check_option_a_dominates(), "option a k={k} Δ={delta}");
+        }
+    }
+
+    #[test]
+    fn greedy_adversary_matches_dp_exactly() {
+        // The greedy adversary realizes the optimum against the
+        // least-loaded player.
+        for k in [2usize, 4, 8, 16, 40] {
+            for delta in [2usize, 3, k] {
+                let gv = GameValue::new(k, delta);
+                let r = play(
+                    UrnGame::new(k, delta),
+                    &mut LeastLoadedPlayer,
+                    &mut GreedyAdversary,
+                );
+                assert_eq!(
+                    r.steps as u32,
+                    gv.value(),
+                    "k={k} Δ={delta}: simulated {} vs DP {}",
+                    r.steps,
+                    gv.value()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Player (urn-chooser) strategies.
+
+use crate::Board;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The player of the game: given the board and the urn the adversary just
+/// picked from, chooses where the ball goes.
+pub trait Player {
+    /// Chooses the destination urn `b_t`. Called after the adversary has
+    /// committed to `from` (the pick is applied to the board only after
+    /// both choices; `board` still shows the pre-step state, except that
+    /// `from` must be considered touched).
+    fn choose(&mut self, board: &Board, from: usize) -> usize;
+
+    /// A short name for reports.
+    fn name(&self) -> &str {
+        "player"
+    }
+}
+
+/// Helper: untouched urns excluding the one the adversary just touched.
+fn candidates<'a>(board: &'a Board, from: usize) -> impl Iterator<Item = usize> + 'a {
+    board.untouched().filter(move |&i| i != from)
+}
+
+/// The paper's strategy (Section 3.1): drop the ball into the untouched
+/// urn with the fewest balls. Achieves the Theorem 3 bound.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LeastLoadedPlayer;
+
+impl Player for LeastLoadedPlayer {
+    fn choose(&mut self, board: &Board, from: usize) -> usize {
+        candidates(board, from)
+            .min_by_key(|&i| (board.load(i), i))
+            // No untouched urn left: the game is over after this step; any
+            // destination is equivalent.
+            .unwrap_or(from)
+    }
+
+    fn name(&self) -> &str {
+        "least-loaded"
+    }
+}
+
+/// Foil strategy: drop the ball into the *most* loaded untouched urn.
+/// Degrades to `Θ(k²)`-ish games against a draining adversary — used by
+/// the ablation benches to show the least-loaded rule is load-bearing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MostLoadedPlayer;
+
+impl Player for MostLoadedPlayer {
+    fn choose(&mut self, board: &Board, from: usize) -> usize {
+        candidates(board, from)
+            .max_by_key(|&i| (board.load(i), usize::MAX - i))
+            .unwrap_or(from)
+    }
+
+    fn name(&self) -> &str {
+        "most-loaded"
+    }
+}
+
+/// Foil strategy: drop the ball into a uniformly random untouched urn.
+#[derive(Clone, Debug)]
+pub struct RandomPlayer {
+    rng: StdRng,
+}
+
+impl RandomPlayer {
+    /// Creates the strategy with a fixed seed.
+    pub fn new(seed: u64) -> Self {
+        RandomPlayer {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Player for RandomPlayer {
+    fn choose(&mut self, board: &Board, from: usize) -> usize {
+        let cands: Vec<usize> = candidates(board, from).collect();
+        if cands.is_empty() {
+            from
+        } else {
+            cands[self.rng.random_range(0..cands.len())]
+        }
+    }
+
+    fn name(&self) -> &str {
+        "random"
+    }
+}
+
+/// Foil strategy: cycle through untouched urns regardless of load.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoundRobinPlayer {
+    next: usize,
+}
+
+impl Player for RoundRobinPlayer {
+    fn choose(&mut self, board: &Board, from: usize) -> usize {
+        let cands: Vec<usize> = candidates(board, from).collect();
+        if cands.is_empty() {
+            return from;
+        }
+        let pick = cands[self.next % cands.len()];
+        self.next = self.next.wrapping_add(1);
+        pick
+    }
+
+    fn name(&self) -> &str {
+        "round-robin"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn least_loaded_prefers_min() {
+        let mut b = Board::uniform(4);
+        b.step(0, 1); // loads [0,2,1,1], urn 0 touched
+        let mut p = LeastLoadedPlayer;
+        // From urn 1 (being touched now): untouched candidates are 2, 3
+        // with load 1 each; tie broken by index.
+        assert_eq!(p.choose(&b, 1), 2);
+    }
+
+    #[test]
+    fn least_loaded_excludes_from() {
+        let b = Board::uniform(2);
+        let mut p = LeastLoadedPlayer;
+        assert_eq!(p.choose(&b, 0), 1);
+    }
+
+    #[test]
+    fn most_loaded_prefers_max() {
+        let mut b = Board::uniform(4);
+        b.step(0, 1); // loads [0,2,1,1]
+        let mut p = MostLoadedPlayer;
+        // From urn 2: candidates 1 (load 2) and 3 (load 1).
+        assert_eq!(p.choose(&b, 2), 1);
+    }
+
+    #[test]
+    fn random_player_stays_in_candidates() {
+        let mut b = Board::uniform(6);
+        b.step(0, 1);
+        let mut p = RandomPlayer::new(3);
+        for _ in 0..50 {
+            let c = p.choose(&b, 2);
+            assert!(c != 0 && c != 2, "picked {c}");
+        }
+    }
+
+    #[test]
+    fn fallback_when_no_untouched() {
+        let mut b = Board::uniform(2);
+        b.step(0, 1);
+        // Now only urn 1 untouched; pick from it: no candidates remain.
+        let mut p = LeastLoadedPlayer;
+        assert_eq!(p.choose(&b, 1), 1);
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let b = Board::uniform(4);
+        let mut p = RoundRobinPlayer::default();
+        let picks: Vec<usize> = (0..3).map(|_| p.choose(&b, 0)).collect();
+        assert_eq!(picks, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,61 @@
+//! Brute-force validation of the `R(N, u)` dynamic program: for small
+//! `k`, search the *entire* adversary game tree against the least-loaded
+//! player and confirm the DP value is the exact optimum — not just an
+//! upper bound that the greedy adversary happens to attain.
+
+use std::collections::HashMap;
+use urn_game::{Board, GameValue, LeastLoadedPlayer, Player};
+
+/// Longest game reachable from `board` with optimal adversary play,
+/// memoized on the full (loads, touched) state.
+fn longest(board: &Board, delta: usize, memo: &mut HashMap<(Vec<usize>, Vec<bool>), u32>) -> u32 {
+    if board.is_finished(delta) {
+        return 0;
+    }
+    let key = (
+        board.loads().to_vec(),
+        (0..board.num_urns()).map(|i| board.is_touched(i)).collect(),
+    );
+    if let Some(&v) = memo.get(&key) {
+        return v;
+    }
+    let mut best = 0;
+    for from in board.pickable().collect::<Vec<_>>() {
+        let mut player = LeastLoadedPlayer;
+        let to = player.choose(board, from);
+        let mut next = board.clone();
+        next.step(from, to);
+        best = best.max(1 + longest(&next, delta, memo));
+    }
+    memo.insert(key, best);
+    best
+}
+
+#[test]
+fn dp_equals_exhaustive_search_for_small_k() {
+    for k in 1usize..=6 {
+        for delta in [1usize, 2, 3, k.max(1)] {
+            let mut memo = HashMap::new();
+            let brute = longest(&Board::uniform(k), delta, &mut memo);
+            let dp = GameValue::new(k, delta).value();
+            assert_eq!(brute, dp, "k={k} Δ={delta}: exhaustive {brute} vs DP {dp}");
+        }
+    }
+}
+
+#[test]
+fn dp_equals_exhaustive_search_on_reduction_boards() {
+    // The Section 3.2 initial condition: u untouched singletons plus one
+    // touched urn holding the rest. The DP table entry R(u, u) covers it.
+    for k in 2usize..=6 {
+        for u in 1..k {
+            let mut memo = HashMap::new();
+            let brute = longest(&Board::reduction(k, u), k, &mut memo);
+            let dp = GameValue::new(k, k).r(u, u);
+            assert_eq!(
+                brute, dp,
+                "k={k} u={u}: exhaustive {brute} vs DP R(u,u) = {dp}"
+            );
+        }
+    }
+}

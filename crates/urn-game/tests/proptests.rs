@@ -1,0 +1,96 @@
+//! Property-based tests: Theorem 3 must hold against *arbitrary*
+//! adversaries, not just the named strategies.
+
+use proptest::prelude::*;
+use urn_game::{
+    play, theorem3_bound, Adversary, Board, GameValue, LeastLoadedPlayer, Player, UrnGame,
+};
+
+/// An adversary driven by an arbitrary byte script: each step picks the
+/// `b % |pickable|`-th non-empty urn.
+#[derive(Debug)]
+struct ScriptedAdversary {
+    script: Vec<u8>,
+    cursor: usize,
+}
+
+impl Adversary for ScriptedAdversary {
+    fn choose(&mut self, board: &Board, delta: usize) -> Option<usize> {
+        if board.is_finished(delta) {
+            return None;
+        }
+        let pickable: Vec<usize> = board.pickable().collect();
+        let b = *self.script.get(self.cursor).unwrap_or(&0);
+        self.cursor += 1;
+        Some(pickable[b as usize % pickable.len()])
+    }
+}
+
+proptest! {
+    #[test]
+    fn theorem3_holds_for_scripted_adversaries(
+        k in 1usize..128,
+        delta_sel in 0usize..3,
+        script in prop::collection::vec(any::<u8>(), 0..2000),
+    ) {
+        let delta = [2usize, 7, usize::MAX][delta_sel].min(k.max(2));
+        let mut adv = ScriptedAdversary { script, cursor: 0 };
+        let rec = play(UrnGame::new(k, delta), &mut LeastLoadedPlayer, &mut adv);
+        let bound = theorem3_bound(k, delta);
+        prop_assert!(
+            (rec.steps as f64) <= bound,
+            "k={k} Δ={delta}: {} > {bound}", rec.steps
+        );
+        prop_assert!(rec.final_board.validate().is_ok());
+        prop_assert_eq!(rec.final_board.total_balls(), k);
+    }
+
+    /// The DP value upper-bounds any playout (it is the optimum against
+    /// the balancing player).
+    #[test]
+    fn dp_dominates_scripted_adversaries(
+        k in 2usize..48,
+        script in prop::collection::vec(any::<u8>(), 0..1500),
+    ) {
+        let gv = GameValue::new(k, k);
+        let mut adv = ScriptedAdversary { script, cursor: 0 };
+        let rec = play(UrnGame::new(k, k), &mut LeastLoadedPlayer, &mut adv);
+        prop_assert!(
+            rec.steps as u32 <= gv.value(),
+            "k={k}: scripted {} > DP optimum {}", rec.steps, gv.value()
+        );
+    }
+
+    /// Balance invariant: the least-loaded player keeps untouched-urn
+    /// loads within ±1 of each other at all times.
+    #[test]
+    fn least_loaded_keeps_untouched_urns_balanced(
+        k in 2usize..64,
+        script in prop::collection::vec(any::<u8>(), 0..800),
+    ) {
+        let mut board = Board::uniform(k);
+        let mut adv = ScriptedAdversary { script, cursor: 0 };
+        let mut player = LeastLoadedPlayer;
+        let delta = k;
+        for _ in 0..10_000 {
+            if board.is_finished(delta) {
+                break;
+            }
+            let Some(from) = adv.choose(&board, delta) else { break };
+            let to = player.choose(&board, from);
+            board.step(from, to);
+            let loads: Vec<usize> = board.untouched().map(|i| board.load(i)).collect();
+            if let (Some(&min), Some(&max)) = (loads.iter().min(), loads.iter().max()) {
+                prop_assert!(max - min <= 1, "unbalanced untouched loads: {loads:?}");
+            }
+        }
+    }
+
+    /// Lemma 4's structural checks hold for arbitrary (k, Δ).
+    #[test]
+    fn lemma4_exhaustive(k in 1usize..40, delta in 1usize..40) {
+        let gv = GameValue::new(k, delta);
+        prop_assert!(gv.check_monotone());
+        prop_assert!(gv.check_option_a_dominates());
+    }
+}

@@ -1,0 +1,36 @@
+//! Quickstart: explore an unknown tree with a team of robots and check
+//! the paper's Theorem 1 guarantee on the way out.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use bfdn::{theorem1_bound, Bfdn};
+use bfdn_sim::Simulator;
+use bfdn_trees::generators;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A random 5 000-node tree the robots have never seen.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let tree = generators::random_recursive(5_000, &mut rng);
+    println!("ground truth: {tree} (hidden from the robots)");
+
+    for k in [1usize, 4, 16, 64] {
+        // Breadth-First Depth-Next with k robots.
+        let mut algo = Bfdn::new(k);
+        let outcome = Simulator::new(&tree, k).run(&mut algo)?;
+        let bound = theorem1_bound(tree.len(), tree.depth(), k, tree.max_degree());
+        println!(
+            "k = {k:>3}: explored in {:>6} rounds \
+             (Theorem 1 bound {:>7.0}, 2n/k = {:>6.0}, {} reanchorings)",
+            outcome.rounds,
+            bound,
+            2.0 * tree.len() as f64 / k as f64,
+            algo.total_reanchors(),
+        );
+        assert!((outcome.rounds as f64) <= bound, "Theorem 1 must hold");
+    }
+    println!("every run stayed within 2n/k + D^2(min(log Δ, log k) + 3) ✓");
+    Ok(())
+}

@@ -1,0 +1,21 @@
+//! Umbrella crate for the BFDN reproduction workspace.
+//!
+//! This crate re-exports the workspace members so that the runnable
+//! examples under `examples/` and the integration tests under `tests/`
+//! can exercise the whole public API through a single dependency.
+//!
+//! See the individual crates for the actual implementation:
+//!
+//! * [`bfdn`] — the paper's contribution (Algorithm 1 and its variants),
+//! * [`bfdn_trees`] — tree/graph substrates and workload generators,
+//! * [`bfdn_sim`] — the synchronous exploration engine,
+//! * [`urn_game`] — the two-player balls-in-urns game of Section 3,
+//! * [`bfdn_baselines`] — DFS, offline split traversal and CTE,
+//! * [`bfdn_analysis`] — guarantee formulas and the Figure 1 region map.
+
+pub use bfdn;
+pub use bfdn_analysis;
+pub use bfdn_baselines;
+pub use bfdn_sim;
+pub use bfdn_trees;
+pub use urn_game;

@@ -1,0 +1,138 @@
+//! Proposition 7 end-to-end: adversarial break-down schedules never stop
+//! the robust BFDN variant, and the allowed-move budget it consumes
+//! respects the bound.
+
+use bfdn::{proposition7_bound, Bfdn};
+use bfdn_sim::{
+    BurstStall, MoveSchedule, RandomStall, RoundRobinStall, Simulator, StopCondition, TargetedStall,
+};
+use bfdn_trees::generators::Family;
+use bfdn_trees::NodeId;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+#[test]
+fn all_schedules_on_all_families() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let k = 8;
+    for fam in Family::ALL {
+        let tree = fam.instance(300, &mut rng);
+        let depths: Vec<usize> = tree.node_ids().map(|v| tree.node_depth(v)).collect();
+        let schedules: Vec<Box<dyn MoveSchedule>> = vec![
+            Box::new(RandomStall::new(0.5, 1)),
+            Box::new(RoundRobinStall::new(3)),
+            Box::new(BurstStall::new(5, 2)),
+            Box::new(TargetedStall::new(depths, 0.4, 2)),
+        ];
+        for mut schedule in schedules {
+            let name = schedule.name().to_string();
+            let mut algo = Bfdn::new_robust(k);
+            let outcome = Simulator::new(&tree, k)
+                .run_with(&mut algo, &mut *schedule, StopCondition::Explored)
+                .unwrap_or_else(|e| panic!("{fam} under {name}: {e}"));
+            assert_eq!(outcome.metrics.edges_discovered, tree.num_edges() as u64);
+            let bound = proposition7_bound(tree.len(), tree.depth(), k);
+            assert!(
+                outcome.metrics.average_allowed() <= bound,
+                "{fam} under {name}: A(M) {} > {bound}",
+                outcome.metrics.average_allowed()
+            );
+        }
+    }
+}
+
+/// An arbitrary finite schedule encoded as a bitstream: the adversary of
+/// Section 4.2 is any binary matrix; we replay random ones and require
+/// exploration to complete while allowed moves remain within budget.
+#[derive(Debug)]
+struct BitstreamSchedule {
+    bits: Vec<bool>,
+    cursor: usize,
+}
+
+impl MoveSchedule for BitstreamSchedule {
+    fn fill(&mut self, _round: u64, _positions: &[NodeId], allowed: &mut [bool]) {
+        for a in allowed.iter_mut() {
+            // After the stream runs dry, always allow (the paper's
+            // matrices have finitely many 1s; we need the complement so
+            // runs terminate).
+            *a = self.bits.get(self.cursor).copied().unwrap_or(true);
+            self.cursor += 1;
+        }
+    }
+
+    fn name(&self) -> &str {
+        "bitstream"
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_bitstream_schedules_cannot_stop_exploration(
+        bits in prop::collection::vec(any::<bool>(), 0..4000),
+        seed in any::<u64>(),
+        k in 1usize..8,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let tree = bfdn_trees::generators::random_recursive(120, &mut rng);
+        let mut schedule = BitstreamSchedule { bits, cursor: 0 };
+        let mut algo = Bfdn::new_robust(k);
+        let outcome = Simulator::new(&tree, k)
+            .run_with(&mut algo, &mut schedule, StopCondition::Explored)
+            .unwrap();
+        prop_assert_eq!(outcome.metrics.edges_discovered, tree.num_edges() as u64);
+        let bound = proposition7_bound(tree.len(), tree.depth(), k);
+        prop_assert!(outcome.metrics.average_allowed() <= bound);
+    }
+}
+
+/// Remark 8's stronger adversary, negative half: an adversary that sees
+/// the selected moves and blocks every would-be discoverer *forever*
+/// livelocks exploration while racking up unbounded allowed moves — so
+/// Proposition 7's guarantee does **not** extend to the post-selection
+/// model. (This is why the paper lists it as a different setting.)
+#[test]
+fn unrestricted_reactive_adversary_livelocks_bfdn() {
+    use bfdn_sim::ReactiveStall;
+    let tree = bfdn_trees::generators::comb(10, 3);
+    let k = 4;
+    let mut algo = Bfdn::new(k);
+    let mut schedule = ReactiveStall::unrestricted();
+    let err = Simulator::new(&tree, k)
+        .with_max_rounds(5_000)
+        .run_post(&mut algo, &mut schedule, StopCondition::Explored)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        bfdn_sim::SimError::RoundLimit { explored: 1, .. }
+    ));
+}
+
+/// Remark 8, positive half: give the reactive adversary any finite
+/// fairness cap (no robot stalled more than C rounds in a row) and
+/// exploration completes, with the allowed-move budget inflated by at
+/// most ~(C + 1)x.
+#[test]
+fn fair_reactive_adversary_cannot_stop_bfdn() {
+    use bfdn_sim::ReactiveStall;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2027);
+    let cap = 3u32;
+    for fam in [Family::Comb, Family::RandomRecursive, Family::Star] {
+        let tree = fam.instance(400, &mut rng);
+        let k = 8;
+        let mut algo = Bfdn::new(k);
+        let mut schedule = ReactiveStall::with_fairness(cap);
+        let outcome = Simulator::new(&tree, k)
+            .run_post(&mut algo, &mut schedule, StopCondition::Explored)
+            .unwrap_or_else(|e| panic!("{fam}: {e}"));
+        assert_eq!(outcome.metrics.edges_discovered, tree.num_edges() as u64);
+        let budget = f64::from(cap + 1) * proposition7_bound(tree.len(), tree.depth(), k);
+        assert!(
+            outcome.metrics.average_allowed() <= budget,
+            "{fam}: A(M) {} beyond the (C+1)-inflated Prop. 7 envelope",
+            outcome.metrics.average_allowed()
+        );
+    }
+}

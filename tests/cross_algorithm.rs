@@ -1,0 +1,138 @@
+//! Cross-crate integration: every exploration algorithm in the workspace
+//! runs on the same workloads, under the same simulator, and respects
+//! its own guarantee plus the mutual consistency relations.
+
+use bfdn::{offline_lower_bound, theorem10_bound, theorem1_bound, Bfdn, BfdnL, WriteReadBfdn};
+use bfdn_baselines::{Cte, OfflineSplit, OnlineDfs, ScriptedExplorer};
+use bfdn_sim::{Explorer, Simulator};
+use bfdn_trees::generators::Family;
+use bfdn_trees::Tree;
+use rand::SeedableRng;
+
+fn workloads() -> Vec<Tree> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2026);
+    Family::ALL
+        .iter()
+        .map(|f| f.instance(400, &mut rng))
+        .collect()
+}
+
+fn run(tree: &Tree, k: usize, explorer: &mut dyn Explorer) -> bfdn_sim::Outcome {
+    Simulator::new(tree, k)
+        .run(explorer)
+        .unwrap_or_else(|e| panic!("{} stuck on {tree} k={k}: {e}", explorer.name()))
+}
+
+#[test]
+fn every_algorithm_discovers_every_edge() {
+    for tree in workloads() {
+        for k in [2usize, 8] {
+            let mut algos: Vec<Box<dyn Explorer>> = vec![
+                Box::new(Bfdn::new(k)),
+                Box::new(Bfdn::new_robust(k)),
+                Box::new(WriteReadBfdn::new(k)),
+                Box::new(BfdnL::new(k, 1)),
+                Box::new(BfdnL::new(k, 2)),
+                Box::new(Cte::new(k)),
+            ];
+            for algo in &mut algos {
+                let outcome = run(&tree, k, algo.as_mut());
+                assert_eq!(
+                    outcome.metrics.edges_discovered,
+                    tree.num_edges() as u64,
+                    "{} on {tree} k={k}",
+                    algo.name()
+                );
+                assert!(
+                    outcome.metrics.edge_events <= 2 * tree.num_edges() as u64,
+                    "{}: more edge events than 2(n-1)",
+                    algo.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn nobody_beats_the_offline_lower_bound() {
+    for tree in workloads() {
+        for k in [2usize, 8, 32] {
+            let lower = offline_lower_bound(tree.len(), tree.depth(), k);
+            let mut bfdn = Bfdn::new(k);
+            let rounds = run(&tree, k, &mut bfdn).rounds;
+            assert!(
+                rounds as f64 + 1e-9 >= lower,
+                "BFDN on {tree} k={k}: {rounds} below the offline lower bound {lower}"
+            );
+            let offline = OfflineSplit::plan(&tree, k).rounds();
+            assert!(offline as f64 + 1e-9 >= lower);
+        }
+    }
+}
+
+#[test]
+fn all_bfdn_variants_respect_their_bounds() {
+    for tree in workloads() {
+        let (n, d, dg) = (tree.len(), tree.depth(), tree.max_degree());
+        for k in [2usize, 8] {
+            let t1 = theorem1_bound(n, d, k, dg);
+            let mut cc = Bfdn::new(k);
+            assert!((run(&tree, k, &mut cc).rounds as f64) <= t1);
+            let mut wr = WriteReadBfdn::new(k);
+            assert!((run(&tree, k, &mut wr).rounds as f64) <= t1);
+            for ell in [1u32, 2] {
+                let t10 = theorem10_bound(n, d, k, dg, ell);
+                let mut rec = BfdnL::new(k, ell);
+                assert!(
+                    (run(&tree, k, &mut rec).rounds as f64) <= t10,
+                    "BFDN_{ell} on {tree} k={k}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn offline_split_replays_through_the_simulator() {
+    for tree in workloads() {
+        for k in [1usize, 4, 16] {
+            let plan = OfflineSplit::plan(&tree, k);
+            plan.validate(&tree).expect("plan is a valid cover");
+            let routes = (0..k).map(|i| plan.route(i).to_vec()).collect();
+            let mut script = ScriptedExplorer::from_routes(&tree, routes);
+            let outcome = run(&tree, k, &mut script);
+            assert_eq!(outcome.rounds, plan.rounds());
+        }
+    }
+}
+
+#[test]
+fn single_robot_hierarchy() {
+    // With one robot: DFS is optimal; BFDN matches it up to its (small)
+    // reanchoring overhead; CTE with k = 1 is exactly DFS.
+    for tree in workloads() {
+        let dfs = run(&tree, 1, &mut OnlineDfs).rounds;
+        assert_eq!(dfs, 2 * tree.num_edges() as u64);
+        let cte = run(&tree, 1, &mut Cte::new(1)).rounds;
+        assert_eq!(cte, dfs, "CTE with one robot degenerates to DFS");
+        let bfdn = run(&tree, 1, &mut Bfdn::new(1)).rounds;
+        assert!(bfdn >= dfs, "nothing beats DFS with one robot");
+    }
+}
+
+#[test]
+fn more_robots_never_hurt_much_on_bushy_trees() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let tree = bfdn_trees::generators::random_recursive(3000, &mut rng);
+    let mut prev: Option<u64> = None;
+    for k in [1usize, 4, 16, 64] {
+        let rounds = run(&tree, k, &mut Bfdn::new(k)).rounds;
+        if let Some(p) = prev {
+            assert!(
+                rounds <= p + p / 4 + 100,
+                "k={k}: {rounds} much worse than previous {p}"
+            );
+        }
+        prev = Some(rounds);
+    }
+}

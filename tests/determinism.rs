@@ -1,0 +1,62 @@
+//! Reproducibility: every algorithm in the workspace is deterministic —
+//! identical runs produce identical traces, so every number in
+//! `EXPERIMENTS.md` is exactly regenerable.
+
+use bfdn::{Bfdn, BfdnL, WriteReadBfdn};
+use bfdn_baselines::Cte;
+use bfdn_sim::{Explorer, Simulator, Trace};
+use bfdn_trees::{generators, Tree};
+use rand::SeedableRng;
+
+fn trace_of(tree: &Tree, k: usize, explorer: &mut dyn Explorer) -> Trace {
+    let mut sim = Simulator::new(tree, k).record_trace();
+    sim.run(explorer).unwrap().trace.unwrap()
+}
+
+#[test]
+fn identical_runs_produce_identical_traces() {
+    type Factory = fn(usize) -> Box<dyn Explorer>;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(123);
+    let tree = generators::uniform_labeled(500, &mut rng);
+    let k = 8;
+    let factories: Vec<(&str, Factory)> = vec![
+        ("bfdn", |k| Box::new(Bfdn::new(k))),
+        ("write-read", |k| Box::new(WriteReadBfdn::new(k))),
+        ("bfdn-l2", |k| Box::new(BfdnL::new(k, 2))),
+        ("cte", |k| Box::new(Cte::new(k))),
+    ];
+    for (name, make) in factories {
+        let a = trace_of(&tree, k, make(k).as_mut());
+        let b = trace_of(&tree, k, make(k).as_mut());
+        assert_eq!(a, b, "{name} is not deterministic");
+    }
+}
+
+#[test]
+fn seeded_generators_are_reproducible() {
+    for seed in [0u64, 7, 99] {
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(seed);
+        let t1 = generators::uniform_labeled(400, &mut r1);
+        let t2 = generators::uniform_labeled(400, &mut r2);
+        for v in t1.node_ids() {
+            assert_eq!(t1.parent(v), t2.parent(v));
+        }
+    }
+}
+
+#[test]
+fn seeded_random_reanchor_rule_is_reproducible() {
+    use bfdn::ReanchorRule;
+    let tree = generators::comb(12, 3);
+    let k = 5;
+    let mut a1 = Bfdn::builder(k)
+        .reanchor_rule(ReanchorRule::Random(42))
+        .build();
+    let mut a2 = Bfdn::builder(k)
+        .reanchor_rule(ReanchorRule::Random(42))
+        .build();
+    let t1 = trace_of(&tree, k, &mut a1);
+    let t2 = trace_of(&tree, k, &mut a2);
+    assert_eq!(t1, t2);
+}

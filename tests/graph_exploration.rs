@@ -1,0 +1,81 @@
+//! Proposition 9 end-to-end: random connected graphs (random spanning
+//! tree plus random chords) and grids, explored by the graph variant.
+
+use bfdn::GraphBfdn;
+use bfdn_trees::grid::{GridGraph, Rect};
+use bfdn_trees::{Graph, GraphBuilder, NodeId};
+use proptest::prelude::*;
+
+/// A connected graph from a parent-choice vector plus chord pairs.
+fn graph_from(choices: &[usize], chords: &[(usize, usize)]) -> Graph {
+    let n = choices.len() + 1;
+    let mut b = GraphBuilder::new(n);
+    for (i, &c) in choices.iter().enumerate() {
+        b.add_edge(NodeId::new(i + 1), NodeId::new(c % (i + 1)));
+    }
+    let mut seen = std::collections::HashSet::new();
+    for &(x, y) in chords {
+        let (u, v) = (x % n, y % n);
+        if u != v && seen.insert((u.min(v), u.max(v))) {
+            b.add_edge(NodeId::new(u), NodeId::new(v));
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn proposition9_holds_on_random_graphs(
+        choices in prop::collection::vec(any::<usize>(), 1..120),
+        chords in prop::collection::vec((any::<usize>(), any::<usize>()), 0..60),
+        k in 1usize..10,
+    ) {
+        let g = graph_from(&choices, &chords);
+        prop_assert!(g.validate().is_ok());
+        let out = GraphBfdn::explore(&g, NodeId::new(0), k).unwrap();
+        prop_assert!((out.rounds as f64) <= out.bound, "{} > {}", out.rounds, out.bound);
+        prop_assert_eq!(out.tree_edges + out.closed_edges, g.num_edges() as u64);
+    }
+
+    #[test]
+    fn proposition9_holds_on_random_grids(
+        w in 2usize..12,
+        h in 2usize..12,
+        ox in 1usize..10,
+        oy in 1usize..10,
+        ow in 1usize..5,
+        oh in 1usize..5,
+        k in 1usize..10,
+    ) {
+        let rect = Rect::new(ox.min(w - 1).max(1), oy.min(h - 1).max(1),
+                             (ox + ow).min(w), (oy + oh).min(h));
+        let grid = GridGraph::new(w, h, &[rect]);
+        // Obstacles may disconnect the grid; only connected cases are in
+        // scope for Proposition 9.
+        if grid.graph().is_connected_from(grid.origin()) {
+            let out = GraphBfdn::explore(grid.graph(), grid.origin(), k).unwrap();
+            prop_assert!((out.rounds as f64) <= out.bound);
+        }
+    }
+}
+
+#[test]
+fn big_grid_with_many_obstacles() {
+    let grid = GridGraph::new(
+        30,
+        30,
+        &[
+            Rect::new(2, 2, 10, 5),
+            Rect::new(14, 1, 16, 25),
+            Rect::new(20, 10, 28, 12),
+            Rect::new(4, 20, 12, 28),
+        ],
+    );
+    assert!(grid.graph().is_connected_from(grid.origin()));
+    for k in [1usize, 8, 64] {
+        let out = GraphBfdn::explore(grid.graph(), grid.origin(), k).unwrap();
+        assert!((out.rounds as f64) <= out.bound, "k={k}");
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based end-to-end tests: arbitrary trees, arbitrary team
+//! sizes — the paper's guarantees must hold on every instance.
+
+use bfdn::{lemma2_bound, theorem1_bound, Bfdn, WriteReadBfdn};
+use bfdn_baselines::Cte;
+use bfdn_sim::{Explorer, Simulator};
+use bfdn_trees::{NodeId, Tree, TreeBuilder};
+use proptest::prelude::*;
+
+fn tree_from_choices(choices: &[usize]) -> Tree {
+    let mut b = TreeBuilder::with_capacity(choices.len() + 1);
+    for (i, &c) in choices.iter().enumerate() {
+        b.add_child(NodeId::new(c % (i + 1)));
+    }
+    b.build()
+}
+
+fn arb_tree() -> impl Strategy<Value = Tree> {
+    prop::collection::vec(any::<usize>(), 1..250).prop_map(|c| tree_from_choices(&c))
+}
+
+/// Skewed tree: biased towards recent nodes, so depths grow.
+fn arb_deep_tree() -> impl Strategy<Value = Tree> {
+    prop::collection::vec(0usize..4, 1..250).prop_map(|c| {
+        let mut b = TreeBuilder::with_capacity(c.len() + 1);
+        for (i, &back) in c.iter().enumerate() {
+            b.add_child(NodeId::new(i.saturating_sub(back)));
+        }
+        b.build()
+    })
+}
+
+fn check_explorer(tree: &Tree, k: usize, explorer: &mut dyn Explorer) -> u64 {
+    let outcome = Simulator::new(tree, k)
+        .run(explorer)
+        .unwrap_or_else(|e| panic!("{} stuck on {tree}: {e}", explorer.name()));
+    assert_eq!(outcome.metrics.edges_discovered, tree.num_edges() as u64);
+    outcome.rounds
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn theorem1_holds_on_arbitrary_trees(tree in arb_tree(), k in 1usize..20) {
+        let rounds = check_explorer(&tree, k, &mut Bfdn::new(k));
+        let bound = theorem1_bound(tree.len(), tree.depth(), k, tree.max_degree());
+        prop_assert!((rounds as f64) <= bound, "{rounds} > {bound} on {tree} k={k}");
+    }
+
+    #[test]
+    fn theorem1_holds_on_deep_trees(tree in arb_deep_tree(), k in 1usize..20) {
+        let rounds = check_explorer(&tree, k, &mut Bfdn::new(k));
+        let bound = theorem1_bound(tree.len(), tree.depth(), k, tree.max_degree());
+        prop_assert!((rounds as f64) <= bound);
+    }
+
+    #[test]
+    fn proposition6_holds_on_arbitrary_trees(tree in arb_tree(), k in 1usize..12) {
+        let rounds = check_explorer(&tree, k, &mut WriteReadBfdn::new(k));
+        let bound = theorem1_bound(tree.len(), tree.depth(), k, tree.max_degree());
+        prop_assert!((rounds as f64) <= bound);
+    }
+
+    #[test]
+    fn lemma2_holds_on_arbitrary_trees(tree in arb_tree(), k in 1usize..16) {
+        let mut algo = Bfdn::new(k);
+        check_explorer(&tree, k, &mut algo);
+        let bound = lemma2_bound(k, tree.max_degree());
+        for (d, &count) in algo.reanchors_by_depth().iter().enumerate().skip(1) {
+            prop_assert!(
+                (count as f64) <= bound,
+                "depth {d}: {count} reanchors > {bound} on {tree} k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn cte_explores_arbitrary_trees(tree in arb_tree(), k in 1usize..16) {
+        check_explorer(&tree, k, &mut Cte::new(k));
+    }
+
+    /// Claim 2: under BFDN each dangling edge is traversed by exactly one
+    /// robot the round it is discovered — so total moves spent on
+    /// discoveries equal n - 1, and all robots end at the root.
+    #[test]
+    fn bfdn_ends_with_everyone_home(tree in arb_tree(), k in 1usize..10) {
+        let mut algo = Bfdn::new(k);
+        let mut sim = Simulator::new(&tree, k);
+        sim.run(&mut algo).unwrap();
+        prop_assert!(sim.positions().iter().all(|p| p.is_root()));
+        prop_assert!(sim.partial().is_complete());
+        prop_assert!(sim.partial().validate().is_ok());
+    }
+}
