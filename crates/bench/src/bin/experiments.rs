@@ -7,10 +7,14 @@
 //!
 //! Without arguments, runs everything at full (laptop) scale. `--quick`
 //! uses the CI-sized configuration; `--csv DIR` additionally writes each
-//! table as `DIR/<experiment>.csv`.
+//! table as `DIR/<experiment>.csv` plus a run manifest
+//! `DIR/<experiment>.manifest.json` (scale, git revision, wall-clock,
+//! row count) so every results directory is self-describing.
 
 use bfdn_bench::{experiments as ex, Scale, Table};
+use bfdn_obs::RunManifest;
 use std::path::Path;
+use std::time::Duration;
 
 fn emit(id: &str, t: &Table, csv_dir: Option<&Path>) {
     println!("{t}");
@@ -19,6 +23,28 @@ fn emit(id: &str, t: &Table, csv_dir: Option<&Path>) {
         if let Err(e) = std::fs::write(&path, t.to_csv()) {
             eprintln!("failed to write {}: {e}", path.display());
         }
+        ROWS.with(|rows| rows.set(rows.get() + t.len() as u64));
+    }
+}
+
+thread_local! {
+    /// Rows written by the current experiment (an experiment may emit
+    /// several tables, e.g. E5).
+    static ROWS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Writes `DIR/<id>.manifest.json` describing the experiment run that
+/// just produced `DIR/<id>.csv`.
+fn write_manifest(id: &str, scale: Scale, elapsed: Duration, dir: &Path) {
+    let mut m = RunManifest::new(id, format!("{scale:?}").to_lowercase());
+    m.metric(
+        "wall_clock_ms",
+        u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX),
+    );
+    m.metric("csv_rows", ROWS.with(|rows| rows.replace(0)));
+    let path = dir.join(format!("{id}.manifest.json"));
+    if let Err(e) = m.write(&path) {
+        eprintln!("failed to write {}: {e}", path.display());
     }
 }
 
@@ -84,6 +110,10 @@ fn main() {
             eprintln!("unknown experiment `{id}` (expected e1..e13, ablations, or all)");
             std::process::exit(2);
         }
-        eprintln!("[{id} done in {:.1?}]", start.elapsed());
+        let elapsed = start.elapsed();
+        if let Some(dir) = &csv_dir {
+            write_manifest(id, scale, elapsed, dir);
+        }
+        eprintln!("[{id} done in {:.1?}]", elapsed);
     }
 }

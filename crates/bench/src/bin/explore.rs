@@ -3,11 +3,18 @@
 //! ```text
 //! explore --family comb --n 2000 --k 16 --algo bfdn-l2 --seed 7
 //! explore --family binary --n 30 --k 3 --algo bfdn --render
+//! explore --algo bfdn --trace-out run.jsonl --manifest-out run.json --log debug
 //! ```
 //!
 //! Flags: `--family` (see `bfdn_trees::generators::Family`), `--n`,
 //! `--k`, `--algo` (bfdn, bfdn-robust, bfdn-shortcut, write-read,
 //! bfdn-l2, bfdn-l3, cte), `--seed`, `--render`.
+//!
+//! Observability flags: `--trace-out PATH` streams one JSON object per
+//! event (reanchors, edge discoveries, stalls, rounds, phase timings) to
+//! `PATH`; `--manifest-out PATH` writes a run manifest (parameters, git
+//! revision, wall-clock per phase, final metrics and Theorem 1 / Lemma 2
+//! margins); `--log off|info|debug|trace` echoes events to stderr.
 
 use bfdn_bench::cli::ExploreArgs;
 

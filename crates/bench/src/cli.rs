@@ -5,11 +5,18 @@
 
 use bfdn::{Bfdn, BfdnL, WriteReadBfdn};
 use bfdn_baselines::{Cte, OnlineDfs};
-use bfdn_sim::{Explorer, Simulator};
+use bfdn_obs::{
+    BoundConfig, BoundTracker, Event, EventSink, JsonlSink, LogLevel, Phases, RunManifest,
+    StderrLog,
+};
+use bfdn_sim::{Explorer, Outcome, Simulator};
 use bfdn_trees::generators::Family;
 use bfdn_trees::Tree;
 use rand::SeedableRng;
 use std::fmt;
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::PathBuf;
 
 /// A parsed `explore` invocation.
 #[derive(Clone, Debug, PartialEq)]
@@ -26,6 +33,12 @@ pub struct ExploreArgs {
     pub seed: u64,
     /// Render an ASCII animation (small trees only).
     pub render: bool,
+    /// Stream a JSONL event trace to this path (`--trace-out`).
+    pub trace_out: Option<PathBuf>,
+    /// Write a run manifest to this path (`--manifest-out`).
+    pub manifest_out: Option<PathBuf>,
+    /// Log events to stderr at this level (`--log`).
+    pub log: LogLevel,
 }
 
 /// Errors of [`ExploreArgs::parse`].
@@ -49,6 +62,35 @@ impl Default for ExploreArgs {
             algo: "bfdn".into(),
             seed: 42,
             render: false,
+            trace_out: None,
+            manifest_out: None,
+            log: LogLevel::Off,
+        }
+    }
+}
+
+/// The sink composition of one observed CLI run: an optional JSONL
+/// trace, live bound margins, and an optional stderr log. Held by value
+/// (not boxed in a `FanOut`) so the tracker and event counts can be read
+/// back for the manifest after the run.
+struct CliSink {
+    jsonl: Option<JsonlSink<BufWriter<File>>>,
+    tracker: BoundTracker,
+    log: StderrLog,
+}
+
+impl EventSink for CliSink {
+    fn emit(&mut self, event: &Event) {
+        if let Some(jsonl) = &mut self.jsonl {
+            jsonl.emit(event);
+        }
+        self.tracker.emit(event);
+        self.log.emit(event);
+    }
+
+    fn flush(&mut self) {
+        if let Some(jsonl) = &mut self.jsonl {
+            jsonl.flush();
         }
     }
 }
@@ -66,12 +108,14 @@ impl ExploreArgs {
         "dfs",
     ];
 
-    /// Parses `--family F --n N --k K --algo A --seed S [--render]`.
+    /// Parses `--family F --n N --k K --algo A --seed S [--render]
+    /// [--trace-out PATH] [--manifest-out PATH] [--log LEVEL]`.
     ///
     /// # Errors
     ///
     /// Returns a [`ParseError`] describing the first unknown flag,
-    /// missing value, unknown family/algorithm, or malformed number.
+    /// missing value, unknown family/algorithm/level, or malformed
+    /// number.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ParseError> {
         let mut out = ExploreArgs::default();
         let mut it = args.into_iter();
@@ -126,9 +170,18 @@ impl ExploreArgs {
                         .map_err(|_| ParseError(format!("bad --seed `{v}`")))?;
                 }
                 "--render" => out.render = true,
+                "--trace-out" => out.trace_out = Some(PathBuf::from(value("--trace-out")?)),
+                "--manifest-out" => {
+                    out.manifest_out = Some(PathBuf::from(value("--manifest-out")?))
+                }
+                "--log" => {
+                    let v = value("--log")?;
+                    out.log = v.parse().map_err(ParseError)?;
+                }
                 other => {
                     return Err(ParseError(format!(
-                        "unknown flag `{other}` (try --family --n --k --algo --seed --render)"
+                        "unknown flag `{other}` (try --family --n --k --algo --seed --render \
+                         --trace-out --manifest-out --log)"
                     )))
                 }
             }
@@ -161,23 +214,141 @@ impl ExploreArgs {
         }
     }
 
+    /// Whether any observability flag is set. Unobserved runs take the
+    /// plain [`Simulator`] path, whose sink is the compiled-out
+    /// [`bfdn_obs::NullSink`].
+    fn observing(&self) -> bool {
+        self.trace_out.is_some() || self.manifest_out.is_some() || self.log > LogLevel::Off
+    }
+
     /// Runs the exploration and returns a human-readable report.
     ///
     /// # Errors
     ///
-    /// Propagates simulator errors as strings.
+    /// Propagates simulator and observability I/O errors as strings.
     pub fn run(&self) -> Result<String, String> {
-        let tree = self.build_tree();
         let mut explorer = self.build_explorer();
-        let mut sim = Simulator::new(&tree, self.k);
+        if !self.observing() {
+            let tree = self.build_tree();
+            let outcome = self.simulate_plain(&tree, explorer.as_mut())?;
+            return Ok(self.report(&tree, &outcome));
+        }
+
+        let mut phases = Phases::default();
+        let tree = phases.time("build_tree", || self.build_tree());
+        let jsonl = match &self.trace_out {
+            Some(path) => Some(
+                JsonlSink::create(path)
+                    .map_err(|e| format!("cannot create {}: {e}", path.display()))?,
+            ),
+            None => None,
+        };
+        let sink = CliSink {
+            jsonl,
+            tracker: BoundTracker::new(BoundConfig {
+                rounds: Some(bfdn::theorem1_bound(
+                    tree.len(),
+                    tree.depth(),
+                    self.k,
+                    tree.max_degree(),
+                )),
+                reanchors_per_depth: Some(bfdn::lemma2_bound(self.k, tree.max_degree())),
+                urn_steps: None,
+            }),
+            log: StderrLog::new(self.log),
+        };
+        let mut sim = Simulator::new(&tree, self.k).with_sink(sink);
         if self.render {
             sim = sim.record_trace();
         }
-        let outcome = sim.run(explorer.as_mut()).map_err(|e| e.to_string())?;
+        let outcome = phases
+            .time("explore", || sim.run(explorer.as_mut()))
+            .map_err(|e| e.to_string())?;
+        let mut sink = sim.into_sink();
+        phases.emit(&mut sink);
+        sink.flush();
+
+        let events_emitted = match sink.jsonl {
+            Some(jsonl) => {
+                let events = jsonl.events();
+                jsonl
+                    .finish()
+                    .map_err(|e| format!("trace write failed: {e}"))?;
+                events
+            }
+            None => 0,
+        };
+        let mut report = self.report(&tree, &outcome);
+        if let Some(path) = &self.manifest_out {
+            let manifest = self.manifest(&tree, &outcome, &phases, &sink.tracker, events_emitted);
+            manifest
+                .write(path)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            report.push_str(&format!("manifest: {}\n", path.display()));
+        }
+        if let Some(path) = &self.trace_out {
+            report.push_str(&format!(
+                "trace: {} ({events_emitted} events)\n",
+                path.display()
+            ));
+        }
+        if !sink.tracker.all_non_negative() {
+            report.push_str("WARNING: a bound margin went negative during the run\n");
+        }
+        Ok(report)
+    }
+
+    fn simulate_plain(&self, tree: &Tree, explorer: &mut dyn Explorer) -> Result<Outcome, String> {
+        let mut sim = Simulator::new(tree, self.k);
+        if self.render {
+            sim = sim.record_trace();
+        }
+        sim.run(explorer).map_err(|e| e.to_string())
+    }
+
+    /// The run manifest of an observed invocation: instance parameters,
+    /// git revision, phase wall-clock, final counters and final margins.
+    fn manifest(
+        &self,
+        tree: &Tree,
+        outcome: &Outcome,
+        phases: &Phases,
+        tracker: &BoundTracker,
+        events_emitted: u64,
+    ) -> RunManifest {
+        let mut m = RunManifest::new(&self.algo, self.family.name());
+        m.seed = self.seed;
+        m.n = tree.len() as u64;
+        m.depth = tree.depth() as u64;
+        m.max_degree = tree.max_degree() as u64;
+        m.k = self.k as u64;
+        m.set_phases(phases);
+        m.metric("rounds", outcome.rounds)
+            .metric("moves", outcome.metrics.moves)
+            .metric("idle", outcome.metrics.idle)
+            .metric("stalled", outcome.metrics.stalled)
+            .metric("allowed_moves", outcome.metrics.allowed_moves)
+            .metric("edges_discovered", outcome.metrics.edges_discovered)
+            .metric("edge_events", outcome.metrics.edge_events);
+        if let Some(sample) = tracker.current() {
+            if let Some(v) = sample.rounds {
+                m.margin("theorem1_rounds", v);
+            }
+            if let Some(v) = sample.reanchors {
+                m.margin("lemma2_reanchors", v);
+            }
+        }
+        m.reanchors_by_depth = tracker.reanchors_by_depth().to_vec();
+        m.events_emitted = events_emitted;
+        m.trace_path = self.trace_out.clone();
+        m
+    }
+
+    fn report(&self, tree: &Tree, outcome: &Outcome) -> String {
         let bound = bfdn::theorem1_bound(tree.len(), tree.depth(), self.k, tree.max_degree());
         let mut report = String::new();
         if let Some(trace) = &outcome.trace {
-            let renderer = bfdn_sim::render::TraceRenderer::new(&tree, trace);
+            let renderer = bfdn_sim::render::TraceRenderer::new(tree, trace);
             let stride = (trace.len() / 8).max(1);
             report.push_str(&renderer.animate(stride));
             report.push('\n');
@@ -194,7 +365,7 @@ impl ExploreArgs {
             outcome.metrics.edge_events,
             bound,
         ));
-        Ok(report)
+        report
     }
 }
 
@@ -222,6 +393,31 @@ mod tests {
         assert_eq!((a.n, a.k, a.seed), (500, 12, 7));
         assert_eq!(a.algo, "cte");
         assert!(a.render);
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let a = parse(&[
+            "--trace-out",
+            "/tmp/t.jsonl",
+            "--manifest-out",
+            "/tmp/m.json",
+            "--log",
+            "debug",
+        ])
+        .unwrap();
+        assert_eq!(
+            a.trace_out.as_deref(),
+            Some(std::path::Path::new("/tmp/t.jsonl"))
+        );
+        assert_eq!(
+            a.manifest_out.as_deref(),
+            Some(std::path::Path::new("/tmp/m.json"))
+        );
+        assert_eq!(a.log, LogLevel::Debug);
+        assert!(parse(&["--log", "loud"]).is_err());
+        assert!(!parse(&[]).unwrap().observing());
+        assert!(a.observing());
     }
 
     #[test]
@@ -259,5 +455,56 @@ mod tests {
         };
         let report = args.run().unwrap();
         assert!(report.contains("round 0:"));
+    }
+
+    #[test]
+    fn observed_run_writes_trace_and_manifest() {
+        let dir = std::env::temp_dir();
+        let trace = dir.join("bfdn_bench_cli_test.jsonl");
+        let manifest = dir.join("bfdn_bench_cli_test.manifest.json");
+        let args = ExploreArgs {
+            family: Family::Comb,
+            n: 80,
+            k: 4,
+            trace_out: Some(trace.clone()),
+            manifest_out: Some(manifest.clone()),
+            ..ExploreArgs::default()
+        };
+        let report = args.run().unwrap();
+        assert!(report.contains("manifest:"));
+        assert!(report.contains("trace:"));
+        assert!(!report.contains("WARNING"));
+
+        let trace_text = std::fs::read_to_string(&trace).unwrap();
+        assert!(trace_text
+            .lines()
+            .all(|l| l.starts_with(r#"{"event":""#) && l.ends_with('}')));
+        let reanchors = trace_text
+            .lines()
+            .filter(|l| l.contains(r#""event":"reanchor""#))
+            .count();
+        assert!(reanchors > 0);
+        assert!(trace_text.contains(r#""event":"phase_timer""#));
+
+        let manifest_text = std::fs::read_to_string(&manifest).unwrap();
+        for needle in [
+            r#""algorithm":"bfdn""#,
+            r#""workload":"comb""#,
+            r#""k":4"#,
+            r#""phases":{"build_tree":"#,
+            r#""margins":{"theorem1_rounds":"#,
+            r#""reanchors_by_depth":"#,
+            r#""events_emitted":"#,
+        ] {
+            assert!(
+                manifest_text.contains(needle),
+                "{needle} missing from {manifest_text}"
+            );
+        }
+        // The manifest's reanchor total matches the JSONL trace.
+        assert!(manifest_text.contains(&format!(r#""total_reanchors":{reanchors}"#)));
+
+        let _ = std::fs::remove_file(&trace);
+        let _ = std::fs::remove_file(&manifest);
     }
 }

@@ -4,9 +4,29 @@
 
 use crate::{Scale, Table};
 use bfdn::{theorem1_bound, Bfdn, WriteReadBfdn};
-use bfdn_sim::Simulator;
+use bfdn_sim::{Explorer, Simulator, Trace};
 use bfdn_trees::generators::Family;
+use bfdn_trees::Tree;
 use rand::SeedableRng;
+
+/// The round by which half the nodes had been visited for the first
+/// time — the progress milestone the trace comparison uses. Computed
+/// from [`Trace::first_visits`], the lazily built index (one pass over
+/// the trace instead of one scan per node).
+fn half_visit_round(trace: &Trace) -> u64 {
+    let mut rounds: Vec<u64> = trace.first_visits().values().copied().collect();
+    rounds.sort_unstable();
+    rounds.get(rounds.len() / 2).copied().unwrap_or(0)
+}
+
+fn traced_run(tree: &Tree, k: usize, explorer: &mut dyn Explorer, label: &str) -> (u64, Trace) {
+    let outcome = Simulator::new(tree, k)
+        .record_trace()
+        .run(explorer)
+        .unwrap_or_else(|e| panic!("E7 {label}: {e}"));
+    let trace = outcome.trace.expect("trace recording was enabled");
+    (outcome.rounds, trace)
+}
 
 /// Runs E7: one row per (family, k).
 ///
@@ -24,6 +44,8 @@ pub fn e7_write_read(scale: Scale) -> Table {
             "write_read",
             "bound",
             "wr/bound",
+            "half_visit_cc",
+            "half_visit_wr",
         ],
     );
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xE7);
@@ -36,15 +58,9 @@ pub fn e7_write_read(scale: Scale) -> Table {
         let tree = fam.instance(n, &mut rng);
         for &k in ks {
             let mut cc = Bfdn::new(k);
-            let cc_rounds = Simulator::new(&tree, k)
-                .run(&mut cc)
-                .unwrap_or_else(|e| panic!("E7 cc {fam} k={k}: {e}"))
-                .rounds;
+            let (cc_rounds, cc_trace) = traced_run(&tree, k, &mut cc, &format!("cc {fam} k={k}"));
             let mut wr = WriteReadBfdn::new(k);
-            let wr_rounds = Simulator::new(&tree, k)
-                .run(&mut wr)
-                .unwrap_or_else(|e| panic!("E7 wr {fam} k={k}: {e}"))
-                .rounds;
+            let (wr_rounds, wr_trace) = traced_run(&tree, k, &mut wr, &format!("wr {fam} k={k}"));
             let bound = theorem1_bound(tree.len(), tree.depth(), k, tree.max_degree());
             assert!(
                 (wr_rounds as f64) <= bound,
@@ -58,6 +74,8 @@ pub fn e7_write_read(scale: Scale) -> Table {
                 wr_rounds.to_string(),
                 format!("{bound:.0}"),
                 format!("{:.3}", wr_rounds as f64 / bound),
+                half_visit_round(&cc_trace).to_string(),
+                half_visit_round(&wr_trace).to_string(),
             ]);
         }
     }
@@ -72,5 +90,15 @@ mod tests {
     fn quick_scale_passes() {
         let t = e7_write_read(Scale::Quick);
         assert_eq!(t.len(), Family::ALL.len() * 2);
+    }
+
+    #[test]
+    fn half_visit_milestone_is_within_the_run() {
+        let t = e7_write_read(Scale::Quick);
+        for row in 0..t.len() {
+            let total: u64 = t.cell(row, t.col("complete")).parse().unwrap();
+            let half: u64 = t.cell(row, t.col("half_visit_cc")).parse().unwrap();
+            assert!(half <= total, "row {row}: half {half} > total {total}");
+        }
     }
 }

@@ -2,6 +2,7 @@
 //! model, plus the break-down-robust variant of Section 4.2 and the
 //! configurable ablation variants benchmarked by the workspace.
 
+use bfdn_obs::{Event, EventSink, NullSink};
 use bfdn_sim::{Explorer, Move, RoundContext};
 use bfdn_trees::{NodeId, PartialTree, Port};
 use rand::rngs::StdRng;
@@ -285,8 +286,11 @@ impl Bfdn {
     }
 
     /// Procedure `Reanchor(i)`: pick an open node of minimum depth; the
-    /// root if the tree is explored. Updates loads and counters.
-    fn reanchor(&mut self, i: usize, tree: &PartialTree) -> NodeId {
+    /// root if the tree is explored. Updates loads and counters, and
+    /// emits [`Event::Reanchor`] exactly when `reanchors_by_depth` is
+    /// incremented — the trailing root-return is neither counted nor
+    /// reported.
+    fn reanchor(&mut self, i: usize, tree: &PartialTree, sink: &mut dyn EventSink) -> NodeId {
         let new_anchor = match tree.min_open_depth() {
             Some(depth) => {
                 let v = self.pick_candidate(tree, depth);
@@ -294,6 +298,13 @@ impl Bfdn {
                     self.reanchors_by_depth.resize(depth + 1, 0);
                 }
                 self.reanchors_by_depth[depth] += 1;
+                if sink.enabled() {
+                    sink.emit(&Event::Reanchor {
+                        robot: i as u32,
+                        depth: depth as u32,
+                        anchor: v.index() as u32,
+                    });
+                }
                 v
             }
             None => NodeId::ROOT,
@@ -365,6 +376,15 @@ impl Bfdn {
 
 impl Explorer for Bfdn {
     fn select_moves(&mut self, ctx: &RoundContext<'_>, out: &mut [Move]) {
+        self.select_moves_observed(ctx, out, &mut NullSink);
+    }
+
+    fn select_moves_observed(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        out: &mut [Move],
+        sink: &mut dyn EventSink,
+    ) {
         debug_assert_eq!(ctx.k(), self.k, "robot count changed mid-run");
         // Reconcile scripted walks with what actually happened: a robot
         // whose committed hop was cancelled after selection (Remark 8
@@ -388,7 +408,7 @@ impl Explorer for Bfdn {
             }
             let pos = ctx.positions[i];
             if self.walks[i].is_empty() && !self.shortcut && pos.is_root() {
-                let anchor = self.reanchor(i, ctx.tree);
+                let anchor = self.reanchor(i, ctx.tree, sink);
                 self.walks[i] = Self::descent(ctx.tree, anchor);
             }
             out[i] = match self.walks[i].pop() {
@@ -405,7 +425,7 @@ impl Explorer for Bfdn {
                     None if self.shortcut && (pos == self.anchors[i] || pos.is_root()) => {
                         // Shortcut variant: relocate directly from the
                         // exhausted anchor through the LCA path.
-                        let anchor = self.reanchor(i, ctx.tree);
+                        let anchor = self.reanchor(i, ctx.tree, sink);
                         self.walks[i] = Self::lca_walk(ctx.tree, pos, anchor);
                         match self.walks[i].pop() {
                             Some(step @ Step::Down(port)) => {

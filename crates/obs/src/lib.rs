@@ -1,0 +1,54 @@
+//! Structured observability for the BFDN reproduction.
+//!
+//! The workspace reproduces *quantitative* claims — Theorem 1's
+//! `2n/k + D²(min{log Δ, log k}+3)` round count, Lemma 2's per-depth
+//! reanchor cap, Theorem 3's urn-game step bound — and this crate makes
+//! the quantities behind those bounds observable while a run is in
+//! flight. Instrumented components (the simulator round loop, BFDN's
+//! `Reanchor` procedure, the urn-game step loop, the bench harness)
+//! emit typed [`Event`]s into an [`EventSink`]:
+//!
+//! - [`NullSink`] — the zero-cost default: the simulator is generic over
+//!   its sink, so an unobserved run monomorphizes to the uninstrumented
+//!   hot path.
+//! - [`JsonlSink`] — streams one JSON object per event to any writer.
+//! - [`BoundTracker`] — computes live margins against the paper's bounds
+//!   every round and keeps the time series.
+//! - [`MemorySink`], [`FanOut`], [`StderrLog`] — test, composition and
+//!   logging helpers.
+//!
+//! A finished run is summarized by a [`RunManifest`] (algorithm,
+//! workload, seed, `n`, `D`, `Δ`, `k`, git revision, per-phase
+//! wall-clock from [`Phases`], final metrics, final margins) serialized
+//! as a single JSON document next to the experiment CSVs.
+//!
+//! The crate is dependency-free (std only); JSON is hand-rolled in
+//! [`json`] because the workspace deliberately carries no format
+//! dependency.
+//!
+//! # Example
+//!
+//! ```
+//! use bfdn_obs::{Event, EventSink, MemorySink};
+//!
+//! let mut sink = MemorySink::default();
+//! sink.emit(&Event::Reanchor { robot: 0, depth: 2, anchor: 17 });
+//! assert_eq!(sink.events().len(), 1);
+//! assert_eq!(sink.count(|e| matches!(e, Event::Reanchor { .. })), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bound;
+mod event;
+pub mod json;
+mod manifest;
+mod phase;
+mod sink;
+
+pub use bound::{BoundConfig, BoundTracker, MarginSample};
+pub use event::Event;
+pub use manifest::{git_revision, RunManifest};
+pub use phase::Phases;
+pub use sink::{EventSink, FanOut, JsonlSink, LogLevel, MemorySink, NullSink, StderrLog};

@@ -1,0 +1,89 @@
+//! Wall-clock phase timing for harness runs.
+
+use crate::{Event, EventSink};
+use std::time::{Duration, Instant};
+
+/// Accumulates named wall-clock phases of a run (workload generation,
+/// the exploration itself, table rendering, …).
+///
+/// Phases feed two consumers: [`Phases::emit`] turns them into
+/// [`Event::PhaseTimer`] events for a trace, and the run manifest
+/// records them as `{phase, nanos}` pairs.
+///
+/// # Example
+///
+/// ```
+/// use bfdn_obs::Phases;
+///
+/// let mut phases = Phases::default();
+/// let sum = phases.time("add", || 2 + 2);
+/// assert_eq!(sum, 4);
+/// assert_eq!(phases.entries().len(), 1);
+/// assert_eq!(phases.entries()[0].0, "add");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Phases {
+    entries: Vec<(&'static str, Duration)>,
+}
+
+impl Phases {
+    /// Runs `f`, recording its wall-clock under `name`.
+    pub fn time<T>(&mut self, name: &'static str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.entries.push((name, start.elapsed()));
+        out
+    }
+
+    /// Records an externally measured phase.
+    pub fn record(&mut self, name: &'static str, elapsed: Duration) {
+        self.entries.push((name, elapsed));
+    }
+
+    /// The recorded `(name, duration)` pairs, in completion order.
+    pub fn entries(&self) -> &[(&'static str, Duration)] {
+        &self.entries
+    }
+
+    /// Total wall-clock across all recorded phases.
+    pub fn total(&self) -> Duration {
+        self.entries.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Emits one [`Event::PhaseTimer`] per recorded phase.
+    pub fn emit(&self, sink: &mut dyn EventSink) {
+        for &(phase, elapsed) in &self.entries {
+            sink.emit(&Event::PhaseTimer {
+                phase,
+                nanos: u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemorySink;
+
+    #[test]
+    fn records_and_emits() {
+        let mut phases = Phases::default();
+        phases.time("a", || std::thread::sleep(Duration::from_millis(1)));
+        phases.record("b", Duration::from_nanos(5));
+        assert_eq!(phases.entries().len(), 2);
+        assert!(phases.entries()[0].1 >= Duration::from_millis(1));
+        assert!(phases.total() >= Duration::from_millis(1));
+
+        let mut sink = MemorySink::default();
+        phases.emit(&mut sink);
+        assert_eq!(sink.count(|e| matches!(e, Event::PhaseTimer { .. })), 2);
+        assert!(sink.events().iter().any(|e| matches!(
+            e,
+            Event::PhaseTimer {
+                phase: "b",
+                nanos: 5
+            }
+        )));
+    }
+}

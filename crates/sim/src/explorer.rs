@@ -1,5 +1,6 @@
 //! The interface between exploration algorithms and the simulator.
 
+use bfdn_obs::EventSink;
 use bfdn_trees::{NodeId, PartialTree, Port};
 
 /// The move a robot selects for the next synchronous step.
@@ -8,6 +9,7 @@ use bfdn_trees::{NodeId, PartialTree, Port};
 /// may point at dangling edges — traversing one is how new nodes are
 /// explored.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Move {
     /// Do not move this round (the `⊥` of Algorithm 1).
     #[default]
@@ -54,6 +56,21 @@ pub trait Explorer {
     /// simulator regardless of what is selected here.
     fn select_moves(&mut self, ctx: &RoundContext<'_>, out: &mut [Move]);
 
+    /// [`Explorer::select_moves`] with access to the simulator's event
+    /// sink, so instrumented algorithms can report decisions the
+    /// simulator cannot see (BFDN emits
+    /// [`Event::Reanchor`](bfdn_obs::Event::Reanchor) here). The default
+    /// ignores the sink — existing explorers need no change — and the
+    /// simulator always calls this entry point.
+    fn select_moves_observed(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        out: &mut [Move],
+        _sink: &mut dyn EventSink,
+    ) {
+        self.select_moves(ctx, out);
+    }
+
     /// A short name for reports.
     fn name(&self) -> &str {
         "explorer"
@@ -65,6 +82,15 @@ pub trait Explorer {
 impl<E: Explorer + ?Sized> Explorer for Box<E> {
     fn select_moves(&mut self, ctx: &RoundContext<'_>, out: &mut [Move]) {
         (**self).select_moves(ctx, out);
+    }
+
+    fn select_moves_observed(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        out: &mut [Move],
+        sink: &mut dyn EventSink,
+    ) {
+        (**self).select_moves_observed(ctx, out, sink);
     }
 
     fn name(&self) -> &str {

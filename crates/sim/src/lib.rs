@@ -16,6 +16,17 @@
 //! [`MoveSchedule`]s that decide, per round and robot, who is allowed to
 //! move.
 //!
+//! # Observability
+//!
+//! The simulator is generic over a [`bfdn_obs::EventSink`], defaulting
+//! to the zero-cost [`bfdn_obs::NullSink`]. Attaching a sink with
+//! [`Simulator::with_sink`] streams typed events
+//! ([`RoundCompleted`](bfdn_obs::Event::RoundCompleted),
+//! [`EdgeDiscovered`](bfdn_obs::Event::EdgeDiscovered),
+//! [`RobotStalled`](bfdn_obs::Event::RobotStalled), and algorithm-level
+//! events via [`Explorer::select_moves_observed`]) without changing the
+//! simulated run.
+//!
 //! # Example
 //!
 //! ```

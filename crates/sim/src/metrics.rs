@@ -7,6 +7,7 @@ use std::fmt;
 /// All quantities are totals over the whole run; per-robot distances are
 /// available through [`Metrics::distance_per_robot`].
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Metrics {
     /// Rounds elapsed.
     pub rounds: u64,
@@ -67,8 +68,14 @@ impl fmt::Display for Metrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "rounds={} moves={} idle={} discovered={} edge_events={}",
-            self.rounds, self.moves, self.idle, self.edges_discovered, self.edge_events
+            "rounds={} moves={} idle={} stalled={} allowed={} discovered={} edge_events={}",
+            self.rounds,
+            self.moves,
+            self.idle,
+            self.stalled,
+            self.allowed_moves,
+            self.edges_discovered,
+            self.edge_events
         )
     }
 }
@@ -101,5 +108,21 @@ mod tests {
         m.idle = 3;
         m.stalled = 2;
         assert_eq!(m.robot_rounds(), 10);
+    }
+
+    #[test]
+    fn display_includes_every_counter() {
+        let mut m = Metrics::new(1);
+        m.rounds = 9;
+        m.moves = 8;
+        m.idle = 7;
+        m.stalled = 6;
+        m.allowed_moves = 5;
+        m.edges_discovered = 4;
+        m.edge_events = 3;
+        assert_eq!(
+            m.to_string(),
+            "rounds=9 moves=8 idle=7 stalled=6 allowed=5 discovered=4 edge_events=3"
+        );
     }
 }

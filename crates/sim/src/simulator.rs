@@ -4,6 +4,7 @@ use crate::{
     AlwaysAllow, Explorer, Metrics, Move, MoveSchedule, PostSelectionSchedule, RoundContext,
     RoundRecord, Trace,
 };
+use bfdn_obs::{Event, EventSink, NullSink};
 use bfdn_trees::{NodeId, PartialTree, Tree};
 use std::fmt;
 
@@ -86,10 +87,17 @@ pub struct Outcome {
 /// applies the selected moves synchronously, reveals newly explored
 /// nodes, and accumulates [`Metrics`].
 ///
+/// The simulator is generic over an [`EventSink`] (default: the
+/// zero-cost [`NullSink`]); [`Simulator::with_sink`] attaches live
+/// telemetry — every round, edge discovery and adversary stall becomes a
+/// typed [`Event`], and instrumented explorers receive the same sink
+/// through [`Explorer::select_moves_observed`]. An unobserved run
+/// monomorphizes to exactly the uninstrumented loop.
+///
 /// # Example
 ///
 /// See the [crate-level example](crate).
-pub struct Simulator<'t> {
+pub struct Simulator<'t, S: EventSink = NullSink> {
     tree: &'t Tree,
     k: usize,
     partial: PartialTree,
@@ -102,6 +110,7 @@ pub struct Simulator<'t> {
     max_rounds: u64,
     metrics: Metrics,
     trace: Option<Trace>,
+    sink: S,
 }
 
 impl<'t> Simulator<'t> {
@@ -127,7 +136,56 @@ impl<'t> Simulator<'t> {
             max_rounds,
             metrics: Metrics::new(k),
             trace: None,
+            sink: NullSink,
         }
+    }
+}
+
+impl<'t, S: EventSink> Simulator<'t, S> {
+    /// Attaches an event sink, consuming the current one. Typically
+    /// chained off [`Simulator::new`]:
+    ///
+    /// ```
+    /// use bfdn_obs::MemorySink;
+    /// use bfdn_sim::Simulator;
+    /// use bfdn_trees::generators;
+    ///
+    /// let tree = generators::star(2);
+    /// let sim = Simulator::new(&tree, 1).with_sink(MemorySink::default());
+    /// # let _ = sim;
+    /// ```
+    pub fn with_sink<S2: EventSink>(self, sink: S2) -> Simulator<'t, S2> {
+        Simulator {
+            tree: self.tree,
+            k: self.k,
+            partial: self.partial,
+            positions: self.positions,
+            down_done: self.down_done,
+            up_done: self.up_done,
+            round: self.round,
+            max_rounds: self.max_rounds,
+            metrics: self.metrics,
+            trace: self.trace,
+            sink,
+        }
+    }
+
+    /// The attached event sink.
+    #[inline]
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Mutable access to the attached event sink.
+    #[inline]
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// Consumes the simulator, returning the sink (e.g. to read a
+    /// [`BoundTracker`](bfdn_obs::BoundTracker)'s series after a run).
+    pub fn into_sink(self) -> S {
+        self.sink
     }
 
     /// Overrides the safety round limit.
@@ -206,7 +264,7 @@ impl<'t> Simulator<'t> {
             schedule.fill(self.round, &self.positions, &mut allowed);
             self.metrics.allowed_moves += allowed.iter().filter(|&&a| a).count() as u64;
             moves.fill(Move::Stay);
-            explorer.select_moves(
+            explorer.select_moves_observed(
                 &RoundContext {
                     round: self.round,
                     tree: &self.partial,
@@ -214,17 +272,10 @@ impl<'t> Simulator<'t> {
                     allowed: &allowed,
                 },
                 &mut moves,
+                &mut self.sink,
             );
             self.apply(&allowed, &mut moves)?;
-            self.round += 1;
-            self.metrics.rounds = self.round;
-            if let Some(trace) = &mut self.trace {
-                trace.push(RoundRecord {
-                    round: self.round - 1,
-                    moves: moves.clone(),
-                    positions: self.positions.clone(),
-                });
-            }
+            self.finish_round(&allowed, &moves);
         }
         Ok(Outcome {
             rounds: self.round,
@@ -262,7 +313,7 @@ impl<'t> Simulator<'t> {
                 });
             }
             moves.fill(Move::Stay);
-            explorer.select_moves(
+            explorer.select_moves_observed(
                 &RoundContext {
                     round: self.round,
                     tree: &self.partial,
@@ -270,19 +321,12 @@ impl<'t> Simulator<'t> {
                     allowed: &all_allowed,
                 },
                 &mut moves,
+                &mut self.sink,
             );
             schedule.fill_after(self.round, &self.positions, &moves, &mut allowed);
             self.metrics.allowed_moves += allowed.iter().filter(|&&a| a).count() as u64;
             self.apply(&allowed, &mut moves)?;
-            self.round += 1;
-            self.metrics.rounds = self.round;
-            if let Some(trace) = &mut self.trace {
-                trace.push(RoundRecord {
-                    round: self.round - 1,
-                    moves: moves.clone(),
-                    positions: self.positions.clone(),
-                });
-            }
+            self.finish_round(&allowed, &moves);
         }
         Ok(Outcome {
             rounds: self.round,
@@ -330,7 +374,7 @@ impl<'t> Simulator<'t> {
         let allowed = vec![true; self.k];
         let mut moves = vec![Move::Stay; self.k];
         self.metrics.allowed_moves += self.k as u64;
-        explorer.select_moves(
+        explorer.select_moves_observed(
             &RoundContext {
                 round: self.round,
                 tree: &self.partial,
@@ -338,17 +382,10 @@ impl<'t> Simulator<'t> {
                 allowed: &allowed,
             },
             &mut moves,
+            &mut self.sink,
         );
         self.apply(&allowed, &mut moves)?;
-        self.round += 1;
-        self.metrics.rounds = self.round;
-        if let Some(trace) = &mut self.trace {
-            trace.push(RoundRecord {
-                round: self.round - 1,
-                moves,
-                positions: self.positions.clone(),
-            });
-        }
+        self.finish_round(&allowed, &moves);
         Ok(!self.stopped(StopCondition::ExploredAndReturned))
     }
 
@@ -356,6 +393,30 @@ impl<'t> Simulator<'t> {
     /// (the simulator knows the total; explorers do not).
     pub fn progress(&self) -> f64 {
         self.partial.num_explored() as f64 / self.tree.len() as f64
+    }
+
+    /// Post-`apply` bookkeeping shared by every loop: advances the round
+    /// counter, emits [`Event::RoundCompleted`], and records the trace.
+    fn finish_round(&mut self, allowed: &[bool], moves: &[Move]) {
+        self.round += 1;
+        self.metrics.rounds = self.round;
+        if self.sink.enabled() {
+            let moved = moves.iter().filter(|m| !matches!(m, Move::Stay)).count() as u32;
+            let stalled = allowed.iter().filter(|&&a| !a).count() as u32;
+            self.sink.emit(&Event::RoundCompleted {
+                round: self.round - 1,
+                explored: self.partial.num_explored() as u64,
+                moved,
+                stalled,
+            });
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.push(RoundRecord {
+                round: self.round - 1,
+                moves: moves.to_vec(),
+                positions: self.positions.clone(),
+            });
+        }
     }
 
     fn stopped(&self, stop: StopCondition) -> bool {
@@ -375,6 +436,13 @@ impl<'t> Simulator<'t> {
             if !allowed[i] {
                 self.metrics.stalled += 1;
                 moves[i] = Move::Stay;
+                if self.sink.enabled() {
+                    self.sink.emit(&Event::RobotStalled {
+                        round: self.round,
+                        robot: i as u32,
+                        at: self.positions[i].index() as u32,
+                    });
+                }
                 continue;
             }
             let at = self.positions[i];
@@ -415,6 +483,15 @@ impl<'t> Simulator<'t> {
                             self.partial
                                 .attach(at, port, child, self.tree.degree(child));
                             self.metrics.edges_discovered += 1;
+                            if self.sink.enabled() {
+                                self.sink.emit(&Event::EdgeDiscovered {
+                                    round: self.round,
+                                    robot: i as u32,
+                                    parent: at.index() as u32,
+                                    child: child.index() as u32,
+                                    depth: self.partial.depth(child) as u32,
+                                });
+                            }
                             child
                         }
                     };
@@ -665,6 +742,56 @@ mod tests {
         }
         assert_eq!(sim.round(), 4);
         assert!((sim.progress() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_sink_observes_rounds_and_discoveries() {
+        use bfdn_obs::{Event, MemorySink};
+        let tree = generators::comb(5, 2);
+        let mut sim = Simulator::new(&tree, 2).with_sink(MemorySink::default());
+        let outcome = sim.run(&mut Dfs).unwrap();
+        let sink = sim.into_sink();
+        assert_eq!(
+            sink.count(|e| matches!(e, Event::RoundCompleted { .. })) as u64,
+            outcome.rounds
+        );
+        assert_eq!(
+            sink.count(|e| matches!(e, Event::EdgeDiscovered { .. })) as u64,
+            outcome.metrics.edges_discovered
+        );
+        // Without an adversary nothing stalls.
+        assert_eq!(sink.count(|e| matches!(e, Event::RobotStalled { .. })), 0);
+    }
+
+    #[test]
+    fn stall_events_match_the_stalled_metric() {
+        use bfdn_obs::{Event, MemorySink};
+        let tree = generators::comb(6, 2);
+        let mut sim = Simulator::new(&tree, 2).with_sink(MemorySink::default());
+        let outcome = sim
+            .run_with(
+                &mut Dfs,
+                &mut RandomStall::new(0.3, 9),
+                StopCondition::ExploredAndReturned,
+            )
+            .unwrap();
+        assert!(outcome.metrics.stalled > 0);
+        assert_eq!(
+            sim.sink()
+                .count(|e| matches!(e, Event::RobotStalled { .. })) as u64,
+            outcome.metrics.stalled
+        );
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_run() {
+        use bfdn_obs::MemorySink;
+        let tree = generators::binary(4);
+        let plain = explore(&tree, 3, &mut Dfs).unwrap();
+        let mut sim = Simulator::new(&tree, 3).with_sink(MemorySink::default());
+        let observed = sim.run(&mut Dfs).unwrap();
+        assert_eq!(plain.rounds, observed.rounds);
+        assert_eq!(plain.metrics, observed.metrics);
     }
 
     #[test]

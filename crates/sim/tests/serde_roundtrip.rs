@@ -1,0 +1,48 @@
+//! Round-trip tests for the optional serde support (run with
+//! `cargo test -p bfdn-sim --features serde`).
+
+#![cfg(feature = "serde")]
+
+use bfdn_sim::{explore, Explorer, Metrics, Move, RoundContext, RoundRecord, Simulator, Trace};
+use bfdn_trees::generators;
+
+struct Dfs;
+impl Explorer for Dfs {
+    fn select_moves(&mut self, ctx: &RoundContext<'_>, out: &mut [Move]) {
+        let at = ctx.positions[0];
+        out[0] = match ctx.tree.dangling_ports(at).next() {
+            Some(p) => Move::Down(p),
+            None => Move::Up,
+        };
+    }
+}
+
+/// The workspace deliberately has no JSON dependency, so — like the
+/// sibling test in `bfdn-trees` — this asserts the *derive* wiring: the
+/// traced simulation types implement `Serialize`/`Deserialize` without a
+/// format crate entering the default build.
+#[test]
+fn serde_traits_are_derived() {
+    fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+    assert_serde::<Metrics>();
+    assert_serde::<Trace>();
+    assert_serde::<RoundRecord>();
+    assert_serde::<Move>();
+}
+
+#[test]
+fn traced_run_survives_a_clone() {
+    // Structural sanity that the serde-annotated types still behave: a
+    // recorded trace clones into an equal trace with the same lazily
+    // built first-visit index.
+    let tree = generators::comb(4, 2);
+    let mut sim = Simulator::new(&tree, 1).record_trace();
+    let outcome = sim.run(&mut Dfs).unwrap();
+    let trace = outcome.trace.unwrap();
+    let copy = trace.clone();
+    assert_eq!(trace, copy);
+    assert_eq!(trace.first_visits(), copy.first_visits());
+
+    let plain = explore(&tree, 1, &mut Dfs).unwrap();
+    assert_eq!(plain.metrics.clone(), plain.metrics);
+}

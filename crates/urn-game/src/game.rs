@@ -1,6 +1,7 @@
 //! The game loop.
 
 use crate::{Adversary, Board, Player};
+use bfdn_obs::{Event, EventSink, NullSink};
 
 /// Configuration of one game: the board plus the stopping threshold `Δ`.
 #[derive(Clone, Debug)]
@@ -95,6 +96,20 @@ impl GameRecord {
 /// assert!(record.steps <= 8);
 /// ```
 pub fn play(game: UrnGame, player: &mut dyn Player, adversary: &mut dyn Adversary) -> GameRecord {
+    play_observed(game, player, adversary, &mut NullSink)
+}
+
+/// [`play`] with an [`EventSink`]: every step of the game additionally
+/// emits an [`Event::UrnStep`] carrying the adversary's pick and the
+/// player's redirection, so a [`BoundTracker`](bfdn_obs::BoundTracker)
+/// configured with [`theorem3_bound`](crate::theorem3_bound) can follow
+/// the live margin of Theorem 3.
+pub fn play_observed(
+    game: UrnGame,
+    player: &mut dyn Player,
+    adversary: &mut dyn Adversary,
+    sink: &mut dyn EventSink,
+) -> GameRecord {
     let UrnGame { mut board, delta } = game;
     let k = board.total_balls() as u64;
     let cap = 16 * k * ((k.max(2) as f64).ln() as u64 + 2) + 64;
@@ -107,6 +122,13 @@ pub fn play(game: UrnGame, player: &mut dyn Player, adversary: &mut dyn Adversar
         let to = player.choose(&board, from);
         board.step(from, to);
         history.push((from, to));
+        if sink.enabled() {
+            sink.emit(&Event::UrnStep {
+                step: steps,
+                from: from as u32,
+                to: to as u32,
+            });
+        }
         steps += 1;
     }
     GameRecord {
@@ -237,6 +259,57 @@ mod tests {
         assert!(rec.verify(crate::Board::uniform(12)).is_ok());
         // A wrong start is rejected.
         assert!(rec.verify(crate::Board::uniform(13)).is_err());
+    }
+
+    #[test]
+    fn observed_play_emits_one_urn_step_per_move() {
+        use bfdn_obs::{Event, MemorySink};
+        let k = 32;
+        let mut mem = MemorySink::default();
+        let rec = play_observed(
+            UrnGame::new(k, k),
+            &mut LeastLoadedPlayer,
+            &mut GreedyAdversary,
+            &mut mem,
+        );
+        // The observed game is the same game...
+        let plain = play(
+            UrnGame::new(k, k),
+            &mut LeastLoadedPlayer,
+            &mut GreedyAdversary,
+        );
+        assert_eq!(rec.steps, plain.steps);
+        assert_eq!(rec.history, plain.history);
+        // ...and every (from, to) move became exactly one UrnStep event.
+        let events: Vec<(usize, usize)> = mem
+            .events()
+            .iter()
+            .map(|e| match e {
+                Event::UrnStep { from, to, .. } => (*from as usize, *to as usize),
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(events, rec.history);
+    }
+
+    #[test]
+    fn theorem3_margin_stays_non_negative_live() {
+        use bfdn_obs::{BoundConfig, BoundTracker};
+        for k in [4usize, 16, 64] {
+            let mut tracker = BoundTracker::new(BoundConfig {
+                urn_steps: Some(crate::theorem3_bound(k, k)),
+                ..BoundConfig::default()
+            });
+            let rec = play_observed(
+                UrnGame::new(k, k),
+                &mut LeastLoadedPlayer,
+                &mut GreedyAdversary,
+                &mut tracker,
+            );
+            assert_eq!(tracker.urn_steps(), rec.steps);
+            assert_eq!(tracker.series().len() as u64, rec.steps);
+            assert!(tracker.all_non_negative(), "k={k}");
+        }
     }
 
     #[test]
