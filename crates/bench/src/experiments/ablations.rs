@@ -2,7 +2,7 @@
 //! measured in *rounds* (the model's cost); the criterion benches in
 //! `benches/ablations.rs` measure the wall-clock side.
 
-use crate::{Scale, Table};
+use crate::{parallel, Scale, Table};
 use bfdn::{Bfdn, BfdnL, ReanchorRule, SelectionOrder};
 use bfdn_sim::Simulator;
 use bfdn_trees::generators;
@@ -18,115 +18,135 @@ pub fn a1_ablations(scale: Scale) -> Table {
     let n = scale.size(4_000);
     let k = 16;
 
-    // 1. Reanchor rule (the Theorem 3 strategy vs foils).
+    // Workloads first, consuming the shared RNG in the committed order.
+    // 1b's spider: legs end in same-depth pockets of wildly unequal
+    // hidden size — the Theorem 3 game as a tree; piling everyone onto
+    // one candidate (first-candidate) serializes the pockets, while the
+    // least-loaded rule spreads the fleet. 3/4's deep caterpillar makes
+    // root round-trips hurt.
     let bushy = generators::uniform_labeled(n, &mut rng);
-    for (arm, rule) in [
+    let star = generators::spider_with_pockets(2 * k, scale.size(512) / 8, 4);
+    let recursive_tree = generators::random_recursive(n, &mut rng);
+    let deep = generators::caterpillar(scale.size(1_600) / 8, k);
+
+    // One unit per arm, tagged (ablation section, arm index).
+    let rules = [
         ("least-loaded", ReanchorRule::LeastLoaded),
         ("first-candidate", ReanchorRule::FirstCandidate),
         ("round-robin", ReanchorRule::RoundRobin),
         ("random", ReanchorRule::Random(0xA1)),
-    ] {
-        let mut algo = Bfdn::builder(k).reanchor_rule(rule).build();
-        let rounds = Simulator::new(&bushy, k)
-            .run(&mut algo)
-            .unwrap_or_else(|e| panic!("A1 rule {arm}: {e}"))
-            .rounds;
-        table.row(vec![
-            "reanchor-rule".into(),
-            arm.into(),
-            "uniform-labeled".into(),
-            bushy.len().to_string(),
-            k.to_string(),
-            rounds.to_string(),
-            algo.total_reanchors().to_string(),
-        ]);
-    }
-
-    // 1b. Reanchor rule on an adversarial workload: a spider whose legs
-    // end in same-depth pockets of wildly unequal hidden size — the
-    // Theorem 3 game as a tree. Piling everyone onto one candidate
-    // (first-candidate) serializes the pockets; the least-loaded rule
-    // spreads the fleet.
-    let star = generators::spider_with_pockets(2 * k, scale.size(512) / 8, 4);
-    for (arm, rule) in [
+    ];
+    let adv_rules = [
         ("least-loaded", ReanchorRule::LeastLoaded),
         ("first-candidate", ReanchorRule::FirstCandidate),
         ("round-robin", ReanchorRule::RoundRobin),
         ("random", ReanchorRule::Random(0xA2)),
-    ] {
-        let mut algo = Bfdn::builder(k).reanchor_rule(rule).build();
-        let rounds = Simulator::new(&star, k)
-            .run(&mut algo)
-            .unwrap_or_else(|e| panic!("A1 adversarial rule {arm}: {e}"))
-            .rounds;
-        table.row(vec![
-            "reanchor-rule-adversarial".into(),
-            arm.into(),
-            "spider-pockets".into(),
-            star.len().to_string(),
-            k.to_string(),
-            rounds.to_string(),
-            algo.total_reanchors().to_string(),
-        ]);
-    }
-
-    // 2. Selection order.
-    let recursive_tree = generators::random_recursive(n, &mut rng);
-    for (arm, order) in [
+    ];
+    let orders = [
         ("fixed", SelectionOrder::Fixed),
         ("rotating", SelectionOrder::Rotating),
-    ] {
-        let mut algo = Bfdn::builder(k).selection_order(order).build();
-        let rounds = Simulator::new(&recursive_tree, k)
-            .run(&mut algo)
-            .unwrap_or_else(|e| panic!("A1 order {arm}: {e}"))
-            .rounds;
-        table.row(vec![
-            "selection-order".into(),
-            arm.into(),
-            "random-recursive".into(),
-            recursive_tree.len().to_string(),
-            k.to_string(),
-            rounds.to_string(),
-            algo.total_reanchors().to_string(),
-        ]);
-    }
-
-    // 3. Root return vs LCA shortcut (deep caterpillar: root trips hurt).
-    let deep = generators::caterpillar(scale.size(1_600) / 8, k);
-    for (arm, shortcut) in [("root-return", false), ("lca-shortcut", true)] {
-        let mut algo = Bfdn::builder(k).shortcut(shortcut).build();
-        let rounds = Simulator::new(&deep, k)
-            .run(&mut algo)
-            .unwrap_or_else(|e| panic!("A1 shortcut {arm}: {e}"))
-            .rounds;
-        table.row(vec![
-            "shortcut".into(),
-            arm.into(),
-            "deep-caterpillar".into(),
-            deep.len().to_string(),
-            k.to_string(),
-            rounds.to_string(),
-            algo.total_reanchors().to_string(),
-        ]);
-    }
-
-    // 4. BFDN_l depth schedule.
-    for (arm, base) in [("doubling", 2u32), ("quadrupling", 4u32)] {
-        let mut algo = BfdnL::with_growth(k, 2, base);
-        let rounds = Simulator::new(&deep, k)
-            .run(&mut algo)
-            .unwrap_or_else(|e| panic!("A1 schedule {arm}: {e}"))
-            .rounds;
-        table.row(vec![
-            "depth-schedule".into(),
-            arm.into(),
-            "deep-caterpillar".into(),
-            deep.len().to_string(),
-            k.to_string(),
-            rounds.to_string(),
-            "-".into(),
-        ]);
+    ];
+    let shortcuts = [("root-return", false), ("lca-shortcut", true)];
+    let schedules = [("doubling", 2u32), ("quadrupling", 4u32)];
+    let configs: Vec<(usize, usize)> = [4usize, 4, 2, 2, 2]
+        .iter()
+        .enumerate()
+        .flat_map(|(section, &arms)| (0..arms).map(move |a| (section, a)))
+        .collect();
+    let rows = parallel::par_map(&configs, |&(section, a)| match section {
+        // 1. Reanchor rule (the Theorem 3 strategy vs foils).
+        0 => {
+            let (arm, ref rule) = rules[a];
+            let mut algo = Bfdn::builder(k).reanchor_rule(rule.clone()).build();
+            let rounds = Simulator::new(&bushy, k)
+                .run(&mut algo)
+                .unwrap_or_else(|e| panic!("A1 rule {arm}: {e}"))
+                .rounds;
+            vec![
+                "reanchor-rule".into(),
+                arm.into(),
+                "uniform-labeled".into(),
+                bushy.len().to_string(),
+                k.to_string(),
+                rounds.to_string(),
+                algo.total_reanchors().to_string(),
+            ]
+        }
+        // 1b. Reanchor rule on the adversarial spider.
+        1 => {
+            let (arm, ref rule) = adv_rules[a];
+            let mut algo = Bfdn::builder(k).reanchor_rule(rule.clone()).build();
+            let rounds = Simulator::new(&star, k)
+                .run(&mut algo)
+                .unwrap_or_else(|e| panic!("A1 adversarial rule {arm}: {e}"))
+                .rounds;
+            vec![
+                "reanchor-rule-adversarial".into(),
+                arm.into(),
+                "spider-pockets".into(),
+                star.len().to_string(),
+                k.to_string(),
+                rounds.to_string(),
+                algo.total_reanchors().to_string(),
+            ]
+        }
+        // 2. Selection order.
+        2 => {
+            let (arm, order) = orders[a];
+            let mut algo = Bfdn::builder(k).selection_order(order).build();
+            let rounds = Simulator::new(&recursive_tree, k)
+                .run(&mut algo)
+                .unwrap_or_else(|e| panic!("A1 order {arm}: {e}"))
+                .rounds;
+            vec![
+                "selection-order".into(),
+                arm.into(),
+                "random-recursive".into(),
+                recursive_tree.len().to_string(),
+                k.to_string(),
+                rounds.to_string(),
+                algo.total_reanchors().to_string(),
+            ]
+        }
+        // 3. Root return vs LCA shortcut.
+        3 => {
+            let (arm, shortcut) = shortcuts[a];
+            let mut algo = Bfdn::builder(k).shortcut(shortcut).build();
+            let rounds = Simulator::new(&deep, k)
+                .run(&mut algo)
+                .unwrap_or_else(|e| panic!("A1 shortcut {arm}: {e}"))
+                .rounds;
+            vec![
+                "shortcut".into(),
+                arm.into(),
+                "deep-caterpillar".into(),
+                deep.len().to_string(),
+                k.to_string(),
+                rounds.to_string(),
+                algo.total_reanchors().to_string(),
+            ]
+        }
+        // 4. BFDN_l depth schedule.
+        _ => {
+            let (arm, base) = schedules[a];
+            let mut algo = BfdnL::with_growth(k, 2, base);
+            let rounds = Simulator::new(&deep, k)
+                .run(&mut algo)
+                .unwrap_or_else(|e| panic!("A1 schedule {arm}: {e}"))
+                .rounds;
+            vec![
+                "depth-schedule".into(),
+                arm.into(),
+                "deep-caterpillar".into(),
+                deep.len().to_string(),
+                k.to_string(),
+                rounds.to_string(),
+                "-".into(),
+            ]
+        }
+    });
+    for row in rows {
+        table.row(row);
     }
     table
 }

@@ -2,7 +2,7 @@
 //! `2n/k + D²(min{log Δ, log k} + 3)` guarantee, across every workload
 //! family and a `k` sweep.
 
-use crate::{Scale, Table};
+use crate::{parallel, Scale, Table};
 use bfdn::{theorem1_bound, Bfdn};
 use bfdn_sim::Simulator;
 use bfdn_trees::generators::Family;
@@ -37,33 +37,43 @@ pub fn e1_theorem1_bound(scale: Scale) -> Table {
         Scale::Quick => &[2, 8, 32],
         Scale::Full => &[1, 2, 8, 32, 128, 512],
     };
+    // Tree generation stays sequential so the shared RNG is consumed in
+    // the committed order; only the simulations fan out.
+    let mut trees = Vec::new();
     for fam in Family::ALL {
         for &n in &sizes {
-            let tree = fam.instance(n, &mut rng);
-            for &k in ks {
-                let mut algo = Bfdn::new(k);
-                let outcome = Simulator::new(&tree, k)
-                    .run(&mut algo)
-                    .unwrap_or_else(|e| panic!("E1 {fam} n={n} k={k}: {e}"));
-                let bound = theorem1_bound(tree.len(), tree.depth(), k, tree.max_degree());
-                let ratio = outcome.rounds as f64 / bound;
-                assert!(
-                    ratio <= 1.0,
-                    "E1 violation: {fam} n={n} k={k}: {} > {bound}",
-                    outcome.rounds
-                );
-                table.row(vec![
-                    fam.name().into(),
-                    tree.len().to_string(),
-                    tree.depth().to_string(),
-                    tree.max_degree().to_string(),
-                    k.to_string(),
-                    outcome.rounds.to_string(),
-                    format!("{bound:.0}"),
-                    format!("{ratio:.3}"),
-                ]);
-            }
+            trees.push((fam, n, fam.instance(n, &mut rng)));
         }
+    }
+    let configs: Vec<(usize, usize)> = (0..trees.len())
+        .flat_map(|t| ks.iter().map(move |&k| (t, k)))
+        .collect();
+    let rows = parallel::par_map(&configs, |&(t, k)| {
+        let (fam, n, ref tree) = trees[t];
+        let mut algo = Bfdn::new(k);
+        let outcome = Simulator::new(tree, k)
+            .run(&mut algo)
+            .unwrap_or_else(|e| panic!("E1 {fam} n={n} k={k}: {e}"));
+        let bound = theorem1_bound(tree.len(), tree.depth(), k, tree.max_degree());
+        let ratio = outcome.rounds as f64 / bound;
+        assert!(
+            ratio <= 1.0,
+            "E1 violation: {fam} n={n} k={k}: {} > {bound}",
+            outcome.rounds
+        );
+        vec![
+            fam.name().into(),
+            tree.len().to_string(),
+            tree.depth().to_string(),
+            tree.max_degree().to_string(),
+            k.to_string(),
+            outcome.rounds.to_string(),
+            format!("{bound:.0}"),
+            format!("{ratio:.3}"),
+        ]
+    });
+    for row in rows {
+        table.row(row);
     }
     table
 }

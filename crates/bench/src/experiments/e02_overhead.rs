@@ -5,7 +5,7 @@
 //! most `D²(log k + 3)` — on work-dominated trees it tracks the offline
 //! optimum while CTE pays a `k/log k` factor.
 
-use crate::{Scale, Table};
+use crate::{parallel, Scale, Table};
 use bfdn::{offline_lower_bound, theorem1_bound, Bfdn};
 use bfdn_baselines::{Cte, OfflineSplit};
 use bfdn_sim::Simulator;
@@ -35,37 +35,46 @@ pub fn e2_overhead_comparison(scale: Scale) -> Table {
         Scale::Quick => &[4, 16],
         Scale::Full => &[4, 16, 64, 256],
     };
-    for fam in Family::ALL {
-        let tree = fam.instance(n, &mut rng);
-        for &k in ks {
-            let mut bfdn = Bfdn::new(k);
-            let bfdn_rounds = Simulator::new(&tree, k)
-                .run(&mut bfdn)
-                .unwrap_or_else(|e| panic!("E2 bfdn {fam} k={k}: {e}"))
-                .rounds;
-            let mut cte = Cte::new(k);
-            let cte_rounds = Simulator::new(&tree, k)
-                .run(&mut cte)
-                .unwrap_or_else(|e| panic!("E2 cte {fam} k={k}: {e}"))
-                .rounds;
-            let offline = OfflineSplit::plan(&tree, k).rounds();
-            let lower = offline_lower_bound(tree.len(), tree.depth(), k);
-            let overhead = bfdn_rounds as f64 - 2.0 * tree.num_edges() as f64 / k as f64;
-            let cap = theorem1_bound(tree.len(), tree.depth(), k, tree.max_degree())
-                - 2.0 * tree.len() as f64 / k as f64;
-            table.row(vec![
-                fam.name().into(),
-                tree.len().to_string(),
-                tree.depth().to_string(),
-                k.to_string(),
-                bfdn_rounds.to_string(),
-                cte_rounds.to_string(),
-                offline.to_string(),
-                format!("{lower:.0}"),
-                format!("{overhead:.0}"),
-                format!("{cap:.0}"),
-            ]);
-        }
+    // Trees first (sequential RNG order), then one unit per (tree, k).
+    let trees: Vec<_> = Family::ALL
+        .iter()
+        .map(|&fam| (fam, fam.instance(n, &mut rng)))
+        .collect();
+    let configs: Vec<(usize, usize)> = (0..trees.len())
+        .flat_map(|t| ks.iter().map(move |&k| (t, k)))
+        .collect();
+    let rows = parallel::par_map(&configs, |&(t, k)| {
+        let (fam, ref tree) = trees[t];
+        let mut bfdn = Bfdn::new(k);
+        let bfdn_rounds = Simulator::new(tree, k)
+            .run(&mut bfdn)
+            .unwrap_or_else(|e| panic!("E2 bfdn {fam} k={k}: {e}"))
+            .rounds;
+        let mut cte = Cte::new(k);
+        let cte_rounds = Simulator::new(tree, k)
+            .run(&mut cte)
+            .unwrap_or_else(|e| panic!("E2 cte {fam} k={k}: {e}"))
+            .rounds;
+        let offline = OfflineSplit::plan(tree, k).rounds();
+        let lower = offline_lower_bound(tree.len(), tree.depth(), k);
+        let overhead = bfdn_rounds as f64 - 2.0 * tree.num_edges() as f64 / k as f64;
+        let cap = theorem1_bound(tree.len(), tree.depth(), k, tree.max_degree())
+            - 2.0 * tree.len() as f64 / k as f64;
+        vec![
+            fam.name().into(),
+            tree.len().to_string(),
+            tree.depth().to_string(),
+            k.to_string(),
+            bfdn_rounds.to_string(),
+            cte_rounds.to_string(),
+            offline.to_string(),
+            format!("{lower:.0}"),
+            format!("{overhead:.0}"),
+            format!("{cap:.0}"),
+        ]
+    });
+    for row in rows {
+        table.row(row);
     }
     table
 }

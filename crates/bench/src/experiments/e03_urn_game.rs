@@ -2,7 +2,7 @@
 //! `k·min{log Δ, log k} + 2k`, for every adversary, plus the exact game
 //! value from the dynamic program for moderate `k`.
 
-use crate::{Scale, Table};
+use crate::{parallel, Scale, Table};
 use urn_game::{
     play, theorem3_bound, Adversary, DrainAdversary, GameValue, GreedyAdversary, LeastLoadedPlayer,
     RandomAdversary, UrnGame,
@@ -34,42 +34,55 @@ pub fn e3_urn_game(scale: Scale) -> Table {
         Scale::Quick => 64,
         Scale::Full => 512,
     };
+    let mut configs: Vec<(usize, usize)> = Vec::new();
     for &k in ks {
         let mut deltas = vec![2usize, 8, k];
         deltas.sort_unstable();
         deltas.dedup();
         for delta in deltas {
-            let dp = (k <= dp_cutoff).then(|| GameValue::new(k, delta).value());
-            let adversaries: Vec<Box<dyn Adversary>> = vec![
-                Box::new(GreedyAdversary),
-                Box::new(RandomAdversary::new(k as u64 ^ 0xE3)),
-                Box::new(DrainAdversary),
-            ];
-            for mut adv in adversaries {
-                let name = adv.name().to_string();
-                let rec = play(UrnGame::new(k, delta), &mut LeastLoadedPlayer, &mut *adv);
-                let bound = theorem3_bound(k, delta);
-                assert!(
-                    (rec.steps as f64) <= bound,
-                    "E3 violation: k={k} Δ={delta} {name}: {} > {bound}",
-                    rec.steps
+            configs.push((k, delta));
+        }
+    }
+    // One unit per (k, Δ): the DP table is the expensive part and is
+    // shared by that unit's three adversary rows.
+    let rows = parallel::par_map(&configs, |&(k, delta)| {
+        let dp = (k <= dp_cutoff).then(|| GameValue::new(k, delta).value());
+        let adversaries: Vec<Box<dyn Adversary>> = vec![
+            Box::new(GreedyAdversary),
+            Box::new(RandomAdversary::new(k as u64 ^ 0xE3)),
+            Box::new(DrainAdversary),
+        ];
+        let mut rows = Vec::new();
+        for mut adv in adversaries {
+            let name = adv.name().to_string();
+            let rec = play(UrnGame::new(k, delta), &mut LeastLoadedPlayer, &mut *adv);
+            let bound = theorem3_bound(k, delta);
+            assert!(
+                (rec.steps as f64) <= bound,
+                "E3 violation: k={k} Δ={delta} {name}: {} > {bound}",
+                rec.steps
+            );
+            if let (Some(dp), "greedy") = (dp, name.as_str()) {
+                assert_eq!(
+                    rec.steps as u32, dp,
+                    "greedy adversary must realize the DP optimum"
                 );
-                if let (Some(dp), "greedy") = (dp, name.as_str()) {
-                    assert_eq!(
-                        rec.steps as u32, dp,
-                        "greedy adversary must realize the DP optimum"
-                    );
-                }
-                table.row(vec![
-                    k.to_string(),
-                    delta.to_string(),
-                    name,
-                    rec.steps.to_string(),
-                    dp.map_or("-".into(), |v| v.to_string()),
-                    format!("{bound:.0}"),
-                    format!("{:.3}", rec.steps as f64 / bound),
-                ]);
             }
+            rows.push(vec![
+                k.to_string(),
+                delta.to_string(),
+                name,
+                rec.steps.to_string(),
+                dp.map_or("-".into(), |v| v.to_string()),
+                format!("{bound:.0}"),
+                format!("{:.3}", rec.steps as f64 / bound),
+            ]);
+        }
+        rows
+    });
+    for unit in rows {
+        for row in unit {
+            table.row(row);
         }
     }
     table

@@ -1,7 +1,7 @@
 //! E4 — Lemma 2: the number of `Reanchor` calls returning an anchor at
 //! any fixed depth `d ≥ 1` never exceeds `k·(min{log k, log Δ} + 3)`.
 
-use crate::{Scale, Table};
+use crate::{parallel, Scale, Table};
 use bfdn::{lemma2_bound, Bfdn};
 use bfdn_sim::Simulator;
 use bfdn_trees::generators::Family;
@@ -32,37 +32,46 @@ pub fn e4_lemma2_reanchors(scale: Scale) -> Table {
         Scale::Quick => &[4, 16],
         Scale::Full => &[4, 16, 64, 256],
     };
-    for fam in Family::ALL {
-        let tree = fam.instance(n, &mut rng);
-        for &k in ks {
-            let mut algo = Bfdn::new(k);
-            Simulator::new(&tree, k)
-                .run(&mut algo)
-                .unwrap_or_else(|e| panic!("E4 {fam} k={k}: {e}"));
-            let bound = lemma2_bound(k, tree.max_degree());
-            let (worst_depth, worst_count) = algo
-                .reanchors_by_depth()
-                .iter()
-                .enumerate()
-                .skip(1) // Lemma 2 concerns depths 1..D-1
-                .max_by_key(|&(_, &c)| c)
-                .map(|(d, &c)| (d, c))
-                .unwrap_or((0, 0));
-            assert!(
-                (worst_count as f64) <= bound,
-                "E4 violation: {fam} k={k} depth {worst_depth}: {worst_count} > {bound}"
-            );
-            table.row(vec![
-                fam.name().into(),
-                tree.len().to_string(),
-                k.to_string(),
-                algo.total_reanchors().to_string(),
-                worst_depth.to_string(),
-                worst_count.to_string(),
-                format!("{bound:.0}"),
-                format!("{:.3}", worst_count as f64 / bound),
-            ]);
-        }
+    // Trees first (sequential RNG order), then one unit per (tree, k).
+    let trees: Vec<_> = Family::ALL
+        .iter()
+        .map(|&fam| (fam, fam.instance(n, &mut rng)))
+        .collect();
+    let configs: Vec<(usize, usize)> = (0..trees.len())
+        .flat_map(|t| ks.iter().map(move |&k| (t, k)))
+        .collect();
+    let rows = parallel::par_map(&configs, |&(t, k)| {
+        let (fam, ref tree) = trees[t];
+        let mut algo = Bfdn::new(k);
+        Simulator::new(tree, k)
+            .run(&mut algo)
+            .unwrap_or_else(|e| panic!("E4 {fam} k={k}: {e}"));
+        let bound = lemma2_bound(k, tree.max_degree());
+        let (worst_depth, worst_count) = algo
+            .reanchors_by_depth()
+            .iter()
+            .enumerate()
+            .skip(1) // Lemma 2 concerns depths 1..D-1
+            .max_by_key(|&(_, &c)| c)
+            .map(|(d, &c)| (d, c))
+            .unwrap_or((0, 0));
+        assert!(
+            (worst_count as f64) <= bound,
+            "E4 violation: {fam} k={k} depth {worst_depth}: {worst_count} > {bound}"
+        );
+        vec![
+            fam.name().into(),
+            tree.len().to_string(),
+            k.to_string(),
+            algo.total_reanchors().to_string(),
+            worst_depth.to_string(),
+            worst_count.to_string(),
+            format!("{bound:.0}"),
+            format!("{:.3}", worst_count as f64 / bound),
+        ]
+    });
+    for row in rows {
+        table.row(row);
     }
     table
 }

@@ -1,6 +1,6 @@
 //! E5 — Figure 1: the best-guarantee region maps.
 
-use crate::{Scale, Table};
+use crate::{parallel, Scale, Table};
 use bfdn_analysis::{Algorithm, RegionMap};
 
 /// The two maps (numeric argmin and Appendix-A schematic) plus the share
@@ -23,22 +23,29 @@ pub fn e5_figure1(scale: Scale) -> Figure1 {
         "E5: Figure 1 — share of the (n, D) plane won by each guarantee",
         &["k", "map", "CTE", "Yo*", "BFDN", "BFDN_l"],
     );
+    let configs: Vec<(usize, &str)> = [64usize, 1024]
+        .iter()
+        .flat_map(|&k| [(k, "numeric"), (k, "schematic")])
+        .collect();
+    let computed = parallel::par_map(&configs, |&(k, kind)| {
+        let map = match kind {
+            "numeric" => RegionMap::compute(k, w, h),
+            _ => RegionMap::compute_schematic(k, w, h),
+        };
+        let row = vec![
+            k.to_string(),
+            kind.into(),
+            format!("{:.3}", map.share(Algorithm::Cte)),
+            format!("{:.3}", map.share(Algorithm::YoStar)),
+            format!("{:.3}", map.share(Algorithm::Bfdn)),
+            format!("{:.3}", map.share(Algorithm::BfdnL(2))),
+        ];
+        (row, map.to_ascii())
+    });
     let mut maps = Vec::new();
-    for k in [64usize, 1024] {
-        for (kind, map) in [
-            ("numeric", RegionMap::compute(k, w, h)),
-            ("schematic", RegionMap::compute_schematic(k, w, h)),
-        ] {
-            shares.row(vec![
-                k.to_string(),
-                kind.into(),
-                format!("{:.3}", map.share(Algorithm::Cte)),
-                format!("{:.3}", map.share(Algorithm::YoStar)),
-                format!("{:.3}", map.share(Algorithm::Bfdn)),
-                format!("{:.3}", map.share(Algorithm::BfdnL(2))),
-            ]);
-            maps.push(map.to_ascii());
-        }
+    for (row, ascii) in computed {
+        shares.row(row);
+        maps.push(ascii);
     }
     Figure1 { shares, maps }
 }

@@ -3,7 +3,7 @@
 //! where CTE's even split wastes robots, while BFDN stays within its
 //! additive overhead.
 
-use crate::{Scale, Table};
+use crate::{parallel, Scale, Table};
 use bfdn::{offline_lower_bound, Bfdn};
 use bfdn_baselines::Cte;
 use bfdn_sim::Simulator;
@@ -30,41 +30,48 @@ pub fn e6_cte_adversarial(scale: Scale) -> Table {
         Scale::Quick => &[8, 32],
         Scale::Full => &[8, 32, 128],
     };
-    for &k in ks {
-        let instances: Vec<(&str, Tree)> = vec![
-            ("decoy-spine", generators::decoy_spine(depth, depth / 16, 2)),
-            ("uneven-star", generators::uneven_star(4 * k, depth)),
-            (
+    // The adversarial generators are deterministic, so each unit can
+    // build its own instance: one unit per (k, family).
+    let configs: Vec<(usize, usize)> = ks
+        .iter()
+        .flat_map(|&k| (0..5).map(move |f| (k, f)))
+        .collect();
+    let rows = parallel::par_map(&configs, |&(k, f)| {
+        let (name, tree): (&str, Tree) = match f {
+            0 => ("decoy-spine", generators::decoy_spine(depth, depth / 16, 2)),
+            1 => ("uneven-star", generators::uneven_star(4 * k, depth)),
+            2 => (
                 "hidden-pocket",
                 generators::hidden_pocket(k, depth, k * depth / 2),
             ),
-            ("vine", generators::lopsided_vine(depth)),
-            ("caterpillar", generators::caterpillar(depth, k)),
-        ];
-        for (name, tree) in instances {
-            let mut cte = Cte::new(k);
-            let cte_rounds = Simulator::new(&tree, k)
-                .run(&mut cte)
-                .unwrap_or_else(|e| panic!("E6 cte {name} k={k}: {e}"))
-                .rounds;
-            let mut bfdn = Bfdn::new(k);
-            let bfdn_rounds = Simulator::new(&tree, k)
-                .run(&mut bfdn)
-                .unwrap_or_else(|e| panic!("E6 bfdn {name} k={k}: {e}"))
-                .rounds;
-            let lower = offline_lower_bound(tree.len(), tree.depth(), k);
-            table.row(vec![
-                name.into(),
-                tree.len().to_string(),
-                tree.depth().to_string(),
-                k.to_string(),
-                cte_rounds.to_string(),
-                bfdn_rounds.to_string(),
-                format!("{:.2}", cte_rounds as f64 / lower),
-                format!("{:.2}", bfdn_rounds as f64 / lower),
-                format!("{:.2}", cte_rounds as f64 / bfdn_rounds as f64),
-            ]);
-        }
+            3 => ("vine", generators::lopsided_vine(depth)),
+            _ => ("caterpillar", generators::caterpillar(depth, k)),
+        };
+        let mut cte = Cte::new(k);
+        let cte_rounds = Simulator::new(&tree, k)
+            .run(&mut cte)
+            .unwrap_or_else(|e| panic!("E6 cte {name} k={k}: {e}"))
+            .rounds;
+        let mut bfdn = Bfdn::new(k);
+        let bfdn_rounds = Simulator::new(&tree, k)
+            .run(&mut bfdn)
+            .unwrap_or_else(|e| panic!("E6 bfdn {name} k={k}: {e}"))
+            .rounds;
+        let lower = offline_lower_bound(tree.len(), tree.depth(), k);
+        vec![
+            name.into(),
+            tree.len().to_string(),
+            tree.depth().to_string(),
+            k.to_string(),
+            cte_rounds.to_string(),
+            bfdn_rounds.to_string(),
+            format!("{:.2}", cte_rounds as f64 / lower),
+            format!("{:.2}", bfdn_rounds as f64 / lower),
+            format!("{:.2}", cte_rounds as f64 / bfdn_rounds as f64),
+        ]
+    });
+    for row in rows {
+        table.row(row);
     }
     table
 }

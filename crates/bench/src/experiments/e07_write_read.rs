@@ -2,7 +2,7 @@
 //! communication) implementation matches the Theorem 1 envelope and
 //! stays comparable to the complete-communication version.
 
-use crate::{Scale, Table};
+use crate::{parallel, Scale, Table};
 use bfdn::{theorem1_bound, Bfdn, WriteReadBfdn};
 use bfdn_sim::{Explorer, Simulator, Trace};
 use bfdn_trees::generators::Family;
@@ -54,30 +54,39 @@ pub fn e7_write_read(scale: Scale) -> Table {
         Scale::Quick => &[4, 16],
         Scale::Full => &[4, 16, 64],
     };
-    for fam in Family::ALL {
-        let tree = fam.instance(n, &mut rng);
-        for &k in ks {
-            let mut cc = Bfdn::new(k);
-            let (cc_rounds, cc_trace) = traced_run(&tree, k, &mut cc, &format!("cc {fam} k={k}"));
-            let mut wr = WriteReadBfdn::new(k);
-            let (wr_rounds, wr_trace) = traced_run(&tree, k, &mut wr, &format!("wr {fam} k={k}"));
-            let bound = theorem1_bound(tree.len(), tree.depth(), k, tree.max_degree());
-            assert!(
-                (wr_rounds as f64) <= bound,
-                "E7 violation: {fam} k={k}: {wr_rounds} > {bound}"
-            );
-            table.row(vec![
-                fam.name().into(),
-                tree.len().to_string(),
-                k.to_string(),
-                cc_rounds.to_string(),
-                wr_rounds.to_string(),
-                format!("{bound:.0}"),
-                format!("{:.3}", wr_rounds as f64 / bound),
-                half_visit_round(&cc_trace).to_string(),
-                half_visit_round(&wr_trace).to_string(),
-            ]);
-        }
+    // Trees first (sequential RNG order), then one unit per (tree, k).
+    let trees: Vec<_> = Family::ALL
+        .iter()
+        .map(|&fam| (fam, fam.instance(n, &mut rng)))
+        .collect();
+    let configs: Vec<(usize, usize)> = (0..trees.len())
+        .flat_map(|t| ks.iter().map(move |&k| (t, k)))
+        .collect();
+    let rows = parallel::par_map(&configs, |&(t, k)| {
+        let (fam, ref tree) = trees[t];
+        let mut cc = Bfdn::new(k);
+        let (cc_rounds, cc_trace) = traced_run(tree, k, &mut cc, &format!("cc {fam} k={k}"));
+        let mut wr = WriteReadBfdn::new(k);
+        let (wr_rounds, wr_trace) = traced_run(tree, k, &mut wr, &format!("wr {fam} k={k}"));
+        let bound = theorem1_bound(tree.len(), tree.depth(), k, tree.max_degree());
+        assert!(
+            (wr_rounds as f64) <= bound,
+            "E7 violation: {fam} k={k}: {wr_rounds} > {bound}"
+        );
+        vec![
+            fam.name().into(),
+            tree.len().to_string(),
+            k.to_string(),
+            cc_rounds.to_string(),
+            wr_rounds.to_string(),
+            format!("{bound:.0}"),
+            format!("{:.3}", wr_rounds as f64 / bound),
+            half_visit_round(&cc_trace).to_string(),
+            half_visit_round(&wr_trace).to_string(),
+        ]
+    });
+    for row in rows {
+        table.row(row);
     }
     table
 }

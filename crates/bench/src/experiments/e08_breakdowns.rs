@@ -2,7 +2,7 @@
 //! variant finishes once the average allowed moves per robot reaches
 //! `2n/k + D²(log k + 3)`.
 
-use crate::{Scale, Table};
+use crate::{parallel, Scale, Table};
 use bfdn::{proposition7_bound, Bfdn};
 use bfdn_sim::{
     BurstStall, MoveSchedule, RandomStall, RoundRobinStall, Simulator, StopCondition, TargetedStall,
@@ -33,38 +33,50 @@ pub fn e8_breakdowns(scale: Scale) -> Table {
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xE8);
     let n = scale.size(4_000);
     let k = 16;
-    for fam in Family::ALL {
-        let tree = fam.instance(n, &mut rng);
-        let depths: Vec<usize> = tree.node_ids().map(|v| tree.node_depth(v)).collect();
-        let schedules: Vec<Box<dyn MoveSchedule>> = vec![
-            Box::new(RandomStall::new(0.4, 0xE8)),
-            Box::new(RoundRobinStall::new(k / 2)),
-            Box::new(BurstStall::new(11, 4)),
-            Box::new(TargetedStall::new(depths, 0.5, 0xE8)),
-        ];
-        for mut schedule in schedules {
-            let name = schedule.name().to_string();
-            let mut algo = Bfdn::new_robust(k);
-            let outcome = Simulator::new(&tree, k)
-                .run_with(&mut algo, &mut *schedule, StopCondition::Explored)
-                .unwrap_or_else(|e| panic!("E8 {fam} {name}: {e}"));
-            let avg_allowed = outcome.metrics.average_allowed();
-            let bound = proposition7_bound(tree.len(), tree.depth(), k);
-            assert!(
-                avg_allowed <= bound,
-                "E8 violation: {fam} {name}: A(M)={avg_allowed:.0} > {bound:.0}"
-            );
-            table.row(vec![
-                fam.name().into(),
-                tree.len().to_string(),
-                k.to_string(),
-                name,
-                outcome.rounds.to_string(),
-                format!("{avg_allowed:.0}"),
-                format!("{bound:.0}"),
-                format!("{:.3}", avg_allowed / bound),
-            ]);
-        }
+    // Trees first (sequential RNG order); schedules carry per-run state,
+    // so each (tree, schedule) unit constructs its own copy.
+    let trees: Vec<_> = Family::ALL
+        .iter()
+        .map(|&fam| (fam, fam.instance(n, &mut rng)))
+        .collect();
+    let configs: Vec<(usize, usize)> = (0..trees.len())
+        .flat_map(|t| (0..4).map(move |s| (t, s)))
+        .collect();
+    let rows = parallel::par_map(&configs, |&(t, s)| {
+        let (fam, ref tree) = trees[t];
+        let mut schedule: Box<dyn MoveSchedule> = match s {
+            0 => Box::new(RandomStall::new(0.4, 0xE8)),
+            1 => Box::new(RoundRobinStall::new(k / 2)),
+            2 => Box::new(BurstStall::new(11, 4)),
+            _ => {
+                let depths: Vec<usize> = tree.node_ids().map(|v| tree.node_depth(v)).collect();
+                Box::new(TargetedStall::new(depths, 0.5, 0xE8))
+            }
+        };
+        let name = schedule.name().to_string();
+        let mut algo = Bfdn::new_robust(k);
+        let outcome = Simulator::new(tree, k)
+            .run_with(&mut algo, &mut *schedule, StopCondition::Explored)
+            .unwrap_or_else(|e| panic!("E8 {fam} {name}: {e}"));
+        let avg_allowed = outcome.metrics.average_allowed();
+        let bound = proposition7_bound(tree.len(), tree.depth(), k);
+        assert!(
+            avg_allowed <= bound,
+            "E8 violation: {fam} {name}: A(M)={avg_allowed:.0} > {bound:.0}"
+        );
+        vec![
+            fam.name().into(),
+            tree.len().to_string(),
+            k.to_string(),
+            name,
+            outcome.rounds.to_string(),
+            format!("{avg_allowed:.0}"),
+            format!("{bound:.0}"),
+            format!("{:.3}", avg_allowed / bound),
+        ]
+    });
+    for row in rows {
+        table.row(row);
     }
     table
 }

@@ -2,7 +2,7 @@
 //! obstacles, with the `2m/k + D²(min{log Δ, log k}+3)` bound on a graph
 //! with `m` edges and radius `D`.
 
-use crate::{Scale, Table};
+use crate::{parallel, Scale, Table};
 use bfdn::GraphBfdn;
 use bfdn_trees::grid::{GridGraph, Rect};
 
@@ -65,30 +65,35 @@ pub fn e9_graphs(scale: Scale) -> Table {
             ),
         ),
     ];
-    for (name, grid) in grids {
+    let configs: Vec<(usize, usize)> = (0..grids.len())
+        .flat_map(|g| [1usize, 4, 16, 64].into_iter().map(move |k| (g, k)))
+        .collect();
+    let rows = parallel::par_map(&configs, |&(gi, k)| {
+        let (name, ref grid) = grids[gi];
         let g = grid.graph();
-        for k in [1usize, 4, 16, 64] {
-            let out = GraphBfdn::explore(g, grid.origin(), k)
-                .unwrap_or_else(|e| panic!("E9 {name} k={k}: {e}"));
-            assert!(
-                (out.rounds as f64) <= out.bound,
-                "E9 violation: {name} k={k}: {} > {}",
-                out.rounds,
-                out.bound
-            );
-            table.row(vec![
-                name.into(),
-                g.len().to_string(),
-                g.num_edges().to_string(),
-                g.radius_from(grid.origin()).to_string(),
-                grid.distances_are_manhattan().to_string(),
-                k.to_string(),
-                out.rounds.to_string(),
-                out.closed_edges.to_string(),
-                format!("{:.0}", out.bound),
-                format!("{:.3}", out.rounds as f64 / out.bound),
-            ]);
-        }
+        let out = GraphBfdn::explore(g, grid.origin(), k)
+            .unwrap_or_else(|e| panic!("E9 {name} k={k}: {e}"));
+        assert!(
+            (out.rounds as f64) <= out.bound,
+            "E9 violation: {name} k={k}: {} > {}",
+            out.rounds,
+            out.bound
+        );
+        vec![
+            name.into(),
+            g.len().to_string(),
+            g.num_edges().to_string(),
+            g.radius_from(grid.origin()).to_string(),
+            grid.distances_are_manhattan().to_string(),
+            k.to_string(),
+            out.rounds.to_string(),
+            out.closed_edges.to_string(),
+            format!("{:.0}", out.bound),
+            format!("{:.3}", out.rounds as f64 / out.bound),
+        ]
+    });
+    for row in rows {
+        table.row(row);
     }
     table
 }

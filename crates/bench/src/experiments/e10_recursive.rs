@@ -2,7 +2,7 @@
 //! `ℓ`-crossover (plain BFDN wins on shallow trees, the recursion wins
 //! once `n/k^{1/ℓ} < D²`).
 
-use crate::{Scale, Table};
+use crate::{parallel, Scale, Table};
 use bfdn::{theorem10_bound, Bfdn, BfdnL};
 use bfdn_sim::Simulator;
 use bfdn_trees::{generators, Tree};
@@ -47,44 +47,53 @@ pub fn e10_recursive(scale: Scale) -> Table {
         // The extreme: a bare path (depth = n, inherently sequential).
         ("path", generators::path(base)),
     ];
-    for (name, tree) in instances {
-        let mut plain = Bfdn::new(k);
-        let plain_rounds = Simulator::new(&tree, k)
-            .run(&mut plain)
-            .unwrap_or_else(|e| panic!("E10 bfdn {name}: {e}"))
-            .rounds;
-        table.row(vec![
-            name.into(),
-            tree.len().to_string(),
-            tree.depth().to_string(),
-            k.to_string(),
-            "0".into(),
-            plain_rounds.to_string(),
-            "-".into(),
-            "-".into(),
-        ]);
-        for ell in [1u32, 2, 3] {
-            let mut algo = BfdnL::new(k, ell);
-            let rounds = Simulator::new(&tree, k)
-                .run(&mut algo)
-                .unwrap_or_else(|e| panic!("E10 bfdn_l{ell} {name}: {e}"))
+    // One unit per (tree, ℓ) with ℓ = 0 meaning plain BFDN; unit order
+    // reproduces the sequential row order (plain first, then ℓ = 1..3).
+    let configs: Vec<(usize, u32)> = (0..instances.len())
+        .flat_map(|t| (0u32..4).map(move |ell| (t, ell)))
+        .collect();
+    let rows = parallel::par_map(&configs, |&(t, ell)| {
+        let (name, ref tree) = instances[t];
+        if ell == 0 {
+            let mut plain = Bfdn::new(k);
+            let plain_rounds = Simulator::new(tree, k)
+                .run(&mut plain)
+                .unwrap_or_else(|e| panic!("E10 bfdn {name}: {e}"))
                 .rounds;
-            let bound = theorem10_bound(tree.len(), tree.depth(), k, tree.max_degree(), ell);
-            assert!(
-                (rounds as f64) <= bound,
-                "E10 violation: {name} ℓ={ell}: {rounds} > {bound}"
-            );
-            table.row(vec![
+            return vec![
                 name.into(),
                 tree.len().to_string(),
                 tree.depth().to_string(),
                 k.to_string(),
-                ell.to_string(),
-                rounds.to_string(),
-                format!("{bound:.0}"),
-                format!("{:.3}", rounds as f64 / bound),
-            ]);
+                "0".into(),
+                plain_rounds.to_string(),
+                "-".into(),
+                "-".into(),
+            ];
         }
+        let mut algo = BfdnL::new(k, ell);
+        let rounds = Simulator::new(tree, k)
+            .run(&mut algo)
+            .unwrap_or_else(|e| panic!("E10 bfdn_l{ell} {name}: {e}"))
+            .rounds;
+        let bound = theorem10_bound(tree.len(), tree.depth(), k, tree.max_degree(), ell);
+        assert!(
+            (rounds as f64) <= bound,
+            "E10 violation: {name} ℓ={ell}: {rounds} > {bound}"
+        );
+        vec![
+            name.into(),
+            tree.len().to_string(),
+            tree.depth().to_string(),
+            k.to_string(),
+            ell.to_string(),
+            rounds.to_string(),
+            format!("{bound:.0}"),
+            format!("{:.3}", rounds as f64 / bound),
+        ]
+    });
+    for row in rows {
+        table.row(row);
     }
     table
 }

@@ -2,7 +2,7 @@
 //! workers on `k` tasks of unknown length; least-crowded reassignment
 //! bounds total task switches by `k·log k + 2k`.
 
-use crate::{Scale, Table};
+use crate::{parallel, Scale, Table};
 use urn_game::allocation::{run, ReassignPolicy};
 use urn_game::theorem3_bound;
 
@@ -43,35 +43,50 @@ pub fn e11_allocation(scale: Scale) -> Table {
         Scale::Quick => &[16, 64],
         Scale::Full => &[16, 64, 256, 1024],
     };
-    for &k in ks {
-        for kind in ["equal", "geometric", "linear", "one-giant"] {
-            let ls = lengths(kind, k);
-            for policy in [
-                ReassignPolicy::LeastCrowded,
-                ReassignPolicy::MostCrowded,
-                ReassignPolicy::random(0xE11),
-                ReassignPolicy::RoundRobin { next: 0 },
-            ] {
-                let name = policy.name();
-                let out = run(&ls, k, policy);
-                let bound = theorem3_bound(k, k);
-                if name == "least-crowded" {
-                    assert!(
-                        (out.switches as f64) <= bound,
-                        "E11 violation: k={k} {kind}: {} > {bound}",
-                        out.switches
-                    );
-                }
-                table.row(vec![
-                    k.to_string(),
-                    kind.into(),
-                    name.into(),
-                    out.rounds.to_string(),
-                    out.switches.to_string(),
-                    format!("{bound:.0}"),
-                    format!("{:.3}", out.switches as f64 / bound),
-                ]);
+    // One unit per (k, workload): the four policies share the workload
+    // vector and each run is cheap relative to building it at large k.
+    let configs: Vec<(usize, &str)> = ks
+        .iter()
+        .flat_map(|&k| {
+            ["equal", "geometric", "linear", "one-giant"]
+                .into_iter()
+                .map(move |kind| (k, kind))
+        })
+        .collect();
+    let rows = parallel::par_map(&configs, |&(k, kind)| {
+        let ls = lengths(kind, k);
+        let mut rows = Vec::new();
+        for policy in [
+            ReassignPolicy::LeastCrowded,
+            ReassignPolicy::MostCrowded,
+            ReassignPolicy::random(0xE11),
+            ReassignPolicy::RoundRobin { next: 0 },
+        ] {
+            let name = policy.name();
+            let out = run(&ls, k, policy);
+            let bound = theorem3_bound(k, k);
+            if name == "least-crowded" {
+                assert!(
+                    (out.switches as f64) <= bound,
+                    "E11 violation: k={k} {kind}: {} > {bound}",
+                    out.switches
+                );
             }
+            rows.push(vec![
+                k.to_string(),
+                kind.into(),
+                name.into(),
+                out.rounds.to_string(),
+                out.switches.to_string(),
+                format!("{bound:.0}"),
+                format!("{:.3}", out.switches as f64 / bound),
+            ]);
+        }
+        rows
+    });
+    for unit in rows {
+        for row in unit {
+            table.row(row);
         }
     }
     table

@@ -6,7 +6,7 @@
 //! *overhead* form keeps its ratio flat wherever `D²·log k ≪ n/k` — and
 //! on bushy trees both stay near the optimum.
 
-use crate::{Scale, Table};
+use crate::{parallel, Scale, Table};
 use bfdn::Bfdn;
 use bfdn_analysis::competitive_ratio;
 use bfdn_baselines::Cte;
@@ -39,30 +39,35 @@ pub fn e12_ratio_curves(scale: Scale) -> Table {
             generators::random_recursive(n, &mut rng),
         ),
     ];
-    for (name, tree) in &workloads {
-        for &k in ks {
-            let mut bfdn = Bfdn::new(k);
-            let b = Simulator::new(tree, k)
-                .run(&mut bfdn)
-                .unwrap_or_else(|e| panic!("E12 bfdn {name} k={k}: {e}"))
-                .rounds;
-            let mut cte = Cte::new(k);
-            let c = Simulator::new(tree, k)
-                .run(&mut cte)
-                .unwrap_or_else(|e| panic!("E12 cte {name} k={k}: {e}"))
-                .rounds;
-            let br = competitive_ratio(b as f64, tree.len(), tree.depth(), k);
-            let cr = competitive_ratio(c as f64, tree.len(), tree.depth(), k);
-            table.row(vec![
-                (*name).into(),
-                tree.len().to_string(),
-                tree.depth().to_string(),
-                k.to_string(),
-                format!("{br:.2}"),
-                format!("{cr:.2}"),
-                format!("{:.2}", cr / br),
-            ]);
-        }
+    let configs: Vec<(usize, usize)> = (0..workloads.len())
+        .flat_map(|w| ks.iter().map(move |&k| (w, k)))
+        .collect();
+    let rows = parallel::par_map(&configs, |&(w, k)| {
+        let (name, ref tree) = workloads[w];
+        let mut bfdn = Bfdn::new(k);
+        let b = Simulator::new(tree, k)
+            .run(&mut bfdn)
+            .unwrap_or_else(|e| panic!("E12 bfdn {name} k={k}: {e}"))
+            .rounds;
+        let mut cte = Cte::new(k);
+        let c = Simulator::new(tree, k)
+            .run(&mut cte)
+            .unwrap_or_else(|e| panic!("E12 cte {name} k={k}: {e}"))
+            .rounds;
+        let br = competitive_ratio(b as f64, tree.len(), tree.depth(), k);
+        let cr = competitive_ratio(c as f64, tree.len(), tree.depth(), k);
+        vec![
+            name.into(),
+            tree.len().to_string(),
+            tree.depth().to_string(),
+            k.to_string(),
+            format!("{br:.2}"),
+            format!("{cr:.2}"),
+            format!("{:.2}", cr / br),
+        ]
+    });
+    for row in rows {
+        table.row(row);
     }
     table
 }

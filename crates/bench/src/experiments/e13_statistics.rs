@@ -3,7 +3,7 @@
 //! many seeds and reports mean ± standard deviation, so `EXPERIMENTS.md`
 //! can claim the shapes are not seed artifacts.
 
-use crate::{Scale, Table};
+use crate::{parallel, Scale, Table};
 use bfdn::{theorem1_bound, Bfdn};
 use bfdn_baselines::Cte;
 use bfdn_sim::Simulator;
@@ -46,48 +46,56 @@ pub fn e13_statistics(scale: Scale) -> Table {
         Scale::Quick => &[8],
         Scale::Full => &[4, 16, 64],
     };
-    for fam in [
+    let fams = [
         Family::RandomRecursive,
         Family::UniformLabeled,
         Family::RandomBoundedDegree,
-    ] {
-        for &k in ks {
-            let mut bfdn_rounds = Vec::new();
-            let mut cte_rounds = Vec::new();
-            let mut worst_ratio = 0f64;
-            for seed in 0..seeds {
-                let mut rng = rand::rngs::StdRng::seed_from_u64(0xE13_000 + seed);
-                let tree = fam.instance(n, &mut rng);
-                let mut bfdn = Bfdn::new(k);
-                let b = Simulator::new(&tree, k)
-                    .run(&mut bfdn)
-                    .unwrap_or_else(|e| panic!("E13 bfdn {fam} k={k} seed={seed}: {e}"))
-                    .rounds as f64;
-                let bound = theorem1_bound(tree.len(), tree.depth(), k, tree.max_degree());
-                assert!(b <= bound, "E13 violation: {fam} k={k} seed={seed}");
-                worst_ratio = worst_ratio.max(b / bound);
-                bfdn_rounds.push(b);
-                let mut cte = Cte::new(k);
-                let c = Simulator::new(&tree, k)
-                    .run(&mut cte)
-                    .unwrap_or_else(|e| panic!("E13 cte {fam} k={k} seed={seed}: {e}"))
-                    .rounds as f64;
-                cte_rounds.push(c);
-            }
-            let (bm, bs) = mean_sd(&bfdn_rounds);
-            let (cm, cs) = mean_sd(&cte_rounds);
-            table.row(vec![
-                fam.name().into(),
-                n.to_string(),
-                k.to_string(),
-                seeds.to_string(),
-                format!("{bm:.0}"),
-                format!("{bs:.1}"),
-                format!("{cm:.0}"),
-                format!("{cs:.1}"),
-                format!("{worst_ratio:.3}"),
-            ]);
-        }
+    ];
+    // Every (family, k, seed) run is independent — each unit re-seeds
+    // its own RNG — so the whole sweep fans out at seed granularity and
+    // the statistics are folded back in row order afterwards.
+    let configs: Vec<(Family, usize, u64)> = fams
+        .iter()
+        .flat_map(|&fam| {
+            ks.iter()
+                .flat_map(move |&k| (0..seeds).map(move |seed| (fam, k, seed)))
+        })
+        .collect();
+    let runs = parallel::par_map(&configs, |&(fam, k, seed)| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xE13_000 + seed);
+        let tree = fam.instance(n, &mut rng);
+        let mut bfdn = Bfdn::new(k);
+        let b = Simulator::new(&tree, k)
+            .run(&mut bfdn)
+            .unwrap_or_else(|e| panic!("E13 bfdn {fam} k={k} seed={seed}: {e}"))
+            .rounds as f64;
+        let bound = theorem1_bound(tree.len(), tree.depth(), k, tree.max_degree());
+        assert!(b <= bound, "E13 violation: {fam} k={k} seed={seed}");
+        let mut cte = Cte::new(k);
+        let c = Simulator::new(&tree, k)
+            .run(&mut cte)
+            .unwrap_or_else(|e| panic!("E13 cte {fam} k={k} seed={seed}: {e}"))
+            .rounds as f64;
+        (b, c, b / bound)
+    });
+    for (group, chunk) in runs.chunks(seeds as usize).enumerate() {
+        let (fam, k, _) = configs[group * seeds as usize];
+        let bfdn_rounds: Vec<f64> = chunk.iter().map(|&(b, _, _)| b).collect();
+        let cte_rounds: Vec<f64> = chunk.iter().map(|&(_, c, _)| c).collect();
+        let worst_ratio = chunk.iter().map(|&(_, _, r)| r).fold(0f64, f64::max);
+        let (bm, bs) = mean_sd(&bfdn_rounds);
+        let (cm, cs) = mean_sd(&cte_rounds);
+        table.row(vec![
+            fam.name().into(),
+            n.to_string(),
+            k.to_string(),
+            seeds.to_string(),
+            format!("{bm:.0}"),
+            format!("{bs:.1}"),
+            format!("{cm:.0}"),
+            format!("{cs:.1}"),
+            format!("{worst_ratio:.3}"),
+        ]);
     }
     table
 }

@@ -12,6 +12,7 @@
 
 pub mod cli;
 pub mod experiments;
+pub mod parallel;
 mod table;
 
 pub use table::Table;

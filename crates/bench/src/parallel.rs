@@ -1,0 +1,123 @@
+//! Deterministic work-sharing for the experiment harness.
+//!
+//! [`par_map`] fans independent work items out over `std::thread::scope`
+//! workers pulling from an atomic queue, then reassembles the results in
+//! item order — so a table built from the output is byte-identical to
+//! the sequential run no matter how the items were scheduled. Experiment
+//! functions stay pure (tree generation keeps its sequential RNG
+//! consumption order; only the simulations fan out), which is what lets
+//! the committed `EXPERIMENTS.md` numbers survive the parallel harness.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker count: the `BFDN_THREADS` environment variable when set (and
+/// at least 1), otherwise the machine's available parallelism.
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("BFDN_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item, running items across [`num_threads`]
+/// scoped threads (the calling thread participates as one worker), and
+/// returns the results **in item order** regardless of scheduling.
+///
+/// A panic in any `f` call (experiments assert paper bounds by
+/// panicking) is propagated to the caller with its original payload.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = num_threads().min(items.len()).max(1);
+    if threads == 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, R)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads - 1)
+            .map(|_| s.spawn(|| drain_queue(&next, items, &f)))
+            .collect();
+        let mut all = drain_queue(&next, items, &f);
+        for h in handles {
+            match h.join() {
+                Ok(part) => all.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        all
+    });
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// One worker: claim the next unclaimed index until the queue is dry,
+/// tagging each result with its item index for the stable merge.
+fn drain_queue<T, R>(
+    next: &AtomicUsize,
+    items: &[T],
+    f: &(impl Fn(&T) -> R + Sync),
+) -> Vec<(usize, R)> {
+    let mut out = Vec::new();
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= items.len() {
+            return out;
+        }
+        out.push((i, f(&items[i])));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_item_order() {
+        let items: Vec<usize> = (0..97).collect();
+        let out = par_map(&items, |&i| {
+            // Skew the per-item cost so late items often finish first.
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            i * 3
+        });
+        assert_eq!(out, (0..97).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs_work() {
+        let none: Vec<u32> = vec![];
+        assert!(par_map(&none, |&x| x).is_empty());
+        assert_eq!(par_map(&[41u32], |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn worker_panics_propagate_with_their_payload() {
+        let res = std::panic::catch_unwind(|| {
+            par_map(&[1u32, 2, 3, 4], |&x| {
+                assert!(x != 3, "bound violated on item {x}");
+                x
+            })
+        });
+        let payload = res.expect_err("the panic must cross par_map");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("bound violated on item 3"), "got: {msg}");
+    }
+
+    #[test]
+    fn matches_sequential_map_on_heavier_closures() {
+        let items: Vec<u64> = (0..64).collect();
+        let sequential: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(x) ^ 0xABCD).collect();
+        assert_eq!(par_map(&items, |&x| x.wrapping_mul(x) ^ 0xABCD), sequential);
+    }
+}

@@ -1,0 +1,60 @@
+//! The parallel harness must be invisible in the output: two runs of
+//! the same experiment — whatever the thread count or scheduling — must
+//! produce byte-identical CSVs, and a multi-threaded run must match the
+//! single-threaded (sequential-order) run exactly. This is what keeps
+//! the committed `EXPERIMENTS.md` numbers valid under parallelism.
+
+use bfdn_bench::{experiments as ex, Scale};
+
+/// Runs every experiment except E2 (by far the slowest) once and
+/// returns (id, csv) pairs.
+fn suite_csvs() -> Vec<(&'static str, String)> {
+    vec![
+        ("e1", ex::e1_theorem1_bound(Scale::Quick).to_csv()),
+        ("e3", ex::e3_urn_game(Scale::Quick).to_csv()),
+        ("e4", ex::e4_lemma2_reanchors(Scale::Quick).to_csv()),
+        ("e5", ex::e5_figure1(Scale::Quick).shares.to_csv()),
+        ("e6", ex::e6_cte_adversarial(Scale::Quick).to_csv()),
+        ("e7", ex::e7_write_read(Scale::Quick).to_csv()),
+        ("e8", ex::e8_breakdowns(Scale::Quick).to_csv()),
+        ("e9", ex::e9_graphs(Scale::Quick).to_csv()),
+        ("e10", ex::e10_recursive(Scale::Quick).to_csv()),
+        ("e11", ex::e11_allocation(Scale::Quick).to_csv()),
+        ("e12", ex::e12_ratio_curves(Scale::Quick).to_csv()),
+        ("e13", ex::e13_statistics(Scale::Quick).to_csv()),
+        ("ablations", ex::a1_ablations(Scale::Quick).to_csv()),
+    ]
+}
+
+#[test]
+fn two_parallel_suite_runs_are_byte_identical() {
+    // Force several workers even on single-core CI machines, so the
+    // atomic work queue actually interleaves between the two runs.
+    std::env::set_var("BFDN_THREADS", "4");
+    let first = suite_csvs();
+    let second = suite_csvs();
+    for ((id, a), (_, b)) in first.iter().zip(second.iter()) {
+        assert_eq!(a, b, "{id}: two parallel runs diverged");
+    }
+}
+
+#[test]
+fn parallel_run_matches_the_sequential_order() {
+    // E2 is the most expensive experiment; keep this test to a couple
+    // of representative experiments so the suite stays quick.
+    std::env::set_var("BFDN_THREADS", "1");
+    let seq = vec![
+        ("e1", ex::e1_theorem1_bound(Scale::Quick).to_csv()),
+        ("e8", ex::e8_breakdowns(Scale::Quick).to_csv()),
+        ("e13", ex::e13_statistics(Scale::Quick).to_csv()),
+    ];
+    std::env::set_var("BFDN_THREADS", "4");
+    let par = vec![
+        ("e1", ex::e1_theorem1_bound(Scale::Quick).to_csv()),
+        ("e8", ex::e8_breakdowns(Scale::Quick).to_csv()),
+        ("e13", ex::e13_statistics(Scale::Quick).to_csv()),
+    ];
+    for ((id, s), (_, p)) in seq.iter().zip(par.iter()) {
+        assert_eq!(s, p, "{id}: parallel output diverged from sequential");
+    }
+}

@@ -7,7 +7,6 @@ use bfdn_sim::{Explorer, Move, RoundContext};
 use bfdn_trees::{NodeId, PartialTree, Port};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, HashSet};
 
 /// How `Reanchor` picks among the minimum-depth open nodes.
 ///
@@ -100,8 +99,6 @@ impl BfdnBuilder {
 
     /// Builds the explorer.
     pub fn build(self) -> Bfdn {
-        let mut loads = HashMap::new();
-        loads.insert(NodeId::ROOT, self.k as u32);
         let rng = match self.rule {
             ReanchorRule::Random(seed) => Some(StdRng::seed_from_u64(seed)),
             _ => None,
@@ -110,7 +107,11 @@ impl BfdnBuilder {
             k: self.k,
             anchors: vec![NodeId::ROOT; self.k],
             walks: vec![Vec::new(); self.k],
-            loads,
+            // Slot 0 is the root; the table grows to the arena capacity
+            // on the first round.
+            loads: vec![self.k as u32],
+            dn_claims: Vec::new(),
+            dn_claimed: Vec::new(),
             reanchors_by_depth: Vec::new(),
             rule: self.rule,
             order: self.order,
@@ -164,9 +165,16 @@ pub struct Bfdn {
     /// Pending scripted hops (popped from the back): the `BF` descent,
     /// or a shortcut/LCA relocation walk.
     walks: Vec<Vec<Step>>,
-    /// `n_v`: number of robots currently anchored at each node (only
-    /// nodes with non-zero load are present).
-    loads: HashMap<NodeId, u32>,
+    /// `n_v`: number of robots currently anchored at each node, indexed
+    /// by the dense [`NodeId`] arena index (grown to the tree's capacity
+    /// on the first round; unexplored nodes sit at zero).
+    loads: Vec<u32>,
+    /// Per-node count of dangling ports claimed by `DN` this round —
+    /// reusable scratch, reset via `dn_claimed` after selection instead
+    /// of reallocating.
+    dn_claims: Vec<u32>,
+    /// Nodes with a non-zero `dn_claims` entry this round.
+    dn_claimed: Vec<NodeId>,
     /// `Reanchor` calls that returned an anchor at each depth.
     reanchors_by_depth: Vec<u64>,
     rule: ReanchorRule,
@@ -256,7 +264,7 @@ impl Bfdn {
                 // in id order).
                 let mut best: Option<(u32, NodeId)> = None;
                 for v in tree.open_nodes_at_depth(depth) {
-                    let load = self.loads.get(&v).copied().unwrap_or(0);
+                    let load = self.loads[v.index()];
                     if load == 0 {
                         best = Some((0, v));
                         break;
@@ -311,13 +319,8 @@ impl Bfdn {
         };
         let old = self.anchors[i];
         if old != new_anchor {
-            if let Some(l) = self.loads.get_mut(&old) {
-                *l -= 1;
-                if *l == 0 {
-                    self.loads.remove(&old);
-                }
-            }
-            *self.loads.entry(new_anchor).or_insert(0) += 1;
+            self.loads[old.index()] = self.loads[old.index()].saturating_sub(1);
+            self.loads[new_anchor.index()] += 1;
             self.anchors[i] = new_anchor;
         }
         new_anchor
@@ -364,13 +367,25 @@ impl Bfdn {
 
     /// Procedure `DN(i)`: take an adjacent dangling edge not selected by
     /// another robot this round, otherwise go up.
-    fn dn(pos: NodeId, tree: &PartialTree, selected: &mut HashSet<(NodeId, Port)>) -> Option<Move> {
-        for port in tree.dangling_ports(pos) {
-            if selected.insert((pos, port)) {
-                return Some(Move::Down(port));
-            }
+    ///
+    /// Within a round every robot standing at `pos` scans the same
+    /// dangling-port list in the same (increasing) order, so "first port
+    /// not selected by an earlier robot" is exactly "the `c`-th dangling
+    /// port" where `c` robots claimed one here already — a per-node
+    /// counter replaces the old `HashSet<(NodeId, Port)>`.
+    fn dn(
+        pos: NodeId,
+        tree: &PartialTree,
+        claims: &mut [u32],
+        claimed: &mut Vec<NodeId>,
+    ) -> Option<Move> {
+        let c = claims[pos.index()];
+        let port = tree.dangling_ports(pos).nth(c as usize)?;
+        if c == 0 {
+            claimed.push(pos);
         }
-        None
+        claims[pos.index()] = c + 1;
+        Some(Move::Down(port))
     }
 }
 
@@ -386,6 +401,15 @@ impl Explorer for Bfdn {
         sink: &mut dyn EventSink,
     ) {
         debug_assert_eq!(ctx.k(), self.k, "robot count changed mid-run");
+        // Size the dense per-node tables once; the arena capacity is
+        // fixed for the lifetime of a run.
+        let cap = ctx.tree.capacity();
+        if self.loads.len() < cap {
+            self.loads.resize(cap, 0);
+        }
+        if self.dn_claims.len() < cap {
+            self.dn_claims.resize(cap, 0);
+        }
         // Reconcile scripted walks with what actually happened: a robot
         // whose committed hop was cancelled after selection (Remark 8
         // adversaries) is still at its origin — restore the hop.
@@ -396,7 +420,6 @@ impl Explorer for Bfdn {
                 }
             }
         }
-        let mut selected: HashSet<(NodeId, Port)> = HashSet::new();
         let start = match self.order {
             SelectionOrder::Fixed => 0,
             SelectionOrder::Rotating => (ctx.round as usize) % self.k,
@@ -420,7 +443,7 @@ impl Explorer for Bfdn {
                     self.last_intent[i] = Some((pos, step));
                     Move::Up
                 }
-                None => match Self::dn(pos, ctx.tree, &mut selected) {
+                None => match Self::dn(pos, ctx.tree, &mut self.dn_claims, &mut self.dn_claimed) {
                     Some(mv) => mv,
                     None if self.shortcut && (pos == self.anchors[i] || pos.is_root()) => {
                         // Shortcut variant: relocate directly from the
@@ -442,6 +465,11 @@ impl Explorer for Bfdn {
                     None => Move::Up,
                 },
             };
+        }
+        // Reset the round-local claim counters without touching the rest
+        // of the (mostly zero) table.
+        for v in self.dn_claimed.drain(..) {
+            self.dn_claims[v.index()] = 0;
         }
     }
 

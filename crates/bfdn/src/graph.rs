@@ -24,7 +24,7 @@
 
 use crate::bounds::proposition9_bound;
 use bfdn_trees::{Graph, NodeId, Port};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// What the team knows about one port of an explored node.
@@ -42,19 +42,23 @@ enum PortStatus {
     Closed,
 }
 
-/// Fog-of-war state for the graph setting.
+/// Fog-of-war state for the graph setting. All per-node tables are
+/// dense arrays indexed by the [`NodeId`] arena index — node count is
+/// known up front (it is the ground-truth graph's arena), and exploration
+/// touches nodes densely, so flat indexing beats hashing on the per-round
+/// path.
 #[derive(Clone, Debug)]
 struct Known {
-    /// Per explored node: status of each port. Unexplored nodes have no
-    /// entry.
-    ports: HashMap<NodeId, Vec<PortStatus>>,
-    /// BFS-tree parent (node, port-at-child-towards-parent).
-    parent: HashMap<NodeId, (NodeId, Port)>,
-    /// Depth = known distance to the origin.
-    depth: HashMap<NodeId, usize>,
+    /// Per node: status of each port; `None` while unexplored.
+    ports: Vec<Option<Vec<PortStatus>>>,
+    /// BFS-tree parent (node, port-at-child-towards-parent); `None` at
+    /// the origin and at unexplored nodes.
+    parent: Vec<Option<(NodeId, Port)>>,
+    /// Depth = known distance to the origin (meaningful once explored).
+    depth: Vec<usize>,
     /// Half-edges closed from afar (the far endpoint was unexplored at
-    /// closing time).
-    closed_halves: HashSet<(NodeId, Port)>,
+    /// closing time); inner vec allocated on first use per node.
+    closed_halves: Vec<Vec<bool>>,
     /// Open nodes (≥ 1 unknown port) by depth.
     open_by_depth: Vec<BTreeSet<NodeId>>,
     /// Total unknown ports.
@@ -63,11 +67,12 @@ struct Known {
 
 impl Known {
     fn new(graph: &Graph, origin: NodeId) -> Self {
+        let n = graph.len();
         let mut k = Known {
-            ports: HashMap::new(),
-            parent: HashMap::new(),
-            depth: HashMap::new(),
-            closed_halves: HashSet::new(),
+            ports: vec![None; n],
+            parent: vec![None; n],
+            depth: vec![0; n],
+            closed_halves: vec![Vec::new(); n],
             open_by_depth: Vec::new(),
             unknown: 0,
         };
@@ -76,7 +81,7 @@ impl Known {
     }
 
     fn is_explored(&self, v: NodeId) -> bool {
-        self.ports.contains_key(&v)
+        self.ports[v.index()].is_some()
     }
 
     fn explore_node(
@@ -93,17 +98,19 @@ impl Known {
             statuses[back.index()] = PortStatus::Parent;
             unknown_here -= 1;
         }
+        let pre_closed = &mut self.closed_halves[v.index()];
         for (p, s) in statuses.iter_mut().enumerate() {
-            if *s == PortStatus::Unknown && self.closed_halves.remove(&(v, Port::new(p))) {
+            if *s == PortStatus::Unknown && pre_closed.get(p).copied().unwrap_or(false) {
                 *s = PortStatus::Closed;
                 unknown_here -= 1;
             }
         }
-        self.ports.insert(v, statuses);
-        self.depth.insert(v, depth);
-        if let Some(par) = parent {
-            self.parent.insert(v, par);
-        }
+        // Pre-exploration closes are consumed; free the marks.
+        pre_closed.clear();
+        pre_closed.shrink_to_fit();
+        self.ports[v.index()] = Some(statuses);
+        self.depth[v.index()] = depth;
+        self.parent[v.index()] = parent;
         self.unknown += unknown_here;
         if self.open_by_depth.len() <= depth {
             self.open_by_depth.resize_with(depth + 1, BTreeSet::new);
@@ -114,8 +121,10 @@ impl Known {
     }
 
     fn set_status(&mut self, v: NodeId, p: Port, status: PortStatus) {
-        let d = self.depth[&v];
-        let ports = self.ports.get_mut(&v).expect("status of explored node");
+        let d = self.depth[v.index()];
+        let ports = self.ports[v.index()]
+            .as_mut()
+            .expect("status of explored node");
         debug_assert_eq!(ports[p.index()], PortStatus::Unknown);
         ports[p.index()] = status;
         self.unknown -= 1;
@@ -127,21 +136,31 @@ impl Known {
     /// Closes the half-edge `(v, p)`; works whether or not `v` is
     /// explored yet.
     fn close_half(&mut self, v: NodeId, p: Port) {
-        if let Some(ports) = self.ports.get(&v) {
+        if let Some(ports) = &self.ports[v.index()] {
             if ports[p.index()] == PortStatus::Unknown {
                 self.set_status(v, p, PortStatus::Closed);
             }
         } else {
-            self.closed_halves.insert((v, p));
+            let marks = &mut self.closed_halves[v.index()];
+            if marks.len() <= p.index() {
+                marks.resize(p.index() + 1, false);
+            }
+            marks[p.index()] = true;
         }
     }
 
     fn unknown_ports(&self, v: NodeId) -> impl Iterator<Item = Port> + '_ {
-        self.ports[&v]
+        self.ports[v.index()]
+            .as_deref()
+            .expect("unknown ports of explored node")
             .iter()
             .enumerate()
             .filter(|(_, &s)| s == PortStatus::Unknown)
             .map(|(i, _)| Port::new(i))
+    }
+
+    fn parent_of(&self, v: NodeId) -> (NodeId, Port) {
+        self.parent[v.index()].expect("non-origin explored node")
     }
 
     fn min_open_depth(&self) -> Option<usize> {
@@ -247,8 +266,12 @@ impl GraphBfdn {
         let mut positions = vec![origin; k];
         let mut states: Vec<RState> = vec![RState::Dn; k];
         let mut anchors = vec![origin; k];
-        let mut loads: HashMap<NodeId, u32> = HashMap::new();
-        loads.insert(origin, k as u32);
+        let mut loads = vec![0u32; graph.len()];
+        loads[origin.index()] = k as u32;
+        // Round-local DN claim counters (see `Bfdn::dn` for the
+        // equivalence argument), reset via the touched list each round.
+        let mut claims = vec![0u32; graph.len()];
+        let mut claimed: Vec<NodeId> = Vec::new();
         let m = graph.num_edges() as u64;
         let radius = graph.radius_from(origin);
         let max_rounds = 64 * (m + 2) * (radius as u64 + 2) + 1024;
@@ -264,7 +287,6 @@ impl GraphBfdn {
                 return Err(GraphError::RoundLimit(max_rounds));
             }
             // Selection phase (sequential, as in Algorithm 1).
-            let mut selected: HashSet<(NodeId, Port)> = HashSet::new();
             let mut moves: Vec<Option<Port>> = vec![None; k];
             for i in 0..k {
                 let pos = positions[i];
@@ -283,7 +305,7 @@ impl GraphBfdn {
                         Some(d) => {
                             let mut best: Option<(u32, NodeId)> = None;
                             for v in known.open_by_depth[d].iter().copied() {
-                                let load = loads.get(&v).copied().unwrap_or(0);
+                                let load = loads[v.index()];
                                 if load == 0 {
                                     best = Some((0, v));
                                     break;
@@ -298,17 +320,15 @@ impl GraphBfdn {
                     };
                     let old = anchors[i];
                     if old != new_anchor {
-                        if let Some(l) = loads.get_mut(&old) {
-                            *l = l.saturating_sub(1);
-                        }
-                        *loads.entry(new_anchor).or_insert(0) += 1;
+                        loads[old.index()] = loads[old.index()].saturating_sub(1);
+                        loads[new_anchor.index()] += 1;
                         anchors[i] = new_anchor;
                     }
                     // Build the BF stack along BFS-tree parent links.
                     let mut stack = Vec::new();
                     let mut cur = new_anchor;
                     while cur != origin {
-                        let (par, back) = known.parent[&cur];
+                        let (par, back) = known.parent_of(cur);
                         // The port at the parent leading to `cur`:
                         let down = graph.endpoint(cur, back).expect("parent edge").back;
                         stack.push(down);
@@ -327,13 +347,16 @@ impl GraphBfdn {
                     RState::Dn => {}
                     RState::Backtrack(_) => unreachable!("handled above"),
                 }
-                // DN: lowest unknown unselected port, else up.
-                let mut chosen = None;
-                for port in known.unknown_ports(pos) {
-                    if selected.insert((pos, port)) {
-                        chosen = Some(port);
-                        break;
+                // DN: lowest unknown unselected port, else up. The c-th
+                // claimer at a node takes its c-th unknown port (the scan
+                // order is shared, so this equals the old HashSet logic).
+                let c = claims[pos.index()];
+                let chosen = known.unknown_ports(pos).nth(c as usize);
+                if chosen.is_some() {
+                    if c == 0 {
+                        claimed.push(pos);
                     }
+                    claims[pos.index()] = c + 1;
                 }
                 moves[i] = match chosen {
                     Some(p) => Some(p),
@@ -341,10 +364,13 @@ impl GraphBfdn {
                         if pos == origin {
                             None // ⊥
                         } else {
-                            Some(known.parent[&pos].1)
+                            Some(known.parent_of(pos).1)
                         }
                     }
                 };
+            }
+            for v in claimed.drain(..) {
+                claims[v.index()] = 0;
             }
             // Move phase: apply synchronously; resolve probe arrivals in
             // robot order.
@@ -353,9 +379,8 @@ impl GraphBfdn {
                 let u = positions[i];
                 // Backtracking robots may stand on an unexplored node
                 // (case 2) — their return hop is never a probe.
-                let was_unknown = known
-                    .ports
-                    .get(&u)
+                let was_unknown = known.ports[u.index()]
+                    .as_ref()
                     .is_some_and(|ps| ps[port.index()] == PortStatus::Unknown);
                 let e = graph.endpoint(u, port).expect("valid port");
                 positions[i] = e.node;

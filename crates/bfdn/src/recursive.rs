@@ -30,7 +30,7 @@
 
 use bfdn_sim::{Explorer, Move, RoundContext};
 use bfdn_trees::{NodeId, PartialTree, Port};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeSet, HashSet};
 
 /// What an interrupted instance hands back to its parent.
 #[derive(Clone, Debug, Default)]
@@ -101,19 +101,55 @@ enum LState {
 
 /// `BFDN₁(k*, k, d)` on the sub-tree rooted at `root`, with anchors
 /// capped at absolute depth `limit`.
+///
+/// Teams are tiny (`k' = k/k*` robots) and anchor sets no larger, so
+/// per-robot state lives in slot-aligned vectors parallel to `robots`
+/// and per-anchor loads in a small association list — linear scans at
+/// this size beat hashing.
 #[derive(Clone, Debug)]
 struct Leaf {
     root: NodeId,
     limit: usize,
     robots: Vec<usize>,
-    states: HashMap<usize, LState>,
-    anchors: HashMap<usize, NodeId>,
-    loads: HashMap<NodeId, u32>,
+    /// Per-slot state, parallel to `robots`.
+    states: Vec<LState>,
+    /// Per-slot anchor, parallel to `robots`.
+    anchors: Vec<NodeId>,
+    /// Robots currently assigned per anchor.
+    loads: Vec<(NodeId, u32)>,
     /// Open nodes of the sub-tree, keyed `(depth, node)`.
     open: BTreeSet<(usize, NodeId)>,
     /// Dangling traversals selected last round, to fold into `open` once
     /// the moves have been applied.
     pending: Vec<(NodeId, Port)>,
+    /// Per-node count of dangling ports claimed this round (scratch,
+    /// cleared at the top of each `step`).
+    claims: Vec<(NodeId, u32)>,
+}
+
+fn load_of(loads: &[(NodeId, u32)], v: NodeId) -> u32 {
+    loads
+        .iter()
+        .find(|&&(u, _)| u == v)
+        .map(|&(_, l)| l)
+        .unwrap_or(0)
+}
+
+fn bump_load(loads: &mut Vec<(NodeId, u32)>, v: NodeId) {
+    match loads.iter_mut().find(|(u, _)| *u == v) {
+        Some((_, l)) => *l += 1,
+        None => loads.push((v, 1)),
+    }
+}
+
+fn drop_load(loads: &mut Vec<(NodeId, u32)>, v: NodeId) {
+    if let Some(p) = loads.iter().position(|&(u, _)| u == v) {
+        if loads[p].1 <= 1 {
+            loads.swap_remove(p);
+        } else {
+            loads[p].1 -= 1;
+        }
+    }
 }
 
 impl Leaf {
@@ -124,15 +160,18 @@ impl Leaf {
         adopted: &[(usize, NodeId)],
         open: Vec<(usize, NodeId)>,
     ) -> Self {
-        let adopted_ids: HashMap<usize, NodeId> = adopted.iter().copied().collect();
-        let mut states = HashMap::new();
-        let mut anchors = HashMap::new();
-        let mut loads: HashMap<NodeId, u32> = HashMap::new();
+        let mut states = Vec::with_capacity(team.len());
+        let mut anchors = Vec::with_capacity(team.len());
+        let mut loads: Vec<(NodeId, u32)> = Vec::new();
         for &r in team {
-            let anchor = adopted_ids.get(&r).copied().unwrap_or(root);
-            states.insert(r, LState::Dn);
-            anchors.insert(r, anchor);
-            *loads.entry(anchor).or_insert(0) += 1;
+            let anchor = adopted
+                .iter()
+                .find(|&&(id, _)| id == r)
+                .map(|&(_, a)| a)
+                .unwrap_or(root);
+            states.push(LState::Dn);
+            anchors.push(anchor);
+            bump_load(&mut loads, anchor);
         }
         Leaf {
             root,
@@ -143,6 +182,7 @@ impl Leaf {
             loads,
             open: open.into_iter().collect(),
             pending: Vec::new(),
+            claims: Vec::new(),
         }
     }
 
@@ -162,7 +202,7 @@ impl Leaf {
         }
     }
 
-    fn reanchor(&mut self, i: usize) -> Option<NodeId> {
+    fn reanchor(&mut self, slot: usize) -> Option<NodeId> {
         let (min_depth, _) = self.open.first().copied()?;
         if min_depth > self.limit {
             return None;
@@ -172,7 +212,7 @@ impl Leaf {
             if d != min_depth {
                 break;
             }
-            let load = self.loads.get(&v).copied().unwrap_or(0);
+            let load = load_of(&self.loads, v);
             if load == 0 {
                 best = Some((0, v));
                 break;
@@ -182,21 +222,16 @@ impl Leaf {
             }
         }
         let (_, v) = best.expect("open depth has nodes");
-        self.set_anchor(i, v);
+        self.set_anchor(slot, v);
         Some(v)
     }
 
-    fn set_anchor(&mut self, i: usize, v: NodeId) {
-        let old = self.anchors[&i];
+    fn set_anchor(&mut self, slot: usize, v: NodeId) {
+        let old = self.anchors[slot];
         if old != v {
-            if let Some(l) = self.loads.get_mut(&old) {
-                *l = l.saturating_sub(1);
-                if *l == 0 {
-                    self.loads.remove(&old);
-                }
-            }
-            *self.loads.entry(v).or_insert(0) += 1;
-            self.anchors.insert(i, v);
+            drop_load(&mut self.loads, old);
+            bump_load(&mut self.loads, v);
+            self.anchors[slot] = v;
         }
     }
 
@@ -214,41 +249,40 @@ impl Leaf {
     fn step(&mut self, ctx: &RoundContext<'_>, out: &mut [Move]) {
         self.sync(ctx.tree);
         let tree = ctx.tree;
-        let mut selected: HashSet<(NodeId, Port)> = HashSet::new();
-        let robots = self.robots.clone();
-        for i in robots {
+        self.claims.clear();
+        for slot in 0..self.robots.len() {
+            let i = self.robots[slot];
             let pos = ctx.positions[i];
-            let state = self.states.get_mut(&i).expect("team member");
-            match state {
+            match &mut self.states[slot] {
                 LState::Bf(stack) => {
                     let port = stack.pop().expect("BF implies pending hops");
                     if stack.is_empty() {
-                        *state = LState::Dn;
+                        self.states[slot] = LState::Dn;
                     }
                     out[i] = Move::Down(port);
                 }
                 LState::Inactive => {
                     // Wake up if eligible anchors (re)appeared.
                     debug_assert_eq!(pos, self.root);
-                    if self.reanchor(i).is_some() {
-                        self.states.insert(i, LState::Dn);
-                        out[i] = self.launch(i, tree, &mut selected);
+                    if self.reanchor(slot).is_some() {
+                        self.states[slot] = LState::Dn;
+                        out[i] = self.launch(slot, tree);
                     } else {
                         out[i] = Move::Stay;
                     }
                 }
                 LState::Dn => {
                     if pos == self.root {
-                        out[i] = match self.reanchor(i) {
-                            Some(_) => self.launch(i, tree, &mut selected),
+                        out[i] = match self.reanchor(slot) {
+                            Some(_) => self.launch(slot, tree),
                             None => {
-                                self.states.insert(i, LState::Inactive);
-                                self.set_anchor(i, self.root);
+                                self.states[slot] = LState::Inactive;
+                                self.set_anchor(slot, self.root);
                                 Move::Stay
                             }
                         };
                     } else {
-                        out[i] = self.dn_move(pos, tree, &mut selected);
+                        out[i] = self.dn_move(pos, tree);
                     }
                 }
             }
@@ -257,36 +291,39 @@ impl Leaf {
 
     /// First move after a (re)anchoring: descend the BF stack, or DN in
     /// place when anchored at the local root.
-    fn launch(
-        &mut self,
-        i: usize,
-        tree: &PartialTree,
-        selected: &mut HashSet<(NodeId, Port)>,
-    ) -> Move {
-        let anchor = self.anchors[&i];
+    fn launch(&mut self, slot: usize, tree: &PartialTree) -> Move {
+        let anchor = self.anchors[slot];
         let mut stack = self.stack_to(tree, anchor);
         match stack.pop() {
             Some(port) => {
                 if !stack.is_empty() {
-                    self.states.insert(i, LState::Bf(stack));
+                    self.states[slot] = LState::Bf(stack);
                 }
                 Move::Down(port)
             }
-            None => self.dn_move(self.root, tree, selected),
+            None => self.dn_move(self.root, tree),
         }
     }
 
-    fn dn_move(
-        &mut self,
-        pos: NodeId,
-        tree: &PartialTree,
-        selected: &mut HashSet<(NodeId, Port)>,
-    ) -> Move {
-        for port in tree.dangling_ports(pos) {
-            if selected.insert((pos, port)) {
-                self.pending.push((pos, port));
-                return Move::Down(port);
+    /// Within a round every DN selection at `pos` scans the same dangling
+    /// port list in the same increasing order, so the `c`-th claimer takes
+    /// the `c`-th port: a per-node claim counter replaces the old
+    /// selected-set without changing any choice.
+    fn dn_move(&mut self, pos: NodeId, tree: &PartialTree) -> Move {
+        let c = match self.claims.iter_mut().find(|(v, _)| *v == pos) {
+            Some((_, c)) => {
+                let cur = *c;
+                *c += 1;
+                cur
             }
+            None => {
+                self.claims.push((pos, 1));
+                0
+            }
+        };
+        if let Some(port) = tree.dangling_ports(pos).nth(c as usize) {
+            self.pending.push((pos, port));
+            return Move::Down(port);
         }
         if pos == self.root {
             Move::Stay
@@ -297,7 +334,7 @@ impl Leaf {
 
     fn active_count(&self) -> usize {
         self.states
-            .values()
+            .iter()
             .filter(|s| !matches!(s, LState::Inactive))
             .count()
     }
@@ -325,8 +362,8 @@ impl Leaf {
         let min_open = self.open.first().map(|&(d, _)| d).unwrap_or(self.limit);
         let target = self.limit.min(min_open);
         let mut active = Vec::new();
-        for &i in &self.robots {
-            if !matches!(self.states[&i], LState::Inactive) {
+        for (slot, &i) in self.robots.iter().enumerate() {
+            if !matches!(self.states[slot], LState::Inactive) {
                 let anchor = ancestor_at(ctx.tree, ctx.positions[i], target);
                 active.push((i, anchor));
             }
@@ -349,9 +386,10 @@ struct ChildSpec {
 
 #[derive(Clone, Debug)]
 enum DPhase {
-    /// Fresh team members walking to their sub-tree roots.
+    /// Fresh team members walking to their sub-tree roots, as
+    /// `(robot, remaining steps)` pairs in assignment order.
     Rebalance {
-        walkers: HashMap<usize, Vec<Step>>,
+        walkers: Vec<(usize, Vec<Step>)>,
         specs: Vec<ChildSpec>,
     },
     /// Child instances running in parallel.
@@ -426,7 +464,7 @@ impl Divide {
             .copied()
             .filter(|r| !in_team.contains(r))
             .collect();
-        let mut walkers: HashMap<usize, Vec<Step>> = HashMap::new();
+        let mut walkers: Vec<(usize, Vec<Step>)> = Vec::new();
         let mut specs = Vec::new();
         let mut open_left = open;
         for (root, in_place) in groups.into_iter().take(self.k_star) {
@@ -440,7 +478,7 @@ impl Divide {
                 let mut path = walk_path(tree, ctx.positions[r], root);
                 if !path.is_empty() {
                     path.reverse(); // consumed by pop() from the back
-                    walkers.insert(r, path);
+                    walkers.push((r, path));
                 }
                 team.push(r);
             }
@@ -496,16 +534,18 @@ impl Divide {
                 kept.push(a);
             }
         }
-        let mut groups_map: HashMap<NodeId, Vec<(usize, NodeId)>> = HashMap::new();
+        // Kept roots are pairwise non-nested, so each anchor has exactly
+        // one kept ancestor and every group ends up non-empty.
+        let mut groups: Vec<(NodeId, Vec<(usize, NodeId)>)> =
+            kept.iter().map(|&root| (root, Vec::new())).collect();
         for (r, anchor) in active {
-            let owner = kept
+            let gi = groups
                 .iter()
-                .copied()
-                .find(|&k| ctx.tree.is_ancestor(k, anchor))
+                .position(|&(root, _)| ctx.tree.is_ancestor(root, anchor))
                 .expect("every anchor has a kept ancestor");
-            groups_map.entry(owner).or_default().push((r, owner));
+            let owner = groups[gi].0;
+            groups[gi].1.push((r, owner));
         }
-        let mut groups: Vec<(NodeId, Vec<(usize, NodeId)>)> = groups_map.into_iter().collect();
         groups.sort_by_key(|&(root, _)| root);
         self.build_iteration(groups, open, ctx);
     }
@@ -555,19 +595,13 @@ impl Divide {
                         child.step(ctx, out);
                     }
                 } else {
-                    let mut arrived = Vec::new();
-                    for (&r, path) in walkers.iter_mut() {
+                    for (r, path) in walkers.iter_mut() {
                         match path.pop().expect("empty walks are never inserted") {
-                            Step::Up => out[r] = Move::Up,
-                            Step::Down(p) => out[r] = Move::Down(p),
-                        }
-                        if path.is_empty() {
-                            arrived.push(r);
+                            Step::Up => out[*r] = Move::Up,
+                            Step::Down(p) => out[*r] = Move::Down(p),
                         }
                     }
-                    for r in arrived {
-                        walkers.remove(&r);
-                    }
+                    walkers.retain(|(_, path)| !path.is_empty());
                 }
             }
             DPhase::Run => {

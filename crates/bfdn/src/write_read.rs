@@ -31,7 +31,7 @@
 
 use bfdn_sim::{Explorer, Move, RoundContext};
 use bfdn_trees::{NodeId, PartialTree, Port};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeSet, HashSet};
 
 /// The whiteboard of one node: which down-ports have been *sent* a robot
 /// by `PARTITION` and which are *finished* (a robot returned up through
@@ -117,8 +117,9 @@ struct Planner {
     children: BTreeSet<(NodeId, Port)>,
     /// `R'`: children known finished.
     finished_children: HashSet<(NodeId, Port)>,
-    /// Robots currently assigned per anchor.
-    loads: HashMap<NodeId, u32>,
+    /// Robots currently assigned per anchor, indexed by the dense
+    /// [`NodeId`] arena index (grown on demand).
+    loads: Vec<u32>,
     /// Exploration declared finished.
     done: bool,
 }
@@ -131,16 +132,31 @@ impl Planner {
             returned: HashSet::new(),
             children: BTreeSet::new(),
             finished_children: HashSet::new(),
-            loads: HashMap::new(),
+            loads: Vec::new(),
             done: false,
         }
     }
 
-    /// Ingests a returning robot's memory.
-    fn ingest(&mut self, report: &Report, tree: &PartialTree) {
-        if let Some(l) = self.loads.get_mut(&report.anchor) {
+    fn load(&self, v: NodeId) -> u32 {
+        self.loads.get(v.index()).copied().unwrap_or(0)
+    }
+
+    fn drop_load(&mut self, v: NodeId) {
+        if let Some(l) = self.loads.get_mut(v.index()) {
             *l = l.saturating_sub(1);
         }
+    }
+
+    fn bump_load(&mut self, v: NodeId) {
+        if self.loads.len() <= v.index() {
+            self.loads.resize(v.index() + 1, 0);
+        }
+        self.loads[v.index()] += 1;
+    }
+
+    /// Ingests a returning robot's memory.
+    fn ingest(&mut self, report: &Report, tree: &PartialTree) {
+        self.drop_load(report.anchor);
         // Stale reports (anchor from an older layer) carry no new
         // planner-relevant information.
         if !self.anchors.contains(&report.anchor) {
@@ -191,9 +207,9 @@ impl Planner {
             .anchors
             .iter()
             .filter(|a| !self.returned.contains(a))
-            .min_by_key(|a| (self.loads.get(a).copied().unwrap_or(0), a.index()))
+            .min_by_key(|a| (self.load(**a), a.index()))
             .copied()?;
-        *self.loads.entry(pick).or_insert(0) += 1;
+        self.bump_load(pick);
         Some(pick)
     }
 }
@@ -221,7 +237,9 @@ impl Planner {
 pub struct WriteReadBfdn {
     k: usize,
     states: Vec<RobotState>,
-    whiteboards: HashMap<NodeId, NodeLocal>,
+    /// Node-local whiteboards, indexed by the dense [`NodeId`] arena
+    /// index; `None` until a robot first writes at that node.
+    whiteboards: Vec<Option<NodeLocal>>,
     planner: Planner,
     reanchors_by_depth: Vec<u64>,
     /// Largest port stack any robot ever held (≤ D).
@@ -241,7 +259,7 @@ impl WriteReadBfdn {
         WriteReadBfdn {
             k,
             states: vec![RobotState::AtRoot; k],
-            whiteboards: HashMap::new(),
+            whiteboards: Vec::new(),
             planner: Planner::new(),
             reanchors_by_depth: Vec::new(),
             max_stack: 0,
@@ -282,13 +300,14 @@ impl WriteReadBfdn {
     }
 
     fn board<'a>(
-        whiteboards: &'a mut HashMap<NodeId, NodeLocal>,
+        whiteboards: &'a mut Vec<Option<NodeLocal>>,
         tree: &PartialTree,
         v: NodeId,
     ) -> &'a mut NodeLocal {
-        whiteboards
-            .entry(v)
-            .or_insert_with(|| NodeLocal::new(tree, v))
+        if whiteboards.len() < tree.capacity() {
+            whiteboards.resize_with(tree.capacity(), || None);
+        }
+        whiteboards[v.index()].get_or_insert_with(|| NodeLocal::new(tree, v))
     }
 
     /// Selects the up move for a robot at `pos`, marking the parent's
@@ -379,9 +398,7 @@ impl Explorer for WriteReadBfdn {
                                         // Nothing left to hand out; report
                                         // (the planner reads the root board
                                         // itself next round).
-                                        if let Some(l) = self.planner.loads.get_mut(&anchor) {
-                                            *l = l.saturating_sub(1);
-                                        }
+                                        self.planner.drop_load(anchor);
                                         self.states[i] = RobotState::AtRoot;
                                         Move::Stay
                                     }

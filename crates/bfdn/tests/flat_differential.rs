@@ -1,0 +1,587 @@
+//! Differential tests for the flat (dense `Vec`-indexed) hot-path state.
+//!
+//! The per-round state of every explorer used to live in
+//! `HashMap<NodeId, _>` / `HashSet<(NodeId, Port)>` tables. Those were
+//! replaced with dense arrays indexed by `NodeId` (node ids are arena
+//! indices) plus reusable scratch buffers. This module proves the
+//! replacement is behavior-preserving, two ways:
+//!
+//! 1. `reference` keeps a verbatim copy of the *hashed* complete-
+//!    communication BFDN selection logic. A proptest compares its traces
+//!    against the production (flat) `Bfdn` on arbitrary trees and
+//!    variants — they must be identical, round for round.
+//! 2. `GOLDEN` pins FNV-1a fingerprints of the traces every explorer
+//!    (complete, shortcut, robust, write-read, recursive, graph) produced
+//!    *before* the flattening, across all tree families at fixed seeds.
+//!    The flat implementations must reproduce them bit for bit.
+
+use bfdn::{Bfdn, BfdnL, GraphBfdn, ReanchorRule, SelectionOrder, WriteReadBfdn};
+use bfdn_sim::{Move, RandomStall, Simulator, StopCondition, Trace};
+use bfdn_trees::generators::Family;
+use bfdn_trees::grid::{GridGraph, Rect};
+use bfdn_trees::{NodeId, Tree, TreeBuilder};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+/// The pre-flattening complete-communication BFDN, hash-table state and
+/// all. Kept verbatim (minus instrumentation) as the differential oracle.
+mod reference {
+    use bfdn::{ReanchorRule, SelectionOrder};
+    use bfdn_sim::{Explorer, Move, RoundContext};
+    use bfdn_trees::{NodeId, PartialTree, Port};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::{HashMap, HashSet};
+
+    #[derive(Clone, Copy, Debug)]
+    enum Step {
+        Up,
+        Down(Port),
+    }
+
+    pub struct HashedBfdn {
+        k: usize,
+        anchors: Vec<NodeId>,
+        walks: Vec<Vec<Step>>,
+        loads: HashMap<NodeId, u32>,
+        rule: ReanchorRule,
+        order: SelectionOrder,
+        shortcut: bool,
+        respect_allowed: bool,
+        rng: Option<StdRng>,
+        rr_counter: usize,
+        last_intent: Vec<Option<(NodeId, Step)>>,
+    }
+
+    impl HashedBfdn {
+        pub fn new(
+            k: usize,
+            rule: ReanchorRule,
+            order: SelectionOrder,
+            shortcut: bool,
+            robust: bool,
+        ) -> Self {
+            let mut loads = HashMap::new();
+            loads.insert(NodeId::ROOT, k as u32);
+            let rng = match rule {
+                ReanchorRule::Random(seed) => Some(StdRng::seed_from_u64(seed)),
+                _ => None,
+            };
+            HashedBfdn {
+                k,
+                anchors: vec![NodeId::ROOT; k],
+                walks: vec![Vec::new(); k],
+                loads,
+                rule,
+                order,
+                shortcut,
+                respect_allowed: robust,
+                rng,
+                rr_counter: 0,
+                last_intent: vec![None; k],
+            }
+        }
+
+        fn pick_candidate(&mut self, tree: &PartialTree, depth: usize) -> NodeId {
+            match &self.rule {
+                ReanchorRule::LeastLoaded => {
+                    let mut best: Option<(u32, NodeId)> = None;
+                    for v in tree.open_nodes_at_depth(depth) {
+                        let load = self.loads.get(&v).copied().unwrap_or(0);
+                        if load == 0 {
+                            best = Some((0, v));
+                            break;
+                        }
+                        if best.is_none_or(|(bl, _)| load < bl) {
+                            best = Some((load, v));
+                        }
+                    }
+                    best.expect("an open depth has an open node").1
+                }
+                ReanchorRule::FirstCandidate => tree
+                    .open_nodes_at_depth(depth)
+                    .next()
+                    .expect("an open depth has an open node"),
+                ReanchorRule::RoundRobin => {
+                    let candidates: Vec<NodeId> = tree.open_nodes_at_depth(depth).collect();
+                    let pick = candidates[self.rr_counter % candidates.len()];
+                    self.rr_counter = self.rr_counter.wrapping_add(1);
+                    pick
+                }
+                ReanchorRule::Random(_) => {
+                    let candidates: Vec<NodeId> = tree.open_nodes_at_depth(depth).collect();
+                    let rng = self.rng.as_mut().expect("random rule carries an rng");
+                    candidates[rng.random_range(0..candidates.len())]
+                }
+            }
+        }
+
+        fn reanchor(&mut self, tree: &PartialTree) -> NodeId {
+            match tree.min_open_depth() {
+                Some(depth) => self.pick_candidate(tree, depth),
+                None => NodeId::ROOT,
+            }
+        }
+
+        fn apply_anchor(&mut self, i: usize, new_anchor: NodeId) {
+            let old = self.anchors[i];
+            if old != new_anchor {
+                if let Some(l) = self.loads.get_mut(&old) {
+                    *l -= 1;
+                    if *l == 0 {
+                        self.loads.remove(&old);
+                    }
+                }
+                *self.loads.entry(new_anchor).or_insert(0) += 1;
+                self.anchors[i] = new_anchor;
+            }
+        }
+
+        fn descent(tree: &PartialTree, anchor: NodeId) -> Vec<Step> {
+            let mut steps = Vec::with_capacity(tree.depth(anchor));
+            let mut cur = anchor;
+            while let Some(port) = tree.parent_port(cur) {
+                steps.push(Step::Down(port));
+                cur = tree.parent(cur).expect("non-root has a parent");
+            }
+            steps
+        }
+
+        fn lca_walk(tree: &PartialTree, from: NodeId, to: NodeId) -> Vec<Step> {
+            let mut a = from;
+            let mut b = to;
+            let mut downs: Vec<Port> = Vec::new();
+            let mut ups = 0usize;
+            while tree.depth(a) > tree.depth(b) {
+                a = tree.parent(a).expect("deeper node has a parent");
+                ups += 1;
+            }
+            while tree.depth(b) > tree.depth(a) {
+                downs.push(tree.parent_port(b).expect("deeper node has a parent port"));
+                b = tree.parent(b).expect("deeper node has a parent");
+            }
+            while a != b {
+                a = tree.parent(a).expect("non-root has a parent");
+                ups += 1;
+                downs.push(tree.parent_port(b).expect("non-root has a parent port"));
+                b = tree.parent(b).expect("non-root has a parent");
+            }
+            let mut steps: Vec<Step> = downs.into_iter().map(Step::Down).collect();
+            steps.extend(std::iter::repeat_n(Step::Up, ups));
+            steps
+        }
+
+        fn dn(
+            pos: NodeId,
+            tree: &PartialTree,
+            selected: &mut HashSet<(NodeId, Port)>,
+        ) -> Option<Move> {
+            for port in tree.dangling_ports(pos) {
+                if selected.insert((pos, port)) {
+                    return Some(Move::Down(port));
+                }
+            }
+            None
+        }
+    }
+
+    impl Explorer for HashedBfdn {
+        fn select_moves(&mut self, ctx: &RoundContext<'_>, out: &mut [Move]) {
+            for i in 0..self.k {
+                if let Some((from, step)) = self.last_intent[i].take() {
+                    if ctx.positions[i] == from {
+                        self.walks[i].push(step);
+                    }
+                }
+            }
+            let mut selected: HashSet<(NodeId, Port)> = HashSet::new();
+            let start = match self.order {
+                SelectionOrder::Fixed => 0,
+                SelectionOrder::Rotating => (ctx.round as usize) % self.k,
+            };
+            for idx in 0..self.k {
+                let i = (start + idx) % self.k;
+                if self.respect_allowed && !ctx.allowed[i] {
+                    continue;
+                }
+                let pos = ctx.positions[i];
+                if self.walks[i].is_empty() && !self.shortcut && pos.is_root() {
+                    let anchor = self.reanchor(ctx.tree);
+                    self.apply_anchor(i, anchor);
+                    self.walks[i] = Self::descent(ctx.tree, anchor);
+                }
+                out[i] = match self.walks[i].pop() {
+                    Some(step @ Step::Down(port)) => {
+                        self.last_intent[i] = Some((pos, step));
+                        Move::Down(port)
+                    }
+                    Some(step @ Step::Up) => {
+                        self.last_intent[i] = Some((pos, step));
+                        Move::Up
+                    }
+                    None => match Self::dn(pos, ctx.tree, &mut selected) {
+                        Some(mv) => mv,
+                        None if self.shortcut && (pos == self.anchors[i] || pos.is_root()) => {
+                            let anchor = self.reanchor(ctx.tree);
+                            self.apply_anchor(i, anchor);
+                            self.walks[i] = Self::lca_walk(ctx.tree, pos, anchor);
+                            match self.walks[i].pop() {
+                                Some(step @ Step::Down(port)) => {
+                                    self.last_intent[i] = Some((pos, step));
+                                    Move::Down(port)
+                                }
+                                Some(step @ Step::Up) => {
+                                    self.last_intent[i] = Some((pos, step));
+                                    Move::Up
+                                }
+                                None => Move::Stay,
+                            }
+                        }
+                        None => Move::Up,
+                    },
+                };
+            }
+        }
+
+        fn name(&self) -> &str {
+            "hashed-bfdn-reference"
+        }
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+fn fnv(h: &mut u64, x: u64) {
+    for b in x.to_le_bytes() {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+fn hash_trace(trace: &Trace) -> u64 {
+    let mut h = FNV_OFFSET;
+    for rec in trace.records() {
+        fnv(&mut h, rec.round);
+        for mv in &rec.moves {
+            let code = match mv {
+                Move::Stay => 0,
+                Move::Up => 1,
+                Move::Down(p) => 2 + p.index() as u64,
+            };
+            fnv(&mut h, code);
+        }
+        for pos in &rec.positions {
+            fnv(&mut h, pos.index() as u64);
+        }
+    }
+    h
+}
+
+/// Trace fingerprints recorded at the pre-flattening revision, one row
+/// per (family, n), eight arms each: plain k=4, shortcut+rotating k=7,
+/// random-rule k=5, round-robin k=3, robust-under-stalls k=6,
+/// write-read k=5, recursive ℓ=2 k=9, recursive ℓ=3 k=8.
+#[rustfmt::skip]
+const GOLDEN: [(&str, usize, [u64; 8]); 20] = [
+    ("path", 40, [0xf5ab77a64e0a0101, 0xb5707a5b7eaa5f00, 0x627c615f84959ff1, 0xf973ea4a7385f931, 0x5b32e04b548c412f, 0xce10f723ed6dd6cb, 0xedbd2abc31fd7b40, 0xfafbe011972fc1aa]),
+    ("path", 180, [0xc3007a006ddbe8ea, 0x922ae55430f67808, 0xe3346a5b261a8068, 0xb81ece67a1277c68, 0xc8e76f9972e8f4e3, 0x68324d6808bbb6ee, 0xf052afa75ade3b58, 0xc2d35f022d4c1a0e]),
+    ("star", 40, [0x81a47951d027dc2d, 0x6c848dd5181b2ced, 0xb18b20e02f35b76d, 0x77869d18b234564c, 0x89d4af6e6bfd21fd, 0x55ef7b8e4eff5df, 0x33c70f278ef5d9cc, 0x9a54ff37f07d07ed]),
+    ("star", 180, [0xa5ad8319d8fa2ad0, 0xeeee7b25f7370b71, 0x9c1bf647aa595b1, 0xfce920e3890128b1, 0x4b1a6b47bf211f21, 0xfe81dd95edd28a1b, 0x2c92329640c75931, 0xadddbf2ee86597b1]),
+    ("binary", 40, [0x61b69f938152f139, 0xfb061b7415d7915b, 0x131c2872357f85fd, 0x22453178b1ee5135, 0xba3831b5198d22e5, 0xf145a5ca174d2e1b, 0x4d160c0eb22e3801, 0x100789a05d3be3ba]),
+    ("binary", 180, [0x4b7c9c563094a399, 0x46df9c48f9d2b3b2, 0x6040d8d030198ed9, 0xa2bdf4cb83ae4b0f, 0xb470b4163edc457b, 0xa77bdcad3f81473e, 0xa9a832e4fcdd125b, 0x3163baadf7c8ebba]),
+    ("caterpillar", 40, [0xf5fc056da83c0591, 0x523f03fe4c665c4a, 0xe033f09a844f08e8, 0x244a1ffe409954d, 0xcd4858fa2802beb7, 0x46f198bd825861d9, 0x6629aa241ac14c89, 0x531cf49f2091d79a]),
+    ("caterpillar", 180, [0x2c4460ef50c5bb48, 0xb85f905fd0219c59, 0xb563e961eeb0433a, 0x2ded790c4f742aa5, 0xe99865af4cfd886d, 0x85ba0b6d340a94a6, 0x9f177cebbb988882, 0x3ec503d57c9e66fe]),
+    ("spider", 40, [0xb5fd0e861aab253f, 0xbb118c5a4d34981c, 0xe459890e76574169, 0x19bd67c6fce1e01c, 0x454a1cf00195101f, 0x4d893b2239a018e5, 0x9be09dce2c201efd, 0x2e8121de99429702]),
+    ("spider", 180, [0x2d7d3e7316ed302e, 0x4e4e9722e82c1bd0, 0xc5e7901fbc5687af, 0xcb375b676fe11ef, 0xe2ce41786aec2794, 0x3251b0220f240cf8, 0xfef9d1282d627c3, 0x256be041d2dea9f0]),
+    ("comb", 40, [0xbac35eafbee5a17a, 0x7e806b3806b65427, 0xe4cef40a44d4d223, 0xa33f1c8117920249, 0x9fa30f80d9533990, 0x1f0b3399ee07c5f2, 0xe92d703cfb231440, 0xab0dbe1dda82ddaa]),
+    ("comb", 180, [0xbf4fb1cd3a78989c, 0xabce74c12f3a9f65, 0xce72f9f6d8b3ff73, 0xd303c0bab7f3b1cb, 0x65c373c8e705494c, 0x13295588894c8830, 0xd8992f692337ff1b, 0xfc64b3c89ae497bc]),
+    ("broom", 40, [0xa8bfad77adb528fa, 0xc1b8d37a34bb5a39, 0xb05e277faf4274e7, 0x9511fae8d1075a07, 0x6edb052ecf7e3354, 0x2922e45237874a45, 0x31707786ae0064e4, 0xd5751687e9c039b8]),
+    ("broom", 180, [0x18e5186e86a921ab, 0x8ea66515ae247f07, 0x2792f92b7f6dc302, 0xf29d53d576406b22, 0xa272b5e904fe844d, 0x17ee3b5185067022, 0x809a6725ac99a432, 0x5235cb84679ee582]),
+    ("random-recursive", 40, [0x12ab0ac4f54925af, 0x345f23d303458212, 0x91f8c1f1b83f012f, 0xacd33b02562bade3, 0x6712d2193ee56995, 0xe1416404157b9983, 0xec9e41a37d9dea3, 0xa4d143689cececc0]),
+    ("random-recursive", 180, [0x2850a460bfe6d8d9, 0xbe10cc8e0231ff0f, 0x4a4e3ee58fda8719, 0x212e6731ce2c3377, 0xfd45b2d3ba4e89ab, 0xb910940d398298e2, 0xddd4d6588ae6c95b, 0x64160efa811145ea]),
+    ("uniform-labeled", 40, [0x4ecd3b18aed45666, 0xcae9dd299a23c99, 0xbbfa5ec90b09fdf4, 0x7ea4f60645342412, 0x6a1861704b1c1ba, 0x72bef13270493bc7, 0x3df115553b9b8dab, 0x2d9e3d118cf7980]),
+    ("uniform-labeled", 180, [0xbff1213d9e00b5ad, 0x284723806c1e8233, 0x40dbb40817e13602, 0xae6346b33a5909ea, 0x68550922ab1d2ece, 0x57b6ca0330cbe08e, 0x5b9bac1e91a7998b, 0xb21a098317026ca4]),
+    ("random-bounded-degree", 40, [0xb72a433f89cb0116, 0x9dfd5c293f731dd1, 0x50f6813823698096, 0x315603756458b295, 0xf56ec6456ccdfac9, 0x43a402846c8bd806, 0x2e2b50dc1e7b72d4, 0x3c42d571571dfadb]),
+    ("random-bounded-degree", 180, [0xd48e35855d5aa602, 0x91a00c9298306437, 0xd4ac2c69049a13df, 0x26a1816cf64140df, 0xf364539a1357e9fd, 0x3b9883ae86cf03ec, 0x1a8ca14a26aa0d1d, 0x2e314382822a128d]),
+];
+
+/// `(grid index, k, rounds, tree_edges, closed_edges)` recorded at the
+/// pre-flattening revision.
+const GRAPH_GOLDEN: [(usize, usize, u64, u64, u64); 9] = [
+    (0, 1, 120, 35, 25),
+    (0, 4, 43, 35, 25),
+    (0, 9, 31, 35, 25),
+    (1, 1, 110, 35, 20),
+    (1, 4, 41, 35, 20),
+    (1, 9, 34, 35, 20),
+    (2, 1, 242, 77, 44),
+    (2, 4, 79, 77, 44),
+    (2, 9, 69, 77, 44),
+];
+
+fn family_instance(fam: Family, fi: usize, n: usize) -> Tree {
+    let seed = (fi as u64) * 1000 + n as u64;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    fam.instance(n, &mut rng)
+}
+
+fn trace_of(tree: &Tree, k: usize, algo: &mut dyn bfdn_sim::Explorer) -> Trace {
+    Simulator::new(tree, k)
+        .record_trace()
+        .run(algo)
+        .unwrap()
+        .trace
+        .unwrap()
+}
+
+#[test]
+fn golden_traces_match_pre_flattening_behavior() {
+    for (fi, fam) in Family::ALL.iter().enumerate() {
+        for n in [40usize, 180] {
+            let tree = family_instance(*fam, fi, n);
+            let golden = GOLDEN
+                .iter()
+                .find(|(name, gn, _)| *name == fam.name() && *gn == n)
+                .map(|(_, _, h)| h)
+                .expect("every (family, n) has a golden row");
+            let mut got = [0u64; 8];
+            got[0] = hash_trace(&trace_of(&tree, 4, &mut Bfdn::new(4)));
+            got[1] = hash_trace(&trace_of(
+                &tree,
+                7,
+                &mut Bfdn::builder(7)
+                    .shortcut(true)
+                    .selection_order(SelectionOrder::Rotating)
+                    .build(),
+            ));
+            got[2] = hash_trace(&trace_of(
+                &tree,
+                5,
+                &mut Bfdn::builder(5)
+                    .reanchor_rule(ReanchorRule::Random(11))
+                    .build(),
+            ));
+            got[3] = hash_trace(&trace_of(
+                &tree,
+                3,
+                &mut Bfdn::builder(3)
+                    .reanchor_rule(ReanchorRule::RoundRobin)
+                    .build(),
+            ));
+            got[4] = {
+                let mut algo = Bfdn::new_robust(6);
+                let mut sim = Simulator::new(&tree, 6).record_trace();
+                let out = sim
+                    .run_with(
+                        &mut algo,
+                        &mut RandomStall::new(0.25, 5),
+                        StopCondition::Explored,
+                    )
+                    .unwrap();
+                hash_trace(out.trace.as_ref().unwrap())
+            };
+            got[5] = hash_trace(&trace_of(&tree, 5, &mut WriteReadBfdn::new(5)));
+            got[6] = hash_trace(&trace_of(&tree, 9, &mut BfdnL::new(9, 2)));
+            got[7] = hash_trace(&trace_of(&tree, 8, &mut BfdnL::new(8, 3)));
+            for (arm, (g, e)) in got.iter().zip(golden.iter()).enumerate() {
+                assert_eq!(
+                    g, e,
+                    "{} n={n} arm {arm}: trace diverged from pre-flattening behavior",
+                    fam.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn graph_outcomes_match_pre_flattening_behavior() {
+    let grids = [
+        GridGraph::new(6, 6, &[]),
+        GridGraph::new(8, 5, &[Rect::new(2, 1, 4, 3)]),
+        GridGraph::new(10, 10, &[Rect::new(1, 1, 3, 8), Rect::new(5, 2, 9, 4)]),
+    ];
+    for &(gi, k, rounds, tree_edges, closed_edges) in &GRAPH_GOLDEN {
+        let out = GraphBfdn::explore(grids[gi].graph(), grids[gi].origin(), k).unwrap();
+        assert_eq!(
+            (out.rounds, out.tree_edges, out.closed_edges),
+            (rounds, tree_edges, closed_edges),
+            "grid {gi} k={k}: outcome diverged from pre-flattening behavior"
+        );
+    }
+}
+
+fn tree_from_choices(choices: &[usize]) -> Tree {
+    let mut b = TreeBuilder::with_capacity(choices.len() + 1);
+    for (i, &c) in choices.iter().enumerate() {
+        b.add_child(NodeId::new(c % (i + 1)));
+    }
+    b.build()
+}
+
+fn flat_for(k: usize, variant: u8) -> Bfdn {
+    match variant % 5 {
+        0 => Bfdn::new(k),
+        1 => Bfdn::builder(k).shortcut(true).build(),
+        2 => Bfdn::builder(k)
+            .selection_order(SelectionOrder::Rotating)
+            .reanchor_rule(ReanchorRule::RoundRobin)
+            .build(),
+        3 => Bfdn::builder(k)
+            .reanchor_rule(ReanchorRule::Random(variant as u64))
+            .build(),
+        _ => Bfdn::builder(k)
+            .reanchor_rule(ReanchorRule::FirstCandidate)
+            .build(),
+    }
+}
+
+fn hashed_for(k: usize, variant: u8) -> reference::HashedBfdn {
+    use reference::HashedBfdn;
+    match variant % 5 {
+        0 => HashedBfdn::new(
+            k,
+            ReanchorRule::LeastLoaded,
+            SelectionOrder::Fixed,
+            false,
+            false,
+        ),
+        1 => HashedBfdn::new(
+            k,
+            ReanchorRule::LeastLoaded,
+            SelectionOrder::Fixed,
+            true,
+            false,
+        ),
+        2 => HashedBfdn::new(
+            k,
+            ReanchorRule::RoundRobin,
+            SelectionOrder::Rotating,
+            false,
+            false,
+        ),
+        3 => HashedBfdn::new(
+            k,
+            ReanchorRule::Random(variant as u64),
+            SelectionOrder::Fixed,
+            false,
+            false,
+        ),
+        _ => HashedBfdn::new(
+            k,
+            ReanchorRule::FirstCandidate,
+            SelectionOrder::Fixed,
+            false,
+            false,
+        ),
+    }
+}
+
+/// Deterministic differential sweep: every family × variant × team size
+/// at fixed seeds. Complements the proptest below (which explores
+/// arbitrary trees) and runs in environments without a proptest runner.
+#[test]
+fn flat_bfdn_matches_hashed_reference_on_families() {
+    for (fi, fam) in Family::ALL.iter().enumerate() {
+        for n in [30usize, 120] {
+            let tree = family_instance(*fam, fi, n);
+            for k in [1usize, 3, 8] {
+                for variant in 0u8..5 {
+                    let flat_trace = trace_of(&tree, k, &mut flat_for(k, variant));
+                    let hashed_trace = trace_of(&tree, k, &mut hashed_for(k, variant));
+                    assert!(
+                        flat_trace == hashed_trace,
+                        "trace diverged: {} n={n} k={k} variant={variant}",
+                        fam.name()
+                    );
+                }
+                // Robust variant under a seeded stall adversary.
+                let run = |algo: &mut dyn bfdn_sim::Explorer| {
+                    let mut sim = Simulator::new(&tree, k).record_trace();
+                    sim.run_with(
+                        algo,
+                        &mut RandomStall::new(0.3, 7),
+                        StopCondition::Explored,
+                    )
+                    .unwrap()
+                    .trace
+                    .unwrap()
+                };
+                let flat_trace = run(&mut Bfdn::new_robust(k));
+                let hashed_trace = run(&mut reference::HashedBfdn::new(
+                    k,
+                    ReanchorRule::LeastLoaded,
+                    SelectionOrder::Fixed,
+                    false,
+                    true,
+                ));
+                assert!(
+                    flat_trace == hashed_trace,
+                    "robust trace diverged: {} n={n} k={k}",
+                    fam.name()
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The flat production `Bfdn` must emit the exact same trace as the
+    /// hashed reference implementation on arbitrary trees, team sizes and
+    /// variants.
+    #[test]
+    fn flat_bfdn_matches_hashed_reference(
+        choices in prop::collection::vec(any::<usize>(), 1..160),
+        k in 1usize..20,
+        variant in 0u8..5,
+    ) {
+        let tree = tree_from_choices(&choices);
+        let flat_trace = trace_of(&tree, k, &mut flat_for(k, variant));
+        let hashed_trace = trace_of(&tree, k, &mut hashed_for(k, variant));
+        prop_assert_eq!(
+            flat_trace.records().len(),
+            hashed_trace.records().len(),
+            "round counts diverged on {} k={} variant={}", tree, k, variant
+        );
+        prop_assert!(
+            flat_trace == hashed_trace,
+            "trace diverged on {} k={} variant={}", tree, k, variant
+        );
+    }
+
+    /// Same differential under a stall adversary for the robust variant.
+    #[test]
+    fn flat_robust_matches_hashed_reference_under_stalls(
+        choices in prop::collection::vec(any::<usize>(), 1..120),
+        k in 2usize..12,
+        stall_seed in 0u64..64,
+    ) {
+        let tree = tree_from_choices(&choices);
+        let run = |algo: &mut dyn bfdn_sim::Explorer| {
+            let mut sim = Simulator::new(&tree, k).record_trace();
+            sim.run_with(
+                algo,
+                &mut RandomStall::new(0.3, stall_seed),
+                StopCondition::Explored,
+            )
+            .unwrap()
+            .trace
+            .unwrap()
+        };
+        let flat_trace = run(&mut Bfdn::new_robust(k));
+        let hashed_trace = run(&mut reference::HashedBfdn::new(
+            k,
+            ReanchorRule::LeastLoaded,
+            SelectionOrder::Fixed,
+            false,
+            true,
+        ));
+        prop_assert!(
+            flat_trace == hashed_trace,
+            "robust trace diverged on {} k={} seed={}", tree, k, stall_seed
+        );
+    }
+}

@@ -326,6 +326,15 @@ impl PartialTree {
         self.total_dangling == 0
     }
 
+    /// Size of the node arena (the `capacity` passed to
+    /// [`PartialTree::new`]). Every [`NodeId`] this tree will ever reveal
+    /// is a dense index below this bound, so explorers can keep per-node
+    /// state in flat arrays sized once instead of hash tables.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.nodes.len()
+    }
+
     /// Number of explored nodes.
     #[inline]
     pub fn num_explored(&self) -> usize {
