@@ -1,6 +1,6 @@
 # Convenience targets for the BFDN reproduction.
 
-.PHONY: all test bench experiments experiments-quick docs lint clean
+.PHONY: all test bench experiments experiments-quick serve docs lint clean
 
 all: test
 
@@ -16,6 +16,14 @@ experiments:
 
 experiments-quick:
 	cargo run --release -p bfdn-bench --bin experiments -- all --quick
+
+# Starts the simulation-serving daemon (warm result cache in
+# results/service-cache.jsonl survives restarts). Talk to it with
+# `bfdn-request` or `sweep --via-service 127.0.0.1:4077`.
+serve:
+	mkdir -p results
+	cargo run --release -p bfdn-service --bin bfdn-serve -- \
+		--addr 127.0.0.1:4077 --spill results/service-cache.jsonl
 
 docs:
 	cargo doc --workspace --no-deps

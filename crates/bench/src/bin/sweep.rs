@@ -1,0 +1,65 @@
+//! Runs the standard sweep grid, locally or through a serving daemon.
+//!
+//! ```text
+//! sweep [--quick] [--csv PATH] [--via-service ADDR]
+//! ```
+//!
+//! The printed table (and `--csv` file) is byte-identical whether the
+//! sweep runs in-process or via `--via-service` — re-running against a
+//! warm daemon answers entirely from its result cache. The hit/miss
+//! split reported by the server goes to stderr.
+
+use bfdn_bench::{sweep, Scale};
+use std::path::PathBuf;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    args.retain(|a| a != "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let take = |args: &mut Vec<String>, flag: &str| {
+        args.iter().position(|a| a == flag).map(|i| {
+            let value = args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            });
+            args.drain(i..=i + 1);
+            value
+        })
+    };
+    let csv = take(&mut args, "--csv").map(PathBuf::from);
+    let via_service = take(&mut args, "--via-service");
+    if let Some(stray) = args.first() {
+        eprintln!("unknown argument `{stray}` (expected --quick, --csv PATH, --via-service ADDR)");
+        std::process::exit(2);
+    }
+
+    let specs = sweep::standard_specs(scale);
+    let results = match &via_service {
+        Some(addr) => match sweep::run_via_service(addr, specs) {
+            Ok((results, hits, misses)) => {
+                eprintln!("[served by {addr}: hits={hits} misses={misses}]");
+                results
+            }
+            Err(e) => {
+                eprintln!("sweep: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => match sweep::run_local(&specs) {
+            Ok(results) => results,
+            Err(e) => {
+                eprintln!("sweep: {e}");
+                std::process::exit(1);
+            }
+        },
+    };
+    let table = sweep::results_table(&results);
+    println!("{table}");
+    if let Some(path) = csv {
+        if let Err(e) = std::fs::write(&path, table.to_csv()) {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}

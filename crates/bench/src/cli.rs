@@ -3,8 +3,6 @@
 //! line. Hand-rolled flag parsing — the workspace deliberately carries
 //! no CLI dependency.
 
-use bfdn::{Bfdn, BfdnL, WriteReadBfdn};
-use bfdn_baselines::{Cte, OnlineDfs};
 use bfdn_obs::{
     BoundConfig, BoundTracker, Event, EventSink, JsonlSink, LogLevel, Phases, RunManifest,
     StderrLog,
@@ -96,17 +94,9 @@ impl EventSink for CliSink {
 }
 
 impl ExploreArgs {
-    /// The accepted `--algo` values.
-    pub const ALGORITHMS: [&'static str; 8] = [
-        "bfdn",
-        "bfdn-robust",
-        "bfdn-shortcut",
-        "write-read",
-        "bfdn-l2",
-        "bfdn-l3",
-        "cte",
-        "dfs",
-    ];
+    /// The accepted `--algo` values — the service crate's registry, so
+    /// the CLI and the serving daemon can never drift apart.
+    pub const ALGORITHMS: [&'static str; 8] = bfdn_service::exec::ALGORITHMS;
 
     /// Parses `--family F --n N --k K --algo A --seed S [--render]
     /// [--trace-out PATH] [--manifest-out PATH] [--log LEVEL]`.
@@ -195,23 +185,14 @@ impl ExploreArgs {
         self.family.instance(self.n, &mut rng)
     }
 
-    /// Instantiates the chosen explorer.
+    /// Instantiates the chosen explorer via the shared registry.
     ///
     /// # Panics
     ///
     /// Panics if `algo` was not validated by [`ExploreArgs::parse`].
     pub fn build_explorer(&self) -> Box<dyn Explorer> {
-        match self.algo.as_str() {
-            "bfdn" => Box::new(Bfdn::new(self.k)),
-            "bfdn-robust" => Box::new(Bfdn::new_robust(self.k)),
-            "bfdn-shortcut" => Box::new(Bfdn::builder(self.k).shortcut(true).build()),
-            "write-read" => Box::new(WriteReadBfdn::new(self.k)),
-            "bfdn-l2" => Box::new(BfdnL::new(self.k, 2)),
-            "bfdn-l3" => Box::new(BfdnL::new(self.k, 3)),
-            "cte" => Box::new(Cte::new(self.k)),
-            "dfs" => Box::new(OnlineDfs),
-            other => panic!("unvalidated algorithm `{other}`"),
-        }
+        bfdn_service::exec::build_explorer(&self.algo, self.k)
+            .unwrap_or_else(|| panic!("unvalidated algorithm `{}`", self.algo))
     }
 
     /// Whether any observability flag is set. Unobserved runs take the

@@ -31,7 +31,7 @@ pub fn e9_graphs(scale: Scale) -> Table {
         Scale::Quick => 12,
         Scale::Full => 60,
     };
-    let grids = vec![
+    let grids = [
         ("open", GridGraph::new(side, side, &[])),
         (
             "one-block",

@@ -12,10 +12,15 @@
 
 pub mod cli;
 pub mod experiments;
-pub mod parallel;
+pub mod sweep;
 mod table;
 
 pub use table::Table;
+
+/// The deterministic work-sharing substrate. It moved into
+/// [`bfdn_service`] (the server's batch fan-out runs on it too); this
+/// re-export keeps `bfdn_bench::parallel` paths working.
+pub use bfdn_service::parallel;
 
 /// Scale knob shared by all experiments: `quick` keeps every run under a
 /// couple of seconds (CI), `full` is the laptop-scale configuration the

@@ -1,0 +1,138 @@
+//! A standard cross-product sweep that can run locally or be routed
+//! through a `bfdn-serve` daemon — with byte-identical output either
+//! way.
+//!
+//! The sweep's table is built purely from [`ExploreResult`] payloads,
+//! and those payloads are deterministic in their spec (seeded instance
+//! generation, deterministic explorers) and JSON-exact on the wire
+//! (`u64` counters verbatim; `f64` via the shortest-round-trip repr that
+//! [`bfdn_service::protocol::wire_f64`] pins down). So
+//! [`run_local`] and [`run_via_service`] produce byte-identical
+//! [`results_table`] CSVs — the `service_determinism` integration test
+//! and the CI service smoke job both assert exactly that, which is what
+//! makes the daemon's content-addressed cache trustworthy.
+
+use crate::{parallel, Scale, Table};
+use bfdn_service::client::Client;
+use bfdn_service::protocol::{wire_f64, ExploreResult, ExploreSpec};
+
+/// The standard sweep grid: `algorithms × families × k × seeds` at one
+/// scale-dependent size, in deterministic nesting order (24 specs).
+pub fn standard_specs(scale: Scale) -> Vec<ExploreSpec> {
+    let n = scale.size(2000) as u64;
+    let mut specs = Vec::new();
+    for algo in ["bfdn", "cte"] {
+        for family in ["comb", "random-recursive", "binary"] {
+            for k in [2u64, 8] {
+                for seed in 0..2u64 {
+                    specs.push(ExploreSpec::new(algo, family, n, k, seed));
+                }
+            }
+        }
+    }
+    specs
+}
+
+/// Runs every spec on this process's worker threads (the same
+/// [`parallel`] substrate the daemon's batch fan-out uses).
+///
+/// # Errors
+///
+/// Returns the first spec's failure, formatted with the spec it belongs
+/// to.
+pub fn run_local(specs: &[ExploreSpec]) -> Result<Vec<ExploreResult>, String> {
+    parallel::par_map(specs, |spec| {
+        bfdn_service::exec::run_spec(spec)
+            .map(|(result, _manifest)| result)
+            .map_err(|e| format!("{}: {e}", spec.canonical()))
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Routes the whole sweep through a serving daemon as one batch request;
+/// returns the results (in request order) plus the server's cache
+/// hit/miss split.
+///
+/// # Errors
+///
+/// Formats transport and server errors as strings.
+pub fn run_via_service(
+    addr: &str,
+    specs: Vec<ExploreSpec>,
+) -> Result<(Vec<ExploreResult>, u64, u64), String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    client.batch(specs).map_err(|e| e.to_string())
+}
+
+/// Renders results as the sweep table, one row per spec in input order.
+pub fn results_table(results: &[ExploreResult]) -> Table {
+    let mut t = Table::new(
+        "sweep: rounds vs the Theorem 1 envelope across the standard grid",
+        &[
+            "algorithm",
+            "family",
+            "n",
+            "k",
+            "seed",
+            "nodes",
+            "depth",
+            "max_degree",
+            "rounds",
+            "moves",
+            "edge_events",
+            "bound",
+            "margin",
+        ],
+    );
+    for r in results {
+        t.row(vec![
+            r.spec.algorithm.clone(),
+            r.spec.family.clone(),
+            r.spec.n.to_string(),
+            r.spec.k.to_string(),
+            r.spec.seed.to_string(),
+            r.nodes.to_string(),
+            r.depth.to_string(),
+            r.max_degree.to_string(),
+            r.metrics.rounds.to_string(),
+            r.metrics.moves.to_string(),
+            r.metrics.edge_events.to_string(),
+            wire_f64(r.bound),
+            wire_f64(r.margin),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_standard_grid_is_deterministic_and_well_formed() {
+        let specs = standard_specs(Scale::Quick);
+        assert_eq!(specs.len(), 24);
+        assert_eq!(specs, standard_specs(Scale::Quick));
+        for spec in &specs {
+            bfdn_service::exec::validate(spec).expect("grid spec validates");
+        }
+        // Full scale only changes n.
+        let full = standard_specs(Scale::Full);
+        assert!(full.iter().all(|s| s.n == 2000));
+    }
+
+    #[test]
+    fn local_sweep_fills_the_table_in_grid_order() {
+        let specs: Vec<ExploreSpec> = standard_specs(Scale::Quick).into_iter().take(4).collect();
+        let results = run_local(&specs).expect("local sweep");
+        let t = results_table(&results);
+        assert_eq!(t.len(), 4);
+        for (i, spec) in specs.iter().enumerate() {
+            assert_eq!(t.cell(i, t.col("algorithm")), spec.algorithm);
+            assert_eq!(t.cell(i, t.col("seed")), spec.seed.to_string());
+            let margin: f64 = t.cell(i, t.col("margin")).parse().unwrap();
+            assert!(margin >= 0.0, "Theorem 1 envelope holds on row {i}");
+        }
+    }
+}

@@ -43,13 +43,13 @@ fn parallel_run_matches_the_sequential_order() {
     // E2 is the most expensive experiment; keep this test to a couple
     // of representative experiments so the suite stays quick.
     std::env::set_var("BFDN_THREADS", "1");
-    let seq = vec![
+    let seq = [
         ("e1", ex::e1_theorem1_bound(Scale::Quick).to_csv()),
         ("e8", ex::e8_breakdowns(Scale::Quick).to_csv()),
         ("e13", ex::e13_statistics(Scale::Quick).to_csv()),
     ];
     std::env::set_var("BFDN_THREADS", "4");
-    let par = vec![
+    let par = [
         ("e1", ex::e1_theorem1_bound(Scale::Quick).to_csv()),
         ("e8", ex::e8_breakdowns(Scale::Quick).to_csv()),
         ("e13", ex::e13_statistics(Scale::Quick).to_csv()),

@@ -386,7 +386,8 @@ fn golden_traces_match_pre_flattening_behavior() {
             got[7] = hash_trace(&trace_of(&tree, 8, &mut BfdnL::new(8, 3)));
             for (arm, (g, e)) in got.iter().zip(golden.iter()).enumerate() {
                 assert_eq!(
-                    g, e,
+                    g,
+                    e,
                     "{} n={n} arm {arm}: trace diverged from pre-flattening behavior",
                     fam.name()
                 );
@@ -499,14 +500,10 @@ fn flat_bfdn_matches_hashed_reference_on_families() {
                 // Robust variant under a seeded stall adversary.
                 let run = |algo: &mut dyn bfdn_sim::Explorer| {
                     let mut sim = Simulator::new(&tree, k).record_trace();
-                    sim.run_with(
-                        algo,
-                        &mut RandomStall::new(0.3, 7),
-                        StopCondition::Explored,
-                    )
-                    .unwrap()
-                    .trace
-                    .unwrap()
+                    sim.run_with(algo, &mut RandomStall::new(0.3, 7), StopCondition::Explored)
+                        .unwrap()
+                        .trace
+                        .unwrap()
                 };
                 let flat_trace = run(&mut Bfdn::new_robust(k));
                 let hashed_trace = run(&mut reference::HashedBfdn::new(

@@ -1,0 +1,191 @@
+//! `bfdn-request` — issue one request to a running `bfdn-serve`.
+//!
+//! ```text
+//! bfdn-request [--addr HOST:PORT] explore --algo A --family F --n N --k K --seed S
+//!              [--manifest] [--delay-ms MS]
+//! bfdn-request [--addr HOST:PORT] batch --algos A,B --families F,G
+//!              --n N --ks K1,K2 --seeds S [--delay-ms MS]
+//! bfdn-request [--addr HOST:PORT] status
+//! bfdn-request [--addr HOST:PORT] cache-stats
+//! bfdn-request [--addr HOST:PORT] shutdown
+//! ```
+//!
+//! `explore` and `batch` print the cache-stable payload JSON of each
+//! result to stdout, one per line and in deterministic request order —
+//! so two identical invocations against a warm vs. cold server must
+//! produce byte-identical stdout, which is exactly what the CI service
+//! smoke job diffs. Bookkeeping (`cached=…`, `hits=… misses=…`) goes to
+//! stderr. `batch` expands the cross product `algos × families × ks ×
+//! seeds 0..S` in that nesting order.
+
+use bfdn_service::client::Client;
+use bfdn_service::protocol::{ExploreSpec, Request, Response};
+use std::process::ExitCode;
+
+struct Invocation {
+    addr: String,
+    command: Command,
+}
+
+enum Command {
+    Explore(ExploreSpec),
+    Batch(Vec<ExploreSpec>),
+    Status,
+    CacheStats,
+    Shutdown,
+}
+
+fn parse(args: Vec<String>) -> Result<Invocation, String> {
+    let mut it = args.into_iter().peekable();
+    let mut addr = "127.0.0.1:4077".to_string();
+    if it.peek().map(String::as_str) == Some("--addr") {
+        it.next();
+        addr = it.next().ok_or("--addr needs a value")?;
+    }
+    let verb = it
+        .next()
+        .ok_or("missing command (one of: explore, batch, status, cache-stats, shutdown)")?;
+    let rest: Vec<String> = it.collect();
+    let command = match verb.as_str() {
+        "explore" => Command::Explore(parse_explore(rest)?),
+        "batch" => Command::Batch(parse_batch(rest)?),
+        "status" => Command::Status,
+        "cache-stats" => Command::CacheStats,
+        "shutdown" => Command::Shutdown,
+        other => return Err(format!("unknown command `{other}`")),
+    };
+    Ok(Invocation { addr, command })
+}
+
+fn parse_explore(args: Vec<String>) -> Result<ExploreSpec, String> {
+    let mut spec = ExploreSpec::new("bfdn", "random-recursive", 1000, 8, 42);
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--algo" => spec.algorithm = value("--algo")?,
+            "--family" => spec.family = value("--family")?,
+            "--n" => spec.n = parse_u64("--n", &value("--n")?)?,
+            "--k" => spec.k = parse_u64("--k", &value("--k")?)?,
+            "--seed" => spec.seed = parse_u64("--seed", &value("--seed")?)?,
+            "--manifest" => spec.options.manifest = true,
+            "--delay-ms" => spec.options.delay_ms = parse_u64("--delay-ms", &value("--delay-ms")?)?,
+            other => return Err(format!("unknown explore flag `{other}`")),
+        }
+    }
+    Ok(spec)
+}
+
+fn parse_batch(args: Vec<String>) -> Result<Vec<ExploreSpec>, String> {
+    let mut algos = vec!["bfdn".to_string()];
+    let mut families = vec!["random-recursive".to_string()];
+    let mut n = 1000u64;
+    let mut ks = vec![8u64];
+    let mut seeds = 1u64;
+    let mut delay_ms = 0u64;
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--algos" => algos = split_list(&value("--algos")?),
+            "--families" => families = split_list(&value("--families")?),
+            "--n" => n = parse_u64("--n", &value("--n")?)?,
+            "--ks" => {
+                ks = split_list(&value("--ks")?)
+                    .iter()
+                    .map(|v| parse_u64("--ks", v))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--seeds" => seeds = parse_u64("--seeds", &value("--seeds")?)?,
+            "--delay-ms" => delay_ms = parse_u64("--delay-ms", &value("--delay-ms")?)?,
+            other => return Err(format!("unknown batch flag `{other}`")),
+        }
+    }
+    if seeds == 0 {
+        return Err("--seeds must be at least 1".into());
+    }
+    let mut specs = Vec::new();
+    for algo in &algos {
+        for family in &families {
+            for &k in &ks {
+                for seed in 0..seeds {
+                    let mut spec = ExploreSpec::new(algo.clone(), family.clone(), n, k, seed);
+                    spec.options.delay_ms = delay_ms;
+                    specs.push(spec);
+                }
+            }
+        }
+    }
+    Ok(specs)
+}
+
+fn split_list(v: &str) -> Vec<String> {
+    v.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(String::from)
+        .collect()
+}
+
+fn parse_u64(name: &str, v: &str) -> Result<u64, String> {
+    v.parse().map_err(|_| format!("bad {name} `{v}`"))
+}
+
+fn run(invocation: Invocation) -> Result<(), String> {
+    let mut client = Client::connect(&invocation.addr)
+        .map_err(|e| format!("cannot connect to {}: {e}", invocation.addr))?;
+    match invocation.command {
+        Command::Explore(spec) => {
+            let result = client.explore(spec).map_err(|e| e.to_string())?;
+            eprintln!("cached={}", result.cached);
+            println!("{}", result.payload_json());
+        }
+        Command::Batch(specs) => {
+            let count = specs.len();
+            let (results, hits, misses) = client.batch(specs).map_err(|e| e.to_string())?;
+            for result in &results {
+                println!("{}", result.payload_json());
+            }
+            eprintln!("hits={hits} misses={misses} ({count} items)");
+        }
+        Command::Status => {
+            print_document(&mut client, &Request::Status)?;
+        }
+        Command::CacheStats => {
+            print_document(&mut client, &Request::CacheStats)?;
+        }
+        Command::Shutdown => {
+            client.shutdown().map_err(|e| e.to_string())?;
+            eprintln!("server acknowledged shutdown");
+        }
+    }
+    Ok(())
+}
+
+/// Prints the raw (already-JSON) reply document for introspection verbs.
+fn print_document(client: &mut Client, request: &Request) -> Result<(), String> {
+    match client.request(request).map_err(|e| e.to_string())? {
+        Response::Error(e) => Err(e.to_string()),
+        reply => {
+            println!("{}", reply.to_json());
+            Ok(())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let invocation = match parse(std::env::args().skip(1).collect()) {
+        Ok(inv) => inv,
+        Err(e) => {
+            eprintln!("bfdn-request: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(invocation) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bfdn-request: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! `bfdn-serve` — run the simulation-serving daemon.
+//!
+//! ```text
+//! bfdn-serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
+//!            [--cache-capacity N] [--cache-shards N]
+//!            [--spill PATH] [--manifest-dir DIR]
+//! ```
+//!
+//! The process serves until a client sends a `shutdown` request, then
+//! drains in-flight jobs (spilling the cache when `--spill` is set) and
+//! exits. Hand-rolled flag parsing — the workspace deliberately carries
+//! no CLI dependency.
+
+use bfdn_service::server::{serve, ServerConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn parse(args: impl IntoIterator<Item = String>) -> Result<ServerConfig, String> {
+    let mut config = ServerConfig::default();
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--workers" => {
+                let v = value("--workers")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --workers `{v}`"))?;
+                config.workers = Some(n.max(1));
+            }
+            "--queue-depth" => {
+                let v = value("--queue-depth")?;
+                config.queue_depth = v.parse().map_err(|_| format!("bad --queue-depth `{v}`"))?;
+            }
+            "--cache-capacity" => {
+                let v = value("--cache-capacity")?;
+                config.cache.capacity = v
+                    .parse()
+                    .map_err(|_| format!("bad --cache-capacity `{v}`"))?;
+            }
+            "--cache-shards" => {
+                let v = value("--cache-shards")?;
+                config.cache.shards = v.parse().map_err(|_| format!("bad --cache-shards `{v}`"))?;
+            }
+            "--spill" => config.spill = Some(PathBuf::from(value("--spill")?)),
+            "--manifest-dir" => config.manifest_dir = Some(PathBuf::from(value("--manifest-dir")?)),
+            other => {
+                return Err(format!(
+                    "unknown flag `{other}` (try --addr --workers --queue-depth \
+                     --cache-capacity --cache-shards --spill --manifest-dir)"
+                ))
+            }
+        }
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let config = match parse(std::env::args().skip(1)) {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("bfdn-serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let handle = match serve(config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("bfdn-serve: cannot start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("bfdn-serve: listening on {}", handle.addr());
+    if let Err(e) = handle.join() {
+        eprintln!("bfdn-serve: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("bfdn-serve: drained, bye");
+    ExitCode::SUCCESS
+}

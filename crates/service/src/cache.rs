@@ -1,0 +1,365 @@
+//! The content-addressed result cache.
+//!
+//! Simulation runs are fully deterministic in their [`ExploreSpec`]
+//! (seeded instance generation, deterministic explorers — see
+//! [`crate::exec`]), so a completed [`ExploreResult`] is addressed by
+//! the canonical form of the request that produced it:
+//! [`ExploreSpec::canonical`] is the key, its FNV-1a hash picks the
+//! shard, and the full canonical string is compared on lookup so a hash
+//! collision can never serve the wrong payload.
+//!
+//! Entries live in a sharded in-memory LRU (per-shard mutexes keep
+//! worker threads and connection handlers from serializing on one
+//! lock). [`ResultCache::spill_to`] writes every resident payload as
+//! one JSONL line for warm restarts; [`ResultCache::load_from`] reads
+//! such a file back, so a restarted daemon answers yesterday's sweep
+//! without re-simulating.
+
+use crate::protocol::{fnv1a, CacheStatsPayload, ExploreResult, ExploreSpec};
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Sizing of a [`ResultCache`].
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    /// Total entries kept across all shards.
+    pub capacity: usize,
+    /// Shard count (rounded up to at least 1).
+    pub shards: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity: 1024,
+            shards: 8,
+        }
+    }
+}
+
+/// One resident result plus its LRU clock reading.
+struct Entry {
+    result: ExploreResult,
+    last_used: u64,
+}
+
+/// One independently locked slice of the key space.
+#[derive(Default)]
+struct Shard {
+    map: HashMap<String, Entry>,
+}
+
+/// A sharded LRU of completed simulation results, keyed by canonical
+/// request.
+pub struct ResultCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ResultCache {
+    /// An empty cache sized by `config`.
+    pub fn new(config: CacheConfig) -> Self {
+        let shards = config.shards.max(1);
+        ResultCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_capacity: config.capacity.div_ceil(shards).max(1),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, canonical: &str) -> &Mutex<Shard> {
+        let h = fnv1a(canonical.as_bytes()) as usize;
+        &self.shards[h % self.shards.len()]
+    }
+
+    /// Looks `spec` up; a hit returns the stored result with its
+    /// `cached` flag set and refreshes the entry's recency.
+    pub fn get(&self, spec: &ExploreSpec) -> Option<ExploreResult> {
+        let canonical = spec.canonical();
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard_for(&canonical).lock().expect("cache shard");
+        match shard.map.get_mut(&canonical) {
+            Some(entry) => {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                let mut result = entry.result.clone();
+                result.cached = true;
+                Some(result)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a completed result under its spec's canonical key,
+    /// normalizing `cached` to `false` so the stored payload is exactly
+    /// what a fresh computation produces. Evicts the least-recently-used
+    /// entry of the shard when it is full.
+    pub fn put(&self, result: &ExploreResult) {
+        let canonical = result.spec.canonical();
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut stored = result.clone();
+        stored.cached = false;
+        let mut shard = self.shard_for(&canonical).lock().expect("cache shard");
+        if !shard.map.contains_key(&canonical) && shard.map.len() >= self.per_shard_capacity {
+            if let Some(oldest) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                shard.map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let replaced = shard
+            .map
+            .insert(
+                canonical,
+                Entry {
+                    result: stored,
+                    last_used: tick,
+                },
+            )
+            .is_some();
+        if !replaced {
+            self.insertions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Entries currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard").map.len())
+            .sum()
+    }
+
+    /// `true` when no entry is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The wire-form counters.
+    pub fn stats(&self) -> CacheStatsPayload {
+        CacheStatsPayload {
+            entries: self.len() as u64,
+            capacity: (self.per_shard_capacity * self.shards.len()) as u64,
+            shards: self.shards.len() as u64,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Writes every resident payload as one JSONL line (the cache-stable
+    /// [`ExploreResult::payload_json`] form).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn spill_to(&self, path: impl AsRef<Path>) -> io::Result<usize> {
+        let mut w = BufWriter::new(std::fs::File::create(path)?);
+        let mut lines = 0;
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard");
+            for entry in shard.map.values() {
+                w.write_all(entry.result.payload_json().as_bytes())?;
+                w.write_all(b"\n")?;
+                lines += 1;
+            }
+        }
+        w.flush()?;
+        Ok(lines)
+    }
+
+    /// Loads a spill file, inserting every well-formed line; malformed
+    /// lines are counted, not fatal (a truncated spill from a crashed
+    /// daemon must not brick the restart).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error opening or reading the file.
+    pub fn load_from(&self, path: impl AsRef<Path>) -> io::Result<SpillReport> {
+        let reader = io::BufReader::new(std::fs::File::open(path)?);
+        let mut report = SpillReport::default();
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            match ExploreResult::from_payload_json(&line) {
+                Ok(result) => {
+                    self.put(&result);
+                    report.loaded += 1;
+                }
+                Err(_) => report.malformed += 1,
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// What [`ResultCache::load_from`] found in a spill file.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpillReport {
+    /// Lines successfully parsed and inserted.
+    pub loaded: usize,
+    /// Lines skipped as malformed.
+    pub malformed: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::MetricsPayload;
+
+    fn result_for(seed: u64) -> ExploreResult {
+        ExploreResult {
+            spec: ExploreSpec::new("bfdn", "comb", 100, 4, seed),
+            cached: false,
+            nodes: 102,
+            depth: 11,
+            max_degree: 3,
+            metrics: MetricsPayload {
+                rounds: 50 + seed,
+                moves: 400,
+                idle: 3,
+                stalled: 0,
+                allowed_moves: 480,
+                edges_discovered: 101,
+                edge_events: 202,
+            },
+            bound: 400.25,
+            margin: 400.25 - (50 + seed) as f64,
+            manifest: None,
+        }
+    }
+
+    #[test]
+    fn hit_after_miss_returns_the_identical_result() {
+        let cache = ResultCache::new(CacheConfig::default());
+        let spec = ExploreSpec::new("bfdn", "comb", 100, 4, 1);
+        assert!(cache.get(&spec).is_none(), "first lookup is a miss");
+        let computed = result_for(1);
+        cache.put(&computed);
+        let hit = cache.get(&spec).expect("hit after put");
+        assert!(hit.cached, "hit is flagged");
+        assert_eq!(hit.metrics, computed.metrics, "identical Metrics");
+        assert_eq!(hit.payload_json(), computed.payload_json());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn distinct_options_are_distinct_addresses() {
+        let cache = ResultCache::new(CacheConfig::default());
+        cache.put(&result_for(1));
+        let mut with_delay = ExploreSpec::new("bfdn", "comb", 100, 4, 1);
+        with_delay.options.delay_ms = 10;
+        assert!(cache.get(&with_delay).is_none());
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry_per_shard() {
+        // One shard makes the LRU order fully observable.
+        let cache = ResultCache::new(CacheConfig {
+            capacity: 2,
+            shards: 1,
+        });
+        cache.put(&result_for(1));
+        cache.put(&result_for(2));
+        // Touch 1 so 2 becomes the coldest.
+        assert!(cache.get(&result_for(1).spec).is_some());
+        cache.put(&result_for(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&result_for(1).spec).is_some(), "kept (warm)");
+        assert!(cache.get(&result_for(2).spec).is_none(), "evicted (cold)");
+        assert!(cache.get(&result_for(3).spec).is_some(), "kept (new)");
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsertion_replaces_without_growing() {
+        let cache = ResultCache::new(CacheConfig::default());
+        cache.put(&result_for(1));
+        cache.put(&result_for(1));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().insertions, 1);
+    }
+
+    #[test]
+    fn spill_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join("bfdn_service_cache_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("spill.jsonl");
+
+        let cache = ResultCache::new(CacheConfig::default());
+        for seed in 0..5 {
+            cache.put(&result_for(seed));
+        }
+        assert_eq!(cache.spill_to(&path).unwrap(), 5);
+
+        let warm = ResultCache::new(CacheConfig::default());
+        let report = warm.load_from(&path).unwrap();
+        assert_eq!(
+            report,
+            SpillReport {
+                loaded: 5,
+                malformed: 0
+            }
+        );
+        for seed in 0..5 {
+            let hit = warm.get(&result_for(seed).spec).expect("warm hit");
+            assert_eq!(hit.payload_json(), result_for(seed).payload_json());
+        }
+
+        // A truncated/corrupt line is skipped, the rest still loads.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.insert_str(0, "{\"broken\":\n");
+        std::fs::write(&path, text).unwrap();
+        let partial = ResultCache::new(CacheConfig::default());
+        let report = partial.load_from(&path).unwrap();
+        assert_eq!(report.malformed, 1);
+        assert_eq!(report.loaded, 5);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_do_not_lose_entries() {
+        let cache = ResultCache::new(CacheConfig {
+            capacity: 4096,
+            shards: 8,
+        });
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let cache = &cache;
+                s.spawn(move || {
+                    for i in 0..50 {
+                        let seed = t * 100 + i;
+                        cache.put(&result_for(seed));
+                        assert!(cache.get(&result_for(seed).spec).is_some());
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 200);
+        assert_eq!(cache.stats().hits, 200);
+    }
+}

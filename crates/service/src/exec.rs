@@ -1,0 +1,251 @@
+//! Request execution: turning a validated [`ExploreSpec`] into an
+//! [`ExploreResult`] plus a per-request [`RunManifest`].
+//!
+//! This is the single algorithm/family registry of the workspace — the
+//! bench CLI delegates its `--algo` construction here, so the daemon and
+//! the local harness can never drift apart. Runs are fully deterministic
+//! in the spec (seeded instance generation, deterministic explorers),
+//! which is what makes the service's content-addressed cache sound:
+//! replaying a spec is guaranteed to regenerate the byte-identical
+//! payload.
+
+use crate::protocol::{ExploreResult, ExploreSpec, MetricsPayload, WireError};
+use bfdn::{Bfdn, BfdnL, WriteReadBfdn};
+use bfdn_baselines::{Cte, OnlineDfs};
+use bfdn_obs::{BoundConfig, BoundTracker, Phases, RunManifest};
+use bfdn_sim::{Explorer, Simulator};
+use bfdn_trees::generators::Family;
+use rand::SeedableRng;
+
+/// The accepted algorithm names, shared with the bench CLI.
+pub const ALGORITHMS: [&str; 8] = [
+    "bfdn",
+    "bfdn-robust",
+    "bfdn-shortcut",
+    "write-read",
+    "bfdn-l2",
+    "bfdn-l3",
+    "cte",
+    "dfs",
+];
+
+/// Largest `n` a request may ask for — one resident instance must never
+/// exhaust the server.
+pub const MAX_N: u64 = 2_000_000;
+
+/// Largest `k` a request may ask for.
+pub const MAX_K: u64 = 65_536;
+
+/// Largest `options.delay_ms` honoured by [`run_spec`].
+pub const MAX_DELAY_MS: u64 = 10_000;
+
+/// Instantiates the explorer named `algo` for `k` robots, or `None` for
+/// an unknown name.
+pub fn build_explorer(algo: &str, k: usize) -> Option<Box<dyn Explorer>> {
+    Some(match algo {
+        "bfdn" => Box::new(Bfdn::new(k)),
+        "bfdn-robust" => Box::new(Bfdn::new_robust(k)),
+        "bfdn-shortcut" => Box::new(Bfdn::builder(k).shortcut(true).build()),
+        "write-read" => Box::new(WriteReadBfdn::new(k)),
+        "bfdn-l2" => Box::new(BfdnL::new(k, 2)),
+        "bfdn-l3" => Box::new(BfdnL::new(k, 3)),
+        "cte" => Box::new(Cte::new(k)),
+        "dfs" => Box::new(OnlineDfs),
+        _ => return None,
+    })
+}
+
+/// Resolves a workload family by its report name.
+pub fn find_family(name: &str) -> Option<Family> {
+    Family::ALL.into_iter().find(|f| f.name() == name)
+}
+
+/// Checks a spec against the registry and the server's resource limits
+/// without running anything, so callers can reject garbage before it
+/// occupies a queue slot.
+///
+/// # Errors
+///
+/// Returns a `bad_request` [`WireError`] naming the offending field.
+pub fn validate(spec: &ExploreSpec) -> Result<(), WireError> {
+    if !ALGORITHMS.contains(&spec.algorithm.as_str()) {
+        return Err(WireError::bad_request(format!(
+            "unknown algorithm `{}` (one of: {})",
+            spec.algorithm,
+            ALGORITHMS.join(", ")
+        )));
+    }
+    if find_family(&spec.family).is_none() {
+        return Err(WireError::bad_request(format!(
+            "unknown family `{}` (one of: {})",
+            spec.family,
+            Family::ALL.map(|f| f.name()).join(", ")
+        )));
+    }
+    if spec.k == 0 {
+        return Err(WireError::bad_request("k must be at least 1"));
+    }
+    if spec.k > MAX_K {
+        return Err(WireError::bad_request(format!("k exceeds the {MAX_K} cap")));
+    }
+    if spec.n > MAX_N {
+        return Err(WireError::bad_request(format!("n exceeds the {MAX_N} cap")));
+    }
+    if spec.options.delay_ms > MAX_DELAY_MS {
+        return Err(WireError::bad_request(format!(
+            "delay_ms exceeds the {MAX_DELAY_MS} cap"
+        )));
+    }
+    Ok(())
+}
+
+/// Runs one validated spec to completion.
+///
+/// The run is observed end-to-end: phases (`build_tree`, `explore`) are
+/// timed, a [`BoundTracker`] follows the Theorem 1 / Lemma 2 margins
+/// live, and the returned [`RunManifest`] records instance shape,
+/// counters, final margins and per-depth reanchors — one manifest per
+/// served job, mirroring what the CLI writes for `--manifest-out`.
+///
+/// # Errors
+///
+/// Returns a `bad_request` error from [`validate`], or an `internal`
+/// error if the simulation itself fails (round limit, invalid move).
+pub fn run_spec(spec: &ExploreSpec) -> Result<(ExploreResult, RunManifest), WireError> {
+    validate(spec)?;
+    if spec.options.delay_ms > 0 {
+        std::thread::sleep(std::time::Duration::from_millis(spec.options.delay_ms));
+    }
+    let family = find_family(&spec.family).expect("validated family");
+    let k = spec.k as usize;
+
+    let mut phases = Phases::default();
+    let tree = phases.time("build_tree", || {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(spec.seed);
+        family.instance(spec.n as usize, &mut rng)
+    });
+    let bound = bfdn::theorem1_bound(tree.len(), tree.depth(), k, tree.max_degree());
+    let tracker = BoundTracker::new(BoundConfig {
+        rounds: Some(bound),
+        reanchors_per_depth: Some(bfdn::lemma2_bound(k, tree.max_degree())),
+        urn_steps: None,
+    });
+
+    let mut explorer = build_explorer(&spec.algorithm, k).expect("validated algorithm");
+    let mut sim = Simulator::new(&tree, k).with_sink(tracker);
+    let outcome = phases
+        .time("explore", || sim.run(explorer.as_mut()))
+        .map_err(|e| {
+            WireError::new(
+                crate::protocol::ErrorCode::Internal,
+                format!("simulation failed: {e}"),
+            )
+        })?;
+    let tracker = sim.into_sink();
+
+    let mut manifest = RunManifest::new(&spec.algorithm, &spec.family);
+    manifest.seed = spec.seed;
+    manifest.n = tree.len() as u64;
+    manifest.depth = tree.depth() as u64;
+    manifest.max_degree = tree.max_degree() as u64;
+    manifest.k = spec.k;
+    manifest.set_phases(&phases);
+    manifest
+        .metric("rounds", outcome.rounds)
+        .metric("moves", outcome.metrics.moves)
+        .metric("idle", outcome.metrics.idle)
+        .metric("stalled", outcome.metrics.stalled)
+        .metric("allowed_moves", outcome.metrics.allowed_moves)
+        .metric("edges_discovered", outcome.metrics.edges_discovered)
+        .metric("edge_events", outcome.metrics.edge_events);
+    if let Some(sample) = tracker.current() {
+        if let Some(v) = sample.rounds {
+            manifest.margin("theorem1_rounds", v);
+        }
+        if let Some(v) = sample.reanchors {
+            manifest.margin("lemma2_reanchors", v);
+        }
+    }
+    manifest.reanchors_by_depth = tracker.reanchors_by_depth().to_vec();
+
+    let result = ExploreResult {
+        spec: spec.clone(),
+        cached: false,
+        nodes: tree.len() as u64,
+        depth: tree.depth() as u64,
+        max_degree: tree.max_degree() as u64,
+        metrics: MetricsPayload::from_metrics(outcome.rounds, &outcome.metrics),
+        bound,
+        margin: bound - outcome.rounds as f64,
+        manifest: spec.options.manifest.then(|| manifest.to_json()),
+    };
+    Ok((result, manifest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::ErrorCode;
+
+    #[test]
+    fn every_algorithm_is_buildable_and_runs() {
+        for algo in ALGORITHMS {
+            assert!(build_explorer(algo, 4).is_some(), "{algo}");
+            let spec = ExploreSpec::new(algo, "comb", 60, 4, 1);
+            let (result, manifest) = run_spec(&spec).unwrap_or_else(|e| panic!("{algo}: {e}"));
+            assert!(result.metrics.rounds > 0, "{algo}");
+            assert_eq!(result.metrics.edges_discovered, result.nodes - 1, "{algo}");
+            assert!(result.margin >= 0.0, "{algo}: Theorem 1 envelope violated");
+            assert_eq!(manifest.algorithm, algo);
+            assert_eq!(
+                manifest.metrics[0],
+                ("rounds".into(), result.metrics.rounds)
+            );
+        }
+        assert!(build_explorer("quantum", 4).is_none());
+    }
+
+    #[test]
+    fn results_are_deterministic_in_the_spec() {
+        let spec = ExploreSpec::new("bfdn", "random-recursive", 300, 8, 42);
+        let (a, _) = run_spec(&spec).unwrap();
+        let (b, _) = run_spec(&spec).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.payload_json(), b.payload_json());
+        let mut other_seed = spec.clone();
+        other_seed.seed = 43;
+        let (c, _) = run_spec(&other_seed).unwrap();
+        assert_ne!(a.metrics, c.metrics, "different seed, different run");
+    }
+
+    #[test]
+    fn validation_rejects_out_of_registry_requests() {
+        let cases = [
+            ExploreSpec::new("quantum", "comb", 100, 4, 0),
+            ExploreSpec::new("bfdn", "nope", 100, 4, 0),
+            ExploreSpec::new("bfdn", "comb", 100, 0, 0),
+            ExploreSpec::new("bfdn", "comb", MAX_N + 1, 4, 0),
+            ExploreSpec::new("bfdn", "comb", 100, MAX_K + 1, 0),
+        ];
+        for spec in cases {
+            let err = validate(&spec).unwrap_err();
+            assert_eq!(err.code, ErrorCode::BadRequest, "{spec:?}");
+            assert!(run_spec(&spec).is_err());
+        }
+        let mut slow = ExploreSpec::new("bfdn", "comb", 100, 4, 0);
+        slow.options.delay_ms = MAX_DELAY_MS + 1;
+        assert!(validate(&slow).is_err());
+    }
+
+    #[test]
+    fn manifest_travels_inline_when_requested() {
+        let mut spec = ExploreSpec::new("bfdn", "comb", 80, 4, 7);
+        spec.options.manifest = true;
+        let (result, manifest) = run_spec(&spec).unwrap();
+        let inline = result.manifest.expect("manifest requested");
+        assert_eq!(inline, manifest.to_json());
+        assert!(inline.contains(r#""algorithm":"bfdn""#));
+        assert!(inline.contains(r#""phases":{"build_tree":"#));
+        assert!(inline.contains(r#""margins":{"theorem1_rounds":"#));
+    }
+}

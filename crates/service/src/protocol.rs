@@ -1,0 +1,1027 @@
+//! The wire protocol of the simulation service: versioned JSON documents
+//! over length-prefixed TCP frames.
+//!
+//! Every frame is a 4-byte big-endian payload length followed by that
+//! many bytes of UTF-8 JSON; [`MAX_FRAME_LEN`] caps the payload so a
+//! hostile peer cannot make the server allocate unboundedly. Every
+//! document carries the protocol version (`"v"`) and a `"type"` tag;
+//! requests are decoded by [`Request::from_json`], responses by
+//! [`Response::from_json`], and both serialize through the workspace's
+//! hand-rolled JSON writer ([`bfdn_obs::json`]) — the serde derives
+//! behind the `serde` feature wire the types into serde-aware callers
+//! without pulling a format crate onto the wire path.
+//!
+//! Errors are structured ([`WireError`] with an [`ErrorCode`]), so
+//! clients can distinguish a malformed request from backpressure
+//! ([`ErrorCode::Busy`]) or a draining server.
+
+use crate::jsonval::{Json, JsonError};
+use bfdn_obs::json::{escape_into, float_into, JsonObject};
+use bfdn_sim::Metrics;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Version tag carried by every request and response document.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Hard cap on a frame payload (1 MiB), enforced on both read and write.
+pub const MAX_FRAME_LEN: u32 = 1 << 20;
+
+/// Per-request options of an [`ExploreSpec`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ExploreOptions {
+    /// Return the run manifest JSON inline with the result.
+    pub manifest: bool,
+    /// Artificial pre-execution delay in milliseconds (traffic shaping
+    /// and backpressure testing; capped by the server).
+    pub delay_ms: u64,
+}
+
+impl ExploreOptions {
+    fn is_default(&self) -> bool {
+        *self == ExploreOptions::default()
+    }
+}
+
+/// One simulation request: run `algorithm` with `k` robots on an
+/// instance of `family` with roughly `n` nodes generated from `seed`.
+///
+/// Runs are fully deterministic in these fields, which is what makes
+/// results content-addressable: [`ExploreSpec::canonical`] is the cache
+/// key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ExploreSpec {
+    /// Algorithm name (see [`crate::exec::ALGORITHMS`]).
+    pub algorithm: String,
+    /// Workload family name (a [`bfdn_trees::generators::Family`] name).
+    pub family: String,
+    /// Approximate node count.
+    pub n: u64,
+    /// Number of robots.
+    pub k: u64,
+    /// RNG seed for instance generation.
+    pub seed: u64,
+    /// Per-request options.
+    pub options: ExploreOptions,
+}
+
+impl ExploreSpec {
+    /// A spec with default options.
+    pub fn new(
+        algorithm: impl Into<String>,
+        family: impl Into<String>,
+        n: u64,
+        k: u64,
+        seed: u64,
+    ) -> Self {
+        ExploreSpec {
+            algorithm: algorithm.into(),
+            family: family.into(),
+            n,
+            k,
+            seed,
+            options: ExploreOptions::default(),
+        }
+    }
+
+    /// The canonical content address of this request: every field that
+    /// influences the reply, in a fixed order, prefixed with the
+    /// protocol version so cache entries never survive a wire-format
+    /// revision.
+    pub fn canonical(&self) -> String {
+        format!(
+            "v{}|algo={}|family={}|n={}|k={}|seed={}|manifest={}|delay={}",
+            PROTOCOL_VERSION,
+            self.algorithm,
+            self.family,
+            self.n,
+            self.k,
+            self.seed,
+            self.options.manifest,
+            self.options.delay_ms,
+        )
+    }
+
+    /// FNV-1a hash of [`ExploreSpec::canonical`] — the content address
+    /// used for cache sharding and manifest file names.
+    pub fn content_hash(&self) -> u64 {
+        fnv1a(self.canonical().as_bytes())
+    }
+
+    fn json_into(&self, o: &mut JsonObject) {
+        o.str("algorithm", &self.algorithm)
+            .str("family", &self.family)
+            .u64("n", self.n)
+            .u64("k", self.k)
+            .u64("seed", self.seed);
+        if !self.options.is_default() {
+            let mut opts = JsonObject::new();
+            opts.bool("manifest", self.options.manifest)
+                .u64("delay_ms", self.options.delay_ms);
+            o.raw("options", &opts.finish());
+        }
+    }
+
+    fn to_json_value(&self) -> String {
+        let mut o = JsonObject::new();
+        self.json_into(&mut o);
+        o.finish()
+    }
+
+    fn from_value(v: &Json) -> Result<Self, WireError> {
+        let options = match v.get("options") {
+            None => ExploreOptions::default(),
+            Some(opts) => ExploreOptions {
+                manifest: opts
+                    .get("manifest")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(false),
+                delay_ms: opts.get("delay_ms").and_then(Json::as_u64).unwrap_or(0),
+            },
+        };
+        Ok(ExploreSpec {
+            algorithm: require_str(v, "algorithm")?.to_string(),
+            family: require_str(v, "family")?.to_string(),
+            n: require_u64(v, "n")?,
+            k: require_u64(v, "k")?,
+            seed: require_u64(v, "seed")?,
+            options,
+        })
+    }
+}
+
+/// FNV-1a 64-bit hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A client request.
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Request {
+    /// Run (or serve from cache) one simulation.
+    Explore(ExploreSpec),
+    /// Run many simulations as one queued job (fanned out over the
+    /// worker substrate on the server).
+    Batch(Vec<ExploreSpec>),
+    /// Server counters: requests, hits/misses, queue depth, rejects,
+    /// per-phase latency totals.
+    Status,
+    /// Result-cache counters and occupancy.
+    CacheStats,
+    /// Stop accepting work, drain in-flight jobs, and exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Serializes the request document.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.u64("v", PROTOCOL_VERSION);
+        match self {
+            Request::Explore(spec) => {
+                o.str("type", "explore");
+                spec.json_into(&mut o);
+            }
+            Request::Batch(specs) => {
+                o.str("type", "batch");
+                let items: Vec<String> = specs.iter().map(ExploreSpec::to_json_value).collect();
+                o.raw("items", &format!("[{}]", items.join(",")));
+            }
+            Request::Status => {
+                o.str("type", "status");
+            }
+            Request::CacheStats => {
+                o.str("type", "cache_stats");
+            }
+            Request::Shutdown => {
+                o.str("type", "shutdown");
+            }
+        }
+        o.finish()
+    }
+
+    /// Decodes a request document, checking version and type.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] (ready to send back) describing the
+    /// malformation or version mismatch.
+    pub fn from_json(text: &str) -> Result<Request, WireError> {
+        let v = parse_versioned(text)?;
+        match require_str(&v, "type")? {
+            "explore" => Ok(Request::Explore(ExploreSpec::from_value(&v)?)),
+            "batch" => {
+                let items = v
+                    .get("items")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| WireError::bad_request("batch needs an `items` array"))?;
+                if items.is_empty() {
+                    return Err(WireError::bad_request("batch must not be empty"));
+                }
+                items
+                    .iter()
+                    .map(ExploreSpec::from_value)
+                    .collect::<Result<Vec<_>, _>>()
+                    .map(Request::Batch)
+            }
+            "status" => Ok(Request::Status),
+            "cache_stats" => Ok(Request::CacheStats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(WireError::bad_request(format!(
+                "unknown request type `{other}`"
+            ))),
+        }
+    }
+}
+
+/// The counters of a [`Metrics`] in wire form (the private per-robot
+/// distances stay server-side).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MetricsPayload {
+    /// Rounds until the stop condition held.
+    pub rounds: u64,
+    /// Edge traversals performed.
+    pub moves: u64,
+    /// Idle robot-rounds.
+    pub idle: u64,
+    /// Adversary-stalled robot-rounds.
+    pub stalled: u64,
+    /// Allowed robot-rounds granted by the schedule.
+    pub allowed_moves: u64,
+    /// First-time edge traversals.
+    pub edges_discovered: u64,
+    /// Edge events (first down plus first up per edge).
+    pub edge_events: u64,
+}
+
+impl MetricsPayload {
+    /// Extracts the wire counters from a run's [`Metrics`].
+    pub fn from_metrics(rounds: u64, m: &Metrics) -> Self {
+        MetricsPayload {
+            rounds,
+            moves: m.moves,
+            idle: m.idle,
+            stalled: m.stalled,
+            allowed_moves: m.allowed_moves,
+            edges_discovered: m.edges_discovered,
+            edge_events: m.edge_events,
+        }
+    }
+
+    fn to_json_value(&self) -> String {
+        let mut o = JsonObject::new();
+        o.u64("rounds", self.rounds)
+            .u64("moves", self.moves)
+            .u64("idle", self.idle)
+            .u64("stalled", self.stalled)
+            .u64("allowed_moves", self.allowed_moves)
+            .u64("edges_discovered", self.edges_discovered)
+            .u64("edge_events", self.edge_events);
+        o.finish()
+    }
+
+    fn from_value(v: &Json) -> Result<Self, WireError> {
+        Ok(MetricsPayload {
+            rounds: require_u64(v, "rounds")?,
+            moves: require_u64(v, "moves")?,
+            idle: require_u64(v, "idle")?,
+            stalled: require_u64(v, "stalled")?,
+            allowed_moves: require_u64(v, "allowed_moves")?,
+            edges_discovered: require_u64(v, "edges_discovered")?,
+            edge_events: require_u64(v, "edge_events")?,
+        })
+    }
+}
+
+/// The reply to one [`ExploreSpec`]: instance shape, counters, and the
+/// Theorem 1 envelope with its margin.
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ExploreResult {
+    /// The spec this result answers (canonicalized echo).
+    pub spec: ExploreSpec,
+    /// Whether the reply was served from the result cache.
+    pub cached: bool,
+    /// Exact node count of the generated instance.
+    pub nodes: u64,
+    /// Depth of the instance.
+    pub depth: u64,
+    /// Maximum degree of the instance.
+    pub max_degree: u64,
+    /// Run counters.
+    pub metrics: MetricsPayload,
+    /// Theorem 1 round envelope for this instance.
+    pub bound: f64,
+    /// `bound - rounds` (non-negative means the envelope held).
+    pub margin: f64,
+    /// The run manifest JSON, when `options.manifest` was set.
+    pub manifest: Option<String>,
+}
+
+impl ExploreResult {
+    /// Serializes the cache-stable payload: everything except the
+    /// transport-dependent `cached` flag. Spill files and byte-equality
+    /// checks use this form, so a cache hit is literally byte-identical
+    /// to the original computation.
+    pub fn payload_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.raw("spec", &self.spec.to_json_value())
+            .u64("nodes", self.nodes)
+            .u64("depth", self.depth)
+            .u64("max_degree", self.max_degree)
+            .raw("metrics", &self.metrics.to_json_value());
+        o.f64("bound", self.bound).f64("margin", self.margin);
+        match &self.manifest {
+            Some(m) => o.str("manifest", m),
+            None => o.raw("manifest", "null"),
+        };
+        o.finish()
+    }
+
+    fn to_json_value(&self) -> String {
+        let mut o = JsonObject::new();
+        o.bool("cached", self.cached)
+            .raw("payload", &self.payload_json());
+        o.finish()
+    }
+
+    /// Decodes the `{cached, payload}` wire form.
+    fn from_value(v: &Json) -> Result<Self, WireError> {
+        let cached = v
+            .get("cached")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| WireError::bad_request("result needs `cached`"))?;
+        let p = v
+            .get("payload")
+            .ok_or_else(|| WireError::bad_request("result needs `payload`"))?;
+        Self::from_payload_value(p, cached)
+    }
+
+    /// Decodes a bare payload object (as spilled to disk) into a result
+    /// with the given `cached` flag.
+    pub(crate) fn from_payload_value(p: &Json, cached: bool) -> Result<Self, WireError> {
+        let spec = p
+            .get("spec")
+            .ok_or_else(|| WireError::bad_request("payload needs `spec`"))
+            .and_then(ExploreSpec::from_value)?;
+        let metrics = p
+            .get("metrics")
+            .ok_or_else(|| WireError::bad_request("payload needs `metrics`"))
+            .and_then(MetricsPayload::from_value)?;
+        Ok(ExploreResult {
+            spec,
+            cached,
+            nodes: require_u64(p, "nodes")?,
+            depth: require_u64(p, "depth")?,
+            max_degree: require_u64(p, "max_degree")?,
+            metrics,
+            bound: require_f64(p, "bound")?,
+            margin: require_f64(p, "margin")?,
+            manifest: match p.get("manifest") {
+                None => None,
+                Some(m) if m.is_null() => None,
+                Some(m) => Some(
+                    m.as_str()
+                        .ok_or_else(|| WireError::bad_request("manifest must be a string"))?
+                        .to_string(),
+                ),
+            },
+        })
+    }
+
+    /// Parses one spill-file line (a bare payload object).
+    pub(crate) fn from_payload_json(line: &str) -> Result<Self, WireError> {
+        let v = Json::parse(line).map_err(|e| WireError::bad_request(e.to_string()))?;
+        Self::from_payload_value(&v, false)
+    }
+}
+
+/// Machine-readable failure categories of [`WireError`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ErrorCode {
+    /// The request was malformed or referenced unknown
+    /// algorithms/families/limits.
+    BadRequest,
+    /// The document's `v` does not match [`PROTOCOL_VERSION`].
+    UnsupportedVersion,
+    /// The frame exceeded [`MAX_FRAME_LEN`].
+    TooLarge,
+    /// The job queue is full — retry later.
+    Busy,
+    /// The server is draining after a shutdown request.
+    ShuttingDown,
+    /// An unexpected server-side failure.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire tag of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnsupportedVersion => "unsupported_version",
+            ErrorCode::TooLarge => "too_large",
+            ErrorCode::Busy => "busy",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        Some(match s {
+            "bad_request" => ErrorCode::BadRequest,
+            "unsupported_version" => ErrorCode::UnsupportedVersion,
+            "too_large" => ErrorCode::TooLarge,
+            "busy" => ErrorCode::Busy,
+            "shutting_down" => ErrorCode::ShuttingDown,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// A structured error reply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WireError {
+    /// Failure category.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl WireError {
+    /// A [`ErrorCode::BadRequest`] error.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        WireError {
+            code: ErrorCode::BadRequest,
+            message: message.into(),
+        }
+    }
+
+    /// An error with the given code.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        WireError {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code.as_str(), self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Server counters reported by [`Request::Status`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct StatusPayload {
+    /// Requests received (all types).
+    pub requests: u64,
+    /// Explore requests received (batch items included).
+    pub explores: u64,
+    /// Batch requests received.
+    pub batches: u64,
+    /// Replies served from the result cache.
+    pub cache_hits: u64,
+    /// Specs that had to be simulated.
+    pub cache_misses: u64,
+    /// Jobs rejected with [`ErrorCode::Busy`].
+    pub rejects: u64,
+    /// Jobs completed by the worker pool.
+    pub completed: u64,
+    /// Jobs currently queued.
+    pub queue_depth: u64,
+    /// Configured queue capacity.
+    pub queue_capacity: u64,
+    /// Worker threads draining the queue.
+    pub workers: u64,
+    /// Jobs currently executing.
+    pub in_flight: u64,
+    /// Total nanoseconds jobs spent waiting in the queue.
+    pub queue_wait_ns: u64,
+    /// Total nanoseconds jobs spent executing.
+    pub exec_ns: u64,
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+}
+
+impl StatusPayload {
+    fn to_json_value(&self) -> String {
+        let mut o = JsonObject::new();
+        o.u64("requests", self.requests)
+            .u64("explores", self.explores)
+            .u64("batches", self.batches)
+            .u64("cache_hits", self.cache_hits)
+            .u64("cache_misses", self.cache_misses)
+            .u64("rejects", self.rejects)
+            .u64("completed", self.completed)
+            .u64("queue_depth", self.queue_depth)
+            .u64("queue_capacity", self.queue_capacity)
+            .u64("workers", self.workers)
+            .u64("in_flight", self.in_flight)
+            .u64("queue_wait_ns", self.queue_wait_ns)
+            .u64("exec_ns", self.exec_ns)
+            .u64("uptime_ms", self.uptime_ms);
+        o.finish()
+    }
+
+    fn from_value(v: &Json) -> Result<Self, WireError> {
+        Ok(StatusPayload {
+            requests: require_u64(v, "requests")?,
+            explores: require_u64(v, "explores")?,
+            batches: require_u64(v, "batches")?,
+            cache_hits: require_u64(v, "cache_hits")?,
+            cache_misses: require_u64(v, "cache_misses")?,
+            rejects: require_u64(v, "rejects")?,
+            completed: require_u64(v, "completed")?,
+            queue_depth: require_u64(v, "queue_depth")?,
+            queue_capacity: require_u64(v, "queue_capacity")?,
+            workers: require_u64(v, "workers")?,
+            in_flight: require_u64(v, "in_flight")?,
+            queue_wait_ns: require_u64(v, "queue_wait_ns")?,
+            exec_ns: require_u64(v, "exec_ns")?,
+            uptime_ms: require_u64(v, "uptime_ms")?,
+        })
+    }
+}
+
+/// Result-cache counters reported by [`Request::CacheStats`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CacheStatsPayload {
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Configured capacity (entries across all shards).
+    pub capacity: u64,
+    /// Number of shards.
+    pub shards: u64,
+    /// Lookup hits.
+    pub hits: u64,
+    /// Lookup misses.
+    pub misses: u64,
+    /// Entries inserted (spill loads included).
+    pub insertions: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+}
+
+impl CacheStatsPayload {
+    fn to_json_value(&self) -> String {
+        let mut o = JsonObject::new();
+        o.u64("entries", self.entries)
+            .u64("capacity", self.capacity)
+            .u64("shards", self.shards)
+            .u64("hits", self.hits)
+            .u64("misses", self.misses)
+            .u64("insertions", self.insertions)
+            .u64("evictions", self.evictions);
+        o.finish()
+    }
+
+    fn from_value(v: &Json) -> Result<Self, WireError> {
+        Ok(CacheStatsPayload {
+            entries: require_u64(v, "entries")?,
+            capacity: require_u64(v, "capacity")?,
+            shards: require_u64(v, "shards")?,
+            hits: require_u64(v, "hits")?,
+            misses: require_u64(v, "misses")?,
+            insertions: require_u64(v, "insertions")?,
+            evictions: require_u64(v, "evictions")?,
+        })
+    }
+}
+
+/// A server reply.
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Response {
+    /// One simulation result.
+    Result(Box<ExploreResult>),
+    /// Results of a batch, in request order, with the split between
+    /// cache hits and executed simulations.
+    Batch {
+        /// Per-item results, aligned with the request's `items`.
+        results: Vec<ExploreResult>,
+        /// Items served from the cache.
+        hits: u64,
+        /// Items that were simulated.
+        misses: u64,
+    },
+    /// Server counters.
+    Status(StatusPayload),
+    /// Cache counters.
+    CacheStats(CacheStatsPayload),
+    /// Acknowledgement of a shutdown request; the server drains and
+    /// exits after sending it.
+    Bye,
+    /// A structured failure.
+    Error(WireError),
+}
+
+impl Response {
+    /// Serializes the response document.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.u64("v", PROTOCOL_VERSION);
+        match self {
+            Response::Result(r) => {
+                o.str("type", "result").raw("result", &r.to_json_value());
+            }
+            Response::Batch {
+                results,
+                hits,
+                misses,
+            } => {
+                o.str("type", "batch_result");
+                let items: Vec<String> = results.iter().map(ExploreResult::to_json_value).collect();
+                o.raw("results", &format!("[{}]", items.join(",")))
+                    .u64("hits", *hits)
+                    .u64("misses", *misses);
+            }
+            Response::Status(s) => {
+                o.str("type", "status").raw("status", &s.to_json_value());
+            }
+            Response::CacheStats(c) => {
+                o.str("type", "cache_stats")
+                    .raw("cache", &c.to_json_value());
+            }
+            Response::Bye => {
+                o.str("type", "bye");
+            }
+            Response::Error(e) => {
+                o.str("type", "error").str("code", e.code.as_str());
+                let mut buf = String::new();
+                escape_into(&mut buf, &e.message);
+                o.raw("message", &buf);
+            }
+        }
+        o.finish()
+    }
+
+    /// Decodes a response document, checking version and type.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] describing the malformation.
+    pub fn from_json(text: &str) -> Result<Response, WireError> {
+        let v = parse_versioned(text)?;
+        match require_str(&v, "type")? {
+            "result" => {
+                let r = v
+                    .get("result")
+                    .ok_or_else(|| WireError::bad_request("missing `result`"))?;
+                Ok(Response::Result(Box::new(ExploreResult::from_value(r)?)))
+            }
+            "batch_result" => {
+                let items = v
+                    .get("results")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| WireError::bad_request("missing `results` array"))?;
+                Ok(Response::Batch {
+                    results: items
+                        .iter()
+                        .map(ExploreResult::from_value)
+                        .collect::<Result<Vec<_>, _>>()?,
+                    hits: require_u64(&v, "hits")?,
+                    misses: require_u64(&v, "misses")?,
+                })
+            }
+            "status" => {
+                let s = v
+                    .get("status")
+                    .ok_or_else(|| WireError::bad_request("missing `status`"))?;
+                Ok(Response::Status(StatusPayload::from_value(s)?))
+            }
+            "cache_stats" => {
+                let c = v
+                    .get("cache")
+                    .ok_or_else(|| WireError::bad_request("missing `cache`"))?;
+                Ok(Response::CacheStats(CacheStatsPayload::from_value(c)?))
+            }
+            "bye" => Ok(Response::Bye),
+            "error" => Ok(Response::Error(WireError {
+                code: require_str(&v, "code")
+                    .ok()
+                    .and_then(ErrorCode::from_str)
+                    .unwrap_or(ErrorCode::Internal),
+                message: v
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+            })),
+            other => Err(WireError::bad_request(format!(
+                "unknown response type `{other}`"
+            ))),
+        }
+    }
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying transport failed (includes clean EOF between
+    /// frames, surfaced as `UnexpectedEof`).
+    Io(io::Error),
+    /// The announced payload length exceeds [`MAX_FRAME_LEN`].
+    TooLarge(u32),
+    /// The payload was not UTF-8.
+    Utf8,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame I/O error: {e}"),
+            FrameError::TooLarge(len) => {
+                write!(f, "frame of {len} bytes exceeds the {MAX_FRAME_LEN} cap")
+            }
+            FrameError::Utf8 => write!(f, "frame payload is not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl FrameError {
+    /// `true` when the peer closed the connection cleanly between
+    /// frames.
+    pub fn is_eof(&self) -> bool {
+        matches!(self, FrameError::Io(e) if e.kind() == io::ErrorKind::UnexpectedEof)
+    }
+}
+
+/// Writes one frame: 4-byte big-endian length, then the payload.
+///
+/// # Errors
+///
+/// Fails with `InvalidInput` if the payload exceeds [`MAX_FRAME_LEN`],
+/// or with the transport's error.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    let len = u32::try_from(payload.len()).unwrap_or(u32::MAX);
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("payload of {} bytes exceeds the frame cap", payload.len()),
+        ));
+    }
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one frame, enforcing [`MAX_FRAME_LEN`] *before* allocating.
+///
+/// # Errors
+///
+/// Returns [`FrameError::Io`] on transport failure (clean EOF included),
+/// [`FrameError::TooLarge`] on an oversized announcement, or
+/// [`FrameError::Utf8`] on a non-UTF-8 payload.
+pub fn read_frame(r: &mut impl Read) -> Result<String, FrameError> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    String::from_utf8(payload).map_err(|_| FrameError::Utf8)
+}
+
+/// Parses a document and checks its `v` field.
+fn parse_versioned(text: &str) -> Result<Json, WireError> {
+    let v = Json::parse(text).map_err(|e: JsonError| WireError::bad_request(e.to_string()))?;
+    match v.get("v").and_then(Json::as_u64) {
+        Some(PROTOCOL_VERSION) => Ok(v),
+        Some(other) => Err(WireError::new(
+            ErrorCode::UnsupportedVersion,
+            format!("protocol version {other} (this build speaks {PROTOCOL_VERSION})"),
+        )),
+        None => Err(WireError::bad_request("missing protocol version `v`")),
+    }
+}
+
+fn require_str<'j>(v: &'j Json, key: &str) -> Result<&'j str, WireError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| WireError::bad_request(format!("missing string field `{key}`")))
+}
+
+fn require_u64(v: &Json, key: &str) -> Result<u64, WireError> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| WireError::bad_request(format!("missing integer field `{key}`")))
+}
+
+fn require_f64(v: &Json, key: &str) -> Result<f64, WireError> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| WireError::bad_request(format!("missing number field `{key}`")))
+}
+
+/// Formats a float exactly as the wire does (shortest round-trip repr),
+/// exposed for tests asserting byte equality across transports.
+pub fn wire_f64(v: f64) -> String {
+    let mut s = String::new();
+    float_into(&mut s, v);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spec() -> ExploreSpec {
+        ExploreSpec::new("bfdn", "comb", 500, 8, 7)
+    }
+
+    fn sample_result() -> ExploreResult {
+        ExploreResult {
+            spec: sample_spec(),
+            cached: false,
+            nodes: 506,
+            depth: 23,
+            max_degree: 3,
+            metrics: MetricsPayload {
+                rounds: 210,
+                moves: 1400,
+                idle: 12,
+                stalled: 0,
+                allowed_moves: 1680,
+                edges_discovered: 505,
+                edge_events: 1010,
+            },
+            bound: 1831.5,
+            margin: 1621.5,
+            manifest: None,
+        }
+    }
+
+    #[test]
+    fn canonical_covers_every_request_field() {
+        let mut spec = sample_spec();
+        let base = spec.canonical();
+        spec.seed += 1;
+        assert_ne!(spec.canonical(), base);
+        spec.seed -= 1;
+        spec.options.delay_ms = 5;
+        assert_ne!(spec.canonical(), base);
+        assert_eq!(sample_spec().canonical(), base);
+        assert_ne!(sample_spec().content_hash(), 0);
+    }
+
+    #[test]
+    fn request_documents_round_trip() {
+        let mut with_opts = sample_spec();
+        with_opts.options = ExploreOptions {
+            manifest: true,
+            delay_ms: 25,
+        };
+        for req in [
+            Request::Explore(sample_spec()),
+            Request::Explore(with_opts.clone()),
+            Request::Batch(vec![sample_spec(), with_opts]),
+            Request::Status,
+            Request::CacheStats,
+            Request::Shutdown,
+        ] {
+            let json = req.to_json();
+            assert!(json.contains(&format!("\"v\":{PROTOCOL_VERSION}")));
+            assert_eq!(Request::from_json(&json).unwrap(), req, "{json}");
+        }
+    }
+
+    #[test]
+    fn response_documents_round_trip() {
+        let mut hit = sample_result();
+        hit.cached = true;
+        hit.manifest = Some(r#"{"algorithm":"bfdn"}"#.into());
+        for resp in [
+            Response::Result(Box::new(sample_result())),
+            Response::Batch {
+                results: vec![sample_result(), hit],
+                hits: 1,
+                misses: 1,
+            },
+            Response::Status(StatusPayload {
+                requests: 10,
+                queue_capacity: 64,
+                uptime_ms: 1234,
+                ..StatusPayload::default()
+            }),
+            Response::CacheStats(CacheStatsPayload {
+                entries: 3,
+                capacity: 1024,
+                shards: 8,
+                hits: 2,
+                misses: 3,
+                insertions: 3,
+                evictions: 0,
+            }),
+            Response::Bye,
+            Response::Error(WireError::new(ErrorCode::Busy, "queue full (depth 64)")),
+        ] {
+            let json = resp.to_json();
+            assert_eq!(Response::from_json(&json).unwrap(), resp, "{json}");
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_structured() {
+        let doc = r#"{"v":99,"type":"status"}"#;
+        let err = Request::from_json(doc).unwrap_err();
+        assert_eq!(err.code, ErrorCode::UnsupportedVersion);
+        let err = Request::from_json(r#"{"type":"status"}"#).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn malformed_requests_are_bad_requests() {
+        for doc in [
+            "nonsense",
+            r#"{"v":1}"#,
+            r#"{"v":1,"type":"warp"}"#,
+            r#"{"v":1,"type":"explore","algorithm":"bfdn"}"#,
+            r#"{"v":1,"type":"batch","items":[]}"#,
+            r#"{"v":1,"type":"batch","items":7}"#,
+            r#"{"v":1,"type":"explore","algorithm":"bfdn","family":"comb","n":1.5,"k":2,"seed":0}"#,
+        ] {
+            let err = Request::from_json(doc).unwrap_err();
+            assert_eq!(err.code, ErrorCode::BadRequest, "{doc}");
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_and_enforce_the_cap() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "hello").unwrap();
+        assert_eq!(&buf[..4], &5u32.to_be_bytes());
+        let mut r = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap(), "hello");
+        // EOF between frames is clean.
+        assert!(read_frame(&mut r).unwrap_err().is_eof());
+
+        let oversized = (MAX_FRAME_LEN + 1).to_be_bytes();
+        let mut r = io::Cursor::new(oversized.to_vec());
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(FrameError::TooLarge(len)) if len == MAX_FRAME_LEN + 1
+        ));
+
+        let big = "x".repeat(MAX_FRAME_LEN as usize + 1);
+        assert!(write_frame(&mut Vec::new(), &big).is_err());
+
+        // Truncated payload is an I/O error, not a hang or a panic.
+        let mut truncated = Vec::new();
+        write_frame(&mut truncated, "full payload").unwrap();
+        truncated.truncate(7);
+        let mut r = io::Cursor::new(truncated);
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Io(_))));
+
+        // Non-UTF-8 payloads are rejected.
+        let mut bad = 2u32.to_be_bytes().to_vec();
+        bad.extend([0xFF, 0xFE]);
+        let mut r = io::Cursor::new(bad);
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Utf8)));
+    }
+
+    #[test]
+    fn payload_json_is_cache_stable() {
+        let mut r = sample_result();
+        let payload = r.payload_json();
+        r.cached = true;
+        assert_eq!(r.payload_json(), payload, "cached flag must not leak");
+        let parsed = ExploreResult::from_payload_json(&payload).unwrap();
+        assert_eq!(parsed.metrics, r.metrics);
+        assert_eq!(parsed.spec, r.spec);
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -1,0 +1,558 @@
+//! The serving daemon: a threaded TCP server with a bounded job queue,
+//! a worker pool on the shared parallel substrate, and the
+//! content-addressed result cache in front of execution.
+//!
+//! Life of a request: a connection handler thread reads one frame,
+//! decodes and validates it, and answers cache hits immediately. Misses
+//! become jobs on a bounded queue — when the queue is at its configured
+//! depth the handler replies [`ErrorCode::Busy`] instead of blocking,
+//! which is the service's backpressure contract. Worker threads drain
+//! the queue; a batch job fans its uncached items out through
+//! [`crate::parallel::par_map`], so one large sweep request saturates
+//! the machine exactly like the local harness does. Every executed spec
+//! lands in the cache before its reply is sent.
+//!
+//! [`Request::Shutdown`] answers [`Response::Bye`], stops accepting new
+//! work, drains the queue and in-flight jobs, optionally spills the
+//! cache for a warm restart, and lets [`ServerHandle::join`] return.
+
+use crate::cache::{CacheConfig, ResultCache};
+use crate::exec;
+use crate::parallel;
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, ExploreResult, ExploreSpec, FrameError, Request, Response,
+    StatusPayload, WireError,
+};
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server configuration (all fields have serviceable defaults).
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:4077` (port 0 picks a free one).
+    pub addr: String,
+    /// Worker threads draining the job queue; defaults to
+    /// [`parallel::num_threads`].
+    pub workers: Option<usize>,
+    /// Jobs the queue holds before new misses are rejected with
+    /// [`ErrorCode::Busy`] (a batch counts as one job).
+    pub queue_depth: usize,
+    /// Result-cache sizing.
+    pub cache: CacheConfig,
+    /// When set, the cache is warm-loaded from this JSONL file at
+    /// startup and spilled back on graceful shutdown.
+    pub spill: Option<PathBuf>,
+    /// When set, every executed job also writes its run manifest as
+    /// `<content-hash>.manifest.json` under this directory.
+    pub manifest_dir: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:4077".into(),
+            workers: None,
+            queue_depth: 64,
+            cache: CacheConfig::default(),
+            spill: None,
+            manifest_dir: None,
+        }
+    }
+}
+
+/// One queued unit of work plus the channel its reply goes back on.
+struct Job {
+    kind: JobKind,
+    enqueued: Instant,
+    reply: mpsc::Sender<Response>,
+}
+
+enum JobKind {
+    One(ExploreSpec),
+    Batch(Vec<ExploreSpec>),
+}
+
+/// Why a job could not be enqueued.
+enum PushError {
+    Full,
+    Closed,
+}
+
+/// The bounded job queue: a mutex-guarded deque with a condvar for the
+/// workers and an explicit capacity for the backpressure contract.
+struct JobQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    open: bool,
+}
+
+impl JobQueue {
+    fn new(capacity: usize) -> Self {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                open: true,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Non-blocking push: full queues reject instead of waiting — that
+    /// is the whole point of the depth limit.
+    fn push(&self, job: Job) -> Result<(), PushError> {
+        let mut state = self.state.lock().expect("job queue");
+        if !state.open {
+            return Err(PushError::Closed);
+        }
+        if state.jobs.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        state.jobs.push_back(job);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop; returns `None` only when the queue is closed *and*
+    /// fully drained, so every accepted job is executed before workers
+    /// exit.
+    fn pop(&self) -> Option<Job> {
+        let mut state = self.state.lock().expect("job queue");
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if !state.open {
+                return None;
+            }
+            state = self.ready.wait(state).expect("job queue");
+        }
+    }
+
+    /// Closes the queue: pushes start failing, workers drain what is
+    /// left and then exit.
+    fn close(&self) {
+        let mut state = self.state.lock().expect("job queue");
+        state.open = false;
+        self.ready.notify_all();
+    }
+
+    fn depth(&self) -> usize {
+        self.state.lock().expect("job queue").jobs.len()
+    }
+}
+
+/// Monotonic counters exposed through [`Request::Status`].
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    explores: AtomicU64,
+    batches: AtomicU64,
+    rejects: AtomicU64,
+    completed: AtomicU64,
+    in_flight: AtomicU64,
+    queue_wait_ns: AtomicU64,
+    exec_ns: AtomicU64,
+}
+
+/// State shared by the accept loop, connection handlers and workers.
+struct Shared {
+    queue: JobQueue,
+    cache: ResultCache,
+    counters: Counters,
+    draining: AtomicBool,
+    workers: usize,
+    manifest_dir: Option<PathBuf>,
+    started: Instant,
+}
+
+impl Shared {
+    fn status(&self) -> StatusPayload {
+        StatusPayload {
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            explores: self.counters.explores.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            cache_hits: self.cache.stats().hits,
+            cache_misses: self.cache.stats().misses,
+            rejects: self.counters.rejects.load(Ordering::Relaxed),
+            completed: self.counters.completed.load(Ordering::Relaxed),
+            queue_depth: self.queue.depth() as u64,
+            queue_capacity: self.queue.capacity as u64,
+            workers: self.workers as u64,
+            in_flight: self.counters.in_flight.load(Ordering::Relaxed),
+            queue_wait_ns: self.counters.queue_wait_ns.load(Ordering::Relaxed),
+            exec_ns: self.counters.exec_ns.load(Ordering::Relaxed),
+            uptime_ms: u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX),
+        }
+    }
+
+    /// Runs one spec (after a final cache re-check — another worker may
+    /// have computed it while this job queued) and stores the result.
+    fn execute(&self, spec: &ExploreSpec) -> Result<ExploreResult, WireError> {
+        if let Some(hit) = self.cache.get(spec) {
+            return Ok(hit);
+        }
+        let (result, manifest) = exec::run_spec(spec)?;
+        self.cache.put(&result);
+        if let Some(dir) = &self.manifest_dir {
+            let path = dir.join(format!("{:016x}.manifest.json", spec.content_hash()));
+            if let Err(e) = manifest.write(&path) {
+                eprintln!("bfdn-serve: cannot write {}: {e}", path.display());
+            }
+        }
+        Ok(result)
+    }
+}
+
+/// A running server; dropping the handle does **not** stop it — send
+/// [`Request::Shutdown`] (or call [`ServerHandle::shutdown`]) and then
+/// [`ServerHandle::join`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+    spill: Option<PathBuf>,
+}
+
+impl ServerHandle {
+    /// The bound listen address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Programmatic equivalent of a [`Request::Shutdown`] frame.
+    pub fn shutdown(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+    }
+
+    /// Waits for the accept loop and workers to finish draining, then
+    /// spills the cache when configured.
+    ///
+    /// Only returns once a shutdown was requested (by frame or by
+    /// [`ServerHandle::shutdown`]); every in-flight job completes and
+    /// every queued job is executed before this returns.
+    pub fn join(self) -> io::Result<()> {
+        self.accept.join().map_err(|_| worker_panic())?;
+        for w in self.workers {
+            w.join().map_err(|_| worker_panic())?;
+        }
+        if let Some(path) = &self.spill {
+            let spilled = self.shared.cache.spill_to(path)?;
+            eprintln!(
+                "bfdn-serve: spilled {spilled} cache entries to {}",
+                path.display()
+            );
+        }
+        Ok(())
+    }
+}
+
+fn worker_panic() -> io::Error {
+    io::Error::other("a server thread panicked")
+}
+
+/// Binds the listener, warm-loads the cache when configured, and spawns
+/// the accept loop plus the worker pool.
+///
+/// # Errors
+///
+/// Propagates the bind / spill-load I/O error.
+pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let workers = config.workers.unwrap_or_else(parallel::num_threads).max(1);
+    let cache = ResultCache::new(config.cache);
+    if let Some(path) = &config.spill {
+        if path.exists() {
+            let report = cache.load_from(path)?;
+            eprintln!(
+                "bfdn-serve: warm start with {} cached results from {} ({} malformed lines skipped)",
+                report.loaded,
+                path.display(),
+                report.malformed
+            );
+        }
+    }
+    if let Some(dir) = &config.manifest_dir {
+        std::fs::create_dir_all(dir)?;
+    }
+
+    let shared = Arc::new(Shared {
+        queue: JobQueue::new(config.queue_depth.max(1)),
+        cache,
+        counters: Counters::default(),
+        draining: AtomicBool::new(false),
+        workers,
+        manifest_dir: config.manifest_dir.clone(),
+        started: Instant::now(),
+    });
+
+    let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || worker_loop(&shared))
+        })
+        .collect();
+
+    let accept_shared = Arc::clone(&shared);
+    let accept = std::thread::spawn(move || accept_loop(listener, &accept_shared));
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept,
+        workers: worker_handles,
+        spill: config.spill,
+    })
+}
+
+/// Polls the non-blocking listener so the loop can observe the draining
+/// flag; exits once draining starts and the queue is empty with nothing
+/// in flight.
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || handle_connection(stream, &shared));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if shared.draining.load(Ordering::SeqCst)
+                    && shared.queue.depth() == 0
+                    && shared.counters.in_flight.load(Ordering::SeqCst) == 0
+                {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Drains the job queue until it is closed and empty.
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        shared.counters.in_flight.fetch_add(1, Ordering::SeqCst);
+        let waited = u64::try_from(job.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        shared
+            .counters
+            .queue_wait_ns
+            .fetch_add(waited, Ordering::Relaxed);
+        let exec_start = Instant::now();
+        let response = match &job.kind {
+            JobKind::One(spec) => match shared.execute(spec) {
+                Ok(result) => Response::Result(Box::new(result)),
+                Err(e) => Response::Error(e),
+            },
+            JobKind::Batch(specs) => run_batch(shared, specs),
+        };
+        shared.counters.exec_ns.fetch_add(
+            u64::try_from(exec_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+        // The handler may have given up (connection dropped); a dead
+        // receiver is not an error worth crashing a worker for.
+        let _ = job.reply.send(response);
+        shared.counters.completed.fetch_add(1, Ordering::SeqCst);
+        shared.counters.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Executes a batch job: answered items come from the cache, the rest
+/// fan out over the parallel substrate, and the reply preserves request
+/// order.
+fn run_batch(shared: &Arc<Shared>, specs: &[ExploreSpec]) -> Response {
+    let looked_up: Vec<Option<ExploreResult>> =
+        specs.iter().map(|spec| shared.cache.get(spec)).collect();
+    let pending: Vec<&ExploreSpec> = specs
+        .iter()
+        .zip(&looked_up)
+        .filter_map(|(spec, hit)| hit.is_none().then_some(spec))
+        .collect();
+    let computed: Vec<Result<ExploreResult, WireError>> =
+        parallel::par_map(&pending, |spec| shared.execute(spec));
+
+    let hits = looked_up.iter().flatten().count() as u64;
+    let misses = pending.len() as u64;
+    let mut computed = computed.into_iter();
+    let mut results = Vec::with_capacity(specs.len());
+    for hit in looked_up {
+        let item = match hit {
+            Some(result) => result,
+            None => match computed.next().expect("one result per pending spec") {
+                Ok(result) => result,
+                Err(e) => return Response::Error(e),
+            },
+        };
+        results.push(item);
+    }
+    Response::Batch {
+        results,
+        hits,
+        misses,
+    }
+}
+
+/// One connection: a loop of frame → decode → dispatch → frame.
+fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(payload) => payload,
+            Err(FrameError::TooLarge(len)) => {
+                // The peer's framing is fine (we read the length), but
+                // the payload cannot be resynchronized — reply and drop.
+                let e = WireError::new(
+                    ErrorCode::TooLarge,
+                    format!("frame of {len} bytes exceeds the cap"),
+                );
+                let _ = write_frame(&mut stream, &Response::Error(e).to_json());
+                return;
+            }
+            Err(FrameError::Utf8) => {
+                let e = WireError::bad_request("frame payload is not UTF-8");
+                let _ = write_frame(&mut stream, &Response::Error(e).to_json());
+                continue;
+            }
+            Err(FrameError::Io(_)) => return, // disconnect (clean or not)
+        };
+        shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let response = match Request::from_json(&payload) {
+            Err(e) => Response::Error(e),
+            Ok(request) => dispatch(request, shared),
+        };
+        if write_frame(&mut stream, &response.to_json()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Routes one decoded request; cache hits and introspection never touch
+/// the queue.
+fn dispatch(request: Request, shared: &Arc<Shared>) -> Response {
+    match request {
+        Request::Status => Response::Status(shared.status()),
+        Request::CacheStats => Response::CacheStats(shared.cache.stats()),
+        Request::Shutdown => {
+            shared.draining.store(true, Ordering::SeqCst);
+            shared.queue.close();
+            Response::Bye
+        }
+        Request::Explore(spec) => {
+            shared.counters.explores.fetch_add(1, Ordering::Relaxed);
+            if let Err(e) = exec::validate(&spec) {
+                return Response::Error(e);
+            }
+            if let Some(hit) = shared.cache.get(&spec) {
+                return Response::Result(Box::new(hit));
+            }
+            enqueue_and_wait(shared, JobKind::One(spec))
+        }
+        Request::Batch(specs) => {
+            shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+            shared
+                .counters
+                .explores
+                .fetch_add(specs.len() as u64, Ordering::Relaxed);
+            if let Some(e) = specs.iter().find_map(|s| exec::validate(s).err()) {
+                return Response::Error(e);
+            }
+            enqueue_and_wait(shared, JobKind::Batch(specs))
+        }
+    }
+}
+
+/// Queues one job and blocks the connection handler (not the worker
+/// pool) until its reply is ready; full and closed queues answer
+/// immediately.
+fn enqueue_and_wait(shared: &Arc<Shared>, kind: JobKind) -> Response {
+    if shared.draining.load(Ordering::SeqCst) {
+        return Response::Error(WireError::new(
+            ErrorCode::ShuttingDown,
+            "server is draining",
+        ));
+    }
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        kind,
+        enqueued: Instant::now(),
+        reply: tx,
+    };
+    match shared.queue.push(job) {
+        Ok(()) => match rx.recv() {
+            Ok(response) => response,
+            Err(_) => Response::Error(WireError::new(
+                ErrorCode::Internal,
+                "worker dropped the job",
+            )),
+        },
+        Err(PushError::Full) => {
+            shared.counters.rejects.fetch_add(1, Ordering::Relaxed);
+            Response::Error(WireError::new(
+                ErrorCode::Busy,
+                format!(
+                    "job queue is at its depth limit ({})",
+                    shared.queue.capacity
+                ),
+            ))
+        }
+        Err(PushError::Closed) => Response::Error(WireError::new(
+            ErrorCode::ShuttingDown,
+            "server is draining",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_rejects_beyond_capacity_and_drains_after_close() {
+        let q = JobQueue::new(2);
+        let (tx, _rx) = mpsc::channel();
+        let job = |tx: &mpsc::Sender<Response>| Job {
+            kind: JobKind::One(ExploreSpec::new("bfdn", "comb", 10, 1, 0)),
+            enqueued: Instant::now(),
+            reply: tx.clone(),
+        };
+        assert!(q.push(job(&tx)).is_ok());
+        assert!(q.push(job(&tx)).is_ok());
+        assert!(matches!(q.push(job(&tx)), Err(PushError::Full)));
+        assert_eq!(q.depth(), 2);
+        q.close();
+        assert!(matches!(q.push(job(&tx)), Err(PushError::Closed)));
+        // Both accepted jobs survive the close.
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn closed_empty_queue_unblocks_waiting_workers() {
+        let q = Arc::new(JobQueue::new(1));
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop().is_none())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(waiter.join().unwrap(), "pop returns None after close");
+    }
+}

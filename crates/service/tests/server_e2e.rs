@@ -1,0 +1,271 @@
+//! End-to-end tests of the serving daemon over real loopback sockets:
+//! served results match direct execution byte for byte, backpressure
+//! answers `Busy` instead of blocking, graceful shutdown drains
+//! in-flight work, and wire-level garbage gets structured errors.
+
+use bfdn_service::client::{Client, ClientError};
+use bfdn_service::protocol::{
+    read_frame, write_frame, ErrorCode, ExploreSpec, Response, MAX_FRAME_LEN,
+};
+use bfdn_service::server::{serve, ServerConfig};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A loopback server on an OS-assigned port.
+fn start(config: ServerConfig) -> bfdn_service::server::ServerHandle {
+    serve(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        ..config
+    })
+    .expect("bind loopback")
+}
+
+fn connect(handle: &bfdn_service::server::ServerHandle) -> Client {
+    let client = Client::connect(handle.addr()).expect("connect");
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    client
+}
+
+#[test]
+fn served_explore_matches_direct_execution() {
+    let handle = start(ServerConfig::default());
+    let mut client = connect(&handle);
+
+    let spec = ExploreSpec::new("bfdn", "comb", 200, 4, 7);
+    let served = client.explore(spec.clone()).expect("served result");
+    let (direct, _) = bfdn_service::exec::run_spec(&spec).expect("direct result");
+    assert!(!served.cached, "first request is a miss");
+    assert_eq!(
+        served.payload_json(),
+        direct.payload_json(),
+        "the wire must not change the result"
+    );
+
+    // Second request: a cache hit with the byte-identical payload.
+    let hit = client.explore(spec).expect("cached result");
+    assert!(hit.cached);
+    assert_eq!(hit.payload_json(), direct.payload_json());
+
+    let status = client.status().expect("status");
+    assert_eq!(status.explores, 2);
+    assert_eq!(status.cache_hits, 1);
+    assert_eq!(status.completed, 1, "the hit never reached the queue");
+
+    client.shutdown().expect("bye");
+    handle.join().expect("clean drain");
+}
+
+#[test]
+fn batch_reissue_is_all_hits_with_identical_payloads() {
+    let handle = start(ServerConfig::default());
+    let mut client = connect(&handle);
+
+    let specs: Vec<ExploreSpec> = (0..6)
+        .map(|seed| ExploreSpec::new("bfdn", "random-recursive", 150, 4, seed))
+        .collect();
+    let (cold, hits, misses) = client.batch(specs.clone()).expect("cold batch");
+    assert_eq!((hits, misses), (0, 6));
+    assert!(cold.iter().all(|r| !r.cached));
+
+    let (warm, hits, misses) = client.batch(specs.clone()).expect("warm batch");
+    assert_eq!((hits, misses), (6, 0), "re-issued batch is 100% cache hits");
+    assert!(warm.iter().all(|r| r.cached));
+    for (c, w) in cold.iter().zip(&warm) {
+        assert_eq!(c.payload_json(), w.payload_json());
+    }
+    // Results come back in request order.
+    for (spec, r) in specs.iter().zip(&warm) {
+        assert_eq!(&r.spec, spec);
+    }
+
+    let cache = client.cache_stats().expect("cache stats");
+    assert_eq!(cache.entries, 6);
+    assert_eq!(cache.hits, 6);
+    assert_eq!(cache.insertions, 6);
+
+    client.shutdown().expect("bye");
+    handle.join().expect("clean drain");
+}
+
+#[test]
+fn full_queue_answers_busy_without_deadlock() {
+    // One worker, queue depth 1: a slow job occupies the worker, a second
+    // fills the queue, everything after that must bounce with Busy.
+    let handle = start(ServerConfig {
+        workers: Some(1),
+        queue_depth: 1,
+        ..ServerConfig::default()
+    });
+
+    let slow = |seed: u64| {
+        let mut spec = ExploreSpec::new("bfdn", "comb", 60, 2, seed);
+        spec.options.delay_ms = 400;
+        spec
+    };
+    let clients: Vec<std::thread::JoinHandle<Result<_, ClientError>>> = (0..4)
+        .map(|seed| {
+            let addr = handle.addr();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr)?;
+                client.set_read_timeout(Some(Duration::from_secs(30)))?;
+                // Stagger so the first request reaches the worker first.
+                std::thread::sleep(Duration::from_millis(seed * 50));
+                client.explore(slow(seed))
+            })
+        })
+        .collect();
+
+    let outcomes: Vec<Result<_, ClientError>> = clients
+        .into_iter()
+        .map(|h| h.join().expect("no panic"))
+        .collect();
+    let served = outcomes.iter().filter(|r| r.is_ok()).count();
+    let busy = outcomes
+        .iter()
+        .filter(
+            |r| matches!(r, Err(e) if e.as_server_error().map(|w| w.code) == Some(ErrorCode::Busy)),
+        )
+        .count();
+    assert_eq!(served + busy, 4, "every request got a definite answer");
+    assert!(served >= 1, "the in-flight job completes");
+    assert!(busy >= 1, "overflow is rejected, not queued");
+
+    let mut client = connect(&handle);
+    let status = client.status().expect("server still responsive");
+    assert_eq!(status.rejects as usize, busy);
+    client.shutdown().expect("bye");
+    handle.join().expect("clean drain");
+}
+
+#[test]
+fn shutdown_drains_in_flight_jobs() {
+    let handle = start(ServerConfig {
+        workers: Some(1),
+        queue_depth: 4,
+        ..ServerConfig::default()
+    });
+
+    // A slow job that is mid-flight when the shutdown lands.
+    let addr = handle.addr();
+    let in_flight = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut spec = ExploreSpec::new("bfdn", "comb", 80, 2, 9);
+        spec.options.delay_ms = 500;
+        client.explore(spec)
+    });
+    std::thread::sleep(Duration::from_millis(150));
+
+    let mut client = connect(&handle);
+    client.shutdown().expect("bye");
+
+    let result = in_flight.join().expect("no panic");
+    let result = result.expect("the in-flight job is drained, not dropped");
+    assert_eq!(result.metrics.rounds, {
+        let spec = ExploreSpec::new("bfdn", "comb", 80, 2, 9);
+        bfdn_service::exec::run_spec(&spec)
+            .unwrap()
+            .0
+            .metrics
+            .rounds
+    });
+
+    // New work after the drain began is refused, not queued.
+    let refused = Client::connect(handle.addr()).and_then(|mut c| {
+        c.set_read_timeout(Some(Duration::from_secs(5)))?;
+        c.explore(ExploreSpec::new("bfdn", "comb", 40, 2, 0))
+    });
+    if let Err(e) = refused {
+        if let Some(wire) = e.as_server_error() {
+            assert_eq!(wire.code, ErrorCode::ShuttingDown);
+        }
+        // A connection refused / reset is also an acceptable outcome once
+        // the accept loop has exited.
+    }
+
+    handle.join().expect("clean drain");
+}
+
+#[test]
+fn wire_garbage_gets_structured_errors() {
+    let handle = start(ServerConfig::default());
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+
+    // Malformed JSON → bad_request, connection stays usable.
+    write_frame(&mut stream, "this is not json").unwrap();
+    let reply = read_frame(&mut stream).unwrap();
+    match Response::from_json(&reply).unwrap() {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::BadRequest),
+        other => panic!("expected error, got {other:?}"),
+    }
+
+    // Wrong protocol version → structured unsupported_version.
+    write_frame(&mut stream, r#"{"v":99,"type":"status"}"#).unwrap();
+    let reply = read_frame(&mut stream).unwrap();
+    match Response::from_json(&reply).unwrap() {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::UnsupportedVersion),
+        other => panic!("expected error, got {other:?}"),
+    }
+
+    // Oversized frame announcement → too_large, then the connection is
+    // dropped (the payload cannot be resynchronized).
+    stream
+        .write_all(&(MAX_FRAME_LEN + 1).to_be_bytes())
+        .unwrap();
+    stream.flush().unwrap();
+    let reply = read_frame(&mut stream).unwrap();
+    match Response::from_json(&reply).unwrap() {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::TooLarge),
+        other => panic!("expected error, got {other:?}"),
+    }
+
+    let mut client = connect(&handle);
+    client.shutdown().expect("bye");
+    handle.join().expect("clean drain");
+}
+
+#[test]
+fn spill_warm_starts_a_fresh_server() {
+    let dir = std::env::temp_dir().join("bfdn_service_e2e_spill");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spill = dir.join("cache.jsonl");
+    let _ = std::fs::remove_file(&spill);
+
+    let spec = ExploreSpec::new("cte", "binary", 120, 4, 3);
+
+    // First server computes and spills on shutdown.
+    let handle = start(ServerConfig {
+        spill: Some(spill.clone()),
+        ..ServerConfig::default()
+    });
+    let mut client = connect(&handle);
+    let cold = client.explore(spec.clone()).expect("cold run");
+    assert!(!cold.cached);
+    client.shutdown().expect("bye");
+    handle.join().expect("clean drain");
+    assert!(spill.exists(), "shutdown spilled the cache");
+
+    // Second server answers the same spec from the warm-loaded cache.
+    let handle = start(ServerConfig {
+        spill: Some(spill.clone()),
+        ..ServerConfig::default()
+    });
+    let mut client = connect(&handle);
+    let warm = client.explore(spec).expect("warm run");
+    assert!(warm.cached, "answered from the spill file");
+    assert_eq!(warm.payload_json(), cold.payload_json());
+    let status = client.status().expect("status");
+    assert_eq!(status.completed, 0, "nothing was re-simulated");
+    client.shutdown().expect("bye");
+    handle.join().expect("clean drain");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
