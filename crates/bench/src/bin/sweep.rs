@@ -39,6 +39,15 @@ fn main() {
         Some(addr) => match sweep::run_via_service(addr, specs) {
             Ok((results, hits, misses)) => {
                 eprintln!("[served by {addr}: hits={hits} misses={misses}]");
+                match sweep::service_telemetry_summary(addr) {
+                    Ok(summary) => {
+                        eprintln!("[server telemetry]");
+                        for line in summary.lines() {
+                            eprintln!("  {line}");
+                        }
+                    }
+                    Err(e) => eprintln!("[server telemetry unavailable: {e}]"),
+                }
                 results
             }
             Err(e) => {

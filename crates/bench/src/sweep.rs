@@ -65,6 +65,35 @@ pub fn run_via_service(
     client.batch(specs).map_err(|e| e.to_string())
 }
 
+/// Scrapes the daemon's metrics over the wire protocol and condenses
+/// the series a sweep run cares about — request mix, cache hit/miss
+/// split, and the bound-margin aggregates re-checking Theorem 1 /
+/// Lemma 2 across everything the daemon has served.
+///
+/// # Errors
+///
+/// Formats transport and server errors as strings.
+pub fn service_telemetry_summary(addr: &str) -> Result<String, String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let text = client.metrics().map_err(|e| e.to_string())?;
+    let interesting = [
+        "bfdn_requests_total",
+        "bfdn_cache_hits_total",
+        "bfdn_cache_misses_total",
+        "bfdn_cache_entries",
+        "bfdn_bound_checked_total",
+        "bfdn_bound_violations_total",
+        "bfdn_bound_margin_worst",
+    ];
+    let picked: Vec<&str> = text
+        .lines()
+        .filter(|line| {
+            !line.starts_with('#') && interesting.iter().any(|name| line.starts_with(name))
+        })
+        .collect();
+    Ok(picked.join("\n"))
+}
+
 /// Renders results as the sweep table, one row per spec in input order.
 pub fn results_table(results: &[ExploreResult]) -> Table {
     let mut t = Table::new(

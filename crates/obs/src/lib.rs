@@ -17,6 +17,11 @@
 //! - [`MemorySink`], [`FanOut`], [`StderrLog`] — test, composition and
 //!   logging helpers.
 //!
+//! Long-lived processes (the `bfdn-serve` daemon) aggregate across many
+//! runs through the [`metrics`] module: lock-free counters, gauges and
+//! fixed-bucket histograms in a shared registry, rendered as Prometheus
+//! text exposition.
+//!
 //! A finished run is summarized by a [`RunManifest`] (algorithm,
 //! workload, seed, `n`, `D`, `Δ`, `k`, git revision, per-phase
 //! wall-clock from [`Phases`], final metrics, final margins) serialized
@@ -44,11 +49,13 @@ mod bound;
 mod event;
 pub mod json;
 mod manifest;
+pub mod metrics;
 mod phase;
 mod sink;
 
 pub use bound::{BoundConfig, BoundTracker, MarginSample};
 pub use event::Event;
 pub use manifest::{git_revision, RunManifest};
+pub use metrics::{Counter, Gauge, Histogram, Registry};
 pub use phase::Phases;
 pub use sink::{EventSink, FanOut, JsonlSink, LogLevel, MemorySink, NullSink, StderrLog};

@@ -1,12 +1,15 @@
 //! `bfdn-request` — issue one request to a running `bfdn-serve`.
 //!
 //! ```text
-//! bfdn-request [--addr HOST:PORT] explore --algo A --family F --n N --k K --seed S
+//! bfdn-request [--addr HOST:PORT] [--retry N] [--backoff-ms M]
+//!              explore --algo A --family F --n N --k K --seed S
 //!              [--manifest] [--delay-ms MS]
-//! bfdn-request [--addr HOST:PORT] batch --algos A,B --families F,G
+//! bfdn-request [--addr HOST:PORT] [--retry N] [--backoff-ms M]
+//!              batch --algos A,B --families F,G
 //!              --n N --ks K1,K2 --seeds S [--delay-ms MS]
 //! bfdn-request [--addr HOST:PORT] status
 //! bfdn-request [--addr HOST:PORT] cache-stats
+//! bfdn-request [--addr HOST:PORT] metrics
 //! bfdn-request [--addr HOST:PORT] shutdown
 //! ```
 //!
@@ -16,14 +19,24 @@
 //! produce byte-identical stdout, which is exactly what the CI service
 //! smoke job diffs. Bookkeeping (`cached=…`, `hits=… misses=…`) goes to
 //! stderr. `batch` expands the cross product `algos × families × ks ×
-//! seeds 0..S` in that nesting order.
+//! seeds 0..S` in that nesting order. `metrics` prints the daemon's
+//! Prometheus exposition.
+//!
+//! A structured server error exits non-zero with a distinct code:
+//! `3` for `busy` backpressure, `4` for a draining (`shutting_down`)
+//! server, `1` for everything else. `--retry N` re-issues a
+//! `busy`-rejected explore/batch up to `N` more times, sleeping
+//! `--backoff-ms M` (default 100) between attempts — each retry rides
+//! the daemon's queue-wait histogram.
 
 use bfdn_service::client::Client;
-use bfdn_service::protocol::{ExploreSpec, Request, Response};
+use bfdn_service::protocol::{ErrorCode, ExploreSpec, Request, Response, WireError};
 use std::process::ExitCode;
 
 struct Invocation {
     addr: String,
+    retry: u32,
+    backoff_ms: u64,
     command: Command,
 }
 
@@ -32,29 +45,53 @@ enum Command {
     Batch(Vec<ExploreSpec>),
     Status,
     CacheStats,
+    Metrics,
     Shutdown,
 }
 
 fn parse(args: Vec<String>) -> Result<Invocation, String> {
     let mut it = args.into_iter().peekable();
     let mut addr = "127.0.0.1:4077".to_string();
-    if it.peek().map(String::as_str) == Some("--addr") {
-        it.next();
-        addr = it.next().ok_or("--addr needs a value")?;
+    let mut retry = 0u32;
+    let mut backoff_ms = 100u64;
+    loop {
+        match it.peek().map(String::as_str) {
+            Some("--addr") => {
+                it.next();
+                addr = it.next().ok_or("--addr needs a value")?;
+            }
+            Some("--retry") => {
+                it.next();
+                let v = it.next().ok_or("--retry needs a value")?;
+                retry = v.parse().map_err(|_| format!("bad --retry `{v}`"))?;
+            }
+            Some("--backoff-ms") => {
+                it.next();
+                let v = it.next().ok_or("--backoff-ms needs a value")?;
+                backoff_ms = v.parse().map_err(|_| format!("bad --backoff-ms `{v}`"))?;
+            }
+            _ => break,
+        }
     }
-    let verb = it
-        .next()
-        .ok_or("missing command (one of: explore, batch, status, cache-stats, shutdown)")?;
+    let verb = it.next().ok_or(
+        "missing command (one of: explore, batch, status, cache-stats, metrics, shutdown)",
+    )?;
     let rest: Vec<String> = it.collect();
     let command = match verb.as_str() {
         "explore" => Command::Explore(parse_explore(rest)?),
         "batch" => Command::Batch(parse_batch(rest)?),
         "status" => Command::Status,
         "cache-stats" => Command::CacheStats,
+        "metrics" => Command::Metrics,
         "shutdown" => Command::Shutdown,
         other => return Err(format!("unknown command `{other}`")),
     };
-    Ok(Invocation { addr, command })
+    Ok(Invocation {
+        addr,
+        retry,
+        backoff_ms,
+        command,
+    })
 }
 
 fn parse_explore(args: Vec<String>) -> Result<ExploreSpec, String> {
@@ -131,18 +168,97 @@ fn parse_u64(name: &str, v: &str) -> Result<u64, String> {
     v.parse().map_err(|_| format!("bad {name} `{v}`"))
 }
 
-fn run(invocation: Invocation) -> Result<(), String> {
+/// A failure with its process exit code: `3` for busy backpressure,
+/// `4` for a draining server, `1` otherwise.
+struct Failure {
+    message: String,
+    exit: u8,
+}
+
+impl Failure {
+    fn plain(message: impl Into<String>) -> Self {
+        Failure {
+            message: message.into(),
+            exit: 1,
+        }
+    }
+
+    /// Structured rendering of the daemon's error: the wire code tag,
+    /// then the human-readable detail.
+    fn from_wire(e: &WireError) -> Self {
+        Failure {
+            message: format!(
+                "server refused the request ({}): {}",
+                e.code.as_str(),
+                e.message
+            ),
+            exit: match e.code {
+                ErrorCode::Busy => 3,
+                ErrorCode::ShuttingDown => 4,
+                _ => 1,
+            },
+        }
+    }
+
+    fn from_client(e: &bfdn_service::client::ClientError) -> Self {
+        match e.as_server_error() {
+            Some(wire) => Failure::from_wire(wire),
+            None => Failure::plain(e.to_string()),
+        }
+    }
+}
+
+/// Runs `attempt` up to `1 + retry` times, sleeping `backoff_ms`
+/// between tries; only `busy` answers are retried — a draining server
+/// will not come back.
+fn with_retry<T>(
+    retry: u32,
+    backoff_ms: u64,
+    mut attempt: impl FnMut() -> Result<T, bfdn_service::client::ClientError>,
+) -> Result<T, Failure> {
+    let mut tries_left = retry;
+    loop {
+        match attempt() {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                let busy = e
+                    .as_server_error()
+                    .is_some_and(|w| w.code == ErrorCode::Busy);
+                if busy && tries_left > 0 {
+                    tries_left -= 1;
+                    eprintln!(
+                        "bfdn-request: server busy, retrying in {backoff_ms} ms ({tries_left} retries left)"
+                    );
+                    std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
+                    continue;
+                }
+                let mut failure = Failure::from_client(&e);
+                if busy {
+                    failure.message = format!("{} (after {} attempts)", failure.message, retry + 1);
+                }
+                return Err(failure);
+            }
+        }
+    }
+}
+
+fn run(invocation: Invocation) -> Result<(), Failure> {
     let mut client = Client::connect(&invocation.addr)
-        .map_err(|e| format!("cannot connect to {}: {e}", invocation.addr))?;
+        .map_err(|e| Failure::plain(format!("cannot connect to {}: {e}", invocation.addr)))?;
     match invocation.command {
         Command::Explore(spec) => {
-            let result = client.explore(spec).map_err(|e| e.to_string())?;
+            let result = with_retry(invocation.retry, invocation.backoff_ms, || {
+                client.explore(spec.clone())
+            })?;
             eprintln!("cached={}", result.cached);
             println!("{}", result.payload_json());
         }
         Command::Batch(specs) => {
             let count = specs.len();
-            let (results, hits, misses) = client.batch(specs).map_err(|e| e.to_string())?;
+            let (results, hits, misses) =
+                with_retry(invocation.retry, invocation.backoff_ms, || {
+                    client.batch(specs.clone())
+                })?;
             for result in &results {
                 println!("{}", result.payload_json());
             }
@@ -154,8 +270,12 @@ fn run(invocation: Invocation) -> Result<(), String> {
         Command::CacheStats => {
             print_document(&mut client, &Request::CacheStats)?;
         }
+        Command::Metrics => {
+            let text = client.metrics().map_err(|e| Failure::from_client(&e))?;
+            print!("{text}");
+        }
         Command::Shutdown => {
-            client.shutdown().map_err(|e| e.to_string())?;
+            client.shutdown().map_err(|e| Failure::from_client(&e))?;
             eprintln!("server acknowledged shutdown");
         }
     }
@@ -163,9 +283,12 @@ fn run(invocation: Invocation) -> Result<(), String> {
 }
 
 /// Prints the raw (already-JSON) reply document for introspection verbs.
-fn print_document(client: &mut Client, request: &Request) -> Result<(), String> {
-    match client.request(request).map_err(|e| e.to_string())? {
-        Response::Error(e) => Err(e.to_string()),
+fn print_document(client: &mut Client, request: &Request) -> Result<(), Failure> {
+    match client
+        .request(request)
+        .map_err(|e| Failure::from_client(&e))?
+    {
+        Response::Error(e) => Err(Failure::from_wire(&e)),
         reply => {
             println!("{}", reply.to_json());
             Ok(())
@@ -184,8 +307,8 @@ fn main() -> ExitCode {
     match run(invocation) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("bfdn-request: {e}");
-            ExitCode::FAILURE
+            eprintln!("bfdn-request: {}", e.message);
+            ExitCode::from(e.exit)
         }
     }
 }

@@ -4,6 +4,8 @@
 //! bfdn-serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
 //!            [--cache-capacity N] [--cache-shards N]
 //!            [--spill PATH] [--manifest-dir DIR]
+//!            [--metrics-addr HOST:PORT] [--access-log PATH]
+//!            [--slow-ms MS]
 //! ```
 //!
 //! The process serves until a client sends a `shutdown` request, then
@@ -43,10 +45,17 @@ fn parse(args: impl IntoIterator<Item = String>) -> Result<ServerConfig, String>
             }
             "--spill" => config.spill = Some(PathBuf::from(value("--spill")?)),
             "--manifest-dir" => config.manifest_dir = Some(PathBuf::from(value("--manifest-dir")?)),
+            "--metrics-addr" => config.metrics_addr = Some(value("--metrics-addr")?),
+            "--access-log" => config.access_log = Some(PathBuf::from(value("--access-log")?)),
+            "--slow-ms" => {
+                let v = value("--slow-ms")?;
+                config.slow_request_ms = v.parse().map_err(|_| format!("bad --slow-ms `{v}`"))?;
+            }
             other => {
                 return Err(format!(
                     "unknown flag `{other}` (try --addr --workers --queue-depth \
-                     --cache-capacity --cache-shards --spill --manifest-dir)"
+                     --cache-capacity --cache-shards --spill --manifest-dir \
+                     --metrics-addr --access-log --slow-ms)"
                 ))
             }
         }
@@ -70,6 +79,9 @@ fn main() -> ExitCode {
         }
     };
     eprintln!("bfdn-serve: listening on {}", handle.addr());
+    if let Some(addr) = handle.metrics_addr() {
+        eprintln!("bfdn-serve: serving Prometheus metrics on http://{addr}/metrics");
+    }
     if let Err(e) = handle.join() {
         eprintln!("bfdn-serve: {e}");
         return ExitCode::FAILURE;

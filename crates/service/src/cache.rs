@@ -14,8 +14,18 @@
 //! one JSONL line for warm restarts; [`ResultCache::load_from`] reads
 //! such a file back, so a restarted daemon answers yesterday's sweep
 //! without re-simulating.
+//!
+//! Spill files are *revision-aware*: the first line is a header
+//! recording the git revision the daemon ran from, and a warm start
+//! refuses a spill whose recorded revision definitely differs from the
+//! running binary's — results are deterministic in the spec only for a
+//! fixed simulation code base, so entries must not survive a code
+//! change. An unknown revision on either side (e.g. running from an
+//! exported tarball) is accepted, and headerless legacy spills still
+//! load.
 
 use crate::protocol::{fnv1a, CacheStatsPayload, ExploreResult, ExploreSpec};
+use bfdn_obs::json::JsonObject;
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufWriter, Write};
 use std::path::Path;
@@ -40,10 +50,12 @@ impl Default for CacheConfig {
     }
 }
 
-/// One resident result plus its LRU clock reading.
+/// One resident result plus its LRU clock reading and the byte size of
+/// its cache-stable payload (for the resident-bytes gauge).
 struct Entry {
     result: ExploreResult,
     last_used: u64,
+    bytes: u64,
 }
 
 /// One independently locked slice of the key space.
@@ -62,11 +74,22 @@ pub struct ResultCache {
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+    spill_loaded: AtomicU64,
+    resident_bytes: AtomicU64,
+    revision: Option<String>,
 }
 
 impl ResultCache {
-    /// An empty cache sized by `config`.
+    /// An empty cache sized by `config`, stamped with the current git
+    /// revision (when discoverable) for revision-aware spill files.
     pub fn new(config: CacheConfig) -> Self {
+        Self::with_revision(config, bfdn_obs::git_revision())
+    }
+
+    /// An empty cache with an explicit revision stamp — what spill
+    /// headers are written with and validated against. Tests use this to
+    /// simulate a daemon restarted under different simulation code.
+    pub fn with_revision(config: CacheConfig, revision: Option<String>) -> Self {
         let shards = config.shards.max(1);
         ResultCache {
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
@@ -76,6 +99,9 @@ impl ResultCache {
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            spill_loaded: AtomicU64::new(0),
+            resident_bytes: AtomicU64::new(0),
+            revision,
         }
     }
 
@@ -114,6 +140,7 @@ impl ResultCache {
         let tick = self.clock.fetch_add(1, Ordering::Relaxed);
         let mut stored = result.clone();
         stored.cached = false;
+        let bytes = stored.payload_json().len() as u64;
         let mut shard = self.shard_for(&canonical).lock().expect("cache shard");
         if !shard.map.contains_key(&canonical) && shard.map.len() >= self.per_shard_capacity {
             if let Some(oldest) = shard
@@ -122,23 +149,27 @@ impl ResultCache {
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| k.clone())
             {
-                shard.map.remove(&oldest);
+                if let Some(evicted) = shard.map.remove(&oldest) {
+                    self.resident_bytes
+                        .fetch_sub(evicted.bytes, Ordering::Relaxed);
+                }
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
-        let replaced = shard
-            .map
-            .insert(
-                canonical,
-                Entry {
-                    result: stored,
-                    last_used: tick,
-                },
-            )
-            .is_some();
-        if !replaced {
+        let replaced = shard.map.insert(
+            canonical,
+            Entry {
+                result: stored,
+                last_used: tick,
+                bytes,
+            },
+        );
+        if let Some(old) = &replaced {
+            self.resident_bytes.fetch_sub(old.bytes, Ordering::Relaxed);
+        } else {
             self.insertions.fetch_add(1, Ordering::Relaxed);
         }
+        self.resident_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
     /// Entries currently resident across all shards.
@@ -164,17 +195,33 @@ impl ResultCache {
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            spill_loaded: self.spill_loaded.load(Ordering::Relaxed),
+            resident_bytes: self.resident_bytes.load(Ordering::Relaxed),
         }
     }
 
-    /// Writes every resident payload as one JSONL line (the cache-stable
-    /// [`ExploreResult::payload_json`] form).
+    /// The revision stamp spill headers are written with.
+    pub fn revision(&self) -> Option<&str> {
+        self.revision.as_deref()
+    }
+
+    /// Writes the spill header followed by every resident payload as one
+    /// JSONL line each (the cache-stable [`ExploreResult::payload_json`]
+    /// form); returns the number of payload lines.
     ///
     /// # Errors
     ///
     /// Propagates the underlying I/O error.
     pub fn spill_to(&self, path: impl AsRef<Path>) -> io::Result<usize> {
         let mut w = BufWriter::new(std::fs::File::create(path)?);
+        let mut header = JsonObject::new();
+        header.str("spill", "bfdn-result-cache");
+        match &self.revision {
+            Some(rev) => header.str("revision", rev),
+            None => header.raw("revision", "null"),
+        };
+        w.write_all(header.finish().as_bytes())?;
+        w.write_all(b"\n")?;
         let mut lines = 0;
         for shard in &self.shards {
             let shard = shard.lock().expect("cache shard");
@@ -192,20 +239,43 @@ impl ResultCache {
     /// lines are counted, not fatal (a truncated spill from a crashed
     /// daemon must not brick the restart).
     ///
+    /// When the file's header records a git revision that definitely
+    /// differs from this cache's, *every* entry is refused: a code
+    /// change invalidates the determinism guarantee the cache relies
+    /// on. Headerless legacy files and unknown revisions (either side)
+    /// load normally.
+    ///
     /// # Errors
     ///
     /// Propagates the underlying I/O error opening or reading the file.
     pub fn load_from(&self, path: impl AsRef<Path>) -> io::Result<SpillReport> {
         let reader = io::BufReader::new(std::fs::File::open(path)?);
         let mut report = SpillReport::default();
+        let mut first_payload_line = true;
+        let mut refuse = false;
         for line in reader.lines() {
             let line = line?;
             if line.trim().is_empty() {
                 continue;
             }
+            if first_payload_line {
+                first_payload_line = false;
+                if let Some(header_revision) = parse_spill_header(&line) {
+                    if let (Some(ours), Some(theirs)) = (&self.revision, &header_revision) {
+                        refuse = ours != theirs;
+                        report.revision_mismatch = refuse;
+                    }
+                    continue; // The header is not a payload either way.
+                }
+            }
+            if refuse {
+                report.refused += 1;
+                continue;
+            }
             match ExploreResult::from_payload_json(&line) {
                 Ok(result) => {
                     self.put(&result);
+                    self.spill_loaded.fetch_add(1, Ordering::Relaxed);
                     report.loaded += 1;
                 }
                 Err(_) => report.malformed += 1,
@@ -215,13 +285,32 @@ impl ResultCache {
     }
 }
 
+/// Recognizes a spill header line; returns its recorded revision
+/// (`Some(None)` for an explicit `null`) or `None` when the line is not
+/// a header.
+fn parse_spill_header(line: &str) -> Option<Option<String>> {
+    let v = crate::jsonval::Json::parse(line).ok()?;
+    match v.get("spill").and_then(crate::jsonval::Json::as_str) {
+        Some("bfdn-result-cache") => Some(
+            v.get("revision")
+                .and_then(crate::jsonval::Json::as_str)
+                .map(String::from),
+        ),
+        _ => None,
+    }
+}
+
 /// What [`ResultCache::load_from`] found in a spill file.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SpillReport {
     /// Lines successfully parsed and inserted.
     pub loaded: usize,
     /// Lines skipped as malformed.
     pub malformed: usize,
+    /// Entries refused because the spill's revision differs from ours.
+    pub refused: usize,
+    /// `true` when the header named a different git revision.
+    pub revision_mismatch: bool,
 }
 
 #[cfg(test)]
@@ -321,17 +410,20 @@ mod tests {
             report,
             SpillReport {
                 loaded: 5,
-                malformed: 0
+                ..SpillReport::default()
             }
         );
+        assert_eq!(warm.stats().spill_loaded, 5);
         for seed in 0..5 {
             let hit = warm.get(&result_for(seed).spec).expect("warm hit");
             assert_eq!(hit.payload_json(), result_for(seed).payload_json());
         }
 
-        // A truncated/corrupt line is skipped, the rest still loads.
-        let mut text = std::fs::read_to_string(&path).unwrap();
-        text.insert_str(0, "{\"broken\":\n");
+        // A truncated/corrupt line after the header is skipped, the rest
+        // still loads.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let (header, payloads) = text.split_once('\n').unwrap();
+        let text = format!("{header}\n{{\"broken\":\n{payloads}");
         std::fs::write(&path, text).unwrap();
         let partial = ResultCache::new(CacheConfig::default());
         let report = partial.load_from(&path).unwrap();
@@ -339,6 +431,71 @@ mod tests {
         assert_eq!(report.loaded, 5);
 
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spill_from_a_different_revision_is_refused() {
+        let dir = std::env::temp_dir().join("bfdn_service_cache_revision_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("spill.jsonl");
+
+        let old = ResultCache::with_revision(CacheConfig::default(), Some("a".repeat(40)));
+        for seed in 0..3 {
+            old.put(&result_for(seed));
+        }
+        assert_eq!(old.spill_to(&path).unwrap(), 3);
+
+        // Same revision: everything loads.
+        let same = ResultCache::with_revision(CacheConfig::default(), Some("a".repeat(40)));
+        let report = same.load_from(&path).unwrap();
+        assert_eq!((report.loaded, report.refused), (3, 0));
+        assert!(!report.revision_mismatch);
+
+        // Different revision: every entry is refused, nothing resident.
+        let changed = ResultCache::with_revision(CacheConfig::default(), Some("b".repeat(40)));
+        let report = changed.load_from(&path).unwrap();
+        assert_eq!((report.loaded, report.refused), (0, 3));
+        assert!(report.revision_mismatch);
+        assert!(changed.is_empty());
+        assert_eq!(changed.stats().spill_loaded, 0);
+
+        // Unknown revision on either side is accepted (tarball builds
+        // must still warm-start their own spills).
+        let unknown = ResultCache::with_revision(CacheConfig::default(), None);
+        assert_eq!(unknown.load_from(&path).unwrap().loaded, 3);
+
+        // A headerless legacy spill still loads.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let legacy: String = text.lines().skip(1).map(|l| format!("{l}\n")).collect();
+        std::fs::write(&path, legacy).unwrap();
+        let compat = ResultCache::with_revision(CacheConfig::default(), Some("c".repeat(40)));
+        assert_eq!(compat.load_from(&path).unwrap().loaded, 3);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resident_bytes_follow_inserts_replacements_and_evictions() {
+        let cache = ResultCache::new(CacheConfig {
+            capacity: 2,
+            shards: 1,
+        });
+        assert_eq!(cache.stats().resident_bytes, 0);
+        cache.put(&result_for(1));
+        let one = cache.stats().resident_bytes;
+        assert_eq!(one, result_for(1).payload_json().len() as u64);
+        // Replacement swaps the accounted size, no double count.
+        cache.put(&result_for(1));
+        assert_eq!(cache.stats().resident_bytes, one);
+        cache.put(&result_for(2));
+        let two = cache.stats().resident_bytes;
+        assert!(two > one);
+        // Eviction releases the evicted entry's bytes.
+        cache.put(&result_for(3));
+        assert_eq!(cache.len(), 2);
+        let after_evict = cache.stats().resident_bytes;
+        assert!(after_evict < two + result_for(3).payload_json().len() as u64);
+        assert_eq!(cache.stats().evictions, 1);
     }
 
     #[test]

@@ -171,6 +171,19 @@ impl Client {
         }
     }
 
+    /// Fetches the daemon's Prometheus text exposition over the wire
+    /// protocol (no HTTP listener required).
+    ///
+    /// # Errors
+    ///
+    /// Transport/decoding failures, or the server's structured error.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.expect(&Request::Metrics)? {
+            Response::Metrics(text) => Ok(text),
+            _ => Err(ClientError::Unexpected("non-metrics")),
+        }
+    }
+
     /// Asks the server to drain and exit; returns once the server
     /// acknowledged with `Bye`.
     ///

@@ -22,6 +22,10 @@
 //! - [`server`] — the daemon: bounded job queue with `Busy`
 //!   backpressure, a worker pool, per-job observability, graceful
 //!   drain on shutdown.
+//! - [`telemetry`] — the daemon's metrics surface: Prometheus-rendered
+//!   request/latency/cache/bound-margin instruments (exposed through
+//!   the `Metrics` wire request and an optional `--metrics-addr` HTTP
+//!   listener) plus the structured JSONL access log.
 //! - [`client`] — a blocking typed client; the `bfdn-serve` and
 //!   `bfdn-request` binaries and the harness's `--via-service` mode sit
 //!   on top of it.
@@ -41,6 +45,7 @@ pub mod jsonval;
 pub mod parallel;
 pub mod protocol;
 pub mod server;
+pub mod telemetry;
 
 pub use cache::{CacheConfig, ResultCache};
 pub use client::{Client, ClientError};
@@ -49,3 +54,4 @@ pub use protocol::{
     PROTOCOL_VERSION,
 };
 pub use server::{serve, ServerConfig, ServerHandle};
+pub use telemetry::{AccessLog, AccessRecord, ServiceMetrics};

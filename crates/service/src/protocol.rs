@@ -176,6 +176,11 @@ pub enum Request {
     Status,
     /// Result-cache counters and occupancy.
     CacheStats,
+    /// The full telemetry registry rendered as Prometheus text
+    /// exposition (latency histograms, cache counters, bound-margin
+    /// aggregates) — the wire-protocol twin of the `--metrics-addr`
+    /// HTTP endpoint.
+    Metrics,
     /// Stop accepting work, drain in-flight jobs, and exit.
     Shutdown,
 }
@@ -200,6 +205,9 @@ impl Request {
             }
             Request::CacheStats => {
                 o.str("type", "cache_stats");
+            }
+            Request::Metrics => {
+                o.str("type", "metrics");
             }
             Request::Shutdown => {
                 o.str("type", "shutdown");
@@ -234,6 +242,7 @@ impl Request {
             }
             "status" => Ok(Request::Status),
             "cache_stats" => Ok(Request::CacheStats),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(WireError::bad_request(format!(
                 "unknown request type `{other}`"
@@ -578,6 +587,10 @@ pub struct CacheStatsPayload {
     pub insertions: u64,
     /// Entries evicted by the LRU policy.
     pub evictions: u64,
+    /// Entries warm-loaded from a spill file over the cache's lifetime.
+    pub spill_loaded: u64,
+    /// Approximate bytes of resident payload JSON across all shards.
+    pub resident_bytes: u64,
 }
 
 impl CacheStatsPayload {
@@ -589,7 +602,9 @@ impl CacheStatsPayload {
             .u64("hits", self.hits)
             .u64("misses", self.misses)
             .u64("insertions", self.insertions)
-            .u64("evictions", self.evictions);
+            .u64("evictions", self.evictions)
+            .u64("spill_loaded", self.spill_loaded)
+            .u64("resident_bytes", self.resident_bytes);
         o.finish()
     }
 
@@ -602,6 +617,10 @@ impl CacheStatsPayload {
             misses: require_u64(v, "misses")?,
             insertions: require_u64(v, "insertions")?,
             evictions: require_u64(v, "evictions")?,
+            // Absent on pre-telemetry peers: default rather than reject,
+            // so a new client can still read an old daemon's stats.
+            spill_loaded: v.get("spill_loaded").and_then(Json::as_u64).unwrap_or(0),
+            resident_bytes: v.get("resident_bytes").and_then(Json::as_u64).unwrap_or(0),
         })
     }
 }
@@ -626,6 +645,8 @@ pub enum Response {
     Status(StatusPayload),
     /// Cache counters.
     CacheStats(CacheStatsPayload),
+    /// The telemetry registry rendered as Prometheus text exposition.
+    Metrics(String),
     /// Acknowledgement of a shutdown request; the server drains and
     /// exits after sending it.
     Bye,
@@ -659,6 +680,9 @@ impl Response {
             Response::CacheStats(c) => {
                 o.str("type", "cache_stats")
                     .raw("cache", &c.to_json_value());
+            }
+            Response::Metrics(text) => {
+                o.str("type", "metrics").str("text", text);
             }
             Response::Bye => {
                 o.str("type", "bye");
@@ -713,6 +737,7 @@ impl Response {
                     .ok_or_else(|| WireError::bad_request("missing `cache`"))?;
                 Ok(Response::CacheStats(CacheStatsPayload::from_value(c)?))
             }
+            "metrics" => Ok(Response::Metrics(require_str(&v, "text")?.to_string())),
             "bye" => Ok(Response::Bye),
             "error" => Ok(Response::Error(WireError {
                 code: require_str(&v, "code")
@@ -905,6 +930,7 @@ mod tests {
             Request::Batch(vec![sample_spec(), with_opts]),
             Request::Status,
             Request::CacheStats,
+            Request::Metrics,
             Request::Shutdown,
         ] {
             let json = req.to_json();
@@ -939,7 +965,10 @@ mod tests {
                 misses: 3,
                 insertions: 3,
                 evictions: 0,
+                spill_loaded: 1,
+                resident_bytes: 2048,
             }),
+            Response::Metrics("# HELP x y\n# TYPE x counter\nx 1\n".into()),
             Response::Bye,
             Response::Error(WireError::new(ErrorCode::Busy, "queue full (depth 64)")),
         ] {

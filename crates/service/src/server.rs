@@ -23,8 +23,9 @@ use crate::protocol::{
     read_frame, write_frame, ErrorCode, ExploreResult, ExploreSpec, FrameError, Request, Response,
     StatusPayload, WireError,
 };
+use crate::telemetry::{AccessLog, AccessRecord, ServiceMetrics};
 use std::collections::VecDeque;
-use std::io;
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -52,6 +53,16 @@ pub struct ServerConfig {
     /// When set, every executed job also writes its run manifest as
     /// `<content-hash>.manifest.json` under this directory.
     pub manifest_dir: Option<PathBuf>,
+    /// When set, a plain-HTTP listener on this address answers
+    /// `GET /metrics` with the Prometheus exposition (port 0 picks a
+    /// free one), so standard scrapers work without the wire protocol.
+    pub metrics_addr: Option<String>,
+    /// When set, every finished request appends one JSON line (id,
+    /// type, spec key, outcome, phase timings) to this file.
+    pub access_log: Option<PathBuf>,
+    /// Requests at or above this total latency are stamped slow in the
+    /// access log and counted in `bfdn_slow_requests_total`.
+    pub slow_request_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +74,9 @@ impl Default for ServerConfig {
             cache: CacheConfig::default(),
             spill: None,
             manifest_dir: None,
+            metrics_addr: None,
+            access_log: None,
+            slow_request_ms: 1_000,
         }
     }
 }
@@ -72,6 +86,17 @@ struct Job {
     kind: JobKind,
     enqueued: Instant,
     reply: mpsc::Sender<Response>,
+    /// Filled by the worker so the connection handler can log per-phase
+    /// timings after the reply arrives.
+    timing: Arc<JobTiming>,
+}
+
+/// Per-job phase timings, written by the worker and read by the
+/// connection handler for the access log.
+#[derive(Default)]
+struct JobTiming {
+    queue_wait_ns: AtomicU64,
+    exec_ns: AtomicU64,
 }
 
 enum JobKind {
@@ -172,6 +197,9 @@ struct Shared {
     queue: JobQueue,
     cache: ResultCache,
     counters: Counters,
+    telemetry: ServiceMetrics,
+    access_log: Option<AccessLog>,
+    slow_ns: u64,
     draining: AtomicBool,
     workers: usize,
     manifest_dir: Option<PathBuf>,
@@ -200,11 +228,14 @@ impl Shared {
 
     /// Runs one spec (after a final cache re-check — another worker may
     /// have computed it while this job queued) and stores the result.
+    /// Every fresh execution feeds its Theorem 1 / Lemma 2 margins into
+    /// the daemon-wide aggregates.
     fn execute(&self, spec: &ExploreSpec) -> Result<ExploreResult, WireError> {
         if let Some(hit) = self.cache.get(spec) {
             return Ok(hit);
         }
         let (result, manifest) = exec::run_spec(spec)?;
+        self.telemetry.record_margins(&result, &manifest);
         self.cache.put(&result);
         if let Some(dir) = &self.manifest_dir {
             let path = dir.join(format!("{:016x}.manifest.json", spec.content_hash()));
@@ -214,6 +245,17 @@ impl Shared {
         }
         Ok(result)
     }
+
+    /// Refreshes the point-in-time gauges and renders the full
+    /// Prometheus exposition (shared by the `Metrics` wire request and
+    /// the HTTP listener).
+    fn render_metrics(&self) -> String {
+        self.telemetry.render(
+            &self.cache.stats(),
+            self.queue.depth() as u64,
+            self.counters.in_flight.load(Ordering::SeqCst),
+        )
+    }
 }
 
 /// A running server; dropping the handle does **not** stop it — send
@@ -221,8 +263,10 @@ impl Shared {
 /// [`ServerHandle::join`].
 pub struct ServerHandle {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     shared: Arc<Shared>,
     accept: JoinHandle<()>,
+    metrics: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     spill: Option<PathBuf>,
 }
@@ -231,6 +275,12 @@ impl ServerHandle {
     /// The bound listen address (useful with port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound metrics-HTTP address when `--metrics-addr` was
+    /// configured (useful with port 0).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// Programmatic equivalent of a [`Request::Shutdown`] frame.
@@ -247,6 +297,9 @@ impl ServerHandle {
     /// every queued job is executed before this returns.
     pub fn join(self) -> io::Result<()> {
         self.accept.join().map_err(|_| worker_panic())?;
+        if let Some(m) = self.metrics {
+            m.join().map_err(|_| worker_panic())?;
+        }
         for w in self.workers {
             w.join().map_err(|_| worker_panic())?;
         }
@@ -281,22 +334,49 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
     if let Some(path) = &config.spill {
         if path.exists() {
             let report = cache.load_from(path)?;
-            eprintln!(
-                "bfdn-serve: warm start with {} cached results from {} ({} malformed lines skipped)",
-                report.loaded,
-                path.display(),
-                report.malformed
-            );
+            if report.revision_mismatch {
+                eprintln!(
+                    "bfdn-serve: spill {} was written by another revision — {} entries refused, starting cold",
+                    path.display(),
+                    report.refused
+                );
+            } else {
+                eprintln!(
+                    "bfdn-serve: warm start with {} cached results from {} ({} malformed lines skipped)",
+                    report.loaded,
+                    path.display(),
+                    report.malformed
+                );
+            }
         }
     }
     if let Some(dir) = &config.manifest_dir {
         std::fs::create_dir_all(dir)?;
     }
+    let access_log = match &config.access_log {
+        Some(path) => Some(AccessLog::open(path, config.slow_request_ms)?),
+        None => None,
+    };
+    let metrics_listener = match &config.metrics_addr {
+        Some(addr) => {
+            let listener = TcpListener::bind(addr)?;
+            listener.set_nonblocking(true)?;
+            Some(listener)
+        }
+        None => None,
+    };
+    let metrics_addr = match &metrics_listener {
+        Some(listener) => Some(listener.local_addr()?),
+        None => None,
+    };
 
     let shared = Arc::new(Shared {
         queue: JobQueue::new(config.queue_depth.max(1)),
         cache,
         counters: Counters::default(),
+        telemetry: ServiceMetrics::new(workers),
+        access_log,
+        slow_ns: config.slow_request_ms.saturating_mul(1_000_000),
         draining: AtomicBool::new(false),
         workers,
         manifest_dir: config.manifest_dir.clone(),
@@ -304,22 +384,100 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
     });
 
     let worker_handles: Vec<JoinHandle<()>> = (0..workers)
-        .map(|_| {
+        .map(|index| {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || worker_loop(&shared))
+            std::thread::spawn(move || worker_loop(&shared, index))
         })
         .collect();
+
+    let metrics = metrics_listener.map(|listener| {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || metrics_http_loop(listener, &shared))
+    });
 
     let accept_shared = Arc::clone(&shared);
     let accept = std::thread::spawn(move || accept_loop(listener, &accept_shared));
 
     Ok(ServerHandle {
         addr,
+        metrics_addr,
         shared,
         accept,
+        metrics,
         workers: worker_handles,
         spill: config.spill,
     })
+}
+
+/// Polls the metrics listener; answers `GET /metrics` with the rendered
+/// exposition and anything else with 404. Exits on the same condition
+/// as [`accept_loop`], so scrapes keep working through a drain.
+fn metrics_http_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || serve_metrics_http(stream, &shared));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if shared.draining.load(Ordering::SeqCst)
+                    && shared.queue.depth() == 0
+                    && shared.counters.in_flight.load(Ordering::SeqCst) == 0
+                {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// One scrape: read the request head, answer, close.
+fn serve_metrics_http(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    // Read until the end of the request head (or the 4 KiB cap — a
+    // scrape has no body worth waiting for).
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= 4096 {
+                    break;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+    let request_line = String::from_utf8_lossy(&head);
+    let target = request_line
+        .lines()
+        .next()
+        .unwrap_or("")
+        .split_whitespace()
+        .nth(1)
+        .unwrap_or("");
+    let (status, content_type, body) = if target == "/metrics" || target.starts_with("/metrics?") {
+        (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            shared.render_metrics(),
+        )
+    } else {
+        (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "only /metrics is served here\n".to_string(),
+        )
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
 }
 
 /// Polls the non-blocking listener so the loop can observe the draining
@@ -347,7 +505,7 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
 }
 
 /// Drains the job queue until it is closed and empty.
-fn worker_loop(shared: &Arc<Shared>) {
+fn worker_loop(shared: &Arc<Shared>, index: usize) {
     while let Some(job) = shared.queue.pop() {
         shared.counters.in_flight.fetch_add(1, Ordering::SeqCst);
         let waited = u64::try_from(job.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
@@ -355,6 +513,8 @@ fn worker_loop(shared: &Arc<Shared>) {
             .counters
             .queue_wait_ns
             .fetch_add(waited, Ordering::Relaxed);
+        shared.telemetry.observe_queue_wait(waited as f64 / 1e9);
+        job.timing.queue_wait_ns.store(waited, Ordering::Relaxed);
         let exec_start = Instant::now();
         let response = match &job.kind {
             JobKind::One(spec) => match shared.execute(spec) {
@@ -363,10 +523,14 @@ fn worker_loop(shared: &Arc<Shared>) {
             },
             JobKind::Batch(specs) => run_batch(shared, specs),
         };
-        shared.counters.exec_ns.fetch_add(
-            u64::try_from(exec_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
-            Ordering::Relaxed,
-        );
+        let exec_ns = u64::try_from(exec_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        shared
+            .counters
+            .exec_ns
+            .fetch_add(exec_ns, Ordering::Relaxed);
+        shared.telemetry.observe_execute(exec_ns as f64 / 1e9);
+        shared.telemetry.worker_busy(index, exec_ns);
+        job.timing.exec_ns.store(exec_ns, Ordering::Relaxed);
         // The handler may have given up (connection dropped); a dead
         // receiver is not an error worth crashing a worker for.
         let _ = job.reply.send(response);
@@ -410,6 +574,17 @@ fn run_batch(shared: &Arc<Shared>, specs: &[ExploreSpec]) -> Response {
     }
 }
 
+/// Per-request trace, accumulated through [`dispatch`] and flushed to
+/// the access log (and the slow-request counter) by the connection
+/// handler.
+#[derive(Default)]
+struct Trace {
+    kind: &'static str,
+    key: String,
+    queue_wait_ns: u64,
+    exec_ns: u64,
+}
+
 /// One connection: a loop of frame → decode → dispatch → frame.
 fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     loop {
@@ -432,29 +607,91 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
             }
             Err(FrameError::Io(_)) => return, // disconnect (clean or not)
         };
-        shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let received = Instant::now();
+        let id = shared.counters.requests.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut trace = Trace {
+            kind: "invalid",
+            ..Trace::default()
+        };
         let response = match Request::from_json(&payload) {
             Err(e) => Response::Error(e),
-            Ok(request) => dispatch(request, shared),
+            Ok(request) => dispatch(request, shared, &mut trace),
         };
-        if write_frame(&mut stream, &response.to_json()).is_err() {
+        shared.telemetry.request(trace.kind);
+        let serialize_start = Instant::now();
+        let write_result = write_frame(&mut stream, &response.to_json());
+        let serialize_ns = u64::try_from(serialize_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        shared
+            .telemetry
+            .observe_serialize(serialize_ns as f64 / 1e9);
+        finish_trace(shared, id, &trace, &response, serialize_ns, received);
+        if write_result.is_err() {
             return;
         }
     }
 }
 
+/// Closes out one request: slow-request accounting plus the access-log
+/// line.
+fn finish_trace(
+    shared: &Arc<Shared>,
+    id: u64,
+    trace: &Trace,
+    response: &Response,
+    serialize_ns: u64,
+    received: Instant,
+) {
+    let total_ns = u64::try_from(received.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    if total_ns >= shared.slow_ns {
+        shared.telemetry.slow_request();
+    }
+    let Some(log) = &shared.access_log else {
+        return;
+    };
+    let (outcome, cached) = match response {
+        Response::Error(e) => (format!("error:{}", e.code.as_str()), false),
+        Response::Result(r) => ("ok".to_string(), r.cached),
+        Response::Batch { hits, misses, .. } => ("ok".to_string(), *misses == 0 && *hits > 0),
+        _ => ("ok".to_string(), false),
+    };
+    log.record(&AccessRecord {
+        id,
+        request: trace.kind.to_string(),
+        key: trace.key.clone(),
+        outcome,
+        cached,
+        queue_wait_ns: trace.queue_wait_ns,
+        exec_ns: trace.exec_ns,
+        serialize_ns,
+        total_ns,
+    });
+}
+
 /// Routes one decoded request; cache hits and introspection never touch
 /// the queue.
-fn dispatch(request: Request, shared: &Arc<Shared>) -> Response {
+fn dispatch(request: Request, shared: &Arc<Shared>, trace: &mut Trace) -> Response {
     match request {
-        Request::Status => Response::Status(shared.status()),
-        Request::CacheStats => Response::CacheStats(shared.cache.stats()),
+        Request::Status => {
+            trace.kind = "status";
+            Response::Status(shared.status())
+        }
+        Request::CacheStats => {
+            trace.kind = "cache_stats";
+            Response::CacheStats(shared.cache.stats())
+        }
+        Request::Metrics => {
+            trace.kind = "metrics";
+            Response::Metrics(shared.render_metrics())
+        }
         Request::Shutdown => {
+            trace.kind = "shutdown";
             shared.draining.store(true, Ordering::SeqCst);
             shared.queue.close();
             Response::Bye
         }
         Request::Explore(spec) => {
+            trace.kind = "explore";
+            trace.key = spec.canonical();
             shared.counters.explores.fetch_add(1, Ordering::Relaxed);
             if let Err(e) = exec::validate(&spec) {
                 return Response::Error(e);
@@ -462,9 +699,11 @@ fn dispatch(request: Request, shared: &Arc<Shared>) -> Response {
             if let Some(hit) = shared.cache.get(&spec) {
                 return Response::Result(Box::new(hit));
             }
-            enqueue_and_wait(shared, JobKind::One(spec))
+            enqueue_and_wait(shared, JobKind::One(spec), trace)
         }
         Request::Batch(specs) => {
+            trace.kind = "batch";
+            trace.key = format!("batch[{}]", specs.len());
             shared.counters.batches.fetch_add(1, Ordering::Relaxed);
             shared
                 .counters
@@ -473,7 +712,7 @@ fn dispatch(request: Request, shared: &Arc<Shared>) -> Response {
             if let Some(e) = specs.iter().find_map(|s| exec::validate(s).err()) {
                 return Response::Error(e);
             }
-            enqueue_and_wait(shared, JobKind::Batch(specs))
+            enqueue_and_wait(shared, JobKind::Batch(specs), trace)
         }
     }
 }
@@ -481,7 +720,7 @@ fn dispatch(request: Request, shared: &Arc<Shared>) -> Response {
 /// Queues one job and blocks the connection handler (not the worker
 /// pool) until its reply is ready; full and closed queues answer
 /// immediately.
-fn enqueue_and_wait(shared: &Arc<Shared>, kind: JobKind) -> Response {
+fn enqueue_and_wait(shared: &Arc<Shared>, kind: JobKind, trace: &mut Trace) -> Response {
     if shared.draining.load(Ordering::SeqCst) {
         return Response::Error(WireError::new(
             ErrorCode::ShuttingDown,
@@ -489,14 +728,20 @@ fn enqueue_and_wait(shared: &Arc<Shared>, kind: JobKind) -> Response {
         ));
     }
     let (tx, rx) = mpsc::channel();
+    let timing = Arc::new(JobTiming::default());
     let job = Job {
         kind,
         enqueued: Instant::now(),
         reply: tx,
+        timing: Arc::clone(&timing),
     };
     match shared.queue.push(job) {
         Ok(()) => match rx.recv() {
-            Ok(response) => response,
+            Ok(response) => {
+                trace.queue_wait_ns = timing.queue_wait_ns.load(Ordering::Relaxed);
+                trace.exec_ns = timing.exec_ns.load(Ordering::Relaxed);
+                response
+            }
             Err(_) => Response::Error(WireError::new(
                 ErrorCode::Internal,
                 "worker dropped the job",
@@ -504,6 +749,7 @@ fn enqueue_and_wait(shared: &Arc<Shared>, kind: JobKind) -> Response {
         },
         Err(PushError::Full) => {
             shared.counters.rejects.fetch_add(1, Ordering::Relaxed);
+            shared.telemetry.reject();
             Response::Error(WireError::new(
                 ErrorCode::Busy,
                 format!(
@@ -531,6 +777,7 @@ mod tests {
             kind: JobKind::One(ExploreSpec::new("bfdn", "comb", 10, 1, 0)),
             enqueued: Instant::now(),
             reply: tx.clone(),
+            timing: Arc::new(JobTiming::default()),
         };
         assert!(q.push(job(&tx)).is_ok());
         assert!(q.push(job(&tx)).is_ok());

@@ -1,0 +1,508 @@
+//! The daemon's telemetry surface: one [`ServiceMetrics`] per server
+//! holding every instrument the daemon exports, plus the structured
+//! JSONL access log.
+//!
+//! Instruments live in a [`bfdn_obs::Registry`] and are rendered as
+//! Prometheus text exposition — reachable both through the
+//! [`crate::protocol::Request::Metrics`] wire request and through the
+//! daemon's optional `--metrics-addr` plain-HTTP listener. Hot-path
+//! updates are lock-free (atomics only); point-in-time series (queue
+//! depth, in-flight jobs, cache occupancy) are refreshed from their
+//! sources at render time so every scrape is consistent.
+//!
+//! The bound-margin aggregation is the serving-layer continuation of
+//! `bfdn-obs`'s per-run [`bfdn_obs::BoundTracker`]: every executed spec
+//! feeds its final Theorem 1 (`2n/k + D²(min{log Δ, log k}+3)`) and
+//! Lemma 2 margins into worst-observed gauges and a violation counter,
+//! so a long-running daemon continuously re-checks the paper's
+//! guarantees across everything it has ever served.
+
+use crate::protocol::{CacheStatsPayload, ExploreResult};
+use bfdn_obs::json::JsonObject;
+use bfdn_obs::metrics::DEFAULT_LATENCY_BUCKETS;
+use bfdn_obs::{Counter, Gauge, Histogram, Registry, RunManifest};
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The request types tracked by `bfdn_requests_total{type=...}`;
+/// `invalid` covers frames that decode to no known request.
+pub const REQUEST_TYPES: [&str; 7] = [
+    "explore",
+    "batch",
+    "status",
+    "cache_stats",
+    "metrics",
+    "shutdown",
+    "invalid",
+];
+
+/// Every instrument the daemon exports, pre-registered in one
+/// [`Registry`].
+pub struct ServiceMetrics {
+    registry: Registry,
+    requests: Vec<(&'static str, Arc<Counter>)>,
+    queue_wait: Arc<Histogram>,
+    execute: Arc<Histogram>,
+    serialize: Arc<Histogram>,
+    queue_depth: Arc<Gauge>,
+    in_flight: Arc<Gauge>,
+    rejects: Arc<Counter>,
+    slow_requests: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_evictions: Arc<Counter>,
+    cache_spill_loaded: Arc<Counter>,
+    cache_entries: Arc<Gauge>,
+    cache_resident_bytes: Arc<Gauge>,
+    worker_busy: Vec<Arc<Counter>>,
+    bound_checked: Arc<Counter>,
+    bound_violations: Arc<Counter>,
+    margin_theorem1: Arc<Gauge>,
+    margin_lemma2: Arc<Gauge>,
+}
+
+impl ServiceMetrics {
+    /// Registers the daemon's full instrument set for `workers` worker
+    /// threads.
+    pub fn new(workers: usize) -> Self {
+        let registry = Registry::new();
+        let requests = REQUEST_TYPES
+            .iter()
+            .map(|t| {
+                (
+                    *t,
+                    registry.counter(
+                        "bfdn_requests_total",
+                        "Requests received, by decoded type.",
+                        &[("type", t)],
+                    ),
+                )
+            })
+            .collect();
+        let latency =
+            |name: &str, help: &str| registry.histogram(name, help, &[], &DEFAULT_LATENCY_BUCKETS);
+        let worker_busy = (0..workers)
+            .map(|i| {
+                let index = i.to_string();
+                registry.counter(
+                    "bfdn_worker_busy_ns_total",
+                    "Nanoseconds each worker spent executing jobs.",
+                    &[("worker", index.as_str())],
+                )
+            })
+            .collect();
+        ServiceMetrics {
+            requests,
+            queue_wait: latency(
+                "bfdn_request_queue_wait_seconds",
+                "Time a job waited in the bounded queue before a worker picked it up.",
+            ),
+            execute: latency(
+                "bfdn_request_execute_seconds",
+                "Time a worker spent executing a job (cache re-check included).",
+            ),
+            serialize: latency(
+                "bfdn_request_serialize_seconds",
+                "Time spent encoding and writing a reply frame.",
+            ),
+            queue_depth: registry.gauge(
+                "bfdn_queue_depth",
+                "Jobs currently waiting in the bounded queue.",
+                &[],
+            ),
+            in_flight: registry.gauge(
+                "bfdn_in_flight",
+                "Jobs currently being executed by workers.",
+                &[],
+            ),
+            rejects: registry.counter(
+                "bfdn_queue_rejects_total",
+                "Jobs rejected with Busy because the queue was at its depth limit.",
+                &[],
+            ),
+            slow_requests: registry.counter(
+                "bfdn_slow_requests_total",
+                "Requests whose total latency crossed the slow-request threshold.",
+                &[],
+            ),
+            cache_hits: registry.counter(
+                "bfdn_cache_hits_total",
+                "Result-cache lookups answered without execution.",
+                &[],
+            ),
+            cache_misses: registry.counter(
+                "bfdn_cache_misses_total",
+                "Result-cache lookups that required execution.",
+                &[],
+            ),
+            cache_evictions: registry.counter(
+                "bfdn_cache_evictions_total",
+                "Entries evicted by the sharded LRU.",
+                &[],
+            ),
+            cache_spill_loaded: registry.counter(
+                "bfdn_cache_spill_loaded_total",
+                "Entries warm-loaded from a spill file at startup.",
+                &[],
+            ),
+            cache_entries: registry.gauge(
+                "bfdn_cache_entries",
+                "Entries currently resident in the result cache.",
+                &[],
+            ),
+            cache_resident_bytes: registry.gauge(
+                "bfdn_cache_resident_bytes",
+                "Payload bytes currently resident in the result cache.",
+                &[],
+            ),
+            worker_busy,
+            bound_checked: registry.counter(
+                "bfdn_bound_checked_total",
+                "Executed runs whose Theorem 1 / Lemma 2 margins were checked.",
+                &[],
+            ),
+            bound_violations: registry.counter(
+                "bfdn_bound_violations_total",
+                "Executed runs that violated a paper bound (should stay 0).",
+                &[],
+            ),
+            margin_theorem1: registry.gauge_with(
+                "bfdn_bound_margin_worst",
+                "Worst observed margin (bound minus measurement) across served runs.",
+                &[("bound", "theorem1_rounds")],
+                f64::INFINITY,
+            ),
+            margin_lemma2: registry.gauge_with(
+                "bfdn_bound_margin_worst",
+                "Worst observed margin (bound minus measurement) across served runs.",
+                &[("bound", "lemma2_reanchors")],
+                f64::INFINITY,
+            ),
+            registry,
+        }
+    }
+
+    /// Counts one decoded request of `kind` (one of [`REQUEST_TYPES`]).
+    pub fn request(&self, kind: &str) {
+        let fallback = &self.requests[REQUEST_TYPES.len() - 1].1;
+        self.requests
+            .iter()
+            .find(|(t, _)| *t == kind)
+            .map_or(fallback, |(_, c)| c)
+            .inc();
+    }
+
+    /// Observes one job's queue-wait phase, in seconds.
+    pub fn observe_queue_wait(&self, secs: f64) {
+        self.queue_wait.observe(secs);
+    }
+
+    /// Observes one job's execute phase, in seconds.
+    pub fn observe_execute(&self, secs: f64) {
+        self.execute.observe(secs);
+    }
+
+    /// Observes one reply's serialize phase, in seconds.
+    pub fn observe_serialize(&self, secs: f64) {
+        self.serialize.observe(secs);
+    }
+
+    /// Counts one `Busy` rejection.
+    pub fn reject(&self) {
+        self.rejects.inc();
+    }
+
+    /// Counts one request that crossed the slow threshold.
+    pub fn slow_request(&self) {
+        self.slow_requests.inc();
+    }
+
+    /// Adds `ns` busy nanoseconds to worker `index`'s utilization
+    /// counter.
+    pub fn worker_busy(&self, index: usize, ns: u64) {
+        if let Some(c) = self.worker_busy.get(index) {
+            c.add(ns);
+        }
+    }
+
+    /// Folds one executed run's final margins into the per-daemon
+    /// aggregates: worst-observed gauges shrink monotonically, and any
+    /// negative margin counts as a bound violation.
+    pub fn record_margins(&self, result: &ExploreResult, manifest: &RunManifest) {
+        self.bound_checked.inc();
+        let mut violated = result.margin < 0.0;
+        self.margin_theorem1.set_min(result.margin);
+        if let Some((_, lemma2)) = manifest
+            .margins
+            .iter()
+            .find(|(name, _)| name == "lemma2_reanchors")
+        {
+            self.margin_lemma2.set_min(*lemma2);
+            violated |= *lemma2 < 0.0;
+        }
+        if violated {
+            self.bound_violations.inc();
+        }
+    }
+
+    /// Refreshes point-in-time series from their sources and renders
+    /// the whole registry as Prometheus text exposition.
+    ///
+    /// Cache counters are mirrored from [`CacheStatsPayload`] at render
+    /// time (the cache keeps its own atomics; mirroring avoids counting
+    /// every lookup twice on the hot path).
+    pub fn render(&self, cache: &CacheStatsPayload, queue_depth: u64, in_flight: u64) -> String {
+        self.queue_depth.set(queue_depth as f64);
+        self.in_flight.set(in_flight as f64);
+        self.cache_hits.force_set(cache.hits);
+        self.cache_misses.force_set(cache.misses);
+        self.cache_evictions.force_set(cache.evictions);
+        self.cache_spill_loaded.force_set(cache.spill_loaded);
+        self.cache_entries.set(cache.entries as f64);
+        self.cache_resident_bytes.set(cache.resident_bytes as f64);
+        self.registry.render()
+    }
+
+    /// Current value of `bfdn_bound_violations_total` (for tests and
+    /// the sweep summary).
+    pub fn bound_violations(&self) -> u64 {
+        self.bound_violations.get()
+    }
+}
+
+/// One finished request, as the access log records it.
+///
+/// `queue_wait_ns` / `exec_ns` are zero for requests that never entered
+/// the queue (cache hits, introspection, rejected jobs); `total_ns` is
+/// measured from decode to reply-written and is what the slow-request
+/// threshold compares against.
+#[derive(Clone, Debug)]
+pub struct AccessRecord {
+    /// Daemon-unique request sequence number.
+    pub id: u64,
+    /// Decoded request type (one of [`REQUEST_TYPES`]).
+    pub request: String,
+    /// Spec key: the canonical spec for `explore`, `batch[N]` for
+    /// batches, empty for introspection.
+    pub key: String,
+    /// `"ok"` or `"error:<code>"`.
+    pub outcome: String,
+    /// Whether the reply came entirely from the result cache.
+    pub cached: bool,
+    /// Time spent waiting in the job queue.
+    pub queue_wait_ns: u64,
+    /// Time a worker spent executing.
+    pub exec_ns: u64,
+    /// Time spent encoding and writing the reply.
+    pub serialize_ns: u64,
+    /// Decode-to-reply wall clock.
+    pub total_ns: u64,
+}
+
+impl AccessRecord {
+    /// Renders the record as one JSON line (without the trailing
+    /// newline); `slow` is stamped by the log against its threshold.
+    fn to_json(&self, slow: bool) -> String {
+        let mut o = JsonObject::new();
+        o.u64("id", self.id)
+            .str("request", &self.request)
+            .str("key", &self.key)
+            .str("outcome", &self.outcome)
+            .bool("cached", self.cached)
+            .u64("queue_wait_ns", self.queue_wait_ns)
+            .u64("exec_ns", self.exec_ns)
+            .u64("serialize_ns", self.serialize_ns)
+            .u64("total_ns", self.total_ns)
+            .bool("slow", slow);
+        o.finish()
+    }
+}
+
+/// Structured JSONL access log with a slow-request threshold.
+///
+/// Built on the `bfdn-obs` JSON layer (the workspace carries no format
+/// dependency); one line per finished request, flushed per record so a
+/// tail of the file is always whole lines.
+pub struct AccessLog {
+    out: Mutex<Box<dyn Write + Send>>,
+    slow_threshold_ns: u64,
+    slow_seen: AtomicU64,
+}
+
+impl AccessLog {
+    /// Opens (appends to) `path`; requests at or above
+    /// `slow_threshold_ms` are stamped `"slow":true`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the open error.
+    pub fn open(path: &Path, slow_threshold_ms: u64) -> io::Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Self::to_writer(Box::new(file), slow_threshold_ms))
+    }
+
+    /// Wraps an arbitrary writer (tests use an in-memory buffer).
+    pub fn to_writer(out: Box<dyn Write + Send>, slow_threshold_ms: u64) -> Self {
+        AccessLog {
+            out: Mutex::new(out),
+            slow_threshold_ns: slow_threshold_ms.saturating_mul(1_000_000),
+            slow_seen: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends one record; returns whether it was slow. Write errors
+    /// are swallowed — losing a log line must never fail a request.
+    pub fn record(&self, record: &AccessRecord) -> bool {
+        let slow = record.total_ns >= self.slow_threshold_ns;
+        if slow {
+            self.slow_seen.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut line = record.to_json(slow);
+        line.push('\n');
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.write_all(line.as_bytes());
+            let _ = out.flush();
+        }
+        slow
+    }
+
+    /// Records stamped slow so far.
+    pub fn slow_seen(&self) -> u64 {
+        self.slow_seen.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::ExploreSpec;
+
+    fn sample_result(margin: f64) -> ExploreResult {
+        let spec = ExploreSpec::new("bfdn", "comb", 60, 4, 1);
+        ExploreResult {
+            spec,
+            cached: false,
+            nodes: 60,
+            depth: 10,
+            max_degree: 3,
+            metrics: crate::protocol::MetricsPayload {
+                rounds: 40,
+                moves: 100,
+                idle: 0,
+                stalled: 0,
+                allowed_moves: 160,
+                edges_discovered: 59,
+                edge_events: 59,
+            },
+            bound: 40.0 + margin,
+            margin,
+            manifest: None,
+        }
+    }
+
+    #[test]
+    fn margins_aggregate_to_worst_and_count_violations() {
+        let m = ServiceMetrics::new(2);
+        let mut manifest = RunManifest::new("bfdn", "comb");
+        manifest.margin("lemma2_reanchors", 5.0);
+        m.record_margins(&sample_result(12.0), &manifest);
+        m.record_margins(&sample_result(3.5), &manifest);
+        let text = m.render(&CacheStatsPayload::default(), 0, 0);
+        assert!(text.contains("bfdn_bound_checked_total 2"));
+        assert!(text.contains("bfdn_bound_violations_total 0"));
+        assert!(text.contains(r#"bfdn_bound_margin_worst{bound="theorem1_rounds"} 3.5"#));
+        assert!(text.contains(r#"bfdn_bound_margin_worst{bound="lemma2_reanchors"} 5"#));
+
+        // A negative margin shrinks the gauge below zero and trips the
+        // violation counter — the series CI asserts stays at zero.
+        m.record_margins(&sample_result(-1.0), &manifest);
+        let text = m.render(&CacheStatsPayload::default(), 0, 0);
+        assert!(text.contains("bfdn_bound_violations_total 1"));
+        assert!(text.contains(r#"bfdn_bound_margin_worst{bound="theorem1_rounds"} -1"#));
+    }
+
+    #[test]
+    fn unknown_request_kinds_count_as_invalid() {
+        let m = ServiceMetrics::new(1);
+        m.request("explore");
+        m.request("garbage");
+        let text = m.render(&CacheStatsPayload::default(), 0, 0);
+        assert!(text.contains(r#"bfdn_requests_total{type="explore"} 1"#));
+        assert!(text.contains(r#"bfdn_requests_total{type="invalid"} 1"#));
+    }
+
+    #[test]
+    fn render_mirrors_cache_stats_and_queue_gauges() {
+        let m = ServiceMetrics::new(1);
+        let cache = CacheStatsPayload {
+            entries: 3,
+            capacity: 64,
+            shards: 4,
+            hits: 10,
+            misses: 5,
+            insertions: 5,
+            evictions: 2,
+            spill_loaded: 1,
+            resident_bytes: 2048,
+        };
+        let text = m.render(&cache, 7, 2);
+        assert!(text.contains("bfdn_cache_hits_total 10"));
+        assert!(text.contains("bfdn_cache_misses_total 5"));
+        assert!(text.contains("bfdn_cache_evictions_total 2"));
+        assert!(text.contains("bfdn_cache_spill_loaded_total 1"));
+        assert!(text.contains("bfdn_cache_entries 3"));
+        assert!(text.contains("bfdn_cache_resident_bytes 2048"));
+        assert!(text.contains("bfdn_queue_depth 7"));
+        assert!(text.contains("bfdn_in_flight 2"));
+    }
+
+    #[test]
+    fn access_log_writes_one_json_line_per_record_and_stamps_slow() {
+        use std::sync::mpsc;
+        // Channel-backed writer so the test can read what the log wrote.
+        struct Tx(mpsc::Sender<Vec<u8>>);
+        impl Write for Tx {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                let _ = self.0.send(buf.to_vec());
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let (tx, rx) = mpsc::channel();
+        let log = AccessLog::to_writer(Box::new(Tx(tx)), 1);
+        let mut record = AccessRecord {
+            id: 1,
+            request: "explore".into(),
+            key: "bfdn/comb/n60/k4/s1".into(),
+            outcome: "ok".into(),
+            cached: true,
+            queue_wait_ns: 0,
+            exec_ns: 0,
+            serialize_ns: 500,
+            total_ns: 900,
+        };
+        assert!(!log.record(&record));
+        record.id = 2;
+        record.total_ns = 2_000_000;
+        assert!(log.record(&record));
+        assert_eq!(log.slow_seen(), 1);
+
+        let lines: Vec<String> = rx
+            .try_iter()
+            .map(|b| String::from_utf8(b).unwrap())
+            .collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with(r#"{"id":1,"request":"explore","#));
+        assert!(lines[0].contains(r#""slow":false}"#));
+        assert!(lines[0].ends_with('\n'));
+        assert!(lines[1].contains(r#""id":2"#));
+        assert!(lines[1].contains(r#""slow":true}"#));
+    }
+}

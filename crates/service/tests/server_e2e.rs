@@ -233,6 +233,120 @@ fn wire_garbage_gets_structured_errors() {
 }
 
 #[test]
+fn telemetry_traces_a_known_request_sequence() {
+    use std::io::Read;
+
+    let dir = std::env::temp_dir().join("bfdn_service_e2e_telemetry");
+    std::fs::create_dir_all(&dir).unwrap();
+    let access_log = dir.join("access.jsonl");
+    let _ = std::fs::remove_file(&access_log);
+
+    let handle = start(ServerConfig {
+        metrics_addr: Some("127.0.0.1:0".into()),
+        access_log: Some(access_log.clone()),
+        ..ServerConfig::default()
+    });
+    let metrics_http = handle.metrics_addr().expect("metrics listener bound");
+    let mut client = connect(&handle);
+
+    // A known sequence: one miss, one hit, one batch of three where one
+    // item is already cached.
+    let spec = ExploreSpec::new("bfdn", "comb", 100, 4, 1);
+    assert!(!client.explore(spec.clone()).expect("miss").cached);
+    assert!(client.explore(spec.clone()).expect("hit").cached);
+    let batch: Vec<ExploreSpec> = (1..=3)
+        .map(|seed| ExploreSpec::new("bfdn", "comb", 100, 4, seed))
+        .collect();
+    let (_, hits, misses) = client.batch(batch).expect("batch");
+    assert_eq!((hits, misses), (1, 2));
+
+    let text = client.metrics().expect("metrics over the wire protocol");
+    // Request mix: the in-progress metrics request is not yet counted.
+    assert!(
+        text.contains(r#"bfdn_requests_total{type="explore"} 2"#),
+        "{text}"
+    );
+    assert!(text.contains(r#"bfdn_requests_total{type="batch"} 1"#));
+    // Two jobs reached the queue (the explore miss and the batch); the
+    // explore hit never did. Histogram counts are exact.
+    assert!(text.contains("bfdn_request_queue_wait_seconds_count 2"));
+    assert!(text.contains("bfdn_request_execute_seconds_count 2"));
+    assert!(text.contains(r#"bfdn_request_execute_seconds_bucket{le="+Inf"} 2"#));
+    // Three replies were serialized before this metrics reply.
+    assert!(text.contains("bfdn_request_serialize_seconds_count 3"));
+    // Three specs actually executed, each re-checked against the paper.
+    assert!(text.contains("bfdn_bound_checked_total 3"));
+    assert!(text.contains("bfdn_bound_violations_total 0"));
+    let theorem1 = text
+        .lines()
+        .find(|l| l.starts_with(r#"bfdn_bound_margin_worst{bound="theorem1_rounds"}"#))
+        .expect("worst-margin gauge is exported");
+    assert!(
+        !theorem1.contains("Inf"),
+        "three runs shrank the gauge: {theorem1}"
+    );
+    assert!(text.contains(r#"bfdn_worker_busy_ns_total{worker="0"}"#));
+    assert!(text.contains("bfdn_queue_depth 0"));
+    assert!(text.contains("# TYPE bfdn_request_execute_seconds histogram"));
+
+    // The same exposition over plain HTTP for standard scrapers.
+    let mut scrape = TcpStream::connect(metrics_http).expect("connect scraper");
+    scrape
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    scrape
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: bfdn\r\n\r\n")
+        .unwrap();
+    let mut http_reply = String::new();
+    scrape.read_to_string(&mut http_reply).expect("read scrape");
+    assert!(http_reply.starts_with("HTTP/1.1 200 OK"), "{http_reply}");
+    assert!(http_reply.contains("text/plain; version=0.0.4"));
+    assert!(http_reply.contains(r#"bfdn_requests_total{type="explore"} 2"#));
+
+    // Anything but /metrics is a 404.
+    let mut other = TcpStream::connect(metrics_http).expect("connect");
+    other
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    other.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+    let mut not_found = String::new();
+    other.read_to_string(&mut not_found).expect("read 404");
+    assert!(not_found.starts_with("HTTP/1.1 404"), "{not_found}");
+
+    client.shutdown().expect("bye");
+    handle.join().expect("clean drain");
+
+    // The access log has one JSON line per wire request, in order:
+    // explore (miss), explore (hit), batch, metrics, shutdown.
+    let log = std::fs::read_to_string(&access_log).expect("access log written");
+    let lines: Vec<&str> = log.lines().collect();
+    assert_eq!(lines.len(), 5, "{log}");
+    assert!(lines[0].contains(r#""request":"explore""#));
+    assert!(lines[0]
+        .contains(r#""key":"v1|algo=bfdn|family=comb|n=100|k=4|seed=1|manifest=false|delay=0""#));
+    assert!(lines[0].contains(r#""outcome":"ok""#));
+    assert!(lines[0].contains(r#""cached":false"#));
+    assert!(lines[1].contains(r#""cached":true"#));
+    assert!(
+        lines[1].contains(r#""queue_wait_ns":0"#),
+        "a hit never queues: {}",
+        lines[1]
+    );
+    assert!(lines[2].contains(r#""request":"batch""#));
+    assert!(lines[2].contains(r#""key":"batch[3]""#));
+    assert!(lines[3].contains(r#""request":"metrics""#));
+    assert!(lines[4].contains(r#""request":"shutdown""#));
+    for line in &lines {
+        assert!(
+            line.starts_with(r#"{"id":"#) && line.ends_with('}'),
+            "{line}"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn spill_warm_starts_a_fresh_server() {
     let dir = std::env::temp_dir().join("bfdn_service_e2e_spill");
     std::fs::create_dir_all(&dir).unwrap();
