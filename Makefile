@@ -1,6 +1,6 @@
 # Convenience targets for the BFDN reproduction.
 
-.PHONY: all test bench experiments experiments-quick serve docs lint clean
+.PHONY: all test bench experiments experiments-quick serve load docs lint clean
 
 all: test
 
@@ -24,6 +24,13 @@ serve:
 	mkdir -p results
 	cargo run --release -p bfdn-service --bin bfdn-serve -- \
 		--addr 127.0.0.1:4077 --spill results/service-cache.jsonl
+
+# Deterministic load + chaos run against a daemon started with
+# `make serve` (profile: quick|standard|chaos; see README).
+load:
+	mkdir -p results
+	cargo run --release -p bfdn-loadgen --bin bfdn-load -- \
+		--profile quick --seed 1 --report-json results/load-report.json
 
 docs:
 	cargo doc --workspace --no-deps

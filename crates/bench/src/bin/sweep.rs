@@ -1,13 +1,17 @@
 //! Runs the standard sweep grid, locally or through a serving daemon.
 //!
 //! ```text
-//! sweep [--quick] [--csv PATH] [--via-service ADDR]
+//! sweep [--quick] [--csv PATH] [--via-service ADDR] [--loadgen-report PATH]
 //! ```
 //!
 //! The printed table (and `--csv` file) is byte-identical whether the
 //! sweep runs in-process or via `--via-service` — re-running against a
 //! warm daemon answers entirely from its result cache. The hit/miss
-//! split reported by the server goes to stderr.
+//! split reported by the server goes to stderr. `--loadgen-report`
+//! points at a `bfdn-load --report-json` file; its verdict and
+//! per-class quantiles are summarised to stderr next to the sweep, so
+//! one invocation shows the correctness grid and how the same daemon
+//! held up under load.
 
 use bfdn_bench::{sweep, Scale};
 use std::path::PathBuf;
@@ -29,8 +33,12 @@ fn main() {
     };
     let csv = take(&mut args, "--csv").map(PathBuf::from);
     let via_service = take(&mut args, "--via-service");
+    let loadgen_report = take(&mut args, "--loadgen-report").map(PathBuf::from);
     if let Some(stray) = args.first() {
-        eprintln!("unknown argument `{stray}` (expected --quick, --csv PATH, --via-service ADDR)");
+        eprintln!(
+            "unknown argument `{stray}` (expected --quick, --csv PATH, \
+             --via-service ADDR, --loadgen-report PATH)"
+        );
         std::process::exit(2);
     }
 
@@ -63,6 +71,23 @@ fn main() {
             }
         },
     };
+    if let Some(path) = &loadgen_report {
+        match std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))
+            .and_then(|text| sweep::loadgen_report_summary(&text))
+        {
+            Ok(summary) => {
+                eprintln!("[loadgen report {}]", path.display());
+                for line in summary.lines() {
+                    eprintln!("  {line}");
+                }
+            }
+            Err(e) => {
+                eprintln!("sweep: --loadgen-report: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let table = sweep::results_table(&results);
     println!("{table}");
     if let Some(path) = csv {

@@ -94,6 +94,75 @@ pub fn service_telemetry_summary(addr: &str) -> Result<String, String> {
     Ok(picked.join("\n"))
 }
 
+/// Summarises a `bfdn-load --report-json` file next to a sweep run, so
+/// one invocation can show both the correctness grid and how the same
+/// daemon held up under load. Accepts the report text, returns the
+/// lines to print, or an error naming what is malformed.
+pub fn loadgen_report_summary(text: &str) -> Result<String, String> {
+    use bfdn_service::jsonval::Json;
+    let json = Json::parse(text).map_err(|e| format!("report is not valid JSON: {e}"))?;
+    let str_of = |key: &str| {
+        json.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("report missing `{key}`"))
+    };
+    let profile = str_of("profile")?;
+    let seed = json
+        .get("seed")
+        .and_then(Json::as_u64)
+        .ok_or("report missing `seed`")?;
+    let pass = json
+        .get("pass")
+        .and_then(Json::as_bool)
+        .ok_or("report missing `pass`")?;
+    let mut lines = vec![format!(
+        "load: profile={profile} seed={seed} verdict={}",
+        if pass { "pass" } else { "FAIL" }
+    )];
+    if let (Some(ops), Some(ok), Some(rps)) = (
+        json.get("workload_ops").and_then(Json::as_u64),
+        json.get("workload_ok").and_then(Json::as_u64),
+        json.get("throughput_rps").and_then(Json::as_f64),
+    ) {
+        lines.push(format!("load: {ok}/{ops} ops ok at {rps:.1} req/s"));
+    }
+    if let Some(daemon) = json.get("daemon").filter(|d| !d.is_null()) {
+        let violations = daemon.get("bound_violations").and_then(Json::as_f64);
+        let checked = daemon.get("bound_checked").and_then(Json::as_f64);
+        if let (Some(violations), Some(checked)) = (violations, checked) {
+            lines.push(format!(
+                "load: bounds {checked:.0} checked, {violations:.0} violated"
+            ));
+        }
+        if let Some(ratio) = daemon.get("cache_hit_ratio").and_then(Json::as_f64) {
+            lines.push(format!("load: cache hit ratio {ratio:.2}"));
+        }
+    }
+    for class in json.get("classes").and_then(Json::as_arr).unwrap_or_default() {
+        let (Some(name), Some(count)) = (
+            class.get("class").and_then(Json::as_str),
+            class.get("count").and_then(Json::as_u64),
+        ) else {
+            continue;
+        };
+        let quantile = |key: &str| {
+            class
+                .get(key)
+                .and_then(Json::as_f64)
+                .filter(|v| v.is_finite())
+                .map(|v| format!("{:.1}ms", v * 1e3))
+                .unwrap_or_else(|| "n/a".into())
+        };
+        lines.push(format!(
+            "load: {name:<24} count={count:<5} p50={} p99={}",
+            quantile("p50_s"),
+            quantile("p99_s")
+        ));
+    }
+    Ok(lines.join("\n"))
+}
+
 /// Renders results as the sweep table, one row per spec in input order.
 pub fn results_table(results: &[ExploreResult]) -> Table {
     let mut t = Table::new(
@@ -163,5 +232,31 @@ mod tests {
             let margin: f64 = t.cell(i, t.col("margin")).parse().unwrap();
             assert!(margin >= 0.0, "Theorem 1 envelope holds on row {i}");
         }
+    }
+
+    #[test]
+    fn loadgen_report_summary_extracts_the_verdict_and_quantiles() {
+        let report = r#"{"profile":"quick","seed":7,"workload_ops":48,"workload_ok":48,
+            "throughput_rps":24.0,
+            "daemon":{"bound_checked":40,"bound_violations":0,"cache_hit_ratio":0.25},
+            "classes":[{"class":"open","count":24,"p50_s":0.004,"p99_s":0.021},
+                       {"class":"closed","count":24,"p50_s":0.003,"p99_s":null}],
+            "pass":true}"#;
+        let summary = loadgen_report_summary(report).expect("well-formed report");
+        assert!(summary.contains("profile=quick seed=7 verdict=pass"));
+        assert!(summary.contains("48/48 ops ok at 24.0 req/s"));
+        assert!(summary.contains("bounds 40 checked, 0 violated"));
+        assert!(summary.contains("cache hit ratio 0.25"));
+        assert!(summary.contains("open"));
+        assert!(summary.contains("p50=4.0ms"));
+        assert!(summary.contains("p99=n/a"), "null quantile renders as n/a");
+
+        assert!(loadgen_report_summary("not json").is_err());
+        assert!(
+            loadgen_report_summary(r#"{"profile":"quick"}"#)
+                .unwrap_err()
+                .contains("seed"),
+            "missing fields are named"
+        );
     }
 }

@@ -1,0 +1,292 @@
+//! The chaos layer: misbehaving client personas and their outcome
+//! classification.
+//!
+//! Each persona abuses the wire protocol in one specific way and then
+//! *classifies* what the daemon did about it. The invariant a chaos run
+//! asserts is not "the persona was refused" — it is "nothing the
+//! persona did was unexplained": every outcome lands in the persona's
+//! expected set, the daemon never panics, and the workload sharing the
+//! run keeps meeting its SLOs.
+
+use bfdn_service::protocol::{read_frame, write_frame, Response, MAX_FRAME_LEN};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// The misbehaving client personas.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Persona {
+    /// Announces a frame, then trickles bytes far slower than any sane
+    /// client — the classic handler-pinning attack.
+    SlowLoris,
+    /// Sends a valid prefix and part of the payload, then vanishes.
+    MidFrameDisconnect,
+    /// Sends a cut-short length prefix, then vanishes.
+    TruncatedPrefix,
+    /// Announces a frame larger than [`MAX_FRAME_LEN`].
+    OversizedPrefix,
+    /// Sends correctly framed bytes that are not a request.
+    GarbageBytes,
+    /// Connects and never sends anything.
+    ConnectIdle,
+    /// Sends a valid request and slams the connection shut, racing the
+    /// server's reply write.
+    ReplyHangup,
+}
+
+impl Persona {
+    pub const ALL: [Persona; 7] = [
+        Persona::SlowLoris,
+        Persona::MidFrameDisconnect,
+        Persona::TruncatedPrefix,
+        Persona::OversizedPrefix,
+        Persona::GarbageBytes,
+        Persona::ConnectIdle,
+        Persona::ReplyHangup,
+    ];
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Persona::SlowLoris => "slow_loris",
+            Persona::MidFrameDisconnect => "mid_frame_disconnect",
+            Persona::TruncatedPrefix => "truncated_prefix",
+            Persona::OversizedPrefix => "oversized_prefix",
+            Persona::GarbageBytes => "garbage_bytes",
+            Persona::ConnectIdle => "connect_idle",
+            Persona::ReplyHangup => "reply_hangup",
+        }
+    }
+
+    /// The persona's seeded payload, drawn at plan time so the run's
+    /// byte sequence is part of the deterministic plan.
+    pub fn payload(self, rng: &mut StdRng) -> Vec<u8> {
+        match self {
+            Persona::MidFrameDisconnect | Persona::GarbageBytes => {
+                let len = rng.random_range(16..=64);
+                (0..len).map(|_| (rng.next_u64() & 0xff) as u8).collect()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Whether `outcome` is in this persona's expected set. `Failed` is
+    /// never expected; everything else must match how the daemon is
+    /// specified to treat the abuse.
+    pub fn expects(self, outcome: &ChaosOutcome) -> bool {
+        match (self, outcome) {
+            (_, ChaosOutcome::Failed(_)) => false,
+            // Cut off by the frame deadline, or we gave up trickling
+            // into a daemon configured with a longer budget.
+            (Persona::SlowLoris, ChaosOutcome::CutOff | ChaosOutcome::GaveUp) => true,
+            (
+                Persona::MidFrameDisconnect | Persona::TruncatedPrefix,
+                ChaosOutcome::Disconnected,
+            ) => true,
+            // The structured reply can race our read against the drop.
+            (
+                Persona::OversizedPrefix,
+                ChaosOutcome::StructuredError(code),
+            ) => code == "too_large",
+            (Persona::OversizedPrefix, ChaosOutcome::Dropped) => true,
+            (Persona::GarbageBytes, ChaosOutcome::StructuredError(_)) => true,
+            // Reaped by the idle budget, or still idling when we left.
+            (Persona::ConnectIdle, ChaosOutcome::Reaped | ChaosOutcome::Idled) => true,
+            (Persona::ReplyHangup, ChaosOutcome::Hungup) => true,
+            _ => false,
+        }
+    }
+}
+
+/// What happened to one chaos client, as observed from its side of the
+/// socket.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChaosOutcome {
+    /// The daemon answered a structured error with this wire code.
+    StructuredError(String),
+    /// The daemon dropped the connection before any reply.
+    Dropped,
+    /// The slow trickle was cut off mid-frame.
+    CutOff,
+    /// The trickle cap elapsed with the daemon still reading.
+    GaveUp,
+    /// The persona disconnected itself as scripted.
+    Disconnected,
+    /// The idle socket was reaped by the daemon.
+    Reaped,
+    /// The idle window elapsed without a reap; the persona left.
+    Idled,
+    /// The persona hung up on the reply as scripted.
+    Hungup,
+    /// Infrastructure failure (e.g. connect refused) — never expected.
+    Failed(String),
+}
+
+impl ChaosOutcome {
+    /// Stable label for tallies and the JSON report.
+    pub fn label(&self) -> String {
+        match self {
+            ChaosOutcome::StructuredError(code) => format!("error:{code}"),
+            ChaosOutcome::Dropped => "dropped".into(),
+            ChaosOutcome::CutOff => "cut_off".into(),
+            ChaosOutcome::GaveUp => "gave_up".into(),
+            ChaosOutcome::Disconnected => "disconnected".into(),
+            ChaosOutcome::Reaped => "reaped".into(),
+            ChaosOutcome::Idled => "idled".into(),
+            ChaosOutcome::Hungup => "hungup".into(),
+            ChaosOutcome::Failed(reason) => format!("failed:{reason}"),
+        }
+    }
+}
+
+/// One scheduled chaos client.
+#[derive(Clone, Debug)]
+pub struct ChaosClient {
+    pub persona: Persona,
+    /// Injection offset from the start of the run.
+    pub at_ms: u64,
+    /// Seeded persona payload (empty for payload-free personas).
+    pub payload: Vec<u8>,
+}
+
+/// How long personas wait on the daemon before classifying the outcome
+/// themselves (trickle caps, idle windows, reply reads).
+const PATIENCE: Duration = Duration::from_millis(3_000);
+
+/// Runs one chaos client against the daemon and classifies the result.
+pub fn run_client(addr: SocketAddr, client: &ChaosClient) -> ChaosOutcome {
+    let stream = match TcpStream::connect(addr) {
+        Ok(stream) => stream,
+        Err(e) => return ChaosOutcome::Failed(format!("connect: {e}")),
+    };
+    if let Err(e) = stream.set_read_timeout(Some(PATIENCE)) {
+        return ChaosOutcome::Failed(format!("timeout: {e}"));
+    }
+    match client.persona {
+        Persona::SlowLoris => slow_loris(stream),
+        Persona::MidFrameDisconnect => {
+            let mut bytes = 200u32.to_be_bytes().to_vec();
+            bytes.extend_from_slice(&client.payload);
+            send_and_vanish(stream, &bytes)
+        }
+        Persona::TruncatedPrefix => send_and_vanish(stream, &64u32.to_be_bytes()[..2]),
+        Persona::OversizedPrefix => {
+            expect_reply(stream, &(MAX_FRAME_LEN + 1).to_be_bytes())
+        }
+        Persona::GarbageBytes => {
+            let mut bytes = (client.payload.len() as u32).to_be_bytes().to_vec();
+            bytes.extend_from_slice(&client.payload);
+            expect_reply(stream, &bytes)
+        }
+        Persona::ConnectIdle => connect_idle(stream),
+        Persona::ReplyHangup => reply_hangup(stream),
+    }
+}
+
+fn slow_loris(mut stream: TcpStream) -> ChaosOutcome {
+    if stream.write_all(&2_048u32.to_be_bytes()).is_err() {
+        return ChaosOutcome::CutOff;
+    }
+    let tick = Duration::from_millis(50);
+    let ticks = (PATIENCE.as_millis() / tick.as_millis()) as u32;
+    for _ in 0..ticks {
+        std::thread::sleep(tick);
+        if stream
+            .write_all(b"z")
+            .and_then(|()| stream.flush())
+            .is_err()
+        {
+            return ChaosOutcome::CutOff;
+        }
+    }
+    ChaosOutcome::GaveUp
+}
+
+fn send_and_vanish(mut stream: TcpStream, bytes: &[u8]) -> ChaosOutcome {
+    let _ = stream.write_all(bytes);
+    let _ = stream.flush();
+    let _ = stream.shutdown(Shutdown::Both);
+    ChaosOutcome::Disconnected
+}
+
+fn expect_reply(mut stream: TcpStream, bytes: &[u8]) -> ChaosOutcome {
+    if stream.write_all(bytes).and_then(|()| stream.flush()).is_err() {
+        return ChaosOutcome::Dropped;
+    }
+    let _ = stream.shutdown(Shutdown::Write);
+    match read_frame(&mut stream) {
+        Ok(reply) => match Response::from_json(&reply) {
+            Ok(Response::Error(e)) => ChaosOutcome::StructuredError(e.code.as_str().to_string()),
+            Ok(_) => ChaosOutcome::StructuredError("unexpected_ok".into()),
+            Err(_) => ChaosOutcome::Failed("reply frame did not decode".into()),
+        },
+        Err(_) => ChaosOutcome::Dropped,
+    }
+}
+
+fn connect_idle(mut stream: TcpStream) -> ChaosOutcome {
+    // Never send; wait out the patience window watching for the reap.
+    let mut probe = [0u8; 8];
+    match std::io::Read::read(&mut stream, &mut probe) {
+        Ok(0) => ChaosOutcome::Reaped,
+        Ok(_) => ChaosOutcome::Failed("daemon sent unsolicited bytes".into()),
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            ChaosOutcome::Idled
+        }
+        Err(_) => ChaosOutcome::Reaped,
+    }
+}
+
+fn reply_hangup(mut stream: TcpStream) -> ChaosOutcome {
+    // A valid request the daemon will answer — we are gone before the
+    // reply write lands.
+    let request = r#"{"v":1,"type":"status"}"#;
+    let _ = write_frame(&mut stream, request);
+    let _ = stream.shutdown(Shutdown::Both);
+    ChaosOutcome::Hungup
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn payloads_are_deterministic_per_seed() {
+        for persona in Persona::ALL {
+            let a = persona.payload(&mut StdRng::seed_from_u64(9));
+            let b = persona.payload(&mut StdRng::seed_from_u64(9));
+            assert_eq!(a, b, "{persona:?}");
+        }
+        let garbage = Persona::GarbageBytes.payload(&mut StdRng::seed_from_u64(9));
+        assert!((16..=64).contains(&garbage.len()));
+        assert!(Persona::SlowLoris
+            .payload(&mut StdRng::seed_from_u64(9))
+            .is_empty());
+    }
+
+    #[test]
+    fn expected_sets_accept_the_scripted_outcomes_only() {
+        assert!(Persona::SlowLoris.expects(&ChaosOutcome::CutOff));
+        assert!(Persona::SlowLoris.expects(&ChaosOutcome::GaveUp));
+        assert!(!Persona::SlowLoris.expects(&ChaosOutcome::Hungup));
+        assert!(Persona::OversizedPrefix
+            .expects(&ChaosOutcome::StructuredError("too_large".into())));
+        assert!(!Persona::OversizedPrefix
+            .expects(&ChaosOutcome::StructuredError("bad_request".into())));
+        assert!(Persona::GarbageBytes
+            .expects(&ChaosOutcome::StructuredError("bad_request".into())));
+        assert!(Persona::ConnectIdle.expects(&ChaosOutcome::Reaped));
+        assert!(Persona::ConnectIdle.expects(&ChaosOutcome::Idled));
+        for persona in Persona::ALL {
+            assert!(
+                !persona.expects(&ChaosOutcome::Failed("connect refused".into())),
+                "{persona:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! The driver: executes a [`Plan`] against a live daemon.
+//!
+//! Three thread populations share one run: an open-loop scheduler that
+//! fires arrivals at their planned offsets without waiting for
+//! completions, closed-loop clients that issue their scripts
+//! back-to-back over persistent connections, and one thread per chaos
+//! client. Wall-clock time only paces the schedule — everything *sent*
+//! was fixed at plan time.
+
+use crate::chaos;
+use crate::measure::{scrape_http_metrics, Collector, DaemonStats, SloConfig};
+use crate::workload::{Op, Plan};
+use bfdn_service::client::Client;
+use bfdn_service::exec;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Everything the run learned, ready for reporting.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    pub duration_s: f64,
+    /// Workload operations sent (chaos clients excluded).
+    pub workload_ops: u64,
+    pub workload_ok: u64,
+    /// Chaos outcomes outside their persona's expected set.
+    pub chaos_unexpected: u64,
+    /// Daemon-side facts from the post-run scrape.
+    pub daemon: Option<DaemonStats>,
+    /// Post-storm consistency: the probe's served payload matched a
+    /// fresh local execution, cold then cached.
+    pub probe_consistent: Option<bool>,
+    pub violations: Vec<String>,
+    pub pass: bool,
+}
+
+/// Runs the plan, the post-storm probe, the scrape, and the SLO checks.
+/// `metrics_http` is the daemon's `--metrics-addr`; without it the
+/// exposition is fetched over the wire protocol instead.
+pub fn execute(
+    addr: SocketAddr,
+    metrics_http: Option<&str>,
+    plan: &Plan,
+    slo: &SloConfig,
+    collector: &Collector,
+) -> RunOutcome {
+    let started = Instant::now();
+    let chaos_unexpected = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for script in &plan.closed_loop {
+            scope.spawn(|| closed_loop_client(addr, script, collector));
+        }
+        for client in &plan.chaos {
+            let chaos_unexpected = &chaos_unexpected;
+            scope.spawn(move || {
+                sleep_until(started, client.at_ms);
+                let t0 = Instant::now();
+                let outcome = chaos::run_client(addr, client);
+                if !client.persona.expects(&outcome) {
+                    chaos_unexpected.fetch_add(1, Ordering::Relaxed);
+                }
+                collector.record(
+                    &format!("chaos:{}", client.persona.as_str()),
+                    &outcome.label(),
+                    Some(t0.elapsed().as_secs_f64()),
+                );
+            });
+        }
+        // The open-loop scheduler fires each arrival on time and moves
+        // on; completions are recorded by the per-request threads.
+        for arrival in &plan.open_loop {
+            sleep_until(started, arrival.at_ms);
+            scope.spawn(|| {
+                let t0 = Instant::now();
+                let outcome = one_shot(addr, &arrival.op);
+                collector.record("open", &outcome, Some(t0.elapsed().as_secs_f64()));
+            });
+        }
+    });
+
+    let probe_consistent = Some(run_probe(addr, plan, collector));
+
+    let daemon = fetch_daemon_stats(addr, metrics_http);
+    let duration_s = started.elapsed().as_secs_f64();
+
+    let summaries = collector.snapshot();
+    let workload_ops: u64 = summaries
+        .iter()
+        .filter(|s| s.is_workload())
+        .map(|s| s.count)
+        .sum();
+    let workload_ok: u64 = summaries
+        .iter()
+        .filter(|s| s.is_workload())
+        .map(|s| s.ok)
+        .sum();
+    let chaos_unexpected = chaos_unexpected.load(Ordering::Relaxed);
+    let violations = slo.violations(
+        &summaries,
+        daemon.as_ref(),
+        chaos_unexpected,
+        probe_consistent,
+    );
+
+    RunOutcome {
+        duration_s,
+        workload_ops,
+        workload_ok,
+        chaos_unexpected,
+        daemon,
+        probe_consistent,
+        pass: violations.is_empty(),
+        violations,
+    }
+}
+
+fn sleep_until(started: Instant, at_ms: u64) {
+    let target = started + Duration::from_millis(at_ms);
+    let now = Instant::now();
+    if let Some(wait) = target.checked_duration_since(now) {
+        std::thread::sleep(wait);
+    }
+}
+
+/// The post-storm consistency check: a spec nothing in the workload
+/// touched must execute fresh, match a local run byte for byte, and
+/// then answer from the cache with the same bytes.
+fn run_probe(addr: SocketAddr, plan: &Plan, collector: &Collector) -> bool {
+    let Ok((local, _)) = exec::run_spec(&plan.probe) else {
+        collector.record("probe", "local_exec_failed", None);
+        return false;
+    };
+    let expected = local.payload_json();
+    let issue = |expect_cached: bool| -> bool {
+        let t0 = Instant::now();
+        let (outcome, good) = match connect(addr) {
+            None => ("io_error".to_string(), false),
+            Some(mut client) => match client.explore(plan.probe.clone()) {
+                Ok(result) => {
+                    let consistent =
+                        result.payload_json() == expected && result.cached == expect_cached;
+                    (
+                        if consistent { "ok" } else { "inconsistent" }.to_string(),
+                        consistent,
+                    )
+                }
+                Err(e) => (classify_error(&e), false),
+            },
+        };
+        collector.record("probe", &outcome, Some(t0.elapsed().as_secs_f64()));
+        good
+    };
+    let cold = issue(false);
+    let warm = issue(true);
+    cold && warm
+}
+
+fn fetch_daemon_stats(addr: SocketAddr, metrics_http: Option<&str>) -> Option<DaemonStats> {
+    let exposition = match metrics_http {
+        Some(http_addr) => scrape_http_metrics(http_addr).ok()?,
+        None => connect(addr)?.metrics().ok()?,
+    };
+    Some(DaemonStats::parse(&exposition))
+}
+
+fn connect(addr: SocketAddr) -> Option<Client> {
+    let client = Client::connect(addr).ok()?;
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .ok()?;
+    Some(client)
+}
+
+/// One open-loop request on a fresh connection.
+fn one_shot(addr: SocketAddr, op: &Op) -> String {
+    match connect(addr) {
+        None => "io_error".into(),
+        Some(mut client) => issue_on(&mut client, op),
+    }
+}
+
+/// A closed-loop client: its script back-to-back over one connection,
+/// reconnecting only after an I/O failure.
+fn closed_loop_client(addr: SocketAddr, script: &[Op], collector: &Collector) {
+    let mut conn: Option<Client> = None;
+    for op in script {
+        let t0 = Instant::now();
+        let mut current = conn.take().or_else(|| connect(addr));
+        let outcome = match current.as_mut() {
+            None => "io_error".into(),
+            Some(client) => issue_on(client, op),
+        };
+        if outcome != "io_error" {
+            conn = current;
+        }
+        collector.record("closed", &outcome, Some(t0.elapsed().as_secs_f64()));
+    }
+}
+
+fn issue_on(client: &mut Client, op: &Op) -> String {
+    let result = match op {
+        Op::Explore(spec) => client.explore(spec.clone()).map(|_| ()),
+        Op::Batch(specs) => client.batch(specs.clone()).map(|_| ()),
+    };
+    match result {
+        Ok(()) => "ok".into(),
+        Err(e) => classify_error(&e),
+    }
+}
+
+fn classify_error(e: &bfdn_service::client::ClientError) -> String {
+    match e.as_server_error() {
+        Some(wire) => format!("error:{}", wire.code.as_str()),
+        None => "io_error".into(),
+    }
+}

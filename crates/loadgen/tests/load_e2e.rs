@@ -1,0 +1,91 @@
+//! End-to-end: a full chaos-profile run against a live in-process
+//! daemon. This is the acceptance test of the subsystem — the plan is
+//! deterministic, every persona's outcome lands in its expected set,
+//! the SLOs pass, and after the storm the daemon still serves a
+//! response byte-identical to a fresh local execution.
+
+use bfdn_loadgen::{execute, report, Collector, Persona, Plan, Profile};
+use bfdn_service::jsonval::Json;
+use bfdn_service::server::{serve, ServerConfig};
+
+#[test]
+fn chaos_run_passes_slo_against_a_live_daemon() {
+    let handle = serve(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        metrics_addr: Some("127.0.0.1:0".into()),
+        // A short read budget so the slow-loris is cut off and the idle
+        // socket reaped within the personas' patience window.
+        read_timeout_ms: 1_000,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let metrics_http = handle.metrics_addr().expect("metrics listener bound");
+
+    let config = Profile::Chaos.config();
+    let plan = Plan::generate(&config, 42);
+    assert_eq!(
+        plan.fingerprint(),
+        Plan::generate(&config, 42).fingerprint(),
+        "the request sequence is a pure function of (profile, seed)"
+    );
+
+    let collector = Collector::new();
+    let outcome = execute(
+        handle.addr(),
+        Some(&metrics_http.to_string()),
+        &plan,
+        &config.slo,
+        &collector,
+    );
+    let summaries = collector.snapshot();
+
+    // Every persona ran (once per rotation) and every outcome is
+    // explained by its expected set.
+    for persona in Persona::ALL {
+        let class_name = format!("chaos:{}", persona.as_str());
+        let class = summaries
+            .iter()
+            .find(|s| s.class == class_name)
+            .unwrap_or_else(|| panic!("{class_name} missing from the tallies"));
+        assert_eq!(class.count, 2, "{class_name}: {:?}", class.outcomes);
+    }
+    assert_eq!(
+        outcome.chaos_unexpected,
+        0,
+        "unexplained chaos outcomes: {summaries:#?}"
+    );
+
+    // Post-storm consistency: cold execution byte-identical to a local
+    // run, then the identical bytes again from the cache.
+    assert_eq!(outcome.probe_consistent, Some(true));
+
+    // The daemon's own telemetry survived the storm: bounds re-checked
+    // on everything served, zero violations.
+    let daemon = outcome.daemon.as_ref().expect("scrape succeeded");
+    assert_eq!(daemon.bound_violations, Some(0.0));
+    assert!(daemon.bound_checked.unwrap_or(0.0) > 0.0);
+
+    assert!(outcome.pass, "SLO violations: {:?}", outcome.violations);
+    assert!(outcome.workload_ok > 0);
+
+    // The report round-trips and records the verdict.
+    let text = report::render(&plan, &outcome, &summaries);
+    let json = Json::parse(&text).expect("report parses");
+    assert_eq!(json.get("pass").and_then(Json::as_bool), Some(true));
+    assert_eq!(json.get("profile").and_then(Json::as_str), Some("chaos"));
+    assert_eq!(
+        json.get("chaos_unexpected").and_then(Json::as_u64),
+        Some(0)
+    );
+    let classes = json.get("classes").and_then(Json::as_arr).expect("classes");
+    assert!(
+        classes.len() >= Persona::ALL.len() + 3,
+        "chaos personas + open + closed + probe: {}",
+        classes.len()
+    );
+
+    let mut client =
+        bfdn_service::client::Client::connect(handle.addr()).expect("daemon still accepts");
+    client.shutdown().expect("bye");
+    handle.join().expect("clean drain after the storm");
+}

@@ -191,6 +191,38 @@ impl Histogram {
             .map(|c| c.load(Ordering::Relaxed))
             .sum()
     }
+
+    /// The configured finite bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) from the bucket
+    /// counts, interpolating linearly within the winning bucket — the
+    /// same estimate PromQL's `histogram_quantile` computes, so a local
+    /// report and a dashboard over the scraped series agree.
+    ///
+    /// Returns `NaN` for an empty histogram. Observations that landed in
+    /// the `+Inf` overflow bucket clamp to the largest finite bound
+    /// (quantiles cannot resolve beyond the configured buckets).
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count.load(Ordering::Relaxed);
+        if total == 0 || self.bounds.is_empty() {
+            return f64::NAN;
+        }
+        let rank = q.clamp(0.0, 1.0) * total as f64;
+        let mut below = 0u64;
+        for (i, &bound) in self.bounds.iter().enumerate() {
+            let in_bucket = self.counts[i].load(Ordering::Relaxed);
+            if in_bucket > 0 && (below + in_bucket) as f64 >= rank {
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let fraction = ((rank - below as f64) / in_bucket as f64).clamp(0.0, 1.0);
+                return lower + (bound - lower) * fraction;
+            }
+            below += in_bucket;
+        }
+        *self.bounds.last().expect("non-empty bounds")
+    }
 }
 
 /// What kind of instrument a family holds.
@@ -562,6 +594,41 @@ mod tests {
         ] {
             assert!(text.contains(needle), "{needle} missing from:\n{text}");
         }
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let r = Registry::new();
+        let h = r.histogram("q", "latency", &[], &[0.1, 1.0, 10.0]);
+        assert!(h.quantile(0.5).is_nan(), "empty histogram has no quantile");
+        // 10 observations: 5 in (0, 0.1], 4 in (0.1, 1], 1 in (1, 10].
+        for _ in 0..5 {
+            h.observe(0.05);
+        }
+        for _ in 0..4 {
+            h.observe(0.5);
+        }
+        h.observe(5.0);
+        // p50: rank 5 lands exactly on the first bucket's full count.
+        assert!((h.quantile(0.5) - 0.1).abs() < 1e-12);
+        // p90: rank 9 = all of bucket 2 → its upper bound.
+        assert!((h.quantile(0.9) - 1.0).abs() < 1e-12);
+        // p70: rank 7 is 2/4 into bucket 2 → 0.1 + 0.5*(1-0.1).
+        assert!((h.quantile(0.7) - 0.55).abs() < 1e-12);
+        // p100 resolves inside the last finite bucket.
+        assert!((h.quantile(1.0) - 10.0).abs() < 1e-12);
+        // Out-of-range q clamps instead of panicking.
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+    }
+
+    #[test]
+    fn quantile_clamps_overflow_to_the_largest_finite_bound() {
+        let r = Registry::new();
+        let h = r.histogram("qo", "latency", &[], &[0.1, 1.0]);
+        h.observe(50.0); // +Inf bucket only
+        assert_eq!(h.quantile(0.5), 1.0);
+        assert_eq!(h.bounds(), &[0.1, 1.0]);
     }
 
     #[test]

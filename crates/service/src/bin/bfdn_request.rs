@@ -2,9 +2,11 @@
 //!
 //! ```text
 //! bfdn-request [--addr HOST:PORT] [--retry N] [--backoff-ms M]
+//!              [--backoff-jitter MS] [--jitter-seed N]
 //!              explore --algo A --family F --n N --k K --seed S
 //!              [--manifest] [--delay-ms MS]
 //! bfdn-request [--addr HOST:PORT] [--retry N] [--backoff-ms M]
+//!              [--backoff-jitter MS] [--jitter-seed N]
 //!              batch --algos A,B --families F,G
 //!              --n N --ks K1,K2 --seeds S [--delay-ms MS]
 //! bfdn-request [--addr HOST:PORT] status
@@ -26,17 +28,25 @@
 //! `3` for `busy` backpressure, `4` for a draining (`shutting_down`)
 //! server, `1` for everything else. `--retry N` re-issues a
 //! `busy`-rejected explore/batch up to `N` more times, sleeping
-//! `--backoff-ms M` (default 100) between attempts — each retry rides
-//! the daemon's queue-wait histogram.
+//! `--backoff-ms M` (default 100) plus a uniformly drawn `0..=J` ms of
+//! jitter (`--backoff-jitter J`, default = the backoff itself, so
+//! sleeps span one to two backoff intervals) between attempts — the
+//! jitter decorrelates clients rejected by the same Busy burst so they
+//! do not re-arrive as a thundering herd. The jitter stream is seeded
+//! (`--jitter-seed`, default: process id) and therefore reproducible.
 
 use bfdn_service::client::Client;
 use bfdn_service::protocol::{ErrorCode, ExploreSpec, Request, Response, WireError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::process::ExitCode;
 
 struct Invocation {
     addr: String,
     retry: u32,
     backoff_ms: u64,
+    backoff_jitter: u64,
+    jitter_seed: u64,
     command: Command,
 }
 
@@ -54,6 +64,8 @@ fn parse(args: Vec<String>) -> Result<Invocation, String> {
     let mut addr = "127.0.0.1:4077".to_string();
     let mut retry = 0u32;
     let mut backoff_ms = 100u64;
+    let mut backoff_jitter: Option<u64> = None;
+    let mut jitter_seed = u64::from(std::process::id());
     loop {
         match it.peek().map(String::as_str) {
             Some("--addr") => {
@@ -70,9 +82,23 @@ fn parse(args: Vec<String>) -> Result<Invocation, String> {
                 let v = it.next().ok_or("--backoff-ms needs a value")?;
                 backoff_ms = v.parse().map_err(|_| format!("bad --backoff-ms `{v}`"))?;
             }
+            Some("--backoff-jitter") => {
+                it.next();
+                let v = it.next().ok_or("--backoff-jitter needs a value")?;
+                backoff_jitter =
+                    Some(v.parse().map_err(|_| format!("bad --backoff-jitter `{v}`"))?);
+            }
+            Some("--jitter-seed") => {
+                it.next();
+                let v = it.next().ok_or("--jitter-seed needs a value")?;
+                jitter_seed = v.parse().map_err(|_| format!("bad --jitter-seed `{v}`"))?;
+            }
             _ => break,
         }
     }
+    // Full jitter by default: an extra uniform 0..=backoff on top of the
+    // fixed backoff keeps simultaneously rejected clients decorrelated.
+    let backoff_jitter = backoff_jitter.unwrap_or(backoff_ms);
     let verb = it.next().ok_or(
         "missing command (one of: explore, batch, status, cache-stats, metrics, shutdown)",
     )?;
@@ -90,6 +116,8 @@ fn parse(args: Vec<String>) -> Result<Invocation, String> {
         addr,
         retry,
         backoff_ms,
+        backoff_jitter,
+        jitter_seed,
         command,
     })
 }
@@ -208,15 +236,44 @@ impl Failure {
     }
 }
 
-/// Runs `attempt` up to `1 + retry` times, sleeping `backoff_ms`
+/// Busy-retry policy: attempt budget, fixed backoff, and the seeded
+/// jitter stream drawn on top of it.
+struct RetryPolicy {
+    retry: u32,
+    backoff_ms: u64,
+    backoff_jitter: u64,
+    rng: StdRng,
+}
+
+impl RetryPolicy {
+    fn new(invocation: &Invocation) -> Self {
+        RetryPolicy {
+            retry: invocation.retry,
+            backoff_ms: invocation.backoff_ms,
+            backoff_jitter: invocation.backoff_jitter,
+            rng: StdRng::seed_from_u64(invocation.jitter_seed),
+        }
+    }
+
+    /// The next sleep: fixed backoff plus a uniform draw from
+    /// `0..=backoff_jitter` milliseconds.
+    fn next_sleep_ms(&mut self) -> u64 {
+        let jitter = match usize::try_from(self.backoff_jitter) {
+            Ok(0) | Err(_) => 0,
+            Ok(cap) => self.rng.random_range(0..=cap) as u64,
+        };
+        self.backoff_ms.saturating_add(jitter)
+    }
+}
+
+/// Runs `attempt` up to `1 + retry` times, sleeping backoff + jitter
 /// between tries; only `busy` answers are retried — a draining server
 /// will not come back.
 fn with_retry<T>(
-    retry: u32,
-    backoff_ms: u64,
+    policy: &mut RetryPolicy,
     mut attempt: impl FnMut() -> Result<T, bfdn_service::client::ClientError>,
 ) -> Result<T, Failure> {
-    let mut tries_left = retry;
+    let mut tries_left = policy.retry;
     loop {
         match attempt() {
             Ok(v) => return Ok(v),
@@ -226,15 +283,17 @@ fn with_retry<T>(
                     .is_some_and(|w| w.code == ErrorCode::Busy);
                 if busy && tries_left > 0 {
                     tries_left -= 1;
+                    let sleep_ms = policy.next_sleep_ms();
                     eprintln!(
-                        "bfdn-request: server busy, retrying in {backoff_ms} ms ({tries_left} retries left)"
+                        "bfdn-request: server busy, retrying in {sleep_ms} ms ({tries_left} retries left)"
                     );
-                    std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
+                    std::thread::sleep(std::time::Duration::from_millis(sleep_ms));
                     continue;
                 }
                 let mut failure = Failure::from_client(&e);
                 if busy {
-                    failure.message = format!("{} (after {} attempts)", failure.message, retry + 1);
+                    failure.message =
+                        format!("{} (after {} attempts)", failure.message, policy.retry + 1);
                 }
                 return Err(failure);
             }
@@ -243,22 +302,19 @@ fn with_retry<T>(
 }
 
 fn run(invocation: Invocation) -> Result<(), Failure> {
+    let mut policy = RetryPolicy::new(&invocation);
     let mut client = Client::connect(&invocation.addr)
         .map_err(|e| Failure::plain(format!("cannot connect to {}: {e}", invocation.addr)))?;
     match invocation.command {
         Command::Explore(spec) => {
-            let result = with_retry(invocation.retry, invocation.backoff_ms, || {
-                client.explore(spec.clone())
-            })?;
+            let result = with_retry(&mut policy, || client.explore(spec.clone()))?;
             eprintln!("cached={}", result.cached);
             println!("{}", result.payload_json());
         }
         Command::Batch(specs) => {
             let count = specs.len();
             let (results, hits, misses) =
-                with_retry(invocation.retry, invocation.backoff_ms, || {
-                    client.batch(specs.clone())
-                })?;
+                with_retry(&mut policy, || client.batch(specs.clone()))?;
             for result in &results {
                 println!("{}", result.payload_json());
             }

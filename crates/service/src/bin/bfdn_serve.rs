@@ -4,8 +4,9 @@
 //! bfdn-serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
 //!            [--cache-capacity N] [--cache-shards N]
 //!            [--spill PATH] [--manifest-dir DIR]
-//!            [--metrics-addr HOST:PORT] [--access-log PATH]
-//!            [--slow-ms MS]
+//!            [--metrics-addr HOST:PORT] [--metrics-scrapers N]
+//!            [--access-log PATH] [--slow-ms MS]
+//!            [--batch-split N] [--read-timeout-ms MS]
 //! ```
 //!
 //! The process serves until a client sends a `shutdown` request, then
@@ -51,11 +52,28 @@ fn parse(args: impl IntoIterator<Item = String>) -> Result<ServerConfig, String>
                 let v = value("--slow-ms")?;
                 config.slow_request_ms = v.parse().map_err(|_| format!("bad --slow-ms `{v}`"))?;
             }
+            "--batch-split" => {
+                let v = value("--batch-split")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --batch-split `{v}`"))?;
+                config.batch_split = n.max(1);
+            }
+            "--read-timeout-ms" => {
+                let v = value("--read-timeout-ms")?;
+                config.read_timeout_ms = v
+                    .parse()
+                    .map_err(|_| format!("bad --read-timeout-ms `{v}`"))?;
+            }
+            "--metrics-scrapers" => {
+                let v = value("--metrics-scrapers")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --metrics-scrapers `{v}`"))?;
+                config.metrics_scrapers = n.max(1);
+            }
             other => {
                 return Err(format!(
                     "unknown flag `{other}` (try --addr --workers --queue-depth \
                      --cache-capacity --cache-shards --spill --manifest-dir \
-                     --metrics-addr --access-log --slow-ms)"
+                     --metrics-addr --metrics-scrapers --access-log --slow-ms \
+                     --batch-split --read-timeout-ms)"
                 ))
             }
         }

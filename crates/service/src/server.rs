@@ -63,6 +63,20 @@ pub struct ServerConfig {
     /// Requests at or above this total latency are stamped slow in the
     /// access log and counted in `bfdn_slow_requests_total`.
     pub slow_request_ms: u64,
+    /// Batches larger than this are split into cap-sized sub-jobs at
+    /// enqueue time, so one huge batch cannot monopolize the queue and
+    /// concurrent batch clients interleave chunk by chunk.
+    pub batch_split: usize,
+    /// Per-connection read budget in milliseconds: the idle wait for the
+    /// next frame *and* the deadline for completing a started frame
+    /// (slow-loris writers are cut off, not accumulated). `0` disables
+    /// the deadline. The same budget bounds reply writes to peers that
+    /// stop reading.
+    pub read_timeout_ms: u64,
+    /// Fixed number of threads answering `/metrics` scrapes (the
+    /// listener hands accepted sockets to this pool instead of spawning
+    /// a thread per scrape).
+    pub metrics_scrapers: usize,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +91,9 @@ impl Default for ServerConfig {
             metrics_addr: None,
             access_log: None,
             slow_request_ms: 1_000,
+            batch_split: 32,
+            read_timeout_ms: 30_000,
+            metrics_scrapers: 2,
         }
     }
 }
@@ -115,6 +132,7 @@ enum PushError {
 struct JobQueue {
     state: Mutex<QueueState>,
     ready: Condvar,
+    space: Condvar,
     capacity: usize,
 }
 
@@ -131,6 +149,7 @@ impl JobQueue {
                 open: true,
             }),
             ready: Condvar::new(),
+            space: Condvar::new(),
             capacity,
         }
     }
@@ -150,6 +169,27 @@ impl JobQueue {
         Ok(())
     }
 
+    /// Blocking push: waits for a free slot instead of rejecting. Used
+    /// only for the follow-up chunks of an already-accepted split batch
+    /// — the first chunk went through [`JobQueue::push`], so the
+    /// backpressure contract (a full queue answers `Busy` to *new* work)
+    /// is preserved, while a started batch is guaranteed to finish.
+    /// Progress is guaranteed because workers never block on a push.
+    fn push_wait(&self, job: Job) -> Result<(), PushError> {
+        let mut state = self.state.lock().expect("job queue");
+        loop {
+            if !state.open {
+                return Err(PushError::Closed);
+            }
+            if state.jobs.len() < self.capacity {
+                state.jobs.push_back(job);
+                self.ready.notify_one();
+                return Ok(());
+            }
+            state = self.space.wait(state).expect("job queue");
+        }
+    }
+
     /// Blocking pop; returns `None` only when the queue is closed *and*
     /// fully drained, so every accepted job is executed before workers
     /// exit.
@@ -157,6 +197,7 @@ impl JobQueue {
         let mut state = self.state.lock().expect("job queue");
         loop {
             if let Some(job) = state.jobs.pop_front() {
+                self.space.notify_one();
                 return Some(job);
             }
             if !state.open {
@@ -172,6 +213,7 @@ impl JobQueue {
         let mut state = self.state.lock().expect("job queue");
         state.open = false;
         self.ready.notify_all();
+        self.space.notify_all();
     }
 
     fn depth(&self) -> usize {
@@ -203,6 +245,8 @@ struct Shared {
     draining: AtomicBool,
     workers: usize,
     manifest_dir: Option<PathBuf>,
+    batch_split: usize,
+    read_timeout_ms: u64,
     started: Instant,
 }
 
@@ -266,7 +310,7 @@ pub struct ServerHandle {
     metrics_addr: Option<SocketAddr>,
     shared: Arc<Shared>,
     accept: JoinHandle<()>,
-    metrics: Option<JoinHandle<()>>,
+    metrics: Vec<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     spill: Option<PathBuf>,
 }
@@ -297,7 +341,7 @@ impl ServerHandle {
     /// every queued job is executed before this returns.
     pub fn join(self) -> io::Result<()> {
         self.accept.join().map_err(|_| worker_panic())?;
-        if let Some(m) = self.metrics {
+        for m in self.metrics {
             m.join().map_err(|_| worker_panic())?;
         }
         for w in self.workers {
@@ -380,6 +424,8 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
         draining: AtomicBool::new(false),
         workers,
         manifest_dir: config.manifest_dir.clone(),
+        batch_split: config.batch_split.max(1),
+        read_timeout_ms: config.read_timeout_ms,
         started: Instant::now(),
     });
 
@@ -390,10 +436,29 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
         })
         .collect();
 
-    let metrics = metrics_listener.map(|listener| {
+    let mut metrics = Vec::new();
+    if let Some(listener) = metrics_listener {
+        // Scrapes are answered by a fixed pool, not thread-per-scrape:
+        // the accept loop hands sockets over a bounded channel and sheds
+        // load (drops the socket) when the backlog is full.
+        let (scrape_tx, scrape_rx) = mpsc::sync_channel::<TcpStream>(SCRAPE_BACKLOG);
+        let scrape_rx = Arc::new(Mutex::new(scrape_rx));
+        for _ in 0..config.metrics_scrapers.max(1) {
+            let shared = Arc::clone(&shared);
+            let scrape_rx = Arc::clone(&scrape_rx);
+            metrics.push(std::thread::spawn(move || loop {
+                let stream = match scrape_rx.lock().expect("scrape pool").recv() {
+                    Ok(stream) => stream,
+                    Err(_) => return, // listener exited, pool drains out
+                };
+                serve_metrics_http(stream, &shared);
+            }));
+        }
         let shared = Arc::clone(&shared);
-        std::thread::spawn(move || metrics_http_loop(listener, &shared))
-    });
+        metrics.push(std::thread::spawn(move || {
+            metrics_http_loop(listener, &shared, &scrape_tx)
+        }));
+    }
 
     let accept_shared = Arc::clone(&shared);
     let accept = std::thread::spawn(move || accept_loop(listener, &accept_shared));
@@ -409,15 +474,26 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
     })
 }
 
-/// Polls the metrics listener; answers `GET /metrics` with the rendered
-/// exposition and anything else with 404. Exits on the same condition
-/// as [`accept_loop`], so scrapes keep working through a drain.
-fn metrics_http_loop(listener: TcpListener, shared: &Arc<Shared>) {
+/// Accepted-but-unserved scrape sockets the pool will hold before the
+/// listener starts shedding (dropping) new ones.
+const SCRAPE_BACKLOG: usize = 16;
+
+/// Polls the metrics listener and hands accepted sockets to the fixed
+/// scrape pool; a full backlog sheds the socket instead of spawning.
+/// Exits on the same condition as [`accept_loop`], so scrapes keep
+/// working through a drain.
+fn metrics_http_loop(
+    listener: TcpListener,
+    shared: &Arc<Shared>,
+    pool: &mpsc::SyncSender<TcpStream>,
+) {
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
-                let shared = Arc::clone(shared);
-                std::thread::spawn(move || serve_metrics_http(stream, &shared));
+                // A TrySendError in either form drops the socket: Full is
+                // deliberate load-shedding, Disconnected means the pool
+                // is gone and the loop is about to exit anyway.
+                let _ = pool.try_send(stream);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 if shared.draining.load(Ordering::SeqCst)
@@ -585,10 +661,58 @@ struct Trace {
     exec_ns: u64,
 }
 
+/// Read adapter enforcing the per-connection read budget: a plain idle
+/// timeout while waiting for a frame's first byte, then a hard deadline
+/// for completing that frame. A slow-loris writer trickling one byte
+/// per interval resets a naive per-read timeout forever; it cannot
+/// outlive a whole-frame deadline.
+struct DeadlineStream<'a> {
+    stream: &'a TcpStream,
+    budget: Option<Duration>,
+    /// Armed by the first byte of a frame; cleared by the handler at
+    /// each frame boundary.
+    deadline: Option<Instant>,
+}
+
+impl Read for DeadlineStream<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let Some(budget) = self.budget else {
+            return (&mut &*self.stream).read(buf);
+        };
+        let window = match self.deadline {
+            None => budget,
+            Some(deadline) => deadline
+                .checked_duration_since(Instant::now())
+                .filter(|left| !left.is_zero())
+                .ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::TimedOut, "frame read budget exhausted")
+                })?,
+        };
+        self.stream.set_read_timeout(Some(window))?;
+        let n = (&mut &*self.stream).read(buf)?;
+        if self.deadline.is_none() && n > 0 {
+            self.deadline = Some(Instant::now() + budget);
+        }
+        Ok(n)
+    }
+}
+
 /// One connection: a loop of frame → decode → dispatch → frame.
-fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let budget =
+        (shared.read_timeout_ms > 0).then(|| Duration::from_millis(shared.read_timeout_ms));
+    // The same budget bounds reply writes, so a peer that stops reading
+    // cannot pin this handler thread on a full socket buffer.
+    let _ = stream.set_write_timeout(budget);
+    let mut reader = DeadlineStream {
+        stream: &stream,
+        budget,
+        deadline: None,
+    };
+    let mut stream = &stream;
     loop {
-        let payload = match read_frame(&mut stream) {
+        reader.deadline = None; // fresh idle wait + frame budget per frame
+        let payload = match read_frame(&mut reader) {
             Ok(payload) => payload,
             Err(FrameError::TooLarge(len)) => {
                 // The peer's framing is fine (we read the length), but
@@ -605,7 +729,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
                 let _ = write_frame(&mut stream, &Response::Error(e).to_json());
                 continue;
             }
-            Err(FrameError::Io(_)) => return, // disconnect (clean or not)
+            Err(FrameError::Io(_)) => return, // disconnect, timeout, or abuse
         };
         let received = Instant::now();
         let id = shared.counters.requests.fetch_add(1, Ordering::Relaxed) + 1;
@@ -699,7 +823,7 @@ fn dispatch(request: Request, shared: &Arc<Shared>, trace: &mut Trace) -> Respon
             if let Some(hit) = shared.cache.get(&spec) {
                 return Response::Result(Box::new(hit));
             }
-            enqueue_and_wait(shared, JobKind::One(spec), trace)
+            enqueue_and_wait(shared, JobKind::One(spec), false, trace)
         }
         Request::Batch(specs) => {
             trace.kind = "batch";
@@ -712,15 +836,57 @@ fn dispatch(request: Request, shared: &Arc<Shared>, trace: &mut Trace) -> Respon
             if let Some(e) = specs.iter().find_map(|s| exec::validate(s).err()) {
                 return Response::Error(e);
             }
-            enqueue_and_wait(shared, JobKind::Batch(specs), trace)
+            if specs.len() > shared.batch_split {
+                return run_split_batch(shared, &specs, trace);
+            }
+            enqueue_and_wait(shared, JobKind::Batch(specs), false, trace)
         }
+    }
+}
+
+/// Splits an oversized batch into [`ServerConfig::batch_split`]-sized
+/// chunks and pipelines them through the queue one at a time, so
+/// concurrent batch clients interleave chunk by chunk instead of
+/// queueing whole-batch head-to-tail (queue fairness). The first chunk
+/// goes through the non-blocking push — a full queue still answers
+/// `Busy` to *new* work — while follow-up chunks of the accepted batch
+/// wait for a slot, which cannot deadlock because workers never push.
+fn run_split_batch(shared: &Arc<Shared>, specs: &[ExploreSpec], trace: &mut Trace) -> Response {
+    let mut results = Vec::with_capacity(specs.len());
+    let (mut hits, mut misses) = (0u64, 0u64);
+    for (index, chunk) in specs.chunks(shared.batch_split).enumerate() {
+        match enqueue_and_wait(shared, JobKind::Batch(chunk.to_vec()), index > 0, trace) {
+            Response::Batch {
+                results: chunk_results,
+                hits: chunk_hits,
+                misses: chunk_misses,
+            } => {
+                results.extend(chunk_results);
+                hits += chunk_hits;
+                misses += chunk_misses;
+            }
+            // An error on any chunk (including ShuttingDown mid-batch)
+            // becomes the whole batch's reply.
+            other => return other,
+        }
+    }
+    Response::Batch {
+        results,
+        hits,
+        misses,
     }
 }
 
 /// Queues one job and blocks the connection handler (not the worker
 /// pool) until its reply is ready; full and closed queues answer
-/// immediately.
-fn enqueue_and_wait(shared: &Arc<Shared>, kind: JobKind, trace: &mut Trace) -> Response {
+/// immediately unless `wait_for_slot` marks this a follow-up chunk of
+/// an already-accepted split batch.
+fn enqueue_and_wait(
+    shared: &Arc<Shared>,
+    kind: JobKind,
+    wait_for_slot: bool,
+    trace: &mut Trace,
+) -> Response {
     if shared.draining.load(Ordering::SeqCst) {
         return Response::Error(WireError::new(
             ErrorCode::ShuttingDown,
@@ -735,11 +901,18 @@ fn enqueue_and_wait(shared: &Arc<Shared>, kind: JobKind, trace: &mut Trace) -> R
         reply: tx,
         timing: Arc::clone(&timing),
     };
-    match shared.queue.push(job) {
+    let pushed = if wait_for_slot {
+        shared.queue.push_wait(job)
+    } else {
+        shared.queue.push(job)
+    };
+    match pushed {
         Ok(()) => match rx.recv() {
             Ok(response) => {
-                trace.queue_wait_ns = timing.queue_wait_ns.load(Ordering::Relaxed);
-                trace.exec_ns = timing.exec_ns.load(Ordering::Relaxed);
+                // Accumulated (not assigned): a split batch passes the
+                // same trace through every chunk.
+                trace.queue_wait_ns += timing.queue_wait_ns.load(Ordering::Relaxed);
+                trace.exec_ns += timing.exec_ns.load(Ordering::Relaxed);
                 response
             }
             Err(_) => Response::Error(WireError::new(

@@ -1,0 +1,216 @@
+//! Wire-framing abuse tests: truncated, oversized, and garbage
+//! length-prefixed frames, slow-loris writers, and connect-then-idle
+//! sockets. The invariant under every abuse: the server answers a
+//! structured error or cleanly drops the connection — it never panics
+//! and never leaks a worker (checked by running a real explore on a
+//! one-worker server after each abuse).
+//!
+//! The deterministic `#[test]` cases below always run; the `proptest!`
+//! block adds randomized byte-level coverage when the real proptest
+//! crate is available (the offline stub compiles it away).
+
+use bfdn_service::client::Client;
+use bfdn_service::protocol::{
+    read_frame, ErrorCode, ExploreSpec, Response, MAX_FRAME_LEN,
+};
+use bfdn_service::server::{serve, ServerConfig, ServerHandle};
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A one-worker loopback server with a short read budget, so abuse is
+/// cut off quickly and a leaked or panicked worker cannot hide behind a
+/// sibling.
+fn start_hardened(read_timeout_ms: u64) -> ServerHandle {
+    serve(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: Some(1),
+        read_timeout_ms,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback")
+}
+
+/// Proves the daemon is still fully alive: introspection answers and a
+/// real simulation flows through the (single) worker.
+fn assert_server_healthy(handle: &ServerHandle) {
+    let mut client = Client::connect(handle.addr()).expect("server still accepts");
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let status = client.status().expect("status still answers");
+    assert_eq!(status.workers, 1);
+    let result = client
+        .explore(ExploreSpec::new("bfdn", "comb", 50, 2, 99))
+        .expect("the worker still executes jobs");
+    assert_eq!(result.spec.n, 50);
+}
+
+fn shutdown(handle: ServerHandle) {
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client.shutdown().expect("bye");
+    handle.join().expect("clean drain");
+}
+
+/// Writes raw bytes to a fresh connection and reads the server's
+/// reaction: either a frame that decodes as a structured [`Response`],
+/// or a clean connection drop. Anything else (garbled frame, hang past
+/// the deadline) fails the test.
+fn abuse(handle: &ServerHandle, bytes: &[u8]) -> Option<Response> {
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let _ = stream.write_all(bytes);
+    let _ = stream.flush();
+    // Stop sending: a frame the bytes left incomplete now depends on the
+    // server's deadline, not on more input.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    match read_frame(&mut stream) {
+        Ok(reply) => Some(Response::from_json(&reply).expect("reply frames always decode")),
+        Err(e) => {
+            assert!(e.is_eof() || matches!(e, bfdn_service::protocol::FrameError::Io(_)));
+            None
+        }
+    }
+}
+
+/// A length prefix announcing `len` payload bytes.
+fn prefix(len: u32) -> [u8; 4] {
+    len.to_be_bytes()
+}
+
+#[test]
+fn truncated_length_prefix_is_dropped_cleanly() {
+    let handle = start_hardened(500);
+    for cut in 1..4usize {
+        let reply = abuse(&handle, &prefix(64)[..cut]);
+        assert!(reply.is_none(), "a partial prefix cannot be answered");
+    }
+    assert_server_healthy(&handle);
+    shutdown(handle);
+}
+
+#[test]
+fn truncated_payload_is_dropped_cleanly() {
+    // Mid-frame disconnect: the prefix promises 200 bytes, the payload
+    // stops after 20.
+    let handle = start_hardened(500);
+    let mut bytes = prefix(200).to_vec();
+    bytes.extend_from_slice(&[b'x'; 20]);
+    let reply = abuse(&handle, &bytes);
+    assert!(reply.is_none(), "a half-frame cannot be answered");
+    assert_server_healthy(&handle);
+    shutdown(handle);
+}
+
+#[test]
+fn oversized_prefix_gets_structured_too_large_then_drop() {
+    let handle = start_hardened(500);
+    let reply = abuse(&handle, &prefix(MAX_FRAME_LEN + 1));
+    match reply {
+        Some(Response::Error(e)) => assert_eq!(e.code, ErrorCode::TooLarge),
+        other => panic!("expected structured too_large, got {other:?}"),
+    }
+    assert_server_healthy(&handle);
+    shutdown(handle);
+}
+
+#[test]
+fn garbage_payloads_get_structured_errors() {
+    let handle = start_hardened(500);
+
+    // Valid framing, non-UTF-8 payload.
+    let raw = [0xff, 0xfe, 0x00, 0x80, 0xc3];
+    let mut bytes = prefix(raw.len() as u32).to_vec();
+    bytes.extend_from_slice(&raw);
+    match abuse(&handle, &bytes) {
+        Some(Response::Error(e)) => assert_eq!(e.code, ErrorCode::BadRequest),
+        other => panic!("expected structured bad_request, got {other:?}"),
+    }
+
+    // Valid framing, UTF-8 payload that is not a request.
+    let junk = b"][ this is not a request {{";
+    let mut bytes = prefix(junk.len() as u32).to_vec();
+    bytes.extend_from_slice(junk);
+    match abuse(&handle, &bytes) {
+        Some(Response::Error(e)) => assert_eq!(e.code, ErrorCode::BadRequest),
+        other => panic!("expected structured bad_request, got {other:?}"),
+    }
+
+    assert_server_healthy(&handle);
+    shutdown(handle);
+}
+
+#[test]
+fn slow_loris_writer_is_cut_off_by_the_frame_deadline() {
+    let handle = start_hardened(400);
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    // Announce a frame, then trickle bytes slower than the whole-frame
+    // budget allows. A naive per-read timeout would reset on every byte
+    // and keep this handler pinned forever.
+    stream.write_all(&prefix(10_000)).expect("prefix");
+    let mut dropped = false;
+    // Trickling into a closed socket errors within a write or two
+    // (RST, then EPIPE); 40 ticks ≈ 4 s is far past the 400 ms budget.
+    for _ in 0..40 {
+        std::thread::sleep(Duration::from_millis(100));
+        if stream
+            .write_all(&[b'z'])
+            .and_then(|()| stream.flush())
+            .is_err()
+        {
+            dropped = true;
+            break;
+        }
+    }
+    assert!(dropped, "the slow-loris connection was not cut off");
+    assert_server_healthy(&handle);
+    shutdown(handle);
+}
+
+#[test]
+fn connect_then_idle_socket_is_reaped() {
+    let handle = start_hardened(300);
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    // Send nothing at all; the idle budget must reap this socket.
+    let mut probe = [0u8; 16];
+    let reaped = matches!(stream.read(&mut probe), Ok(0) | Err(_));
+    assert!(reaped, "the idle connection was not dropped");
+    assert_server_healthy(&handle);
+    shutdown(handle);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary bytes — however they parse as framing — never kill the
+    /// server or leak its worker.
+    #[test]
+    fn arbitrary_bytes_never_kill_the_server(payload in prop::collection::vec(any::<u8>(), 0..256)) {
+        let handle = start_hardened(400);
+        let _ = abuse(&handle, &payload);
+        assert_server_healthy(&handle);
+        shutdown(handle);
+    }
+
+    /// Correctly framed but arbitrary payloads always get a structured
+    /// reply (an error, or a real answer if the bytes happen to decode
+    /// as a request) on a still-usable connection.
+    #[test]
+    fn framed_garbage_always_gets_a_structured_reply(payload in prop::collection::vec(any::<u8>(), 0..256)) {
+        let handle = start_hardened(400);
+        let mut bytes = prefix(payload.len() as u32).to_vec();
+        bytes.extend_from_slice(&payload);
+        prop_assert!(abuse(&handle, &bytes).is_some(), "a complete frame is always answered");
+        assert_server_healthy(&handle);
+        shutdown(handle);
+    }
+}

@@ -141,6 +141,103 @@ fn full_queue_answers_busy_without_deadlock() {
 }
 
 #[test]
+fn split_batches_interleave_so_small_client_is_not_starved() {
+    // One worker and chunk-of-one splitting make the schedule easy to
+    // reason about: a big batch must not monopolize the queue, so a
+    // small batch arriving later finishes while the big one is still
+    // running. Without splitting, the small client would wait for the
+    // whole big batch head-to-tail.
+    let handle = start(ServerConfig {
+        workers: Some(1),
+        batch_split: 1,
+        ..ServerConfig::default()
+    });
+
+    let slow = |seed: u64| {
+        let mut spec = ExploreSpec::new("bfdn", "comb", 60, 2, seed);
+        spec.options.delay_ms = 150;
+        spec
+    };
+    let run_batch = |addr: std::net::SocketAddr, specs: Vec<ExploreSpec>| {
+        let mut client = Client::connect(addr).expect("connect");
+        client
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .expect("timeout");
+        let (results, hits, misses) = client.batch(specs.clone()).expect("batch");
+        // Chunk aggregation preserves request order end to end.
+        for (spec, result) in specs.iter().zip(&results) {
+            assert_eq!(&result.spec, spec);
+        }
+        (results.len(), hits, misses, std::time::Instant::now())
+    };
+
+    let addr = handle.addr();
+    let big = std::thread::spawn(move || run_batch(addr, (0..6).map(slow).collect()));
+    // Let the big batch get its first chunks in before the small one
+    // arrives.
+    std::thread::sleep(Duration::from_millis(220));
+    let addr = handle.addr();
+    let small = std::thread::spawn(move || run_batch(addr, (100..102).map(slow).collect()));
+
+    let (big_len, _, big_misses, big_done) = big.join().expect("no panic");
+    let (small_len, _, small_misses, small_done) = small.join().expect("no panic");
+    assert_eq!((big_len, big_misses), (6, 6));
+    assert_eq!((small_len, small_misses), (2, 2));
+    assert!(
+        small_done < big_done,
+        "the late small batch finishes first because chunks interleave"
+    );
+
+    let mut client = connect(&handle);
+    let status = client.status().expect("status");
+    assert_eq!(status.batches, 2);
+    assert_eq!(status.explores, 8);
+    assert_eq!(status.completed, 8, "every chunk ran as its own job");
+    client.shutdown().expect("bye");
+    handle.join().expect("clean drain");
+}
+
+#[test]
+fn concurrent_scrapes_all_succeed_on_the_fixed_pool() {
+    use std::io::Read;
+
+    let handle = start(ServerConfig {
+        metrics_addr: Some("127.0.0.1:0".into()),
+        metrics_scrapers: 2,
+        ..ServerConfig::default()
+    });
+    let metrics_http = handle.metrics_addr().expect("metrics listener bound");
+
+    // Four scrapes per pool thread, all in flight at once: the fixed
+    // pool must answer every one (the backlog absorbs the burst).
+    let scrapers: Vec<std::thread::JoinHandle<String>> = (0..8)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(metrics_http).expect("connect scraper");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(10)))
+                    .expect("timeout");
+                stream
+                    .write_all(b"GET /metrics HTTP/1.1\r\nHost: bfdn\r\n\r\n")
+                    .expect("send scrape");
+                let mut reply = String::new();
+                stream.read_to_string(&mut reply).expect("read scrape");
+                reply
+            })
+        })
+        .collect();
+    for scraper in scrapers {
+        let reply = scraper.join().expect("no panic");
+        assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
+        assert!(reply.contains("bfdn_queue_depth"), "{reply}");
+    }
+
+    let mut client = connect(&handle);
+    client.shutdown().expect("bye");
+    handle.join().expect("clean drain");
+}
+
+#[test]
 fn shutdown_drains_in_flight_jobs() {
     let handle = start(ServerConfig {
         workers: Some(1),
