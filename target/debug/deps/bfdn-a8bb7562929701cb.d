@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bfdn-a8bb7562929701cb.d: crates/bfdn/src/lib.rs crates/bfdn/src/bounds.rs crates/bfdn/src/complete.rs crates/bfdn/src/graph.rs crates/bfdn/src/recursive.rs crates/bfdn/src/write_read.rs
+
+/root/repo/target/debug/deps/libbfdn-a8bb7562929701cb.rlib: crates/bfdn/src/lib.rs crates/bfdn/src/bounds.rs crates/bfdn/src/complete.rs crates/bfdn/src/graph.rs crates/bfdn/src/recursive.rs crates/bfdn/src/write_read.rs
+
+/root/repo/target/debug/deps/libbfdn-a8bb7562929701cb.rmeta: crates/bfdn/src/lib.rs crates/bfdn/src/bounds.rs crates/bfdn/src/complete.rs crates/bfdn/src/graph.rs crates/bfdn/src/recursive.rs crates/bfdn/src/write_read.rs
+
+crates/bfdn/src/lib.rs:
+crates/bfdn/src/bounds.rs:
+crates/bfdn/src/complete.rs:
+crates/bfdn/src/graph.rs:
+crates/bfdn/src/recursive.rs:
+crates/bfdn/src/write_read.rs:

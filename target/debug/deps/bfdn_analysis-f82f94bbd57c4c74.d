@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bfdn_analysis-f82f94bbd57c4c74.d: crates/analysis/src/lib.rs crates/analysis/src/appendix_a.rs crates/analysis/src/guarantees.rs crates/analysis/src/regions.rs
+
+/root/repo/target/debug/deps/libbfdn_analysis-f82f94bbd57c4c74.rlib: crates/analysis/src/lib.rs crates/analysis/src/appendix_a.rs crates/analysis/src/guarantees.rs crates/analysis/src/regions.rs
+
+/root/repo/target/debug/deps/libbfdn_analysis-f82f94bbd57c4c74.rmeta: crates/analysis/src/lib.rs crates/analysis/src/appendix_a.rs crates/analysis/src/guarantees.rs crates/analysis/src/regions.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/appendix_a.rs:
+crates/analysis/src/guarantees.rs:
+crates/analysis/src/regions.rs:

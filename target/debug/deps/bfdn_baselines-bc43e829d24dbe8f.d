@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bfdn_baselines-bc43e829d24dbe8f.d: crates/baselines/src/lib.rs crates/baselines/src/cte.rs crates/baselines/src/dfs.rs crates/baselines/src/offline.rs crates/baselines/src/scripted.rs
+
+/root/repo/target/debug/deps/libbfdn_baselines-bc43e829d24dbe8f.rlib: crates/baselines/src/lib.rs crates/baselines/src/cte.rs crates/baselines/src/dfs.rs crates/baselines/src/offline.rs crates/baselines/src/scripted.rs
+
+/root/repo/target/debug/deps/libbfdn_baselines-bc43e829d24dbe8f.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cte.rs crates/baselines/src/dfs.rs crates/baselines/src/offline.rs crates/baselines/src/scripted.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cte.rs:
+crates/baselines/src/dfs.rs:
+crates/baselines/src/offline.rs:
+crates/baselines/src/scripted.rs:

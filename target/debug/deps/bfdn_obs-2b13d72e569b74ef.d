@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bfdn_obs-2b13d72e569b74ef.d: crates/obs/src/lib.rs crates/obs/src/bound.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/manifest.rs crates/obs/src/metrics.rs crates/obs/src/phase.rs crates/obs/src/sink.rs
+
+/root/repo/target/debug/deps/libbfdn_obs-2b13d72e569b74ef.rlib: crates/obs/src/lib.rs crates/obs/src/bound.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/manifest.rs crates/obs/src/metrics.rs crates/obs/src/phase.rs crates/obs/src/sink.rs
+
+/root/repo/target/debug/deps/libbfdn_obs-2b13d72e569b74ef.rmeta: crates/obs/src/lib.rs crates/obs/src/bound.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/manifest.rs crates/obs/src/metrics.rs crates/obs/src/phase.rs crates/obs/src/sink.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/bound.rs:
+crates/obs/src/event.rs:
+crates/obs/src/json.rs:
+crates/obs/src/manifest.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/phase.rs:
+crates/obs/src/sink.rs:

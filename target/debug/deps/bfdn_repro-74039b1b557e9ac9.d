@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bfdn_repro-74039b1b557e9ac9.d: src/lib.rs
+
+/root/repo/target/debug/deps/bfdn_repro-74039b1b557e9ac9: src/lib.rs
+
+src/lib.rs:

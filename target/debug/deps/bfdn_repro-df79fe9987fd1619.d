@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bfdn_repro-df79fe9987fd1619.d: src/lib.rs
+
+/root/repo/target/debug/deps/libbfdn_repro-df79fe9987fd1619.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libbfdn_repro-df79fe9987fd1619.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bfdn_sim-3f24af0ff5436152.d: crates/sim/src/lib.rs crates/sim/src/explorer.rs crates/sim/src/metrics.rs crates/sim/src/render.rs crates/sim/src/schedule.rs crates/sim/src/simulator.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libbfdn_sim-3f24af0ff5436152.rlib: crates/sim/src/lib.rs crates/sim/src/explorer.rs crates/sim/src/metrics.rs crates/sim/src/render.rs crates/sim/src/schedule.rs crates/sim/src/simulator.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libbfdn_sim-3f24af0ff5436152.rmeta: crates/sim/src/lib.rs crates/sim/src/explorer.rs crates/sim/src/metrics.rs crates/sim/src/render.rs crates/sim/src/schedule.rs crates/sim/src/simulator.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/explorer.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/render.rs:
+crates/sim/src/schedule.rs:
+crates/sim/src/simulator.rs:
+crates/sim/src/trace.rs:

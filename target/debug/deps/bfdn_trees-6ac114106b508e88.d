@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/bfdn_trees-6ac114106b508e88.d: crates/trees/src/lib.rs crates/trees/src/builder.rs crates/trees/src/generators/mod.rs crates/trees/src/generators/adversarial.rs crates/trees/src/generators/basic.rs crates/trees/src/generators/random.rs crates/trees/src/graph.rs crates/trees/src/grid.rs crates/trees/src/node.rs crates/trees/src/partial.rs crates/trees/src/tree.rs
+
+/root/repo/target/debug/deps/libbfdn_trees-6ac114106b508e88.rlib: crates/trees/src/lib.rs crates/trees/src/builder.rs crates/trees/src/generators/mod.rs crates/trees/src/generators/adversarial.rs crates/trees/src/generators/basic.rs crates/trees/src/generators/random.rs crates/trees/src/graph.rs crates/trees/src/grid.rs crates/trees/src/node.rs crates/trees/src/partial.rs crates/trees/src/tree.rs
+
+/root/repo/target/debug/deps/libbfdn_trees-6ac114106b508e88.rmeta: crates/trees/src/lib.rs crates/trees/src/builder.rs crates/trees/src/generators/mod.rs crates/trees/src/generators/adversarial.rs crates/trees/src/generators/basic.rs crates/trees/src/generators/random.rs crates/trees/src/graph.rs crates/trees/src/grid.rs crates/trees/src/node.rs crates/trees/src/partial.rs crates/trees/src/tree.rs
+
+crates/trees/src/lib.rs:
+crates/trees/src/builder.rs:
+crates/trees/src/generators/mod.rs:
+crates/trees/src/generators/adversarial.rs:
+crates/trees/src/generators/basic.rs:
+crates/trees/src/generators/random.rs:
+crates/trees/src/graph.rs:
+crates/trees/src/grid.rs:
+crates/trees/src/node.rs:
+crates/trees/src/partial.rs:
+crates/trees/src/tree.rs:

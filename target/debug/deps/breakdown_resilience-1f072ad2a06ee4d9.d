@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/breakdown_resilience-1f072ad2a06ee4d9.d: tests/breakdown_resilience.rs
+
+/root/repo/target/debug/deps/breakdown_resilience-1f072ad2a06ee4d9: tests/breakdown_resilience.rs
+
+tests/breakdown_resilience.rs:

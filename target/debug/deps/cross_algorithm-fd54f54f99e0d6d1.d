@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_algorithm-fd54f54f99e0d6d1.d: tests/cross_algorithm.rs
+
+/root/repo/target/debug/deps/cross_algorithm-fd54f54f99e0d6d1: tests/cross_algorithm.rs
+
+tests/cross_algorithm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-cfbbdc82366df832.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-cfbbdc82366df832: tests/determinism.rs
+
+tests/determinism.rs:

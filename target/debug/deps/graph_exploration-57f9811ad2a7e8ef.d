@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/graph_exploration-57f9811ad2a7e8ef.d: tests/graph_exploration.rs
+
+/root/repo/target/debug/deps/graph_exploration-57f9811ad2a7e8ef: tests/graph_exploration.rs
+
+tests/graph_exploration.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-89af3472eccc2d40.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-89af3472eccc2d40.rlib: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-89af3472eccc2d40.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_exploration-9b124bb1848de601.d: tests/proptest_exploration.rs
+
+/root/repo/target/debug/deps/proptest_exploration-9b124bb1848de601: tests/proptest_exploration.rs
+
+tests/proptest_exploration.rs:

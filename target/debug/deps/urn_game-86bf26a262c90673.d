@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/urn_game-86bf26a262c90673.d: crates/urn-game/src/lib.rs crates/urn-game/src/adversary.rs crates/urn-game/src/allocation.rs crates/urn-game/src/board.rs crates/urn-game/src/dp.rs crates/urn-game/src/game.rs crates/urn-game/src/player.rs
+
+/root/repo/target/debug/deps/liburn_game-86bf26a262c90673.rlib: crates/urn-game/src/lib.rs crates/urn-game/src/adversary.rs crates/urn-game/src/allocation.rs crates/urn-game/src/board.rs crates/urn-game/src/dp.rs crates/urn-game/src/game.rs crates/urn-game/src/player.rs
+
+/root/repo/target/debug/deps/liburn_game-86bf26a262c90673.rmeta: crates/urn-game/src/lib.rs crates/urn-game/src/adversary.rs crates/urn-game/src/allocation.rs crates/urn-game/src/board.rs crates/urn-game/src/dp.rs crates/urn-game/src/game.rs crates/urn-game/src/player.rs
+
+crates/urn-game/src/lib.rs:
+crates/urn-game/src/adversary.rs:
+crates/urn-game/src/allocation.rs:
+crates/urn-game/src/board.rs:
+crates/urn-game/src/dp.rs:
+crates/urn-game/src/game.rs:
+crates/urn-game/src/player.rs:

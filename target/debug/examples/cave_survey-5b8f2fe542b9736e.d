@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cave_survey-5b8f2fe542b9736e.d: examples/cave_survey.rs
+
+/root/repo/target/debug/examples/cave_survey-5b8f2fe542b9736e: examples/cave_survey.rs
+
+examples/cave_survey.rs:

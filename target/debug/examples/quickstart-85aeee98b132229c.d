@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-85aeee98b132229c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-85aeee98b132229c: examples/quickstart.rs
+
+examples/quickstart.rs:

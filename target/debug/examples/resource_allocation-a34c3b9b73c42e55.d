@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resource_allocation-a34c3b9b73c42e55.d: examples/resource_allocation.rs
+
+/root/repo/target/debug/examples/resource_allocation-a34c3b9b73c42e55: examples/resource_allocation.rs
+
+examples/resource_allocation.rs:

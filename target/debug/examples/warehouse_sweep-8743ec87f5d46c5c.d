@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/warehouse_sweep-8743ec87f5d46c5c.d: examples/warehouse_sweep.rs
+
+/root/repo/target/debug/examples/warehouse_sweep-8743ec87f5d46c5c: examples/warehouse_sweep.rs
+
+examples/warehouse_sweep.rs:

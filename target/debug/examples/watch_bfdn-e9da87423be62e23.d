@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/watch_bfdn-e9da87423be62e23.d: examples/watch_bfdn.rs
+
+/root/repo/target/debug/examples/watch_bfdn-e9da87423be62e23: examples/watch_bfdn.rs
+
+examples/watch_bfdn.rs:

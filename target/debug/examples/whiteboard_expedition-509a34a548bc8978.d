@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/whiteboard_expedition-509a34a548bc8978.d: examples/whiteboard_expedition.rs
+
+/root/repo/target/debug/examples/whiteboard_expedition-509a34a548bc8978: examples/whiteboard_expedition.rs
+
+examples/whiteboard_expedition.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/bfdn-276e8f15d35fe25e.d: crates/bfdn/src/lib.rs crates/bfdn/src/bounds.rs crates/bfdn/src/complete.rs crates/bfdn/src/graph.rs crates/bfdn/src/recursive.rs crates/bfdn/src/write_read.rs
+
+/root/repo/target/release/deps/bfdn-276e8f15d35fe25e: crates/bfdn/src/lib.rs crates/bfdn/src/bounds.rs crates/bfdn/src/complete.rs crates/bfdn/src/graph.rs crates/bfdn/src/recursive.rs crates/bfdn/src/write_read.rs
+
+crates/bfdn/src/lib.rs:
+crates/bfdn/src/bounds.rs:
+crates/bfdn/src/complete.rs:
+crates/bfdn/src/graph.rs:
+crates/bfdn/src/recursive.rs:
+crates/bfdn/src/write_read.rs:

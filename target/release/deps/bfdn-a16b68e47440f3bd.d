@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/bfdn-a16b68e47440f3bd.d: crates/bfdn/src/lib.rs crates/bfdn/src/bounds.rs crates/bfdn/src/complete.rs crates/bfdn/src/graph.rs crates/bfdn/src/recursive.rs crates/bfdn/src/write_read.rs
+
+/root/repo/target/release/deps/libbfdn-a16b68e47440f3bd.rlib: crates/bfdn/src/lib.rs crates/bfdn/src/bounds.rs crates/bfdn/src/complete.rs crates/bfdn/src/graph.rs crates/bfdn/src/recursive.rs crates/bfdn/src/write_read.rs
+
+/root/repo/target/release/deps/libbfdn-a16b68e47440f3bd.rmeta: crates/bfdn/src/lib.rs crates/bfdn/src/bounds.rs crates/bfdn/src/complete.rs crates/bfdn/src/graph.rs crates/bfdn/src/recursive.rs crates/bfdn/src/write_read.rs
+
+crates/bfdn/src/lib.rs:
+crates/bfdn/src/bounds.rs:
+crates/bfdn/src/complete.rs:
+crates/bfdn/src/graph.rs:
+crates/bfdn/src/recursive.rs:
+crates/bfdn/src/write_read.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/bfdn_analysis-2b571fe96e50c9ec.d: crates/analysis/src/lib.rs crates/analysis/src/appendix_a.rs crates/analysis/src/guarantees.rs crates/analysis/src/regions.rs
+
+/root/repo/target/release/deps/bfdn_analysis-2b571fe96e50c9ec: crates/analysis/src/lib.rs crates/analysis/src/appendix_a.rs crates/analysis/src/guarantees.rs crates/analysis/src/regions.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/appendix_a.rs:
+crates/analysis/src/guarantees.rs:
+crates/analysis/src/regions.rs:

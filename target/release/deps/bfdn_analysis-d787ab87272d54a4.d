@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/bfdn_analysis-d787ab87272d54a4.d: crates/analysis/src/lib.rs crates/analysis/src/appendix_a.rs crates/analysis/src/guarantees.rs crates/analysis/src/regions.rs
+
+/root/repo/target/release/deps/libbfdn_analysis-d787ab87272d54a4.rlib: crates/analysis/src/lib.rs crates/analysis/src/appendix_a.rs crates/analysis/src/guarantees.rs crates/analysis/src/regions.rs
+
+/root/repo/target/release/deps/libbfdn_analysis-d787ab87272d54a4.rmeta: crates/analysis/src/lib.rs crates/analysis/src/appendix_a.rs crates/analysis/src/guarantees.rs crates/analysis/src/regions.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/appendix_a.rs:
+crates/analysis/src/guarantees.rs:
+crates/analysis/src/regions.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/bfdn_baselines-0b58d7b8dd6d50ed.d: crates/baselines/src/lib.rs crates/baselines/src/cte.rs crates/baselines/src/dfs.rs crates/baselines/src/offline.rs crates/baselines/src/scripted.rs
+
+/root/repo/target/release/deps/libbfdn_baselines-0b58d7b8dd6d50ed.rlib: crates/baselines/src/lib.rs crates/baselines/src/cte.rs crates/baselines/src/dfs.rs crates/baselines/src/offline.rs crates/baselines/src/scripted.rs
+
+/root/repo/target/release/deps/libbfdn_baselines-0b58d7b8dd6d50ed.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cte.rs crates/baselines/src/dfs.rs crates/baselines/src/offline.rs crates/baselines/src/scripted.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cte.rs:
+crates/baselines/src/dfs.rs:
+crates/baselines/src/offline.rs:
+crates/baselines/src/scripted.rs:

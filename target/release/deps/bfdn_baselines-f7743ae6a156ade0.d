@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bfdn_baselines-f7743ae6a156ade0.d: crates/baselines/src/lib.rs crates/baselines/src/cte.rs crates/baselines/src/dfs.rs crates/baselines/src/offline.rs crates/baselines/src/scripted.rs
+
+/root/repo/target/release/deps/bfdn_baselines-f7743ae6a156ade0: crates/baselines/src/lib.rs crates/baselines/src/cte.rs crates/baselines/src/dfs.rs crates/baselines/src/offline.rs crates/baselines/src/scripted.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cte.rs:
+crates/baselines/src/dfs.rs:
+crates/baselines/src/offline.rs:
+crates/baselines/src/scripted.rs:

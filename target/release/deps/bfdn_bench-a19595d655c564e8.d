@@ -1,0 +1,25 @@
+/root/repo/target/release/deps/bfdn_bench-a19595d655c564e8.d: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/e01_theorem1.rs crates/bench/src/experiments/e02_overhead.rs crates/bench/src/experiments/e03_urn_game.rs crates/bench/src/experiments/e04_lemma2.rs crates/bench/src/experiments/e05_figure1.rs crates/bench/src/experiments/e06_cte_adversarial.rs crates/bench/src/experiments/e07_write_read.rs crates/bench/src/experiments/e08_breakdowns.rs crates/bench/src/experiments/e09_graphs.rs crates/bench/src/experiments/e10_recursive.rs crates/bench/src/experiments/e11_allocation.rs crates/bench/src/experiments/e12_ratio_curves.rs crates/bench/src/experiments/e13_statistics.rs crates/bench/src/sweep.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libbfdn_bench-a19595d655c564e8.rlib: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/e01_theorem1.rs crates/bench/src/experiments/e02_overhead.rs crates/bench/src/experiments/e03_urn_game.rs crates/bench/src/experiments/e04_lemma2.rs crates/bench/src/experiments/e05_figure1.rs crates/bench/src/experiments/e06_cte_adversarial.rs crates/bench/src/experiments/e07_write_read.rs crates/bench/src/experiments/e08_breakdowns.rs crates/bench/src/experiments/e09_graphs.rs crates/bench/src/experiments/e10_recursive.rs crates/bench/src/experiments/e11_allocation.rs crates/bench/src/experiments/e12_ratio_curves.rs crates/bench/src/experiments/e13_statistics.rs crates/bench/src/sweep.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libbfdn_bench-a19595d655c564e8.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/e01_theorem1.rs crates/bench/src/experiments/e02_overhead.rs crates/bench/src/experiments/e03_urn_game.rs crates/bench/src/experiments/e04_lemma2.rs crates/bench/src/experiments/e05_figure1.rs crates/bench/src/experiments/e06_cte_adversarial.rs crates/bench/src/experiments/e07_write_read.rs crates/bench/src/experiments/e08_breakdowns.rs crates/bench/src/experiments/e09_graphs.rs crates/bench/src/experiments/e10_recursive.rs crates/bench/src/experiments/e11_allocation.rs crates/bench/src/experiments/e12_ratio_curves.rs crates/bench/src/experiments/e13_statistics.rs crates/bench/src/sweep.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablations.rs:
+crates/bench/src/experiments/e01_theorem1.rs:
+crates/bench/src/experiments/e02_overhead.rs:
+crates/bench/src/experiments/e03_urn_game.rs:
+crates/bench/src/experiments/e04_lemma2.rs:
+crates/bench/src/experiments/e05_figure1.rs:
+crates/bench/src/experiments/e06_cte_adversarial.rs:
+crates/bench/src/experiments/e07_write_read.rs:
+crates/bench/src/experiments/e08_breakdowns.rs:
+crates/bench/src/experiments/e09_graphs.rs:
+crates/bench/src/experiments/e10_recursive.rs:
+crates/bench/src/experiments/e11_allocation.rs:
+crates/bench/src/experiments/e12_ratio_curves.rs:
+crates/bench/src/experiments/e13_statistics.rs:
+crates/bench/src/sweep.rs:
+crates/bench/src/table.rs:

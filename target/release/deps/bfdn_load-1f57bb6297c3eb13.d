@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bfdn_load-1f57bb6297c3eb13.d: crates/loadgen/src/bin/bfdn_load.rs
+
+/root/repo/target/release/deps/bfdn_load-1f57bb6297c3eb13: crates/loadgen/src/bin/bfdn_load.rs
+
+crates/loadgen/src/bin/bfdn_load.rs:

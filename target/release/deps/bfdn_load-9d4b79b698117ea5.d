@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bfdn_load-9d4b79b698117ea5.d: crates/loadgen/src/bin/bfdn_load.rs
+
+/root/repo/target/release/deps/bfdn_load-9d4b79b698117ea5: crates/loadgen/src/bin/bfdn_load.rs
+
+crates/loadgen/src/bin/bfdn_load.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/bfdn_loadgen-a49d5f9880262338.d: crates/loadgen/src/lib.rs crates/loadgen/src/chaos.rs crates/loadgen/src/measure.rs crates/loadgen/src/report.rs crates/loadgen/src/run.rs crates/loadgen/src/workload.rs
+
+/root/repo/target/release/deps/bfdn_loadgen-a49d5f9880262338: crates/loadgen/src/lib.rs crates/loadgen/src/chaos.rs crates/loadgen/src/measure.rs crates/loadgen/src/report.rs crates/loadgen/src/run.rs crates/loadgen/src/workload.rs
+
+crates/loadgen/src/lib.rs:
+crates/loadgen/src/chaos.rs:
+crates/loadgen/src/measure.rs:
+crates/loadgen/src/report.rs:
+crates/loadgen/src/run.rs:
+crates/loadgen/src/workload.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/bfdn_loadgen-f714014e72e71226.d: crates/loadgen/src/lib.rs crates/loadgen/src/chaos.rs crates/loadgen/src/measure.rs crates/loadgen/src/report.rs crates/loadgen/src/run.rs crates/loadgen/src/workload.rs
+
+/root/repo/target/release/deps/libbfdn_loadgen-f714014e72e71226.rlib: crates/loadgen/src/lib.rs crates/loadgen/src/chaos.rs crates/loadgen/src/measure.rs crates/loadgen/src/report.rs crates/loadgen/src/run.rs crates/loadgen/src/workload.rs
+
+/root/repo/target/release/deps/libbfdn_loadgen-f714014e72e71226.rmeta: crates/loadgen/src/lib.rs crates/loadgen/src/chaos.rs crates/loadgen/src/measure.rs crates/loadgen/src/report.rs crates/loadgen/src/run.rs crates/loadgen/src/workload.rs
+
+crates/loadgen/src/lib.rs:
+crates/loadgen/src/chaos.rs:
+crates/loadgen/src/measure.rs:
+crates/loadgen/src/report.rs:
+crates/loadgen/src/run.rs:
+crates/loadgen/src/workload.rs:

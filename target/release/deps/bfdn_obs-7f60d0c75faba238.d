@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/bfdn_obs-7f60d0c75faba238.d: crates/obs/src/lib.rs crates/obs/src/bound.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/manifest.rs crates/obs/src/metrics.rs crates/obs/src/phase.rs crates/obs/src/sink.rs
+
+/root/repo/target/release/deps/bfdn_obs-7f60d0c75faba238: crates/obs/src/lib.rs crates/obs/src/bound.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/manifest.rs crates/obs/src/metrics.rs crates/obs/src/phase.rs crates/obs/src/sink.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/bound.rs:
+crates/obs/src/event.rs:
+crates/obs/src/json.rs:
+crates/obs/src/manifest.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/phase.rs:
+crates/obs/src/sink.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/bfdn_obs-af3ffc682690886a.d: crates/obs/src/lib.rs crates/obs/src/bound.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/manifest.rs crates/obs/src/metrics.rs crates/obs/src/phase.rs crates/obs/src/sink.rs
+
+/root/repo/target/release/deps/libbfdn_obs-af3ffc682690886a.rlib: crates/obs/src/lib.rs crates/obs/src/bound.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/manifest.rs crates/obs/src/metrics.rs crates/obs/src/phase.rs crates/obs/src/sink.rs
+
+/root/repo/target/release/deps/libbfdn_obs-af3ffc682690886a.rmeta: crates/obs/src/lib.rs crates/obs/src/bound.rs crates/obs/src/event.rs crates/obs/src/json.rs crates/obs/src/manifest.rs crates/obs/src/metrics.rs crates/obs/src/phase.rs crates/obs/src/sink.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/bound.rs:
+crates/obs/src/event.rs:
+crates/obs/src/json.rs:
+crates/obs/src/manifest.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/phase.rs:
+crates/obs/src/sink.rs:

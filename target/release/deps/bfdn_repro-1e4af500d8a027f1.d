@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bfdn_repro-1e4af500d8a027f1.d: src/lib.rs
+
+/root/repo/target/release/deps/libbfdn_repro-1e4af500d8a027f1.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libbfdn_repro-1e4af500d8a027f1.rmeta: src/lib.rs
+
+src/lib.rs:

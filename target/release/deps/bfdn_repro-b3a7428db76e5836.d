@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bfdn_repro-b3a7428db76e5836.d: src/lib.rs
+
+/root/repo/target/release/deps/bfdn_repro-b3a7428db76e5836: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bfdn_request-3a73a8f7fcc82308.d: crates/service/src/bin/bfdn_request.rs
+
+/root/repo/target/release/deps/bfdn_request-3a73a8f7fcc82308: crates/service/src/bin/bfdn_request.rs
+
+crates/service/src/bin/bfdn_request.rs:

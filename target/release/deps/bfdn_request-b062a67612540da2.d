@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bfdn_request-b062a67612540da2.d: crates/service/src/bin/bfdn_request.rs
+
+/root/repo/target/release/deps/bfdn_request-b062a67612540da2: crates/service/src/bin/bfdn_request.rs
+
+crates/service/src/bin/bfdn_request.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bfdn_serve-302f72ccef1f725e.d: crates/service/src/bin/bfdn_serve.rs
+
+/root/repo/target/release/deps/bfdn_serve-302f72ccef1f725e: crates/service/src/bin/bfdn_serve.rs
+
+crates/service/src/bin/bfdn_serve.rs:

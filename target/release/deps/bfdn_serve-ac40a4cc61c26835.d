@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bfdn_serve-ac40a4cc61c26835.d: crates/service/src/bin/bfdn_serve.rs
+
+/root/repo/target/release/deps/bfdn_serve-ac40a4cc61c26835: crates/service/src/bin/bfdn_serve.rs
+
+crates/service/src/bin/bfdn_serve.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/bfdn_service-5c63f93037b96ae2.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/client.rs crates/service/src/exec.rs crates/service/src/jsonval.rs crates/service/src/parallel.rs crates/service/src/protocol.rs crates/service/src/server.rs crates/service/src/telemetry.rs
+
+/root/repo/target/release/deps/bfdn_service-5c63f93037b96ae2: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/client.rs crates/service/src/exec.rs crates/service/src/jsonval.rs crates/service/src/parallel.rs crates/service/src/protocol.rs crates/service/src/server.rs crates/service/src/telemetry.rs
+
+crates/service/src/lib.rs:
+crates/service/src/cache.rs:
+crates/service/src/client.rs:
+crates/service/src/exec.rs:
+crates/service/src/jsonval.rs:
+crates/service/src/parallel.rs:
+crates/service/src/protocol.rs:
+crates/service/src/server.rs:
+crates/service/src/telemetry.rs:

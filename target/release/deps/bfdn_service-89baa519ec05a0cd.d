@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/bfdn_service-89baa519ec05a0cd.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/client.rs crates/service/src/exec.rs crates/service/src/jsonval.rs crates/service/src/parallel.rs crates/service/src/protocol.rs crates/service/src/server.rs crates/service/src/telemetry.rs
+
+/root/repo/target/release/deps/libbfdn_service-89baa519ec05a0cd.rlib: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/client.rs crates/service/src/exec.rs crates/service/src/jsonval.rs crates/service/src/parallel.rs crates/service/src/protocol.rs crates/service/src/server.rs crates/service/src/telemetry.rs
+
+/root/repo/target/release/deps/libbfdn_service-89baa519ec05a0cd.rmeta: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/client.rs crates/service/src/exec.rs crates/service/src/jsonval.rs crates/service/src/parallel.rs crates/service/src/protocol.rs crates/service/src/server.rs crates/service/src/telemetry.rs
+
+crates/service/src/lib.rs:
+crates/service/src/cache.rs:
+crates/service/src/client.rs:
+crates/service/src/exec.rs:
+crates/service/src/jsonval.rs:
+crates/service/src/parallel.rs:
+crates/service/src/protocol.rs:
+crates/service/src/server.rs:
+crates/service/src/telemetry.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/bfdn_sim-67f789edded2bf00.d: crates/sim/src/lib.rs crates/sim/src/explorer.rs crates/sim/src/metrics.rs crates/sim/src/render.rs crates/sim/src/schedule.rs crates/sim/src/simulator.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/bfdn_sim-67f789edded2bf00: crates/sim/src/lib.rs crates/sim/src/explorer.rs crates/sim/src/metrics.rs crates/sim/src/render.rs crates/sim/src/schedule.rs crates/sim/src/simulator.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/explorer.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/render.rs:
+crates/sim/src/schedule.rs:
+crates/sim/src/simulator.rs:
+crates/sim/src/trace.rs:

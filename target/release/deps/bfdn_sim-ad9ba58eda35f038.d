@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/bfdn_sim-ad9ba58eda35f038.d: crates/sim/src/lib.rs crates/sim/src/explorer.rs crates/sim/src/metrics.rs crates/sim/src/render.rs crates/sim/src/schedule.rs crates/sim/src/simulator.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libbfdn_sim-ad9ba58eda35f038.rlib: crates/sim/src/lib.rs crates/sim/src/explorer.rs crates/sim/src/metrics.rs crates/sim/src/render.rs crates/sim/src/schedule.rs crates/sim/src/simulator.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libbfdn_sim-ad9ba58eda35f038.rmeta: crates/sim/src/lib.rs crates/sim/src/explorer.rs crates/sim/src/metrics.rs crates/sim/src/render.rs crates/sim/src/schedule.rs crates/sim/src/simulator.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/explorer.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/render.rs:
+crates/sim/src/schedule.rs:
+crates/sim/src/simulator.rs:
+crates/sim/src/trace.rs:

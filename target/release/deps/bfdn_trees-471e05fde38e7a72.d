@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/bfdn_trees-471e05fde38e7a72.d: crates/trees/src/lib.rs crates/trees/src/builder.rs crates/trees/src/generators/mod.rs crates/trees/src/generators/adversarial.rs crates/trees/src/generators/basic.rs crates/trees/src/generators/random.rs crates/trees/src/graph.rs crates/trees/src/grid.rs crates/trees/src/node.rs crates/trees/src/partial.rs crates/trees/src/tree.rs
+
+/root/repo/target/release/deps/bfdn_trees-471e05fde38e7a72: crates/trees/src/lib.rs crates/trees/src/builder.rs crates/trees/src/generators/mod.rs crates/trees/src/generators/adversarial.rs crates/trees/src/generators/basic.rs crates/trees/src/generators/random.rs crates/trees/src/graph.rs crates/trees/src/grid.rs crates/trees/src/node.rs crates/trees/src/partial.rs crates/trees/src/tree.rs
+
+crates/trees/src/lib.rs:
+crates/trees/src/builder.rs:
+crates/trees/src/generators/mod.rs:
+crates/trees/src/generators/adversarial.rs:
+crates/trees/src/generators/basic.rs:
+crates/trees/src/generators/random.rs:
+crates/trees/src/graph.rs:
+crates/trees/src/grid.rs:
+crates/trees/src/node.rs:
+crates/trees/src/partial.rs:
+crates/trees/src/tree.rs:

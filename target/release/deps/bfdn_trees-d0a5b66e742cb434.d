@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/bfdn_trees-d0a5b66e742cb434.d: crates/trees/src/lib.rs crates/trees/src/builder.rs crates/trees/src/generators/mod.rs crates/trees/src/generators/adversarial.rs crates/trees/src/generators/basic.rs crates/trees/src/generators/random.rs crates/trees/src/graph.rs crates/trees/src/grid.rs crates/trees/src/node.rs crates/trees/src/partial.rs crates/trees/src/tree.rs
+
+/root/repo/target/release/deps/libbfdn_trees-d0a5b66e742cb434.rlib: crates/trees/src/lib.rs crates/trees/src/builder.rs crates/trees/src/generators/mod.rs crates/trees/src/generators/adversarial.rs crates/trees/src/generators/basic.rs crates/trees/src/generators/random.rs crates/trees/src/graph.rs crates/trees/src/grid.rs crates/trees/src/node.rs crates/trees/src/partial.rs crates/trees/src/tree.rs
+
+/root/repo/target/release/deps/libbfdn_trees-d0a5b66e742cb434.rmeta: crates/trees/src/lib.rs crates/trees/src/builder.rs crates/trees/src/generators/mod.rs crates/trees/src/generators/adversarial.rs crates/trees/src/generators/basic.rs crates/trees/src/generators/random.rs crates/trees/src/graph.rs crates/trees/src/grid.rs crates/trees/src/node.rs crates/trees/src/partial.rs crates/trees/src/tree.rs
+
+crates/trees/src/lib.rs:
+crates/trees/src/builder.rs:
+crates/trees/src/generators/mod.rs:
+crates/trees/src/generators/adversarial.rs:
+crates/trees/src/generators/basic.rs:
+crates/trees/src/generators/random.rs:
+crates/trees/src/graph.rs:
+crates/trees/src/grid.rs:
+crates/trees/src/node.rs:
+crates/trees/src/partial.rs:
+crates/trees/src/tree.rs:

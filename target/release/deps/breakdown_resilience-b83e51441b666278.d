@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/breakdown_resilience-b83e51441b666278.d: tests/breakdown_resilience.rs
+
+/root/repo/target/release/deps/breakdown_resilience-b83e51441b666278: tests/breakdown_resilience.rs
+
+tests/breakdown_resilience.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/brute_force-efbbd22a17bf9139.d: crates/urn-game/tests/brute_force.rs
+
+/root/repo/target/release/deps/brute_force-efbbd22a17bf9139: crates/urn-game/tests/brute_force.rs
+
+crates/urn-game/tests/brute_force.rs:

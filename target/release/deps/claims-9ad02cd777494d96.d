@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/claims-9ad02cd777494d96.d: crates/bfdn/tests/claims.rs
+
+/root/repo/target/release/deps/claims-9ad02cd777494d96: crates/bfdn/tests/claims.rs
+
+crates/bfdn/tests/claims.rs:

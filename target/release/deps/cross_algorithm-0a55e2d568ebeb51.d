@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cross_algorithm-0a55e2d568ebeb51.d: tests/cross_algorithm.rs
+
+/root/repo/target/release/deps/cross_algorithm-0a55e2d568ebeb51: tests/cross_algorithm.rs
+
+tests/cross_algorithm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-604b4112efca1d54.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-604b4112efca1d54: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-1a50dc85d8456252.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-1a50dc85d8456252: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

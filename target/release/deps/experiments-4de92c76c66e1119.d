@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-4de92c76c66e1119.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-4de92c76c66e1119: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/explore-f332092c77642f38.d: crates/bench/src/bin/explore.rs
+
+/root/repo/target/release/deps/explore-f332092c77642f38: crates/bench/src/bin/explore.rs
+
+crates/bench/src/bin/explore.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/explore-fc2749ee2d294f5f.d: crates/bench/src/bin/explore.rs
+
+/root/repo/target/release/deps/explore-fc2749ee2d294f5f: crates/bench/src/bin/explore.rs
+
+crates/bench/src/bin/explore.rs:

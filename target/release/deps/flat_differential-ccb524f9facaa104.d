@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/flat_differential-ccb524f9facaa104.d: crates/bfdn/tests/flat_differential.rs
+
+/root/repo/target/release/deps/flat_differential-ccb524f9facaa104: crates/bfdn/tests/flat_differential.rs
+
+crates/bfdn/tests/flat_differential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/framing_abuse-744b24b6f4cdeb5e.d: crates/service/tests/framing_abuse.rs
+
+/root/repo/target/release/deps/framing_abuse-744b24b6f4cdeb5e: crates/service/tests/framing_abuse.rs
+
+crates/service/tests/framing_abuse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/graph_exploration-ce6a43a8d1492e4b.d: tests/graph_exploration.rs
+
+/root/repo/target/release/deps/graph_exploration-ce6a43a8d1492e4b: tests/graph_exploration.rs
+
+tests/graph_exploration.rs:

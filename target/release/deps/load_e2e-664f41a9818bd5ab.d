@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/load_e2e-664f41a9818bd5ab.d: crates/loadgen/tests/load_e2e.rs
+
+/root/repo/target/release/deps/load_e2e-664f41a9818bd5ab: crates/loadgen/tests/load_e2e.rs
+
+crates/loadgen/tests/load_e2e.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/observability-0c7daa5f1eb19cd2.d: crates/bfdn/tests/observability.rs
+
+/root/repo/target/release/deps/observability-0c7daa5f1eb19cd2: crates/bfdn/tests/observability.rs
+
+crates/bfdn/tests/observability.rs:

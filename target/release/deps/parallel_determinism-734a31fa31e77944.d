@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_determinism-734a31fa31e77944.d: crates/bench/tests/parallel_determinism.rs
+
+/root/repo/target/release/deps/parallel_determinism-734a31fa31e77944: crates/bench/tests/parallel_determinism.rs
+
+crates/bench/tests/parallel_determinism.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-ca34c7cc76f658d3.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-ca34c7cc76f658d3.rlib: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-ca34c7cc76f658d3.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

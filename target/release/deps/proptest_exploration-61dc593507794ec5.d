@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_exploration-61dc593507794ec5.d: tests/proptest_exploration.rs
+
+/root/repo/target/release/deps/proptest_exploration-61dc593507794ec5: tests/proptest_exploration.rs
+
+tests/proptest_exploration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-15492da72fcef330.d: crates/analysis/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-15492da72fcef330: crates/analysis/tests/proptests.rs
+
+crates/analysis/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-2ccc93f1860c9d57.d: crates/urn-game/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-2ccc93f1860c9d57: crates/urn-game/tests/proptests.rs
+
+crates/urn-game/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-42146206a55db4f3.d: crates/trees/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-42146206a55db4f3: crates/trees/tests/proptests.rs
+
+crates/trees/tests/proptests.rs:

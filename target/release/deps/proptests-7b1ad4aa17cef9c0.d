@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-7b1ad4aa17cef9c0.d: crates/baselines/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-7b1ad4aa17cef9c0: crates/baselines/tests/proptests.rs
+
+crates/baselines/tests/proptests.rs:

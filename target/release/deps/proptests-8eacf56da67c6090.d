@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-8eacf56da67c6090.d: crates/sim/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-8eacf56da67c6090: crates/sim/tests/proptests.rs
+
+crates/sim/tests/proptests.rs:

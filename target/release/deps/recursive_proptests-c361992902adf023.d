@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/recursive_proptests-c361992902adf023.d: crates/bfdn/tests/recursive_proptests.rs
+
+/root/repo/target/release/deps/recursive_proptests-c361992902adf023: crates/bfdn/tests/recursive_proptests.rs
+
+crates/bfdn/tests/recursive_proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_roundtrip-c702d048c111bece.d: crates/trees/tests/serde_roundtrip.rs
+
+/root/repo/target/release/deps/serde_roundtrip-c702d048c111bece: crates/trees/tests/serde_roundtrip.rs
+
+crates/trees/tests/serde_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_roundtrip-c74c90432ba86bc7.d: crates/sim/tests/serde_roundtrip.rs
+
+/root/repo/target/release/deps/serde_roundtrip-c74c90432ba86bc7: crates/sim/tests/serde_roundtrip.rs
+
+crates/sim/tests/serde_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/server_e2e-e20e3f924a5097e4.d: crates/service/tests/server_e2e.rs
+
+/root/repo/target/release/deps/server_e2e-e20e3f924a5097e4: crates/service/tests/server_e2e.rs
+
+crates/service/tests/server_e2e.rs:

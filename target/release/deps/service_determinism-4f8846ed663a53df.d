@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/service_determinism-4f8846ed663a53df.d: crates/bench/tests/service_determinism.rs
+
+/root/repo/target/release/deps/service_determinism-4f8846ed663a53df: crates/bench/tests/service_determinism.rs
+
+crates/bench/tests/service_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep-c6273d189a28c0e4.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/release/deps/sweep-c6273d189a28c0e4: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

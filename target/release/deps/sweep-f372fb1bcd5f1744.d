@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep-f372fb1bcd5f1744.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/release/deps/sweep-f372fb1bcd5f1744: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

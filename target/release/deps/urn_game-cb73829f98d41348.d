@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/urn_game-cb73829f98d41348.d: crates/urn-game/src/lib.rs crates/urn-game/src/adversary.rs crates/urn-game/src/allocation.rs crates/urn-game/src/board.rs crates/urn-game/src/dp.rs crates/urn-game/src/game.rs crates/urn-game/src/player.rs
+
+/root/repo/target/release/deps/urn_game-cb73829f98d41348: crates/urn-game/src/lib.rs crates/urn-game/src/adversary.rs crates/urn-game/src/allocation.rs crates/urn-game/src/board.rs crates/urn-game/src/dp.rs crates/urn-game/src/game.rs crates/urn-game/src/player.rs
+
+crates/urn-game/src/lib.rs:
+crates/urn-game/src/adversary.rs:
+crates/urn-game/src/allocation.rs:
+crates/urn-game/src/board.rs:
+crates/urn-game/src/dp.rs:
+crates/urn-game/src/game.rs:
+crates/urn-game/src/player.rs:

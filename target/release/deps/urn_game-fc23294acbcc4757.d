@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/urn_game-fc23294acbcc4757.d: crates/urn-game/src/lib.rs crates/urn-game/src/adversary.rs crates/urn-game/src/allocation.rs crates/urn-game/src/board.rs crates/urn-game/src/dp.rs crates/urn-game/src/game.rs crates/urn-game/src/player.rs
+
+/root/repo/target/release/deps/liburn_game-fc23294acbcc4757.rlib: crates/urn-game/src/lib.rs crates/urn-game/src/adversary.rs crates/urn-game/src/allocation.rs crates/urn-game/src/board.rs crates/urn-game/src/dp.rs crates/urn-game/src/game.rs crates/urn-game/src/player.rs
+
+/root/repo/target/release/deps/liburn_game-fc23294acbcc4757.rmeta: crates/urn-game/src/lib.rs crates/urn-game/src/adversary.rs crates/urn-game/src/allocation.rs crates/urn-game/src/board.rs crates/urn-game/src/dp.rs crates/urn-game/src/game.rs crates/urn-game/src/player.rs
+
+crates/urn-game/src/lib.rs:
+crates/urn-game/src/adversary.rs:
+crates/urn-game/src/allocation.rs:
+crates/urn-game/src/board.rs:
+crates/urn-game/src/dp.rs:
+crates/urn-game/src/game.rs:
+crates/urn-game/src/player.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/cave_survey-3b8ba1ac50c24ab9.d: examples/cave_survey.rs
+
+/root/repo/target/release/examples/cave_survey-3b8ba1ac50c24ab9: examples/cave_survey.rs
+
+examples/cave_survey.rs:

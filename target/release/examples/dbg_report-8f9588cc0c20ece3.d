@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dbg_report-8f9588cc0c20ece3.d: crates/loadgen/examples/dbg_report.rs
+
+/root/repo/target/release/examples/dbg_report-8f9588cc0c20ece3: crates/loadgen/examples/dbg_report.rs
+
+crates/loadgen/examples/dbg_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/margin_scan-ca4618ea8b9f9999.d: crates/service/examples/margin_scan.rs
+
+/root/repo/target/release/examples/margin_scan-ca4618ea8b9f9999: crates/service/examples/margin_scan.rs
+
+crates/service/examples/margin_scan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-6cbb971cbf3f638a.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-6cbb971cbf3f638a: examples/quickstart.rs
+
+examples/quickstart.rs:

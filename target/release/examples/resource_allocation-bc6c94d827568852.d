@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/resource_allocation-bc6c94d827568852.d: examples/resource_allocation.rs
+
+/root/repo/target/release/examples/resource_allocation-bc6c94d827568852: examples/resource_allocation.rs
+
+examples/resource_allocation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/warehouse_sweep-daf741c55a8a29b1.d: examples/warehouse_sweep.rs
+
+/root/repo/target/release/examples/warehouse_sweep-daf741c55a8a29b1: examples/warehouse_sweep.rs
+
+examples/warehouse_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/watch_bfdn-92eb6d1aee161344.d: examples/watch_bfdn.rs
+
+/root/repo/target/release/examples/watch_bfdn-92eb6d1aee161344: examples/watch_bfdn.rs
+
+examples/watch_bfdn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/whiteboard_expedition-187a41f338f6d15b.d: examples/whiteboard_expedition.rs
+
+/root/repo/target/release/examples/whiteboard_expedition-187a41f338f6d15b: examples/whiteboard_expedition.rs
+
+examples/whiteboard_expedition.rs:
