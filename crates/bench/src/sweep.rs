@@ -139,7 +139,11 @@ pub fn loadgen_report_summary(text: &str) -> Result<String, String> {
             lines.push(format!("load: cache hit ratio {ratio:.2}"));
         }
     }
-    for class in json.get("classes").and_then(Json::as_arr).unwrap_or_default() {
+    for class in json
+        .get("classes")
+        .and_then(Json::as_arr)
+        .unwrap_or_default()
+    {
         let (Some(name), Some(count)) = (
             class.get("class").and_then(Json::as_str),
             class.get("count").and_then(Json::as_u64),
@@ -158,6 +162,30 @@ pub fn loadgen_report_summary(text: &str) -> Result<String, String> {
             "load: {name:<24} count={count:<5} p50={} p99={}",
             quantile("p50_s"),
             quantile("p99_s")
+        ));
+        for entry in class
+            .get("slow_traces")
+            .and_then(Json::as_arr)
+            .unwrap_or_default()
+        {
+            let (Some(trace), Some(latency)) = (
+                entry.get("trace").and_then(Json::as_str),
+                entry.get("latency_s").and_then(Json::as_f64),
+            ) else {
+                continue;
+            };
+            lines.push(format!(
+                "load:   slowest {:.1}ms trace={trace}",
+                latency * 1e3
+            ));
+        }
+    }
+    if let (Some(recorded), Some(dropped)) = (
+        json.get("trace_recorded").and_then(Json::as_u64),
+        json.get("trace_dropped").and_then(Json::as_u64),
+    ) {
+        lines.push(format!(
+            "load: daemon spans recorded={recorded} dropped={dropped}"
         ));
     }
     Ok(lines.join("\n"))
@@ -239,7 +267,9 @@ mod tests {
         let report = r#"{"profile":"quick","seed":7,"workload_ops":48,"workload_ok":48,
             "throughput_rps":24.0,
             "daemon":{"bound_checked":40,"bound_violations":0,"cache_hit_ratio":0.25},
-            "classes":[{"class":"open","count":24,"p50_s":0.004,"p99_s":0.021},
+            "trace_recorded":96,"trace_dropped":0,
+            "classes":[{"class":"open","count":24,"p50_s":0.004,"p99_s":0.021,
+                        "slow_traces":[{"trace":"00000000000000ab","latency_s":0.021}]},
                        {"class":"closed","count":24,"p50_s":0.003,"p99_s":null}],
             "pass":true}"#;
         let summary = loadgen_report_summary(report).expect("well-formed report");
@@ -250,6 +280,8 @@ mod tests {
         assert!(summary.contains("open"));
         assert!(summary.contains("p50=4.0ms"));
         assert!(summary.contains("p99=n/a"), "null quantile renders as n/a");
+        assert!(summary.contains("slowest 21.0ms trace=00000000000000ab"));
+        assert!(summary.contains("daemon spans recorded=96 dropped=0"));
 
         assert!(loadgen_report_summary("not json").is_err());
         assert!(

@@ -76,7 +76,12 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let addr = match invocation.addr.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+    let addr = match invocation
+        .addr
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut a| a.next())
+    {
         Some(addr) => addr,
         None => {
             eprintln!("bfdn-load: cannot resolve `{}`", invocation.addr);
@@ -114,6 +119,16 @@ fn main() -> ExitCode {
             fmt_latency(class.p50_s),
             fmt_latency(class.p99_s),
         );
+        for entry in &class.slow_traces {
+            eprintln!(
+                "bfdn-load:   slowest {} trace={:016x}",
+                fmt_latency(entry.latency_s),
+                entry.trace
+            );
+        }
+    }
+    if let Some((recorded, dropped)) = outcome.trace_counters {
+        eprintln!("bfdn-load: daemon spans recorded={recorded} dropped={dropped}");
     }
     eprintln!(
         "bfdn-load: {} ops in {:.2}s ({:.1} req/s), {} chaos outcomes unexplained",

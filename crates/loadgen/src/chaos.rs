@@ -85,10 +85,7 @@ impl Persona {
                 ChaosOutcome::Disconnected,
             ) => true,
             // The structured reply can race our read against the drop.
-            (
-                Persona::OversizedPrefix,
-                ChaosOutcome::StructuredError(code),
-            ) => code == "too_large",
+            (Persona::OversizedPrefix, ChaosOutcome::StructuredError(code)) => code == "too_large",
             (Persona::OversizedPrefix, ChaosOutcome::Dropped) => true,
             (Persona::GarbageBytes, ChaosOutcome::StructuredError(_)) => true,
             // Reaped by the idle budget, or still idling when we left.
@@ -171,9 +168,7 @@ pub fn run_client(addr: SocketAddr, client: &ChaosClient) -> ChaosOutcome {
             send_and_vanish(stream, &bytes)
         }
         Persona::TruncatedPrefix => send_and_vanish(stream, &64u32.to_be_bytes()[..2]),
-        Persona::OversizedPrefix => {
-            expect_reply(stream, &(MAX_FRAME_LEN + 1).to_be_bytes())
-        }
+        Persona::OversizedPrefix => expect_reply(stream, &(MAX_FRAME_LEN + 1).to_be_bytes()),
         Persona::GarbageBytes => {
             let mut bytes = (client.payload.len() as u32).to_be_bytes().to_vec();
             bytes.extend_from_slice(&client.payload);
@@ -211,7 +206,11 @@ fn send_and_vanish(mut stream: TcpStream, bytes: &[u8]) -> ChaosOutcome {
 }
 
 fn expect_reply(mut stream: TcpStream, bytes: &[u8]) -> ChaosOutcome {
-    if stream.write_all(bytes).and_then(|()| stream.flush()).is_err() {
+    if stream
+        .write_all(bytes)
+        .and_then(|()| stream.flush())
+        .is_err()
+    {
         return ChaosOutcome::Dropped;
     }
     let _ = stream.shutdown(Shutdown::Write);
@@ -274,12 +273,13 @@ mod tests {
         assert!(Persona::SlowLoris.expects(&ChaosOutcome::CutOff));
         assert!(Persona::SlowLoris.expects(&ChaosOutcome::GaveUp));
         assert!(!Persona::SlowLoris.expects(&ChaosOutcome::Hungup));
-        assert!(Persona::OversizedPrefix
-            .expects(&ChaosOutcome::StructuredError("too_large".into())));
-        assert!(!Persona::OversizedPrefix
-            .expects(&ChaosOutcome::StructuredError("bad_request".into())));
-        assert!(Persona::GarbageBytes
-            .expects(&ChaosOutcome::StructuredError("bad_request".into())));
+        assert!(
+            Persona::OversizedPrefix.expects(&ChaosOutcome::StructuredError("too_large".into()))
+        );
+        assert!(
+            !Persona::OversizedPrefix.expects(&ChaosOutcome::StructuredError("bad_request".into()))
+        );
+        assert!(Persona::GarbageBytes.expects(&ChaosOutcome::StructuredError("bad_request".into())));
         assert!(Persona::ConnectIdle.expects(&ChaosOutcome::Reaped));
         assert!(Persona::ConnectIdle.expects(&ChaosOutcome::Idled));
         for persona in Persona::ALL {

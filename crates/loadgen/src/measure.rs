@@ -25,6 +25,20 @@ pub struct Collector {
 struct ClassHandles {
     latency: Arc<Histogram>,
     outcomes: BTreeMap<String, Arc<Counter>>,
+    /// The slowest traced operations seen so far, slowest first, capped
+    /// at [`SLOW_TRACES_PER_CLASS`].
+    slow: Vec<SlowTrace>,
+}
+
+/// How many slowest-trace entries each class keeps.
+pub const SLOW_TRACES_PER_CLASS: usize = 5;
+
+/// One slow operation worth drilling into: its latency and the trace id
+/// to look up in the daemon's span ring or Perfetto timeline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SlowTrace {
+    pub trace: u64,
+    pub latency_s: f64,
 }
 
 impl Default for Collector {
@@ -45,9 +59,23 @@ impl Collector {
     /// (`ok`, `error:<code>`, `io_error`, a chaos label, …), and its
     /// latency when one is meaningful.
     pub fn record(&self, class: &str, outcome: &str, latency_s: Option<f64>) {
+        self.record_traced(class, outcome, latency_s, None);
+    }
+
+    /// Like [`Collector::record`], additionally remembering the trace id
+    /// when the operation carried one — the slowest
+    /// [`SLOW_TRACES_PER_CLASS`] per class survive into the report.
+    pub fn record_traced(
+        &self,
+        class: &str,
+        outcome: &str,
+        latency_s: Option<f64>,
+        trace: Option<u64>,
+    ) {
         let mut state = self.state.lock().expect("collector");
-        let handles = state.entry(class.to_string()).or_insert_with(|| {
-            ClassHandles {
+        let handles = state
+            .entry(class.to_string())
+            .or_insert_with(|| ClassHandles {
                 latency: self.registry.histogram(
                     "bfdn_load_latency_seconds",
                     "Observed request latency per client class",
@@ -55,10 +83,20 @@ impl Collector {
                     &DEFAULT_LATENCY_BUCKETS,
                 ),
                 outcomes: BTreeMap::new(),
-            }
-        });
+                slow: Vec::new(),
+            });
         if let Some(latency) = latency_s {
             handles.latency.observe(latency);
+            if let Some(trace) = trace {
+                handles.slow.push(SlowTrace {
+                    trace,
+                    latency_s: latency,
+                });
+                handles
+                    .slow
+                    .sort_by(|a, b| b.latency_s.total_cmp(&a.latency_s));
+                handles.slow.truncate(SLOW_TRACES_PER_CLASS);
+            }
         }
         let counter = handles
             .outcomes
@@ -94,6 +132,7 @@ impl Collector {
                     count,
                     ok,
                     outcomes,
+                    slow_traces: handles.slow.clone(),
                     observed: handles.latency.count(),
                     mean_s: if handles.latency.count() == 0 {
                         f64::NAN
@@ -124,6 +163,9 @@ pub struct ClassSummary {
     pub ok: u64,
     /// `(label, count)` tallies in label order.
     pub outcomes: Vec<(String, u64)>,
+    /// The slowest traced operations, slowest first (at most
+    /// [`SLOW_TRACES_PER_CLASS`]); empty for untraced classes.
+    pub slow_traces: Vec<SlowTrace>,
     /// Operations that contributed a latency sample.
     pub observed: u64,
     pub mean_s: f64,
@@ -238,8 +280,7 @@ impl SloConfig {
     ) -> Vec<String> {
         let mut violations = Vec::new();
 
-        let workload: Vec<&ClassSummary> =
-            summaries.iter().filter(|s| s.is_workload()).collect();
+        let workload: Vec<&ClassSummary> = summaries.iter().filter(|s| s.is_workload()).collect();
         let total: u64 = workload.iter().map(|s| s.count).sum();
         let ok: u64 = workload.iter().map(|s| s.ok).sum();
         if total == 0 {
@@ -273,7 +314,7 @@ impl SloConfig {
             Some(stats) => {
                 if self.require_zero_bound_violations {
                     match stats.bound_violations {
-                        Some(v) if v == 0.0 => {}
+                        Some(0.0) => {}
                         Some(v) => violations
                             .push(format!("bfdn_bound_violations_total = {v} after the run")),
                         None => violations
@@ -402,12 +443,8 @@ mod tests {
             cache_hits: Some(45.0),
             cache_misses: Some(45.0),
         };
-        let failures = SloConfig::default().violations(
-            &collector.snapshot(),
-            Some(&daemon),
-            0,
-            Some(true),
-        );
+        let failures =
+            SloConfig::default().violations(&collector.snapshot(), Some(&daemon), 0, Some(true));
         assert_eq!(failures.len(), 1, "{failures:?}");
         assert!(failures[0].contains("error ratio"));
     }

@@ -3,8 +3,11 @@
 //!
 //! One object per run: identity (profile, seed, plan fingerprint),
 //! aggregate throughput, the SLO verdict with every violation named,
-//! daemon-side facts from the scrape, and one entry per client class
-//! with its outcome tallies and latency quantiles.
+//! daemon-side facts from the scrape (including the span recorder's
+//! recorded/dropped counters), and one entry per client class with its
+//! outcome tallies, latency quantiles, and the trace ids of its slowest
+//! operations — ready to drill into via `bfdn-request trace --id` or
+//! the daemon's Perfetto export.
 
 use crate::measure::{ClassSummary, DaemonStats};
 use crate::run::RunOutcome;
@@ -40,6 +43,12 @@ pub fn render(plan: &Plan, outcome: &RunOutcome, summaries: &[ClassSummary]) -> 
     match &outcome.daemon {
         Some(stats) => o.raw("daemon", &daemon_json(stats)),
         None => o.raw("daemon", "null"),
+    };
+    match outcome.trace_counters {
+        Some((recorded, dropped)) => o
+            .u64("trace_recorded", recorded)
+            .u64("trace_dropped", dropped),
+        None => o.raw("trace_recorded", "null").raw("trace_dropped", "null"),
     };
     o.raw("classes", &classes_json(summaries));
     o.raw("violations", &string_array(&outcome.violations));
@@ -77,11 +86,23 @@ fn classes_json(summaries: &[ClassSummary]) -> String {
         for (label, count) in &class.outcomes {
             outcomes.u64(label, *count);
         }
+        let mut slow = String::from("[");
+        for (i, entry) in class.slow_traces.iter().enumerate() {
+            if i > 0 {
+                slow.push(',');
+            }
+            let mut t = JsonObject::new();
+            t.str("trace", &format!("{:016x}", entry.trace))
+                .f64("latency_s", entry.latency_s);
+            slow.push_str(&t.finish());
+        }
+        slow.push(']');
         let mut o = JsonObject::new();
         o.str("class", &class.class)
             .u64("count", class.count)
             .u64("ok", class.ok)
             .raw("outcomes", &outcomes.finish())
+            .raw("slow_traces", &slow)
             .u64("observed", class.observed)
             .f64("mean_s", class.mean_s)
             .f64("p50_s", class.p50_s)
@@ -116,8 +137,8 @@ mod tests {
     fn report_round_trips_through_the_workspace_json_parser() {
         let plan = Plan::generate(&Profile::Quick.config(), 1);
         let collector = Collector::new();
-        for _ in 0..10 {
-            collector.record("open", "ok", Some(0.004));
+        for i in 0..10u64 {
+            collector.record_traced("open", "ok", Some(0.004 + i as f64 / 1000.0), Some(i | 1));
         }
         collector.record("open", "error:busy", None);
         let outcome = RunOutcome {
@@ -132,6 +153,7 @@ mod tests {
                 cache_misses: Some(7.0),
             }),
             probe_consistent: Some(true),
+            trace_counters: Some((42, 0)),
             violations: vec!["example \"quoted\" violation".into()],
             pass: false,
         };
@@ -160,10 +182,7 @@ mod tests {
         );
         let classes = json.get("classes").and_then(Json::as_arr).expect("classes");
         assert_eq!(classes.len(), 1);
-        assert_eq!(
-            classes[0].get("class").and_then(Json::as_str),
-            Some("open")
-        );
+        assert_eq!(classes[0].get("class").and_then(Json::as_str), Some("open"));
         assert_eq!(classes[0].get("count").and_then(Json::as_u64), Some(11));
         assert_eq!(
             classes[0]
@@ -172,15 +191,28 @@ mod tests {
                 .and_then(Json::as_u64),
             Some(1)
         );
+        assert_eq!(json.get("trace_recorded").and_then(Json::as_u64), Some(42));
+        assert_eq!(json.get("trace_dropped").and_then(Json::as_u64), Some(0));
+        let slow = classes[0]
+            .get("slow_traces")
+            .and_then(Json::as_arr)
+            .expect("slow_traces");
+        assert_eq!(slow.len(), 5, "top five slowest survive");
+        // Slowest first: the i=9 sample (0.013s, trace id 9).
+        assert_eq!(
+            slow[0].get("trace").and_then(Json::as_str),
+            Some("0000000000000009")
+        );
+        assert_eq!(
+            slow[0].get("latency_s").and_then(Json::as_f64),
+            Some(0.004 + 9.0 / 1000.0)
+        );
         let violations = json
             .get("violations")
             .and_then(Json::as_arr)
             .expect("violations");
         assert_eq!(violations.len(), 1);
-        assert_eq!(
-            violations[0].as_str(),
-            Some("example \"quoted\" violation")
-        );
+        assert_eq!(violations[0].as_str(), Some("example \"quoted\" violation"));
         // The fingerprint is stable across renders of the same plan.
         let again = render(&plan, &outcome, &collector.snapshot());
         assert_eq!(

@@ -6,6 +6,14 @@
 //! back-to-back over persistent connections, and one thread per chaos
 //! client. Wall-clock time only paces the schedule — everything *sent*
 //! was fixed at plan time.
+//!
+//! Every workload operation carries a deterministic trace id — an
+//! FNV-1a hash of `(plan fingerprint, class, operation index)`, forced
+//! odd so it never collides with the reserved zero id. Client-supplied
+//! ids are always traced server-side, so the report's slowest
+//! operations per class can be drilled into via the daemon's span ring
+//! or its Perfetto export. Chaos personas stay untraced: they speak raw
+//! bytes, not the protocol.
 
 use crate::chaos;
 use crate::measure::{scrape_http_metrics, Collector, DaemonStats, SloConfig};
@@ -30,6 +38,9 @@ pub struct RunOutcome {
     /// Post-storm consistency: the probe's served payload matched a
     /// fresh local execution, cold then cached.
     pub probe_consistent: Option<bool>,
+    /// `(recorded, dropped)` from the daemon's span recorder after the
+    /// run; `dropped == 0` certifies every span survived the ring.
+    pub trace_counters: Option<(u64, u64)>,
     pub violations: Vec<String>,
     pub pass: bool,
 }
@@ -47,9 +58,13 @@ pub fn execute(
     let started = Instant::now();
     let chaos_unexpected = AtomicU64::new(0);
 
+    let fingerprint = plan.fingerprint();
+
     std::thread::scope(|scope| {
-        for script in &plan.closed_loop {
-            scope.spawn(|| closed_loop_client(addr, script, collector));
+        for (client_index, script) in plan.closed_loop.iter().enumerate() {
+            scope.spawn(move || {
+                closed_loop_client(addr, script, collector, fingerprint, client_index)
+            });
         }
         for client in &plan.chaos {
             let chaos_unexpected = &chaos_unexpected;
@@ -69,12 +84,18 @@ pub fn execute(
         }
         // The open-loop scheduler fires each arrival on time and moves
         // on; completions are recorded by the per-request threads.
-        for arrival in &plan.open_loop {
+        for (index, arrival) in plan.open_loop.iter().enumerate() {
             sleep_until(started, arrival.at_ms);
-            scope.spawn(|| {
+            scope.spawn(move || {
+                let trace = trace_id(fingerprint, "open", index as u64);
                 let t0 = Instant::now();
-                let outcome = one_shot(addr, &arrival.op);
-                collector.record("open", &outcome, Some(t0.elapsed().as_secs_f64()));
+                let outcome = one_shot(addr, &arrival.op, trace);
+                collector.record_traced(
+                    "open",
+                    &outcome,
+                    Some(t0.elapsed().as_secs_f64()),
+                    Some(trace),
+                );
             });
         }
     });
@@ -82,6 +103,9 @@ pub fn execute(
     let probe_consistent = Some(run_probe(addr, plan, collector));
 
     let daemon = fetch_daemon_stats(addr, metrics_http);
+    let trace_counters = connect(addr)
+        .and_then(|mut client| client.trace_spans(None).ok())
+        .map(|t| (t.recorded, t.dropped));
     let duration_s = started.elapsed().as_secs_f64();
 
     let summaries = collector.snapshot();
@@ -110,9 +134,27 @@ pub fn execute(
         chaos_unexpected,
         daemon,
         probe_consistent,
+        trace_counters,
         pass: violations.is_empty(),
         violations,
     }
+}
+
+/// The deterministic trace id for one workload operation: FNV-1a over
+/// `(plan fingerprint, class, index)`, forced odd so it can never be the
+/// reserved zero id.
+fn trace_id(fingerprint: u64, class: &str, index: u64) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(&fingerprint.to_le_bytes());
+    eat(class.as_bytes());
+    eat(&index.to_le_bytes());
+    hash | 1
 }
 
 fn sleep_until(started: Instant, at_ms: u64) {
@@ -173,32 +215,50 @@ fn connect(addr: SocketAddr) -> Option<Client> {
 }
 
 /// One open-loop request on a fresh connection.
-fn one_shot(addr: SocketAddr, op: &Op) -> String {
+fn one_shot(addr: SocketAddr, op: &Op, trace: u64) -> String {
     match connect(addr) {
         None => "io_error".into(),
-        Some(mut client) => issue_on(&mut client, op),
+        Some(mut client) => issue_on(&mut client, op, trace),
     }
 }
 
 /// A closed-loop client: its script back-to-back over one connection,
-/// reconnecting only after an I/O failure.
-fn closed_loop_client(addr: SocketAddr, script: &[Op], collector: &Collector) {
+/// reconnecting only after an I/O failure. Per-operation trace ids fold
+/// in the client index so two clients' scripts never share an id.
+fn closed_loop_client(
+    addr: SocketAddr,
+    script: &[Op],
+    collector: &Collector,
+    fingerprint: u64,
+    client_index: usize,
+) {
     let mut conn: Option<Client> = None;
-    for op in script {
+    for (op_index, op) in script.iter().enumerate() {
+        let trace = trace_id(
+            fingerprint,
+            "closed",
+            (client_index as u64) << 32 | op_index as u64,
+        );
         let t0 = Instant::now();
         let mut current = conn.take().or_else(|| connect(addr));
         let outcome = match current.as_mut() {
             None => "io_error".into(),
-            Some(client) => issue_on(client, op),
+            Some(client) => issue_on(client, op, trace),
         };
         if outcome != "io_error" {
             conn = current;
         }
-        collector.record("closed", &outcome, Some(t0.elapsed().as_secs_f64()));
+        collector.record_traced(
+            "closed",
+            &outcome,
+            Some(t0.elapsed().as_secs_f64()),
+            Some(trace),
+        );
     }
 }
 
-fn issue_on(client: &mut Client, op: &Op) -> String {
+fn issue_on(client: &mut Client, op: &Op, trace: u64) -> String {
+    client.set_trace(Some(trace));
     let result = match op {
         Op::Explore(spec) => client.explore(spec.clone()).map(|_| ()),
         Op::Batch(specs) => client.batch(specs.clone()).map(|_| ()),

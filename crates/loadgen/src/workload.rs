@@ -21,17 +21,17 @@ use rand::{Rng, SeedableRng};
 /// `bfdn-l3`) trade the Theorem 1 constant for lower communication and
 /// plain `dfs` carries no collaborative guarantee — all three exceed
 /// the bound on parts of this grid, so they are excluded by design.
-const ALGO_CHOICES: [&str; 5] = [
-    "bfdn",
-    "bfdn-robust",
-    "bfdn-shortcut",
-    "write-read",
-    "cte",
-];
+const ALGO_CHOICES: [&str; 5] = ["bfdn", "bfdn-robust", "bfdn-shortcut", "write-read", "cte"];
 
 /// Tree families in the mix: the adversarial shapes from the paper's
 /// experiments plus the random families.
-const FAMILY_CHOICES: [&str; 5] = ["comb", "binary", "spider", "random-recursive", "caterpillar"];
+const FAMILY_CHOICES: [&str; 5] = [
+    "comb",
+    "binary",
+    "spider",
+    "random-recursive",
+    "caterpillar",
+];
 
 /// The three shipped load profiles.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -244,7 +244,8 @@ impl Plan {
             "comb",
             300,
             4,
-            seed.wrapping_mul(1_000_003).wrapping_add(u64::from(u32::MAX)),
+            seed.wrapping_mul(1_000_003)
+                .wrapping_add(u64::from(u32::MAX)),
         );
 
         Plan {
@@ -402,11 +403,7 @@ mod tests {
     fn chaos_profile_includes_every_persona() {
         let plan = Plan::generate(&Profile::Chaos.config(), 1);
         for persona in Persona::ALL {
-            let count = plan
-                .chaos
-                .iter()
-                .filter(|c| c.persona == persona)
-                .count();
+            let count = plan.chaos.iter().filter(|c| c.persona == persona).count();
             assert_eq!(count, 2, "{persona:?} appears once per rotation");
         }
         assert!(Plan::generate(&Profile::Quick.config(), 1).chaos.is_empty());

@@ -50,8 +50,7 @@ fn chaos_run_passes_slo_against_a_live_daemon() {
         assert_eq!(class.count, 2, "{class_name}: {:?}", class.outcomes);
     }
     assert_eq!(
-        outcome.chaos_unexpected,
-        0,
+        outcome.chaos_unexpected, 0,
         "unexplained chaos outcomes: {summaries:#?}"
     );
 
@@ -73,10 +72,7 @@ fn chaos_run_passes_slo_against_a_live_daemon() {
     let json = Json::parse(&text).expect("report parses");
     assert_eq!(json.get("pass").and_then(Json::as_bool), Some(true));
     assert_eq!(json.get("profile").and_then(Json::as_str), Some("chaos"));
-    assert_eq!(
-        json.get("chaos_unexpected").and_then(Json::as_u64),
-        Some(0)
-    );
+    assert_eq!(json.get("chaos_unexpected").and_then(Json::as_u64), Some(0));
     let classes = json.get("classes").and_then(Json::as_arr).expect("classes");
     assert!(
         classes.len() >= Persona::ALL.len() + 3,

@@ -20,7 +20,10 @@
 //! Long-lived processes (the `bfdn-serve` daemon) aggregate across many
 //! runs through the [`metrics`] module: lock-free counters, gauges and
 //! fixed-bucket histograms in a shared registry, rendered as Prometheus
-//! text exposition.
+//! text exposition. Per-request causality — "why was *this* request
+//! slow" — comes from the [`tracing`] module: span trees in a bounded
+//! non-blocking ring, exported as JSONL or Perfetto-loadable Chrome
+//! trace-event JSON.
 //!
 //! A finished run is summarized by a [`RunManifest`] (algorithm,
 //! workload, seed, `n`, `D`, `Δ`, `k`, git revision, per-phase
@@ -52,6 +55,7 @@ mod manifest;
 pub mod metrics;
 mod phase;
 mod sink;
+pub mod tracing;
 
 pub use bound::{BoundConfig, BoundTracker, MarginSample};
 pub use event::Event;
@@ -59,3 +63,4 @@ pub use manifest::{git_revision, RunManifest};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
 pub use phase::Phases;
 pub use sink::{EventSink, FanOut, JsonlSink, LogLevel, MemorySink, NullSink, StderrLog};
+pub use tracing::{SpanRecord, SpanRecorder, SpanSink, TraceFormat, TraceWriter, Tracer};

@@ -2,13 +2,14 @@
 //!
 //! ```text
 //! bfdn-request [--addr HOST:PORT] [--retry N] [--backoff-ms M]
-//!              [--backoff-jitter MS] [--jitter-seed N]
+//!              [--backoff-jitter MS] [--jitter-seed N] [--trace]
 //!              explore --algo A --family F --n N --k K --seed S
 //!              [--manifest] [--delay-ms MS]
 //! bfdn-request [--addr HOST:PORT] [--retry N] [--backoff-ms M]
-//!              [--backoff-jitter MS] [--jitter-seed N]
+//!              [--backoff-jitter MS] [--jitter-seed N] [--trace]
 //!              batch --algos A,B --families F,G
 //!              --n N --ks K1,K2 --seeds S [--delay-ms MS]
+//! bfdn-request [--addr HOST:PORT] trace [--id HEX16]
 //! bfdn-request [--addr HOST:PORT] status
 //! bfdn-request [--addr HOST:PORT] cache-stats
 //! bfdn-request [--addr HOST:PORT] metrics
@@ -34,9 +35,19 @@
 //! jitter decorrelates clients rejected by the same Busy burst so they
 //! do not re-arrive as a thundering herd. The jitter stream is seeded
 //! (`--jitter-seed`, default: process id) and therefore reproducible.
+//!
+//! `--trace` attaches a client-generated trace id (derived from the
+//! jitter seed, so reproducible with `--jitter-seed`) to the explore or
+//! batch request, then fetches the server-side span tree for that id
+//! and prints an indented breakdown to stderr. Busy/draining failures
+//! (exit codes 3 and 4) include the trace id so the rejected attempt
+//! can still be found in the server's span ring. The `trace` verb dumps
+//! the server's recent-span ring as one JSON span per line (optionally
+//! filtered to one trace with `--id`).
 
+use bfdn_obs::tracing::{hex16, parse_hex16};
 use bfdn_service::client::Client;
-use bfdn_service::protocol::{ErrorCode, ExploreSpec, Request, Response, WireError};
+use bfdn_service::protocol::{ErrorCode, ExploreSpec, Request, Response, SpanPayload, WireError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::process::ExitCode;
@@ -47,12 +58,14 @@ struct Invocation {
     backoff_ms: u64,
     backoff_jitter: u64,
     jitter_seed: u64,
+    trace: bool,
     command: Command,
 }
 
 enum Command {
     Explore(ExploreSpec),
     Batch(Vec<ExploreSpec>),
+    Trace(Option<u64>),
     Status,
     CacheStats,
     Metrics,
@@ -66,6 +79,7 @@ fn parse(args: Vec<String>) -> Result<Invocation, String> {
     let mut backoff_ms = 100u64;
     let mut backoff_jitter: Option<u64> = None;
     let mut jitter_seed = u64::from(std::process::id());
+    let mut trace = false;
     loop {
         match it.peek().map(String::as_str) {
             Some("--addr") => {
@@ -85,13 +99,19 @@ fn parse(args: Vec<String>) -> Result<Invocation, String> {
             Some("--backoff-jitter") => {
                 it.next();
                 let v = it.next().ok_or("--backoff-jitter needs a value")?;
-                backoff_jitter =
-                    Some(v.parse().map_err(|_| format!("bad --backoff-jitter `{v}`"))?);
+                backoff_jitter = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --backoff-jitter `{v}`"))?,
+                );
             }
             Some("--jitter-seed") => {
                 it.next();
                 let v = it.next().ok_or("--jitter-seed needs a value")?;
                 jitter_seed = v.parse().map_err(|_| format!("bad --jitter-seed `{v}`"))?;
+            }
+            Some("--trace") => {
+                it.next();
+                trace = true;
             }
             _ => break,
         }
@@ -100,12 +120,13 @@ fn parse(args: Vec<String>) -> Result<Invocation, String> {
     // fixed backoff keeps simultaneously rejected clients decorrelated.
     let backoff_jitter = backoff_jitter.unwrap_or(backoff_ms);
     let verb = it.next().ok_or(
-        "missing command (one of: explore, batch, status, cache-stats, metrics, shutdown)",
+        "missing command (one of: explore, batch, trace, status, cache-stats, metrics, shutdown)",
     )?;
     let rest: Vec<String> = it.collect();
     let command = match verb.as_str() {
         "explore" => Command::Explore(parse_explore(rest)?),
         "batch" => Command::Batch(parse_batch(rest)?),
+        "trace" => Command::Trace(parse_trace(rest)?),
         "status" => Command::Status,
         "cache-stats" => Command::CacheStats,
         "metrics" => Command::Metrics,
@@ -118,8 +139,27 @@ fn parse(args: Vec<String>) -> Result<Invocation, String> {
         backoff_ms,
         backoff_jitter,
         jitter_seed,
+        trace,
         command,
     })
+}
+
+fn parse_trace(args: Vec<String>) -> Result<Option<u64>, String> {
+    let mut filter = None;
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--id" => {
+                let v = it.next().ok_or("--id needs a value")?;
+                let id = parse_hex16(&v)
+                    .filter(|&id| id != 0)
+                    .ok_or_else(|| format!("bad --id `{v}` (want 16 nonzero hex digits)"))?;
+                filter = Some(id);
+            }
+            other => return Err(format!("unknown trace flag `{other}`")),
+        }
+    }
+    Ok(filter)
 }
 
 fn parse_explore(args: Vec<String>) -> Result<ExploreSpec, String> {
@@ -234,6 +274,18 @@ impl Failure {
             None => Failure::plain(e.to_string()),
         }
     }
+
+    /// Tags busy/draining failures (exit codes 3 and 4) with the trace
+    /// id the rejected request carried, so the attempt can still be
+    /// correlated with the server's span ring.
+    fn with_trace(mut self, trace: Option<u64>) -> Self {
+        if let Some(id) = trace {
+            if self.exit == 3 || self.exit == 4 {
+                self.message = format!("{} [trace_id={}]", self.message, hex16(id));
+            }
+        }
+        self
+    }
 }
 
 /// Busy-retry policy: attempt budget, fixed backoff, and the seeded
@@ -305,20 +357,44 @@ fn run(invocation: Invocation) -> Result<(), Failure> {
     let mut policy = RetryPolicy::new(&invocation);
     let mut client = Client::connect(&invocation.addr)
         .map_err(|e| Failure::plain(format!("cannot connect to {}: {e}", invocation.addr)))?;
+    // The trace id is drawn from its own copy of the seeded stream so it
+    // is reproducible with --jitter-seed yet leaves the backoff jitter
+    // sequence untouched. `| 1` keeps it off the reserved zero id.
+    let trace = invocation
+        .trace
+        .then(|| StdRng::seed_from_u64(invocation.jitter_seed).random::<u64>() | 1);
+    client.set_trace(trace);
     match invocation.command {
         Command::Explore(spec) => {
-            let result = with_retry(&mut policy, || client.explore(spec.clone()))?;
+            let result = with_retry(&mut policy, || client.explore(spec.clone()))
+                .map_err(|f| f.with_trace(trace))?;
             eprintln!("cached={}", result.cached);
             println!("{}", result.payload_json());
+            print_trace_breakdown(&mut client, trace)?;
         }
         Command::Batch(specs) => {
             let count = specs.len();
-            let (results, hits, misses) =
-                with_retry(&mut policy, || client.batch(specs.clone()))?;
+            let (results, hits, misses) = with_retry(&mut policy, || client.batch(specs.clone()))
+                .map_err(|f| f.with_trace(trace))?;
             for result in &results {
                 println!("{}", result.payload_json());
             }
             eprintln!("hits={hits} misses={misses} ({count} items)");
+            print_trace_breakdown(&mut client, trace)?;
+        }
+        Command::Trace(filter) => {
+            let payload = client
+                .trace_spans(filter)
+                .map_err(|e| Failure::from_client(&e))?;
+            for span in &payload.spans {
+                println!("{}", span.to_json_value());
+            }
+            eprintln!(
+                "spans={} recorded={} dropped={}",
+                payload.spans.len(),
+                payload.recorded,
+                payload.dropped
+            );
         }
         Command::Status => {
             print_document(&mut client, &Request::Status)?;
@@ -336,6 +412,47 @@ fn run(invocation: Invocation) -> Result<(), Failure> {
         }
     }
     Ok(())
+}
+
+/// Fetches and prints the server-side span tree for `trace` (when set)
+/// as an indented breakdown on stderr. The fetch happens on the same
+/// connection right after the traced request, so the spans are already
+/// in the ring by the time we ask.
+fn print_trace_breakdown(client: &mut Client, trace: Option<u64>) -> Result<(), Failure> {
+    let Some(id) = trace else { return Ok(()) };
+    let payload = client
+        .trace_spans(Some(id))
+        .map_err(|e| Failure::from_client(&e))?;
+    eprintln!(
+        "trace {} ({} spans, recorder dropped {})",
+        hex16(id),
+        payload.spans.len(),
+        payload.dropped
+    );
+    let roots: Vec<&SpanPayload> = payload.spans.iter().filter(|s| s.parent == 0).collect();
+    for root in roots {
+        print_span(&payload.spans, root, 1);
+    }
+    Ok(())
+}
+
+fn print_span(spans: &[SpanPayload], span: &SpanPayload, depth: usize) {
+    let attrs: Vec<String> = span
+        .attrs
+        .iter()
+        .map(|(key, value)| format!("{key}={value}"))
+        .collect();
+    eprintln!(
+        "{:indent$}{} {:.1}us {}",
+        "",
+        span.name,
+        span.duration_ns as f64 / 1_000.0,
+        attrs.join(" "),
+        indent = depth * 2
+    );
+    for child in spans.iter().filter(|s| s.parent == span.span) {
+        print_span(spans, child, depth + 1);
+    }
 }
 
 /// Prints the raw (already-JSON) reply document for introspection verbs.

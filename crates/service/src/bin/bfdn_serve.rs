@@ -7,6 +7,7 @@
 //!            [--metrics-addr HOST:PORT] [--metrics-scrapers N]
 //!            [--access-log PATH] [--slow-ms MS]
 //!            [--batch-split N] [--read-timeout-ms MS]
+//!            [--trace-out PATH] [--trace-sample N]
 //! ```
 //!
 //! The process serves until a client sends a `shutdown` request, then
@@ -63,9 +64,16 @@ fn parse(args: impl IntoIterator<Item = String>) -> Result<ServerConfig, String>
                     .parse()
                     .map_err(|_| format!("bad --read-timeout-ms `{v}`"))?;
             }
+            "--trace-out" => config.trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--trace-sample" => {
+                let v = value("--trace-sample")?;
+                config.trace_sample = v.parse().map_err(|_| format!("bad --trace-sample `{v}`"))?;
+            }
             "--metrics-scrapers" => {
                 let v = value("--metrics-scrapers")?;
-                let n: usize = v.parse().map_err(|_| format!("bad --metrics-scrapers `{v}`"))?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("bad --metrics-scrapers `{v}`"))?;
                 config.metrics_scrapers = n.max(1);
             }
             other => {
@@ -73,7 +81,7 @@ fn parse(args: impl IntoIterator<Item = String>) -> Result<ServerConfig, String>
                     "unknown flag `{other}` (try --addr --workers --queue-depth \
                      --cache-capacity --cache-shards --spill --manifest-dir \
                      --metrics-addr --metrics-scrapers --access-log --slow-ms \
-                     --batch-split --read-timeout-ms)"
+                     --batch-split --read-timeout-ms --trace-out --trace-sample)"
                 ))
             }
         }

@@ -10,7 +10,7 @@
 
 use crate::protocol::{
     read_frame, write_frame, CacheStatsPayload, ExploreResult, ExploreSpec, FrameError, Request,
-    Response, StatusPayload, WireError,
+    Response, StatusPayload, TracePayload, WireError,
 };
 use std::fmt;
 use std::io;
@@ -65,6 +65,8 @@ impl ClientError {
 /// A connected client.
 pub struct Client {
     stream: TcpStream,
+    trace: Option<u64>,
+    last_trace: Option<u64>,
 }
 
 impl Client {
@@ -76,7 +78,26 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Client { stream })
+        Ok(Client {
+            stream,
+            trace: None,
+            last_trace: None,
+        })
+    }
+
+    /// Attaches (or detaches) a trace id to every subsequent request.
+    ///
+    /// A nonzero id rides the wire envelope, forces server-side span
+    /// recording for those requests, and is echoed back in each reply.
+    /// Zero is reserved and silently treated as "no trace".
+    pub fn set_trace(&mut self, trace: Option<u64>) {
+        self.trace = trace.filter(|&id| id != 0);
+    }
+
+    /// The trace id the server echoed (or assigned, under sampling) on
+    /// the most recent reply, if any.
+    pub fn last_trace(&self) -> Option<u64> {
+        self.last_trace
     }
 
     /// Sets (or clears) the receive timeout — useful for tests that must
@@ -99,13 +120,25 @@ impl Client {
     /// Fails on transport or decoding problems; a structured server
     /// error is a *successful* call here.
     pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
-        write_frame(&mut self.stream, &request.to_json())?;
+        let trace = self.trace;
+        self.request_traced(request, trace)
+    }
+
+    fn request_traced(
+        &mut self,
+        request: &Request,
+        trace: Option<u64>,
+    ) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &request.to_json_traced(trace))?;
         let payload = match read_frame(&mut self.stream) {
             Ok(p) => p,
             Err(FrameError::Io(e)) => return Err(ClientError::Io(e)),
             Err(e) => return Err(ClientError::Frame(e)),
         };
-        Response::from_json(&payload).map_err(ClientError::Decode)
+        let (response, echoed) =
+            Response::from_json_traced(&payload).map_err(ClientError::Decode)?;
+        self.last_trace = echoed;
+        Ok(response)
     }
 
     fn expect(&mut self, request: &Request) -> Result<Response, ClientError> {
@@ -181,6 +214,21 @@ impl Client {
         match self.expect(&Request::Metrics)? {
             Response::Metrics(text) => Ok(text),
             _ => Err(ClientError::Unexpected("non-metrics")),
+        }
+    }
+
+    /// Fetches the server's recent-span ring, optionally filtered to one
+    /// trace id. The filter rides the request's own `trace` envelope
+    /// field; the `trace` request itself is never traced.
+    ///
+    /// # Errors
+    ///
+    /// Transport/decoding failures, or the server's structured error.
+    pub fn trace_spans(&mut self, filter: Option<u64>) -> Result<TracePayload, ClientError> {
+        match self.request_traced(&Request::Trace, filter.filter(|&id| id != 0))? {
+            Response::Error(e) => Err(ClientError::Server(e)),
+            Response::Trace(t) => Ok(t),
+            _ => Err(ClientError::Unexpected("non-trace")),
         }
     }
 

@@ -12,7 +12,7 @@
 use crate::protocol::{ExploreResult, ExploreSpec, MetricsPayload, WireError};
 use bfdn::{Bfdn, BfdnL, WriteReadBfdn};
 use bfdn_baselines::{Cte, OnlineDfs};
-use bfdn_obs::{BoundConfig, BoundTracker, Phases, RunManifest};
+use bfdn_obs::{BoundConfig, BoundTracker, Event, EventSink, NullSink, Phases, RunManifest};
 use bfdn_sim::{Explorer, Simulator};
 use bfdn_trees::generators::Family;
 use rand::SeedableRng;
@@ -99,6 +99,27 @@ pub fn validate(spec: &ExploreSpec) -> Result<(), WireError> {
     Ok(())
 }
 
+/// Forwards every simulator event to the [`BoundTracker`] *and* an
+/// external observer, so one run can feed the margin checks and a
+/// request's span tree at the same time.
+struct Tee<'a> {
+    tracker: BoundTracker,
+    observer: &'a mut dyn EventSink,
+}
+
+impl EventSink for Tee<'_> {
+    fn emit(&mut self, event: &Event) {
+        self.tracker.emit(event);
+        self.observer.emit(event);
+    }
+
+    fn enabled(&self) -> bool {
+        // The tracker always listens (it is what checks the bounds), so
+        // the tee is enabled regardless of the observer.
+        true
+    }
+}
+
 /// Runs one validated spec to completion.
 ///
 /// The run is observed end-to-end: phases (`build_tree`, `explore`) are
@@ -112,6 +133,23 @@ pub fn validate(spec: &ExploreSpec) -> Result<(), WireError> {
 /// Returns a `bad_request` error from [`validate`], or an `internal`
 /// error if the simulation itself fails (round limit, invalid move).
 pub fn run_spec(spec: &ExploreSpec) -> Result<(ExploreResult, RunManifest), WireError> {
+    run_spec_observed(spec, &mut NullSink)
+}
+
+/// [`run_spec`] with an external observer: every simulator event is
+/// forwarded to `observer` alongside the bound tracker, and the
+/// per-phase wall clocks (`build_tree`, `explore`, the simulator's
+/// `sim_rounds`) are re-emitted as [`Event::PhaseTimer`]s once the run
+/// finishes — the server's span recorder turns them into child spans of
+/// the request's `run_spec` span.
+///
+/// # Errors
+///
+/// See [`run_spec`].
+pub fn run_spec_observed(
+    spec: &ExploreSpec,
+    observer: &mut dyn EventSink,
+) -> Result<(ExploreResult, RunManifest), WireError> {
     validate(spec)?;
     if spec.options.delay_ms > 0 {
         std::thread::sleep(std::time::Duration::from_millis(spec.options.delay_ms));
@@ -132,7 +170,7 @@ pub fn run_spec(spec: &ExploreSpec) -> Result<(ExploreResult, RunManifest), Wire
     });
 
     let mut explorer = build_explorer(&spec.algorithm, k).expect("validated algorithm");
-    let mut sim = Simulator::new(&tree, k).with_sink(tracker);
+    let mut sim = Simulator::new(&tree, k).with_sink(Tee { tracker, observer });
     let outcome = phases
         .time("explore", || sim.run(explorer.as_mut()))
         .map_err(|e| {
@@ -141,7 +179,9 @@ pub fn run_spec(spec: &ExploreSpec) -> Result<(ExploreResult, RunManifest), Wire
                 format!("simulation failed: {e}"),
             )
         })?;
-    let tracker = sim.into_sink();
+    let tee = sim.into_sink();
+    let tracker = tee.tracker;
+    phases.emit(tee.observer);
 
     let mut manifest = RunManifest::new(&spec.algorithm, &spec.family);
     manifest.seed = spec.seed;
@@ -235,6 +275,27 @@ mod tests {
         let mut slow = ExploreSpec::new("bfdn", "comb", 100, 4, 0);
         slow.options.delay_ms = MAX_DELAY_MS + 1;
         assert!(validate(&slow).is_err());
+    }
+
+    #[test]
+    fn observed_runs_emit_phase_timers_for_span_building() {
+        use bfdn_obs::MemorySink;
+        let spec = ExploreSpec::new("bfdn", "comb", 60, 4, 1);
+        let mut sink = MemorySink::default();
+        let (observed, _) = run_spec_observed(&spec, &mut sink).unwrap();
+        let (plain, _) = run_spec(&spec).unwrap();
+        assert_eq!(observed, plain, "observation must not perturb the run");
+        let phases: Vec<&str> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::PhaseTimer { phase, .. } => Some(*phase),
+                _ => None,
+            })
+            .collect();
+        assert!(phases.contains(&"build_tree"), "{phases:?}");
+        assert!(phases.contains(&"explore"), "{phases:?}");
+        assert!(phases.contains(&"sim_rounds"), "{phases:?}");
     }
 
     #[test]

@@ -11,12 +11,24 @@
 //! behind the `serde` feature wire the types into serde-aware callers
 //! without pulling a format crate onto the wire path.
 //!
+//! Documents may additionally carry an optional top-level `"trace"`
+//! field — a nonzero trace id in 16-digit hex — propagated outside the
+//! typed [`Request`]/[`Response`] enums by
+//! [`Request::to_json_traced`]/[`Request::from_json_traced`] (and the
+//! `Response` twins). The server echoes a request's trace id in its
+//! reply and threads it through batch-split sub-jobs, so one traced
+//! request yields one span tree; [`Request::Trace`] fetches the
+//! server's recent-span ring ([`TracePayload`]) for live introspection.
+//! The trace id deliberately stays out of [`ExploreSpec::canonical`]:
+//! tracing must never fragment the result cache.
+//!
 //! Errors are structured ([`WireError`] with an [`ErrorCode`]), so
 //! clients can distinguish a malformed request from backpressure
 //! ([`ErrorCode::Busy`]) or a draining server.
 
 use crate::jsonval::{Json, JsonError};
 use bfdn_obs::json::{escape_into, float_into, JsonObject};
+use bfdn_obs::tracing::{hex16, parse_hex16, SpanRecord};
 use bfdn_sim::Metrics;
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -181,15 +193,28 @@ pub enum Request {
     /// aggregates) — the wire-protocol twin of the `--metrics-addr`
     /// HTTP endpoint.
     Metrics,
+    /// The server's recent-span ring ([`TracePayload`]). When the
+    /// document carries a `trace` envelope id, only that trace's spans
+    /// are returned; the request itself is never traced.
+    Trace,
     /// Stop accepting work, drain in-flight jobs, and exit.
     Shutdown,
 }
 
 impl Request {
-    /// Serializes the request document.
+    /// Serializes the request document without a trace id.
     pub fn to_json(&self) -> String {
+        self.to_json_traced(None)
+    }
+
+    /// Serializes the request document, attaching `trace` as the
+    /// envelope trace id when given.
+    pub fn to_json_traced(&self, trace: Option<u64>) -> String {
         let mut o = JsonObject::new();
         o.u64("v", PROTOCOL_VERSION);
+        if let Some(id) = trace {
+            o.str("trace", &hex16(id));
+        }
         match self {
             Request::Explore(spec) => {
                 o.str("type", "explore");
@@ -209,6 +234,9 @@ impl Request {
             Request::Metrics => {
                 o.str("type", "metrics");
             }
+            Request::Trace => {
+                o.str("type", "trace");
+            }
             Request::Shutdown => {
                 o.str("type", "shutdown");
             }
@@ -216,15 +244,27 @@ impl Request {
         o.finish()
     }
 
-    /// Decodes a request document, checking version and type.
+    /// Decodes a request document, checking version and type and
+    /// discarding any envelope trace id.
     ///
     /// # Errors
     ///
     /// Returns a [`WireError`] (ready to send back) describing the
     /// malformation or version mismatch.
     pub fn from_json(text: &str) -> Result<Request, WireError> {
+        Self::from_json_traced(text).map(|(request, _)| request)
+    }
+
+    /// Decodes a request document along with its envelope trace id.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] describing the malformation, version
+    /// mismatch, or an invalid `trace` field.
+    pub fn from_json_traced(text: &str) -> Result<(Request, Option<u64>), WireError> {
         let v = parse_versioned(text)?;
-        match require_str(&v, "type")? {
+        let trace = envelope_trace(&v)?;
+        let request = match require_str(&v, "type")? {
             "explore" => Ok(Request::Explore(ExploreSpec::from_value(&v)?)),
             "batch" => {
                 let items = v
@@ -243,11 +283,13 @@ impl Request {
             "status" => Ok(Request::Status),
             "cache_stats" => Ok(Request::CacheStats),
             "metrics" => Ok(Request::Metrics),
+            "trace" => Ok(Request::Trace),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(WireError::bad_request(format!(
                 "unknown request type `{other}`"
             ))),
-        }
+        }?;
+        Ok((request, trace))
     }
 }
 
@@ -625,6 +667,154 @@ impl CacheStatsPayload {
     }
 }
 
+/// One span of a server-side trace, in wire form (see
+/// [`bfdn_obs::tracing::SpanRecord`] for the recorder-side twin).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SpanPayload {
+    /// The trace this span belongs to (nonzero).
+    pub trace: u64,
+    /// This span's id (nonzero, unique within the serving process).
+    pub span: u64,
+    /// Parent span id; `0` for the tree root.
+    pub parent: u64,
+    /// Operation name (`"request"`, `"execute"`, `"build_tree"`, …).
+    pub name: String,
+    /// Start, in nanoseconds since the server's recorder epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub duration_ns: u64,
+    /// Attributes, rendered to strings for the wire.
+    pub attrs: Vec<(String, String)>,
+}
+
+impl From<&SpanRecord> for SpanPayload {
+    fn from(record: &SpanRecord) -> Self {
+        SpanPayload {
+            trace: record.trace,
+            span: record.span,
+            parent: record.parent,
+            name: record.name.to_string(),
+            start_ns: record.start_ns,
+            duration_ns: record.duration_ns,
+            attrs: record
+                .attrs
+                .iter()
+                .map(|(key, value)| (key.to_string(), value.render()))
+                .collect(),
+        }
+    }
+}
+
+impl SpanPayload {
+    /// Renders one span as a standalone JSON object — the same document
+    /// shape the wire uses, so tools can print spans one per line.
+    pub fn to_json_value(&self) -> String {
+        let parent = if self.parent == 0 {
+            String::new()
+        } else {
+            hex16(self.parent)
+        };
+        let mut o = JsonObject::new();
+        o.str("trace", &hex16(self.trace))
+            .str("span", &hex16(self.span))
+            .str("parent", &parent)
+            .str("name", &self.name)
+            .u64("start_ns", self.start_ns)
+            .u64("dur_ns", self.duration_ns);
+        if !self.attrs.is_empty() {
+            let mut attrs = String::from("{");
+            for (i, (key, value)) in self.attrs.iter().enumerate() {
+                if i > 0 {
+                    attrs.push(',');
+                }
+                escape_into(&mut attrs, key);
+                attrs.push(':');
+                escape_into(&mut attrs, value);
+            }
+            attrs.push('}');
+            o.raw("attrs", &attrs);
+        }
+        o.finish()
+    }
+
+    fn from_value(v: &Json) -> Result<Self, WireError> {
+        let id = |key: &str| -> Result<u64, WireError> {
+            let s = require_str(v, key)?;
+            parse_hex16(s).filter(|&id| id != 0).ok_or_else(|| {
+                WireError::bad_request(format!("span `{key}` must be 16 hex digits"))
+            })
+        };
+        let parent = match v.get("parent").and_then(Json::as_str) {
+            None | Some("") => 0,
+            Some(s) => parse_hex16(s)
+                .ok_or_else(|| WireError::bad_request("span `parent` must be 16 hex digits"))?,
+        };
+        let attrs = match v.get("attrs") {
+            None => Vec::new(),
+            Some(Json::Obj(entries)) => entries
+                .iter()
+                .map(|(key, value)| {
+                    value
+                        .as_str()
+                        .map(|s| (key.clone(), s.to_string()))
+                        .ok_or_else(|| WireError::bad_request("span attrs must be strings"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(_) => return Err(WireError::bad_request("span `attrs` must be an object")),
+        };
+        Ok(SpanPayload {
+            trace: id("trace")?,
+            span: id("span")?,
+            parent,
+            name: require_str(v, "name")?.to_string(),
+            start_ns: require_u64(v, "start_ns")?,
+            duration_ns: require_u64(v, "dur_ns")?,
+            attrs,
+        })
+    }
+}
+
+/// The recent-span ring reported by [`Request::Trace`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TracePayload {
+    /// Spans currently in the ring (filtered to one trace when the
+    /// request carried an envelope trace id), sorted by start time.
+    pub spans: Vec<SpanPayload>,
+    /// Spans accepted by the recorder over its lifetime.
+    pub recorded: u64,
+    /// Spans lost to ring wrap-around or write contention; `0` means
+    /// the ring still holds everything ever recorded.
+    pub dropped: u64,
+}
+
+impl TracePayload {
+    fn to_json_value(&self) -> String {
+        let items: Vec<String> = self.spans.iter().map(SpanPayload::to_json_value).collect();
+        let mut o = JsonObject::new();
+        o.raw("spans", &format!("[{}]", items.join(",")))
+            .u64("recorded", self.recorded)
+            .u64("dropped", self.dropped);
+        o.finish()
+    }
+
+    fn from_value(v: &Json) -> Result<Self, WireError> {
+        let spans = v
+            .get("spans")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| WireError::bad_request("trace needs a `spans` array"))?
+            .iter()
+            .map(SpanPayload::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(TracePayload {
+            spans,
+            recorded: require_u64(v, "recorded")?,
+            dropped: require_u64(v, "dropped")?,
+        })
+    }
+}
+
 /// A server reply.
 #[derive(Clone, Debug, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -647,6 +837,8 @@ pub enum Response {
     CacheStats(CacheStatsPayload),
     /// The telemetry registry rendered as Prometheus text exposition.
     Metrics(String),
+    /// The recent-span ring, answering [`Request::Trace`].
+    Trace(TracePayload),
     /// Acknowledgement of a shutdown request; the server drains and
     /// exits after sending it.
     Bye,
@@ -655,10 +847,19 @@ pub enum Response {
 }
 
 impl Response {
-    /// Serializes the response document.
+    /// Serializes the response document without a trace id.
     pub fn to_json(&self) -> String {
+        self.to_json_traced(None)
+    }
+
+    /// Serializes the response document, echoing `trace` as the
+    /// envelope trace id when given.
+    pub fn to_json_traced(&self, trace: Option<u64>) -> String {
         let mut o = JsonObject::new();
         o.u64("v", PROTOCOL_VERSION);
+        if let Some(id) = trace {
+            o.str("trace", &hex16(id));
+        }
         match self {
             Response::Result(r) => {
                 o.str("type", "result").raw("result", &r.to_json_value());
@@ -684,6 +885,9 @@ impl Response {
             Response::Metrics(text) => {
                 o.str("type", "metrics").str("text", text);
             }
+            Response::Trace(t) => {
+                o.str("type", "trace").raw("spans", &t.to_json_value());
+            }
             Response::Bye => {
                 o.str("type", "bye");
             }
@@ -697,14 +901,27 @@ impl Response {
         o.finish()
     }
 
-    /// Decodes a response document, checking version and type.
+    /// Decodes a response document, checking version and type and
+    /// discarding any envelope trace id.
     ///
     /// # Errors
     ///
     /// Returns a [`WireError`] describing the malformation.
     pub fn from_json(text: &str) -> Result<Response, WireError> {
+        Self::from_json_traced(text).map(|(response, _)| response)
+    }
+
+    /// Decodes a response document along with the trace id the server
+    /// echoed, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] describing the malformation or an
+    /// invalid `trace` field.
+    pub fn from_json_traced(text: &str) -> Result<(Response, Option<u64>), WireError> {
         let v = parse_versioned(text)?;
-        match require_str(&v, "type")? {
+        let trace = envelope_trace(&v)?;
+        let response = match require_str(&v, "type")? {
             "result" => {
                 let r = v
                     .get("result")
@@ -738,6 +955,12 @@ impl Response {
                 Ok(Response::CacheStats(CacheStatsPayload::from_value(c)?))
             }
             "metrics" => Ok(Response::Metrics(require_str(&v, "text")?.to_string())),
+            "trace" => {
+                let t = v
+                    .get("spans")
+                    .ok_or_else(|| WireError::bad_request("missing `spans`"))?;
+                Ok(Response::Trace(TracePayload::from_value(t)?))
+            }
             "bye" => Ok(Response::Bye),
             "error" => Ok(Response::Error(WireError {
                 code: require_str(&v, "code")
@@ -753,7 +976,8 @@ impl Response {
             other => Err(WireError::bad_request(format!(
                 "unknown response type `{other}`"
             ))),
-        }
+        }?;
+        Ok((response, trace))
     }
 }
 
@@ -848,6 +1072,23 @@ fn parse_versioned(text: &str) -> Result<Json, WireError> {
     }
 }
 
+/// Extracts the optional top-level `trace` envelope id: absent means
+/// untraced; present, it must be a nonzero 16-digit hex string.
+fn envelope_trace(v: &Json) -> Result<Option<u64>, WireError> {
+    match v.get("trace") {
+        None => Ok(None),
+        Some(t) => {
+            let s = t
+                .as_str()
+                .ok_or_else(|| WireError::bad_request("`trace` must be a string"))?;
+            parse_hex16(s)
+                .filter(|&id| id != 0)
+                .map(Some)
+                .ok_or_else(|| WireError::bad_request("`trace` must be 16 nonzero hex digits"))
+        }
+    }
+}
+
 fn require_str<'j>(v: &'j Json, key: &str) -> Result<&'j str, WireError> {
     v.get(key)
         .and_then(Json::as_str)
@@ -931,6 +1172,7 @@ mod tests {
             Request::Status,
             Request::CacheStats,
             Request::Metrics,
+            Request::Trace,
             Request::Shutdown,
         ] {
             let json = req.to_json();
@@ -975,6 +1217,76 @@ mod tests {
             let json = resp.to_json();
             assert_eq!(Response::from_json(&json).unwrap(), resp, "{json}");
         }
+    }
+
+    #[test]
+    fn trace_envelope_round_trips_on_requests_and_responses() {
+        let req = Request::Explore(sample_spec());
+        let json = req.to_json_traced(Some(0xdead_beef_0000_0001));
+        assert!(json.contains(r#""trace":"deadbeef00000001""#), "{json}");
+        let (decoded, trace) = Request::from_json_traced(&json).unwrap();
+        assert_eq!(decoded, req);
+        assert_eq!(trace, Some(0xdead_beef_0000_0001));
+
+        // Untraced documents decode with `None`.
+        let (_, trace) = Request::from_json_traced(&req.to_json()).unwrap();
+        assert_eq!(trace, None);
+
+        let resp = Response::Bye;
+        let json = resp.to_json_traced(Some(7));
+        let (decoded, trace) = Response::from_json_traced(&json).unwrap();
+        assert_eq!(decoded, resp);
+        assert_eq!(trace, Some(7));
+    }
+
+    #[test]
+    fn invalid_trace_envelopes_are_rejected() {
+        for doc in [
+            r#"{"v":1,"trace":7,"type":"status"}"#,
+            r#"{"v":1,"trace":"xyz","type":"status"}"#,
+            r#"{"v":1,"trace":"abc","type":"status"}"#,
+            r#"{"v":1,"trace":"0000000000000000","type":"status"}"#,
+            r#"{"v":1,"trace":"00000000000000001","type":"status"}"#,
+        ] {
+            let err = Request::from_json_traced(doc).unwrap_err();
+            assert_eq!(err.code, ErrorCode::BadRequest, "{doc}");
+        }
+    }
+
+    #[test]
+    fn trace_response_round_trips_spans_and_counters() {
+        let payload = TracePayload {
+            spans: vec![
+                SpanPayload {
+                    trace: 0xabc,
+                    span: 1,
+                    parent: 0,
+                    name: "request".into(),
+                    start_ns: 10,
+                    duration_ns: 5000,
+                    attrs: vec![("kind".into(), "explore".into())],
+                },
+                SpanPayload {
+                    trace: 0xabc,
+                    span: 2,
+                    parent: 1,
+                    name: "execute".into(),
+                    start_ns: 40,
+                    duration_ns: 4000,
+                    attrs: Vec::new(),
+                },
+            ],
+            recorded: 2,
+            dropped: 0,
+        };
+        let resp = Response::Trace(payload);
+        let json = resp.to_json();
+        assert!(json.contains(r#""dropped":0"#), "{json}");
+        assert_eq!(Response::from_json(&json).unwrap(), resp, "{json}");
+
+        // An empty ring is still a valid document.
+        let empty = Response::Trace(TracePayload::default());
+        assert_eq!(Response::from_json(&empty.to_json()).unwrap(), empty);
     }
 
     #[test]

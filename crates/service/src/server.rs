@@ -21,9 +21,10 @@ use crate::exec;
 use crate::parallel;
 use crate::protocol::{
     read_frame, write_frame, ErrorCode, ExploreResult, ExploreSpec, FrameError, Request, Response,
-    StatusPayload, WireError,
+    SpanPayload, StatusPayload, TracePayload, WireError,
 };
 use crate::telemetry::{AccessLog, AccessRecord, ServiceMetrics};
+use bfdn_obs::tracing::{hex16, SpanRecord, SpanRecorder, SpanSink, TraceWriter, Tracer};
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -77,6 +78,14 @@ pub struct ServerConfig {
     /// listener hands accepted sockets to this pool instead of spawning
     /// a thread per scrape).
     pub metrics_scrapers: usize,
+    /// When set, every recorded span is also streamed to this file —
+    /// JSONL per-span lines, or a Perfetto-loadable Chrome trace-event
+    /// array when the path ends in `.json`.
+    pub trace_out: Option<PathBuf>,
+    /// Server-assigned trace sampling: every Nth request gets a trace
+    /// even without a client-supplied `trace` id (`0` disables
+    /// sampling). Client-supplied ids are always honoured.
+    pub trace_sample: u64,
 }
 
 impl Default for ServerConfig {
@@ -94,8 +103,18 @@ impl Default for ServerConfig {
             batch_split: 32,
             read_timeout_ms: 30_000,
             metrics_scrapers: 2,
+            trace_out: None,
+            trace_sample: 0,
         }
     }
+}
+
+/// An active trace context: the trace id and the span new child spans
+/// should be parented under.
+#[derive(Clone, Copy)]
+struct SpanCtx {
+    trace: u64,
+    parent: u64,
 }
 
 /// One queued unit of work plus the channel its reply goes back on.
@@ -106,6 +125,9 @@ struct Job {
     /// Filled by the worker so the connection handler can log per-phase
     /// timings after the reply arrives.
     timing: Arc<JobTiming>,
+    /// The request's trace context, carried across the queue so the
+    /// worker's `queue_wait`/`execute` spans join the caller's tree.
+    trace: Option<SpanCtx>,
 }
 
 /// Per-job phase timings, written by the worker and read by the
@@ -241,6 +263,8 @@ struct Shared {
     counters: Counters,
     telemetry: ServiceMetrics,
     access_log: Option<AccessLog>,
+    tracer: Tracer,
+    trace_sample: u64,
     slow_ns: u64,
     draining: AtomicBool,
     workers: usize,
@@ -270,17 +294,55 @@ impl Shared {
         }
     }
 
+    /// Records a completed span under `ctx`, measured from `start_ns`
+    /// (recorder timebase) to now. No-op when the request is untraced.
+    fn span(&self, ctx: Option<SpanCtx>, name: &'static str, start_ns: u64) -> Option<SpanRecord> {
+        let c = ctx?;
+        let duration = self.tracer.now_ns().saturating_sub(start_ns);
+        Some(SpanRecord::new(c.trace, self.tracer.next_id(), c.parent, name).at(start_ns, duration))
+    }
+
     /// Runs one spec (after a final cache re-check — another worker may
     /// have computed it while this job queued) and stores the result.
     /// Every fresh execution feeds its Theorem 1 / Lemma 2 margins into
-    /// the daemon-wide aggregates.
-    fn execute(&self, spec: &ExploreSpec) -> Result<ExploreResult, WireError> {
-        if let Some(hit) = self.cache.get(spec) {
+    /// the daemon-wide aggregates. When `ctx` is set, the lookup, the
+    /// run (with its simulator phases) and the insert each get a span.
+    fn execute(
+        &self,
+        spec: &ExploreSpec,
+        ctx: Option<SpanCtx>,
+    ) -> Result<ExploreResult, WireError> {
+        let lookup_start = self.tracer.now_ns();
+        let hit = self.cache.get(spec);
+        if let Some(span) = self.span(ctx, "cache_lookup", lookup_start) {
+            self.tracer.record(span.attr_bool("hit", hit.is_some()));
+        }
+        if let Some(hit) = hit {
             return Ok(hit);
         }
-        let (result, manifest) = exec::run_spec(spec)?;
+        let run_start = self.tracer.now_ns();
+        let run_span = ctx.map(|c| (c, self.tracer.next_id()));
+        let (result, manifest) = match run_span {
+            Some((c, span)) => {
+                let mut phases = SpanSink::new(&self.tracer, c.trace, span);
+                exec::run_spec_observed(spec, &mut phases)?
+            }
+            None => exec::run_spec(spec)?,
+        };
+        if let Some((c, span)) = run_span {
+            let duration = self.tracer.now_ns().saturating_sub(run_start);
+            self.tracer.record(
+                SpanRecord::new(c.trace, span, c.parent, "run_spec")
+                    .at(run_start, duration)
+                    .attr_str("key", spec.canonical()),
+            );
+        }
         self.telemetry.record_margins(&result, &manifest);
+        let insert_start = self.tracer.now_ns();
         self.cache.put(&result);
+        if let Some(span) = self.span(ctx, "cache_insert", insert_start) {
+            self.tracer.record(span);
+        }
         if let Some(dir) = &self.manifest_dir {
             let path = dir.join(format!("{:016x}.manifest.json", spec.content_hash()));
             if let Err(e) = manifest.write(&path) {
@@ -288,6 +350,24 @@ impl Shared {
             }
         }
         Ok(result)
+    }
+
+    /// Snapshots the recent-span ring for a [`Request::Trace`] reply,
+    /// keeping only `filter`'s spans when the request carried a trace
+    /// envelope.
+    fn trace_snapshot(&self, filter: Option<u64>) -> TracePayload {
+        let recorder = self.tracer.recorder();
+        let spans = recorder
+            .snapshot()
+            .iter()
+            .filter(|s| filter.is_none() || filter == Some(s.trace))
+            .map(SpanPayload::from)
+            .collect();
+        TracePayload {
+            spans,
+            recorded: recorder.recorded(),
+            dropped: recorder.dropped(),
+        }
     }
 
     /// Refreshes the point-in-time gauges and renders the full
@@ -348,11 +428,25 @@ impl ServerHandle {
             w.join().map_err(|_| worker_panic())?;
         }
         if let Some(path) = &self.spill {
+            let tracer = &self.shared.tracer;
+            let spill_start = tracer.now_ns();
             let spilled = self.shared.cache.spill_to(path)?;
+            // The spill belongs to no request, so it roots its own
+            // one-span trace in the timeline.
+            let trace = tracer.next_id();
+            let duration = tracer.now_ns().saturating_sub(spill_start);
+            tracer.record(
+                SpanRecord::new(trace, tracer.next_id(), 0, "cache_spill")
+                    .at(spill_start, duration)
+                    .attr_u64("entries", spilled as u64),
+            );
             eprintln!(
                 "bfdn-serve: spilled {spilled} cache entries to {}",
                 path.display()
             );
+        }
+        if let Err(e) = self.shared.tracer.close() {
+            eprintln!("bfdn-serve: trace export failed: {e}");
         }
         Ok(())
     }
@@ -414,12 +508,22 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
         None => None,
     };
 
+    let tracer = {
+        let tracer = Tracer::new(SpanRecorder::DEFAULT_CAPACITY);
+        match &config.trace_out {
+            Some(path) => tracer.with_writer(TraceWriter::create(path)?),
+            None => tracer,
+        }
+    };
+
     let shared = Arc::new(Shared {
         queue: JobQueue::new(config.queue_depth.max(1)),
         cache,
         counters: Counters::default(),
         telemetry: ServiceMetrics::new(workers),
         access_log,
+        tracer,
+        trace_sample: config.trace_sample,
         slow_ns: config.slow_request_ms.saturating_mul(1_000_000),
         draining: AtomicBool::new(false),
         workers,
@@ -591,15 +695,42 @@ fn worker_loop(shared: &Arc<Shared>, index: usize) {
             .fetch_add(waited, Ordering::Relaxed);
         shared.telemetry.observe_queue_wait(waited as f64 / 1e9);
         job.timing.queue_wait_ns.store(waited, Ordering::Relaxed);
+        if let Some(c) = job.trace {
+            // Back-dated: the wait ended the moment this worker popped
+            // the job.
+            let now = shared.tracer.now_ns();
+            shared.tracer.record(
+                SpanRecord::new(c.trace, shared.tracer.next_id(), c.parent, "queue_wait")
+                    .at(now.saturating_sub(waited), waited),
+            );
+        }
+        let exec_span = job.trace.map(|c| (c, shared.tracer.next_id()));
+        let exec_ctx = exec_span.map(|(c, span)| SpanCtx {
+            trace: c.trace,
+            parent: span,
+        });
+        let exec_start_ns = shared.tracer.now_ns();
         let exec_start = Instant::now();
         let response = match &job.kind {
-            JobKind::One(spec) => match shared.execute(spec) {
+            JobKind::One(spec) => match shared.execute(spec, exec_ctx) {
                 Ok(result) => Response::Result(Box::new(result)),
                 Err(e) => Response::Error(e),
             },
-            JobKind::Batch(specs) => run_batch(shared, specs),
+            JobKind::Batch(specs) => run_batch(shared, specs, exec_ctx),
         };
         let exec_ns = u64::try_from(exec_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if let Some((c, span)) = exec_span {
+            let items = match &job.kind {
+                JobKind::One(_) => 1,
+                JobKind::Batch(specs) => specs.len() as u64,
+            };
+            shared.tracer.record(
+                SpanRecord::new(c.trace, span, c.parent, "execute")
+                    .at(exec_start_ns, exec_ns)
+                    .attr_u64("worker", index as u64)
+                    .attr_u64("items", items),
+            );
+        }
         shared
             .counters
             .exec_ns
@@ -618,7 +749,7 @@ fn worker_loop(shared: &Arc<Shared>, index: usize) {
 /// Executes a batch job: answered items come from the cache, the rest
 /// fan out over the parallel substrate, and the reply preserves request
 /// order.
-fn run_batch(shared: &Arc<Shared>, specs: &[ExploreSpec]) -> Response {
+fn run_batch(shared: &Arc<Shared>, specs: &[ExploreSpec], ctx: Option<SpanCtx>) -> Response {
     let looked_up: Vec<Option<ExploreResult>> =
         specs.iter().map(|spec| shared.cache.get(spec)).collect();
     let pending: Vec<&ExploreSpec> = specs
@@ -627,7 +758,7 @@ fn run_batch(shared: &Arc<Shared>, specs: &[ExploreSpec]) -> Response {
         .filter_map(|(spec, hit)| hit.is_none().then_some(spec))
         .collect();
     let computed: Vec<Result<ExploreResult, WireError>> =
-        parallel::par_map(&pending, |spec| shared.execute(spec));
+        parallel::par_map(&pending, |spec| shared.execute(spec, ctx));
 
     let hits = looked_up.iter().flatten().count() as u64;
     let misses = pending.len() as u64;
@@ -650,13 +781,15 @@ fn run_batch(shared: &Arc<Shared>, specs: &[ExploreSpec]) -> Response {
     }
 }
 
-/// Per-request trace, accumulated through [`dispatch`] and flushed to
-/// the access log (and the slow-request counter) by the connection
-/// handler.
+/// Per-request access-log accumulator, filled through [`dispatch`] and
+/// flushed (with the slow-request counters) by the connection handler.
 #[derive(Default)]
-struct Trace {
+struct ReqLog {
     kind: &'static str,
     key: String,
+    /// The request's trace id (`0` when untraced), for the access log's
+    /// `trace_id` field.
+    trace_id: u64,
     queue_wait_ns: u64,
     exec_ns: u64,
 }
@@ -732,44 +865,112 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
             Err(FrameError::Io(_)) => return, // disconnect, timeout, or abuse
         };
         let received = Instant::now();
+        let root_start_ns = shared.tracer.now_ns();
         let id = shared.counters.requests.fetch_add(1, Ordering::Relaxed) + 1;
-        let mut trace = Trace {
+        let mut log = ReqLog {
             kind: "invalid",
-            ..Trace::default()
+            ..ReqLog::default()
         };
-        let response = match Request::from_json(&payload) {
+        let mut root: Option<SpanCtx> = None;
+        let mut envelope: Option<u64> = None;
+        let decode_start = shared.tracer.now_ns();
+        let decoded = Request::from_json_traced(&payload);
+        let decode_ns = shared.tracer.now_ns().saturating_sub(decode_start);
+        let response = match decoded {
             Err(e) => Response::Error(e),
-            Ok(request) => dispatch(request, shared, &mut trace),
+            Ok((request, client_trace)) => {
+                // Client-supplied ids are always traced; sampling adds a
+                // server-assigned trace every Nth request on top. The
+                // introspection request itself is never traced — its
+                // envelope id is a filter, echoed but not recorded.
+                let sampled = shared.trace_sample > 0 && id.is_multiple_of(shared.trace_sample);
+                let active = match request {
+                    Request::Trace => None,
+                    _ => client_trace.or_else(|| sampled.then(|| shared.tracer.next_id())),
+                };
+                envelope = client_trace.or(active);
+                root = active.map(|trace| SpanCtx {
+                    trace,
+                    parent: shared.tracer.next_id(),
+                });
+                if let Some(r) = root {
+                    log.trace_id = r.trace;
+                    shared.tracer.record(
+                        SpanRecord::new(r.trace, shared.tracer.next_id(), r.parent, "decode")
+                            .at(decode_start, decode_ns)
+                            .attr_u64("bytes", payload.len() as u64),
+                    );
+                }
+                dispatch(request, shared, &mut log, root, envelope)
+            }
         };
-        shared.telemetry.request(trace.kind);
+        shared.telemetry.request(log.kind);
         let serialize_start = Instant::now();
-        let write_result = write_frame(&mut stream, &response.to_json());
+        let serialize_start_ns = shared.tracer.now_ns();
+        let write_result = write_frame(&mut stream, &response.to_json_traced(envelope));
         let serialize_ns = u64::try_from(serialize_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         shared
             .telemetry
             .observe_serialize(serialize_ns as f64 / 1e9);
-        finish_trace(shared, id, &trace, &response, serialize_ns, received);
+        if let Some(r) = root {
+            shared.tracer.record(
+                SpanRecord::new(r.trace, shared.tracer.next_id(), r.parent, "serialize")
+                    .at(serialize_start_ns, serialize_ns),
+            );
+        }
+        finish_trace(
+            shared,
+            id,
+            &log,
+            &response,
+            serialize_ns,
+            received,
+            root,
+            root_start_ns,
+            write_result.is_err(),
+        );
         if write_result.is_err() {
             return;
         }
     }
 }
 
-/// Closes out one request: slow-request accounting plus the access-log
-/// line.
+/// Closes out one request: the root `request` span, slow-request
+/// accounting, and the access-log line.
+///
+/// Runs after the reply write regardless of its outcome, so a peer that
+/// hung up mid-reply (chaos personas, cut connections) still closes its
+/// span tree — the root records `write_failed` instead of vanishing.
+#[allow(clippy::too_many_arguments)]
 fn finish_trace(
     shared: &Arc<Shared>,
     id: u64,
-    trace: &Trace,
+    log: &ReqLog,
     response: &Response,
     serialize_ns: u64,
     received: Instant,
+    root: Option<SpanCtx>,
+    root_start_ns: u64,
+    write_failed: bool,
 ) {
     let total_ns = u64::try_from(received.elapsed().as_nanos()).unwrap_or(u64::MAX);
-    if total_ns >= shared.slow_ns {
-        shared.telemetry.slow_request();
+    if let Some(r) = root {
+        let duration = shared.tracer.now_ns().saturating_sub(root_start_ns);
+        let mut span = SpanRecord::new(r.trace, r.parent, 0, "request")
+            .at(root_start_ns, duration)
+            .attr_str("kind", log.kind)
+            .attr_u64("id", id);
+        if write_failed {
+            span = span.attr_bool("write_failed", true);
+        }
+        shared.tracer.record(span);
     }
-    let Some(log) = &shared.access_log else {
+    if total_ns >= shared.slow_ns {
+        shared
+            .telemetry
+            .slow_request(log.queue_wait_ns, log.exec_ns, serialize_ns, total_ns);
+    }
+    let Some(access) = &shared.access_log else {
         return;
     };
     let (outcome, cached) = match response {
@@ -778,56 +979,78 @@ fn finish_trace(
         Response::Batch { hits, misses, .. } => ("ok".to_string(), *misses == 0 && *hits > 0),
         _ => ("ok".to_string(), false),
     };
-    log.record(&AccessRecord {
+    access.record(&AccessRecord {
         id,
-        request: trace.kind.to_string(),
-        key: trace.key.clone(),
+        request: log.kind.to_string(),
+        key: log.key.clone(),
         outcome,
+        trace_id: if log.trace_id == 0 {
+            String::new()
+        } else {
+            hex16(log.trace_id)
+        },
         cached,
-        queue_wait_ns: trace.queue_wait_ns,
-        exec_ns: trace.exec_ns,
+        queue_wait_ns: log.queue_wait_ns,
+        exec_ns: log.exec_ns,
         serialize_ns,
         total_ns,
     });
 }
 
 /// Routes one decoded request; cache hits and introspection never touch
-/// the queue.
-fn dispatch(request: Request, shared: &Arc<Shared>, trace: &mut Trace) -> Response {
+/// the queue. `ctx` is the active trace (children parent under the root
+/// span); `envelope` is the document's raw trace id, which a
+/// [`Request::Trace`] uses as a span filter.
+fn dispatch(
+    request: Request,
+    shared: &Arc<Shared>,
+    log: &mut ReqLog,
+    ctx: Option<SpanCtx>,
+    envelope: Option<u64>,
+) -> Response {
     match request {
         Request::Status => {
-            trace.kind = "status";
+            log.kind = "status";
             Response::Status(shared.status())
         }
         Request::CacheStats => {
-            trace.kind = "cache_stats";
+            log.kind = "cache_stats";
             Response::CacheStats(shared.cache.stats())
         }
         Request::Metrics => {
-            trace.kind = "metrics";
+            log.kind = "metrics";
             Response::Metrics(shared.render_metrics())
         }
+        Request::Trace => {
+            log.kind = "trace";
+            Response::Trace(shared.trace_snapshot(envelope))
+        }
         Request::Shutdown => {
-            trace.kind = "shutdown";
+            log.kind = "shutdown";
             shared.draining.store(true, Ordering::SeqCst);
             shared.queue.close();
             Response::Bye
         }
         Request::Explore(spec) => {
-            trace.kind = "explore";
-            trace.key = spec.canonical();
+            log.kind = "explore";
+            log.key = spec.canonical();
             shared.counters.explores.fetch_add(1, Ordering::Relaxed);
             if let Err(e) = exec::validate(&spec) {
                 return Response::Error(e);
             }
-            if let Some(hit) = shared.cache.get(&spec) {
+            let lookup_start = shared.tracer.now_ns();
+            let hit = shared.cache.get(&spec);
+            if let Some(span) = shared.span(ctx, "cache_lookup", lookup_start) {
+                shared.tracer.record(span.attr_bool("hit", hit.is_some()));
+            }
+            if let Some(hit) = hit {
                 return Response::Result(Box::new(hit));
             }
-            enqueue_and_wait(shared, JobKind::One(spec), false, trace)
+            enqueue_and_wait(shared, JobKind::One(spec), false, log, ctx)
         }
         Request::Batch(specs) => {
-            trace.kind = "batch";
-            trace.key = format!("batch[{}]", specs.len());
+            log.kind = "batch";
+            log.key = format!("batch[{}]", specs.len());
             shared.counters.batches.fetch_add(1, Ordering::Relaxed);
             shared
                 .counters
@@ -837,9 +1060,9 @@ fn dispatch(request: Request, shared: &Arc<Shared>, trace: &mut Trace) -> Respon
                 return Response::Error(e);
             }
             if specs.len() > shared.batch_split {
-                return run_split_batch(shared, &specs, trace);
+                return run_split_batch(shared, &specs, log, ctx);
             }
-            enqueue_and_wait(shared, JobKind::Batch(specs), false, trace)
+            enqueue_and_wait(shared, JobKind::Batch(specs), false, log, ctx)
         }
     }
 }
@@ -851,11 +1074,40 @@ fn dispatch(request: Request, shared: &Arc<Shared>, trace: &mut Trace) -> Respon
 /// goes through the non-blocking push — a full queue still answers
 /// `Busy` to *new* work — while follow-up chunks of the accepted batch
 /// wait for a slot, which cannot deadlock because workers never push.
-fn run_split_batch(shared: &Arc<Shared>, specs: &[ExploreSpec], trace: &mut Trace) -> Response {
+fn run_split_batch(
+    shared: &Arc<Shared>,
+    specs: &[ExploreSpec],
+    log: &mut ReqLog,
+    ctx: Option<SpanCtx>,
+) -> Response {
     let mut results = Vec::with_capacity(specs.len());
     let (mut hits, mut misses) = (0u64, 0u64);
     for (index, chunk) in specs.chunks(shared.batch_split).enumerate() {
-        match enqueue_and_wait(shared, JobKind::Batch(chunk.to_vec()), index > 0, trace) {
+        // Each sub-job gets one `chunk` span under the request root, so
+        // a split batch reads as one tree: request → chunk[i] →
+        // queue_wait/execute.
+        let chunk_ctx = ctx.map(|c| SpanCtx {
+            trace: c.trace,
+            parent: shared.tracer.next_id(),
+        });
+        let chunk_start = shared.tracer.now_ns();
+        let reply = enqueue_and_wait(
+            shared,
+            JobKind::Batch(chunk.to_vec()),
+            index > 0,
+            log,
+            chunk_ctx,
+        );
+        if let (Some(c), Some(cc)) = (ctx, chunk_ctx) {
+            let duration = shared.tracer.now_ns().saturating_sub(chunk_start);
+            shared.tracer.record(
+                SpanRecord::new(c.trace, cc.parent, c.parent, "chunk")
+                    .at(chunk_start, duration)
+                    .attr_u64("idx", index as u64)
+                    .attr_u64("items", chunk.len() as u64),
+            );
+        }
+        match reply {
             Response::Batch {
                 results: chunk_results,
                 hits: chunk_hits,
@@ -885,7 +1137,8 @@ fn enqueue_and_wait(
     shared: &Arc<Shared>,
     kind: JobKind,
     wait_for_slot: bool,
-    trace: &mut Trace,
+    log: &mut ReqLog,
+    ctx: Option<SpanCtx>,
 ) -> Response {
     if shared.draining.load(Ordering::SeqCst) {
         return Response::Error(WireError::new(
@@ -900,6 +1153,7 @@ fn enqueue_and_wait(
         enqueued: Instant::now(),
         reply: tx,
         timing: Arc::clone(&timing),
+        trace: ctx,
     };
     let pushed = if wait_for_slot {
         shared.queue.push_wait(job)
@@ -910,9 +1164,9 @@ fn enqueue_and_wait(
         Ok(()) => match rx.recv() {
             Ok(response) => {
                 // Accumulated (not assigned): a split batch passes the
-                // same trace through every chunk.
-                trace.queue_wait_ns += timing.queue_wait_ns.load(Ordering::Relaxed);
-                trace.exec_ns += timing.exec_ns.load(Ordering::Relaxed);
+                // same log through every chunk.
+                log.queue_wait_ns += timing.queue_wait_ns.load(Ordering::Relaxed);
+                log.exec_ns += timing.exec_ns.load(Ordering::Relaxed);
                 response
             }
             Err(_) => Response::Error(WireError::new(
@@ -951,6 +1205,7 @@ mod tests {
             enqueued: Instant::now(),
             reply: tx.clone(),
             timing: Arc::new(JobTiming::default()),
+            trace: None,
         };
         assert!(q.push(job(&tx)).is_ok());
         assert!(q.push(job(&tx)).is_ok());

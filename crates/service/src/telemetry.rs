@@ -28,15 +28,22 @@ use std::sync::{Arc, Mutex};
 
 /// The request types tracked by `bfdn_requests_total{type=...}`;
 /// `invalid` covers frames that decode to no known request.
-pub const REQUEST_TYPES: [&str; 7] = [
+pub const REQUEST_TYPES: [&str; 8] = [
     "explore",
     "batch",
     "status",
     "cache_stats",
     "metrics",
+    "trace",
     "shutdown",
     "invalid",
 ];
+
+/// The phase labels of `bfdn_slow_phase_total{phase=...}`: the request
+/// phases a slow request's latency is attributed to, plus `other` for
+/// time outside the three instrumented phases (decode, socket writes,
+/// handler scheduling).
+pub const SLOW_PHASES: [&str; 4] = ["queue_wait", "execute", "serialize", "other"];
 
 /// Every instrument the daemon exports, pre-registered in one
 /// [`Registry`].
@@ -50,6 +57,7 @@ pub struct ServiceMetrics {
     in_flight: Arc<Gauge>,
     rejects: Arc<Counter>,
     slow_requests: Arc<Counter>,
+    slow_phase: Vec<(&'static str, Arc<Counter>)>,
     cache_hits: Arc<Counter>,
     cache_misses: Arc<Counter>,
     cache_evictions: Arc<Counter>,
@@ -127,6 +135,19 @@ impl ServiceMetrics {
                 "Requests whose total latency crossed the slow-request threshold.",
                 &[],
             ),
+            slow_phase: SLOW_PHASES
+                .iter()
+                .map(|p| {
+                    (
+                        *p,
+                        registry.counter(
+                            "bfdn_slow_phase_total",
+                            "Slow requests by the phase that dominated their latency.",
+                            &[("phase", p)],
+                        ),
+                    )
+                })
+                .collect(),
             cache_hits: registry.counter(
                 "bfdn_cache_hits_total",
                 "Result-cache lookups answered without execution.",
@@ -214,9 +235,29 @@ impl ServiceMetrics {
         self.rejects.inc();
     }
 
-    /// Counts one request that crossed the slow threshold.
-    pub fn slow_request(&self) {
+    /// Counts one request that crossed the slow threshold, attributing
+    /// it to the phase that dominated its latency — a queue-bound slow
+    /// request needs more workers, an execute-bound one a smaller `n`
+    /// cap; the old single counter could not tell them apart.
+    pub fn slow_request(&self, queue_wait_ns: u64, exec_ns: u64, serialize_ns: u64, total_ns: u64) {
         self.slow_requests.inc();
+        let accounted = queue_wait_ns
+            .saturating_add(exec_ns)
+            .saturating_add(serialize_ns);
+        let phases = [
+            ("queue_wait", queue_wait_ns),
+            ("execute", exec_ns),
+            ("serialize", serialize_ns),
+            ("other", total_ns.saturating_sub(accounted)),
+        ];
+        let dominant = phases
+            .iter()
+            .max_by_key(|(_, ns)| *ns)
+            .map(|(phase, _)| *phase)
+            .unwrap_or("other");
+        if let Some((_, c)) = self.slow_phase.iter().find(|(p, _)| *p == dominant) {
+            c.inc();
+        }
     }
 
     /// Adds `ns` busy nanoseconds to worker `index`'s utilization
@@ -289,6 +330,10 @@ pub struct AccessRecord {
     pub key: String,
     /// `"ok"` or `"error:<code>"`.
     pub outcome: String,
+    /// The request's trace id in 16-digit hex (client-supplied or
+    /// server-sampled), empty for untraced requests — the join key
+    /// between an access-log line and its span tree.
+    pub trace_id: String,
     /// Whether the reply came entirely from the result cache.
     pub cached: bool,
     /// Time spent waiting in the job queue.
@@ -310,6 +355,7 @@ impl AccessRecord {
             .str("request", &self.request)
             .str("key", &self.key)
             .str("outcome", &self.outcome)
+            .str("trace_id", &self.trace_id)
             .bool("cached", self.cached)
             .u64("queue_wait_ns", self.queue_wait_ns)
             .u64("exec_ns", self.exec_ns)
@@ -427,6 +473,24 @@ mod tests {
     }
 
     #[test]
+    fn slow_requests_are_attributed_to_their_dominant_phase() {
+        let m = ServiceMetrics::new(1);
+        // Queue-bound: 0.8s of a 1s request waiting for a worker.
+        m.slow_request(800_000_000, 150_000_000, 1_000_000, 1_000_000_000);
+        // Execute-bound.
+        m.slow_request(10_000_000, 900_000_000, 1_000_000, 1_000_000_000);
+        m.slow_request(0, 2_000_000_000, 0, 2_100_000_000);
+        // Unaccounted time (a stalled reply write) dominates.
+        m.slow_request(1_000_000, 2_000_000, 3_000_000, 5_000_000_000);
+        let text = m.render(&CacheStatsPayload::default(), 0, 0);
+        assert!(text.contains("bfdn_slow_requests_total 4"));
+        assert!(text.contains(r#"bfdn_slow_phase_total{phase="queue_wait"} 1"#));
+        assert!(text.contains(r#"bfdn_slow_phase_total{phase="execute"} 2"#));
+        assert!(text.contains(r#"bfdn_slow_phase_total{phase="serialize"} 0"#));
+        assert!(text.contains(r#"bfdn_slow_phase_total{phase="other"} 1"#));
+    }
+
+    #[test]
     fn unknown_request_kinds_count_as_invalid() {
         let m = ServiceMetrics::new(1);
         m.request("explore");
@@ -482,6 +546,7 @@ mod tests {
             request: "explore".into(),
             key: "bfdn/comb/n60/k4/s1".into(),
             outcome: "ok".into(),
+            trace_id: "00000000deadbeef".into(),
             cached: true,
             queue_wait_ns: 0,
             exec_ns: 0,
@@ -500,6 +565,7 @@ mod tests {
             .collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with(r#"{"id":1,"request":"explore","#));
+        assert!(lines[0].contains(r#""trace_id":"00000000deadbeef""#));
         assert!(lines[0].contains(r#""slow":false}"#));
         assert!(lines[0].ends_with('\n'));
         assert!(lines[1].contains(r#""id":2"#));

@@ -10,9 +10,7 @@
 //! crate is available (the offline stub compiles it away).
 
 use bfdn_service::client::Client;
-use bfdn_service::protocol::{
-    read_frame, ErrorCode, ExploreSpec, Response, MAX_FRAME_LEN,
-};
+use bfdn_service::protocol::{read_frame, ErrorCode, ExploreSpec, Response, MAX_FRAME_LEN};
 use bfdn_service::server::{serve, ServerConfig, ServerHandle};
 use proptest::prelude::*;
 use std::io::{Read, Write};

@@ -5,7 +5,7 @@
 
 use bfdn_service::client::{Client, ClientError};
 use bfdn_service::protocol::{
-    read_frame, write_frame, ErrorCode, ExploreSpec, Response, MAX_FRAME_LEN,
+    read_frame, write_frame, ErrorCode, ExploreSpec, Request, Response, SpanPayload, MAX_FRAME_LEN,
 };
 use bfdn_service::server::{serve, ServerConfig};
 use std::io::Write;
@@ -441,6 +441,144 @@ fn telemetry_traces_a_known_request_sequence() {
     }
 
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn traced_split_batch_yields_one_root_with_one_chunk_child_per_sub_job() {
+    let handle = start(ServerConfig {
+        workers: Some(2),
+        batch_split: 2,
+        ..ServerConfig::default()
+    });
+    let mut client = connect(&handle);
+    let trace_id = 0xfeed_f00d_0000_0001u64;
+    client.set_trace(Some(trace_id));
+    let specs: Vec<ExploreSpec> = (0..5)
+        .map(|seed| ExploreSpec::new("bfdn", "comb", 80, 2, seed))
+        .collect();
+    let (results, hits, misses) = client.batch(specs).expect("batch");
+    assert_eq!(results.len(), 5);
+    assert_eq!((hits, misses), (0, 5));
+    assert_eq!(
+        client.last_trace(),
+        Some(trace_id),
+        "the server echoes the client's trace id"
+    );
+
+    client.set_trace(None);
+    let payload = client.trace_spans(Some(trace_id)).expect("span ring");
+    assert_eq!(payload.dropped, 0, "nothing fell out of the ring");
+    let spans = &payload.spans;
+    assert!(spans.iter().all(|s| s.trace == trace_id));
+
+    let roots: Vec<&SpanPayload> = spans.iter().filter(|s| s.parent == 0).collect();
+    assert_eq!(roots.len(), 1, "one root span per request: {spans:#?}");
+    let root = roots[0];
+    assert_eq!(root.name, "request");
+    assert!(
+        root.attrs.iter().any(|(k, v)| k == "kind" && v == "batch"),
+        "{:?}",
+        root.attrs
+    );
+
+    // decode and serialize bracket the request under the root.
+    assert!(spans
+        .iter()
+        .any(|s| s.parent == root.span && s.name == "decode"));
+    assert!(spans
+        .iter()
+        .any(|s| s.parent == root.span && s.name == "serialize"));
+
+    // 5 specs at --batch-split 2 make sub-jobs of 2+2+1: exactly one
+    // chunk child per sub-job, each with its own queue wait + execution.
+    let chunks: Vec<&SpanPayload> = spans.iter().filter(|s| s.name == "chunk").collect();
+    assert_eq!(chunks.len(), 3, "{spans:#?}");
+    assert!(chunks.iter().all(|c| c.parent == root.span));
+    let mut chunk_items = 0u64;
+    for chunk in &chunks {
+        chunk_items += chunk
+            .attrs
+            .iter()
+            .find(|(k, _)| k == "items")
+            .and_then(|(_, v)| v.parse::<u64>().ok())
+            .expect("chunk items attr");
+        let kids: Vec<&SpanPayload> = spans.iter().filter(|s| s.parent == chunk.span).collect();
+        assert!(
+            kids.iter().any(|s| s.name == "queue_wait"),
+            "chunk {kids:#?}"
+        );
+        let execute = kids
+            .iter()
+            .find(|s| s.name == "execute")
+            .expect("each chunk executes");
+        // Each executed spec shows its cache miss, run, and insert.
+        let exec_kids: Vec<&SpanPayload> =
+            spans.iter().filter(|s| s.parent == execute.span).collect();
+        assert!(exec_kids.iter().any(|s| s.name == "cache_lookup"));
+        assert!(exec_kids.iter().any(|s| s.name == "run_spec"));
+        assert!(exec_kids.iter().any(|s| s.name == "cache_insert"));
+    }
+    assert_eq!(chunk_items, 5, "chunks cover every spec exactly once");
+
+    // Simulator phases land as children of a run_spec span.
+    let run_spec = spans
+        .iter()
+        .find(|s| s.name == "run_spec")
+        .expect("run_spec");
+    for phase in ["build_tree", "explore", "sim_rounds"] {
+        assert!(
+            spans
+                .iter()
+                .any(|s| s.parent == run_spec.span && s.name == phase),
+            "missing {phase} under run_spec: {spans:#?}"
+        );
+    }
+
+    client.shutdown().expect("bye");
+    handle.join().expect("clean drain");
+}
+
+#[test]
+fn client_hangup_still_closes_the_request_span() {
+    let handle = start(ServerConfig::default());
+    let trace_id = 0xabad_cafe_0000_0001u64;
+    {
+        // A reply-hangup persona: send a traced request, then vanish
+        // without reading the reply.
+        let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+        let request = Request::Explore(ExploreSpec::new("bfdn", "comb", 80, 2, 77));
+        write_frame(&mut stream, &request.to_json_traced(Some(trace_id))).expect("send");
+    }
+
+    // The root span must close anyway — poll the ring until it shows up.
+    let mut client = connect(&handle);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let root = loop {
+        let payload = client.trace_spans(Some(trace_id)).expect("span ring");
+        if let Some(root) = payload
+            .spans
+            .iter()
+            .find(|s| s.parent == 0 && s.name == "request")
+        {
+            break root.clone();
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "root span never closed: {:#?}",
+            payload.spans
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(
+        root.attrs
+            .iter()
+            .any(|(k, v)| k == "kind" && v == "explore"),
+        "{:?}",
+        root.attrs
+    );
+
+    client.shutdown().expect("bye");
+    handle.join().expect("clean drain");
 }
 
 #[test]

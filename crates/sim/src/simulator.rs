@@ -251,6 +251,9 @@ impl<'t, S: EventSink> Simulator<'t, S> {
         schedule: &mut dyn MoveSchedule,
         stop: StopCondition,
     ) -> Result<Outcome, SimError> {
+        // Timed only when observed, so the unobserved monomorphization
+        // (NullSink) keeps its clock-free hot loop.
+        let started = self.sink.enabled().then(std::time::Instant::now);
         let mut allowed = vec![true; self.k];
         let mut moves = vec![Move::Stay; self.k];
         while !self.stopped(stop) {
@@ -277,6 +280,7 @@ impl<'t, S: EventSink> Simulator<'t, S> {
             self.apply(&allowed, &mut moves)?;
             self.finish_round(&allowed, &moves);
         }
+        self.emit_round_loop_timer(started);
         Ok(Outcome {
             rounds: self.round,
             metrics: self.metrics.clone(),
@@ -301,6 +305,7 @@ impl<'t, S: EventSink> Simulator<'t, S> {
         schedule: &mut dyn PostSelectionSchedule,
         stop: StopCondition,
     ) -> Result<Outcome, SimError> {
+        let started = self.sink.enabled().then(std::time::Instant::now);
         let all_allowed = vec![true; self.k];
         let mut allowed = vec![true; self.k];
         let mut moves = vec![Move::Stay; self.k];
@@ -328,11 +333,26 @@ impl<'t, S: EventSink> Simulator<'t, S> {
             self.apply(&allowed, &mut moves)?;
             self.finish_round(&allowed, &moves);
         }
+        self.emit_round_loop_timer(started);
         Ok(Outcome {
             rounds: self.round,
             metrics: self.metrics.clone(),
             trace: self.trace.clone(),
         })
+    }
+
+    /// Emits the wall clock of a completed round loop as a
+    /// [`Event::PhaseTimer`] named `sim_rounds`, so observed runs can
+    /// split an `explore` phase into round-loop time versus explorer
+    /// bookkeeping. No-op (and no clock reads) for unobserved runs.
+    fn emit_round_loop_timer(&mut self, started: Option<std::time::Instant>) {
+        if let Some(started) = started {
+            let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.sink.emit(&Event::PhaseTimer {
+                phase: "sim_rounds",
+                nanos,
+            });
+        }
     }
 
     /// Advances the simulation by exactly one synchronous round (no
