@@ -2,17 +2,21 @@
 //! for the index and `EXPERIMENTS.md` for the recorded outcomes).
 //!
 //! ```text
-//! experiments [all|e1|e2|...|e13|ablations] [--quick] [--csv DIR] [--bench-json PATH]
+//! experiments [all|e1|e2|...|e13|ablations] [--quick] [--scale quick|full|huge]
+//!             [--csv DIR] [--bench-json PATH]
 //! ```
 //!
 //! Without arguments, runs everything at full (laptop) scale. `--quick`
-//! uses the CI-sized configuration; `--csv DIR` additionally writes each
+//! (alias `--scale quick`) uses the CI-sized configuration;
+//! `--scale huge` grows E1/E12 to million-node instances (see
+//! `EXPERIMENTS.md` §Huge scale); `--csv DIR` additionally writes each
 //! table as `DIR/<experiment>.csv` plus a run manifest
 //! `DIR/<experiment>.manifest.json` (scale, git revision, wall-clock,
 //! row count) so every results directory is self-describing;
 //! `--bench-json PATH` records the per-experiment and total wall-clock
-//! together with the worker-thread count (see `BFDN_THREADS`) for
-//! before/after performance comparisons. Any other `-` flag is an error.
+//! together with the worker-thread count (see `BFDN_THREADS`) and the
+//! intra-round budget (see `BFDN_ROUND_THREADS`) for before/after
+//! performance comparisons. Any other `-` flag is an error.
 //!
 //! Each experiment parallelizes its independent configurations
 //! internally (`bfdn_bench::parallel`); tables and CSVs keep the
@@ -46,6 +50,7 @@ fn write_manifest(id: &str, scale: Scale, elapsed: Duration, rows: u64, dir: &Pa
     );
     m.metric("csv_rows", rows);
     m.metric("threads", parallel::num_threads() as u64);
+    m.metric("round_threads", parallel::round_threads() as u64);
     let path = dir.join(format!("{id}.manifest.json"));
     if let Err(e) = m.write(&path) {
         eprintln!("failed to write {}: {e}", path.display());
@@ -122,6 +127,10 @@ impl BenchReport {
         ));
         out.push_str(&format!("  \"threads\": {},\n", parallel::num_threads()));
         out.push_str(&format!(
+            "  \"round_threads\": {},\n",
+            parallel::round_threads()
+        ));
+        out.push_str(&format!(
             "  \"total_wall_clock_ms\": {},\n",
             self.total.as_millis()
         ));
@@ -146,13 +155,23 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     args.retain(|a| a != "--quick");
-    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let mut scale = if quick { Scale::Quick } else { Scale::Full };
+    if let Some(name) = take_path_flag(&mut args, "--scale") {
+        let name = name.to_string_lossy();
+        scale = Scale::parse(&name).unwrap_or_else(|| {
+            eprintln!("bad --scale `{name}` (expected quick, full, or huge)");
+            std::process::exit(2);
+        });
+    }
     let csv_dir = take_path_flag(&mut args, "--csv");
     let bench_json = take_path_flag(&mut args, "--bench-json");
     // Everything left must be an experiment id; a stray `-` flag is a
     // user error, not an id to silently ignore.
     if let Some(flag) = args.iter().find(|a| a.starts_with('-')) {
-        eprintln!("unknown flag `{flag}` (expected --quick, --csv DIR, or --bench-json PATH)");
+        eprintln!(
+            "unknown flag `{flag}` (expected --quick, --scale SCALE, --csv DIR, \
+             or --bench-json PATH)"
+        );
         std::process::exit(2);
     }
     if let Some(dir) = &csv_dir {

@@ -1,8 +1,13 @@
 //! Runs the standard sweep grid, locally or through a serving daemon.
 //!
 //! ```text
-//! sweep [--quick] [--csv PATH] [--via-service ADDR] [--loadgen-report PATH]
+//! sweep [--quick|--huge] [--csv PATH] [--via-service ADDR] [--loadgen-report PATH]
 //! ```
+//!
+//! `--huge` appends the million-node single-instance requests to the
+//! grid (see `EXPERIMENTS.md` §Huge scale) — through `--via-service`
+//! each one is served as a single request the daemon parallelizes
+//! internally via its `--round-threads` budget.
 //!
 //! The printed table (and `--csv` file) is byte-identical whether the
 //! sweep runs in-process or via `--via-service` — re-running against a
@@ -20,7 +25,17 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     args.retain(|a| a != "--quick");
-    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let huge = args.iter().any(|a| a == "--huge");
+    args.retain(|a| a != "--huge");
+    let scale = match (quick, huge) {
+        (true, true) => {
+            eprintln!("--quick and --huge are mutually exclusive");
+            std::process::exit(2);
+        }
+        (true, false) => Scale::Quick,
+        (false, true) => Scale::Huge,
+        (false, false) => Scale::Full,
+    };
     let take = |args: &mut Vec<String>, flag: &str| {
         args.iter().position(|a| a == flag).map(|i| {
             let value = args.get(i + 1).cloned().unwrap_or_else(|| {
@@ -36,7 +51,7 @@ fn main() {
     let loadgen_report = take(&mut args, "--loadgen-report").map(PathBuf::from);
     if let Some(stray) = args.first() {
         eprintln!(
-            "unknown argument `{stray}` (expected --quick, --csv PATH, \
+            "unknown argument `{stray}` (expected --quick, --huge, --csv PATH, \
              --via-service ADDR, --loadgen-report PATH)"
         );
         std::process::exit(2);

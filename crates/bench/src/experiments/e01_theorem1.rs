@@ -32,15 +32,31 @@ pub fn e1_theorem1_bound(scale: Scale) -> Table {
     let sizes = match scale {
         Scale::Quick => vec![200],
         Scale::Full => vec![2_000, 50_000],
+        Scale::Huge => vec![1_000_000],
     };
     let ks: &[usize] = match scale {
         Scale::Quick => &[2, 8, 32],
         Scale::Full => &[1, 2, 8, 32, 128, 512],
+        Scale::Huge => &[64, 256, 1024, 4096],
+    };
+    // Huge scale keeps only the shallow bounded-degree families: rounds
+    // grow at least linearly in D, so a million-node path (D = n) or
+    // Prüfer tree (D ≈ √n) would spend days proving nothing new about
+    // the bound — the D² term already dominates those at 50 000 nodes
+    // in Full. Star is also out: its root degree n−1 exceeds the u16
+    // port width (`Port::new` caps local degree at 65 535).
+    let families: &[Family] = match scale {
+        Scale::Huge => &[
+            Family::Binary,
+            Family::RandomRecursive,
+            Family::RandomBoundedDegree,
+        ],
+        _ => &Family::ALL,
     };
     // Tree generation stays sequential so the shared RNG is consumed in
     // the committed order; only the simulations fan out.
     let mut trees = Vec::new();
-    for fam in Family::ALL {
+    for &fam in families {
         for &n in &sizes {
             trees.push((fam, n, fam.instance(n, &mut rng)));
         }

@@ -28,11 +28,11 @@ pub fn e3_urn_game(scale: Scale) -> Table {
     );
     let ks: &[usize] = match scale {
         Scale::Quick => &[8, 64],
-        Scale::Full => &[8, 64, 512, 4096],
+        Scale::Full | Scale::Huge => &[8, 64, 512, 4096],
     };
     let dp_cutoff = match scale {
         Scale::Quick => 64,
-        Scale::Full => 512,
+        Scale::Full | Scale::Huge => 512,
     };
     let mut configs: Vec<(usize, usize)> = Vec::new();
     for &k in ks {

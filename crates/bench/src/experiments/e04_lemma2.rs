@@ -30,7 +30,7 @@ pub fn e4_lemma2_reanchors(scale: Scale) -> Table {
     let n = scale.size(8_000);
     let ks: &[usize] = match scale {
         Scale::Quick => &[4, 16],
-        Scale::Full => &[4, 16, 64, 256],
+        Scale::Full | Scale::Huge => &[4, 16, 64, 256],
     };
     // Trees first (sequential RNG order), then one unit per (tree, k).
     let trees: Vec<_> = Family::ALL

@@ -17,7 +17,7 @@ pub struct Figure1 {
 pub fn e5_figure1(scale: Scale) -> Figure1 {
     let (w, h) = match scale {
         Scale::Quick => (30, 18),
-        Scale::Full => (64, 40),
+        Scale::Full | Scale::Huge => (64, 40),
     };
     let mut shares = Table::new(
         "E5: Figure 1 — share of the (n, D) plane won by each guarantee",

@@ -28,7 +28,7 @@ pub fn e6_cte_adversarial(scale: Scale) -> Table {
     let depth = scale.size(256);
     let ks: &[usize] = match scale {
         Scale::Quick => &[8, 32],
-        Scale::Full => &[8, 32, 128],
+        Scale::Full | Scale::Huge => &[8, 32, 128],
     };
     // The adversarial generators are deterministic, so each unit can
     // build its own instance: one unit per (k, family).

@@ -29,7 +29,7 @@ pub fn e9_graphs(scale: Scale) -> Table {
     );
     let side = match scale {
         Scale::Quick => 12,
-        Scale::Full => 60,
+        Scale::Full | Scale::Huge => 60,
     };
     let grids = [
         ("open", GridGraph::new(side, side, &[])),

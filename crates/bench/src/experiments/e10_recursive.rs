@@ -29,7 +29,7 @@ pub fn e10_recursive(scale: Scale) -> Table {
     let base = scale.size(2_048);
     let k = match scale {
         Scale::Quick => 16,
-        Scale::Full => 64,
+        Scale::Full | Scale::Huge => 64,
     };
     let instances: Vec<(&str, Tree)> = vec![
         // Shallow and bushy: the 2n/k work term dominates — plain BFDN's

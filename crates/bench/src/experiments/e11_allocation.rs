@@ -41,7 +41,7 @@ pub fn e11_allocation(scale: Scale) -> Table {
     );
     let ks: &[usize] = match scale {
         Scale::Quick => &[16, 64],
-        Scale::Full => &[16, 64, 256, 1024],
+        Scale::Full | Scale::Huge => &[16, 64, 256, 1024],
     };
     // One unit per (k, workload): the four policies share the workload
     // vector and each run is cheap relative to building it at large k.

@@ -18,6 +18,7 @@ use bfdn_service::protocol::{wire_f64, ExploreResult, ExploreSpec};
 
 /// The standard sweep grid: `algorithms × families × k × seeds` at one
 /// scale-dependent size, in deterministic nesting order (24 specs).
+/// [`Scale::Huge`] appends the [`huge_specs`] million-node requests.
 pub fn standard_specs(scale: Scale) -> Vec<ExploreSpec> {
     let n = scale.size(2000) as u64;
     let mut specs = Vec::new();
@@ -30,7 +31,24 @@ pub fn standard_specs(scale: Scale) -> Vec<ExploreSpec> {
             }
         }
     }
+    if scale == Scale::Huge {
+        specs.extend(huge_specs());
+    }
     specs
+}
+
+/// The million-node requests the huge sweep adds: single instances near
+/// the top of the daemon's validation envelope (n = 10⁶ against the
+/// 2·10⁶ cap), on the shallow families where that size is tractable.
+/// Routed through `--via-service` this is the "one giant request"
+/// configuration intra-round sharding exists for — the daemon's
+/// per-request `round_threads` budget parallelizes each of these
+/// internally while its bound checker re-verifies the Theorem 1 margin.
+pub fn huge_specs() -> Vec<ExploreSpec> {
+    vec![
+        ExploreSpec::new("bfdn", "random-recursive", 1_000_000, 1024, 0),
+        ExploreSpec::new("bfdn", "binary", 1_000_000, 4096, 0),
+    ]
 }
 
 /// Runs every spec on this process's worker threads (the same

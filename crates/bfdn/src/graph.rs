@@ -21,10 +21,23 @@
 //! the fog of war is maintained in the `Known` structure below, and every
 //! decision reads only `Known` plus the current robot's own distance —
 //! exactly the information the model grants.
+//!
+//! # Intra-round sharding
+//!
+//! Like [`crate::Bfdn`], the selection phase can shard its per-robot
+//! loop across threads ([`GraphBfdn::explore_with_threads`]): a parallel
+//! phase resolves robot-local decisions (backtrack hops, BF-stack pops)
+//! into index-stable slots, unknown-port prefixes are gathered in
+//! parallel from the immutable fog of war, and a sequential merge
+//! replays the order-dependent reanchors (load scans) and DN claims in
+//! robot order — outcomes are identical to the sequential loop at any
+//! thread count. The probe-resolution phase mutates `Known` and stays
+//! sequential.
 
 use crate::bounds::proposition9_bound;
+use bfdn_sim::parallel;
 use bfdn_trees::{Graph, NodeId, Port};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 /// What the team knows about one port of an explored node.
@@ -253,6 +266,27 @@ impl GraphBfdn {
     ///
     /// Panics if `k == 0`.
     pub fn explore(graph: &Graph, origin: NodeId, k: usize) -> Result<GraphOutcome, GraphError> {
+        Self::explore_with_threads(graph, origin, k, parallel::round_threads())
+    }
+
+    /// [`Self::explore`] with an explicit intra-round thread budget
+    /// (instead of the `BFDN_ROUND_THREADS` default). `threads == 1`, or
+    /// any `k < 2 * threads`, runs the sequential selection loop; the
+    /// outcome is identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::explore`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn explore_with_threads(
+        graph: &Graph,
+        origin: NodeId,
+        k: usize,
+        threads: usize,
+    ) -> Result<GraphOutcome, GraphError> {
         assert!(k >= 1, "need at least one robot");
         let dist_table = graph.bfs_distances(origin);
         if dist_table.iter().any(Option::is_none) {
@@ -262,150 +296,80 @@ impl GraphBfdn {
         // on or arrives at — the knowledge Proposition 9 grants.
         let dist = |v: NodeId| dist_table[v.index()].expect("connected");
 
-        let mut known = Known::new(graph, origin);
-        let mut positions = vec![origin; k];
-        let mut states: Vec<RState> = vec![RState::Dn; k];
-        let mut anchors = vec![origin; k];
         let mut loads = vec![0u32; graph.len()];
         loads[origin.index()] = k as u32;
-        // Round-local DN claim counters (see `Bfdn::dn` for the
-        // equivalence argument), reset via the touched list each round.
-        let mut claims = vec![0u32; graph.len()];
-        let mut claimed: Vec<NodeId> = Vec::new();
+        let mut run = Run {
+            graph,
+            origin,
+            k,
+            threads: threads.max(1),
+            known: Known::new(graph, origin),
+            positions: vec![origin; k],
+            states: vec![RState::Dn; k],
+            anchors: vec![origin; k],
+            loads,
+            claims: vec![0u32; graph.len()],
+            claimed: Vec::new(),
+        };
         let m = graph.num_edges() as u64;
         let radius = graph.radius_from(origin);
         let max_rounds = 64 * (m + 2) * (radius as u64 + 2) + 1024;
         let mut rounds = 0u64;
         let mut closed_edges = 0u64;
+        let mut moves: Vec<Option<Port>> = vec![None; k];
 
         loop {
-            let done = known.unknown == 0 && positions.iter().all(|&p| p == origin);
+            let done = run.known.unknown == 0 && run.positions.iter().all(|&p| p == origin);
             if done {
                 break;
             }
             if rounds >= max_rounds {
                 return Err(GraphError::RoundLimit(max_rounds));
             }
-            // Selection phase (sequential, as in Algorithm 1).
-            let mut moves: Vec<Option<Port>> = vec![None; k];
-            for i in 0..k {
-                let pos = positions[i];
-                if let RState::Backtrack(port) = states[i] {
-                    moves[i] = Some(port);
-                    states[i] = RState::Dn;
-                    continue;
-                }
-                let is_bf_empty = matches!(&states[i], RState::Bf(s) if s.is_empty());
-                if is_bf_empty {
-                    states[i] = RState::Dn;
-                }
-                if pos == origin && matches!(states[i], RState::Dn) {
-                    // Reanchor: open node of minimum depth, least load.
-                    let new_anchor = match known.min_open_depth() {
-                        Some(d) => {
-                            let mut best: Option<(u32, NodeId)> = None;
-                            for v in known.open_by_depth[d].iter().copied() {
-                                let load = loads[v.index()];
-                                if load == 0 {
-                                    best = Some((0, v));
-                                    break;
-                                }
-                                if best.is_none_or(|(bl, _)| load < bl) {
-                                    best = Some((load, v));
-                                }
-                            }
-                            best.expect("open depth has nodes").1
-                        }
-                        None => origin,
-                    };
-                    let old = anchors[i];
-                    if old != new_anchor {
-                        loads[old.index()] = loads[old.index()].saturating_sub(1);
-                        loads[new_anchor.index()] += 1;
-                        anchors[i] = new_anchor;
-                    }
-                    // Build the BF stack along BFS-tree parent links.
-                    let mut stack = Vec::new();
-                    let mut cur = new_anchor;
-                    while cur != origin {
-                        let (par, back) = known.parent_of(cur);
-                        // The port at the parent leading to `cur`:
-                        let down = graph.endpoint(cur, back).expect("parent edge").back;
-                        stack.push(down);
-                        cur = par;
-                    }
-                    states[i] = RState::Bf(stack);
-                }
-                match &mut states[i] {
-                    RState::Bf(stack) => {
-                        if let Some(port) = stack.pop() {
-                            moves[i] = Some(port);
-                            continue;
-                        }
-                        states[i] = RState::Dn;
-                    }
-                    RState::Dn => {}
-                    RState::Backtrack(_) => unreachable!("handled above"),
-                }
-                // DN: lowest unknown unselected port, else up. The c-th
-                // claimer at a node takes its c-th unknown port (the scan
-                // order is shared, so this equals the old HashSet logic).
-                let c = claims[pos.index()];
-                let chosen = known.unknown_ports(pos).nth(c as usize);
-                if chosen.is_some() {
-                    if c == 0 {
-                        claimed.push(pos);
-                    }
-                    claims[pos.index()] = c + 1;
-                }
-                moves[i] = match chosen {
-                    Some(p) => Some(p),
-                    None => {
-                        if pos == origin {
-                            None // ⊥
-                        } else {
-                            Some(known.parent_of(pos).1)
-                        }
-                    }
-                };
+            // Selection phase (as in Algorithm 1).
+            moves.iter_mut().for_each(|m| *m = None);
+            if run.threads > 1 && k >= 2 * run.threads {
+                run.select_sharded(&mut moves);
+            } else {
+                run.select_sequential(&mut moves);
             }
-            for v in claimed.drain(..) {
-                claims[v.index()] = 0;
+            for v in run.claimed.drain(..) {
+                run.claims[v.index()] = 0;
             }
             // Move phase: apply synchronously; resolve probe arrivals in
             // robot order.
             for i in 0..k {
                 let Some(port) = moves[i] else { continue };
-                let u = positions[i];
+                let u = run.positions[i];
                 // Backtracking robots may stand on an unexplored node
                 // (case 2) — their return hop is never a probe.
-                let was_unknown = known.ports[u.index()]
+                let was_unknown = run.known.ports[u.index()]
                     .as_ref()
                     .is_some_and(|ps| ps[port.index()] == PortStatus::Unknown);
                 let e = graph.endpoint(u, port).expect("valid port");
-                positions[i] = e.node;
+                run.positions[i] = e.node;
                 if !was_unknown {
                     continue;
                 }
                 // Probe resolution.
                 let w = e.node;
-                if known.is_explored(w) {
+                if run.known.is_explored(w) {
                     // Case (1): already explored — close both halves.
-                    known.set_status(u, port, PortStatus::Closed);
-                    known.close_half(w, e.back);
+                    run.known.set_status(u, port, PortStatus::Closed);
+                    run.known.close_half(w, e.back);
                     closed_edges += 1;
-                    states[i] = RState::Backtrack(e.back);
+                    run.states[i] = RState::Backtrack(e.back);
                 } else if dist(w) <= dist(u) {
                     // Case (2): not strictly farther — close; `w` stays
                     // unexplored.
-                    known.set_status(u, port, PortStatus::Closed);
-                    known.close_half(w, e.back);
+                    run.known.set_status(u, port, PortStatus::Closed);
+                    run.known.close_half(w, e.back);
                     closed_edges += 1;
-                    states[i] = RState::Backtrack(e.back);
+                    run.states[i] = RState::Backtrack(e.back);
                 } else {
                     // A BFS-tree edge: `w` becomes explored.
-                    known.set_status(u, port, PortStatus::Child(w));
-                    known.explore_node(graph, w, dist(w), Some((u, e.back)));
+                    run.known.set_status(u, port, PortStatus::Child(w));
+                    run.known.explore_node(graph, w, dist(w), Some((u, e.back)));
                 }
             }
             rounds += 1;
@@ -417,6 +381,269 @@ impl GraphBfdn {
             closed_edges,
             bound: proposition9_bound(graph.num_edges(), radius, k, graph.max_degree()),
         })
+    }
+}
+
+/// Phase A's per-robot fill slot for the graph round.
+#[derive(Clone, Copy, Debug)]
+enum GSlot {
+    /// The move is fully determined by the robot's own state.
+    Resolved(Option<Port>),
+    /// At the origin in DN state: needs the sequential reanchor scan.
+    Reanchor,
+    /// Needs a DN claim at the robot's position.
+    Claim,
+}
+
+/// Mutable state of one graph exploration run; selection methods live
+/// here so the sharded and sequential paths share it.
+struct Run<'g> {
+    graph: &'g Graph,
+    origin: NodeId,
+    k: usize,
+    threads: usize,
+    known: Known,
+    positions: Vec<NodeId>,
+    states: Vec<RState>,
+    anchors: Vec<NodeId>,
+    loads: Vec<u32>,
+    /// Round-local DN claim counters (see `Bfdn::dn` for the
+    /// equivalence argument), reset via the touched list each round.
+    claims: Vec<u32>,
+    claimed: Vec<NodeId>,
+}
+
+impl Run<'_> {
+    /// Reanchor for robot `i`: open node of minimum depth, least load.
+    /// Order-dependent (reads and writes the shared load table), so both
+    /// selection paths call it in robot order.
+    fn reanchor(&mut self, i: usize) -> NodeId {
+        let new_anchor = match self.known.min_open_depth() {
+            Some(d) => {
+                let mut best: Option<(u32, NodeId)> = None;
+                for v in self.known.open_by_depth[d].iter().copied() {
+                    let load = self.loads[v.index()];
+                    if load == 0 {
+                        best = Some((0, v));
+                        break;
+                    }
+                    if best.is_none_or(|(bl, _)| load < bl) {
+                        best = Some((load, v));
+                    }
+                }
+                best.expect("open depth has nodes").1
+            }
+            None => self.origin,
+        };
+        let old = self.anchors[i];
+        if old != new_anchor {
+            self.loads[old.index()] = self.loads[old.index()].saturating_sub(1);
+            self.loads[new_anchor.index()] += 1;
+            self.anchors[i] = new_anchor;
+        }
+        new_anchor
+    }
+
+    /// The BF descent stack from the origin to `anchor` along BFS-tree
+    /// parent links (pure in the fog of war; safe to build in parallel).
+    fn bf_stack(known: &Known, graph: &Graph, origin: NodeId, anchor: NodeId) -> Vec<Port> {
+        let mut stack = Vec::new();
+        let mut cur = anchor;
+        while cur != origin {
+            let (par, back) = known.parent_of(cur);
+            // The port at the parent leading to `cur`:
+            let down = graph.endpoint(cur, back).expect("parent edge").back;
+            stack.push(down);
+            cur = par;
+        }
+        stack
+    }
+
+    /// One DN claim at `pos`: the c-th claimer takes the c-th unknown
+    /// port (the scan order is shared, so this equals the old HashSet
+    /// logic); `nth` resolves the port from the fog of war directly.
+    fn claim(&mut self, pos: NodeId) -> Option<Port> {
+        let c = self.claims[pos.index()];
+        let chosen = self.known.unknown_ports(pos).nth(c as usize);
+        if chosen.is_some() {
+            if c == 0 {
+                self.claimed.push(pos);
+            }
+            self.claims[pos.index()] = c + 1;
+        }
+        chosen
+    }
+
+    /// [`Self::claim`] against a pre-gathered unknown-port prefix (the
+    /// prefix covers every contender counted for `pos`, so indexing it
+    /// equals the sequential `nth` scan).
+    fn claim_gathered(&mut self, pos: NodeId, prefix: &[Port]) -> Option<Port> {
+        let c = self.claims[pos.index()];
+        let chosen = prefix.get(c as usize).copied();
+        if chosen.is_some() {
+            if c == 0 {
+                self.claimed.push(pos);
+            }
+            self.claims[pos.index()] = c + 1;
+        }
+        chosen
+    }
+
+    /// The move for a robot at `pos` whose DN claim came up empty:
+    /// retreat towards the parent, or `⊥` (stay) at the origin.
+    fn retreat(&self, pos: NodeId) -> Option<Port> {
+        if pos == self.origin {
+            None // ⊥
+        } else {
+            Some(self.known.parent_of(pos).1)
+        }
+    }
+
+    /// The paper's sequential selection loop. The sharded path must
+    /// replay its decisions exactly.
+    fn select_sequential(&mut self, moves: &mut [Option<Port>]) {
+        for i in 0..self.k {
+            let pos = self.positions[i];
+            if let RState::Backtrack(port) = self.states[i] {
+                moves[i] = Some(port);
+                self.states[i] = RState::Dn;
+                continue;
+            }
+            let is_bf_empty = matches!(&self.states[i], RState::Bf(s) if s.is_empty());
+            if is_bf_empty {
+                self.states[i] = RState::Dn;
+            }
+            if pos == self.origin && matches!(self.states[i], RState::Dn) {
+                let new_anchor = self.reanchor(i);
+                let stack = Self::bf_stack(&self.known, self.graph, self.origin, new_anchor);
+                self.states[i] = RState::Bf(stack);
+            }
+            match &mut self.states[i] {
+                RState::Bf(stack) => {
+                    if let Some(port) = stack.pop() {
+                        moves[i] = Some(port);
+                        continue;
+                    }
+                    self.states[i] = RState::Dn;
+                }
+                RState::Dn => {}
+                RState::Backtrack(_) => unreachable!("handled above"),
+            }
+            // DN: lowest unknown unselected port, else up.
+            moves[i] = match self.claim(pos) {
+                Some(p) => Some(p),
+                None => self.retreat(pos),
+            };
+        }
+    }
+
+    /// The sharded selection: parallel per-robot resolution into
+    /// index-stable slots, parallel unknown-port gathering, then a
+    /// sequential merge replaying reanchors and claims in robot order.
+    fn select_sharded(&mut self, moves: &mut [Option<Port>]) {
+        let positions = &self.positions;
+        let origin = self.origin;
+        // Phase A over contiguous robot-state shards: resolve everything
+        // a robot decides from its own control state.
+        let slots: Vec<GSlot> = parallel::par_shards_mut(&mut self.states, self.threads, {
+            |first, shard| {
+                let mut slots = Vec::with_capacity(shard.len());
+                for (offset, state) in shard.iter_mut().enumerate() {
+                    let pos = positions[first + offset];
+                    let slot = (|| {
+                        if let RState::Backtrack(port) = state {
+                            let port = *port;
+                            *state = RState::Dn;
+                            return GSlot::Resolved(Some(port));
+                        }
+                        if matches!(state, RState::Bf(s) if s.is_empty()) {
+                            *state = RState::Dn;
+                        }
+                        if pos == origin && matches!(state, RState::Dn) {
+                            return GSlot::Reanchor;
+                        }
+                        if let RState::Bf(stack) = state {
+                            let port = stack.pop().expect("empty BF normalized above");
+                            return GSlot::Resolved(Some(port));
+                        }
+                        GSlot::Claim
+                    })();
+                    slots.push(slot);
+                }
+                slots
+            }
+        })
+        .concat();
+        // Gather: per contended node, the prefix of unknown ports long
+        // enough to cover every claim that can land there this round.
+        // Reanchoring robots may fall through to a claim at the origin,
+        // so they count as origin contenders (over-counting only makes
+        // the prefix longer).
+        let mut caps: HashMap<NodeId, usize> = HashMap::new();
+        for (i, slot) in slots.iter().enumerate() {
+            match slot {
+                GSlot::Claim => *caps.entry(positions[i]).or_insert(0) += 1,
+                GSlot::Reanchor => *caps.entry(origin).or_insert(0) += 1,
+                GSlot::Resolved(_) => {}
+            }
+        }
+        let mut wanted: Vec<(NodeId, usize)> = caps.into_iter().collect();
+        wanted.sort_unstable_by_key(|&(v, _)| v.index());
+        let known = &self.known;
+        let prefixes: Vec<Vec<Port>> =
+            parallel::par_map_with_threads(&wanted, self.threads, |&(v, cap)| {
+                known.unknown_ports(v).take(cap).collect()
+            });
+        let gathered: HashMap<NodeId, Vec<Port>> = wanted
+            .iter()
+            .map(|&(v, _)| v)
+            .zip(prefixes)
+            .collect();
+        // Merge: reanchors and claims in robot order. Non-origin
+        // reanchors defer their O(depth) stack build to phase C.
+        let mut pending_stacks: Vec<(usize, NodeId)> = Vec::new();
+        for (i, slot) in slots.into_iter().enumerate() {
+            let pos = self.positions[i];
+            match slot {
+                GSlot::Resolved(mv) => moves[i] = mv,
+                GSlot::Reanchor => {
+                    let new_anchor = self.reanchor(i);
+                    if new_anchor == origin {
+                        // Empty descent: fall through to a DN claim at
+                        // the origin, exactly like the sequential loop.
+                        self.states[i] = RState::Dn;
+                        moves[i] = match self.claim_gathered(pos, &gathered[&pos]) {
+                            Some(p) => Some(p),
+                            None => self.retreat(pos),
+                        };
+                    } else {
+                        pending_stacks.push((i, new_anchor));
+                    }
+                }
+                GSlot::Claim => {
+                    moves[i] = match self.claim_gathered(pos, &gathered[&pos]) {
+                        Some(p) => Some(p),
+                        None => self.retreat(pos),
+                    };
+                }
+            }
+        }
+        // Phase C: build the committed descent stacks in parallel and
+        // take each robot's first hop.
+        if !pending_stacks.is_empty() {
+            let known = &self.known;
+            let graph = self.graph;
+            let stacks = parallel::par_map_with_threads(
+                &pending_stacks,
+                self.threads,
+                |&(_, anchor)| Self::bf_stack(known, graph, origin, anchor),
+            );
+            for (&(i, _), mut stack) in pending_stacks.iter().zip(stacks) {
+                let port = stack.pop().expect("non-origin anchor has a descent");
+                self.states[i] = RState::Bf(stack);
+                moves[i] = Some(port);
+            }
+        }
     }
 }
 
@@ -529,5 +756,32 @@ mod tests {
         let g = GraphBuilder::new(1).build();
         let out = GraphBfdn::explore(&g, NodeId::new(0), 3).unwrap();
         assert_eq!(out.rounds, 0);
+    }
+
+    #[test]
+    fn sharded_selection_matches_sequential() {
+        let grids = [
+            GridGraph::new(6, 6, &[]),
+            GridGraph::new(8, 5, &[Rect::new(2, 1, 4, 3)]),
+            GridGraph::new(10, 10, &[Rect::new(1, 1, 3, 8), Rect::new(5, 2, 9, 4)]),
+        ];
+        for (gi, grid) in grids.iter().enumerate() {
+            for k in [4usize, 9, 16, 33] {
+                let seq =
+                    GraphBfdn::explore_with_threads(grid.graph(), grid.origin(), k, 1).unwrap();
+                for threads in [2usize, 4, 7] {
+                    let par =
+                        GraphBfdn::explore_with_threads(grid.graph(), grid.origin(), k, threads)
+                            .unwrap();
+                    assert_eq!(seq, par, "grid {gi} k={k} threads={threads}");
+                }
+            }
+        }
+        for n in [7usize, 20] {
+            let g = cycle(n);
+            let seq = GraphBfdn::explore_with_threads(&g, NodeId::new(0), 12, 1).unwrap();
+            let par = GraphBfdn::explore_with_threads(&g, NodeId::new(0), 12, 4).unwrap();
+            assert_eq!(seq, par, "cycle n={n}");
+        }
     }
 }

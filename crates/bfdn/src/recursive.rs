@@ -27,10 +27,40 @@
 //! so reported anchors always lie on the path from the root to the
 //! robot's position. Once the tree is fully explored all robots walk
 //! straight home.
+//!
+//! # Intra-round sharding
+//!
+//! The top-level [`Divide`]'s child instances own disjoint robot sets
+//! and disjoint sub-trees, so with a thread budget
+//! ([`BfdnL::with_round_threads`], default `BFDN_ROUND_THREADS`) their
+//! `step`s run on worker threads, each writing `(robot, move)` pairs
+//! into a private [`MoveOut`] buffer that is drained afterwards — the
+//! indices are disjoint, so the result is identical to the sequential
+//! fan at any thread count. Nested divides and `ℓ = 1` (a single
+//! top-level [`Leaf`], whose claim counters are order-dependent) stay
+//! sequential.
 
-use bfdn_sim::{Explorer, Move, RoundContext};
+use bfdn_sim::{parallel, Explorer, Move, RoundContext};
 use bfdn_trees::{NodeId, PartialTree, Port};
 use std::collections::{BTreeSet, HashSet};
+
+/// Where a stepped instance writes its robots' moves: directly into the
+/// simulator's slice, or into an index-tagged buffer when child
+/// instances run on worker threads.
+enum MoveOut<'a> {
+    Direct(&'a mut [Move]),
+    Buffer(&'a mut Vec<(usize, Move)>),
+}
+
+impl MoveOut<'_> {
+    #[inline]
+    fn set(&mut self, i: usize, mv: Move) {
+        match self {
+            MoveOut::Direct(out) => out[i] = mv,
+            MoveOut::Buffer(buf) => buf.push((i, mv)),
+        }
+    }
+}
 
 /// What an interrupted instance hands back to its parent.
 #[derive(Clone, Debug, Default)]
@@ -246,46 +276,47 @@ impl Leaf {
         ports
     }
 
-    fn step(&mut self, ctx: &RoundContext<'_>, out: &mut [Move]) {
+    fn step(&mut self, ctx: &RoundContext<'_>, out: &mut MoveOut<'_>) {
         self.sync(ctx.tree);
         let tree = ctx.tree;
         self.claims.clear();
         for slot in 0..self.robots.len() {
             let i = self.robots[slot];
             let pos = ctx.positions[i];
-            match &mut self.states[slot] {
+            let mv = match &mut self.states[slot] {
                 LState::Bf(stack) => {
                     let port = stack.pop().expect("BF implies pending hops");
                     if stack.is_empty() {
                         self.states[slot] = LState::Dn;
                     }
-                    out[i] = Move::Down(port);
+                    Move::Down(port)
                 }
                 LState::Inactive => {
                     // Wake up if eligible anchors (re)appeared.
                     debug_assert_eq!(pos, self.root);
                     if self.reanchor(slot).is_some() {
                         self.states[slot] = LState::Dn;
-                        out[i] = self.launch(slot, tree);
+                        self.launch(slot, tree)
                     } else {
-                        out[i] = Move::Stay;
+                        Move::Stay
                     }
                 }
                 LState::Dn => {
                     if pos == self.root {
-                        out[i] = match self.reanchor(slot) {
+                        match self.reanchor(slot) {
                             Some(_) => self.launch(slot, tree),
                             None => {
                                 self.states[slot] = LState::Inactive;
                                 self.set_anchor(slot, self.root);
                                 Move::Stay
                             }
-                        };
+                        }
                     } else {
-                        out[i] = self.dn_move(pos, tree);
+                        self.dn_move(pos, tree)
                     }
                 }
-            }
+            };
+            out.set(i, mv);
         }
     }
 
@@ -410,6 +441,9 @@ struct Divide {
     phase: DPhase,
     children: Vec<Instance>,
     finished: bool,
+    /// Thread budget for fanning the children; 1 everywhere except the
+    /// top-level instance (nested fans would oversubscribe).
+    threads: usize,
 }
 
 impl Divide {
@@ -422,6 +456,7 @@ impl Divide {
         team: &[usize],
         adopted: &[(usize, NodeId)],
         open: Vec<(usize, NodeId)>,
+        threads: usize,
         ctx: &RoundContext<'_>,
     ) -> Self {
         debug_assert!(level >= 2);
@@ -437,6 +472,7 @@ impl Divide {
             phase: DPhase::Run,
             children: Vec::new(),
             finished: false,
+            threads,
         };
         // Iteration 1: a single sub-tree (the instance root) with the
         // adopted robots in place.
@@ -550,7 +586,7 @@ impl Divide {
         self.build_iteration(groups, open, ctx);
     }
 
-    fn step(&mut self, ctx: &RoundContext<'_>, out: &mut [Move]) {
+    fn step(&mut self, ctx: &RoundContext<'_>, out: &mut MoveOut<'_>) {
         if self.finished {
             return;
         }
@@ -591,23 +627,43 @@ impl Divide {
                         })
                         .collect();
                     self.phase = DPhase::Run;
-                    for child in &mut self.children {
-                        child.step(ctx, out);
-                    }
+                    self.fan_children(ctx, out);
                 } else {
                     for (r, path) in walkers.iter_mut() {
-                        match path.pop().expect("empty walks are never inserted") {
-                            Step::Up => out[*r] = Move::Up,
-                            Step::Down(p) => out[*r] = Move::Down(p),
-                        }
+                        let mv = match path.pop().expect("empty walks are never inserted") {
+                            Step::Up => Move::Up,
+                            Step::Down(p) => Move::Down(p),
+                        };
+                        out.set(*r, mv);
                     }
                     walkers.retain(|(_, path)| !path.is_empty());
                 }
             }
-            DPhase::Run => {
-                for child in &mut self.children {
-                    child.step(ctx, out);
+            DPhase::Run => self.fan_children(ctx, out),
+        }
+    }
+
+    /// Steps every child instance. Children own disjoint robot sets and
+    /// disjoint sub-trees, so with a thread budget they run on worker
+    /// threads, each filling a private buffer that is drained here — the
+    /// written indices are disjoint, so this equals the sequential fan.
+    fn fan_children(&mut self, ctx: &RoundContext<'_>, out: &mut MoveOut<'_>) {
+        if self.threads > 1 && self.children.len() >= 2 {
+            let buffers = parallel::par_shards_mut(&mut self.children, self.threads, {
+                |_, shard| {
+                    let mut buf: Vec<(usize, Move)> = Vec::new();
+                    for child in shard {
+                        child.step(ctx, &mut MoveOut::Buffer(&mut buf));
+                    }
+                    buf
                 }
+            });
+            for (i, mv) in buffers.into_iter().flatten() {
+                out.set(i, mv);
+            }
+        } else {
+            for child in &mut self.children {
+                child.step(ctx, out);
             }
         }
     }
@@ -680,17 +736,35 @@ impl Instance {
         d_local: usize,
         ctx: &RoundContext<'_>,
     ) -> Self {
+        Self::create_with_threads(
+            level, k_star, n_iter, root, team, adopted, open, d_local, 1, ctx,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn create_with_threads(
+        level: u32,
+        k_star: usize,
+        n_iter: usize,
+        root: NodeId,
+        team: &[usize],
+        adopted: &[(usize, NodeId)],
+        open: Vec<(usize, NodeId)>,
+        d_local: usize,
+        threads: usize,
+        ctx: &RoundContext<'_>,
+    ) -> Self {
         if level <= 1 {
             let limit = ctx.tree.depth(root) + d_local;
             Instance::Leaf(Box::new(Leaf::create(root, limit, team, adopted, open)))
         } else {
             Instance::Divide(Box::new(Divide::create(
-                level, k_star, n_iter, root, team, adopted, open, ctx,
+                level, k_star, n_iter, root, team, adopted, open, threads, ctx,
             )))
         }
     }
 
-    fn step(&mut self, ctx: &RoundContext<'_>, out: &mut [Move]) {
+    fn step(&mut self, ctx: &RoundContext<'_>, out: &mut MoveOut<'_>) {
         match self {
             Instance::Leaf(l) => l.step(ctx, out),
             Instance::Divide(d) => d.step(ctx, out),
@@ -767,6 +841,9 @@ pub struct BfdnL {
     adopted: Vec<(usize, NodeId)>,
     calls: u32,
     name: String,
+    /// Intra-round thread budget for the top-level child fan; 1 = fully
+    /// sequential.
+    threads: usize,
 }
 
 impl BfdnL {
@@ -811,7 +888,23 @@ impl BfdnL {
             adopted: Vec::new(),
             calls: 0,
             name: format!("bfdn-l{ell}"),
+            threads: parallel::round_threads(),
         }
+    }
+
+    /// Sets the intra-round thread budget explicitly (instead of the
+    /// `BFDN_ROUND_THREADS` default). The exploration is identical at
+    /// any value; only wall-clock time changes.
+    #[must_use]
+    pub fn with_round_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The intra-round thread budget.
+    #[inline]
+    pub fn round_threads(&self) -> usize {
+        self.threads
     }
 
     /// Number of robots `k` (including unused ones).
@@ -863,7 +956,12 @@ impl Explorer for BfdnL {
             let robots: Vec<usize> = (0..self.k_used).collect();
             let n_iter = (self.growth as usize).pow(self.j); // base^j
             let d_total = n_iter.pow(self.ell); // d_j = 2^{jℓ}
-            self.instance = Some(Instance::create(
+            let threads = if self.threads > 1 && self.k_used >= 2 * self.threads {
+                self.threads
+            } else {
+                1
+            };
+            self.instance = Some(Instance::create_with_threads(
                 self.ell,
                 self.k_star,
                 n_iter,
@@ -872,6 +970,7 @@ impl Explorer for BfdnL {
                 &self.adopted,
                 ctx.tree.open_nodes_snapshot(),
                 d_total,
+                threads,
                 ctx,
             ));
             self.adopted.clear();
@@ -880,7 +979,7 @@ impl Explorer for BfdnL {
         self.instance
             .as_mut()
             .expect("created above")
-            .step(ctx, out);
+            .step(ctx, &mut MoveOut::Direct(out));
     }
 
     fn name(&self) -> &str {

@@ -82,6 +82,23 @@ pub fn execute(
                 );
             });
         }
+        // Big-instance requests pace themselves: each thread sleeps to
+        // its own offset so the heavyweight sends never delay the
+        // open-loop schedule below.
+        for (index, arrival) in plan.big_instance.iter().enumerate() {
+            scope.spawn(move || {
+                sleep_until(started, arrival.at_ms);
+                let trace = trace_id(fingerprint, "big-instance", index as u64);
+                let t0 = Instant::now();
+                let outcome = one_shot_slow(addr, &arrival.op, trace);
+                collector.record_traced(
+                    "big-instance",
+                    &outcome,
+                    Some(t0.elapsed().as_secs_f64()),
+                    Some(trace),
+                );
+            });
+        }
         // The open-loop scheduler fires each arrival on time and moves
         // on; completions are recorded by the per-request threads.
         for (index, arrival) in plan.open_loop.iter().enumerate() {
@@ -220,6 +237,23 @@ fn one_shot(addr: SocketAddr, op: &Op, trace: u64) -> String {
         None => "io_error".into(),
         Some(mut client) => issue_on(&mut client, op, trace),
     }
+}
+
+/// A big-instance request: same shape as [`one_shot`], but the read
+/// timeout matches the class's latency budget instead of the mix's —
+/// a legitimate multi-second execution must not be misread as a dead
+/// daemon.
+fn one_shot_slow(addr: SocketAddr, op: &Op, trace: u64) -> String {
+    let Some(mut client) = connect(addr) else {
+        return "io_error".into();
+    };
+    if client
+        .set_read_timeout(Some(Duration::from_secs(180)))
+        .is_err()
+    {
+        return "io_error".into();
+    }
+    issue_on(&mut client, op, trace)
 }
 
 /// A closed-loop client: its script back-to-back over one connection,

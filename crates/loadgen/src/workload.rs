@@ -9,7 +9,7 @@
 //! file as a bug report.
 
 use crate::chaos::{ChaosClient, Persona};
-use crate::measure::SloConfig;
+use crate::measure::{ClassSlo, SloConfig};
 use bfdn_service::protocol::ExploreSpec;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -31,6 +31,17 @@ const FAMILY_CHOICES: [&str; 5] = [
     "spider",
     "random-recursive",
     "caterpillar",
+];
+
+/// The `big-instance` request class: single explores near the daemon's
+/// validation caps (`MAX_N` = 2·10⁶, `MAX_K` = 65 536), drawn
+/// round-robin. Only the shallow families are tractable at this size —
+/// rounds grow at least linearly in depth — and each request is heavy
+/// enough that the daemon's per-request `--round-threads` budget is
+/// what keeps its latency inside the class SLO.
+const BIG_INSTANCE_CHOICES: [(&str, &str, u64, u64); 2] = [
+    ("bfdn", "random-recursive", 1_500_000, 4_096),
+    ("bfdn", "binary", 1_000_000, 8_192),
 ];
 
 /// The three shipped load profiles.
@@ -72,6 +83,7 @@ impl Profile {
                 closed_loop_clients: 2,
                 closed_loop_ops: 12,
                 chaos_rotations: 0,
+                big_instance_requests: 0,
                 mix: MixConfig::default(),
                 slo: SloConfig::default(),
             },
@@ -82,8 +94,19 @@ impl Profile {
                 closed_loop_clients: 4,
                 closed_loop_ops: 32,
                 chaos_rotations: 0,
+                big_instance_requests: 2,
                 mix: MixConfig::default(),
-                slo: SloConfig::default(),
+                slo: SloConfig {
+                    // Near-cap requests are legitimately thousands of
+                    // times heavier than the mix; they get their own
+                    // latency budget instead of the global 2s p99.
+                    class_slos: vec![ClassSlo {
+                        class: "big-instance".into(),
+                        max_p50_s: 20.0,
+                        max_p99_s: 60.0,
+                    }],
+                    ..SloConfig::default()
+                },
             },
             Profile::Chaos => ProfileConfig {
                 profile: self,
@@ -92,6 +115,7 @@ impl Profile {
                 closed_loop_clients: 3,
                 closed_loop_ops: 16,
                 chaos_rotations: 2,
+                big_instance_requests: 0,
                 mix: MixConfig::default(),
                 slo: SloConfig::default(),
             },
@@ -143,6 +167,10 @@ pub struct ProfileConfig {
     pub closed_loop_ops: usize,
     /// Full rotations of [`Persona::ALL`] injected into the run.
     pub chaos_rotations: usize,
+    /// Requests in the `big-instance` class — near-cap single explores
+    /// drawn from [`BIG_INSTANCE_CHOICES`] and scattered over the
+    /// open-loop window, judged by their own [`ClassSlo`].
+    pub big_instance_requests: usize,
     pub mix: MixConfig,
     pub slo: SloConfig,
 }
@@ -185,6 +213,9 @@ pub struct Plan {
     pub open_loop: Vec<Arrival>,
     /// One script per closed-loop client.
     pub closed_loop: Vec<Vec<Op>>,
+    /// The `big-instance` arrivals: near-cap single explores with their
+    /// own latency class, scattered over the open-loop window.
+    pub big_instance: Vec<Arrival>,
     /// Chaos clients with their injection offsets.
     pub chaos: Vec<ChaosClient>,
     /// The post-storm consistency probe: a spec no workload op uses, so
@@ -222,6 +253,22 @@ impl Plan {
             })
             .collect();
 
+        // Big-instance seeds live far outside the pool's namespace
+        // (`base..base+ops`) and below the probe's (`base + 2³²−1`), so
+        // neither the mix nor the probe can ever have warmed them.
+        let mut big_instance = Vec::with_capacity(config.big_instance_requests);
+        for i in 0..config.big_instance_requests {
+            let (algo, family, n, k) = BIG_INSTANCE_CHOICES[i % BIG_INSTANCE_CHOICES.len()];
+            let at_ms = rng.random_range(0..=span_ms as usize) as u64;
+            let spec_seed = seed
+                .wrapping_mul(1_000_003)
+                .wrapping_add(0x00B1_6000 + i as u64);
+            big_instance.push(Arrival {
+                at_ms,
+                op: Op::Explore(ExploreSpec::new(algo, family, n, k, spec_seed)),
+            });
+        }
+
         let mut chaos = Vec::new();
         for _ in 0..config.chaos_rotations {
             // A full rotation guarantees every persona appears; offsets
@@ -253,6 +300,7 @@ impl Plan {
             seed,
             open_loop,
             closed_loop,
+            big_instance,
             chaos,
             probe,
         }
@@ -267,6 +315,7 @@ impl Plan {
                 .flatten()
                 .map(Op::len)
                 .sum::<usize>()
+            + self.big_instance.iter().map(|a| a.op.len()).sum::<usize>()
     }
 
     /// A compact deterministic fingerprint of the request sequence,
@@ -283,6 +332,11 @@ impl Plan {
             for op in script {
                 push_op(&mut text, op);
             }
+        }
+        for arrival in &self.big_instance {
+            text.push('!');
+            text.push_str(&arrival.at_ms.to_string());
+            push_op(&mut text, &arrival.op);
         }
         for client in &self.chaos {
             text.push_str(client.persona.as_str());
@@ -407,6 +461,32 @@ mod tests {
             assert_eq!(count, 2, "{persona:?} appears once per rotation");
         }
         assert!(Plan::generate(&Profile::Quick.config(), 1).chaos.is_empty());
+    }
+
+    #[test]
+    fn standard_profile_carries_validated_big_instance_requests() {
+        let config = Profile::Standard.config();
+        let plan = Plan::generate(&config, 11);
+        assert_eq!(plan.big_instance.len(), 2);
+        for arrival in &plan.big_instance {
+            let Op::Explore(spec) = &arrival.op else {
+                panic!("big-instance ops are single explores");
+            };
+            exec::validate(spec).expect("near-cap spec passes daemon validation");
+            assert!(spec.n >= 1_000_000, "big means big: n={}", spec.n);
+            assert!(spec.k >= 4_096, "big means big: k={}", spec.k);
+        }
+        // Its own SLO class exists, so the run is judged on the right
+        // budget rather than the global p99.
+        assert!(config
+            .slo
+            .class_slos
+            .iter()
+            .any(|slo| slo.class == "big-instance"));
+        // The quick (CI) profile stays light.
+        assert!(Plan::generate(&Profile::Quick.config(), 11)
+            .big_instance
+            .is_empty());
     }
 
     #[test]

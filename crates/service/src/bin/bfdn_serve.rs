@@ -8,6 +8,7 @@
 //!            [--access-log PATH] [--slow-ms MS]
 //!            [--batch-split N] [--read-timeout-ms MS]
 //!            [--trace-out PATH] [--trace-sample N]
+//!            [--round-threads N]
 //! ```
 //!
 //! The process serves until a client sends a `shutdown` request, then
@@ -69,6 +70,13 @@ fn parse(args: impl IntoIterator<Item = String>) -> Result<ServerConfig, String>
                 let v = value("--trace-sample")?;
                 config.trace_sample = v.parse().map_err(|_| format!("bad --trace-sample `{v}`"))?;
             }
+            "--round-threads" => {
+                let v = value("--round-threads")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("bad --round-threads `{v}`"))?;
+                config.round_threads = Some(n.max(1));
+            }
             "--metrics-scrapers" => {
                 let v = value("--metrics-scrapers")?;
                 let n: usize = v
@@ -81,7 +89,8 @@ fn parse(args: impl IntoIterator<Item = String>) -> Result<ServerConfig, String>
                     "unknown flag `{other}` (try --addr --workers --queue-depth \
                      --cache-capacity --cache-shards --spill --manifest-dir \
                      --metrics-addr --metrics-scrapers --access-log --slow-ms \
-                     --batch-split --read-timeout-ms --trace-out --trace-sample)"
+                     --batch-split --read-timeout-ms --trace-out --trace-sample \
+                     --round-threads)"
                 ))
             }
         }

@@ -16,9 +16,10 @@
 //!   deterministic in their spec, so results are keyed by the canonical
 //!   request string (sharded LRU, optional JSONL spill for warm
 //!   restarts).
-//! - [`parallel`] — the deterministic work-sharing substrate (moved here
-//!   from the bench crate; the harness re-exports it), used both by the
-//!   local harness and by the server's batch fan-out.
+//! - [`parallel`] — the deterministic work-sharing substrate (now hosted
+//!   by `bfdn-sim` so the explorers' round loops can shard on it too;
+//!   re-exported here and by the harness), used both by the local
+//!   harness's fan-out and by the server's batch fan-out.
 //! - [`server`] — the daemon: bounded job queue with `Busy`
 //!   backpressure, a worker pool, per-job observability, graceful
 //!   drain on shutdown.
@@ -42,7 +43,7 @@ pub mod cache;
 pub mod client;
 pub mod exec;
 pub mod jsonval;
-pub mod parallel;
+pub use bfdn_sim::parallel;
 pub mod protocol;
 pub mod server;
 pub mod telemetry;

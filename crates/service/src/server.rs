@@ -86,6 +86,11 @@ pub struct ServerConfig {
     /// even without a client-supplied `trace` id (`0` disables
     /// sampling). Client-supplied ids are always honoured.
     pub trace_sample: u64,
+    /// Intra-round thread budget handed to each executed explorer
+    /// (`BFDN_ROUND_THREADS` / 1 when unset). Results are byte-identical
+    /// at any value — this only trades wall-clock time against worker
+    /// parallelism, so batch items get the budget divided among them.
+    pub round_threads: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -105,6 +110,7 @@ impl Default for ServerConfig {
             metrics_scrapers: 2,
             trace_out: None,
             trace_sample: 0,
+            round_threads: None,
         }
     }
 }
@@ -271,6 +277,8 @@ struct Shared {
     manifest_dir: Option<PathBuf>,
     batch_split: usize,
     read_timeout_ms: u64,
+    /// Resolved intra-round thread budget per executed explorer.
+    round_threads: usize,
     started: Instant,
 }
 
@@ -311,6 +319,7 @@ impl Shared {
         &self,
         spec: &ExploreSpec,
         ctx: Option<SpanCtx>,
+        round_threads: usize,
     ) -> Result<ExploreResult, WireError> {
         let lookup_start = self.tracer.now_ns();
         let hit = self.cache.get(spec);
@@ -325,9 +334,9 @@ impl Shared {
         let (result, manifest) = match run_span {
             Some((c, span)) => {
                 let mut phases = SpanSink::new(&self.tracer, c.trace, span);
-                exec::run_spec_observed(spec, &mut phases)?
+                exec::run_spec_observed_with_threads(spec, &mut phases, round_threads)?
             }
-            None => exec::run_spec(spec)?,
+            None => exec::run_spec_with_threads(spec, round_threads)?,
         };
         if let Some((c, span)) = run_span {
             let duration = self.tracer.now_ns().saturating_sub(run_start);
@@ -530,6 +539,10 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
         manifest_dir: config.manifest_dir.clone(),
         batch_split: config.batch_split.max(1),
         read_timeout_ms: config.read_timeout_ms,
+        round_threads: config
+            .round_threads
+            .unwrap_or_else(parallel::round_threads)
+            .max(1),
         started: Instant::now(),
     });
 
@@ -712,7 +725,7 @@ fn worker_loop(shared: &Arc<Shared>, index: usize) {
         let exec_start_ns = shared.tracer.now_ns();
         let exec_start = Instant::now();
         let response = match &job.kind {
-            JobKind::One(spec) => match shared.execute(spec, exec_ctx) {
+            JobKind::One(spec) => match shared.execute(spec, exec_ctx, shared.round_threads) {
                 Ok(result) => Response::Result(Box::new(result)),
                 Err(e) => Response::Error(e),
             },
@@ -728,7 +741,8 @@ fn worker_loop(shared: &Arc<Shared>, index: usize) {
                 SpanRecord::new(c.trace, span, c.parent, "execute")
                     .at(exec_start_ns, exec_ns)
                     .attr_u64("worker", index as u64)
-                    .attr_u64("items", items),
+                    .attr_u64("items", items)
+                    .attr_u64("round_threads", shared.round_threads as u64),
             );
         }
         shared
@@ -757,8 +771,12 @@ fn run_batch(shared: &Arc<Shared>, specs: &[ExploreSpec], ctx: Option<SpanCtx>) 
         .zip(&looked_up)
         .filter_map(|(spec, hit)| hit.is_none().then_some(spec))
         .collect();
+    // Batch items already fan out across the work-sharing substrate, so
+    // the intra-round budget is divided among them (never below 1) to
+    // keep the two levels from oversubscribing each other.
+    let per_item = (shared.round_threads / pending.len().max(1)).max(1);
     let computed: Vec<Result<ExploreResult, WireError>> =
-        parallel::par_map(&pending, |spec| shared.execute(spec, ctx));
+        parallel::par_map(&pending, |spec| shared.execute(spec, ctx, per_item));
 
     let hits = looked_up.iter().flatten().count() as u64;
     let misses = pending.len() as u64;

@@ -57,6 +57,7 @@
 
 mod explorer;
 mod metrics;
+pub mod parallel;
 pub mod render;
 mod schedule;
 mod simulator;
