@@ -1,0 +1,185 @@
+//! The acceptance tests of the cluster serving path: a sweep routed
+//! through a 3-shard cluster produces the byte-identical CSV of a local
+//! (and single-daemon) run, a cold spec missed on one shard is filled
+//! from a peer's cache without re-execution, and killing a shard
+//! mid-sequence re-routes its keys without changing a byte.
+
+use bfdn_bench::{sweep, Scale};
+use bfdn_cluster::{ClusterClient, ClusterConfig};
+use bfdn_service::client::Client;
+use bfdn_service::protocol::ExploreSpec;
+use bfdn_service::server::{serve, ServerConfig, ServerHandle};
+use std::net::TcpListener;
+use std::time::Duration;
+
+/// Reserves `count` distinct loopback ports by binding and dropping
+/// listeners — the daemons then bind those exact ports, so every
+/// shard's peer list can be written down before any shard starts.
+fn reserve_ports(count: usize) -> Vec<u16> {
+    let listeners: Vec<TcpListener> = (0..count)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("reserve port"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("local addr").port())
+        .collect()
+}
+
+/// Starts `count` daemons that list each other as peers.
+fn start_cluster(count: usize) -> (Vec<String>, Vec<ServerHandle>) {
+    let ports = reserve_ports(count);
+    let addrs: Vec<String> = ports.iter().map(|p| format!("127.0.0.1:{p}")).collect();
+    let handles = addrs
+        .iter()
+        .enumerate()
+        .map(|(i, addr)| {
+            let peers: Vec<String> = addrs
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, a)| a.clone())
+                .collect();
+            serve(ServerConfig {
+                addr: addr.clone(),
+                peers,
+                ..ServerConfig::default()
+            })
+            .expect("bind shard")
+        })
+        .collect();
+    (addrs, handles)
+}
+
+/// The value of a Prometheus series in a text exposition, matched on
+/// the full series name (with labels, if any).
+fn metric(text: &str, name: &str) -> f64 {
+    text.lines()
+        .filter(|l| !l.starts_with('#'))
+        .find(|l| l.split_whitespace().next() == Some(name))
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("series `{name}` not in exposition"))
+}
+
+#[test]
+fn cold_spec_is_filled_from_a_peer_cache_without_reexecution() {
+    let (addrs, handles) = start_cluster(2);
+    // Off the sweep grid, so nothing else ever caches it.
+    let spec = ExploreSpec::new("bfdn", "comb", 300, 4, 999);
+    let local = bfdn_service::exec::run_spec(&spec).expect("local run").0;
+
+    // Warm shard B by executing there, then ask shard A cold: A must
+    // answer by copying B's cached result, not by re-executing.
+    let mut b = Client::connect(&addrs[1]).expect("connect B");
+    b.set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let executed = b.explore(spec.clone()).expect("execute on B");
+    assert!(!executed.cached, "first run is a miss on B");
+
+    let mut a = Client::connect(&addrs[0]).expect("connect A");
+    a.set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let filled = a.explore(spec.clone()).expect("peer-filled on A");
+    assert!(filled.cached, "A served a cached copy");
+    assert_eq!(
+        filled.payload_json(),
+        local.payload_json(),
+        "the peer-filled payload is byte-identical to a local run"
+    );
+
+    // A's own accounting: one peer-fill hit, zero executions.
+    let text = a.metrics().expect("A metrics");
+    assert_eq!(metric(&text, "bfdn_peer_fill_hit_total"), 1.0);
+    assert_eq!(metric(&text, "bfdn_request_execute_seconds_count"), 0.0);
+    // Trust-but-verify: A re-checked the Theorem 1 bound on the copy.
+    assert_eq!(metric(&text, "bfdn_bound_checked_total"), 1.0);
+    assert_eq!(metric(&text, "bfdn_bound_violations_total"), 0.0);
+    // B executed exactly once — after its own cold-path probe of A came
+    // back empty (that probe is B's one peer-fill miss).
+    let text = b.metrics().expect("B metrics");
+    assert_eq!(metric(&text, "bfdn_request_execute_seconds_count"), 1.0);
+    assert_eq!(metric(&text, "bfdn_peer_fill_miss_total"), 1.0);
+
+    for (addr, handle) in addrs.iter().zip(handles) {
+        Client::connect(addr)
+            .and_then(|mut c| c.shutdown())
+            .expect("shutdown");
+        handle.join().expect("clean drain");
+    }
+}
+
+#[test]
+fn quick_sweep_via_cluster_is_byte_identical_and_survives_a_shard_kill() {
+    let (addrs, mut handles) = start_cluster(3);
+    let specs = sweep::standard_specs(Scale::Quick);
+    let local_csv = sweep::results_table(&sweep::run_local(&specs).expect("local sweep")).to_csv();
+
+    // Reference single daemon: the wire path the cluster must match.
+    let single = serve(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServerConfig::default()
+    })
+    .expect("bind single daemon");
+    let (via_service, _, _) = sweep::run_via_service(&single.addr().to_string(), specs.clone())
+        .expect("single-daemon sweep");
+    assert_eq!(sweep::results_table(&via_service).to_csv(), local_csv);
+    Client::connect(single.addr())
+        .and_then(|mut c| c.shutdown())
+        .expect("shutdown single");
+    single.join().expect("drain single");
+
+    // Cold cluster pass: every spec is computed exactly once, somewhere.
+    let (cold, hits, misses) =
+        sweep::run_via_cluster(&addrs, specs.clone()).expect("cold cluster sweep");
+    assert_eq!((hits, misses), (0, specs.len() as u64));
+    assert_eq!(
+        sweep::results_table(&cold).to_csv(),
+        local_csv,
+        "the cluster must not change a single byte of the sweep CSV"
+    );
+
+    // Warm pass: each home shard answers its keys from its own cache.
+    let (warm, hits, misses) =
+        sweep::run_via_cluster(&addrs, specs.clone()).expect("warm cluster sweep");
+    assert_eq!((hits, misses), (specs.len() as u64, 0));
+    assert!(warm.iter().all(|r| r.cached));
+    assert_eq!(sweep::results_table(&warm).to_csv(), local_csv);
+
+    // Kill one shard for good, then re-run with the full (stale) shard
+    // list: the client must fail over around the corpse by the ring's
+    // minimal-remap property, still byte-identical.
+    Client::connect(&addrs[2])
+        .and_then(|mut c| c.shutdown())
+        .expect("shutdown shard 2");
+    handles
+        .pop()
+        .expect("shard 2 handle")
+        .join()
+        .expect("drain");
+
+    let mut config = ClusterConfig::new(addrs.iter().cloned());
+    config.jitter_seed = 7;
+    let mut client = ClusterClient::new(config);
+    let (rerouted, hits, misses) = client.batch(&specs).expect("sweep around dead shard");
+    assert_eq!(hits + misses, specs.len() as u64);
+    assert_eq!(
+        sweep::results_table(&rerouted).to_csv(),
+        local_csv,
+        "failover must not change results"
+    );
+    assert!(
+        client.reroutes() > 0,
+        "the dead shard's keys were re-routed"
+    );
+    assert!(
+        hits > 0,
+        "surviving shards still answer their own keys from cache"
+    );
+
+    for (addr, handle) in addrs.iter().take(2).zip(handles) {
+        Client::connect(addr)
+            .and_then(|mut c| c.shutdown())
+            .expect("shutdown");
+        handle.join().expect("clean drain");
+    }
+}

@@ -1,0 +1,268 @@
+//! `bfdn-cluster-proxy` — a single wire endpoint fronting a shard
+//! cluster.
+//!
+//! ```text
+//! bfdn-cluster-proxy --shards HOST:PORT,HOST:PORT,...
+//!                    [--addr HOST:PORT] [--connect-timeout-ms MS]
+//!                    [--read-timeout-ms MS] [--retries N]
+//!                    [--backoff-ms MS] [--jitter-seed SEED]
+//!                    [--cooldown-ms MS]
+//! ```
+//!
+//! Clients that only speak the plain single-daemon protocol (sweeps,
+//! scripts, `bfdn-request` without `--cluster`) connect here instead of
+//! to a shard; the proxy routes every explore/batch by its canonical
+//! spec key over the consistent-hash ring and fails over around dead
+//! shards. Each inbound connection gets its own [`ClusterClient`] with
+//! a jitter seed derived from the connection index, so retry schedules
+//! stay reproducible yet distinct across connections.
+//!
+//! Request handling:
+//!
+//! - `explore` / `batch` / `peer_fill` — ring-routed with failover;
+//!   batches are split by home shard and reassembled in request order.
+//! - `status` / `cache_stats` / `trace` — answered by the first healthy
+//!   shard (a fixed routing key, so the same shard answers while it
+//!   lives).
+//! - `metrics` — answered by the *proxy's own* registry (notably
+//!   `bfdn_cluster_reroutes_total`); scrape shards directly for
+//!   per-shard counters.
+//! - `shutdown` — acknowledged with `bye`, then the proxy process
+//!   exits. The shards are deliberately left running: stopping them is
+//!   their operator's call, not a client's.
+
+use bfdn_cluster::{ClusterClient, ClusterConfig, ClusterError};
+use bfdn_obs::metrics::{Counter, Registry};
+use bfdn_service::protocol::{
+    read_frame, write_frame, ErrorCode, FrameError, Request, Response, WireError,
+};
+use std::net::{TcpListener, TcpStream};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Invocation {
+    addr: String,
+    config: ClusterConfig,
+}
+
+fn parse(args: impl IntoIterator<Item = String>) -> Result<Invocation, String> {
+    let mut addr = "127.0.0.1:4190".to_string();
+    let mut config = ClusterConfig::new(Vec::<String>::new());
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--shards" => {
+                config.shards = value("--shards")?
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--connect-timeout-ms" => {
+                let v = value("--connect-timeout-ms")?;
+                config.connect_timeout_ms = v
+                    .parse()
+                    .map_err(|_| format!("bad --connect-timeout-ms `{v}`"))?;
+            }
+            "--read-timeout-ms" => {
+                let v = value("--read-timeout-ms")?;
+                config.read_timeout_ms = v
+                    .parse()
+                    .map_err(|_| format!("bad --read-timeout-ms `{v}`"))?;
+            }
+            "--retries" => {
+                let v = value("--retries")?;
+                config.retries = v.parse().map_err(|_| format!("bad --retries `{v}`"))?;
+            }
+            "--backoff-ms" => {
+                let v = value("--backoff-ms")?;
+                config.backoff_ms = v.parse().map_err(|_| format!("bad --backoff-ms `{v}`"))?;
+            }
+            "--jitter-seed" => {
+                let v = value("--jitter-seed")?;
+                config.jitter_seed = v.parse().map_err(|_| format!("bad --jitter-seed `{v}`"))?;
+            }
+            "--cooldown-ms" => {
+                let v = value("--cooldown-ms")?;
+                config.cooldown_ms = v.parse().map_err(|_| format!("bad --cooldown-ms `{v}`"))?;
+            }
+            other => {
+                return Err(format!(
+                    "unknown flag `{other}` (try --addr --shards --connect-timeout-ms \
+                     --read-timeout-ms --retries --backoff-ms --jitter-seed --cooldown-ms)"
+                ))
+            }
+        }
+    }
+    if config.shards.is_empty() {
+        return Err("--shards is required (comma-separated HOST:PORT list)".to_string());
+    }
+    Ok(Invocation { addr, config })
+}
+
+/// Aggregate counters shared by every connection thread.
+struct ProxyMetrics {
+    registry: Registry,
+    requests: Arc<Counter>,
+    errors: Arc<Counter>,
+    reroutes: Arc<Counter>,
+}
+
+impl ProxyMetrics {
+    fn new(shards: usize) -> Self {
+        let registry = Registry::new();
+        let requests = registry.counter(
+            "bfdn_cluster_requests_total",
+            "Requests accepted by the cluster proxy.",
+            &[],
+        );
+        let errors = registry.counter(
+            "bfdn_cluster_errors_total",
+            "Proxy requests that no shard could serve.",
+            &[],
+        );
+        let reroutes = registry.counter(
+            "bfdn_cluster_reroutes_total",
+            "Operations served by a shard other than their key's home.",
+            &[],
+        );
+        registry
+            .gauge("bfdn_cluster_shards", "Shards the proxy routes over.", &[])
+            .set(shards as f64);
+        ProxyMetrics {
+            registry,
+            requests,
+            errors,
+            reroutes,
+        }
+    }
+}
+
+fn cluster_error_response(e: ClusterError) -> Response {
+    match e {
+        ClusterError::Server(err) => Response::Error(err),
+        // Retryable from the caller's point of view: the cluster may
+        // heal (shard restart) before the next attempt.
+        other => Response::Error(WireError::new(ErrorCode::Busy, other.to_string())),
+    }
+}
+
+/// Serves one inbound connection until EOF or a shutdown request.
+/// Returns `true` when the proxy should exit.
+fn handle_connection(
+    mut stream: TcpStream,
+    mut cluster: ClusterClient,
+    metrics: &ProxyMetrics,
+) -> bool {
+    let _ = stream.set_nodelay(true);
+    let mut seen_reroutes = 0u64;
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(p) => p,
+            Err(e) if e.is_eof() => return false,
+            Err(FrameError::Io(_)) => return false,
+            Err(e) => {
+                let reply = Response::Error(WireError::bad_request(e.to_string()));
+                let _ = write_frame(&mut stream, &reply.to_json());
+                return false;
+            }
+        };
+        metrics.requests.inc();
+        let (request, trace) = match Request::from_json_traced(&payload) {
+            Ok(decoded) => decoded,
+            Err(e) => {
+                let _ = write_frame(&mut stream, &Response::Error(e).to_json_traced(None));
+                continue;
+            }
+        };
+        let (reply, done) = match &request {
+            Request::Explore(spec) | Request::PeerFill(spec) => {
+                let key = spec.canonical();
+                (cluster.forward(&key, &request, trace), false)
+            }
+            Request::Batch(specs) => (
+                cluster
+                    .batch(specs)
+                    .map(|(results, hits, misses)| Response::Batch {
+                        results,
+                        hits,
+                        misses,
+                    }),
+                false,
+            ),
+            // One stable pseudo-key: the same shard answers these while
+            // it lives, with failover if it dies.
+            Request::Status | Request::CacheStats | Request::Trace => {
+                (cluster.forward("cluster-control", &request, trace), false)
+            }
+            Request::Metrics => (Ok(Response::Metrics(metrics.registry.render())), false),
+            Request::Shutdown => (Ok(Response::Bye), true),
+        };
+        let reply = match reply {
+            Ok(r) => r,
+            Err(e) => {
+                metrics.errors.inc();
+                cluster_error_response(e)
+            }
+        };
+        let total = cluster.reroutes();
+        metrics.reroutes.add(total - seen_reroutes);
+        seen_reroutes = total;
+        if write_frame(&mut stream, &reply.to_json_traced(trace)).is_err() {
+            return false;
+        }
+        if done {
+            return true;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let invocation = match parse(std::env::args().skip(1)) {
+        Ok(inv) => inv,
+        Err(e) => {
+            eprintln!("bfdn-cluster-proxy: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let listener = match TcpListener::bind(&invocation.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("bfdn-cluster-proxy: cannot bind {}: {e}", invocation.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let local = listener.local_addr().expect("bound listener");
+    eprintln!(
+        "bfdn-cluster-proxy: listening on {local}, routing over {} shards",
+        invocation.config.shards.len()
+    );
+    let metrics = Arc::new(ProxyMetrics::new(invocation.config.shards.len()));
+    let base_seed = invocation.config.jitter_seed;
+    let mut connection_index = 0u64;
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        connection_index += 1;
+        let mut config = invocation.config.clone();
+        // Distinct but reproducible retry schedules per connection.
+        config.jitter_seed = base_seed.wrapping_add(connection_index);
+        let cluster = ClusterClient::new(config);
+        let metrics = Arc::clone(&metrics);
+        // Thread-per-connection; a shutdown request ends the whole
+        // process (the `bye` reply is already flushed by then), which
+        // closes every other connection's socket with it.
+        std::thread::spawn(move || {
+            if handle_connection(stream, cluster, &metrics) {
+                eprintln!("bfdn-cluster-proxy: shutdown requested, bye");
+                std::process::exit(0);
+            }
+        });
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,429 @@
+//! The cluster-aware client: ring routing, health checks, failover,
+//! and seeded-jitter retry over persistent per-shard connections.
+//!
+//! Every operation routes to its key's home shard first and walks the
+//! ring's failover order ([`HashRing::successors`]) when a shard is
+//! unreachable — by the minimal-remap property only the dead shard's
+//! keys move, and peer cache-fill means the shard that picks them up
+//! usually copies rather than recomputes. Requests are idempotent
+//! (results are pure functions of the spec, served through the
+//! content-addressed cache), so re-issuing after a mid-call connection
+//! loss is always safe.
+//!
+//! Backpressure ([`ErrorCode::Busy`]) retries on the *same* shard with
+//! full-jitter backoff before failing over — moving a Busy key to
+//! another shard would trade queue pressure for duplicate execution.
+//! The jitter stream is seeded ([`ClusterConfig::jitter_seed`]), so a
+//! run's retry timing is reproducible the way every other schedule in
+//! this workspace is.
+
+use crate::ring::HashRing;
+use bfdn_service::client::{Client, ClientError};
+use bfdn_service::protocol::{
+    ErrorCode, ExploreResult, ExploreSpec, Response, StatusPayload, WireError,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::fmt;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Tuning for one [`ClusterClient`].
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Wire addresses of every shard in the cluster.
+    pub shards: Vec<String>,
+    /// Connect budget per dial, in milliseconds — a dead or blackholed
+    /// shard costs at most this much before failover moves on.
+    pub connect_timeout_ms: u64,
+    /// Receive budget per issued request, in milliseconds.
+    pub read_timeout_ms: u64,
+    /// Full passes over a key's failover order before giving up.
+    pub retries: u32,
+    /// Base backoff between retry passes (and Busy retries), doubled
+    /// per pass and widened with seeded full jitter.
+    pub backoff_ms: u64,
+    /// Seed of the jitter stream; equal seeds retry on equal schedules.
+    pub jitter_seed: u64,
+    /// How long a shard that failed a dial or died mid-call is
+    /// deprioritized (tried last instead of first) before it is probed
+    /// eagerly again, in milliseconds.
+    pub cooldown_ms: u64,
+}
+
+impl ClusterConfig {
+    /// A default-tuned config over `shards`.
+    pub fn new<I, S>(shards: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        ClusterConfig {
+            shards: shards.into_iter().map(Into::into).collect(),
+            connect_timeout_ms: 250,
+            read_timeout_ms: 30_000,
+            retries: 4,
+            backoff_ms: 50,
+            jitter_seed: 1,
+            cooldown_ms: 500,
+        }
+    }
+}
+
+/// Why a cluster operation failed for good.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// The config listed no shards.
+    NoShards,
+    /// Every candidate was tried for every retry pass.
+    Exhausted {
+        /// The routing key that could not be served.
+        key: String,
+        /// Individual issue attempts made across shards and passes.
+        attempts: u32,
+        /// The last per-shard failure, rendered.
+        last: Option<String>,
+    },
+    /// A shard answered with a structured error retrying cannot fix
+    /// (bad request, oversized frame, …) — it would fail on every
+    /// shard.
+    Server(WireError),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::NoShards => write!(f, "cluster config lists no shards"),
+            ClusterError::Exhausted {
+                key,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "no shard could serve `{key}` after {attempts} attempts (last: {})",
+                last.as_deref().unwrap_or("none reachable")
+            ),
+            ClusterError::Server(e) => write!(f, "server error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl ClusterError {
+    /// The non-retryable server error, when that is what ended the
+    /// operation.
+    pub fn as_server_error(&self) -> Option<&WireError> {
+        match self {
+            ClusterError::Server(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// A connected cluster client.
+pub struct ClusterClient {
+    ring: HashRing,
+    config: ClusterConfig,
+    /// Persistent per-shard connections, re-dialed on demand.
+    conns: HashMap<String, Client>,
+    /// Shards that recently failed, deprioritized until their deadline.
+    cooling: HashMap<String, Instant>,
+    rng: StdRng,
+    trace: Option<u64>,
+    reroutes: u64,
+    last_shard: Option<String>,
+}
+
+impl ClusterClient {
+    /// Builds the ring and the (lazily dialed) client.
+    pub fn new(config: ClusterConfig) -> Self {
+        ClusterClient {
+            ring: HashRing::new(config.shards.clone()),
+            rng: StdRng::seed_from_u64(config.jitter_seed),
+            config,
+            conns: HashMap::new(),
+            cooling: HashMap::new(),
+            trace: None,
+            reroutes: 0,
+            last_shard: None,
+        }
+    }
+
+    /// Attaches (or detaches) a trace id to every subsequent explore and
+    /// batch — it rides the wire envelope to whichever shard ends up
+    /// serving, exactly like [`Client::set_trace`].
+    pub fn set_trace(&mut self, trace: Option<u64>) {
+        self.trace = trace.filter(|&id| id != 0);
+    }
+
+    /// The routing ring.
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// Operations served by a shard other than their key's home — the
+    /// client-side `bfdn_cluster_reroutes_total`.
+    pub fn reroutes(&self) -> u64 {
+        self.reroutes
+    }
+
+    /// The shard that served the most recent successful operation.
+    pub fn last_shard(&self) -> Option<&str> {
+        self.last_shard.as_deref()
+    }
+
+    /// Dials (or reuses) the connection to `addr`.
+    fn conn(&mut self, addr: &str) -> Result<&mut Client, ClientError> {
+        if !self.conns.contains_key(addr) {
+            let socket: SocketAddr = addr
+                .to_socket_addrs()
+                .ok()
+                .and_then(|mut addrs| addrs.next())
+                .ok_or_else(|| {
+                    ClientError::Io(std::io::Error::other(format!("cannot resolve `{addr}`")))
+                })?;
+            let client = Client::connect_timeout(
+                &socket,
+                Duration::from_millis(self.config.connect_timeout_ms.max(1)),
+            )?;
+            client.set_read_timeout(Some(Duration::from_millis(
+                self.config.read_timeout_ms.max(1),
+            )))?;
+            self.conns.insert(addr.to_string(), client);
+        }
+        Ok(self.conns.get_mut(addr).expect("just inserted"))
+    }
+
+    /// Full-jitter sleep: `base * 2^pass` widened by the seeded stream.
+    fn backoff(&mut self, pass: u32) {
+        let base = self
+            .config
+            .backoff_ms
+            .saturating_mul(1u64 << pass.min(5))
+            .min(2_000);
+        let jitter = self.rng.random_range(0..=base.max(1));
+        std::thread::sleep(Duration::from_millis(base + jitter));
+    }
+
+    /// A key's candidate shards for this attempt: ring order, with
+    /// shards in cooldown moved to the back (still tried — a restarted
+    /// shard must be rediscovered — just not first).
+    fn candidates(&self, key: &str) -> Vec<String> {
+        let now = Instant::now();
+        let ordered: Vec<String> = self.ring.successors(key).map(str::to_string).collect();
+        let (live, cooling): (Vec<String>, Vec<String>) = ordered
+            .into_iter()
+            .partition(|addr| self.cooling.get(addr).is_none_or(|&until| until <= now));
+        live.into_iter().chain(cooling).collect()
+    }
+
+    fn mark_down(&mut self, addr: &str) {
+        self.conns.remove(addr);
+        self.cooling.insert(
+            addr.to_string(),
+            Instant::now() + Duration::from_millis(self.config.cooldown_ms),
+        );
+    }
+
+    fn mark_up(&mut self, addr: &str) {
+        self.cooling.remove(addr);
+    }
+
+    /// Issues `op` against `key`'s candidates until one serves it:
+    /// failover on transport loss and draining shards, same-shard
+    /// jittered retry on Busy, immediate error on anything a retry
+    /// cannot fix.
+    fn call_on<T>(
+        &mut self,
+        key: &str,
+        mut op: impl FnMut(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, ClusterError> {
+        if self.ring.is_empty() {
+            return Err(ClusterError::NoShards);
+        }
+        let home = self
+            .ring
+            .shard_for(key)
+            .expect("non-empty ring")
+            .to_string();
+        let mut attempts = 0u32;
+        let mut last: Option<String> = None;
+        for pass in 0..=self.config.retries {
+            if pass > 0 {
+                self.backoff(pass - 1);
+            }
+            for addr in self.candidates(key) {
+                let mut busy_budget = 2u32;
+                loop {
+                    attempts += 1;
+                    let outcome = match self.conn(&addr) {
+                        Ok(client) => op(client),
+                        Err(e) => Err(e),
+                    };
+                    match outcome {
+                        Ok(value) => {
+                            self.mark_up(&addr);
+                            if addr != home {
+                                self.reroutes += 1;
+                            }
+                            self.last_shard = Some(addr);
+                            return Ok(value);
+                        }
+                        Err(ClientError::Server(e)) if e.code == ErrorCode::Busy => {
+                            last = Some(format!("{addr}: {e}"));
+                            if busy_budget == 0 {
+                                break; // next candidate carries the key
+                            }
+                            busy_budget -= 1;
+                            self.backoff(0);
+                        }
+                        Err(ClientError::Server(e)) if e.code == ErrorCode::ShuttingDown => {
+                            last = Some(format!("{addr}: {e}"));
+                            self.mark_down(&addr);
+                            break;
+                        }
+                        Err(ClientError::Server(e)) => return Err(ClusterError::Server(e)),
+                        Err(e) => {
+                            // Transport loss or an unreadable reply: the
+                            // shard is gone or wedged — drop the
+                            // connection and fail over.
+                            last = Some(format!("{addr}: {e}"));
+                            self.mark_down(&addr);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        Err(ClusterError::Exhausted {
+            key: key.to_string(),
+            attempts,
+            last,
+        })
+    }
+
+    /// Runs (or fetches from the cluster's caches) one simulation.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Exhausted`] when no shard could serve it, or the
+    /// first non-retryable server error.
+    pub fn explore(&mut self, spec: &ExploreSpec) -> Result<ExploreResult, ClusterError> {
+        let key = spec.canonical();
+        let trace = self.trace;
+        self.call_on(&key, |client| {
+            client.set_trace(trace);
+            client.explore(spec.clone())
+        })
+    }
+
+    /// Runs a batch, splitting it by home shard and reassembling the
+    /// results in request order. Hits/misses are summed across the
+    /// per-shard sub-batches (a peer-filled item counts as a hit on the
+    /// shard that served it).
+    ///
+    /// # Errors
+    ///
+    /// The first sub-batch failure, as [`ClusterError`].
+    pub fn batch(
+        &mut self,
+        specs: &[ExploreSpec],
+    ) -> Result<(Vec<ExploreResult>, u64, u64), ClusterError> {
+        if self.ring.is_empty() {
+            return Err(ClusterError::NoShards);
+        }
+        // Group request indices by home shard, preserving request order
+        // inside each group; groups are issued in first-appearance
+        // order so the split is deterministic.
+        let mut groups: Vec<(String, Vec<usize>)> = Vec::new();
+        for (index, spec) in specs.iter().enumerate() {
+            let home = self
+                .ring
+                .shard_for(&spec.canonical())
+                .expect("non-empty ring")
+                .to_string();
+            match groups.iter_mut().find(|(addr, _)| *addr == home) {
+                Some((_, indices)) => indices.push(index),
+                None => groups.push((home, vec![index])),
+            }
+        }
+        let mut results: Vec<Option<ExploreResult>> = vec![None; specs.len()];
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for (_, indices) in groups {
+            let sub: Vec<ExploreSpec> = indices.iter().map(|&i| specs[i].clone()).collect();
+            // Route the whole group by its first member's key: every
+            // member shares the same home shard by construction, and on
+            // failover the serving shard can execute (or peer-fill) any
+            // spec regardless.
+            let key = sub[0].canonical();
+            let trace = self.trace;
+            let (sub_results, sub_hits, sub_misses) = self.call_on(&key, |client| {
+                client.set_trace(trace);
+                client.batch(sub.clone())
+            })?;
+            if sub_results.len() != indices.len() {
+                return Err(ClusterError::Server(WireError::new(
+                    ErrorCode::Internal,
+                    format!(
+                        "shard answered {} results for {} items",
+                        sub_results.len(),
+                        indices.len()
+                    ),
+                )));
+            }
+            hits += sub_hits;
+            misses += sub_misses;
+            for (index, result) in indices.into_iter().zip(sub_results) {
+                results[index] = Some(result);
+            }
+        }
+        Ok((
+            results.into_iter().map(|r| r.expect("filled")).collect(),
+            hits,
+            misses,
+        ))
+    }
+
+    /// One health probe per shard: `(addr, status)` with `None` for
+    /// shards that did not answer a Status request.
+    pub fn health(&mut self) -> Vec<(String, Option<StatusPayload>)> {
+        let addrs: Vec<String> = self.ring.shards().to_vec();
+        addrs
+            .into_iter()
+            .map(|addr| {
+                let status = match self.conn(&addr) {
+                    Ok(client) => client.status().ok(),
+                    Err(_) => None,
+                };
+                if status.is_none() {
+                    self.mark_down(&addr);
+                } else {
+                    self.mark_up(&addr);
+                }
+                (addr, status)
+            })
+            .collect()
+    }
+
+    /// Forwards one already-decoded request to `key`'s candidates (the
+    /// proxy's passthrough path), propagating the caller's trace id.
+    /// Structured error responses are returned as `Ok` — the proxy
+    /// relays them verbatim.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError`] when no shard answered at all.
+    pub fn forward(
+        &mut self,
+        key: &str,
+        request: &bfdn_service::protocol::Request,
+        trace: Option<u64>,
+    ) -> Result<Response, ClusterError> {
+        self.call_on(key, |client| {
+            client.set_trace(trace);
+            client.request(request)
+        })
+    }
+}

@@ -1,0 +1,32 @@
+//! Sharded multi-daemon serving for the BFDN reproduction.
+//!
+//! A cluster is N independent `bfdn-serve` daemons plus routing on two
+//! sides of the wire:
+//!
+//! - **Client side** ([`ClusterClient`], and the `bfdn-cluster-proxy`
+//!   binary wrapping it): a consistent-hash ring ([`HashRing`]) sends
+//!   each canonical spec key to its home shard, with health-checked
+//!   failover along the ring's successor order when shards die. The
+//!   ring's minimal-remap property keeps a breakdown local: only the
+//!   dead shard's keys move.
+//! - **Server side** (peer cache-fill, in `bfdn-service`): a shard that
+//!   misses its local cache asks its peers for their cached copy before
+//!   executing, so a spec is computed at most once cluster-wide in
+//!   steady state, and a re-routed key is usually *copied* to its new
+//!   shard rather than recomputed.
+//!
+//! This is the systems analogue of the paper's Proposition 7: `BFDN`
+//! tolerates agent break-downs with bounded extra cost, and the cluster
+//! tolerates shard break-downs with bounded extra work (re-fill over
+//! the wire instead of re-execution). Everything here rides the
+//! existing length-prefixed JSON wire protocol — no new formats, no new
+//! dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod ring;
+
+pub use client::{ClusterClient, ClusterConfig, ClusterError};
+pub use ring::HashRing;

@@ -1,0 +1,246 @@
+//! The consistent-hash ring routing canonical spec keys to shards.
+//!
+//! Each shard contributes [`HashRing::DEFAULT_REPLICAS`] virtual
+//! points; a key is owned by the first point at or after its own
+//! position (wrapping), and its failover order is the distinct shards
+//! met walking onward. Virtual points give two properties the cluster
+//! leans on:
+//!
+//! - **Near-uniform load.** With hundreds of points per shard, each
+//!   shard's share of key space concentrates around `1/N` (the unit
+//!   test holds every shard within 15% of uniform at 3–8 shards).
+//! - **Minimal remap.** Removing a shard deletes only its points; every
+//!   key it did not own keeps its owner. A failing-over client
+//!   therefore re-routes only the dead shard's keys, and peer
+//!   cache-fill makes even those cheap to re-serve.
+//!
+//! Hashing is the workspace FNV-1a (the same hash the result cache
+//! shards on) finished with a SplitMix64-style avalanche, because raw
+//! FNV of short similar strings leaves upper bits too regular for
+//! well-spread ring positions.
+
+use bfdn_service::protocol::fnv1a;
+
+/// SplitMix64 finalizer: avalanches every input bit over the output.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A consistent-hash ring over shard addresses.
+#[derive(Clone, Debug)]
+pub struct HashRing {
+    /// `(position, shard index)` sorted by position (ties by index, so
+    /// two rings over the same shards are always identical).
+    points: Vec<(u64, usize)>,
+    shards: Vec<String>,
+}
+
+impl HashRing {
+    /// Virtual points per shard. Relative load imbalance shrinks like
+    /// `1/sqrt(replicas)`; 512 keeps every shard within a few percent
+    /// of uniform while the whole ring stays a few KiB.
+    pub const DEFAULT_REPLICAS: usize = 512;
+
+    /// Builds a ring with [`HashRing::DEFAULT_REPLICAS`] points per
+    /// shard.
+    pub fn new<I, S>(shards: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self::with_replicas(shards, Self::DEFAULT_REPLICAS)
+    }
+
+    /// Builds a ring with `replicas` virtual points per shard.
+    pub fn with_replicas<I, S>(shards: I, replicas: usize) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let shards: Vec<String> = shards.into_iter().map(Into::into).collect();
+        let replicas = replicas.max(1);
+        let mut points = Vec::with_capacity(shards.len() * replicas);
+        for (index, addr) in shards.iter().enumerate() {
+            let base = fnv1a(addr.as_bytes());
+            for replica in 0..replicas {
+                points.push((mix(base ^ mix(replica as u64)), index));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points, shards }
+    }
+
+    /// The shard addresses the ring was built over, in insertion order.
+    pub fn shards(&self) -> &[String] {
+        &self.shards
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the ring has no shards at all.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// A key's position on the ring.
+    fn position(key: &str) -> u64 {
+        mix(fnv1a(key.as_bytes()))
+    }
+
+    /// The shard owning `key` (its home), or `None` on an empty ring.
+    pub fn shard_for(&self, key: &str) -> Option<&str> {
+        self.successors(key).next()
+    }
+
+    /// The distinct shards met walking the ring from `key`'s position:
+    /// the home shard first, then the failover order. Every shard
+    /// appears exactly once.
+    pub fn successors<'a>(&'a self, key: &str) -> impl Iterator<Item = &'a str> {
+        let start = match self.points.is_empty() {
+            true => 0,
+            false => {
+                let position = Self::position(key);
+                // First point at or after the key, wrapping to 0.
+                match self.points.partition_point(|&(p, _)| p < position) {
+                    i if i == self.points.len() => 0,
+                    i => i,
+                }
+            }
+        };
+        let mut seen = vec![false; self.shards.len()];
+        let mut yielded = 0;
+        let total = self.shards.len();
+        let points = &self.points;
+        let shards = &self.shards;
+        let mut offset = 0;
+        std::iter::from_fn(move || {
+            while yielded < total && offset < points.len() {
+                let (_, index) = points[(start + offset) % points.len()];
+                offset += 1;
+                if !seen[index] {
+                    seen[index] = true;
+                    yielded += 1;
+                    return Some(shards[index].as_str());
+                }
+            }
+            None
+        })
+    }
+
+    /// The same ring without `addr` — what a client sees after marking
+    /// a shard dead. Keys the removed shard did not own keep their
+    /// owners (minimal remap; asserted by the unit tests).
+    pub fn without(&self, addr: &str) -> HashRing {
+        let replicas = match self.shards.len() {
+            0 => Self::DEFAULT_REPLICAS,
+            n => self.points.len() / n,
+        };
+        Self::with_replicas(self.shards.iter().filter(|s| *s != addr).cloned(), replicas)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(count: usize) -> Vec<String> {
+        // Shaped like real cache keys: the canonical spec string.
+        (0..count)
+            .map(|i| {
+                format!(
+                    "algo=bfdn;family=comb;n={};k={};seed={};delay_ms=0",
+                    200 + (i % 7) * 100,
+                    1 << (i % 5),
+                    i
+                )
+            })
+            .collect()
+    }
+
+    fn shard_addrs(count: usize) -> Vec<String> {
+        (0..count)
+            .map(|i| format!("127.0.0.1:{}", 4180 + 2 * i))
+            .collect()
+    }
+
+    #[test]
+    fn distribution_stays_within_15_percent_of_uniform() {
+        let keys = keys(20_000);
+        for shards in 3..=8usize {
+            let ring = HashRing::new(shard_addrs(shards));
+            let mut counts = vec![0usize; shards];
+            for key in &keys {
+                let home = ring.shard_for(key).expect("non-empty ring");
+                let index = ring.shards().iter().position(|s| s == home).unwrap();
+                counts[index] += 1;
+            }
+            let uniform = keys.len() as f64 / shards as f64;
+            for (index, &count) in counts.iter().enumerate() {
+                let deviation = (count as f64 - uniform).abs() / uniform;
+                assert!(
+                    deviation <= 0.15,
+                    "{shards} shards: shard {index} got {count} of {} keys \
+                     ({deviation:.3} from uniform)",
+                    keys.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn removing_a_shard_remaps_only_its_keys() {
+        let keys = keys(10_000);
+        let addrs = shard_addrs(5);
+        let ring = HashRing::new(addrs.clone());
+        for removed in &addrs {
+            let smaller = ring.without(removed);
+            assert_eq!(smaller.len(), addrs.len() - 1);
+            let mut remapped = 0usize;
+            for key in &keys {
+                let before = ring.shard_for(key).unwrap();
+                let after = smaller.shard_for(key).unwrap();
+                if before == removed {
+                    remapped += 1;
+                    assert_ne!(after, removed);
+                } else {
+                    assert_eq!(
+                        before, after,
+                        "key `{key}` moved although its shard survived"
+                    );
+                }
+            }
+            assert!(remapped > 0, "the removed shard owned nothing");
+        }
+    }
+
+    #[test]
+    fn successors_visit_every_shard_once_home_first() {
+        let ring = HashRing::new(shard_addrs(4));
+        for key in keys(50) {
+            let order: Vec<&str> = ring.successors(&key).collect();
+            assert_eq!(order.len(), 4);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4, "duplicates in {order:?}");
+            assert_eq!(Some(order[0]), ring.shard_for(&key));
+        }
+    }
+
+    #[test]
+    fn rings_over_the_same_shards_agree() {
+        let a = HashRing::new(shard_addrs(6));
+        let b = HashRing::new(shard_addrs(6));
+        for key in keys(500) {
+            assert_eq!(a.shard_for(&key), b.shard_for(&key));
+        }
+        assert!(HashRing::new(Vec::<String>::new()).shard_for("x").is_none());
+    }
+}

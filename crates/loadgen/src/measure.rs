@@ -509,10 +509,7 @@ mod tests {
         // The override judges p50 too, not just p99.
         slo.class_slos[0].max_p50_s = 1.0;
         let p50_trip = slo.violations(&collector.snapshot(), Some(&daemon), 0, Some(true));
-        assert!(
-            p50_trip.iter().any(|v| v.contains("p50")),
-            "{p50_trip:?}"
-        );
+        assert!(p50_trip.iter().any(|v| v.contains("p50")), "{p50_trip:?}");
     }
 
     #[test]

@@ -41,6 +41,9 @@ pub struct RunOutcome {
     /// `(recorded, dropped)` from the daemon's span recorder after the
     /// run; `dropped == 0` certifies every span survived the ring.
     pub trace_counters: Option<(u64, u64)>,
+    /// Cluster-mode facts (shard scrapes, peer-fill totals, reroutes);
+    /// `None` for single-daemon runs.
+    pub cluster: Option<crate::cluster::ClusterStats>,
     pub violations: Vec<String>,
     pub pass: bool,
 }
@@ -152,6 +155,7 @@ pub fn execute(
         daemon,
         probe_consistent,
         trace_counters,
+        cluster: None,
         pass: violations.is_empty(),
         violations,
     }
@@ -160,7 +164,7 @@ pub fn execute(
 /// The deterministic trace id for one workload operation: FNV-1a over
 /// `(plan fingerprint, class, index)`, forced odd so it can never be the
 /// reserved zero id.
-fn trace_id(fingerprint: u64, class: &str, index: u64) -> u64 {
+pub(crate) fn trace_id(fingerprint: u64, class: &str, index: u64) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     let mut eat = |bytes: &[u8]| {
         for &b in bytes {
@@ -174,7 +178,7 @@ fn trace_id(fingerprint: u64, class: &str, index: u64) -> u64 {
     hash | 1
 }
 
-fn sleep_until(started: Instant, at_ms: u64) {
+pub(crate) fn sleep_until(started: Instant, at_ms: u64) {
     let target = started + Duration::from_millis(at_ms);
     let now = Instant::now();
     if let Some(wait) = target.checked_duration_since(now) {
@@ -215,7 +219,10 @@ fn run_probe(addr: SocketAddr, plan: &Plan, collector: &Collector) -> bool {
     cold && warm
 }
 
-fn fetch_daemon_stats(addr: SocketAddr, metrics_http: Option<&str>) -> Option<DaemonStats> {
+pub(crate) fn fetch_daemon_stats(
+    addr: SocketAddr,
+    metrics_http: Option<&str>,
+) -> Option<DaemonStats> {
     let exposition = match metrics_http {
         Some(http_addr) => scrape_http_metrics(http_addr).ok()?,
         None => connect(addr)?.metrics().ok()?,
@@ -303,7 +310,7 @@ fn issue_on(client: &mut Client, op: &Op, trace: u64) -> String {
     }
 }
 
-fn classify_error(e: &bfdn_service::client::ClientError) -> String {
+pub(crate) fn classify_error(e: &bfdn_service::client::ClientError) -> String {
     match e.as_server_error() {
         Some(wire) => format!("error:{}", wire.code.as_str()),
         None => "io_error".into(),

@@ -1,0 +1,168 @@
+//! End-to-end breakdown tolerance: the quick plan driven through a
+//! 3-shard in-process cluster while the shard-killer takes one shard
+//! down mid-storm and brings it back. The SLOs must hold anyway, no
+//! shard may report a Theorem 1 bound violation, and the peer-fill
+//! probe leg must observe a shard answering from a peer's cache —
+//! the serving-layer reading of the paper's Proposition 7.
+
+use bfdn_loadgen::{
+    cluster::execute_cluster, report, Collector, Plan, Profile, ShardBreaker, ShardKillPlan,
+};
+use bfdn_service::client::Client;
+use bfdn_service::jsonval::Json;
+use bfdn_service::server::{serve, ServerConfig, ServerHandle};
+use std::net::TcpListener;
+
+/// Reserves distinct loopback ports by binding and dropping listeners,
+/// so every shard's peer list is known before any shard starts.
+fn reserve_ports(count: usize) -> Vec<u16> {
+    let listeners: Vec<TcpListener> = (0..count)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("reserve port"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("local addr").port())
+        .collect()
+}
+
+/// An in-process shard the breaker can break: `kill` drains it via the
+/// wire (the closest an in-process daemon gets to dying), `restart`
+/// re-serves the identical config on the same port.
+struct LocalShard {
+    config: ServerConfig,
+    handle: Option<ServerHandle>,
+}
+
+impl ShardBreaker for LocalShard {
+    fn kill(&mut self) -> Result<(), String> {
+        let handle = self.handle.take().ok_or("shard is not running")?;
+        Client::connect(&self.config.addr)
+            .and_then(|mut c| c.shutdown())
+            .map_err(|e| format!("shutdown: {e:?}"))?;
+        handle.join().map_err(|e| format!("drain: {e}"))
+    }
+
+    fn restart(&mut self) -> Result<(), String> {
+        if self.handle.is_some() {
+            return Err("shard is already running".into());
+        }
+        self.handle = Some(serve(self.config.clone()).map_err(|e| format!("rebind: {e}"))?);
+        Ok(())
+    }
+}
+
+#[test]
+fn cluster_survives_a_mid_storm_shard_kill_and_restart() {
+    let ports = reserve_ports(3);
+    let addrs: Vec<String> = ports.iter().map(|p| format!("127.0.0.1:{p}")).collect();
+    let configs: Vec<ServerConfig> = addrs
+        .iter()
+        .enumerate()
+        .map(|(i, addr)| ServerConfig {
+            addr: addr.clone(),
+            peers: addrs
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, a)| a.clone())
+                .collect(),
+            read_timeout_ms: 1_000,
+            ..ServerConfig::default()
+        })
+        .collect();
+    let mut shards: Vec<LocalShard> = configs
+        .into_iter()
+        .map(|config| LocalShard {
+            handle: Some(serve(config.clone()).expect("bind shard")),
+            config,
+        })
+        .collect();
+
+    let config = Profile::Quick.config();
+    let plan = Plan::generate(&config, 11);
+    let collector = Collector::new();
+    let metrics_http = vec![None, None, None];
+    let kill_plan = ShardKillPlan {
+        at_ms: 250,
+        restart_after_ms: Some(300),
+    };
+    let outcome = execute_cluster(
+        &addrs,
+        &metrics_http,
+        &plan,
+        &config.slo,
+        &collector,
+        Some((1, kill_plan, &mut shards[1])),
+    );
+    let summaries = collector.snapshot();
+
+    // The killer itself reported a clean kill and a clean restart.
+    let killer = summaries
+        .iter()
+        .find(|s| s.class == "chaos:shard_killer")
+        .expect("shard-killer tallied");
+    assert_eq!(killer.count, 2, "{:?}", killer.outcomes);
+    assert!(killer
+        .outcomes
+        .iter()
+        .any(|(label, n)| label == "killed" && *n == 1));
+    assert!(killer
+        .outcomes
+        .iter()
+        .any(|(label, n)| label == "restarted" && *n == 1));
+    assert_eq!(
+        outcome.chaos_unexpected, 0,
+        "unexplained chaos outcomes: {summaries:#?}"
+    );
+
+    // Everything sent was eventually served — the failover clients
+    // routed around the corpse.
+    assert_eq!(
+        outcome.workload_ok, outcome.workload_ops,
+        "per-class tallies: {summaries:#?}"
+    );
+
+    // Post-storm consistency held, including the peer-fill leg: a shard
+    // that did not serve the probe answered it byte-identically from
+    // its peer's cache.
+    assert_eq!(outcome.probe_consistent, Some(true), "{summaries:#?}");
+
+    // Summed over every shard still answering: bounds re-checked on
+    // everything served, zero violations — Proposition 7, as telemetry.
+    let daemon = outcome.daemon.as_ref().expect("scrape succeeded");
+    assert_eq!(daemon.bound_violations, Some(0.0));
+    assert!(daemon.bound_checked.unwrap_or(0.0) > 0.0);
+
+    let cluster = outcome.cluster.as_ref().expect("cluster stats");
+    assert_eq!(cluster.shards, 3);
+    assert_eq!(cluster.shards_scraped, 3, "restarted shard answers again");
+    assert!(
+        cluster.peer_fill_hits >= 1.0,
+        "the probe's peer-fill leg is a guaranteed hit"
+    );
+
+    assert!(outcome.pass, "SLO violations: {:?}", outcome.violations);
+
+    // The report carries the cluster section for CI to grep.
+    let text = report::render(&plan, &outcome, &summaries);
+    let json = Json::parse(&text).expect("report parses");
+    assert_eq!(json.get("pass").and_then(Json::as_bool), Some(true));
+    let cluster = json.get("cluster").expect("cluster section");
+    assert_eq!(cluster.get("shards").and_then(Json::as_u64), Some(3));
+    assert!(
+        cluster
+            .get("peer_fill_hits")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+            >= 1.0
+    );
+
+    for shard in &mut shards {
+        if let Some(handle) = shard.handle.take() {
+            Client::connect(&shard.config.addr)
+                .and_then(|mut c| c.shutdown())
+                .expect("shutdown");
+            handle.join().expect("clean drain");
+        }
+    }
+}

@@ -3,10 +3,12 @@
 //! ```text
 //! bfdn-request [--addr HOST:PORT] [--retry N] [--backoff-ms M]
 //!              [--backoff-jitter MS] [--jitter-seed N] [--trace]
+//!              [--cluster H:P,H:P,...] [--connect-timeout-ms MS]
 //!              explore --algo A --family F --n N --k K --seed S
 //!              [--manifest] [--delay-ms MS]
 //! bfdn-request [--addr HOST:PORT] [--retry N] [--backoff-ms M]
 //!              [--backoff-jitter MS] [--jitter-seed N] [--trace]
+//!              [--cluster H:P,H:P,...] [--connect-timeout-ms MS]
 //!              batch --algos A,B --families F,G
 //!              --n N --ks K1,K2 --seeds S [--delay-ms MS]
 //! bfdn-request [--addr HOST:PORT] trace [--id HEX16]
@@ -36,6 +38,17 @@
 //! do not re-arrive as a thundering herd. The jitter stream is seeded
 //! (`--jitter-seed`, default: process id) and therefore reproducible.
 //!
+//! `--cluster` takes the shard list of a multi-daemon cluster instead
+//! of `--addr`: the request's home shard is picked by hashing the spec
+//! key (so repeat invocations land on the same shard's warm cache), and
+//! connect failures fail over linearly through the remaining shards —
+//! any shard can serve any spec, peer cache-fill keeps re-execution
+//! rare. This is deliberately a *thin* client; full consistent-hash
+//! routing lives in `bfdn-cluster-proxy`. `--connect-timeout-ms` bounds
+//! each dial (default: the OS connect timeout — minutes — when talking
+//! to one daemon, 250 ms per shard in `--cluster` mode so a dead shard
+//! costs a bounded delay).
+//!
 //! `--trace` attaches a client-generated trace id (derived from the
 //! jitter seed, so reproducible with `--jitter-seed`) to the explore or
 //! batch request, then fetches the server-side span tree for that id
@@ -47,13 +60,19 @@
 
 use bfdn_obs::tracing::{hex16, parse_hex16};
 use bfdn_service::client::Client;
-use bfdn_service::protocol::{ErrorCode, ExploreSpec, Request, Response, SpanPayload, WireError};
+use bfdn_service::protocol::{
+    fnv1a, ErrorCode, ExploreSpec, Request, Response, SpanPayload, WireError,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::net::ToSocketAddrs;
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Invocation {
     addr: String,
+    cluster: Vec<String>,
+    connect_timeout_ms: Option<u64>,
     retry: u32,
     backoff_ms: u64,
     backoff_jitter: u64,
@@ -75,6 +94,8 @@ enum Command {
 fn parse(args: Vec<String>) -> Result<Invocation, String> {
     let mut it = args.into_iter().peekable();
     let mut addr = "127.0.0.1:4077".to_string();
+    let mut cluster: Vec<String> = Vec::new();
+    let mut connect_timeout_ms: Option<u64> = None;
     let mut retry = 0u32;
     let mut backoff_ms = 100u64;
     let mut backoff_jitter: Option<u64> = None;
@@ -85,6 +106,22 @@ fn parse(args: Vec<String>) -> Result<Invocation, String> {
             Some("--addr") => {
                 it.next();
                 addr = it.next().ok_or("--addr needs a value")?;
+            }
+            Some("--cluster") => {
+                it.next();
+                let v = it.next().ok_or("--cluster needs a value")?;
+                cluster = split_list(&v);
+                if cluster.is_empty() {
+                    return Err("--cluster needs at least one HOST:PORT".into());
+                }
+            }
+            Some("--connect-timeout-ms") => {
+                it.next();
+                let v = it.next().ok_or("--connect-timeout-ms needs a value")?;
+                connect_timeout_ms = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --connect-timeout-ms `{v}`"))?,
+                );
             }
             Some("--retry") => {
                 it.next();
@@ -135,6 +172,8 @@ fn parse(args: Vec<String>) -> Result<Invocation, String> {
     };
     Ok(Invocation {
         addr,
+        cluster,
+        connect_timeout_ms,
         retry,
         backoff_ms,
         backoff_jitter,
@@ -353,10 +392,71 @@ fn with_retry<T>(
     }
 }
 
+/// The spec key the command routes by in `--cluster` mode: single
+/// explores hash their own canonical key, batches hash their first item
+/// (so repeat invocations of the same batch land on the same shard's
+/// warm cache), introspection verbs hash nothing.
+fn routing_key(command: &Command) -> Option<String> {
+    match command {
+        Command::Explore(spec) => Some(spec.canonical()),
+        Command::Batch(specs) => specs.first().map(|s| s.canonical()),
+        _ => None,
+    }
+}
+
+/// One dial, bounded by `--connect-timeout-ms` when set.
+fn dial(addr: &str, timeout_ms: Option<u64>) -> Result<Client, String> {
+    match timeout_ms {
+        None => Client::connect(addr).map_err(|e| e.to_string()),
+        Some(ms) => {
+            let socket = addr
+                .to_socket_addrs()
+                .ok()
+                .and_then(|mut a| a.next())
+                .ok_or_else(|| format!("cannot resolve `{addr}`"))?;
+            Client::connect_timeout(&socket, Duration::from_millis(ms.max(1)))
+                .map_err(|e| e.to_string())
+        }
+    }
+}
+
+/// Connects to the daemon — or, in `--cluster` mode, to the command's
+/// home shard with linear failover through the rest of the shard list.
+/// Any shard can serve any spec (peer cache-fill makes a wrong-home
+/// serve a copy, not a recompute), so failover never changes results.
+fn connect_client(invocation: &Invocation) -> Result<Client, Failure> {
+    if invocation.cluster.is_empty() {
+        return dial(&invocation.addr, invocation.connect_timeout_ms)
+            .map_err(|e| Failure::plain(format!("cannot connect to {}: {e}", invocation.addr)));
+    }
+    let shards = &invocation.cluster;
+    // Dials must stay bounded when there are shards to fail over to.
+    let timeout = invocation.connect_timeout_ms.or(Some(250));
+    let start = match routing_key(&invocation.command) {
+        Some(key) => (fnv1a(key.as_bytes()) % shards.len() as u64) as usize,
+        None => 0,
+    };
+    let mut last = String::new();
+    for offset in 0..shards.len() {
+        let addr = &shards[(start + offset) % shards.len()];
+        match dial(addr, timeout) {
+            Ok(client) => {
+                if offset > 0 {
+                    eprintln!("bfdn-request: home shard unreachable, failed over to {addr}");
+                }
+                return Ok(client);
+            }
+            Err(e) => last = format!("{addr}: {e}"),
+        }
+    }
+    Err(Failure::plain(format!(
+        "no cluster shard reachable (last: {last})"
+    )))
+}
+
 fn run(invocation: Invocation) -> Result<(), Failure> {
     let mut policy = RetryPolicy::new(&invocation);
-    let mut client = Client::connect(&invocation.addr)
-        .map_err(|e| Failure::plain(format!("cannot connect to {}: {e}", invocation.addr)))?;
+    let mut client = connect_client(&invocation)?;
     // The trace id is drawn from its own copy of the seeded stream so it
     // is reproducible with --jitter-seed yet leaves the backoff jitter
     // sequence untouched. `| 1` keeps it off the reserved zero id.

@@ -9,7 +9,13 @@
 //!            [--batch-split N] [--read-timeout-ms MS]
 //!            [--trace-out PATH] [--trace-sample N]
 //!            [--round-threads N]
+//!            [--peers HOST:PORT,HOST:PORT,...] [--peer-timeout-ms MS]
 //! ```
+//!
+//! `--peers` lists the *other* shards of a cluster; with it set, a
+//! local cache miss asks each peer for its cached result (bounded by
+//! `--peer-timeout-ms` per probe) before executing, so a spec is
+//! computed once cluster-wide and then copied.
 //!
 //! The process serves until a client sends a `shutdown` request, then
 //! drains in-flight jobs (spilling the cache when `--spill` is set) and
@@ -84,13 +90,27 @@ fn parse(args: impl IntoIterator<Item = String>) -> Result<ServerConfig, String>
                     .map_err(|_| format!("bad --metrics-scrapers `{v}`"))?;
                 config.metrics_scrapers = n.max(1);
             }
+            "--peers" => {
+                config.peers = value("--peers")?
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--peer-timeout-ms" => {
+                let v = value("--peer-timeout-ms")?;
+                config.peer_timeout_ms = v
+                    .parse()
+                    .map_err(|_| format!("bad --peer-timeout-ms `{v}`"))?;
+            }
             other => {
                 return Err(format!(
                     "unknown flag `{other}` (try --addr --workers --queue-depth \
                      --cache-capacity --cache-shards --spill --manifest-dir \
                      --metrics-addr --metrics-scrapers --access-log --slow-ms \
                      --batch-split --read-timeout-ms --trace-out --trace-sample \
-                     --round-threads)"
+                     --round-threads --peers --peer-timeout-ms)"
                 ))
             }
         }

@@ -131,6 +131,23 @@ impl ResultCache {
         }
     }
 
+    /// Like [`ResultCache::get`] but without touching the hit/miss
+    /// counters: peer cache-fill probes answer from whatever happens to
+    /// be resident, and another shard's traffic must not skew this
+    /// shard's client-facing hit ratio. Serving a peer still refreshes
+    /// the entry's recency — a result the ring keeps asking for is
+    /// worth keeping.
+    pub fn peek(&self, spec: &ExploreSpec) -> Option<ExploreResult> {
+        let canonical = spec.canonical();
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard_for(&canonical).lock().expect("cache shard");
+        let entry = shard.map.get_mut(&canonical)?;
+        entry.last_used = tick;
+        let mut result = entry.result.clone();
+        result.cached = true;
+        Some(result)
+    }
+
     /// Stores a completed result under its spec's canonical key,
     /// normalizing `cached` to `false` so the stored payload is exactly
     /// what a fresh computation produces. Evicts the least-recently-used

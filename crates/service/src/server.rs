@@ -17,17 +17,18 @@
 //! cache for a warm restart, and lets [`ServerHandle::join`] return.
 
 use crate::cache::{CacheConfig, ResultCache};
+use crate::client::Client;
 use crate::exec;
 use crate::parallel;
 use crate::protocol::{
-    read_frame, write_frame, ErrorCode, ExploreResult, ExploreSpec, FrameError, Request, Response,
-    SpanPayload, StatusPayload, TracePayload, WireError,
+    fnv1a, read_frame, write_frame, ErrorCode, ExploreResult, ExploreSpec, FrameError, Request,
+    Response, SpanPayload, StatusPayload, TracePayload, WireError,
 };
 use crate::telemetry::{AccessLog, AccessRecord, ServiceMetrics};
 use bfdn_obs::tracing::{hex16, SpanRecord, SpanRecorder, SpanSink, TraceWriter, Tracer};
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -91,6 +92,17 @@ pub struct ServerConfig {
     /// at any value — this only trades wall-clock time against worker
     /// parallelism, so batch items get the budget divided among them.
     pub round_threads: Option<usize>,
+    /// Wire addresses of the other shards in this daemon's cluster.
+    /// When non-empty, a local cache miss first asks each peer (in a
+    /// key-rotated order) for its cached result over
+    /// [`Request::PeerFill`] before executing — so across a ring a spec
+    /// is computed once and then copied, not recomputed per shard.
+    /// Empty (the default) disables peer cache-fill entirely.
+    pub peers: Vec<String>,
+    /// Connect *and* read budget for one peer cache-fill probe, in
+    /// milliseconds. A dead or blackholed peer costs at most this much
+    /// per probe before the shard falls back to executing locally.
+    pub peer_timeout_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -111,6 +123,8 @@ impl Default for ServerConfig {
             trace_out: None,
             trace_sample: 0,
             round_threads: None,
+            peers: Vec::new(),
+            peer_timeout_ms: 250,
         }
     }
 }
@@ -279,6 +293,11 @@ struct Shared {
     read_timeout_ms: u64,
     /// Resolved intra-round thread budget per executed explorer.
     round_threads: usize,
+    /// Cluster peers to ask before executing a local miss (empty: no
+    /// peer cache-fill).
+    peers: Vec<String>,
+    /// Connect/read budget per peer probe.
+    peer_timeout: Duration,
     started: Instant,
 }
 
@@ -359,6 +378,61 @@ impl Shared {
             }
         }
         Ok(result)
+    }
+
+    /// Asks each configured cluster peer for its cached copy of `spec`
+    /// before this shard executes it. Peers are probed in a
+    /// key-rotated order (so a hot key does not hammer the same peer
+    /// from every shard) with the bounded `peer_timeout` per probe; the
+    /// first hit is margin-re-checked, counted in
+    /// `bfdn_peer_fill_hit_total`, stored locally, and served with
+    /// `cached = true`. When every peer misses (or is unreachable) the
+    /// caller executes locally and `bfdn_peer_fill_miss_total` counts
+    /// the cold path. No-op returning `None` when no peers are
+    /// configured. Two shards missing the same spec concurrently can
+    /// still both execute it — peer fill removes the steady-state
+    /// recomputation, not the race.
+    fn peer_fill_lookup(&self, spec: &ExploreSpec, ctx: Option<SpanCtx>) -> Option<ExploreResult> {
+        if self.peers.is_empty() {
+            return None;
+        }
+        let start_ns = self.tracer.now_ns();
+        let canonical = spec.canonical();
+        let start = fnv1a(canonical.as_bytes()) as usize % self.peers.len();
+        for i in 0..self.peers.len() {
+            let peer = &self.peers[(start + i) % self.peers.len()];
+            let Some(addr) = peer
+                .to_socket_addrs()
+                .ok()
+                .and_then(|mut addrs| addrs.next())
+            else {
+                continue;
+            };
+            let Ok(mut client) = Client::connect_timeout(&addr, self.peer_timeout) else {
+                continue;
+            };
+            if client.set_read_timeout(Some(self.peer_timeout)).is_err() {
+                continue;
+            }
+            if let Ok(Some(result)) = client.peer_fill(spec.clone()) {
+                // Trust but verify: the serving shard re-asserts the
+                // Theorem 1 bound on every payload it hands out, even
+                // ones a peer computed.
+                self.telemetry.record_peer_margins(&result);
+                self.telemetry.peer_fill_hit();
+                self.cache.put(&result);
+                if let Some(span) = self.span(ctx, "peer_fill", start_ns) {
+                    self.tracer
+                        .record(span.attr_bool("hit", true).attr_str("peer", peer.clone()));
+                }
+                return Some(result);
+            }
+        }
+        self.telemetry.peer_fill_miss();
+        if let Some(span) = self.span(ctx, "peer_fill", start_ns) {
+            self.tracer.record(span.attr_bool("hit", false));
+        }
+        None
     }
 
     /// Snapshots the recent-span ring for a [`Request::Trace`] reply,
@@ -543,6 +617,8 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
             .round_threads
             .unwrap_or_else(parallel::round_threads)
             .max(1),
+        peers: config.peers.clone(),
+        peer_timeout: Duration::from_millis(config.peer_timeout_ms.max(1)),
         started: Instant::now(),
     });
 
@@ -764,8 +840,18 @@ fn worker_loop(shared: &Arc<Shared>, index: usize) {
 /// fan out over the parallel substrate, and the reply preserves request
 /// order.
 fn run_batch(shared: &Arc<Shared>, specs: &[ExploreSpec], ctx: Option<SpanCtx>) -> Response {
-    let looked_up: Vec<Option<ExploreResult>> =
-        specs.iter().map(|spec| shared.cache.get(spec)).collect();
+    // A batch item missing locally still tries the cluster peers before
+    // it counts as pending; a peer-filled item is a hit — it was served
+    // without executing anything here.
+    let looked_up: Vec<Option<ExploreResult>> = specs
+        .iter()
+        .map(|spec| {
+            shared
+                .cache
+                .get(spec)
+                .or_else(|| shared.peer_fill_lookup(spec, ctx))
+        })
+        .collect();
     let pending: Vec<&ExploreSpec> = specs
         .iter()
         .zip(&looked_up)
@@ -1043,6 +1129,17 @@ fn dispatch(
             log.kind = "trace";
             Response::Trace(shared.trace_snapshot(envelope))
         }
+        Request::PeerFill(spec) => {
+            log.kind = "peer_fill";
+            log.key = spec.canonical();
+            // Answered from the cache alone — a peer probe can neither
+            // enqueue work nor trigger this shard's own peer probes, so
+            // fill traffic cannot recurse around the ring.
+            match shared.cache.peek(&spec) {
+                Some(result) => Response::Result(Box::new(result)),
+                None => Response::PeerMiss,
+            }
+        }
         Request::Shutdown => {
             log.kind = "shutdown";
             shared.draining.store(true, Ordering::SeqCst);
@@ -1063,6 +1160,9 @@ fn dispatch(
             }
             if let Some(hit) = hit {
                 return Response::Result(Box::new(hit));
+            }
+            if let Some(filled) = shared.peer_fill_lookup(&spec, ctx) {
+                return Response::Result(Box::new(filled));
             }
             enqueue_and_wait(shared, JobKind::One(spec), false, log, ctx)
         }

@@ -28,13 +28,14 @@ use std::sync::{Arc, Mutex};
 
 /// The request types tracked by `bfdn_requests_total{type=...}`;
 /// `invalid` covers frames that decode to no known request.
-pub const REQUEST_TYPES: [&str; 8] = [
+pub const REQUEST_TYPES: [&str; 9] = [
     "explore",
     "batch",
     "status",
     "cache_stats",
     "metrics",
     "trace",
+    "peer_fill",
     "shutdown",
     "invalid",
 ];
@@ -65,6 +66,8 @@ pub struct ServiceMetrics {
     cache_entries: Arc<Gauge>,
     cache_resident_bytes: Arc<Gauge>,
     worker_busy: Vec<Arc<Counter>>,
+    peer_fill_hits: Arc<Counter>,
+    peer_fill_misses: Arc<Counter>,
     bound_checked: Arc<Counter>,
     bound_violations: Arc<Counter>,
     margin_theorem1: Arc<Gauge>,
@@ -179,6 +182,16 @@ impl ServiceMetrics {
                 &[],
             ),
             worker_busy,
+            peer_fill_hits: registry.counter(
+                "bfdn_peer_fill_hit_total",
+                "Local cache misses answered from a cluster peer's cache.",
+                &[],
+            ),
+            peer_fill_misses: registry.counter(
+                "bfdn_peer_fill_miss_total",
+                "Local cache misses no configured peer could answer.",
+                &[],
+            ),
             bound_checked: registry.counter(
                 "bfdn_bound_checked_total",
                 "Executed runs whose Theorem 1 / Lemma 2 margins were checked.",
@@ -265,6 +278,30 @@ impl ServiceMetrics {
     pub fn worker_busy(&self, index: usize, ns: u64) {
         if let Some(c) = self.worker_busy.get(index) {
             c.add(ns);
+        }
+    }
+
+    /// Counts one local miss a cluster peer's cache answered.
+    pub fn peer_fill_hit(&self) {
+        self.peer_fill_hits.inc();
+    }
+
+    /// Counts one local miss no configured peer could answer.
+    pub fn peer_fill_miss(&self) {
+        self.peer_fill_misses.inc();
+    }
+
+    /// Re-checks the Theorem 1 margin of a result received from a
+    /// cluster peer before serving it. Trust-but-verify: the peer
+    /// already checked its own execution, but every shard that serves a
+    /// payload re-asserts the paper's bound on it, so
+    /// `bfdn_bound_violations_total == 0` on a shard covers everything
+    /// that shard handed out — peer-filled or home-grown.
+    pub fn record_peer_margins(&self, result: &ExploreResult) {
+        self.bound_checked.inc();
+        self.margin_theorem1.set_min(result.margin);
+        if result.margin < 0.0 {
+            self.bound_violations.inc();
         }
     }
 

@@ -31,8 +31,30 @@ def load(path):
         sys.exit(2)
 
 
-def by_id(record):
-    return {e["id"]: e for e in record.get("experiments", [])}
+def by_id(record, side):
+    entries = {}
+    for position, entry in enumerate(record.get("experiments", [])):
+        if "id" not in entry:
+            print(
+                f"bench_trend: records incomparable — the {side} record's "
+                f"experiment at position {position} has no `id` key",
+                file=sys.stderr,
+            )
+            sys.exit(2)
+        entries[entry["id"]] = entry
+    return entries
+
+
+def field(entry, exp_id, side, key):
+    """A required key, or a shape error naming which side is missing it."""
+    if key not in entry:
+        print(
+            f"bench_trend: records incomparable — the {side} record's "
+            f"`{exp_id}` entry has no `{key}` key",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    return entry[key]
 
 
 def main():
@@ -76,7 +98,7 @@ def main():
         )
         sys.exit(2)
 
-    base, cur = by_id(baseline), by_id(current)
+    base, cur = by_id(baseline, "baseline"), by_id(current, "current")
     missing = sorted(set(base) - set(cur))
     if missing:
         print(f"bench_trend: experiments missing from current run: {', '.join(missing)}",
@@ -87,8 +109,9 @@ def main():
     print(f"{'id':>10}  {'base ms':>8}  {'cur ms':>8}  {'limit':>8}  {'rows':>9}  verdict")
     for exp_id, b in sorted(base.items()):
         c = cur[exp_id]
-        limit = args.factor * max(float(b["wall_clock_ms"]), args.floor_ms)
-        wall = float(c["wall_clock_ms"])
+        base_wall = field(b, exp_id, "baseline", "wall_clock_ms")
+        limit = args.factor * max(float(base_wall), args.floor_ms)
+        wall = float(field(c, exp_id, "current", "wall_clock_ms"))
         row_note = ""
         ok = True
         if wall > limit:
@@ -99,7 +122,7 @@ def main():
             row_note = f" rows {c.get('rows')}≠{b['rows']}"
             failures.append(f"{exp_id}: row count {c.get('rows')} != baseline {b['rows']}")
         rows = f"{c.get('rows', '?')}/{b.get('rows', '?')}"
-        print(f"{exp_id:>10}  {b['wall_clock_ms']:>8}  {wall:>8.0f}  {limit:>8.0f}  "
+        print(f"{exp_id:>10}  {base_wall:>8}  {wall:>8.0f}  {limit:>8.0f}  "
               f"{rows:>9}  {'ok' if ok else 'FAIL' + row_note}")
 
     extra = sorted(set(cur) - set(base))
