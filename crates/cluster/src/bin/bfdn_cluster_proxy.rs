@@ -7,6 +7,7 @@
 //!                    [--read-timeout-ms MS] [--retries N]
 //!                    [--backoff-ms MS] [--jitter-seed SEED]
 //!                    [--cooldown-ms MS]
+//!                    [--fleet-metrics HOST:PORT] [--fleet-interval-ms MS]
 //! ```
 //!
 //! Clients that only speak the plain single-daemon protocol (sweeps,
@@ -21,33 +22,50 @@
 //!
 //! - `explore` / `batch` / `peer_fill` — ring-routed with failover;
 //!   batches are split by home shard and reassembled in request order.
-//! - `status` / `cache_stats` / `trace` — answered by the first healthy
-//!   shard (a fixed routing key, so the same shard answers while it
-//!   lives).
+//!   When the request carries a trace envelope the proxy records its
+//!   own `request` → `proxy_forward` spans (with `target` naming the
+//!   shard that served), so stitched timelines show the proxy hop.
+//! - `trace` *with* a trace envelope — answered by the proxy itself: it
+//!   pulls the trace's spans from every shard's ring, folds in its own
+//!   `proxy_forward` spans, and replies with one stitched cross-process
+//!   tree ([`bfdn_service::stitch`]).
+//! - `status` / `cache_stats` / `trace` without an envelope — answered
+//!   by the first healthy shard (a fixed routing key, so the same shard
+//!   answers these while it lives).
 //! - `metrics` — answered by the *proxy's own* registry (notably
 //!   `bfdn_cluster_reroutes_total`); scrape shards directly for
-//!   per-shard counters.
+//!   per-shard counters, or run `--fleet-metrics ADDR` for the
+//!   federated view (per-shard labels + cluster rollups on one HTTP
+//!   endpoint, stitched traces at `/trace/<id>`).
 //! - `shutdown` — acknowledged with `bye`, then the proxy process
 //!   exits. The shards are deliberately left running: stopping them is
 //!   their operator's call, not a client's.
 
-use bfdn_cluster::{ClusterClient, ClusterConfig, ClusterError};
-use bfdn_obs::metrics::{Counter, Registry};
+use bfdn_cluster::{fleet, ClusterClient, ClusterConfig, ClusterError};
+use bfdn_obs::metrics::{register_build_info, Counter, Registry};
+use bfdn_obs::tracing::{SpanRecord, SpanRecorder, Tracer};
 use bfdn_service::protocol::{
-    read_frame, write_frame, ErrorCode, FrameError, Request, Response, WireError,
+    read_frame, write_frame, ErrorCode, FrameError, Request, Response, SpanPayload, TracePayload,
+    WireError,
 };
+use bfdn_service::stitch::ProcessSpans;
 use std::net::{TcpListener, TcpStream};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 struct Invocation {
     addr: String,
     config: ClusterConfig,
+    fleet_metrics: Option<String>,
+    fleet_interval_ms: u64,
 }
 
 fn parse(args: impl IntoIterator<Item = String>) -> Result<Invocation, String> {
     let mut addr = "127.0.0.1:4190".to_string();
     let mut config = ClusterConfig::new(Vec::<String>::new());
+    let mut fleet_metrics = None;
+    let mut fleet_interval_ms = 1_000;
     let mut it = args.into_iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
@@ -89,10 +107,18 @@ fn parse(args: impl IntoIterator<Item = String>) -> Result<Invocation, String> {
                 let v = value("--cooldown-ms")?;
                 config.cooldown_ms = v.parse().map_err(|_| format!("bad --cooldown-ms `{v}`"))?;
             }
+            "--fleet-metrics" => fleet_metrics = Some(value("--fleet-metrics")?),
+            "--fleet-interval-ms" => {
+                let v = value("--fleet-interval-ms")?;
+                fleet_interval_ms = v
+                    .parse()
+                    .map_err(|_| format!("bad --fleet-interval-ms `{v}`"))?;
+            }
             other => {
                 return Err(format!(
                     "unknown flag `{other}` (try --addr --shards --connect-timeout-ms \
-                     --read-timeout-ms --retries --backoff-ms --jitter-seed --cooldown-ms)"
+                     --read-timeout-ms --retries --backoff-ms --jitter-seed --cooldown-ms \
+                     --fleet-metrics --fleet-interval-ms)"
                 ))
             }
         }
@@ -100,7 +126,12 @@ fn parse(args: impl IntoIterator<Item = String>) -> Result<Invocation, String> {
     if config.shards.is_empty() {
         return Err("--shards is required (comma-separated HOST:PORT list)".to_string());
     }
-    Ok(Invocation { addr, config })
+    Ok(Invocation {
+        addr,
+        config,
+        fleet_metrics,
+        fleet_interval_ms,
+    })
 }
 
 /// Aggregate counters shared by every connection thread.
@@ -114,6 +145,7 @@ struct ProxyMetrics {
 impl ProxyMetrics {
     fn new(shards: usize) -> Self {
         let registry = Registry::new();
+        register_build_info(&registry, env!("CARGO_PKG_VERSION"));
         let requests = registry.counter(
             "bfdn_cluster_requests_total",
             "Requests accepted by the cluster proxy.",
@@ -141,6 +173,68 @@ impl ProxyMetrics {
     }
 }
 
+/// State shared by every connection thread: counters, the proxy's own
+/// span ring (for the `proxy_forward` hop in stitched traces), and what
+/// the stitched `trace` verb needs to pull shard rings.
+struct ProxyState {
+    metrics: ProxyMetrics,
+    tracer: Tracer,
+    shards: Vec<String>,
+    trace_timeout: Duration,
+}
+
+impl ProxyState {
+    fn new(config: &ClusterConfig) -> Self {
+        ProxyState {
+            metrics: ProxyMetrics::new(config.shards.len()),
+            tracer: Tracer::new(SpanRecorder::DEFAULT_CAPACITY),
+            shards: config.shards.clone(),
+            trace_timeout: Duration::from_millis(config.read_timeout_ms.max(1)),
+        }
+    }
+
+    /// The proxy's own spans for `trace`, as a stitchable process
+    /// contribution labeled `proxy`.
+    fn process_spans(&self, trace: u64) -> ProcessSpans {
+        let recorder = self.tracer.recorder();
+        let spans = recorder
+            .snapshot()
+            .iter()
+            .filter(|s| s.trace == trace)
+            .map(SpanPayload::from)
+            .collect();
+        ProcessSpans::from_payload(
+            "proxy",
+            TracePayload {
+                spans,
+                recorded: recorder.recorded(),
+                dropped: recorder.dropped(),
+            },
+        )
+    }
+
+    /// Records the `request` → `proxy_forward` span pair for one traced
+    /// forward; `target` names the shard that served, which is the
+    /// bridge attribute the stitcher re-parents that shard's tree
+    /// under.
+    fn record_forward(&self, trace: u64, kind: &'static str, target: Option<&str>, start_ns: u64) {
+        let duration = self.tracer.now_ns().saturating_sub(start_ns);
+        let root = self.tracer.next_id();
+        let forward = self.tracer.next_id();
+        let mut span =
+            SpanRecord::new(trace, forward, root, "proxy_forward").at(start_ns, duration);
+        if let Some(target) = target {
+            span = span.attr_str("target", target.to_string());
+        }
+        self.tracer.record(span);
+        self.tracer.record(
+            SpanRecord::new(trace, root, 0, "request")
+                .at(start_ns, duration)
+                .attr_str("kind", kind),
+        );
+    }
+}
+
 fn cluster_error_response(e: ClusterError) -> Response {
     match e {
         ClusterError::Server(err) => Response::Error(err),
@@ -155,9 +249,10 @@ fn cluster_error_response(e: ClusterError) -> Response {
 fn handle_connection(
     mut stream: TcpStream,
     mut cluster: ClusterClient,
-    metrics: &ProxyMetrics,
+    state: &ProxyState,
 ) -> bool {
     let _ = stream.set_nodelay(true);
+    let metrics = &state.metrics;
     let mut seen_reroutes = 0u64;
     loop {
         let payload = match read_frame(&mut stream) {
@@ -178,21 +273,46 @@ fn handle_connection(
                 continue;
             }
         };
+        let start_ns = state.tracer.now_ns();
         let (reply, done) = match &request {
             Request::Explore(spec) | Request::PeerFill(spec) => {
                 let key = spec.canonical();
-                (cluster.forward(&key, &request, trace), false)
+                let reply = cluster.forward(&key, &request, trace);
+                if let Some(id) = trace {
+                    let kind = match request {
+                        Request::PeerFill(_) => "peer_fill",
+                        _ => "explore",
+                    };
+                    state.record_forward(id, kind, cluster.last_shard(), start_ns);
+                }
+                (reply, false)
             }
-            Request::Batch(specs) => (
-                cluster
+            Request::Batch(specs) => {
+                let reply = cluster
                     .batch(specs)
                     .map(|(results, hits, misses)| Response::Batch {
                         results,
                         hits,
                         misses,
-                    }),
-                false,
-            ),
+                    });
+                // A batch fans out over many shards, so the forward
+                // span names no single `target`; it still shows the
+                // proxy hop's wall-clock on the timeline.
+                if let Some(id) = trace {
+                    state.record_forward(id, "batch", None, start_ns);
+                }
+                (reply, false)
+            }
+            // A trace pull with an envelope is the cluster-wide
+            // question "show me this request" — answered here by
+            // stitching every shard's ring with the proxy's own spans.
+            Request::Trace if trace.is_some() => {
+                let id = trace.expect("guarded");
+                let local = state.process_spans(id);
+                let stitched =
+                    fleet::fleet_trace(&state.shards, id, state.trace_timeout, Some(local));
+                (Ok(Response::Trace(stitched)), false)
+            }
             // One stable pseudo-key: the same shard answers these while
             // it lives, with failover if it dies.
             Request::Status | Request::CacheStats | Request::Trace => {
@@ -240,7 +360,31 @@ fn main() -> ExitCode {
         "bfdn-cluster-proxy: listening on {local}, routing over {} shards",
         invocation.config.shards.len()
     );
-    let metrics = Arc::new(ProxyMetrics::new(invocation.config.shards.len()));
+    // The fleet collector outlives every connection; its handle is held
+    // for the process lifetime (the proxy only exits via shutdown).
+    let _fleet = match &invocation.fleet_metrics {
+        Some(fleet_addr) => {
+            let mut fleet_config =
+                fleet::FleetConfig::new(fleet_addr.clone(), invocation.config.shards.clone());
+            fleet_config.interval_ms = invocation.fleet_interval_ms;
+            match fleet::spawn(fleet_config) {
+                Ok(handle) => {
+                    eprintln!(
+                        "bfdn-cluster-proxy: fleet metrics on http://{}/metrics \
+                         (stitched traces at /trace/<id>)",
+                        handle.addr()
+                    );
+                    Some(handle)
+                }
+                Err(e) => {
+                    eprintln!("bfdn-cluster-proxy: cannot start fleet collector: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+    let state = Arc::new(ProxyState::new(&invocation.config));
     let base_seed = invocation.config.jitter_seed;
     let mut connection_index = 0u64;
     for stream in listener.incoming() {
@@ -253,12 +397,12 @@ fn main() -> ExitCode {
         // Distinct but reproducible retry schedules per connection.
         config.jitter_seed = base_seed.wrapping_add(connection_index);
         let cluster = ClusterClient::new(config);
-        let metrics = Arc::clone(&metrics);
+        let state = Arc::clone(&state);
         // Thread-per-connection; a shutdown request ends the whole
         // process (the `bye` reply is already flushed by then), which
         // closes every other connection's socket with it.
         std::thread::spawn(move || {
-            if handle_connection(stream, cluster, &metrics) {
+            if handle_connection(stream, cluster, &state) {
                 eprintln!("bfdn-cluster-proxy: shutdown requested, bye");
                 std::process::exit(0);
             }

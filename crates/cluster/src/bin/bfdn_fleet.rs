@@ -1,0 +1,83 @@
+//! `bfdn-fleet` — standalone federated metrics collector for a shard
+//! fleet.
+//!
+//! ```text
+//! bfdn-fleet --shards HOST:PORT,HOST:PORT,... [--addr HOST:PORT]
+//!            [--interval-ms MS] [--timeout-ms MS]
+//! ```
+//!
+//! Scrapes every shard's metrics over the wire protocol on the given
+//! interval and serves the aggregated exposition on
+//! `http://ADDR/metrics` (per-shard `{shard="host:port"}` series plus
+//! cluster rollups and `bfdn_shard_up` liveness) and stitched
+//! cross-shard traces on `http://ADDR/trace/<16-hex-trace-id>` as
+//! Chrome trace-event JSON.
+//!
+//! For proxyful deployments prefer `bfdn-cluster-proxy --fleet-metrics
+//! ADDR`, which runs this same collector in-process and folds the
+//! proxy's own spans into stitched traces. Runs until killed.
+
+use bfdn_cluster::fleet::{spawn, FleetConfig};
+use std::process::ExitCode;
+
+fn parse(args: impl IntoIterator<Item = String>) -> Result<FleetConfig, String> {
+    let mut config = FleetConfig::new("127.0.0.1:9309", Vec::new());
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--shards" => {
+                config.shards = value("--shards")?
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--interval-ms" => {
+                let v = value("--interval-ms")?;
+                config.interval_ms = v.parse().map_err(|_| format!("bad --interval-ms `{v}`"))?;
+            }
+            "--timeout-ms" => {
+                let v = value("--timeout-ms")?;
+                config.timeout_ms = v.parse().map_err(|_| format!("bad --timeout-ms `{v}`"))?;
+            }
+            other => {
+                return Err(format!(
+                    "unknown flag `{other}` (try --addr --shards --interval-ms --timeout-ms)"
+                ))
+            }
+        }
+    }
+    if config.shards.is_empty() {
+        return Err("--shards is required (comma-separated wire addresses)".into());
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let config = match parse(std::env::args().skip(1)) {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("bfdn-fleet: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let shards = config.shards.len();
+    let handle = match spawn(config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("bfdn-fleet: cannot start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "bfdn-fleet: aggregating {shards} shard(s) on http://{}/metrics (traces at /trace/<id>)",
+        handle.addr()
+    );
+    // Serve until killed; the handle's threads do all the work.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

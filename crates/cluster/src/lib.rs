@@ -14,6 +14,11 @@
 //!   executing, so a spec is computed at most once cluster-wide in
 //!   steady state, and a re-routed key is usually *copied* to its new
 //!   shard rather than recomputed.
+//! - **Observability side** ([`fleet`], and the `bfdn-fleet` binary):
+//!   a federated collector scrapes every shard's metrics over the wire
+//!   protocol, re-exposes one aggregated endpoint with per-shard labels
+//!   and cluster rollups, and stitches cross-shard traces into a single
+//!   Perfetto-loadable timeline.
 //!
 //! This is the systems analogue of the paper's Proposition 7: `BFDN`
 //! tolerates agent break-downs with bounded extra cost, and the cluster
@@ -26,7 +31,9 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod fleet;
 pub mod ring;
 
 pub use client::{ClusterClient, ClusterConfig, ClusterError};
+pub use fleet::{FleetConfig, FleetHandle};
 pub use ring::HashRing;

@@ -5,7 +5,8 @@
 //! bfdn-load [--addr HOST:PORT] [--profile quick|standard|chaos]
 //!           [--seed N] [--report-json PATH] [--metrics-http HOST:PORT]
 //!           [--cluster-shards N --shard-bin PATH [--base-port P]
-//!            [--kill-shard IDX [--kill-at-ms MS] [--restart-after-ms MS]]]
+//!            [--kill-shard IDX [--kill-at-ms MS] [--restart-after-ms MS]]
+//!            [--fleet-metrics HOST:PORT] [--shard-profile-dir DIR]]
 //! ```
 //!
 //! The request sequence is a pure function of `(profile, seed)`; the
@@ -30,16 +31,27 @@
 //! still answers) must hold regardless: the serving-layer analogue of
 //! the paper's Proposition 7 breakdown tolerance.
 //!
+//! With `--fleet-metrics` the harness also runs the federated fleet
+//! collector over the shards for the storm's duration and reads the
+//! aggregated endpoint back into the report (`cluster.fleet`): shards
+//! up, fleet-worst bound margin, summed bound violations. With
+//! `--shard-profile-dir` every spawned shard writes its sampled worker
+//! profile to `DIR/shard-<i>.folded` (inferno/flamegraph input) on
+//! drain.
+//!
 //! The post-storm probe expects its spec cold; its seed is derived from
 //! `--seed`, so re-running the same seed against a still-warm daemon
 //! fails the probe's cold expectation by design. Use a fresh seed (or a
 //! fresh daemon) per run.
 
+use bfdn_cluster::fleet::{self, FleetConfig};
 use bfdn_loadgen::{
-    execute, execute_cluster, report, ChildShard, Collector, Plan, Profile, ShardKillPlan,
+    execute, execute_cluster, report, ChildShard, Collector, FleetFacts, Plan, Profile,
+    ShardKillPlan,
 };
 use std::net::ToSocketAddrs;
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Invocation {
     addr: String,
@@ -53,6 +65,8 @@ struct Invocation {
     kill_shard: Option<usize>,
     kill_at_ms: u64,
     restart_after_ms: Option<u64>,
+    fleet_metrics: Option<String>,
+    shard_profile_dir: Option<String>,
 }
 
 fn parse(args: impl IntoIterator<Item = String>) -> Result<Invocation, String> {
@@ -68,6 +82,8 @@ fn parse(args: impl IntoIterator<Item = String>) -> Result<Invocation, String> {
         kill_shard: None,
         kill_at_ms: 500,
         restart_after_ms: None,
+        fleet_metrics: None,
+        shard_profile_dir: None,
     };
     let mut it = args.into_iter();
     while let Some(flag) = it.next() {
@@ -116,11 +132,16 @@ fn parse(args: impl IntoIterator<Item = String>) -> Result<Invocation, String> {
                         .map_err(|_| format!("bad --restart-after-ms `{v}`"))?,
                 );
             }
+            "--fleet-metrics" => invocation.fleet_metrics = Some(value("--fleet-metrics")?),
+            "--shard-profile-dir" => {
+                invocation.shard_profile_dir = Some(value("--shard-profile-dir")?);
+            }
             other => {
                 return Err(format!(
                     "unknown flag `{other}` (try --addr --profile --seed \
                      --report-json --metrics-http --cluster-shards --shard-bin \
-                     --base-port --kill-shard --kill-at-ms --restart-after-ms)"
+                     --base-port --kill-shard --kill-at-ms --restart-after-ms \
+                     --fleet-metrics --shard-profile-dir)"
                 ))
             }
         }
@@ -132,6 +153,13 @@ fn parse(args: impl IntoIterator<Item = String>) -> Result<Invocation, String> {
         && (invocation.shard_bin.is_some() || invocation.kill_shard.is_some())
     {
         return Err("--shard-bin/--kill-shard only make sense with --cluster-shards".into());
+    }
+    if invocation.cluster_shards.is_none()
+        && (invocation.fleet_metrics.is_some() || invocation.shard_profile_dir.is_some())
+    {
+        return Err(
+            "--fleet-metrics/--shard-profile-dir only make sense with --cluster-shards".into(),
+        );
     }
     if let (Some(kill), Some(count)) = (invocation.kill_shard, invocation.cluster_shards) {
         if kill >= count {
@@ -162,6 +190,9 @@ fn run_cluster(
         })
         .collect();
 
+    if let Some(dir) = &invocation.shard_profile_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("--shard-profile-dir {dir}: {e}"))?;
+    }
     let mut shards: Vec<ChildShard> = Vec::with_capacity(count);
     for (i, addr) in addrs.iter().enumerate() {
         let peers: Vec<String> = addrs
@@ -170,7 +201,7 @@ fn run_cluster(
             .filter(|&(j, _)| j != i)
             .map(|(_, a)| a.clone())
             .collect();
-        let args = vec![
+        let mut args = vec![
             "--addr".to_string(),
             addr.clone(),
             "--metrics-addr".to_string(),
@@ -178,6 +209,10 @@ fn run_cluster(
             "--peers".to_string(),
             peers.join(","),
         ];
+        if let Some(dir) = &invocation.shard_profile_dir {
+            args.push("--profile-out".to_string());
+            args.push(format!("{dir}/shard-{i}.folded"));
+        }
         match ChildShard::spawn(bin, &args, addr) {
             Ok(shard) => shards.push(shard),
             Err(e) => {
@@ -190,8 +225,35 @@ fn run_cluster(
         eprintln!("bfdn-load: shard {i} serving on {addr}");
     }
 
+    // The fleet collector watches the shards for the storm's whole
+    // duration, so its shards-up gauge reflects the kill/restart
+    // timeline, not just a final poll.
+    const FLEET_INTERVAL_MS: u64 = 250;
+    let fleet = match &invocation.fleet_metrics {
+        Some(addr) => {
+            let mut fleet_config = FleetConfig::new(addr.clone(), addrs.clone());
+            fleet_config.interval_ms = FLEET_INTERVAL_MS;
+            match fleet::spawn(fleet_config) {
+                Ok(handle) => {
+                    eprintln!(
+                        "bfdn-load: fleet collector on http://{}/metrics",
+                        handle.addr()
+                    );
+                    Some(handle)
+                }
+                Err(e) => {
+                    for mut shard in shards {
+                        shard.stop();
+                    }
+                    return Err(format!("fleet collector on {addr}: {e}"));
+                }
+            }
+        }
+        None => None,
+    };
+
     let config = invocation.profile.config();
-    let outcome = match invocation.kill_shard {
+    let mut outcome = match invocation.kill_shard {
         Some(index) => {
             let kill_plan = ShardKillPlan {
                 at_ms: invocation.kill_at_ms,
@@ -217,6 +279,33 @@ fn run_cluster(
         None => execute_cluster(&addrs, &metrics, plan, &config.slo, collector, None),
     };
 
+    if let Some(handle) = fleet {
+        // Give the collector two full scrape rounds to observe the
+        // post-storm state (restarted shards back up, final counters),
+        // then read the aggregated endpoint back while the shards are
+        // still alive.
+        std::thread::sleep(Duration::from_millis(2 * FLEET_INTERVAL_MS + 100));
+        match bfdn_loadgen::measure::scrape_http_metrics(&handle.addr().to_string()) {
+            Ok(text) => {
+                let facts = FleetFacts::from_exposition(&text);
+                eprintln!(
+                    "bfdn-load: fleet says shards_up={} worst_margin={} bound_violations={}",
+                    facts.shards_up,
+                    facts
+                        .worst_margin
+                        .map_or("n/a".to_string(), |v| format!("{v:.2}")),
+                    facts
+                        .bound_violations
+                        .map_or("n/a".to_string(), |v| format!("{v}")),
+                );
+                if let Some(cluster) = outcome.cluster.as_mut() {
+                    cluster.fleet = Some(facts);
+                }
+            }
+            Err(e) => eprintln!("bfdn-load: fleet scrape failed: {e}"),
+        }
+        handle.stop();
+    }
     for mut shard in shards {
         shard.stop();
     }

@@ -43,6 +43,36 @@ pub struct ClusterStats {
     pub peer_fill_misses: f64,
     /// Operations the failover clients served off their home shard.
     pub reroutes: u64,
+    /// Facts read back from the federated fleet endpoint after the
+    /// storm; `None` when the run had no `--fleet-metrics` collector.
+    pub fleet: Option<FleetFacts>,
+}
+
+/// What the post-storm scrape of the fleet collector's aggregated
+/// `/metrics` endpoint showed.
+#[derive(Clone, Debug)]
+pub struct FleetFacts {
+    /// `bfdn_fleet_shards_up` — shards answering the collector's last
+    /// scrape round.
+    pub shards_up: u64,
+    /// The fleet-wide `bfdn_bound_margin_worst{bound="theorem1_rounds"}`
+    /// rollup (minimum over every shard, peer-filled copies included).
+    pub worst_margin: Option<f64>,
+    /// `bfdn_bound_violations_total` summed over the fleet — the SLO
+    /// says this stays 0 through any storm.
+    pub bound_violations: Option<f64>,
+}
+
+impl FleetFacts {
+    /// Extracts the facts from the collector's aggregated exposition.
+    pub fn from_exposition(text: &str) -> Self {
+        let scrape = bfdn_obs::fleet::parse_exposition(text);
+        FleetFacts {
+            shards_up: scrape.value("bfdn_fleet_shards_up", &[]).unwrap_or(0.0) as u64,
+            worst_margin: scrape.value("bfdn_bound_margin_worst", &[("bound", "theorem1_rounds")]),
+            bound_violations: scrape.value("bfdn_bound_violations_total", &[]),
+        }
+    }
 }
 
 /// How a shard is broken and brought back. `kill` must be abrupt — the
@@ -449,6 +479,9 @@ pub fn execute_cluster(
             peer_fill_hits,
             peer_fill_misses,
             reroutes: reroutes.load(Ordering::Relaxed),
+            // Filled by the binary after the run when a fleet collector
+            // was attached.
+            fleet: None,
         }),
         pass: violations.is_empty(),
         violations,

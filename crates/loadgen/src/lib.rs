@@ -41,7 +41,9 @@ pub mod run;
 pub mod workload;
 
 pub use chaos::{ChaosClient, ChaosOutcome, Persona};
-pub use cluster::{execute_cluster, ChildShard, ClusterStats, ShardBreaker, ShardKillPlan};
+pub use cluster::{
+    execute_cluster, ChildShard, ClusterStats, FleetFacts, ShardBreaker, ShardKillPlan,
+};
 pub use measure::{Collector, SloConfig};
 pub use run::{execute, RunOutcome};
 pub use workload::{Arrival, MixConfig, Op, Plan, Profile, ProfileConfig};

@@ -87,6 +87,22 @@ fn cluster_json(stats: &crate::cluster::ClusterStats) -> String {
         .f64("peer_fill_hits", stats.peer_fill_hits)
         .f64("peer_fill_misses", stats.peer_fill_misses)
         .u64("reroutes", stats.reroutes);
+    match &stats.fleet {
+        Some(fleet) => {
+            let mut f = JsonObject::new();
+            f.u64("shards_up", fleet.shards_up);
+            match fleet.worst_margin {
+                Some(v) => f.f64("worst_margin", v),
+                None => f.raw("worst_margin", "null"),
+            };
+            match fleet.bound_violations {
+                Some(v) => f.f64("bound_violations", v),
+                None => f.raw("bound_violations", "null"),
+            };
+            o.raw("fleet", &f.finish())
+        }
+        None => o.raw("fleet", "null"),
+    };
     o.finish()
 }
 
@@ -174,6 +190,11 @@ mod tests {
                 peer_fill_hits: 1.0,
                 peer_fill_misses: 4.0,
                 reroutes: 6,
+                fleet: Some(crate::cluster::FleetFacts {
+                    shards_up: 2,
+                    worst_margin: Some(12.5),
+                    bound_violations: Some(0.0),
+                }),
             }),
             violations: vec!["example \"quoted\" violation".into()],
             pass: false,
@@ -225,6 +246,13 @@ mod tests {
             Some(1.0)
         );
         assert_eq!(cluster.get("reroutes").and_then(Json::as_u64), Some(6));
+        let fleet = cluster.get("fleet").expect("fleet object");
+        assert_eq!(fleet.get("shards_up").and_then(Json::as_u64), Some(2));
+        assert_eq!(fleet.get("worst_margin").and_then(Json::as_f64), Some(12.5));
+        assert_eq!(
+            fleet.get("bound_violations").and_then(Json::as_f64),
+            Some(0.0)
+        );
         let slow = classes[0]
             .get("slow_traces")
             .and_then(Json::as_arr)

@@ -50,6 +50,7 @@
 
 mod bound;
 mod event;
+pub mod fleet;
 pub mod json;
 mod manifest;
 pub mod metrics;
@@ -59,8 +60,9 @@ pub mod tracing;
 
 pub use bound::{BoundConfig, BoundTracker, MarginSample};
 pub use event::Event;
+pub use fleet::FleetAggregator;
 pub use manifest::{git_revision, RunManifest};
-pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use metrics::{register_build_info, Counter, Gauge, Histogram, Registry};
 pub use phase::Phases;
 pub use sink::{EventSink, FanOut, JsonlSink, LogLevel, MemorySink, NullSink, StderrLog};
 pub use tracing::{SpanRecord, SpanRecorder, SpanSink, TraceFormat, TraceWriter, Tracer};

@@ -389,6 +389,25 @@ impl Registry {
     }
 }
 
+/// Registers the `bfdn_build_info{revision,version}` identity gauge
+/// (value `1`) in `registry` — every serving binary calls this so fleet
+/// scrapes can detect mixed-revision clusters. The revision is the
+/// repository's current git HEAD ([`crate::git_revision`]), `unknown`
+/// when the process runs outside a checkout; pass the binary's
+/// `env!("CARGO_PKG_VERSION")` as `version`. Returns the revision label
+/// actually used.
+pub fn register_build_info(registry: &Registry, version: &str) -> String {
+    let revision = crate::git_revision().unwrap_or_else(|| "unknown".to_string());
+    registry
+        .gauge(
+            "bfdn_build_info",
+            "Build identity of this process (value is always 1)",
+            &[("revision", &revision), ("version", version)],
+        )
+        .set(1.0);
+    revision
+}
+
 /// A kind-erased clone of a just-registered instrument; unwrapped by the
 /// typed registration helpers.
 enum Cloned {
@@ -506,7 +525,7 @@ fn label_set(out: &mut String, labels: &[(String, String)], le: Option<&str>) {
     out.push('}');
 }
 
-fn escape_label(out: &mut String, v: &str) {
+pub(crate) fn escape_label(out: &mut String, v: &str) {
     for c in v.chars() {
         match c {
             '\\' => out.push_str("\\\\"),
@@ -519,7 +538,7 @@ fn escape_label(out: &mut String, v: &str) {
 
 /// Appends a float in exposition form: shortest round-trip repr for
 /// finite values, `+Inf`/`-Inf`/`NaN` otherwise.
-fn push_f64(out: &mut String, v: f64) {
+pub(crate) fn push_f64(out: &mut String, v: f64) {
     use std::fmt::Write as _;
     if v.is_nan() {
         out.push_str("NaN");
@@ -629,6 +648,59 @@ mod tests {
         h.observe(50.0); // +Inf bucket only
         assert_eq!(h.quantile(0.5), 1.0);
         assert_eq!(h.bounds(), &[0.1, 1.0]);
+    }
+
+    #[test]
+    fn quantile_of_empty_and_single_sample_histograms() {
+        let r = Registry::new();
+        let h = r.histogram("edge", "latency", &[], &[0.1, 1.0, 10.0]);
+        // Empty: every quantile is NaN, not a panic or a zero.
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert!(h.quantile(q).is_nan(), "empty histogram, q={q}");
+        }
+        // A single sample answers every quantile from its own bucket.
+        h.observe(0.5);
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!(
+                (0.1..=1.0).contains(&v),
+                "single sample in (0.1, 1.0] answers q={q} with {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_with_every_sample_in_the_overflow_bucket() {
+        let r = Registry::new();
+        let h = r.histogram("over", "latency", &[], &[0.1, 1.0]);
+        for _ in 0..100 {
+            h.observe(99.0); // all beyond the last finite bound
+        }
+        // Quantiles cannot resolve past the configured buckets: they
+        // clamp to the largest finite bound instead of inventing +Inf.
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 1.0, "q={q}");
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.cumulative(1), 0, "no finite bucket holds anything");
+    }
+
+    #[test]
+    fn build_info_gauge_registers_revision_and_version() {
+        let r = Registry::new();
+        let revision = register_build_info(&r, "9.9.9");
+        assert!(!revision.is_empty());
+        let text = r.render();
+        assert!(text.contains("# TYPE bfdn_build_info gauge"), "{text}");
+        assert!(
+            text.contains(&format!(
+                "bfdn_build_info{{revision=\"{revision}\",version=\"9.9.9\"}} 1"
+            )),
+            "{text}"
+        );
+        // Idempotent: a second registration reuses the series.
+        register_build_info(&r, "9.9.9");
+        assert_eq!(r.render().matches("bfdn_build_info{").count(), 1);
     }
 
     #[test]

@@ -52,17 +52,22 @@
 //! `--trace` attaches a client-generated trace id (derived from the
 //! jitter seed, so reproducible with `--jitter-seed`) to the explore or
 //! batch request, then fetches the server-side span tree for that id
-//! and prints an indented breakdown to stderr. Busy/draining failures
-//! (exit codes 3 and 4) include the trace id so the rejected attempt
-//! can still be found in the server's span ring. The `trace` verb dumps
-//! the server's recent-span ring as one JSON span per line (optionally
-//! filtered to one trace with `--id`).
+//! and prints an indented breakdown to stderr. With `--cluster`, the
+//! breakdown is *stitched*: every shard's span ring is pulled for the
+//! id and joined into one cross-process tree, so a peer cache-fill
+//! shows up as the remote shard's subtree (tagged `[shard]`) under the
+//! home shard's `peer_fill` span. Busy/draining failures (exit codes 3
+//! and 4) include the trace id so the rejected attempt can still be
+//! found in the server's span ring. The `trace` verb dumps the server's
+//! recent-span ring as one JSON span per line (optionally filtered to
+//! one trace with `--id`).
 
 use bfdn_obs::tracing::{hex16, parse_hex16};
 use bfdn_service::client::Client;
 use bfdn_service::protocol::{
     fnv1a, ErrorCode, ExploreSpec, Request, Response, SpanPayload, WireError,
 };
+use bfdn_service::stitch::{stitch, ProcessSpans, SHARD_ATTR};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::net::ToSocketAddrs;
@@ -457,6 +462,8 @@ fn connect_client(invocation: &Invocation) -> Result<Client, Failure> {
 fn run(invocation: Invocation) -> Result<(), Failure> {
     let mut policy = RetryPolicy::new(&invocation);
     let mut client = connect_client(&invocation)?;
+    let cluster = invocation.cluster.clone();
+    let connect_timeout_ms = invocation.connect_timeout_ms;
     // The trace id is drawn from its own copy of the seeded stream so it
     // is reproducible with --jitter-seed yet leaves the backoff jitter
     // sequence untouched. `| 1` keeps it off the reserved zero id.
@@ -470,7 +477,7 @@ fn run(invocation: Invocation) -> Result<(), Failure> {
                 .map_err(|f| f.with_trace(trace))?;
             eprintln!("cached={}", result.cached);
             println!("{}", result.payload_json());
-            print_trace_breakdown(&mut client, trace)?;
+            print_trace_breakdown(&mut client, trace, &cluster, connect_timeout_ms)?;
         }
         Command::Batch(specs) => {
             let count = specs.len();
@@ -480,7 +487,7 @@ fn run(invocation: Invocation) -> Result<(), Failure> {
                 println!("{}", result.payload_json());
             }
             eprintln!("hits={hits} misses={misses} ({count} items)");
-            print_trace_breakdown(&mut client, trace)?;
+            print_trace_breakdown(&mut client, trace, &cluster, connect_timeout_ms)?;
         }
         Command::Trace(filter) => {
             let payload = client
@@ -515,35 +522,87 @@ fn run(invocation: Invocation) -> Result<(), Failure> {
 }
 
 /// Fetches and prints the server-side span tree for `trace` (when set)
-/// as an indented breakdown on stderr. The fetch happens on the same
-/// connection right after the traced request, so the spans are already
-/// in the ring by the time we ask.
-fn print_trace_breakdown(client: &mut Client, trace: Option<u64>) -> Result<(), Failure> {
+/// as an indented breakdown on stderr. Against one daemon the fetch
+/// happens on the same connection right after the traced request, so
+/// the spans are already in the ring by the time we ask; in `--cluster`
+/// mode every shard's ring is pulled and the fragments are stitched
+/// into one cross-process tree, each span tagged with the shard that
+/// recorded it.
+fn print_trace_breakdown(
+    client: &mut Client,
+    trace: Option<u64>,
+    cluster: &[String],
+    connect_timeout_ms: Option<u64>,
+) -> Result<(), Failure> {
     let Some(id) = trace else { return Ok(()) };
-    let payload = client
-        .trace_spans(Some(id))
-        .map_err(|e| Failure::from_client(&e))?;
+    if cluster.is_empty() {
+        let payload = client
+            .trace_spans(Some(id))
+            .map_err(|e| Failure::from_client(&e))?;
+        eprintln!(
+            "trace {} ({} spans, recorder dropped {})",
+            hex16(id),
+            payload.spans.len(),
+            payload.dropped
+        );
+        let roots: Vec<&SpanPayload> = payload.spans.iter().filter(|s| s.parent == 0).collect();
+        for root in roots {
+            print_span(&payload.spans, root, 1);
+        }
+        return Ok(());
+    }
+    // Cluster mode: one ring per shard, joined into a single tree. An
+    // unreachable shard only loses its own fragment.
+    let timeout = connect_timeout_ms.or(Some(250));
+    let mut processes = Vec::new();
+    let mut unreachable = 0usize;
+    for shard in cluster {
+        let payload = dial(shard, timeout)
+            .map_err(|e| e.to_string())
+            .and_then(|mut c| c.trace_spans(Some(id)).map_err(|e| e.to_string()));
+        match payload {
+            Ok(payload) => processes.push(ProcessSpans::from_payload(shard, payload)),
+            Err(_) => unreachable += 1,
+        }
+    }
+    let stitched = stitch(&processes);
+    let shards_with_spans = processes.iter().filter(|p| !p.spans.is_empty()).count();
     eprintln!(
-        "trace {} ({} spans, recorder dropped {})",
+        "trace {} stitched across {shards_with_spans} shard(s) \
+         ({} spans, recorders dropped {}{})",
         hex16(id),
-        payload.spans.len(),
-        payload.dropped
+        stitched.spans.len(),
+        stitched.dropped,
+        if unreachable > 0 {
+            format!(", {unreachable} shard(s) unreachable")
+        } else {
+            String::new()
+        }
     );
-    let roots: Vec<&SpanPayload> = payload.spans.iter().filter(|s| s.parent == 0).collect();
+    let roots: Vec<&SpanPayload> = stitched.spans.iter().filter(|s| s.parent == 0).collect();
     for root in roots {
-        print_span(&payload.spans, root, 1);
+        print_span(&stitched.spans, root, 1);
     }
     Ok(())
 }
 
 fn print_span(spans: &[SpanPayload], span: &SpanPayload, depth: usize) {
+    // The stitch-added origin label leads in brackets; other attributes
+    // keep their key=value form.
+    let shard = span
+        .attrs
+        .iter()
+        .find(|(key, _)| key == SHARD_ATTR)
+        .map(|(_, value)| format!("[{value}] "))
+        .unwrap_or_default();
     let attrs: Vec<String> = span
         .attrs
         .iter()
+        .filter(|(key, _)| key != SHARD_ATTR)
         .map(|(key, value)| format!("{key}={value}"))
         .collect();
     eprintln!(
-        "{:indent$}{} {:.1}us {}",
+        "{:indent$}{shard}{} {:.1}us {}",
         "",
         span.name,
         span.duration_ns as f64 / 1_000.0,

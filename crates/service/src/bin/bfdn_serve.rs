@@ -5,11 +5,12 @@
 //!            [--cache-capacity N] [--cache-shards N]
 //!            [--spill PATH] [--manifest-dir DIR]
 //!            [--metrics-addr HOST:PORT] [--metrics-scrapers N]
-//!            [--access-log PATH] [--slow-ms MS]
+//!            [--access-log PATH] [--access-log-max-bytes N] [--slow-ms MS]
 //!            [--batch-split N] [--read-timeout-ms MS]
 //!            [--trace-out PATH] [--trace-sample N]
 //!            [--round-threads N]
 //!            [--peers HOST:PORT,HOST:PORT,...] [--peer-timeout-ms MS]
+//!            [--profile-interval-ms MS] [--profile-out PATH]
 //! ```
 //!
 //! `--peers` lists the *other* shards of a cluster; with it set, a
@@ -104,13 +105,28 @@ fn parse(args: impl IntoIterator<Item = String>) -> Result<ServerConfig, String>
                     .parse()
                     .map_err(|_| format!("bad --peer-timeout-ms `{v}`"))?;
             }
+            "--access-log-max-bytes" => {
+                let v = value("--access-log-max-bytes")?;
+                config.access_log_max_bytes = v
+                    .parse()
+                    .map_err(|_| format!("bad --access-log-max-bytes `{v}`"))?;
+            }
+            "--profile-interval-ms" => {
+                let v = value("--profile-interval-ms")?;
+                config.profile_interval_ms = v
+                    .parse()
+                    .map_err(|_| format!("bad --profile-interval-ms `{v}`"))?;
+            }
+            "--profile-out" => config.profile_out = Some(PathBuf::from(value("--profile-out")?)),
             other => {
                 return Err(format!(
                     "unknown flag `{other}` (try --addr --workers --queue-depth \
                      --cache-capacity --cache-shards --spill --manifest-dir \
-                     --metrics-addr --metrics-scrapers --access-log --slow-ms \
+                     --metrics-addr --metrics-scrapers --access-log \
+                     --access-log-max-bytes --slow-ms \
                      --batch-split --read-timeout-ms --trace-out --trace-sample \
-                     --round-threads --peers --peer-timeout-ms)"
+                     --round-threads --peers --peer-timeout-ms \
+                     --profile-interval-ms --profile-out)"
                 ))
             }
         }

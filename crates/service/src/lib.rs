@@ -46,6 +46,7 @@ pub mod jsonval;
 pub use bfdn_sim::parallel;
 pub mod protocol;
 pub mod server;
+pub mod stitch;
 pub mod telemetry;
 
 pub use cache::{CacheConfig, ResultCache};

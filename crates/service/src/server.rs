@@ -103,6 +103,17 @@ pub struct ServerConfig {
     /// milliseconds. A dead or blackholed peer costs at most this much
     /// per probe before the shard falls back to executing locally.
     pub peer_timeout_ms: u64,
+    /// Rotate the access log to `<path>.1` (keeping one generation)
+    /// when a line would push it past this many bytes; `0` (the
+    /// default) never rotates.
+    pub access_log_max_bytes: u64,
+    /// Sampling interval of the worker-profiling watcher thread in
+    /// milliseconds; `0` disables the watcher (and `--profile-out`).
+    pub profile_interval_ms: u64,
+    /// When set, the cumulative worker phase samples are written to
+    /// this file as folded-stacks text on shutdown, ready for
+    /// `inferno-flamegraph` / `flamegraph.pl`.
+    pub profile_out: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -125,9 +136,17 @@ impl Default for ServerConfig {
             round_threads: None,
             peers: Vec::new(),
             peer_timeout_ms: 250,
+            access_log_max_bytes: 0,
+            profile_interval_ms: 5,
+            profile_out: None,
         }
     }
 }
+
+/// Worker phase slot values, mirrored by
+/// [`crate::telemetry::WORKER_PHASES`].
+const PHASE_IDLE: u64 = 0;
+const PHASE_EXECUTE: u64 = 1;
 
 /// An active trace context: the trace id and the span new child spans
 /// should be parented under.
@@ -298,6 +317,10 @@ struct Shared {
     peers: Vec<String>,
     /// Connect/read budget per peer probe.
     peer_timeout: Duration,
+    /// Each worker's current phase ([`PHASE_IDLE`] / [`PHASE_EXECUTE`]),
+    /// written by the worker loop and snapshotted by the profiler
+    /// watcher — sampling by shared atomics, no signals.
+    worker_phase: Vec<AtomicU64>,
     started: Instant,
 }
 
@@ -414,6 +437,11 @@ impl Shared {
             if client.set_read_timeout(Some(self.peer_timeout)).is_err() {
                 continue;
             }
+            // Propagate the request's trace envelope on the PeerFill
+            // frame, so the peer's span ring records its side of the
+            // probe under the same trace id and a fleet-side stitch can
+            // join the hop (without this the peer's work is invisible).
+            client.set_trace(ctx.map(|c| c.trace));
             if let Ok(Some(result)) = client.peer_fill(spec.clone()) {
                 // Trust but verify: the serving shard re-asserts the
                 // Theorem 1 bound on every payload it hands out, even
@@ -475,6 +503,8 @@ pub struct ServerHandle {
     accept: JoinHandle<()>,
     metrics: Vec<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    profiler: Option<JoinHandle<()>>,
+    profile_out: Option<PathBuf>,
     spill: Option<PathBuf>,
 }
 
@@ -509,6 +539,18 @@ impl ServerHandle {
         }
         for w in self.workers {
             w.join().map_err(|_| worker_panic())?;
+        }
+        if let Some(p) = self.profiler {
+            p.join().map_err(|_| worker_panic())?;
+        }
+        if let Some(path) = &self.profile_out {
+            let folded = self.shared.telemetry.folded_stacks();
+            std::fs::write(path, &folded)?;
+            eprintln!(
+                "bfdn-serve: wrote {} folded stack frames to {}",
+                folded.lines().count(),
+                path.display()
+            );
         }
         if let Some(path) = &self.spill {
             let tracer = &self.shared.tracer;
@@ -575,7 +617,11 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
         std::fs::create_dir_all(dir)?;
     }
     let access_log = match &config.access_log {
-        Some(path) => Some(AccessLog::open(path, config.slow_request_ms)?),
+        Some(path) => Some(AccessLog::open(
+            path,
+            config.slow_request_ms,
+            config.access_log_max_bytes,
+        )?),
         None => None,
     };
     let metrics_listener = match &config.metrics_addr {
@@ -619,6 +665,7 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
             .max(1),
         peers: config.peers.clone(),
         peer_timeout: Duration::from_millis(config.peer_timeout_ms.max(1)),
+        worker_phase: (0..workers).map(|_| AtomicU64::new(PHASE_IDLE)).collect(),
         started: Instant::now(),
     });
 
@@ -653,6 +700,12 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
         }));
     }
 
+    let profiler = (config.profile_interval_ms > 0).then(|| {
+        let shared = Arc::clone(&shared);
+        let interval = Duration::from_millis(config.profile_interval_ms);
+        std::thread::spawn(move || profiler_loop(&shared, interval))
+    });
+
     let accept_shared = Arc::clone(&shared);
     let accept = std::thread::spawn(move || accept_loop(listener, &accept_shared));
 
@@ -663,8 +716,31 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
         accept,
         metrics,
         workers: worker_handles,
+        profiler,
+        profile_out: config.profile_out,
         spill: config.spill,
     })
+}
+
+/// The worker-profiling watcher: snapshots every worker's phase slot on
+/// a fixed interval into the state gauges and phase-sample counters.
+/// Pure reads of pre-existing atomics — the workers never see the
+/// profiler, which is why it cannot perturb the SLOs it helps explain.
+/// Exits on the same drain condition as the accept loop.
+fn profiler_loop(shared: &Arc<Shared>, interval: Duration) {
+    loop {
+        for (index, slot) in shared.worker_phase.iter().enumerate() {
+            let phase = slot.load(Ordering::Relaxed) as usize;
+            shared.telemetry.worker_sample(index, phase);
+        }
+        if shared.draining.load(Ordering::SeqCst)
+            && shared.queue.depth() == 0
+            && shared.counters.in_flight.load(Ordering::SeqCst) == 0
+        {
+            return;
+        }
+        std::thread::sleep(interval);
+    }
 }
 
 /// Accepted-but-unserved scrape sockets the pool will hold before the
@@ -800,6 +876,9 @@ fn worker_loop(shared: &Arc<Shared>, index: usize) {
         });
         let exec_start_ns = shared.tracer.now_ns();
         let exec_start = Instant::now();
+        if let Some(slot) = shared.worker_phase.get(index) {
+            slot.store(PHASE_EXECUTE, Ordering::Relaxed);
+        }
         let response = match &job.kind {
             JobKind::One(spec) => match shared.execute(spec, exec_ctx, shared.round_threads) {
                 Ok(result) => Response::Result(Box::new(result)),
@@ -807,6 +886,12 @@ fn worker_loop(shared: &Arc<Shared>, index: usize) {
             },
             JobKind::Batch(specs) => run_batch(shared, specs, exec_ctx),
         };
+        if let Some(slot) = shared.worker_phase.get(index) {
+            slot.store(PHASE_IDLE, Ordering::Relaxed);
+        }
+        // Floor of one execute sample per job: jobs shorter than the
+        // sampling interval stay visible in the folded profile.
+        shared.telemetry.worker_execute_floor(index);
         let exec_ns = u64::try_from(exec_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         if let Some((c, span)) = exec_span {
             let items = match &job.kind {

@@ -1,0 +1,472 @@
+//! Cross-process trace stitching: joins per-process span rings into one
+//! fleet-wide span tree.
+//!
+//! A traced request that crosses the cluster leaves span fragments in
+//! every process it touched — the proxy records a `proxy_forward` span,
+//! the home shard records its queue/execute spans, and a peer cache-fill
+//! adds a `peer_fill` span on the requesting shard plus a full request
+//! tree on the peer. Each fragment lives in its own
+//! [`bfdn_obs::SpanRecorder`] with process-local span ids and a
+//! process-local clock epoch, so the raw fragments can neither be merged
+//! (ids collide) nor ordered (epochs differ).
+//!
+//! [`stitch`] rebuilds the single logical tree:
+//!
+//! 1. span ids are remapped into one shared namespace (sequential, so
+//!    the output is deterministic given input order);
+//! 2. every span gains a `shard` attribute naming its origin process;
+//! 3. processes are joined where one process's **bridge span** names
+//!    another process as its callee — a `proxy_forward` span whose
+//!    `target` attribute equals the callee's process label, or a
+//!    `peer_fill` span whose `peer` attribute does. The callee's root
+//!    spans are re-parented under the bridge span;
+//! 4. clocks are aligned along the same bridges: a callee's earliest
+//!    span is shifted to its bridge span's (already aligned) start, so
+//!    remote work appears inside the network round-trip window that
+//!    caused it. Processes nobody bridges to keep their own timeline.
+//!
+//! [`to_chrome_json`] renders the stitched payload as a Chrome
+//! trace-event document with one `pid` per origin process, so Perfetto
+//! shows the proxy hop, the home shard's queue/execute phases, and the
+//! peer-fill round trip on separate tracks of one timeline.
+
+use crate::protocol::{SpanPayload, TracePayload};
+use bfdn_obs::json::{escape_into, JsonObject};
+use std::collections::HashMap;
+
+/// The span attribute naming the process a span came from, added to
+/// every stitched span.
+pub const SHARD_ATTR: &str = "shard";
+
+/// Bridge span names and the attribute that names their callee process:
+/// `proxy_forward{target=...}` (proxy → shard) and `peer_fill{peer=...}`
+/// (shard → peer shard). `shard` itself is reserved for the origin
+/// attribute stitching adds, so a bridge's callee attr never collides.
+const BRIDGES: [(&str, &str); 2] = [("proxy_forward", "target"), ("peer_fill", "peer")];
+
+/// One process's contribution to a stitched trace: the spans its ring
+/// held for the trace id, plus the ring's lifetime counters.
+#[derive(Clone, Debug, Default)]
+pub struct ProcessSpans {
+    /// Process label — the shard's `host:port` as the cluster addresses
+    /// it, or `"proxy"` for the cluster proxy. Bridge spans name their
+    /// callee by exactly this label.
+    pub process: String,
+    /// The spans this process recorded for the trace.
+    pub spans: Vec<SpanPayload>,
+    /// Spans the process's ring accepted over its lifetime.
+    pub recorded: u64,
+    /// Spans the process's ring lost; `0` on every contributor
+    /// certifies the stitched tree is complete.
+    pub dropped: u64,
+}
+
+impl ProcessSpans {
+    /// Wraps one process's [`TracePayload`] under a process label.
+    pub fn from_payload(process: &str, payload: TracePayload) -> Self {
+        ProcessSpans {
+            process: process.to_string(),
+            spans: payload.spans,
+            recorded: payload.recorded,
+            dropped: payload.dropped,
+        }
+    }
+}
+
+/// Returns the callee process label if `span` is a bridge span
+/// (`proxy_forward` / `peer_fill`).
+fn bridge_target(span: &SpanPayload) -> Option<&str> {
+    BRIDGES
+        .iter()
+        .find(|(name, _)| span.name == *name)
+        .and_then(|(_, attr)| {
+            span.attrs
+                .iter()
+                .find(|(key, _)| key == attr)
+                .map(|(_, value)| value.as_str())
+        })
+}
+
+/// Stitches per-process span fragments into one [`TracePayload`]: ids
+/// remapped into a shared namespace, a `shard` attribute on every span,
+/// cross-process edges re-parented under their bridge spans, and clocks
+/// aligned along those edges. `recorded` / `dropped` are summed across
+/// contributors, so `dropped == 0` on the result certifies completeness.
+///
+/// Processes with no spans contribute only their counters. Input order
+/// fixes the id remapping, so stitching is deterministic.
+pub fn stitch(processes: &[ProcessSpans]) -> TracePayload {
+    let recorded = processes.iter().map(|p| p.recorded).sum();
+    let dropped = processes.iter().map(|p| p.dropped).sum();
+
+    // Pass 1: remap every span id into one sequential namespace.
+    let mut next_id: u64 = 0;
+    let maps: Vec<HashMap<u64, u64>> = processes
+        .iter()
+        .map(|p| {
+            p.spans
+                .iter()
+                .map(|s| {
+                    next_id += 1;
+                    (s.span, next_id)
+                })
+                .collect()
+        })
+        .collect();
+
+    // Pass 2: find each process's bridge — the earliest span in another
+    // process that names it as callee — keyed by (caller index, span
+    // index within the caller).
+    let bridge_of: Vec<Option<(usize, usize)>> = processes
+        .iter()
+        .map(|callee| {
+            processes
+                .iter()
+                .enumerate()
+                .flat_map(|(ci, caller)| {
+                    caller.spans.iter().enumerate().filter_map(move |(si, s)| {
+                        (!std::ptr::eq(caller, callee)
+                            && bridge_target(s) == Some(callee.process.as_str()))
+                        .then_some((s.start_ns, ci, si))
+                    })
+                })
+                .min()
+                .map(|(_, ci, si)| (ci, si))
+        })
+        .collect();
+
+    // Pass 3: align clocks along bridge edges, walking from the root
+    // processes (nobody bridges to them) outward. `offset[i]` is added
+    // to every start time of process `i`; a cycle (malformed input)
+    // leaves the remainder unaligned at offset 0.
+    let mut offset: Vec<Option<i128>> = processes
+        .iter()
+        .enumerate()
+        .map(|(i, _)| bridge_of[i].is_none().then_some(0))
+        .collect();
+    loop {
+        let mut progressed = false;
+        for i in 0..processes.len() {
+            if offset[i].is_some() {
+                continue;
+            }
+            let (ci, si) = bridge_of[i].expect("non-root process has a bridge");
+            if let Some(caller_offset) = offset[ci] {
+                let bridge_start = processes[ci].spans[si].start_ns as i128 + caller_offset;
+                let earliest = processes[i]
+                    .spans
+                    .iter()
+                    .map(|s| s.start_ns)
+                    .min()
+                    .unwrap_or(0);
+                offset[i] = Some(bridge_start - earliest as i128);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    // Pass 4: emit — remapped ids, shifted clocks, re-parented roots,
+    // `shard` attribute on every span.
+    let mut spans = Vec::new();
+    for (pi, p) in processes.iter().enumerate() {
+        let shift = offset[pi].unwrap_or(0);
+        let root_parent = bridge_of[pi]
+            .map(|(ci, si)| maps[ci][&processes[ci].spans[si].span])
+            .unwrap_or(0);
+        for s in &p.spans {
+            let mut out = s.clone();
+            out.span = maps[pi][&s.span];
+            // A parent outside the map (0, or a span lost to ring
+            // wrap-around) makes this span a process root.
+            out.parent = maps[pi].get(&s.parent).copied().unwrap_or(root_parent);
+            out.start_ns = (s.start_ns as i128 + shift).max(0) as u64;
+            if !out.attrs.iter().any(|(k, _)| k == SHARD_ATTR) {
+                out.attrs.push((SHARD_ATTR.to_string(), p.process.clone()));
+            }
+            spans.push(out);
+        }
+    }
+    spans.sort_by_key(|s| (s.start_ns, s.span));
+    TracePayload {
+        spans,
+        recorded,
+        dropped,
+    }
+}
+
+/// Renders a stitched payload as a Chrome trace-event JSON document
+/// (Perfetto, `chrome://tracing`).
+///
+/// Each distinct `shard` attribute value becomes its own `pid` with a
+/// `process_name` metadata record, so every process's spans land on a
+/// separate track of the shared, already-aligned timeline. Spans nest
+/// within a track by their timestamps, Chrome's native flame layout.
+pub fn to_chrome_json(payload: &TracePayload) -> String {
+    let mut pids: Vec<&str> = Vec::new();
+    let mut events = Vec::new();
+    for span in &payload.spans {
+        let process = span
+            .attrs
+            .iter()
+            .find(|(k, _)| k == SHARD_ATTR)
+            .map(|(_, v)| v.as_str())
+            .unwrap_or("unknown");
+        let pid = match pids.iter().position(|p| *p == process) {
+            Some(i) => i + 1,
+            None => {
+                pids.push(process);
+                let mut name_args = String::from("{");
+                escape_into(&mut name_args, "name");
+                name_args.push(':');
+                escape_into(&mut name_args, process);
+                name_args.push('}');
+                let mut meta = JsonObject::new();
+                meta.str("name", "process_name")
+                    .str("ph", "M")
+                    .u64("pid", pids.len() as u64)
+                    .u64("tid", 0)
+                    .raw("args", &name_args);
+                events.push(meta.finish());
+                pids.len()
+            }
+        };
+        let mut args = String::from("{");
+        escape_into(&mut args, "trace");
+        args.push(':');
+        escape_into(&mut args, &format!("{:016x}", span.trace));
+        args.push(',');
+        escape_into(&mut args, "span");
+        args.push(':');
+        escape_into(&mut args, &format!("{:016x}", span.span));
+        if span.parent != 0 {
+            args.push(',');
+            escape_into(&mut args, "parent");
+            args.push(':');
+            escape_into(&mut args, &format!("{:016x}", span.parent));
+        }
+        for (key, value) in &span.attrs {
+            args.push(',');
+            escape_into(&mut args, key);
+            args.push(':');
+            escape_into(&mut args, value);
+        }
+        args.push('}');
+        let mut o = JsonObject::new();
+        o.str("name", &span.name)
+            .str("cat", "bfdn")
+            .str("ph", "X")
+            .f64("ts", span.start_ns as f64 / 1_000.0)
+            .f64("dur", span.duration_ns as f64 / 1_000.0)
+            .u64("pid", pid as u64)
+            .u64("tid", 1)
+            .raw("args", &args);
+        events.push(o.finish());
+    }
+    format!("[\n{}\n]\n", events.join(",\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, parent: u64, name: &str, start: u64, dur: u64) -> SpanPayload {
+        SpanPayload {
+            trace: 0xabcd,
+            span: id,
+            parent,
+            name: name.to_string(),
+            start_ns: start,
+            duration_ns: dur,
+            attrs: Vec::new(),
+        }
+    }
+
+    fn with_attr(mut s: SpanPayload, key: &str, value: &str) -> SpanPayload {
+        s.attrs.push((key.to_string(), value.to_string()));
+        s
+    }
+
+    fn proc(label: &str, spans: Vec<SpanPayload>) -> ProcessSpans {
+        ProcessSpans {
+            process: label.to_string(),
+            spans,
+            recorded: 0,
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn single_process_keeps_structure_and_gains_shard_attr() {
+        let p = proc(
+            "127.0.0.1:4270",
+            vec![
+                span(7, 0, "request", 100, 50),
+                span(9, 7, "execute", 110, 30),
+            ],
+        );
+        let out = stitch(&[p]);
+        assert_eq!(out.spans.len(), 2);
+        let root = &out.spans[0];
+        let child = &out.spans[1];
+        assert_eq!(root.parent, 0);
+        assert_eq!(child.parent, root.span);
+        assert_eq!(root.start_ns, 100, "root process keeps its own clock");
+        assert!(root
+            .attrs
+            .iter()
+            .any(|(k, v)| k == "shard" && v == "127.0.0.1:4270"));
+    }
+
+    #[test]
+    fn proxy_and_shard_become_one_tree_on_one_clock() {
+        // Proxy: request(10..90) wrapping proxy_forward(20..80) naming
+        // the shard. Shard: its own epoch (starts near 0), request span
+        // with an execute child.
+        let proxy = proc(
+            "proxy",
+            vec![
+                span(1, 0, "request", 10_000, 80_000),
+                with_attr(
+                    span(2, 1, "proxy_forward", 20_000, 60_000),
+                    "target",
+                    "127.0.0.1:4280",
+                ),
+            ],
+        );
+        let shard = proc(
+            "127.0.0.1:4280",
+            vec![
+                span(1, 0, "request", 500, 40_000),
+                span(2, 1, "execute", 900, 30_000),
+            ],
+        );
+        let out = stitch(&[proxy, shard]);
+        assert_eq!(out.spans.len(), 4);
+        // Exactly one root overall: the proxy's request span.
+        let roots: Vec<_> = out.spans.iter().filter(|s| s.parent == 0).collect();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].name, "request");
+        let forward = out
+            .spans
+            .iter()
+            .find(|s| s.name == "proxy_forward")
+            .unwrap();
+        let shard_root = out
+            .spans
+            .iter()
+            .find(|s| s.name == "request" && s.parent != 0 && s.parent != forward.span)
+            .is_none();
+        assert!(shard_root, "shard request hangs under proxy_forward");
+        let remote_request = out
+            .spans
+            .iter()
+            .find(|s| s.name == "request" && s.parent == forward.span)
+            .unwrap();
+        // Clock aligned: the shard's earliest span starts at the
+        // forward span's start, inside the proxy's window.
+        assert_eq!(remote_request.start_ns, forward.start_ns);
+        let execute = out.spans.iter().find(|s| s.name == "execute").unwrap();
+        assert_eq!(execute.parent, remote_request.span);
+        assert_eq!(execute.start_ns, forward.start_ns + 400);
+    }
+
+    #[test]
+    fn peer_fill_chain_aligns_across_three_processes() {
+        let proxy = proc(
+            "proxy",
+            vec![with_attr(
+                span(1, 0, "proxy_forward", 1_000_000, 500_000),
+                "target",
+                "a:1",
+            )],
+        );
+        let home = proc(
+            "a:1",
+            vec![
+                span(1, 0, "request", 50, 400_000),
+                with_attr(span(2, 1, "peer_fill", 100, 200_000), "peer", "b:2"),
+            ],
+        );
+        let peer = proc("b:2", vec![span(1, 0, "request", 9_000, 100_000)]);
+        let out = stitch(&[proxy, home, peer]);
+        let fill = out.spans.iter().find(|s| s.name == "peer_fill").unwrap();
+        // Home aligned under the proxy, peer aligned under home's fill.
+        assert_eq!(fill.start_ns, 1_000_000 + 50);
+        let peer_req = out.spans.iter().find(|s| s.parent == fill.span).unwrap();
+        assert_eq!(peer_req.start_ns, fill.start_ns);
+        assert!(peer_req
+            .attrs
+            .iter()
+            .any(|(k, v)| k == "shard" && v == "b:2"));
+        // Every span is reachable from the single proxy root.
+        assert_eq!(out.spans.iter().filter(|s| s.parent == 0).count(), 1);
+    }
+
+    #[test]
+    fn colliding_span_ids_are_separated_and_counters_summed() {
+        let mut a = proc("a:1", vec![span(1, 0, "request", 0, 10)]);
+        a.recorded = 3;
+        a.dropped = 1;
+        let mut b = proc("b:2", vec![span(1, 0, "request", 0, 10)]);
+        b.recorded = 5;
+        b.dropped = 0;
+        let out = stitch(&[a, b]);
+        assert_eq!(out.spans.len(), 2);
+        assert_ne!(out.spans[0].span, out.spans[1].span);
+        assert_eq!(out.recorded, 8);
+        assert_eq!(out.dropped, 1);
+    }
+
+    #[test]
+    fn orphaned_parent_falls_back_to_the_bridge() {
+        // The shard's ring dropped the request root; its surviving child
+        // points at a span id the payload no longer holds. Stitching
+        // re-homes it under the bridge instead of leaving a dangling id.
+        let proxy = proc(
+            "proxy",
+            vec![with_attr(
+                span(1, 0, "proxy_forward", 100, 50),
+                "target",
+                "a:1",
+            )],
+        );
+        let shard = proc("a:1", vec![span(9, 4, "execute", 10, 5)]);
+        let out = stitch(&[proxy, shard]);
+        let execute = out.spans.iter().find(|s| s.name == "execute").unwrap();
+        let forward = out
+            .spans
+            .iter()
+            .find(|s| s.name == "proxy_forward")
+            .unwrap();
+        assert_eq!(execute.parent, forward.span);
+    }
+
+    #[test]
+    fn chrome_export_gives_each_process_its_own_pid() {
+        let proxy = proc(
+            "proxy",
+            vec![with_attr(
+                span(1, 0, "proxy_forward", 100, 50),
+                "target",
+                "a:1",
+            )],
+        );
+        let shard = proc("a:1", vec![span(1, 0, "request", 0, 40)]);
+        let json = to_chrome_json(&stitch(&[proxy, shard]));
+        // Structure: one array, metadata record per process, distinct pids.
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("\n]\n"));
+        assert!(json.contains(r#""ph":"M""#));
+        assert!(json.matches(r#""name":"process_name""#).count() == 2);
+        assert!(json.contains(r#""pid":1"#));
+        assert!(json.contains(r#""pid":2"#));
+        assert!(json.contains(r#""ph":"X""#));
+        // Parses with the service's own JSON reader.
+        let parsed = crate::jsonval::Json::parse(&json).expect("chrome export is valid JSON");
+        let events = parsed.as_arr().expect("top level is an array");
+        assert_eq!(events.len(), 4);
+    }
+}

@@ -19,10 +19,11 @@
 
 use crate::protocol::{CacheStatsPayload, ExploreResult};
 use bfdn_obs::json::JsonObject;
-use bfdn_obs::metrics::DEFAULT_LATENCY_BUCKETS;
+use bfdn_obs::metrics::{register_build_info, DEFAULT_LATENCY_BUCKETS};
 use bfdn_obs::{Counter, Gauge, Histogram, Registry, RunManifest};
+use std::collections::VecDeque;
 use std::io::{self, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -46,6 +47,22 @@ pub const REQUEST_TYPES: [&str; 9] = [
 /// handler scheduling).
 pub const SLOW_PHASES: [&str; 4] = ["queue_wait", "execute", "serialize", "other"];
 
+/// The phases the worker-profiling sampler distinguishes, indexed by the
+/// value a worker stores in its atomic phase slot: `idle` (blocked on
+/// the job queue) and `execute` (running a job).
+pub const WORKER_PHASES: [&str; 2] = ["idle", "execute"];
+
+/// Margin samples kept in the per-shard bound-margin window ring;
+/// `bfdn_bound_margin_window_worst` is the minimum over this window, so
+/// it recovers after a transient dip where the all-time
+/// `bfdn_bound_margin_worst` gauge cannot.
+pub const MARGIN_WINDOW: usize = 256;
+
+/// The watchdog threshold: a Theorem 1 margin below this fraction of its
+/// bound counts as "trending toward 0" and fires
+/// `bfdn_margin_watchdog_total`.
+pub const MARGIN_WATCHDOG_FRACTION: f64 = 0.05;
+
 /// Every instrument the daemon exports, pre-registered in one
 /// [`Registry`].
 pub struct ServiceMetrics {
@@ -66,12 +83,17 @@ pub struct ServiceMetrics {
     cache_entries: Arc<Gauge>,
     cache_resident_bytes: Arc<Gauge>,
     worker_busy: Vec<Arc<Counter>>,
+    worker_state: Vec<Arc<Gauge>>,
+    worker_samples: Vec<Vec<Arc<Counter>>>,
     peer_fill_hits: Arc<Counter>,
     peer_fill_misses: Arc<Counter>,
     bound_checked: Arc<Counter>,
     bound_violations: Arc<Counter>,
     margin_theorem1: Arc<Gauge>,
     margin_lemma2: Arc<Gauge>,
+    margin_window: Mutex<VecDeque<f64>>,
+    margin_window_worst: Arc<Gauge>,
+    margin_watchdog: Arc<Counter>,
 }
 
 impl ServiceMetrics {
@@ -79,6 +101,7 @@ impl ServiceMetrics {
     /// threads.
     pub fn new(workers: usize) -> Self {
         let registry = Registry::new();
+        register_build_info(&registry, env!("CARGO_PKG_VERSION"));
         let requests = REQUEST_TYPES
             .iter()
             .map(|t| {
@@ -102,6 +125,31 @@ impl ServiceMetrics {
                     "Nanoseconds each worker spent executing jobs.",
                     &[("worker", index.as_str())],
                 )
+            })
+            .collect();
+        let worker_state = (0..workers)
+            .map(|i| {
+                let index = i.to_string();
+                registry.gauge(
+                    "bfdn_worker_state",
+                    "Each worker's phase at the last profiler sample (0 idle, 1 execute).",
+                    &[("worker", index.as_str())],
+                )
+            })
+            .collect();
+        let worker_samples = (0..workers)
+            .map(|i| {
+                let index = i.to_string();
+                WORKER_PHASES
+                    .iter()
+                    .map(|phase| {
+                        registry.counter(
+                            "bfdn_worker_phase_samples_total",
+                            "Profiler samples per worker and phase (the flamegraph weights).",
+                            &[("worker", index.as_str()), ("phase", phase)],
+                        )
+                    })
+                    .collect()
             })
             .collect();
         ServiceMetrics {
@@ -182,6 +230,8 @@ impl ServiceMetrics {
                 &[],
             ),
             worker_busy,
+            worker_state,
+            worker_samples,
             peer_fill_hits: registry.counter(
                 "bfdn_peer_fill_hit_total",
                 "Local cache misses answered from a cluster peer's cache.",
@@ -213,6 +263,18 @@ impl ServiceMetrics {
                 "Worst observed margin (bound minus measurement) across served runs.",
                 &[("bound", "lemma2_reanchors")],
                 f64::INFINITY,
+            ),
+            margin_window: Mutex::new(VecDeque::with_capacity(MARGIN_WINDOW)),
+            margin_window_worst: registry.gauge_with(
+                "bfdn_bound_margin_window_worst",
+                "Worst Theorem 1 margin over the recent sample window (recovers, unlike the all-time gauge).",
+                &[("bound", "theorem1_rounds")],
+                f64::INFINITY,
+            ),
+            margin_watchdog: registry.counter(
+                "bfdn_margin_watchdog_total",
+                "Served runs whose Theorem 1 margin fell below the watchdog fraction of the bound.",
+                &[],
             ),
             registry,
         }
@@ -281,6 +343,54 @@ impl ServiceMetrics {
         }
     }
 
+    /// Records one profiler sample of worker `index` in `phase` (an
+    /// index into [`WORKER_PHASES`]): sets the state gauge and bumps the
+    /// cumulative phase-sample counter the folded stacks are built from.
+    pub fn worker_sample(&self, index: usize, phase: usize) {
+        if let Some(g) = self.worker_state.get(index) {
+            g.set(phase as f64);
+        }
+        if let Some(c) = self
+            .worker_samples
+            .get(index)
+            .and_then(|phases| phases.get(phase))
+        {
+            c.inc();
+        }
+    }
+
+    /// Credits worker `index` with one `execute` sample without touching
+    /// the state gauge. The worker loop calls this once per job so jobs
+    /// shorter than the sampling interval still appear in the profile —
+    /// a pure sampler would render a cache-hit-heavy daemon as 100%
+    /// idle.
+    pub fn worker_execute_floor(&self, index: usize) {
+        if let Some(c) = self
+            .worker_samples
+            .get(index)
+            .and_then(|phases| phases.get(1))
+        {
+            c.inc();
+        }
+    }
+
+    /// Renders the cumulative phase samples as folded-stacks text
+    /// (`bfdn_serve;worker_<i>;<phase> <samples>`, one line per non-zero
+    /// frame), the input format of `inferno-flamegraph` and
+    /// `flamegraph.pl`.
+    pub fn folded_stacks(&self) -> String {
+        let mut out = String::new();
+        for (index, phases) in self.worker_samples.iter().enumerate() {
+            for (phase, counter) in WORKER_PHASES.iter().zip(phases) {
+                let samples = counter.get();
+                if samples > 0 {
+                    out.push_str(&format!("bfdn_serve;worker_{index};{phase} {samples}\n"));
+                }
+            }
+        }
+        out
+    }
+
     /// Counts one local miss a cluster peer's cache answered.
     pub fn peer_fill_hit(&self) {
         self.peer_fill_hits.inc();
@@ -300,8 +410,27 @@ impl ServiceMetrics {
     pub fn record_peer_margins(&self, result: &ExploreResult) {
         self.bound_checked.inc();
         self.margin_theorem1.set_min(result.margin);
+        self.margin_window_push(result.margin, result.bound);
         if result.margin < 0.0 {
             self.bound_violations.inc();
+        }
+    }
+
+    /// Folds one margin sample into the bounded window ring, refreshes
+    /// the window-worst gauge, and fires the watchdog when the margin
+    /// has eroded below [`MARGIN_WATCHDOG_FRACTION`] of its bound — the
+    /// fleet-level early warning that a shard is trending toward a
+    /// Theorem 1 violation without having crossed it yet.
+    fn margin_window_push(&self, margin: f64, bound: f64) {
+        let mut window = self.margin_window.lock().expect("margin window");
+        if window.len() == MARGIN_WINDOW {
+            window.pop_front();
+        }
+        window.push_back(margin);
+        let worst = window.iter().copied().fold(f64::INFINITY, f64::min);
+        self.margin_window_worst.set(worst);
+        if bound > 0.0 && margin < bound * MARGIN_WATCHDOG_FRACTION {
+            self.margin_watchdog.inc();
         }
     }
 
@@ -312,6 +441,7 @@ impl ServiceMetrics {
         self.bound_checked.inc();
         let mut violated = result.margin < 0.0;
         self.margin_theorem1.set_min(result.margin);
+        self.margin_window_push(result.margin, result.bound);
         if let Some((_, lemma2)) = manifest
             .margins
             .iter()
@@ -403,38 +533,74 @@ impl AccessRecord {
     }
 }
 
-/// Structured JSONL access log with a slow-request threshold.
+/// Where access-log lines go: an arbitrary writer (tests), or a file
+/// with optional size-based rotation.
+enum LogSink {
+    Writer(Box<dyn Write + Send>),
+    File {
+        file: std::fs::File,
+        path: PathBuf,
+        /// Bytes written to the current generation (seeded from the
+        /// existing file's length when appending).
+        written: u64,
+        /// Rotation threshold; `0` disables rotation.
+        max_bytes: u64,
+    },
+}
+
+/// Structured JSONL access log with a slow-request threshold and
+/// optional size-based rotation.
 ///
 /// Built on the `bfdn-obs` JSON layer (the workspace carries no format
 /// dependency); one line per finished request, flushed per record so a
-/// tail of the file is always whole lines.
+/// tail of the file is always whole lines. With a rotation threshold,
+/// a file about to outgrow it is renamed to `<path>.1` (replacing the
+/// previous generation) before the next line is written — rotation
+/// happens at a line boundary, so both generations are always valid
+/// JSONL.
 pub struct AccessLog {
-    out: Mutex<Box<dyn Write + Send>>,
+    out: Mutex<LogSink>,
     slow_threshold_ns: u64,
     slow_seen: AtomicU64,
+    rotations: AtomicU64,
 }
 
 impl AccessLog {
     /// Opens (appends to) `path`; requests at or above
-    /// `slow_threshold_ms` are stamped `"slow":true`.
+    /// `slow_threshold_ms` are stamped `"slow":true`. A nonzero
+    /// `max_bytes` rotates the file to `<path>.1` (keeping one
+    /// generation) when a line would push it past the threshold.
     ///
     /// # Errors
     ///
     /// Propagates the open error.
-    pub fn open(path: &Path, slow_threshold_ms: u64) -> io::Result<Self> {
+    pub fn open(path: &Path, slow_threshold_ms: u64, max_bytes: u64) -> io::Result<Self> {
         let file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(path)?;
-        Ok(Self::to_writer(Box::new(file), slow_threshold_ms))
-    }
-
-    /// Wraps an arbitrary writer (tests use an in-memory buffer).
-    pub fn to_writer(out: Box<dyn Write + Send>, slow_threshold_ms: u64) -> Self {
-        AccessLog {
-            out: Mutex::new(out),
+        let written = file.metadata().map(|m| m.len()).unwrap_or(0);
+        Ok(AccessLog {
+            out: Mutex::new(LogSink::File {
+                file,
+                path: path.to_path_buf(),
+                written,
+                max_bytes,
+            }),
             slow_threshold_ns: slow_threshold_ms.saturating_mul(1_000_000),
             slow_seen: AtomicU64::new(0),
+            rotations: AtomicU64::new(0),
+        })
+    }
+
+    /// Wraps an arbitrary writer (tests use an in-memory buffer); never
+    /// rotates.
+    pub fn to_writer(out: Box<dyn Write + Send>, slow_threshold_ms: u64) -> Self {
+        AccessLog {
+            out: Mutex::new(LogSink::Writer(out)),
+            slow_threshold_ns: slow_threshold_ms.saturating_mul(1_000_000),
+            slow_seen: AtomicU64::new(0),
+            rotations: AtomicU64::new(0),
         }
     }
 
@@ -447,9 +613,47 @@ impl AccessLog {
         }
         let mut line = record.to_json(slow);
         line.push('\n');
-        if let Ok(mut out) = self.out.lock() {
-            let _ = out.write_all(line.as_bytes());
-            let _ = out.flush();
+        let Ok(mut sink) = self.out.lock() else {
+            return slow;
+        };
+        match &mut *sink {
+            LogSink::Writer(out) => {
+                let _ = out.write_all(line.as_bytes());
+                let _ = out.flush();
+            }
+            LogSink::File {
+                file,
+                path,
+                written,
+                max_bytes,
+            } => {
+                if *max_bytes > 0
+                    && *written > 0
+                    && written.saturating_add(line.len() as u64) > *max_bytes
+                {
+                    // Rotate at the line boundary: rename the full
+                    // generation aside, then start a fresh file. A
+                    // failed rename keeps writing to the current file
+                    // rather than dropping lines.
+                    let mut rotated = path.clone().into_os_string();
+                    rotated.push(".1");
+                    if std::fs::rename(&*path, &rotated).is_ok() {
+                        if let Ok(fresh) = std::fs::OpenOptions::new()
+                            .create(true)
+                            .append(true)
+                            .open(&*path)
+                        {
+                            *file = fresh;
+                            *written = 0;
+                            self.rotations.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                if file.write_all(line.as_bytes()).is_ok() {
+                    *written = written.saturating_add(line.len() as u64);
+                }
+                let _ = file.flush();
+            }
         }
         slow
     }
@@ -457,6 +661,11 @@ impl AccessLog {
     /// Records stamped slow so far.
     pub fn slow_seen(&self) -> u64 {
         self.slow_seen.load(Ordering::Relaxed)
+    }
+
+    /// Completed rotations so far.
+    pub fn rotations(&self) -> u64 {
+        self.rotations.load(Ordering::Relaxed)
     }
 }
 
@@ -607,5 +816,108 @@ mod tests {
         assert!(lines[0].ends_with('\n'));
         assert!(lines[1].contains(r#""id":2"#));
         assert!(lines[1].contains(r#""slow":true}"#));
+    }
+
+    #[test]
+    fn access_log_rotation_keeps_both_generations_valid_jsonl() {
+        let dir = std::env::temp_dir().join(format!("bfdn-rotate-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("access.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut rotated = path.clone().into_os_string();
+        rotated.push(".1");
+        let _ = std::fs::remove_file(&rotated);
+
+        // Each record renders to ~230 bytes; a 600-byte cap forces a
+        // rotation every couple of lines.
+        let log = AccessLog::open(&path, 1_000, 600).unwrap();
+        let record = |id| AccessRecord {
+            id,
+            request: "explore".into(),
+            key: "bfdn/comb/n60/k4/s1".into(),
+            outcome: "ok".into(),
+            trace_id: String::new(),
+            cached: false,
+            queue_wait_ns: 10,
+            exec_ns: 20,
+            serialize_ns: 30,
+            total_ns: 70,
+        };
+        for id in 1..=8 {
+            log.record(&record(id));
+        }
+        assert!(log.rotations() >= 1, "cap forces at least one rotation");
+
+        let mut ids = Vec::new();
+        for file in [std::path::PathBuf::from(&rotated), path.clone()] {
+            let text = std::fs::read_to_string(&file).unwrap();
+            assert!(!text.is_empty());
+            assert!(text.ends_with('\n'), "rotation happens at line boundaries");
+            for line in text.lines() {
+                let v = crate::jsonval::Json::parse(line).expect("every line is whole JSON");
+                ids.push(v.get("id").and_then(crate::jsonval::Json::as_u64).unwrap());
+            }
+        }
+        // The two generations, read old-to-new, hold a contiguous tail
+        // of the record stream — nothing was lost or torn by rotation.
+        assert!(ids.ends_with(&[6, 7, 8]));
+        assert!(ids.windows(2).all(|w| w[1] == w[0] + 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn margin_window_worst_recovers_and_watchdog_fires_near_zero() {
+        let m = ServiceMetrics::new(1);
+        let manifest = RunManifest::new("bfdn", "comb");
+        // A healthy margin, then one within 5% of the bound (bound is
+        // 40 + margin, so margin 1.5 < 0.05 * 41.5 fires the watchdog).
+        m.record_margins(&sample_result(12.0), &manifest);
+        m.record_margins(&sample_result(1.5), &manifest);
+        let text = m.render(&CacheStatsPayload::default(), 0, 0);
+        assert!(text.contains(r#"bfdn_bound_margin_window_worst{bound="theorem1_rounds"} 1.5"#));
+        assert!(text.contains("bfdn_margin_watchdog_total 1"));
+        assert!(text.contains("bfdn_bound_violations_total 0"));
+
+        // Push the bad sample out of the window: the windowed gauge
+        // recovers while the all-time worst gauge stays pinned.
+        for _ in 0..MARGIN_WINDOW {
+            m.record_margins(&sample_result(9.0), &manifest);
+        }
+        let text = m.render(&CacheStatsPayload::default(), 0, 0);
+        assert!(text.contains(r#"bfdn_bound_margin_window_worst{bound="theorem1_rounds"} 9"#));
+        assert!(text.contains(r#"bfdn_bound_margin_worst{bound="theorem1_rounds"} 1.5"#));
+        assert!(text.contains("bfdn_margin_watchdog_total 1"));
+    }
+
+    #[test]
+    fn worker_samples_feed_gauges_counters_and_folded_stacks() {
+        let m = ServiceMetrics::new(2);
+        m.worker_sample(0, 1);
+        m.worker_sample(0, 1);
+        m.worker_sample(0, 0);
+        m.worker_sample(1, 0);
+        m.worker_execute_floor(1);
+        m.worker_sample(9, 1); // out of range: ignored, not a panic
+        let text = m.render(&CacheStatsPayload::default(), 0, 0);
+        assert!(text.contains(r#"bfdn_worker_state{worker="0"} 0"#));
+        assert!(text.contains(r#"bfdn_worker_state{worker="1"} 0"#));
+        assert!(
+            text.contains(r#"bfdn_worker_phase_samples_total{phase="execute",worker="0"} 2"#)
+                || text
+                    .contains(r#"bfdn_worker_phase_samples_total{worker="0",phase="execute"} 2"#)
+        );
+        let folded = m.folded_stacks();
+        assert!(folded.contains("bfdn_serve;worker_0;execute 2\n"));
+        assert!(folded.contains("bfdn_serve;worker_0;idle 1\n"));
+        assert!(folded.contains("bfdn_serve;worker_1;execute 1\n"));
+        assert!(!folded.contains("worker_9"));
+    }
+
+    #[test]
+    fn build_info_is_registered_with_the_service_instruments() {
+        let m = ServiceMetrics::new(1);
+        let text = m.render(&CacheStatsPayload::default(), 0, 0);
+        assert!(text.contains("bfdn_build_info{"));
+        assert!(text.contains(&format!("version=\"{}\"", env!("CARGO_PKG_VERSION"))));
     }
 }
