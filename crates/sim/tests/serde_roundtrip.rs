@@ -18,9 +18,8 @@ impl Explorer for Dfs {
 }
 
 /// The workspace deliberately has no JSON dependency, so — like the
-/// sibling test in `bfdn-trees` — this asserts the *derive* wiring: the
-/// traced simulation types implement `Serialize`/`Deserialize` without a
-/// format crate entering the default build.
+/// sibling test in `bfdn-trees` — round-trips go through serde's
+/// self-describing value tree rather than a format crate.
 #[test]
 fn serde_traits_are_derived() {
     fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
@@ -45,4 +44,23 @@ fn traced_run_survives_a_clone() {
 
     let plain = explore(&tree, 1, &mut Dfs).unwrap();
     assert_eq!(plain.metrics.clone(), plain.metrics);
+}
+
+#[test]
+fn traced_run_round_trips_through_serde_values() {
+    let tree = generators::comb(4, 2);
+    let mut sim = Simulator::new(&tree, 1).record_trace();
+    let outcome = sim.run(&mut Dfs).unwrap();
+    let trace = outcome.trace.unwrap();
+
+    let v = serde::to_value(&trace);
+    assert_ne!(v, serde::Value::Unit, "a trace must serialize to real data");
+    let restored: Trace = serde::from_value(&v).expect("trace deserializes");
+    assert_eq!(trace, restored);
+    assert_eq!(trace.first_visits(), restored.first_visits());
+
+    let plain = explore(&tree, 1, &mut Dfs).unwrap();
+    let mv = serde::to_value(&plain.metrics);
+    let metrics: Metrics = serde::from_value(&mv).expect("metrics deserialize");
+    assert_eq!(plain.metrics, metrics);
 }

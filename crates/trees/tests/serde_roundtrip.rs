@@ -5,16 +5,9 @@
 
 use bfdn_trees::{generators, NodeId, Port, Tree};
 
-/// A tiny hand-rolled JSON check via serde's token-less path: we encode
-/// with `serde_json`-free plumbing by round-tripping through
-/// `serde::Serialize` into a `Vec<u8>` using `postcard`-style... — the
-/// workspace deliberately has no JSON dependency, so we assert the
-/// *derive* wiring compiles and round-trips through a minimal in-crate
-/// serializer: `serde_test`-less structural equality via `Debug`.
-///
-/// In practice this test exercises that `Serialize`/`Deserialize` are
-/// derived on the public data structures without pulling a format crate
-/// into the default build.
+/// The workspace deliberately has no JSON dependency, so the round-trip
+/// goes through serde's self-describing value tree: serialize to a
+/// `serde::Value`, deserialize back, and compare.
 #[test]
 fn serde_traits_are_derived() {
     fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
@@ -23,6 +16,29 @@ fn serde_traits_are_derived() {
     assert_serde::<Port>();
     assert_serde::<bfdn_trees::grid::Rect>();
     assert_serde::<bfdn_trees::Endpoint>();
+}
+
+#[test]
+fn tree_round_trips_through_serde_values() {
+    let t = generators::comb(4, 2);
+    let v = serde::to_value(&t);
+    assert_ne!(v, serde::Value::Unit, "a tree must serialize to real data");
+
+    let u: Tree = serde::from_value(&v).expect("tree deserializes");
+    assert_eq!(t.len(), u.len());
+    for n in t.node_ids() {
+        assert_eq!(t.parent(n), u.parent(n));
+    }
+    assert_eq!(serde::to_value(&u), v, "re-serialization is stable");
+}
+
+#[test]
+fn node_ids_round_trip_through_serde_values() {
+    let t = generators::comb(3, 3);
+    for n in t.node_ids() {
+        let back: NodeId = serde::from_value(&serde::to_value(&n)).expect("node id deserializes");
+        assert_eq!(n, back);
+    }
 }
 
 #[test]

@@ -1,0 +1,630 @@
+//! Committed offline stand-in for `proptest` that actually *runs*
+//! property tests: strategies generate real pseudo-random inputs and the
+//! `proptest!` macro executes each property over many generated cases.
+//!
+//! # Divergences from upstream proptest (by design of an offline stand-in)
+//!
+//! - **No shrinking.** A failing case reports the case number and the
+//!   test's RNG seed; reruns are deterministic (the seed is derived from
+//!   the test's module path and name), so failures reproduce exactly.
+//! - The default case count is 64 (upstream: 256); override per-test with
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` as usual, or
+//!   globally with the `PROPTEST_CASES` environment variable.
+//! - `prop_oneof!` ignores weights and picks uniformly.
+//!
+//! The supported surface is what this workspace uses: `any`, integer
+//! ranges, `Just`, `prop::collection::vec`, `prop_map` / `prop_filter` /
+//! `prop_flat_map` / `boxed`, `prop_oneof!`, `prop_assert*!`,
+//! `prop_assume!`, and multi-function `proptest!` blocks with an optional
+//! `#![proptest_config(...)]` header.
+
+use std::marker::PhantomData;
+
+// ---------------------------------------------------------------------------
+// RNG (self-contained splitmix64; deterministic per test)
+// ---------------------------------------------------------------------------
+
+/// The deterministic RNG driving generation. Seeded from the test's
+/// module path and name, so each test sees a stable stream across runs
+/// and machines.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Stable seed for a named test, overridable via `PROPTEST_RNG_SEED`.
+    pub fn deterministic(test_path: &str) -> Self {
+        if let Ok(s) = std::env::var("PROPTEST_RNG_SEED") {
+            if let Ok(seed) = s.parse::<u64>() {
+                return TestRng::from_seed(seed);
+            }
+        }
+        // FNV-1a over the test path.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng::from_seed(h)
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.state
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        self.next_u64() % bound
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config and case-level errors
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The property is violated — the whole test fails.
+    Fail(String),
+    /// The case does not satisfy a `prop_assume!`; it is skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "assertion failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "assumption not met: {m}"),
+        }
+    }
+}
+
+/// Runs `cases` generated cases of `body`. Used by the `proptest!`
+/// expansion; not part of the public proptest API.
+#[doc(hidden)]
+pub fn __run_cases<F>(test_path: &str, config: ProptestConfig, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::deterministic(test_path);
+    let initial_seed = rng.seed();
+    let cases = config.cases.max(1);
+    let mut rejected = 0u32;
+    let max_rejects = cases.saturating_mul(16).max(256);
+    let mut ran = 0u32;
+    while ran < cases {
+        let case_seed = rng.seed();
+        match body(&mut rng) {
+            Ok(()) => ran += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "proptest stand-in: too many rejected cases ({rejected}) in {test_path} \
+                         (ran {ran}/{cases}; initial seed {initial_seed})"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest stand-in: case {} of {cases} failed in {test_path}\n{msg}\n\
+                     (case seed {case_seed}, initial seed {initial_seed}; rerun with \
+                     PROPTEST_RNG_SEED={case_seed} to start at this case; no shrinking)",
+                    ran + 1
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+/// A generator of values. Unlike upstream there is no value tree or
+/// shrinking: `generate` produces the final value directly.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map(self, f)
+    }
+
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter(self, f, reason)
+    }
+
+    fn prop_flat_map<U: Strategy, F: Fn(Self::Value) -> U>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap(self, f)
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+    }
+}
+
+pub struct Map<S, F>(S, F);
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.1)(self.0.generate(rng))
+    }
+}
+
+pub struct Filter<S, F>(S, F, &'static str);
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.0.generate(rng);
+            if (self.1)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 candidates in a row: {}", self.2);
+    }
+}
+
+pub struct FlatMap<S, F>(S, F);
+
+impl<S: Strategy, U: Strategy, F: Fn(S::Value) -> U> Strategy for FlatMap<S, F> {
+    type Value = U::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> U::Value {
+        (self.1)(self.0.generate(rng)).generate(rng)
+    }
+}
+
+pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies — the engine behind
+/// `prop_oneof!` (weights are ignored by the stand-in).
+pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union(options)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.0.len() as u64) as usize;
+        self.0[i].generate(rng)
+    }
+}
+
+/// Types with a default whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(usize, u64, u32, u16, u8, i64, i32, i16, i8, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        char::from_u32(rng.below(0xD800) as u32).unwrap_or('\u{FFFD}')
+    }
+}
+
+pub struct Any<T>(PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end - self.start) as u64;
+                self.start + rng.below(width) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let width = (end - start) as u64;
+                if width == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + rng.below(width + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u64, u32, u16, u8, i64, i32);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident : $idx:tt),+)),*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Element-count bound for [`vec`]; built from ranges or an exact
+    /// count like upstream's `SizeRange`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max_inclusive: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max_inclusive: *r.end() }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_inclusive - self.size.min) as u64;
+            let len = self.size.min + rng.below(span + 1) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Runs each contained test function over many generated cases. Supports
+/// an optional `#![proptest_config(...)]` header and any number of
+/// `fn name(arg in strategy, ...) { body }` items (attributes and doc
+/// comments on the functions pass through).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { (<$crate::ProptestConfig as ::std::default::Default>::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let __path = ::std::concat!(::std::module_path!(), "::", ::std::stringify!($name));
+                $(let $arg = &$strat;)*
+                $crate::__run_cases(__path, __config, |__rng| {
+                    $(let $arg = $crate::Strategy::generate($arg, __rng);)*
+                    let _: () = $body;
+                    ::std::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::concat!("prop_assert!(", ::std::stringify!($cond), ")"),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "prop_assert_eq!({}, {}): {:?} != {:?}",
+                ::std::stringify!($left), ::std::stringify!($right), __l, __r,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!($($fmt)*)));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "prop_assert_ne!({}, {}): both {:?}",
+                ::std::stringify!($left), ::std::stringify!($right), __l,
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(
+                ::std::stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among the listed strategies (weights, if given, are
+/// ignored by the stand-in). All options must yield the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![$($crate::Strategy::boxed($strat)),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Self-tests: the stand-in must actually generate and actually fail
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn generation_is_deterministic_per_name_and_varied_within_a_run() {
+        let strat = prop::collection::vec(any::<u8>(), 0..50);
+        let mut a = TestRng::deterministic("x::y");
+        let mut b = TestRng::deterministic("x::y");
+        let va: Vec<Vec<u8>> = (0..20).map(|_| strat.generate(&mut a)).collect();
+        let vb: Vec<Vec<u8>> = (0..20).map(|_| strat.generate(&mut b)).collect();
+        assert_eq!(va, vb);
+        assert!(va.iter().collect::<std::collections::HashSet<_>>().len() > 1);
+    }
+
+    #[test]
+    fn ranges_and_vec_sizes_respect_bounds() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..500 {
+            let n = (5usize..9).generate(&mut rng);
+            assert!((5..9).contains(&n));
+            let v = prop::collection::vec(any::<u8>(), 2..=4).generate(&mut rng);
+            assert!((2..=4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = TestRng::from_seed(4);
+        let s = (0usize..10)
+            .prop_map(|n| n * 2)
+            .prop_filter("odd", |n| n % 2 == 0)
+            .prop_flat_map(|n| prop::collection::vec(Just(n), 1..3));
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(!v.is_empty() && v.iter().all(|x| x % 2 == 0 && *x < 20));
+        }
+        let u = prop_oneof![Just(1u8), Just(2u8)];
+        for _ in 0..50 {
+            assert!(matches!(u.generate(&mut rng), 1 | 2));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        /// The macro really runs bodies: a trivially true property with
+        /// generated inputs and an assumption.
+        #[test]
+        fn macro_runs_generated_cases(x in 0u32..1000, v in prop::collection::vec(any::<u8>(), 0..16)) {
+            prop_assume!(x != 999);
+            prop_assert!(x < 1000);
+            prop_assert_eq!(v.len(), v.len());
+            prop_assert_ne!(x, 1000);
+        }
+    }
+
+    #[test]
+    fn failing_property_actually_fails() {
+        let result = std::panic::catch_unwind(|| {
+            super::__run_cases(
+                "self_test::failing",
+                ProptestConfig::with_cases(64),
+                |rng| {
+                    let x = (0u32..100).generate(rng);
+                    prop_assert!(x < 50, "x = {x} escaped the bound");
+                    Ok(())
+                },
+            );
+        });
+        let err = result.expect_err("a violated property must panic");
+        let msg = err.downcast_ref::<String>().expect("panic carries a message");
+        assert!(msg.contains("escaped the bound"), "{msg}");
+    }
+}

@@ -1,0 +1,206 @@
+//! Committed offline stand-in for `rand` 0.9 with the API surface this
+//! workspace uses (`StdRng`, `SeedableRng::seed_from_u64`, and the
+//! `random`/`random_range`/`random_bool` methods of `Rng`).
+//!
+//! # The stream is splitmix64, not ChaCha12 — and it is pinned
+//!
+//! Upstream `rand` 0.9 backs `StdRng` with ChaCha12. This stand-in uses
+//! splitmix64, so seeded streams differ from upstream per seed. That is a
+//! deliberate, documented trade-off for a dependency-free offline build —
+//! and it is **load-bearing for reproducibility**: every seed-derived
+//! artifact committed to this repository (`BENCH_experiments.json`,
+//! `results/`, golden values in seed-dependent tests) was generated with
+//! *this* stream (`Cargo.lock` has pinned this crate since the artifacts
+//! were recorded). Swapping in upstream `rand` — or "fixing" this
+//! generator — changes every seeded run and requires regenerating and
+//! recommitting all of those artifacts in the same change. The
+//! `stream_is_pinned` test below exists to make any such change loud.
+//!
+//! See `vendor/README.md` for the full policy and the swap procedure.
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub trait Random: Sized {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Random for f64 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Random for u64 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Random for u32 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Random for bool {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub trait SampleRange<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let width = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % width) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range");
+                let width = (end - start) as u64;
+                if width == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + (rng.next_u64() % (width + 1)) as $t
+            }
+        }
+    )*};
+}
+
+impl_range!(usize, u64, u32, u16, u8, i64, i32);
+
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn random<T: Random>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::random(self)
+    }
+
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        <f64 as Random>::random(self) < p
+    }
+}
+
+pub use Rng as RngCore;
+
+pub mod rngs {
+    use super::{splitmix, Rng, SeedableRng};
+
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            splitmix(&mut self.state)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    /// Golden values freezing the seeded stream. Every seed-derived
+    /// artifact committed to the repository depends on these exact
+    /// outputs — if this test fails, either revert the generator change
+    /// or regenerate and recommit all seeded artifacts alongside it.
+    #[test]
+    fn stream_is_pinned() {
+        let mut r = StdRng::seed_from_u64(0);
+        assert_eq!(
+            [r.next_u64(), r.next_u64(), r.next_u64(), r.next_u64()],
+            [
+                0xe220a8397b1dcdaf,
+                0x6e789e6aa1b965f4,
+                0x06c45d188009454f,
+                0xf88bb8a8724c81ec,
+            ]
+        );
+        let mut r = StdRng::seed_from_u64(42);
+        assert_eq!(
+            [r.next_u64(), r.next_u64(), r.next_u64(), r.next_u64()],
+            [
+                0xbdd732262feb6e95,
+                0x28efe333b266f103,
+                0x47526757130f9f52,
+                0x581ce1ff0e4ae394,
+            ]
+        );
+    }
+
+    #[test]
+    fn same_seed_same_stream_distinct_seeds_distinct_streams() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn random_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: usize = r.random_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: u32 = r.random_range(5..=5);
+            assert_eq!(w, 5);
+        }
+    }
+
+    #[test]
+    fn random_f64_is_unit_interval_and_bool_edges_hold() {
+        let mut r = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let f: f64 = r.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+        for _ in 0..100 {
+            assert!(!r.random_bool(0.0));
+            assert!(r.random_bool(1.0));
+        }
+    }
+}

@@ -1,0 +1,456 @@
+//! Committed offline stand-in for `serde` with *working* serialization.
+//!
+//! The container building this repository has no network access, so the
+//! real `serde` cannot be fetched. Instead of a compile-only stub whose
+//! derives emit nothing, this stand-in provides a functional
+//! serialization layer: `Serialize`/`Deserialize` traits over a
+//! self-describing [`Value`] tree, derive macros (re-exported from the
+//! sibling `serde_derive` stand-in) that emit real impls, and impls for
+//! the std types this workspace serializes. Derived protocol types
+//! genuinely round-trip — the `serde_roundtrip` integration tests assert
+//! it.
+//!
+//! # Divergences from upstream serde (by design)
+//!
+//! - Serialization targets the in-crate [`Value`] tree rather than
+//!   upstream's `Serializer`/`Deserializer` visitor pair, so
+//!   `Serialize::serialize` takes no serializer argument and
+//!   [`Deserialize`] has no `'de` lifetime ([`de::DeserializeOwned`] is a
+//!   blanket alias). Format crates (`serde_json`, ...) therefore cannot
+//!   plug in — this workspace deliberately hand-rolls its wire formats
+//!   and uses the serde feature only for structural (de)serialization of
+//!   its protocol types.
+//! - The derive supports non-generic structs/enums and `#[serde(skip)]`
+//!   only; anything else is a compile error, never a silent misencode.
+//!
+//! See `vendor/README.md` for the policy and the swap-to-upstream path.
+
+pub use serde_derive::{Deserialize as Deserialize, Serialize as Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// A self-describing serialized value — the stand-in's data model,
+/// mirroring the shape vocabulary of serde's own model.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Unit,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Char(char),
+    Str(String),
+    Option(Option<Box<Value>>),
+    Seq(Vec<Value>),
+    Map(Vec<(Value, Value)>),
+    Struct { name: &'static str, fields: Vec<(&'static str, Value)> },
+    NewtypeStruct { name: &'static str, value: Box<Value> },
+    TupleStruct { name: &'static str, values: Vec<Value> },
+    UnitStruct { name: &'static str },
+    UnitVariant { name: &'static str, variant: &'static str },
+    NewtypeVariant { name: &'static str, variant: &'static str, value: Box<Value> },
+    TupleVariant { name: &'static str, variant: &'static str, values: Vec<Value> },
+    StructVariant { name: &'static str, variant: &'static str, fields: Vec<(&'static str, Value)> },
+}
+
+impl Value {
+    /// Short human-readable description used in error messages.
+    pub fn kind(&self) -> String {
+        match self {
+            Value::Unit => "unit".into(),
+            Value::Bool(_) => "bool".into(),
+            Value::I64(_) => "i64".into(),
+            Value::U64(_) => "u64".into(),
+            Value::F64(_) => "f64".into(),
+            Value::Char(_) => "char".into(),
+            Value::Str(_) => "string".into(),
+            Value::Option(_) => "option".into(),
+            Value::Seq(_) => "sequence".into(),
+            Value::Map(_) => "map".into(),
+            Value::Struct { name, .. } => format!("struct `{name}`"),
+            Value::NewtypeStruct { name, .. } => format!("newtype struct `{name}`"),
+            Value::TupleStruct { name, .. } => format!("tuple struct `{name}`"),
+            Value::UnitStruct { name } => format!("unit struct `{name}`"),
+            Value::UnitVariant { name, variant }
+            | Value::NewtypeVariant { name, variant, .. }
+            | Value::TupleVariant { name, variant, .. }
+            | Value::StructVariant { name, variant, .. } => format!("variant `{name}::{variant}`"),
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error { msg: msg.to_string() }
+    }
+
+    pub fn unexpected(expected: &str, got: &Value) -> Self {
+        Error { msg: format!("expected {expected}, found {}", got.kind()) }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A value that can serialize itself into the stand-in data model.
+pub trait Serialize {
+    fn serialize(&self) -> Value;
+}
+
+/// A value that can reconstruct itself from the stand-in data model.
+pub trait Deserialize: Sized {
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+pub mod ser {
+    pub use crate::{Error, Serialize};
+}
+
+pub mod de {
+    pub use crate::{Deserialize, Error};
+
+    /// Upstream's owned-deserialization marker; with no `'de` lifetime in
+    /// the stand-in it is simply a blanket alias for [`Deserialize`].
+    pub trait DeserializeOwned: Deserialize {}
+    impl<T: Deserialize> DeserializeOwned for T {}
+}
+
+/// Serializes `value` into the stand-in data model.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.serialize()
+}
+
+/// Reconstructs a `T` from the stand-in data model.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    T::deserialize(value)
+}
+
+// ---------------------------------------------------------------------------
+// Derive support helpers (referenced by generated code; not public API)
+// ---------------------------------------------------------------------------
+
+#[doc(hidden)]
+pub fn __field<T: Deserialize>(
+    fields: &[(&'static str, Value)],
+    name: &'static str,
+) -> Result<T, Error> {
+    match fields.iter().find(|(n, _)| *n == name) {
+        Some((_, v)) => T::deserialize(v),
+        None => Err(Error::custom(format!("missing field `{name}`"))),
+    }
+}
+
+#[doc(hidden)]
+pub fn __expect_len(values: &[Value], want: usize, ty: &str) -> Result<(), Error> {
+    if values.len() == want {
+        Ok(())
+    } else {
+        Err(Error::custom(format!(
+            "{ty} expects {want} values, found {}",
+            values.len()
+        )))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Impls for std types
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl Serialize for () {
+    fn serialize(&self) -> Value {
+        Value::Unit
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Unit => Ok(()),
+            other => Err(Error::unexpected("unit", other)),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::unexpected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let n = match value {
+                    Value::U64(n) => *n,
+                    Value::I64(n) if *n >= 0 => *n as u64,
+                    other => return Err(Error::unexpected("unsigned integer", other)),
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    Error::custom(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let n = match value {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n).map_err(|_| {
+                        Error::custom(format!("{n} out of range for i64"))
+                    })?,
+                    other => return Err(Error::unexpected("signed integer", other)),
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    Error::custom(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::F64(f) => Ok(*f as $t),
+                    Value::U64(n) => Ok(*n as $t),
+                    Value::I64(n) => Ok(*n as $t),
+                    other => Err(Error::unexpected("float", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Char(*self)
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Char(c) => Ok(*c),
+            other => Err(Error::unexpected("char", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::unexpected("string", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        Value::Option(self.as_ref().map(|t| Box::new(t.serialize())))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Option(None) => Ok(None),
+            Value::Option(Some(v)) => Ok(Some(T::deserialize(v)?)),
+            other => Err(Error::unexpected("option", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        self.as_slice().serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(Error::unexpected("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        self.as_slice().serialize()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::deserialize(value)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected array of {N} elements, found {len}")))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(Box::new(T::deserialize(value)?))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+)),*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                match value {
+                    Value::Seq(items) => {
+                        __expect_len(items, LEN, "tuple")?;
+                        Ok(($($name::deserialize(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::unexpected("tuple sequence", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.serialize(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + std::hash::Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::deserialize(k)?, V::deserialize(v)?)))
+                .collect(),
+            other => Err(Error::unexpected("map", other)),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.serialize(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::deserialize(k)?, V::deserialize(v)?)))
+                .collect(),
+            other => Err(Error::unexpected("map", other)),
+        }
+    }
+}

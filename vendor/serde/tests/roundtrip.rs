@@ -1,0 +1,127 @@
+//! Derive + impl round-trip coverage for the offline serde stand-in:
+//! every item shape the derive supports must survive
+//! `to_value` → `from_value` unchanged, and `#[serde(skip)]` must skip.
+
+use serde::{from_value, to_value, Deserialize, Serialize, Value};
+use std::collections::HashMap;
+
+fn roundtrip<T: Serialize + serde::de::DeserializeOwned + PartialEq + std::fmt::Debug>(t: &T) {
+    let v = to_value(t);
+    let back: T = from_value(&v).unwrap_or_else(|e| panic!("{e} (value: {v:?})"));
+    assert_eq!(&back, t);
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Named {
+    a: u64,
+    b: String,
+    c: Option<i32>,
+    d: Vec<bool>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Newtype(u32);
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Pair(u8, String);
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Marker;
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Shape {
+    Dot,
+    Circle(f64),
+    Segment(i64, i64),
+    Poly { sides: Vec<u16>, closed: bool },
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Nested {
+    boxed: Box<Newtype>,
+    shapes: Vec<Shape>,
+    table: HashMap<String, u64>,
+    pair: (u32, String),
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct WithSkip {
+    kept: u64,
+    #[serde(skip)]
+    scratch: Vec<u64>,
+}
+
+#[test]
+fn named_struct_roundtrips() {
+    roundtrip(&Named {
+        a: u64::MAX,
+        b: "hello \"world\"".into(),
+        c: Some(-42),
+        d: vec![true, false],
+    });
+    roundtrip(&Named { a: 0, b: String::new(), c: None, d: vec![] });
+}
+
+#[test]
+fn tuple_and_unit_structs_roundtrip() {
+    roundtrip(&Newtype(7));
+    roundtrip(&Pair(255, "x".into()));
+    roundtrip(&Marker);
+}
+
+#[test]
+fn every_enum_variant_shape_roundtrips() {
+    roundtrip(&Shape::Dot);
+    roundtrip(&Shape::Circle(2.5));
+    roundtrip(&Shape::Segment(-3, i64::MAX));
+    roundtrip(&Shape::Poly { sides: vec![3, 4, 5], closed: true });
+}
+
+#[test]
+fn nested_containers_roundtrip() {
+    let mut table = HashMap::new();
+    table.insert("k".to_string(), 9u64);
+    roundtrip(&Nested {
+        boxed: Box::new(Newtype(1)),
+        shapes: vec![Shape::Dot, Shape::Circle(0.0)],
+        table,
+        pair: (5, "five".into()),
+    });
+}
+
+#[test]
+fn skip_fields_are_not_serialized_and_deserialize_to_default() {
+    let original = WithSkip { kept: 11, scratch: vec![1, 2, 3] };
+    let v = to_value(&original);
+    match &v {
+        Value::Struct { name, fields } => {
+            assert_eq!(*name, "WithSkip");
+            assert_eq!(fields.len(), 1, "skipped field must not be serialized: {fields:?}");
+            assert_eq!(fields[0].0, "kept");
+        }
+        other => panic!("expected struct value, got {other:?}"),
+    }
+    let back: WithSkip = from_value(&v).unwrap();
+    assert_eq!(back.kept, 11);
+    assert_eq!(back.scratch, Vec::<u64>::new());
+}
+
+#[test]
+fn wrong_shapes_error_instead_of_defaulting() {
+    assert!(from_value::<Named>(&Value::U64(1)).is_err());
+    assert!(from_value::<Newtype>(&to_value(&Pair(1, "a".into()))).is_err());
+    // Missing field: a Named value with a field renamed away.
+    let v = Value::Struct { name: "Named", fields: vec![("a", Value::U64(1))] };
+    let err = from_value::<Named>(&v).unwrap_err();
+    assert!(err.to_string().contains("missing field"), "{err}");
+}
+
+#[test]
+fn std_impl_edge_cases() {
+    roundtrip(&Option::<u8>::None);
+    roundtrip(&Some(Box::new(3u64)));
+    roundtrip(&[1u32, 2, 3]);
+    roundtrip(&(-1i8, "s".to_string(), 2.5f64, 'c'));
+    assert!(from_value::<u8>(&Value::U64(256)).is_err());
+    assert!(from_value::<u64>(&Value::I64(-1)).is_err());
+}

@@ -1,0 +1,524 @@
+//! Derive macros for the offline `serde` stand-in (`vendor/serde`).
+//!
+//! Unlike a compile-only stub, these derives emit *working* impls of the
+//! stand-in's `Serialize`/`Deserialize` traits over its self-describing
+//! `serde::Value` data model, so derived types round-trip for real (the
+//! `serde_roundtrip` integration tests in this workspace exercise that).
+//!
+//! Written against `proc_macro` only — the container has no `syn`/`quote`
+//! — so the item is parsed by hand. Supported shapes (everything this
+//! workspace derives on):
+//!
+//! - non-generic structs: named fields, tuple/newtype, unit;
+//! - non-generic enums with unit, newtype, tuple, and struct variants;
+//! - the `#[serde(skip)]` field attribute on named fields (field is not
+//!   serialized; deserialization fills it with `Default::default()`).
+//!
+//! Generics and any other `#[serde(...)]` attribute are rejected with a
+//! `compile_error!` rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Ser)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::De)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let source = match parse_item(input) {
+        Ok(item) => match mode {
+            Mode::Ser => gen_serialize(&item),
+            Mode::De => gen_deserialize(&item),
+        },
+        Err(msg) => format!("::core::compile_error!({:?});", msg),
+    };
+    source
+        .parse()
+        .unwrap_or_else(|e| panic!("serde stand-in derive emitted unparsable code: {e}\n{source}"))
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    /// Identifier for named fields, decimal index for tuple fields.
+    name: String,
+    skip: bool,
+}
+
+enum Body {
+    Named(Vec<Field>),
+    Tuple(Vec<Field>),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    body: Body,
+}
+
+enum Item {
+    Struct { name: String, body: Body },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor { tokens: ts.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn peek_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Consumes leading `#[...]` attributes; returns whether any of them
+    /// was `#[serde(skip)]`. Any other `#[serde(...)]` attribute errors.
+    fn take_attrs(&mut self) -> Result<bool, String> {
+        let mut skip = false;
+        while self.peek_punct('#') {
+            self.next();
+            let group = match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                other => return Err(format!("expected `[...]` after `#`, found {other:?}")),
+            };
+            let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(head)) = inner.first() {
+                if head.to_string() == "serde" {
+                    let args = match inner.get(1) {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            g.stream().to_string()
+                        }
+                        _ => String::new(),
+                    };
+                    if args.trim() == "skip" {
+                        skip = true;
+                    } else {
+                        return Err(format!(
+                            "the offline serde stand-in only supports #[serde(skip)], \
+                             found #[serde({args})]"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(skip)
+    }
+
+    /// Consumes `pub`, `pub(crate)`, `pub(super)`, ... if present.
+    fn take_visibility(&mut self) {
+        if self.peek_ident("pub") {
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.next();
+                }
+            }
+        }
+    }
+
+    /// Consumes tokens of a type (or discriminant expression) up to a
+    /// top-level `,`, tracking `<`/`>` nesting so commas inside generic
+    /// arguments don't terminate early. The comma itself is consumed.
+    fn skip_to_top_level_comma(&mut self) {
+        let mut angle: i32 = 0;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    self.next();
+                    return;
+                }
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut cur = Cursor::new(input);
+    cur.take_attrs()?;
+    cur.take_visibility();
+    let kind = cur.expect_ident()?;
+    let name = cur.expect_ident()?;
+    if cur.peek_punct('<') {
+        return Err(format!(
+            "the offline serde stand-in derive does not support generics (on `{name}`)"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => Ok(Item::Struct { name, body: parse_struct_body(&mut cur)? }),
+        "enum" => {
+            let group = match cur.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => return Err(format!("expected enum body, found {other:?}")),
+            };
+            Ok(Item::Enum { name, variants: parse_variants(group.stream())? })
+        }
+        other => Err(format!("cannot derive serde stand-in traits for `{other}`")),
+    }
+}
+
+fn parse_struct_body(cur: &mut Cursor) -> Result<Body, String> {
+    match cur.peek() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let stream = g.stream();
+            cur.next();
+            Ok(Body::Named(parse_named_fields(stream)?))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let stream = g.stream();
+            cur.next();
+            Ok(Body::Tuple(parse_tuple_fields(stream)?))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Body::Unit),
+        None => Ok(Body::Unit),
+        other => Err(format!("unexpected struct body: {other:?}")),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !cur.at_end() {
+        let skip = cur.take_attrs()?;
+        if cur.at_end() {
+            break;
+        }
+        cur.take_visibility();
+        let name = cur.expect_ident()?;
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+        }
+        cur.skip_to_top_level_comma();
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    let mut index = 0usize;
+    while !cur.at_end() {
+        let skip = cur.take_attrs()?;
+        if cur.at_end() {
+            break;
+        }
+        if skip {
+            return Err("#[serde(skip)] on tuple fields is not supported by the stand-in".into());
+        }
+        cur.take_visibility();
+        cur.skip_to_top_level_comma();
+        fields.push(Field { name: index.to_string(), skip: false });
+        index += 1;
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !cur.at_end() {
+        cur.take_attrs()?;
+        if cur.at_end() {
+            break;
+        }
+        let name = cur.expect_ident()?;
+        let body = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let stream = g.stream();
+                cur.next();
+                Body::Tuple(parse_tuple_fields(stream)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let stream = g.stream();
+                cur.next();
+                Body::Named(parse_named_fields(stream)?)
+            }
+            _ => Body::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the separator comma.
+        if cur.peek_punct('=') {
+            cur.skip_to_top_level_comma();
+        } else if cur.peek_punct(',') {
+            cur.next();
+        }
+        variants.push(Variant { name, body });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, body } => {
+            let value = struct_ser_value(name, body, "self.", true);
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{ {value} }}\n\
+                 }}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&enum_ser_arm(name, v));
+            }
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
+
+/// Serialize expression for a struct body. `access` prefixes each field
+/// (`self.` for structs, `__f_` bindings for enum variants, selected via
+/// `deref`: struct fields need `&`, match bindings are already refs).
+fn struct_ser_value(name: &str, body: &Body, access: &str, deref: bool) -> String {
+    let amp = if deref { "&" } else { "" };
+    match body {
+        Body::Named(fields) => {
+            let items: String = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "({:?}, ::serde::Serialize::serialize({amp}{access}{})),",
+                        f.name, f.name
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Struct {{ name: {name:?}, fields: ::std::vec![{items}] }}"
+            )
+        }
+        Body::Tuple(fields) if fields.len() == 1 => format!(
+            "::serde::Value::NewtypeStruct {{ name: {name:?}, \
+             value: ::std::boxed::Box::new(::serde::Serialize::serialize({amp}{access}0)) }}"
+        ),
+        Body::Tuple(fields) => {
+            let items: String = fields
+                .iter()
+                .map(|f| format!("::serde::Serialize::serialize({amp}{access}{}),", f.name))
+                .collect();
+            format!(
+                "::serde::Value::TupleStruct {{ name: {name:?}, values: ::std::vec![{items}] }}"
+            )
+        }
+        Body::Unit => format!("::serde::Value::UnitStruct {{ name: {name:?} }}"),
+    }
+}
+
+fn enum_ser_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.body {
+        Body::Unit => format!(
+            "{enum_name}::{vname} => \
+             ::serde::Value::UnitVariant {{ name: {enum_name:?}, variant: {vname:?} }},"
+        ),
+        Body::Tuple(fields) if fields.len() == 1 => format!(
+            "{enum_name}::{vname}(__f0) => ::serde::Value::NewtypeVariant {{ \
+             name: {enum_name:?}, variant: {vname:?}, \
+             value: ::std::boxed::Box::new(::serde::Serialize::serialize(__f0)) }},"
+        ),
+        Body::Tuple(fields) => {
+            let binds: Vec<String> = (0..fields.len()).map(|i| format!("__f{i}")).collect();
+            let items: String = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::serialize({b}),"))
+                .collect();
+            format!(
+                "{enum_name}::{vname}({}) => ::serde::Value::TupleVariant {{ \
+                 name: {enum_name:?}, variant: {vname:?}, values: ::std::vec![{items}] }},",
+                binds.join(", ")
+            )
+        }
+        Body::Named(fields) => {
+            let binds: String = fields
+                .iter()
+                .map(|f| format!("{}: __f_{},", f.name, f.name))
+                .collect();
+            let items: String = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!("({:?}, ::serde::Serialize::serialize(__f_{})),", f.name, f.name)
+                })
+                .collect();
+            format!(
+                "{enum_name}::{vname} {{ {binds} }} => ::serde::Value::StructVariant {{ \
+                 name: {enum_name:?}, variant: {vname:?}, fields: ::std::vec![{items}] }},"
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, arms) = match item {
+        Item::Struct { name, body } => (name, struct_de_arm(name, body)),
+        Item::Enum { name, variants } => {
+            let arms: String = variants.iter().map(|v| enum_de_arm(name, v)).collect();
+            (name, arms)
+        }
+    };
+    let kind = match item {
+        Item::Struct { .. } => "struct",
+        Item::Enum { .. } => "enum",
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(__value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match __value {{\n\
+                     {arms}\n\
+                     __other => ::std::result::Result::Err(\
+                         ::serde::Error::unexpected(\
+                             ::std::concat!({kind:?}, \" `\", {name:?}, \"`\"), __other)),\n\
+                 }}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+/// Constructor expression for a named-field body from `__fields`.
+fn named_construct(path: &str, fields: &[Field]) -> String {
+    let inits: String = fields
+        .iter()
+        .map(|f| {
+            if f.skip {
+                format!("{}: ::std::default::Default::default(),", f.name)
+            } else {
+                format!("{}: ::serde::__field(__fields, {:?})?,", f.name, f.name)
+            }
+        })
+        .collect();
+    format!("::std::result::Result::Ok({path} {{ {inits} }})")
+}
+
+fn struct_de_arm(name: &str, body: &Body) -> String {
+    match body {
+        Body::Named(fields) => format!(
+            "::serde::Value::Struct {{ name: {name:?}, fields: __fields }} => {},",
+            named_construct(name, fields)
+        ),
+        Body::Tuple(fields) if fields.len() == 1 => format!(
+            "::serde::Value::NewtypeStruct {{ name: {name:?}, value: __v }} => \
+             ::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(&**__v)?)),"
+        ),
+        Body::Tuple(fields) => {
+            let n = fields.len();
+            let items: String = (0..n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&__vs[{i}])?,"))
+                .collect();
+            format!(
+                "::serde::Value::TupleStruct {{ name: {name:?}, values: __vs }} => {{\n\
+                     ::serde::__expect_len(__vs, {n}, {name:?})?;\n\
+                     ::std::result::Result::Ok({name}({items}))\n\
+                 }},"
+            )
+        }
+        Body::Unit => format!(
+            "::serde::Value::UnitStruct {{ name: {name:?} }} => \
+             ::std::result::Result::Ok({name}),"
+        ),
+    }
+}
+
+fn enum_de_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    let path = format!("{enum_name}::{vname}");
+    match &v.body {
+        Body::Unit => format!(
+            "::serde::Value::UnitVariant {{ name: {enum_name:?}, variant: {vname:?} }} => \
+             ::std::result::Result::Ok({path}),"
+        ),
+        Body::Tuple(fields) if fields.len() == 1 => format!(
+            "::serde::Value::NewtypeVariant {{ \
+                 name: {enum_name:?}, variant: {vname:?}, value: __v }} => \
+             ::std::result::Result::Ok({path}(::serde::Deserialize::deserialize(&**__v)?)),"
+        ),
+        Body::Tuple(fields) => {
+            let n = fields.len();
+            let items: String = (0..n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&__vs[{i}])?,"))
+                .collect();
+            format!(
+                "::serde::Value::TupleVariant {{ \
+                     name: {enum_name:?}, variant: {vname:?}, values: __vs }} => {{\n\
+                     ::serde::__expect_len(__vs, {n}, {path:?})?;\n\
+                     ::std::result::Result::Ok({path}({items}))\n\
+                 }},"
+            )
+        }
+        Body::Named(fields) => format!(
+            "::serde::Value::StructVariant {{ \
+                 name: {enum_name:?}, variant: {vname:?}, fields: __fields }} => {},",
+            named_construct(&path, fields)
+        ),
+    }
+}
