@@ -106,8 +106,9 @@ pub fn run_via_cluster(
 
 /// Scrapes the daemon's metrics over the wire protocol and condenses
 /// the series a sweep run cares about — request mix, cache hit/miss
-/// split, and the bound-margin aggregates re-checking Theorem 1 /
-/// Lemma 2 across everything the daemon has served.
+/// split, the persistent-store tier, and the bound-margin aggregates
+/// re-checking Theorem 1 / Lemma 2 across everything the daemon has
+/// served.
 ///
 /// # Errors
 ///
@@ -120,6 +121,7 @@ pub fn service_telemetry_summary(addr: &str) -> Result<String, String> {
         "bfdn_cache_hits_total",
         "bfdn_cache_misses_total",
         "bfdn_cache_entries",
+        "bfdn_store_", // the persistent-store tier: hits, bytes, compactions
         "bfdn_bound_checked_total",
         "bfdn_bound_violations_total",
         "bfdn_bound_margin_worst",

@@ -582,10 +582,8 @@ impl Bfdn {
         // everything robot-local. Shards are contiguous robot windows;
         // concatenating per-shard slot vectors in shard order yields
         // one slot per robot, in robot order.
-        let slots: Vec<Slot> = parallel::par_shards_mut(
-            &mut self.robots,
-            self.threads,
-            |first, shard| {
+        let slots: Vec<Slot> =
+            parallel::par_shards_mut(&mut self.robots, self.threads, |first, shard| {
                 let mut slots = Vec::with_capacity(shard.len());
                 for (offset, robot) in shard.iter_mut().enumerate() {
                     let i = first + offset;
@@ -612,9 +610,8 @@ impl Bfdn {
                     });
                 }
                 slots
-            },
-        )
-        .concat();
+            })
+            .concat();
         // Gather: scan each contested node's dangling-port prefix once,
         // in parallel, instead of once per robot in the merge. The cap
         // is the number of robots contending there — claims cannot
@@ -692,11 +689,10 @@ impl Bfdn {
         // Phase C: materialise the committed descents in parallel; the
         // first hop each reanchored robot takes is the walk's tail.
         if !pending_descents.is_empty() {
-            let walks = parallel::par_map_with_threads(
-                &pending_descents,
-                self.threads,
-                |&(_, anchor)| Self::descent(tree, anchor),
-            );
+            let walks =
+                parallel::par_map_with_threads(&pending_descents, self.threads, |&(_, anchor)| {
+                    Self::descent(tree, anchor)
+                });
             for (&(i, _), mut walk) in pending_descents.iter().zip(walks) {
                 let step = walk
                     .pop()

@@ -338,8 +338,8 @@ impl GraphBfdn {
             }
             // Move phase: apply synchronously; resolve probe arrivals in
             // robot order.
-            for i in 0..k {
-                let Some(port) = moves[i] else { continue };
+            for (i, mv) in moves.iter().enumerate() {
+                let Some(port) = *mv else { continue };
                 let u = run.positions[i];
                 // Backtracking robots may stand on an unexplored node
                 // (case 2) — their return hop is never a probe.
@@ -502,10 +502,10 @@ impl Run<'_> {
     /// The paper's sequential selection loop. The sharded path must
     /// replay its decisions exactly.
     fn select_sequential(&mut self, moves: &mut [Option<Port>]) {
-        for i in 0..self.k {
+        for (i, mv) in moves.iter_mut().enumerate().take(self.k) {
             let pos = self.positions[i];
             if let RState::Backtrack(port) = self.states[i] {
-                moves[i] = Some(port);
+                *mv = Some(port);
                 self.states[i] = RState::Dn;
                 continue;
             }
@@ -521,7 +521,7 @@ impl Run<'_> {
             match &mut self.states[i] {
                 RState::Bf(stack) => {
                     if let Some(port) = stack.pop() {
-                        moves[i] = Some(port);
+                        *mv = Some(port);
                         continue;
                     }
                     self.states[i] = RState::Dn;
@@ -530,7 +530,7 @@ impl Run<'_> {
                 RState::Backtrack(_) => unreachable!("handled above"),
             }
             // DN: lowest unknown unselected port, else up.
-            moves[i] = match self.claim(pos) {
+            *mv = match self.claim(pos) {
                 Some(p) => Some(p),
                 None => self.retreat(pos),
             };
@@ -594,11 +594,8 @@ impl Run<'_> {
             parallel::par_map_with_threads(&wanted, self.threads, |&(v, cap)| {
                 known.unknown_ports(v).take(cap).collect()
             });
-        let gathered: HashMap<NodeId, Vec<Port>> = wanted
-            .iter()
-            .map(|&(v, _)| v)
-            .zip(prefixes)
-            .collect();
+        let gathered: HashMap<NodeId, Vec<Port>> =
+            wanted.iter().map(|&(v, _)| v).zip(prefixes).collect();
         // Merge: reanchors and claims in robot order. Non-origin
         // reanchors defer their O(depth) stack build to phase C.
         let mut pending_stacks: Vec<(usize, NodeId)> = Vec::new();
@@ -633,11 +630,10 @@ impl Run<'_> {
         if !pending_stacks.is_empty() {
             let known = &self.known;
             let graph = self.graph;
-            let stacks = parallel::par_map_with_threads(
-                &pending_stacks,
-                self.threads,
-                |&(_, anchor)| Self::bf_stack(known, graph, origin, anchor),
-            );
+            let stacks =
+                parallel::par_map_with_threads(&pending_stacks, self.threads, |&(_, anchor)| {
+                    Self::bf_stack(known, graph, origin, anchor)
+                });
             for (&(i, _), mut stack) in pending_stacks.iter().zip(stacks) {
                 let port = stack.pop().expect("non-origin anchor has a descent");
                 self.states[i] = RState::Bf(stack);

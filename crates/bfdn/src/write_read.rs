@@ -542,10 +542,10 @@ impl WriteReadBfdn {
                         }
                         RobotState::Dn { .. } => WrSlot::Dn,
                         RobotState::Return(_) => {
-                            let parent =
-                                tree.parent(pos).expect("returning robots are not at the root");
-                            let port =
-                                tree.parent_port(pos).expect("non-root has a parent port");
+                            let parent = tree
+                                .parent(pos)
+                                .expect("returning robots are not at the root");
+                            let port = tree.parent_port(pos).expect("non-root has a parent port");
                             if parent.is_root() {
                                 let RobotState::Return(report) =
                                     std::mem::replace(state, RobotState::AtRoot)
@@ -614,11 +614,10 @@ impl WriteReadBfdn {
         // Phase C: build the committed port stacks in parallel and take
         // each robot's first hop.
         if !pending_stacks.is_empty() {
-            let stacks = parallel::par_map_with_threads(
-                &pending_stacks,
-                self.threads,
-                |&(_, anchor)| Self::stack_to(tree, anchor),
-            );
+            let stacks =
+                parallel::par_map_with_threads(&pending_stacks, self.threads, |&(_, anchor)| {
+                    Self::stack_to(tree, anchor)
+                });
             for (&(i, anchor), mut stack) in pending_stacks.iter().zip(stacks) {
                 self.max_stack = self.max_stack.max(stack.len());
                 let port = stack.pop().expect("non-root anchor has a path");

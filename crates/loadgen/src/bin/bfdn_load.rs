@@ -2,8 +2,9 @@
 //! running `bfdn-serve`, or against a shard cluster it spawns itself.
 //!
 //! ```text
-//! bfdn-load [--addr HOST:PORT] [--profile quick|standard|chaos]
+//! bfdn-load [--addr HOST:PORT] [--profile quick|standard|chaos|flood]
 //!           [--seed N] [--report-json PATH] [--metrics-http HOST:PORT]
+//!           [--resident-budget BYTES]
 //!           [--cluster-shards N --shard-bin PATH [--base-port P]
 //!            [--kill-shard IDX [--kill-at-ms MS] [--restart-after-ms MS]]
 //!            [--fleet-metrics HOST:PORT] [--shard-profile-dir DIR]]
@@ -39,6 +40,15 @@
 //! profile to `DIR/shard-<i>.folded` (inferno/flamegraph input) on
 //! drain.
 //!
+//! The `flood` profile is the cache-busting storm: every flood spec is
+//! unique within the run, sized to overflow a daemon running with
+//! `--store-budget-bytes`, and followed by a reheat leg expecting the
+//! oldest (evicted) specs back cached and byte-identical — from the
+//! disk tier when a store is attached. Pass `--resident-budget BYTES`
+//! (normally the daemon's own budget) to additionally fail the run if
+//! `bfdn_cache_resident_bytes` ever ends the storm above it. Flood is
+//! single-daemon only: the reheat leg targets one store-backed daemon.
+//!
 //! The post-storm probe expects its spec cold; its seed is derived from
 //! `--seed`, so re-running the same seed against a still-warm daemon
 //! fails the probe's cold expectation by design. Use a fresh seed (or a
@@ -67,6 +77,7 @@ struct Invocation {
     restart_after_ms: Option<u64>,
     fleet_metrics: Option<String>,
     shard_profile_dir: Option<String>,
+    resident_budget: Option<u64>,
 }
 
 fn parse(args: impl IntoIterator<Item = String>) -> Result<Invocation, String> {
@@ -84,6 +95,7 @@ fn parse(args: impl IntoIterator<Item = String>) -> Result<Invocation, String> {
         restart_after_ms: None,
         fleet_metrics: None,
         shard_profile_dir: None,
+        resident_budget: None,
     };
     let mut it = args.into_iter();
     while let Some(flag) = it.next() {
@@ -93,7 +105,14 @@ fn parse(args: impl IntoIterator<Item = String>) -> Result<Invocation, String> {
             "--profile" => {
                 let v = value("--profile")?;
                 invocation.profile = Profile::parse(&v)
-                    .ok_or_else(|| format!("bad --profile `{v}` (quick|standard|chaos)"))?;
+                    .ok_or_else(|| format!("bad --profile `{v}` (quick|standard|chaos|flood)"))?;
+            }
+            "--resident-budget" => {
+                let v = value("--resident-budget")?;
+                invocation.resident_budget = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --resident-budget `{v}`"))?,
+                );
             }
             "--seed" => {
                 let v = value("--seed")?;
@@ -139,7 +158,8 @@ fn parse(args: impl IntoIterator<Item = String>) -> Result<Invocation, String> {
             other => {
                 return Err(format!(
                     "unknown flag `{other}` (try --addr --profile --seed \
-                     --report-json --metrics-http --cluster-shards --shard-bin \
+                     --report-json --metrics-http --resident-budget \
+                     --cluster-shards --shard-bin \
                      --base-port --kill-shard --kill-at-ms --restart-after-ms \
                      --fleet-metrics --shard-profile-dir)"
                 ))
@@ -160,6 +180,16 @@ fn parse(args: impl IntoIterator<Item = String>) -> Result<Invocation, String> {
         return Err(
             "--fleet-metrics/--shard-profile-dir only make sense with --cluster-shards".into(),
         );
+    }
+    if invocation.cluster_shards.is_some() && invocation.profile == Profile::Flood {
+        return Err(
+            "--profile flood is single-daemon only (its reheat leg targets one \
+             store-backed daemon)"
+                .into(),
+        );
+    }
+    if invocation.cluster_shards.is_some() && invocation.resident_budget.is_some() {
+        return Err("--resident-budget only makes sense against a single daemon".into());
     }
     if let (Some(kill), Some(count)) = (invocation.kill_shard, invocation.cluster_shards) {
         if kill >= count {
@@ -321,7 +351,10 @@ fn main() -> ExitCode {
         }
     };
 
-    let config = invocation.profile.config();
+    let mut config = invocation.profile.config();
+    if let Some(budget) = invocation.resident_budget {
+        config.slo.max_resident_bytes = Some(budget);
+    }
     let plan = Plan::generate(&config, invocation.seed);
     eprintln!(
         "bfdn-load: profile={} seed={} fingerprint={:016x} — {} workload specs, {} chaos clients",

@@ -417,6 +417,7 @@ pub fn execute_cluster(
             bound_violations: Some(0.0),
             cache_hits: Some(0.0),
             cache_misses: Some(0.0),
+            ..DaemonStats::default()
         });
         let add = |into: &mut Option<f64>, v: Option<f64>| {
             if let (Some(into), Some(v)) = (into.as_mut(), v) {

@@ -3,7 +3,8 @@
 //! and end-of-run SLO checks.
 //!
 //! Classes are client populations: `open`, `closed`, `big-instance`,
-//! and one `chaos:<persona>` per misbehaving persona. Latencies land in
+//! `flood` / `flood-reheat`, and one `chaos:<persona>` per misbehaving
+//! persona. Latencies land in
 //! the same histogram/quantile machinery the daemon itself exports, and
 //! the harness's buckets are the daemon's
 //! [`DEFAULT_LATENCY_BUCKETS`](bfdn_obs::metrics::DEFAULT_LATENCY_BUCKETS)
@@ -222,6 +223,11 @@ pub struct SloConfig {
     /// Fail the run if the daemon reports any Theorem 1 / Lemma 2
     /// violation on work it served.
     pub require_zero_bound_violations: bool,
+    /// When set, fail the run if `bfdn_cache_resident_bytes` exceeds
+    /// this after the storm — the flood profile's hard-bound check
+    /// against a daemon running with `--store-budget-bytes`. Missing
+    /// evidence fails closed, like every other daemon-side objective.
+    pub max_resident_bytes: Option<u64>,
 }
 
 impl Default for SloConfig {
@@ -232,6 +238,7 @@ impl Default for SloConfig {
             class_slos: Vec::new(),
             min_cache_hit_ratio: 0.05,
             require_zero_bound_violations: true,
+            max_resident_bytes: None,
         }
     }
 }
@@ -243,6 +250,11 @@ pub struct DaemonStats {
     pub bound_violations: Option<f64>,
     pub cache_hits: Option<f64>,
     pub cache_misses: Option<f64>,
+    /// The memory tier's byte gauge — what a `--store-budget-bytes`
+    /// daemon promises never to exceed.
+    pub resident_bytes: Option<f64>,
+    /// Memory misses answered from the persistent store's disk tier.
+    pub store_hits: Option<f64>,
 }
 
 impl DaemonStats {
@@ -252,6 +264,8 @@ impl DaemonStats {
             bound_violations: metric_value(exposition, "bfdn_bound_violations_total"),
             cache_hits: metric_value(exposition, "bfdn_cache_hits_total"),
             cache_misses: metric_value(exposition, "bfdn_cache_misses_total"),
+            resident_bytes: metric_value(exposition, "bfdn_cache_resident_bytes"),
+            store_hits: metric_value(exposition, "bfdn_store_hits_total"),
         }
     }
 
@@ -379,6 +393,17 @@ impl SloConfig {
                     )),
                     None => violations.push("daemon served nothing from or past its cache".into()),
                 }
+                if let Some(budget) = self.max_resident_bytes {
+                    match stats.resident_bytes {
+                        Some(bytes) if bytes <= budget as f64 => {}
+                        Some(bytes) => violations.push(format!(
+                            "resident bytes {bytes:.0} exceed the {budget}-byte budget"
+                        )),
+                        None => {
+                            violations.push("bfdn_cache_resident_bytes missing from scrape".into())
+                        }
+                    }
+                }
             }
         }
 
@@ -432,11 +457,14 @@ mod tests {
     #[test]
     fn metric_parsing_reads_unlabelled_values() {
         let text = "# HELP x y\nbfdn_bound_checked_total 12\nbfdn_bound_violations_total 0\n\
-                    bfdn_cache_hits_total 30\nbfdn_cache_misses_total 10\n";
+                    bfdn_cache_hits_total 30\nbfdn_cache_misses_total 10\n\
+                    bfdn_cache_resident_bytes 4000\nbfdn_store_hits_total 7\n";
         let stats = DaemonStats::parse(text);
         assert_eq!(stats.bound_checked, Some(12.0));
         assert_eq!(stats.bound_violations, Some(0.0));
         assert_eq!(stats.cache_hit_ratio(), Some(0.75));
+        assert_eq!(stats.resident_bytes, Some(4000.0));
+        assert_eq!(stats.store_hits, Some(7.0));
         assert_eq!(metric_value(text, "bfdn_cache"), None, "prefix only");
         assert_eq!(metric_value(text, "missing_metric"), None);
     }
@@ -453,6 +481,7 @@ mod tests {
             bound_violations: Some(0.0),
             cache_hits: Some(10.0),
             cache_misses: Some(40.0),
+            ..DaemonStats::default()
         };
         let slo = SloConfig::default();
         let clean = slo.violations(&summaries, Some(&daemon), 0, Some(true));
@@ -492,6 +521,7 @@ mod tests {
             bound_violations: Some(0.0),
             cache_hits: Some(10.0),
             cache_misses: Some(30.0),
+            ..DaemonStats::default()
         };
         let mut slo = SloConfig::default();
         let failures = slo.violations(&collector.snapshot(), Some(&daemon), 0, Some(true));
@@ -513,6 +543,51 @@ mod tests {
     }
 
     #[test]
+    fn resident_budget_slo_judges_the_gauge_and_fails_closed() {
+        let collector = Collector::new();
+        for _ in 0..10 {
+            collector.record("flood", "ok", Some(0.002));
+        }
+        let daemon = DaemonStats {
+            bound_checked: Some(10.0),
+            bound_violations: Some(0.0),
+            cache_hits: Some(1.0),
+            cache_misses: Some(9.0),
+            resident_bytes: Some(4000.0),
+            store_hits: Some(5.0),
+        };
+        let mut slo = SloConfig {
+            min_cache_hit_ratio: 0.0,
+            ..SloConfig::default()
+        };
+        // Unset budget: the gauge is informational only.
+        let clean = slo.violations(&collector.snapshot(), Some(&daemon), 0, Some(true));
+        assert!(clean.is_empty(), "{clean:?}");
+        // Within budget passes; over budget is named.
+        slo.max_resident_bytes = Some(4096);
+        let clean = slo.violations(&collector.snapshot(), Some(&daemon), 0, Some(true));
+        assert!(clean.is_empty(), "{clean:?}");
+        slo.max_resident_bytes = Some(3000);
+        let over = slo.violations(&collector.snapshot(), Some(&daemon), 0, Some(true));
+        assert!(
+            over.iter().any(|v| v.contains("resident bytes")),
+            "{over:?}"
+        );
+        // A budget with no gauge in the scrape fails closed.
+        let blind = DaemonStats {
+            resident_bytes: None,
+            ..daemon
+        };
+        let missing = slo.violations(&collector.snapshot(), Some(&blind), 0, Some(true));
+        assert!(
+            missing
+                .iter()
+                .any(|v| v.contains("bfdn_cache_resident_bytes missing")),
+            "{missing:?}"
+        );
+    }
+
+    #[test]
     fn error_ratio_slo_trips_on_busy_storms() {
         let collector = Collector::new();
         for _ in 0..90 {
@@ -526,6 +601,7 @@ mod tests {
             bound_violations: Some(0.0),
             cache_hits: Some(45.0),
             cache_misses: Some(45.0),
+            ..DaemonStats::default()
         };
         let failures =
             SloConfig::default().violations(&collector.snapshot(), Some(&daemon), 0, Some(true));

@@ -67,6 +67,8 @@ fn daemon_json(stats: &DaemonStats) -> String {
         ("bound_violations", stats.bound_violations),
         ("cache_hits", stats.cache_hits),
         ("cache_misses", stats.cache_misses),
+        ("resident_bytes", stats.resident_bytes),
+        ("store_hits", stats.store_hits),
     ] {
         match value {
             Some(v) => o.f64(key, v),
@@ -181,6 +183,8 @@ mod tests {
                 bound_violations: Some(0.0),
                 cache_hits: Some(3.0),
                 cache_misses: Some(7.0),
+                resident_bytes: Some(2048.0),
+                store_hits: Some(5.0),
             }),
             probe_consistent: Some(true),
             trace_counters: Some((42, 0)),
@@ -222,6 +226,11 @@ mod tests {
             daemon.get("cache_hit_ratio").and_then(Json::as_f64),
             Some(0.3)
         );
+        assert_eq!(
+            daemon.get("resident_bytes").and_then(Json::as_f64),
+            Some(2048.0)
+        );
+        assert_eq!(daemon.get("store_hits").and_then(Json::as_f64), Some(5.0));
         let classes = json.get("classes").and_then(Json::as_arr).expect("classes");
         assert_eq!(classes.len(), 1);
         assert_eq!(classes[0].get("class").and_then(Json::as_str), Some("open"));

@@ -1,11 +1,13 @@
 //! The driver: executes a [`Plan`] against a live daemon.
 //!
-//! Three thread populations share one run: an open-loop scheduler that
-//! fires arrivals at their planned offsets without waiting for
+//! Several thread populations share one run: an open-loop scheduler
+//! that fires arrivals at their planned offsets without waiting for
 //! completions, closed-loop clients that issue their scripts
-//! back-to-back over persistent connections, and one thread per chaos
-//! client. Wall-clock time only paces the schedule — everything *sent*
-//! was fixed at plan time.
+//! back-to-back over persistent connections, one thread per chaos
+//! client, and (in the flood profile) one self-pacing thread per
+//! cache-busting flood request, followed post-storm by a reheat leg
+//! over the oldest flood specs. Wall-clock time only paces the
+//! schedule — everything *sent* was fixed at plan time.
 //!
 //! Every workload operation carries a deterministic trace id — an
 //! FNV-1a hash of `(plan fingerprint, class, operation index)`, forced
@@ -22,6 +24,7 @@ use bfdn_service::client::Client;
 use bfdn_service::exec;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Everything the run learned, ready for reporting.
@@ -63,6 +66,11 @@ pub fn execute(
 
     let fingerprint = plan.fingerprint();
 
+    // First-issue payloads per flood index, parked by the storm threads
+    // and read back by the post-storm reheat leg.
+    let flood_payloads: Vec<Mutex<Option<String>>> =
+        plan.flood.iter().map(|_| Mutex::new(None)).collect();
+
     std::thread::scope(|scope| {
         for (client_index, script) in plan.closed_loop.iter().enumerate() {
             scope.spawn(move || {
@@ -102,6 +110,24 @@ pub fn execute(
                 );
             });
         }
+        // Flood arrivals pace themselves like big-instance sends: one
+        // thread per request, so the storm stays open-loop even when
+        // the daemon lags under it.
+        for (index, arrival) in plan.flood.iter().enumerate() {
+            let slot = &flood_payloads[index];
+            scope.spawn(move || {
+                sleep_until(started, arrival.at_ms);
+                let trace = trace_id(fingerprint, "flood", index as u64);
+                let t0 = Instant::now();
+                let outcome = flood_shot(addr, &arrival.op, trace, slot);
+                collector.record_traced(
+                    "flood",
+                    &outcome,
+                    Some(t0.elapsed().as_secs_f64()),
+                    Some(trace),
+                );
+            });
+        }
         // The open-loop scheduler fires each arrival on time and moves
         // on; completions are recorded by the per-request threads.
         for (index, arrival) in plan.open_loop.iter().enumerate() {
@@ -119,6 +145,8 @@ pub fn execute(
             });
         }
     });
+
+    flood_reheat(addr, plan, &flood_payloads, collector, fingerprint);
 
     let probe_consistent = Some(run_probe(addr, plan, collector));
 
@@ -217,6 +245,79 @@ fn run_probe(addr: SocketAddr, plan: &Plan, collector: &Collector) -> bool {
     let cold = issue(false);
     let warm = issue(true);
     cold && warm
+}
+
+/// A flood first issue: the spec is unique within the run, so a reply
+/// with `cached == true` means something other than this run already
+/// computed it — surfaced as its own outcome (`unexpected_warm`, a
+/// non-`ok` label that trips the error-ratio SLO) instead of being
+/// conflated with a fresh execution. The served payload is parked in
+/// `slot` so the reheat leg can demand byte-identity later.
+fn flood_shot(addr: SocketAddr, op: &Op, trace: u64, slot: &Mutex<Option<String>>) -> String {
+    let Op::Explore(spec) = op else {
+        return "not_an_explore".into();
+    };
+    let Some(mut client) = connect(addr) else {
+        return "io_error".into();
+    };
+    client.set_trace(Some(trace));
+    match client.explore(spec.clone()) {
+        Ok(result) => {
+            *slot.lock().expect("flood slot") = Some(result.payload_json());
+            if result.cached {
+                "unexpected_warm".into()
+            } else {
+                "ok".into()
+            }
+        }
+        Err(e) => classify_error(&e),
+    }
+}
+
+/// How many flood specs the reheat leg re-issues.
+const FLOOD_REHEAT: usize = 8;
+
+/// The post-storm reheat: re-issues the *oldest* flood specs — the
+/// entries a resident-bytes budget is most likely to have evicted from
+/// the memory tier — expecting each one served `cached == true` and
+/// byte-identical to its first issue. Against a store-backed daemon
+/// this is the overflow coming back from disk; any deviation lands as
+/// a non-`ok` outcome in the `flood-reheat` class and trips the
+/// error-ratio SLO.
+fn flood_reheat(
+    addr: SocketAddr,
+    plan: &Plan,
+    payloads: &[Mutex<Option<String>>],
+    collector: &Collector,
+    fingerprint: u64,
+) {
+    for (index, arrival) in plan.flood.iter().take(FLOOD_REHEAT).enumerate() {
+        let Op::Explore(spec) = &arrival.op else {
+            continue;
+        };
+        let expected = payloads[index].lock().expect("flood slot").clone();
+        let trace = trace_id(fingerprint, "flood-reheat", index as u64);
+        let t0 = Instant::now();
+        let outcome = match (expected, connect(addr)) {
+            (None, _) => "missing_first_issue".to_string(),
+            (_, None) => "io_error".to_string(),
+            (Some(expected), Some(mut client)) => {
+                client.set_trace(Some(trace));
+                match client.explore(spec.clone()) {
+                    Ok(result) if !result.cached => "not_cached".into(),
+                    Ok(result) if result.payload_json() != expected => "divergent_payload".into(),
+                    Ok(_) => "ok".into(),
+                    Err(e) => classify_error(&e),
+                }
+            }
+        };
+        collector.record_traced(
+            "flood-reheat",
+            &outcome,
+            Some(t0.elapsed().as_secs_f64()),
+            Some(trace),
+        );
+    }
 }
 
 pub(crate) fn fetch_daemon_stats(

@@ -44,7 +44,12 @@ const BIG_INSTANCE_CHOICES: [(&str, &str, u64, u64); 2] = [
     ("bfdn", "binary", 1_000_000, 8_192),
 ];
 
-/// The three shipped load profiles.
+/// Mean gap between `flood` arrivals — deliberately much tighter than
+/// the open-loop mix, so the storm outruns eviction rather than
+/// trickling in.
+const FLOOD_MEAN_GAP_MS: u64 = 5;
+
+/// The four shipped load profiles.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Profile {
     /// A few seconds of light traffic — the CI smoke profile.
@@ -53,6 +58,10 @@ pub enum Profile {
     Standard,
     /// The standard workload with every misbehaving persona injected.
     Chaos,
+    /// A cache-busting storm of unique specs sized past a resident-bytes
+    /// budget, plus a reheat leg proving the overflow serves from the
+    /// store. Single-daemon only.
+    Flood,
 }
 
 impl Profile {
@@ -61,6 +70,7 @@ impl Profile {
             "quick" => Some(Profile::Quick),
             "standard" => Some(Profile::Standard),
             "chaos" => Some(Profile::Chaos),
+            "flood" => Some(Profile::Flood),
             _ => None,
         }
     }
@@ -70,6 +80,7 @@ impl Profile {
             Profile::Quick => "quick",
             Profile::Standard => "standard",
             Profile::Chaos => "chaos",
+            Profile::Flood => "flood",
         }
     }
 
@@ -84,6 +95,7 @@ impl Profile {
                 closed_loop_ops: 12,
                 chaos_rotations: 0,
                 big_instance_requests: 0,
+                flood_requests: 0,
                 mix: MixConfig::default(),
                 slo: SloConfig::default(),
             },
@@ -95,6 +107,7 @@ impl Profile {
                 closed_loop_ops: 32,
                 chaos_rotations: 0,
                 big_instance_requests: 2,
+                flood_requests: 0,
                 mix: MixConfig::default(),
                 slo: SloConfig {
                     // Near-cap requests are legitimately thousands of
@@ -116,8 +129,29 @@ impl Profile {
                 closed_loop_ops: 16,
                 chaos_rotations: 2,
                 big_instance_requests: 0,
+                flood_requests: 0,
                 mix: MixConfig::default(),
                 slo: SloConfig::default(),
+            },
+            Profile::Flood => ProfileConfig {
+                profile: self,
+                open_loop_requests: 12,
+                open_loop_mean_gap_ms: 15,
+                closed_loop_clients: 2,
+                closed_loop_ops: 8,
+                chaos_rotations: 0,
+                big_instance_requests: 0,
+                flood_requests: 48,
+                mix: MixConfig::default(),
+                slo: SloConfig {
+                    // The storm is unique-spec by design: nearly every
+                    // memory-tier lookup must miss, so the warm-mix hit
+                    // floor does not apply. Pair the run with
+                    // `--resident-budget` to assert the hard bound the
+                    // profile exists to stress.
+                    min_cache_hit_ratio: 0.0,
+                    ..SloConfig::default()
+                },
             },
         }
     }
@@ -171,6 +205,13 @@ pub struct ProfileConfig {
     /// drawn from [`BIG_INSTANCE_CHOICES`] and scattered over the
     /// open-loop window, judged by their own [`ClassSlo`].
     pub big_instance_requests: usize,
+    /// Requests in the `flood` class: an open-loop storm of specs that
+    /// are unique within the run (every one a guaranteed cache miss),
+    /// sized to overflow a configured resident-bytes budget so the
+    /// daemon's disk tier has to absorb the working set. The driver
+    /// follows the storm with a reheat leg over the oldest flood specs,
+    /// expecting them cached and byte-identical.
+    pub flood_requests: usize,
     pub mix: MixConfig,
     pub slo: SloConfig,
 }
@@ -216,6 +257,9 @@ pub struct Plan {
     /// The `big-instance` arrivals: near-cap single explores with their
     /// own latency class, scattered over the open-loop window.
     pub big_instance: Vec<Arrival>,
+    /// The `flood` arrivals: run-unique single explores fired as a
+    /// tightly paced open-loop storm (cache-busting by construction).
+    pub flood: Vec<Arrival>,
     /// Chaos clients with their injection offsets.
     pub chaos: Vec<ChaosClient>,
     /// The post-storm consistency probe: a spec no workload op uses, so
@@ -269,6 +313,25 @@ impl Plan {
             });
         }
 
+        // Flood seeds get their own namespace slice (above big-instance,
+        // below the probe), so no mix op, near-cap request, or probe can
+        // ever have warmed a flood spec — and each index is distinct, so
+        // the storm never repeats a spec within the run either.
+        let mut flood = Vec::with_capacity(config.flood_requests);
+        let mut flood_at_ms = 0u64;
+        for i in 0..config.flood_requests {
+            flood_at_ms += rng.random_range(0..=2 * FLOOD_MEAN_GAP_MS as usize) as u64;
+            let spec_seed = seed
+                .wrapping_mul(1_000_003)
+                .wrapping_add(0x00F1_0000 + i as u64);
+            let family = FAMILY_CHOICES[i % FAMILY_CHOICES.len()];
+            let n = 300 + (i as u64 % 3) * 100;
+            flood.push(Arrival {
+                at_ms: flood_at_ms,
+                op: Op::Explore(ExploreSpec::new("bfdn", family, n, 4, spec_seed)),
+            });
+        }
+
         let mut chaos = Vec::new();
         for _ in 0..config.chaos_rotations {
             // A full rotation guarantees every persona appears; offsets
@@ -301,6 +364,7 @@ impl Plan {
             open_loop,
             closed_loop,
             big_instance,
+            flood,
             chaos,
             probe,
         }
@@ -316,6 +380,7 @@ impl Plan {
                 .map(Op::len)
                 .sum::<usize>()
             + self.big_instance.iter().map(|a| a.op.len()).sum::<usize>()
+            + self.flood.iter().map(|a| a.op.len()).sum::<usize>()
     }
 
     /// A compact deterministic fingerprint of the request sequence,
@@ -335,6 +400,11 @@ impl Plan {
         }
         for arrival in &self.big_instance {
             text.push('!');
+            text.push_str(&arrival.at_ms.to_string());
+            push_op(&mut text, &arrival.op);
+        }
+        for arrival in &self.flood {
+            text.push('~');
             text.push_str(&arrival.at_ms.to_string());
             push_op(&mut text, &arrival.op);
         }
@@ -423,7 +493,12 @@ mod tests {
 
     #[test]
     fn plans_are_deterministic_in_profile_and_seed() {
-        for profile in [Profile::Quick, Profile::Standard, Profile::Chaos] {
+        for profile in [
+            Profile::Quick,
+            Profile::Standard,
+            Profile::Chaos,
+            Profile::Flood,
+        ] {
             let a = Plan::generate(&profile.config(), 7);
             let b = Plan::generate(&profile.config(), 7);
             assert_eq!(a.fingerprint(), b.fingerprint(), "{profile:?}");
@@ -486,6 +561,43 @@ mod tests {
         // The quick (CI) profile stays light.
         assert!(Plan::generate(&Profile::Quick.config(), 11)
             .big_instance
+            .is_empty());
+    }
+
+    #[test]
+    fn flood_profile_is_a_run_unique_validated_storm() {
+        let config = Profile::Flood.config();
+        let plan = Plan::generate(&config, 13);
+        assert_eq!(plan.flood.len(), 48);
+        let mut keys = std::collections::HashSet::new();
+        for arrival in &plan.flood {
+            let Op::Explore(spec) = &arrival.op else {
+                panic!("flood ops are single explores");
+            };
+            exec::validate(spec).expect("flood spec passes daemon validation");
+            assert!(
+                keys.insert(spec.canonical()),
+                "every flood spec is unique: {}",
+                spec.canonical()
+            );
+        }
+        // The storm shares no spec with the mix or the probe — every
+        // flood request is a guaranteed first issue.
+        let clash = |op: &Op| match op {
+            Op::Explore(spec) => keys.contains(&spec.canonical()),
+            Op::Batch(specs) => specs.iter().any(|s| keys.contains(&s.canonical())),
+        };
+        assert!(!plan.open_loop.iter().any(|a| clash(&a.op)));
+        assert!(!plan.closed_loop.iter().flatten().any(clash));
+        assert!(!keys.contains(&plan.probe.canonical()));
+        // The warm-mix hit floor is lifted: the storm misses by design.
+        assert_eq!(config.slo.min_cache_hit_ratio, 0.0);
+        // The other profiles carry no storm.
+        assert!(Plan::generate(&Profile::Quick.config(), 13)
+            .flood
+            .is_empty());
+        assert!(Plan::generate(&Profile::Chaos.config(), 13)
+            .flood
             .is_empty());
     }
 

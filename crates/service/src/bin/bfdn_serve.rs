@@ -3,7 +3,9 @@
 //! ```text
 //! bfdn-serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
 //!            [--cache-capacity N] [--cache-shards N]
-//!            [--spill PATH] [--manifest-dir DIR]
+//!            [--spill PATH] [--store-dir DIR] [--store-budget-bytes N]
+//!            [--compact-trigger N] [--migrate-spill PATH]
+//!            [--manifest-dir DIR]
 //!            [--metrics-addr HOST:PORT] [--metrics-scrapers N]
 //!            [--access-log PATH] [--access-log-max-bytes N] [--slow-ms MS]
 //!            [--batch-split N] [--read-timeout-ms MS]
@@ -17,6 +19,16 @@
 //! local cache miss asks each peer for its cached result (bounded by
 //! `--peer-timeout-ms` per probe) before executing, so a spec is
 //! computed once cluster-wide and then copied.
+//!
+//! `--store-dir` backs the cache with the log-structured compressed
+//! result store: executed results are written through, memory misses
+//! fall back to indexed disk reads, and a restart against the same
+//! directory serves byte-identical results with zero re-executions.
+//! `--store-budget-bytes` hard-caps the resident memory tier (overflow
+//! stays on disk); `--compact-trigger` sets the dead-bytes threshold of
+//! the background compactor; `--migrate-spill PATH` imports a legacy
+//! JSONL spill into the store once at startup. `--spill` is deprecated
+//! when a store is configured (it is imported, not loaded resident).
 //!
 //! The process serves until a client sends a `shutdown` request, then
 //! drains in-flight jobs (spilling the cache when `--spill` is set) and
@@ -54,6 +66,23 @@ fn parse(args: impl IntoIterator<Item = String>) -> Result<ServerConfig, String>
                 config.cache.shards = v.parse().map_err(|_| format!("bad --cache-shards `{v}`"))?;
             }
             "--spill" => config.spill = Some(PathBuf::from(value("--spill")?)),
+            "--store-dir" => config.store_dir = Some(PathBuf::from(value("--store-dir")?)),
+            "--store-budget-bytes" => {
+                let v = value("--store-budget-bytes")?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --store-budget-bytes `{v}`"))?;
+                config.store_budget_bytes = Some(n);
+            }
+            "--compact-trigger" => {
+                let v = value("--compact-trigger")?;
+                config.compact_trigger_bytes = v
+                    .parse()
+                    .map_err(|_| format!("bad --compact-trigger `{v}`"))?;
+            }
+            "--migrate-spill" => {
+                config.migrate_spill = Some(PathBuf::from(value("--migrate-spill")?));
+            }
             "--manifest-dir" => config.manifest_dir = Some(PathBuf::from(value("--manifest-dir")?)),
             "--metrics-addr" => config.metrics_addr = Some(value("--metrics-addr")?),
             "--access-log" => config.access_log = Some(PathBuf::from(value("--access-log")?)),
@@ -121,7 +150,9 @@ fn parse(args: impl IntoIterator<Item = String>) -> Result<ServerConfig, String>
             other => {
                 return Err(format!(
                     "unknown flag `{other}` (try --addr --workers --queue-depth \
-                     --cache-capacity --cache-shards --spill --manifest-dir \
+                     --cache-capacity --cache-shards --spill --store-dir \
+                     --store-budget-bytes --compact-trigger --migrate-spill \
+                     --manifest-dir \
                      --metrics-addr --metrics-scrapers --access-log \
                      --access-log-max-bytes --slow-ms \
                      --batch-split --read-timeout-ms --trace-out --trace-sample \

@@ -1,0 +1,157 @@
+//! `bfdn-store-admin` — offline maintenance of a `bfdn-store` result
+//! store directory.
+//!
+//! ```text
+//! bfdn-store-admin migrate --store-dir DIR --spill PATH [--revision REV]
+//! bfdn-store-admin stats   --store-dir DIR [--revision REV]
+//! bfdn-store-admin compact --store-dir DIR [--revision REV]
+//! ```
+//!
+//! `migrate` is the one-shot legacy-spill import: every well-formed
+//! JSONL payload line becomes one store record, the spill header's
+//! revision is validated against the store's stamp, and the counts
+//! (imported / refused / malformed) are printed. Re-running a migration
+//! supersedes the earlier import — the duplicates are dead bytes that
+//! `compact` (or the daemon's background compactor) reclaims.
+//!
+//! `--revision` overrides the stamp the store is opened with; without
+//! it the binary's own git revision is used, exactly like the daemon.
+//! Hand-rolled flag parsing — the workspace deliberately carries no CLI
+//! dependency.
+
+use bfdn_service::migrate_spill;
+use bfdn_store::{Store, StoreConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Invocation {
+    command: String,
+    store_dir: PathBuf,
+    spill: Option<PathBuf>,
+    revision: Option<String>,
+}
+
+fn parse(args: impl IntoIterator<Item = String>) -> Result<Invocation, String> {
+    let mut it = args.into_iter();
+    let command = it.next().ok_or("missing command (migrate|stats|compact)")?;
+    if !matches!(command.as_str(), "migrate" | "stats" | "compact") {
+        return Err(format!(
+            "unknown command `{command}` (try migrate|stats|compact)"
+        ));
+    }
+    let mut store_dir = None;
+    let mut spill = None;
+    let mut revision = None;
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--store-dir" => store_dir = Some(PathBuf::from(value("--store-dir")?)),
+            "--spill" => spill = Some(PathBuf::from(value("--spill")?)),
+            "--revision" => revision = Some(value("--revision")?),
+            other => {
+                return Err(format!(
+                    "unknown flag `{other}` (try --store-dir --spill --revision)"
+                ))
+            }
+        }
+    }
+    Ok(Invocation {
+        command,
+        store_dir: store_dir.ok_or("--store-dir is required")?,
+        spill,
+        revision,
+    })
+}
+
+fn run(inv: Invocation) -> Result<(), String> {
+    let mut config = StoreConfig::new(&inv.store_dir);
+    config.revision = inv.revision.or_else(bfdn_obs::git_revision);
+    let (mut store, report) = Store::open(config).map_err(|e| format!("cannot open store: {e}"))?;
+    if report.revision_mismatch {
+        eprintln!(
+            "bfdn-store-admin: store was written by another revision — {} records refused, starting fresh",
+            report.refused
+        );
+    }
+    if report.truncated_segments > 0 {
+        eprintln!(
+            "bfdn-store-admin: dropped {} crash-truncated segment tail(s)",
+            report.truncated_segments
+        );
+    }
+    match inv.command.as_str() {
+        "migrate" => {
+            let spill = inv.spill.ok_or("migrate requires --spill PATH")?;
+            let report =
+                migrate_spill(&mut store, &spill).map_err(|e| format!("migration failed: {e}"))?;
+            store
+                .persist_index()
+                .map_err(|e| format!("cannot persist index: {e}"))?;
+            println!(
+                "migrated {}: {} imported, {} refused{}, {} malformed",
+                spill.display(),
+                report.loaded,
+                report.refused,
+                if report.revision_mismatch {
+                    " (revision mismatch)"
+                } else {
+                    ""
+                },
+                report.malformed
+            );
+        }
+        "stats" => {
+            let s = store.stats();
+            println!(
+                "records={} segments={} on_disk_bytes={} live_bytes={} dead_bytes={} \
+                 raw_payload_bytes={} stored_payload_bytes={} compression_ratio={:.3}",
+                s.records,
+                s.segments,
+                s.on_disk_bytes,
+                s.live_bytes,
+                s.dead_bytes,
+                s.raw_payload_bytes,
+                s.stored_payload_bytes,
+                s.compression_ratio()
+            );
+        }
+        "compact" => {
+            let report = store
+                .compact()
+                .map_err(|e| format!("compaction failed: {e}"))?;
+            store
+                .persist_index()
+                .map_err(|e| format!("cannot persist index: {e}"))?;
+            println!(
+                "compacted: reclaimed {} bytes, {} -> {} segments, {} live records",
+                report.reclaimed_bytes,
+                report.segments_before,
+                report.segments_after,
+                report.live_records
+            );
+        }
+        _ => unreachable!("validated in parse"),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let inv = match parse(std::env::args().skip(1)) {
+        Ok(inv) => inv,
+        Err(e) => {
+            eprintln!("bfdn-store-admin: {e}");
+            eprintln!(
+                "usage: bfdn-store-admin <migrate|stats|compact> --store-dir DIR \
+                 [--spill PATH] [--revision REV]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match run(inv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bfdn-store-admin: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -23,9 +23,20 @@
 //! change. An unknown revision on either side (e.g. running from an
 //! exported tarball) is accepted, and headerless legacy spills still
 //! load.
+//!
+//! The cache can additionally be backed by a [`bfdn_store::Store`]
+//! ([`ResultCache::attach_store`]): every `put` writes through to the
+//! log-structured store, and a memory miss falls back to an indexed
+//! disk read before being counted a true miss — a third lookup outcome
+//! (`store_hits`) distinct from both hit and miss. With a store
+//! attached the in-memory tier can also be bounded by a hard
+//! resident-bytes budget: entries are admitted only while the shard
+//! stays under its slice of the budget (evicting LRU first), and
+//! anything not resident is still served byte-identically from disk.
 
 use crate::protocol::{fnv1a, CacheStatsPayload, ExploreResult, ExploreSpec};
 use bfdn_obs::json::JsonObject;
+use bfdn_store::Store;
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufWriter, Write};
 use std::path::Path;
@@ -62,10 +73,13 @@ struct Entry {
 #[derive(Default)]
 struct Shard {
     map: HashMap<String, Entry>,
+    /// Sum of `Entry::bytes` over `map` — the shard's share of the
+    /// resident-bytes budget is enforced against this.
+    bytes: u64,
 }
 
 /// A sharded LRU of completed simulation results, keyed by canonical
-/// request.
+/// request, optionally backed by a log-structured on-disk store.
 pub struct ResultCache {
     shards: Vec<Mutex<Shard>>,
     per_shard_capacity: usize,
@@ -76,7 +90,14 @@ pub struct ResultCache {
     evictions: AtomicU64,
     spill_loaded: AtomicU64,
     resident_bytes: AtomicU64,
+    store_hits: AtomicU64,
     revision: Option<String>,
+    store: Option<Mutex<Store>>,
+    /// Per-shard slice of the resident-bytes budget (`Some` only when a
+    /// budget was set at [`ResultCache::attach_store`] time). The slices
+    /// are `budget / shards` rounded down, so the global
+    /// `resident_bytes` gauge can never exceed the configured budget.
+    per_shard_budget: Option<u64>,
 }
 
 impl ResultCache {
@@ -101,7 +122,67 @@ impl ResultCache {
             evictions: AtomicU64::new(0),
             spill_loaded: AtomicU64::new(0),
             resident_bytes: AtomicU64::new(0),
+            store_hits: AtomicU64::new(0),
             revision,
+            store: None,
+            per_shard_budget: None,
+        }
+    }
+
+    /// Backs the cache with an already-opened [`Store`]: every `put`
+    /// writes through to it and a memory miss is retried against it
+    /// before being counted a miss. `budget_bytes`, when set, caps the
+    /// in-memory tier: each shard may hold at most
+    /// `budget_bytes / shards` payload bytes, evicting LRU entries (or
+    /// refusing admission outright for oversized payloads) to stay
+    /// under — the overflow remains retrievable from disk.
+    ///
+    /// The store should have been opened with this cache's revision so
+    /// the store's own refusal semantics line up with the spill's.
+    pub fn attach_store(&mut self, store: Store, budget_bytes: Option<u64>) {
+        self.per_shard_budget = budget_bytes.map(|b| b / self.shards.len() as u64);
+        self.store = Some(Mutex::new(store));
+    }
+
+    /// `true` when a store is attached.
+    pub fn has_store(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// A snapshot of the attached store's counters, `None` without one.
+    pub fn store_stats(&self) -> Option<bfdn_store::StoreStats> {
+        self.store
+            .as_ref()
+            .map(|s| s.lock().expect("result store").stats())
+    }
+
+    /// Runs one maintenance pass on the attached store (compaction when
+    /// its dead-bytes trigger is crossed); returns the compaction
+    /// report when one ran.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the store's I/O error.
+    pub fn maintain_store(&self) -> io::Result<Option<bfdn_store::CompactReport>> {
+        match &self.store {
+            Some(store) => store.lock().expect("result store").maintain(),
+            None => Ok(None),
+        }
+    }
+
+    /// Persists the attached store's index for an instant next open;
+    /// returns `false` without a store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the store's I/O error.
+    pub fn persist_store_index(&self) -> io::Result<bool> {
+        match &self.store {
+            Some(store) => {
+                store.lock().expect("result store").persist_index()?;
+                Ok(true)
+            }
+            None => Ok(false),
         }
     }
 
@@ -112,23 +193,51 @@ impl ResultCache {
 
     /// Looks `spec` up; a hit returns the stored result with its
     /// `cached` flag set and refreshes the entry's recency.
+    ///
+    /// With a store attached, a memory miss falls back to an indexed
+    /// disk read: a record found there counts as a *store hit* (not a
+    /// hit, not a miss), is re-admitted to the in-memory tier under the
+    /// budget, and is returned with `cached` set — byte-identical to
+    /// what the original execution produced. Only when both tiers come
+    /// up empty is the lookup a miss.
     pub fn get(&self, spec: &ExploreSpec) -> Option<ExploreResult> {
         let canonical = spec.canonical();
         let tick = self.clock.fetch_add(1, Ordering::Relaxed);
-        let mut shard = self.shard_for(&canonical).lock().expect("cache shard");
-        match shard.map.get_mut(&canonical) {
-            Some(entry) => {
+        {
+            let mut shard = self.shard_for(&canonical).lock().expect("cache shard");
+            if let Some(entry) = shard.map.get_mut(&canonical) {
                 entry.last_used = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 let mut result = entry.result.clone();
                 result.cached = true;
-                Some(result)
-            }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
+                return Some(result);
             }
         }
+        if let Some(result) = self.store_lookup(&canonical) {
+            self.store_hits.fetch_add(1, Ordering::Relaxed);
+            // Re-admit: the store just proved this key is hot again.
+            // No write-through — it is already on disk.
+            self.admit(result.clone(), tick);
+            let mut result = result;
+            result.cached = true;
+            return Some(result);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Reads `canonical` from the attached store, if any. A corrupt or
+    /// unparsable record is treated as absent — the caller re-executes,
+    /// which is always safe.
+    fn store_lookup(&self, canonical: &str) -> Option<ExploreResult> {
+        let store = self.store.as_ref()?;
+        let payload = store
+            .lock()
+            .expect("result store")
+            .get(canonical)
+            .ok()
+            .flatten()?;
+        ExploreResult::from_payload_json(&payload).ok()
     }
 
     /// Like [`ResultCache::get`] but without touching the hit/miss
@@ -137,13 +246,22 @@ impl ResultCache {
     /// shard's client-facing hit ratio. Serving a peer still refreshes
     /// the entry's recency — a result the ring keeps asking for is
     /// worth keeping.
+    /// A store-backed cache also answers peer probes from disk — but
+    /// without re-admitting the record to memory, so another shard's
+    /// fill traffic cannot displace this shard's hot set.
     pub fn peek(&self, spec: &ExploreSpec) -> Option<ExploreResult> {
         let canonical = spec.canonical();
         let tick = self.clock.fetch_add(1, Ordering::Relaxed);
-        let mut shard = self.shard_for(&canonical).lock().expect("cache shard");
-        let entry = shard.map.get_mut(&canonical)?;
-        entry.last_used = tick;
-        let mut result = entry.result.clone();
+        {
+            let mut shard = self.shard_for(&canonical).lock().expect("cache shard");
+            if let Some(entry) = shard.map.get_mut(&canonical) {
+                entry.last_used = tick;
+                let mut result = entry.result.clone();
+                result.cached = true;
+                return Some(result);
+            }
+        }
+        let mut result = self.store_lookup(&canonical)?;
         result.cached = true;
         Some(result)
     }
@@ -151,29 +269,61 @@ impl ResultCache {
     /// Stores a completed result under its spec's canonical key,
     /// normalizing `cached` to `false` so the stored payload is exactly
     /// what a fresh computation produces. Evicts the least-recently-used
-    /// entry of the shard when it is full.
+    /// entry of the shard when it is full (by count, and by bytes when a
+    /// resident budget is set). With a store attached the payload is
+    /// also written through to disk, so an entry that is later evicted —
+    /// or never admitted because it alone exceeds the shard's byte
+    /// budget — remains retrievable.
     pub fn put(&self, result: &ExploreResult) {
-        let canonical = result.spec.canonical();
         let tick = self.clock.fetch_add(1, Ordering::Relaxed);
         let mut stored = result.clone();
         stored.cached = false;
-        let bytes = stored.payload_json().len() as u64;
-        let mut shard = self.shard_for(&canonical).lock().expect("cache shard");
-        if !shard.map.contains_key(&canonical) && shard.map.len() >= self.per_shard_capacity {
-            if let Some(oldest) = shard
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
+        if let Some(store) = &self.store {
+            let canonical = stored.spec.canonical();
+            let payload = stored.payload_json();
+            if let Err(err) = store
+                .lock()
+                .expect("result store")
+                .put_if_absent(&canonical, &payload)
             {
-                if let Some(evicted) = shard.map.remove(&oldest) {
-                    self.resident_bytes
-                        .fetch_sub(evicted.bytes, Ordering::Relaxed);
-                }
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                // Disk trouble must not fail the request: the result is
+                // still served (and cached in memory) this run.
+                eprintln!("bfdn-serve: result store write failed for {canonical}: {err}");
             }
         }
-        let replaced = shard.map.insert(
+        self.admit(stored, tick);
+    }
+
+    /// Inserts `stored` into its in-memory shard, enforcing both the
+    /// per-shard entry capacity and (when set) the per-shard byte
+    /// budget by LRU eviction. A payload larger than the whole shard
+    /// budget is not admitted at all.
+    fn admit(&self, stored: ExploreResult, tick: u64) {
+        let canonical = stored.spec.canonical();
+        let bytes = stored.payload_json().len() as u64;
+        if self.per_shard_budget.is_some_and(|budget| bytes > budget) {
+            return;
+        }
+        let mut shard = self.shard_for(&canonical).lock().expect("cache shard");
+        let was_present = if let Some(old) = shard.map.remove(&canonical) {
+            shard.bytes -= old.bytes;
+            self.resident_bytes.fetch_sub(old.bytes, Ordering::Relaxed);
+            true
+        } else {
+            false
+        };
+        while shard.map.len() >= self.per_shard_capacity
+            || self
+                .per_shard_budget
+                .is_some_and(|budget| shard.bytes + bytes > budget)
+        {
+            if !self.evict_lru(&mut shard) {
+                break;
+            }
+        }
+        shard.bytes += bytes;
+        self.resident_bytes.fetch_add(bytes, Ordering::Relaxed);
+        shard.map.insert(
             canonical,
             Entry {
                 result: stored,
@@ -181,12 +331,29 @@ impl ResultCache {
                 bytes,
             },
         );
-        if let Some(old) = &replaced {
-            self.resident_bytes.fetch_sub(old.bytes, Ordering::Relaxed);
-        } else {
+        if !was_present {
             self.insertions.fetch_add(1, Ordering::Relaxed);
         }
-        self.resident_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Removes the least-recently-used entry of `shard`; `false` when
+    /// the shard is already empty.
+    fn evict_lru(&self, shard: &mut Shard) -> bool {
+        let Some(oldest) = shard
+            .map
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| k.clone())
+        else {
+            return false;
+        };
+        if let Some(evicted) = shard.map.remove(&oldest) {
+            shard.bytes -= evicted.bytes;
+            self.resident_bytes
+                .fetch_sub(evicted.bytes, Ordering::Relaxed);
+        }
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        true
     }
 
     /// Entries currently resident across all shards.
@@ -204,6 +371,10 @@ impl ResultCache {
 
     /// The wire-form counters.
     pub fn stats(&self) -> CacheStatsPayload {
+        let (segments, on_disk_bytes, compression_ratio) = match self.store_stats() {
+            Some(s) => (s.segments, s.on_disk_bytes, s.compression_ratio()),
+            None => (0, 0, 0.0),
+        };
         CacheStatsPayload {
             entries: self.len() as u64,
             capacity: (self.per_shard_capacity * self.shards.len()) as u64,
@@ -214,6 +385,10 @@ impl ResultCache {
             evictions: self.evictions.load(Ordering::Relaxed),
             spill_loaded: self.spill_loaded.load(Ordering::Relaxed),
             resident_bytes: self.resident_bytes.load(Ordering::Relaxed),
+            store_hits: self.store_hits.load(Ordering::Relaxed),
+            segments,
+            on_disk_bytes,
+            compression_ratio,
         }
     }
 
@@ -300,6 +475,81 @@ impl ResultCache {
         }
         Ok(report)
     }
+
+    /// Imports a legacy JSONL spill into the *attached store* (not the
+    /// in-memory tier), with the same revision-refusal and
+    /// malformed-line semantics as [`ResultCache::load_from`]. Returns
+    /// an error when no store is attached.
+    ///
+    /// Re-importing the same spill supersedes the earlier records —
+    /// the duplicates become dead bytes that the next compaction
+    /// reclaims — so running this on every start is safe, if wasteful.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from reading the spill or appending to the
+    /// store, and reports a store-less cache as `InvalidInput`.
+    pub fn import_spill_to_store(&self, path: impl AsRef<Path>) -> io::Result<SpillReport> {
+        let Some(store) = &self.store else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "no result store attached",
+            ));
+        };
+        let mut store = store.lock().expect("result store");
+        migrate_spill(&mut store, path)
+    }
+}
+
+/// Replays a legacy JSONL spill file into `store`, one record per
+/// well-formed payload line, validating the spill header's revision
+/// against the store's stamp exactly like [`ResultCache::load_from`]
+/// does against the cache's. This is the one-shot migration behind
+/// `bfdn-store-admin migrate` and `bfdn-serve --migrate-spill`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from reading the spill or appending to the
+/// store; malformed lines and revision refusals are counted in the
+/// report instead.
+pub fn migrate_spill(store: &mut Store, path: impl AsRef<Path>) -> io::Result<SpillReport> {
+    let reader = io::BufReader::new(std::fs::File::open(path)?);
+    let store_revision = store.revision().map(String::from);
+    let mut report = SpillReport::default();
+    let mut first_payload_line = true;
+    let mut refuse = false;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if first_payload_line {
+            first_payload_line = false;
+            if let Some(header_revision) = parse_spill_header(&line) {
+                if let (Some(ours), Some(theirs)) = (&store_revision, &header_revision) {
+                    refuse = ours != theirs;
+                    report.revision_mismatch = refuse;
+                }
+                continue;
+            }
+        }
+        if refuse {
+            report.refused += 1;
+            continue;
+        }
+        // Parse before appending: only payloads the running build can
+        // serve belong in the store.
+        match ExploreResult::from_payload_json(&line) {
+            Ok(result) => {
+                let mut normalized = result;
+                normalized.cached = false;
+                store.put(&normalized.spec.canonical(), &normalized.payload_json())?;
+                report.loaded += 1;
+            }
+            Err(_) => report.malformed += 1,
+        }
+    }
+    Ok(report)
 }
 
 /// Recognizes a spill header line; returns its recorded revision
@@ -513,6 +763,192 @@ mod tests {
         let after_evict = cache.stats().resident_bytes;
         assert!(after_evict < two + result_for(3).payload_json().len() as u64);
         assert_eq!(cache.stats().evictions, 1);
+    }
+
+    /// A store opened fresh in `dir` with revision `rev`.
+    fn test_store(dir: &Path, rev: &str) -> bfdn_store::Store {
+        let mut config = bfdn_store::StoreConfig::new(dir);
+        config.revision = Some(rev.to_string());
+        bfdn_store::Store::open(config).expect("open store").0
+    }
+
+    #[test]
+    fn store_backed_get_survives_eviction_as_a_store_hit() {
+        let dir = std::env::temp_dir().join("bfdn_service_cache_store_hit_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        // Capacity 1, one shard: the second put evicts the first from
+        // memory, but the write-through keeps it on disk.
+        let mut cache = ResultCache::with_revision(
+            CacheConfig {
+                capacity: 1,
+                shards: 1,
+            },
+            Some("r".repeat(40)),
+        );
+        cache.attach_store(test_store(&dir, &"r".repeat(40)), None);
+        cache.put(&result_for(1));
+        cache.put(&result_for(2));
+        assert_eq!(cache.len(), 1, "memory tier holds one entry");
+
+        let hit = cache.get(&result_for(1).spec).expect("served from disk");
+        assert!(hit.cached, "store hits are flagged as cached");
+        assert_eq!(
+            hit.payload_json(),
+            result_for(1).payload_json(),
+            "byte-identical through the codec"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.store_hits, 1, "disk fallback is its own outcome");
+        assert_eq!(stats.misses, 0, "a store hit is not a miss");
+        assert_eq!(stats.hits, 0, "…and not a memory hit");
+        assert!(stats.segments >= 1);
+        assert!(stats.on_disk_bytes > 0);
+
+        // The record was re-admitted, so the next get is a memory hit.
+        assert!(cache.get(&result_for(1).spec).is_some());
+        assert_eq!(cache.stats().hits, 1);
+
+        // A spec never stored anywhere is still a plain miss.
+        assert!(cache.get(&result_for(99).spec).is_none());
+        assert_eq!(cache.stats().misses, 1);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resident_budget_is_a_hard_bound_with_disk_overflow() {
+        let dir = std::env::temp_dir().join("bfdn_service_cache_budget_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let one_payload = result_for(0).payload_json().len() as u64;
+        // Budget fits ~3 payloads across 2 shards; flood it with 40.
+        let budget = one_payload * 3;
+        let mut cache = ResultCache::with_revision(
+            CacheConfig {
+                capacity: 1024,
+                shards: 2,
+            },
+            Some("r".repeat(40)),
+        );
+        cache.attach_store(test_store(&dir, &"r".repeat(40)), Some(budget));
+        for seed in 0..40 {
+            cache.put(&result_for(seed));
+            assert!(
+                cache.stats().resident_bytes <= budget,
+                "resident bytes {} exceed budget {budget} after seed {seed}",
+                cache.stats().resident_bytes,
+            );
+        }
+        assert!(cache.len() < 40, "memory tier is bounded");
+        // Everything floods back from disk, byte-identical, and the
+        // budget still holds while it does.
+        for seed in 0..40 {
+            let hit = cache.get(&result_for(seed).spec).expect("retrievable");
+            assert_eq!(hit.payload_json(), result_for(seed).payload_json());
+            assert!(cache.stats().resident_bytes <= budget);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 0, "nothing was lost");
+        assert!(stats.store_hits > 0, "overflow came back from disk");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_restart_from_store_is_byte_identical_without_spill() {
+        let dir = std::env::temp_dir().join("bfdn_service_cache_restart_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let rev = "r".repeat(40);
+        let mut first = ResultCache::with_revision(CacheConfig::default(), Some(rev.clone()));
+        first.attach_store(test_store(&dir, &rev), None);
+        let mut expected = Vec::new();
+        for seed in 0..8 {
+            first.put(&result_for(seed));
+            expected.push(result_for(seed).payload_json());
+        }
+        assert!(first.persist_store_index().unwrap());
+        drop(first);
+
+        // "Restart": a brand-new empty cache over the same directory.
+        let mut second = ResultCache::with_revision(CacheConfig::default(), Some(rev.clone()));
+        second.attach_store(test_store(&dir, &rev), None);
+        assert!(second.is_empty(), "nothing preloaded into memory");
+        for (seed, payload) in expected.iter().enumerate() {
+            let hit = second
+                .get(&result_for(seed as u64).spec)
+                .expect("warm store hit");
+            assert!(hit.cached);
+            assert_eq!(&hit.payload_json(), payload, "byte-identical after restart");
+        }
+        assert_eq!(second.stats().store_hits, 8);
+        assert_eq!(second.stats().misses, 0);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn migrating_a_foreign_revision_spill_into_a_store_refuses_it() {
+        let dir = std::env::temp_dir().join("bfdn_service_cache_migrate_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spill = dir.join("spill.jsonl");
+        let old = ResultCache::with_revision(CacheConfig::default(), Some("a".repeat(40)));
+        for seed in 0..3 {
+            old.put(&result_for(seed));
+        }
+        old.spill_to(&spill).unwrap();
+
+        // Foreign revision: the whole spill is refused, store stays empty.
+        let mut foreign = test_store(&dir.join("store-b"), &"b".repeat(40));
+        let report = migrate_spill(&mut foreign, &spill).unwrap();
+        assert_eq!((report.loaded, report.refused), (0, 3));
+        assert!(report.revision_mismatch);
+        assert!(foreign.is_empty());
+
+        // Matching revision: everything lands, and a second import just
+        // supersedes (dead bytes for compaction, not duplicates).
+        let mut matching = test_store(&dir.join("store-a"), &"a".repeat(40));
+        let report = migrate_spill(&mut matching, &spill).unwrap();
+        assert_eq!(report.loaded, 3);
+        assert_eq!(matching.len(), 3);
+        let report = migrate_spill(&mut matching, &spill).unwrap();
+        assert_eq!(report.loaded, 3);
+        assert_eq!(matching.len(), 3, "still three live records");
+        assert!(
+            matching.stats().dead_bytes > 0,
+            "re-import leaves dead bytes"
+        );
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn import_spill_to_store_requires_and_uses_the_attached_store() {
+        let dir = std::env::temp_dir().join("bfdn_service_cache_import_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spill = dir.join("spill.jsonl");
+        let rev = "r".repeat(40);
+        let source = ResultCache::with_revision(CacheConfig::default(), Some(rev.clone()));
+        for seed in 0..4 {
+            source.put(&result_for(seed));
+        }
+        source.spill_to(&spill).unwrap();
+
+        let storeless = ResultCache::with_revision(CacheConfig::default(), Some(rev.clone()));
+        assert!(storeless.import_spill_to_store(&spill).is_err());
+
+        let mut cache = ResultCache::with_revision(CacheConfig::default(), Some(rev.clone()));
+        cache.attach_store(test_store(&dir.join("store"), &rev), None);
+        let report = cache.import_spill_to_store(&spill).unwrap();
+        assert_eq!(report.loaded, 4);
+        assert!(cache.is_empty(), "import fills the store, not memory");
+        for seed in 0..4 {
+            let hit = cache.get(&result_for(seed).spec).expect("from store");
+            assert_eq!(hit.payload_json(), result_for(seed).payload_json());
+        }
+        assert_eq!(cache.stats().store_hits, 4);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

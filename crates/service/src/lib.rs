@@ -14,8 +14,11 @@
 //!   and local harness can never drift apart.
 //! - [`cache`] — the content-addressed result cache: runs are fully
 //!   deterministic in their spec, so results are keyed by the canonical
-//!   request string (sharded LRU, optional JSONL spill for warm
-//!   restarts).
+//!   request string. A sharded in-memory LRU in front, optionally
+//!   backed by the `bfdn-store` log-structured compressed store
+//!   (write-through puts, indexed disk reads on memory misses, a hard
+//!   resident-bytes budget) — the legacy JSONL spill remains for
+//!   store-less warm restarts.
 //! - [`parallel`] — the deterministic work-sharing substrate (now hosted
 //!   by `bfdn-sim` so the explorers' round loops can shard on it too;
 //!   re-exported here and by the harness), used both by the local
@@ -49,7 +52,7 @@ pub mod server;
 pub mod stitch;
 pub mod telemetry;
 
-pub use cache::{CacheConfig, ResultCache};
+pub use cache::{migrate_spill, CacheConfig, ResultCache, SpillReport};
 pub use client::{Client, ClientError};
 pub use protocol::{
     ErrorCode, ExploreOptions, ExploreResult, ExploreSpec, Request, Response, WireError,

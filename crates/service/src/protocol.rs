@@ -623,7 +623,7 @@ impl StatusPayload {
 }
 
 /// Result-cache counters reported by [`Request::CacheStats`].
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CacheStatsPayload {
     /// Entries currently resident.
@@ -644,6 +644,16 @@ pub struct CacheStatsPayload {
     pub spill_loaded: u64,
     /// Approximate bytes of resident payload JSON across all shards.
     pub resident_bytes: u64,
+    /// Lookups answered from the on-disk result store (a third outcome,
+    /// counted as neither hit nor miss). Zero without a store.
+    pub store_hits: u64,
+    /// Segment files in the attached result store (zero without one).
+    pub segments: u64,
+    /// Logical bytes across the store's segments (zero without one).
+    pub on_disk_bytes: u64,
+    /// Uncompressed-to-stored ratio over the store's live records
+    /// (0.0 when empty or storeless; >1.0 means compression is winning).
+    pub compression_ratio: f64,
 }
 
 impl CacheStatsPayload {
@@ -657,7 +667,11 @@ impl CacheStatsPayload {
             .u64("insertions", self.insertions)
             .u64("evictions", self.evictions)
             .u64("spill_loaded", self.spill_loaded)
-            .u64("resident_bytes", self.resident_bytes);
+            .u64("resident_bytes", self.resident_bytes)
+            .u64("store_hits", self.store_hits)
+            .u64("segments", self.segments)
+            .u64("on_disk_bytes", self.on_disk_bytes)
+            .f64("compression_ratio", self.compression_ratio);
         o.finish()
     }
 
@@ -674,6 +688,13 @@ impl CacheStatsPayload {
             // so a new client can still read an old daemon's stats.
             spill_loaded: v.get("spill_loaded").and_then(Json::as_u64).unwrap_or(0),
             resident_bytes: v.get("resident_bytes").and_then(Json::as_u64).unwrap_or(0),
+            store_hits: v.get("store_hits").and_then(Json::as_u64).unwrap_or(0),
+            segments: v.get("segments").and_then(Json::as_u64).unwrap_or(0),
+            on_disk_bytes: v.get("on_disk_bytes").and_then(Json::as_u64).unwrap_or(0),
+            compression_ratio: v
+                .get("compression_ratio")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
         })
     }
 }
@@ -1230,6 +1251,10 @@ mod tests {
                 evictions: 0,
                 spill_loaded: 1,
                 resident_bytes: 2048,
+                store_hits: 4,
+                segments: 2,
+                on_disk_bytes: 4096,
+                compression_ratio: 2.5,
             }),
             Response::Metrics("# HELP x y\n# TYPE x counter\nx 1\n".into()),
             Response::PeerMiss,

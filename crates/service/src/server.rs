@@ -50,8 +50,31 @@ pub struct ServerConfig {
     /// Result-cache sizing.
     pub cache: CacheConfig,
     /// When set, the cache is warm-loaded from this JSONL file at
-    /// startup and spilled back on graceful shutdown.
+    /// startup and spilled back on graceful shutdown. Deprecated in
+    /// favour of `store_dir`: when both are set the spill is imported
+    /// into the store at startup instead of being loaded resident, and
+    /// nothing is spilled back on shutdown (the store already has
+    /// everything).
     pub spill: Option<PathBuf>,
+    /// When set, the cache is backed by a log-structured compressed
+    /// result store in this directory: every executed result is written
+    /// through, a memory miss falls back to an indexed disk read (the
+    /// `store_hit` outcome), and a restart against the same directory
+    /// serves yesterday's results byte-identically without loading them
+    /// resident.
+    pub store_dir: Option<PathBuf>,
+    /// Hard budget for payload bytes resident in the in-memory cache
+    /// tier; requires `store_dir` (overflow must have somewhere to
+    /// live). `None` leaves the memory tier bounded by entry count
+    /// only.
+    pub store_budget_bytes: Option<u64>,
+    /// Dead (superseded) bytes in the store that trigger a background
+    /// compaction pass.
+    pub compact_trigger_bytes: u64,
+    /// One-shot migration: import this legacy JSONL spill into the
+    /// store at startup (requires `store_dir`), printing how many
+    /// records were imported or refused.
+    pub migrate_spill: Option<PathBuf>,
     /// When set, every executed job also writes its run manifest as
     /// `<content-hash>.manifest.json` under this directory.
     pub manifest_dir: Option<PathBuf>,
@@ -124,6 +147,10 @@ impl Default for ServerConfig {
             queue_depth: 64,
             cache: CacheConfig::default(),
             spill: None,
+            store_dir: None,
+            store_budget_bytes: None,
+            compact_trigger_bytes: 8 * 1024 * 1024,
+            migrate_spill: None,
             manifest_dir: None,
             metrics_addr: None,
             access_log: None,
@@ -485,6 +512,9 @@ impl Shared {
     /// Prometheus exposition (shared by the `Metrics` wire request and
     /// the HTTP listener).
     fn render_metrics(&self) -> String {
+        if let Some(stats) = self.cache.store_stats() {
+            self.telemetry.mirror_store(&stats);
+        }
         self.telemetry.render(
             &self.cache.stats(),
             self.queue.depth() as u64,
@@ -504,6 +534,7 @@ pub struct ServerHandle {
     metrics: Vec<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     profiler: Option<JoinHandle<()>>,
+    compactor: Option<JoinHandle<()>>,
     profile_out: Option<PathBuf>,
     spill: Option<PathBuf>,
 }
@@ -543,6 +574,9 @@ impl ServerHandle {
         if let Some(p) = self.profiler {
             p.join().map_err(|_| worker_panic())?;
         }
+        if let Some(c) = self.compactor {
+            c.join().map_err(|_| worker_panic())?;
+        }
         if let Some(path) = &self.profile_out {
             let folded = self.shared.telemetry.folded_stacks();
             std::fs::write(path, &folded)?;
@@ -552,7 +586,15 @@ impl ServerHandle {
                 path.display()
             );
         }
-        if let Some(path) = &self.spill {
+        if self.shared.cache.has_store() {
+            // The store already holds every executed result; persisting
+            // its index makes the next open instant instead of a
+            // segment scan. The legacy spill write is skipped — a
+            // budget-bounded memory tier would spill an incomplete
+            // snapshot anyway.
+            self.shared.cache.persist_store_index()?;
+            eprintln!("bfdn-serve: persisted result-store index");
+        } else if let Some(path) = &self.spill {
             let tracer = &self.shared.tracer;
             let spill_start = tracer.now_ns();
             let spilled = self.shared.cache.spill_to(path)?;
@@ -593,9 +635,78 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
     listener.set_nonblocking(true)?;
 
     let workers = config.workers.unwrap_or_else(parallel::num_threads).max(1);
-    let cache = ResultCache::new(config.cache);
+    let mut cache = ResultCache::new(config.cache);
+    if let Some(dir) = &config.store_dir {
+        let mut store_config = bfdn_store::StoreConfig::new(dir);
+        store_config.revision = cache.revision().map(String::from);
+        store_config.compact_trigger_bytes = config.compact_trigger_bytes.max(1);
+        let (store, report) = bfdn_store::Store::open(store_config)?;
+        if report.revision_mismatch {
+            eprintln!(
+                "bfdn-serve: store {} was written by another revision — {} records refused, starting a fresh store",
+                dir.display(),
+                report.refused
+            );
+        } else if report.records > 0 {
+            eprintln!(
+                "bfdn-serve: result store {} opened with {} records{}",
+                dir.display(),
+                report.records,
+                if report.index_rebuilt {
+                    " (index rebuilt by segment scan)"
+                } else {
+                    ""
+                }
+            );
+        }
+        if report.truncated_segments > 0 {
+            eprintln!(
+                "bfdn-serve: dropped {} crash-truncated segment tail(s); intact records kept",
+                report.truncated_segments
+            );
+        }
+        cache.attach_store(store, config.store_budget_bytes);
+    } else if config.store_budget_bytes.is_some() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "--store-budget-bytes requires --store-dir (overflow must have somewhere to live)",
+        ));
+    }
+    if let Some(path) = &config.migrate_spill {
+        if !cache.has_store() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "--migrate-spill requires --store-dir",
+            ));
+        }
+        let report = cache.import_spill_to_store(path)?;
+        eprintln!(
+            "bfdn-serve: migrated spill {}: {} imported, {} refused{}, {} malformed",
+            path.display(),
+            report.loaded,
+            report.refused,
+            if report.revision_mismatch {
+                " (revision mismatch)"
+            } else {
+                ""
+            },
+            report.malformed
+        );
+    }
     if let Some(path) = &config.spill {
-        if path.exists() {
+        if cache.has_store() {
+            // Legacy flag alongside the store: keep it working by
+            // importing into the store instead of loading resident.
+            if path.exists() {
+                let report = cache.import_spill_to_store(path)?;
+                eprintln!(
+                    "bfdn-serve: --spill is deprecated with --store-dir; imported {} entries from {} into the store ({} refused)",
+                    report.loaded,
+                    path.display(),
+                    report.refused
+                );
+            }
+        } else if path.exists() {
             let report = cache.load_from(path)?;
             if report.revision_mismatch {
                 eprintln!(
@@ -706,6 +817,11 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
         std::thread::spawn(move || profiler_loop(&shared, interval))
     });
 
+    let compactor = shared.cache.has_store().then(|| {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || store_maintenance_loop(&shared))
+    });
+
     let accept_shared = Arc::clone(&shared);
     let accept = std::thread::spawn(move || accept_loop(listener, &accept_shared));
 
@@ -717,9 +833,43 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
         metrics,
         workers: worker_handles,
         profiler,
+        compactor,
         profile_out: config.profile_out,
         spill: config.spill,
     })
+}
+
+/// Poll interval of the background store-maintenance (compaction)
+/// thread. Each idle pass is one cheap dead-bytes comparison under the
+/// store lock; an actual compaction runs rarely and off the request
+/// path.
+const STORE_MAINTENANCE_INTERVAL: Duration = Duration::from_millis(250);
+
+/// The background compactor: folds the store's superseded records into
+/// fresh segments whenever its dead-bytes trigger is crossed. Runs one
+/// final pass after the drain condition so a shutdown-time supersede
+/// still gets reclaimed, then exits like the other watcher threads.
+fn store_maintenance_loop(shared: &Arc<Shared>) {
+    loop {
+        match shared.cache.maintain_store() {
+            Ok(Some(report)) => eprintln!(
+                "bfdn-serve: store compaction reclaimed {} bytes ({} -> {} segments, {} live records)",
+                report.reclaimed_bytes,
+                report.segments_before,
+                report.segments_after,
+                report.live_records
+            ),
+            Ok(None) => {}
+            Err(e) => eprintln!("bfdn-serve: store compaction failed: {e}"),
+        }
+        if shared.draining.load(Ordering::SeqCst)
+            && shared.queue.depth() == 0
+            && shared.counters.in_flight.load(Ordering::SeqCst) == 0
+        {
+            return;
+        }
+        std::thread::sleep(STORE_MAINTENANCE_INTERVAL);
+    }
 }
 
 /// The worker-profiling watcher: snapshots every worker's phase slot on

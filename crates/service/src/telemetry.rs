@@ -82,6 +82,17 @@ pub struct ServiceMetrics {
     cache_spill_loaded: Arc<Counter>,
     cache_entries: Arc<Gauge>,
     cache_resident_bytes: Arc<Gauge>,
+    store_hits: Arc<Counter>,
+    store_segments: Arc<Gauge>,
+    store_on_disk_bytes: Arc<Gauge>,
+    store_compression_ratio: Arc<Gauge>,
+    store_records: Arc<Gauge>,
+    store_live_bytes: Arc<Gauge>,
+    store_dead_bytes: Arc<Gauge>,
+    store_raw_payload_bytes: Arc<Gauge>,
+    store_stored_payload_bytes: Arc<Gauge>,
+    store_compactions: Arc<Counter>,
+    store_truncated_segments: Arc<Counter>,
     worker_busy: Vec<Arc<Counter>>,
     worker_state: Vec<Arc<Gauge>>,
     worker_samples: Vec<Vec<Arc<Counter>>>,
@@ -227,6 +238,62 @@ impl ServiceMetrics {
             cache_resident_bytes: registry.gauge(
                 "bfdn_cache_resident_bytes",
                 "Payload bytes currently resident in the result cache.",
+                &[],
+            ),
+            store_hits: registry.counter(
+                "bfdn_store_hits_total",
+                "Lookups answered from the on-disk result store (neither hit nor miss).",
+                &[],
+            ),
+            store_segments: registry.gauge(
+                "bfdn_store_segments",
+                "Segment files in the result store.",
+                &[],
+            ),
+            store_on_disk_bytes: registry.gauge(
+                "bfdn_store_on_disk_bytes",
+                "Logical bytes across all result-store segments (live + dead).",
+                &[],
+            ),
+            store_compression_ratio: registry.gauge(
+                "bfdn_store_compression_ratio",
+                "Uncompressed-to-stored byte ratio over the store's live records.",
+                &[],
+            ),
+            store_records: registry.gauge(
+                "bfdn_store_records",
+                "Live (reachable) records in the result store.",
+                &[],
+            ),
+            store_live_bytes: registry.gauge(
+                "bfdn_store_live_bytes",
+                "Bytes held by live (compressed) result-store frames.",
+                &[],
+            ),
+            store_dead_bytes: registry.gauge(
+                "bfdn_store_dead_bytes",
+                "Bytes held by superseded result-store frames (compaction's reclaim target).",
+                &[],
+            ),
+            store_raw_payload_bytes: registry.gauge(
+                "bfdn_store_raw_payload_bytes",
+                "Uncompressed payload bytes across the store's live records.",
+                &[],
+            ),
+            store_stored_payload_bytes: registry.gauge(
+                "bfdn_store_stored_payload_bytes",
+                "Post-codec payload bytes across the store's live records \
+                 (framing and keys excluded).",
+                &[],
+            ),
+            store_compactions: registry.counter(
+                "bfdn_store_compactions_total",
+                "Result-store compactions run this process lifetime.",
+                &[],
+            ),
+            store_truncated_segments: registry.counter(
+                "bfdn_store_truncated_segments_total",
+                "Crash-truncated segment tails detected and dropped.",
                 &[],
             ),
             worker_busy,
@@ -470,7 +537,29 @@ impl ServiceMetrics {
         self.cache_spill_loaded.force_set(cache.spill_loaded);
         self.cache_entries.set(cache.entries as f64);
         self.cache_resident_bytes.set(cache.resident_bytes as f64);
+        self.store_hits.force_set(cache.store_hits);
+        self.store_segments.set(cache.segments as f64);
+        self.store_on_disk_bytes.set(cache.on_disk_bytes as f64);
+        self.store_compression_ratio.set(cache.compression_ratio);
         self.registry.render()
+    }
+
+    /// Mirrors the result store's full counter snapshot (the fields
+    /// [`CacheStatsPayload`] does not carry: live/dead/raw bytes,
+    /// compactions, truncated tails). The server calls this right
+    /// before [`ServiceMetrics::render`] when a store is attached, so
+    /// the render signature stays unchanged for store-less callers.
+    pub fn mirror_store(&self, stats: &bfdn_store::StoreStats) {
+        self.store_records.set(stats.records as f64);
+        self.store_live_bytes.set(stats.live_bytes as f64);
+        self.store_dead_bytes.set(stats.dead_bytes as f64);
+        self.store_raw_payload_bytes
+            .set(stats.raw_payload_bytes as f64);
+        self.store_stored_payload_bytes
+            .set(stats.stored_payload_bytes as f64);
+        self.store_compactions.force_set(stats.compactions);
+        self.store_truncated_segments
+            .force_set(stats.truncated_segments);
     }
 
     /// Current value of `bfdn_bound_violations_total` (for tests and
@@ -759,6 +848,10 @@ mod tests {
             evictions: 2,
             spill_loaded: 1,
             resident_bytes: 2048,
+            store_hits: 6,
+            segments: 2,
+            on_disk_bytes: 8192,
+            compression_ratio: 3.5,
         };
         let text = m.render(&cache, 7, 2);
         assert!(text.contains("bfdn_cache_hits_total 10"));
@@ -769,6 +862,35 @@ mod tests {
         assert!(text.contains("bfdn_cache_resident_bytes 2048"));
         assert!(text.contains("bfdn_queue_depth 7"));
         assert!(text.contains("bfdn_in_flight 2"));
+        assert!(text.contains("bfdn_store_hits_total 6"));
+        assert!(text.contains("bfdn_store_segments 2"));
+        assert!(text.contains("bfdn_store_on_disk_bytes 8192"));
+        assert!(text.contains("bfdn_store_compression_ratio 3.5"));
+    }
+
+    #[test]
+    fn mirror_store_reflects_the_full_store_snapshot() {
+        let m = ServiceMetrics::new(1);
+        let stats = bfdn_store::StoreStats {
+            records: 12,
+            segments: 3,
+            on_disk_bytes: 9000,
+            live_bytes: 6000,
+            dead_bytes: 3000,
+            raw_payload_bytes: 15000,
+            stored_payload_bytes: 5000,
+            compactions: 2,
+            truncated_segments: 1,
+        };
+        m.mirror_store(&stats);
+        let text = m.render(&CacheStatsPayload::default(), 0, 0);
+        assert!(text.contains("bfdn_store_records 12"));
+        assert!(text.contains("bfdn_store_live_bytes 6000"));
+        assert!(text.contains("bfdn_store_dead_bytes 3000"));
+        assert!(text.contains("bfdn_store_raw_payload_bytes 15000"));
+        assert!(text.contains("bfdn_store_stored_payload_bytes 5000"));
+        assert!(text.contains("bfdn_store_compactions_total 2"));
+        assert!(text.contains("bfdn_store_truncated_segments_total 1"));
     }
 
     #[test]

@@ -158,7 +158,7 @@ fn slow_loris_writer_is_cut_off_by_the_frame_deadline() {
     for _ in 0..40 {
         std::thread::sleep(Duration::from_millis(100));
         if stream
-            .write_all(&[b'z'])
+            .write_all(b"z")
             .and_then(|()| stream.flush())
             .is_err()
         {

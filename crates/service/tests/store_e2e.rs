@@ -1,0 +1,238 @@
+//! End-to-end tests of the store-backed daemon: a restart against a
+//! populated store serves byte-identically with zero re-executions, a
+//! crash-truncated segment tail is tolerated (never fatal), a legacy
+//! spill migrates into the store, and the resident-bytes budget holds
+//! under load while overflow stays retrievable.
+
+use bfdn_service::client::Client;
+use bfdn_service::protocol::ExploreSpec;
+use bfdn_service::server::{serve, ServerConfig, ServerHandle};
+use std::path::Path;
+use std::time::Duration;
+
+fn start(config: ServerConfig) -> ServerHandle {
+    serve(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        ..config
+    })
+    .expect("bind loopback")
+}
+
+fn connect(handle: &ServerHandle) -> Client {
+    let client = Client::connect(handle.addr()).expect("connect");
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    client
+}
+
+fn store_config(dir: &Path) -> ServerConfig {
+    ServerConfig {
+        store_dir: Some(dir.to_path_buf()),
+        ..ServerConfig::default()
+    }
+}
+
+fn spec_for(seed: u64) -> ExploreSpec {
+    ExploreSpec::new("bfdn", "comb", 120, 4, seed)
+}
+
+#[test]
+fn restart_from_store_is_byte_identical_with_zero_reexecutions() {
+    let dir = std::env::temp_dir().join("bfdn_store_e2e_restart");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Cold server: execute a sweep, let the shutdown persist the index.
+    let handle = start(store_config(&dir));
+    let mut client = connect(&handle);
+    let specs: Vec<ExploreSpec> = (0..6).map(spec_for).collect();
+    let (cold, hits, misses) = client.batch(specs.clone()).expect("cold batch");
+    assert_eq!((hits, misses), (0, 6));
+    client.shutdown().expect("bye");
+    handle.join().expect("clean drain");
+    assert!(dir.join("meta.json").exists(), "store directory populated");
+    assert!(dir.join("index.tsv").exists(), "index persisted on drain");
+
+    // Restarted server: same store, empty memory. Every spec must come
+    // back byte-identical without a single execution.
+    let handle = start(store_config(&dir));
+    let mut client = connect(&handle);
+    for (seed, c) in cold.iter().enumerate() {
+        let w = client.explore(spec_for(seed as u64)).expect("warm explore");
+        assert!(w.cached, "seed {seed} served from the store");
+        assert_eq!(
+            c.payload_json(),
+            w.payload_json(),
+            "restart must be byte-identical"
+        );
+    }
+    let status = client.status().expect("status");
+    assert_eq!(status.completed, 0, "no job ever reached the queue");
+    let text = client.metrics().expect("metrics");
+    assert!(
+        text.contains("bfdn_bound_checked_total 0"),
+        "zero re-executions on the warm server: {text}"
+    );
+    // A re-issued batch is all hits too (memory + store tiers combined).
+    let (warm, hits, misses) = client.batch(specs).expect("warm batch");
+    assert_eq!((hits, misses), (6, 0), "all served without execution");
+    assert!(warm.iter().all(|r| r.cached));
+    let cache = client.cache_stats().expect("cache stats");
+    assert!(cache.store_hits > 0, "the warm answers came from disk");
+    assert!(cache.segments >= 1);
+    assert!(cache.on_disk_bytes > 0);
+    // The ratio measures the codec (stored vs raw payload bytes); the
+    // RAW fallback pins it at >= 1.0 whenever records exist, and small
+    // low-redundancy payloads may sit exactly there.
+    assert!(
+        cache.compression_ratio >= 1.0,
+        "stored payload never exceeds raw: {}",
+        cache.compression_ratio
+    );
+    client.shutdown().expect("bye");
+    handle.join().expect("clean drain");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_truncated_segment_tail_is_dropped_not_fatal() {
+    let dir = std::env::temp_dir().join("bfdn_store_e2e_crash");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Sequential explores so the segment's record order is the seed
+    // order — the file's tail frame belongs to the last seed.
+    let handle = start(store_config(&dir));
+    let mut client = connect(&handle);
+    let mut payloads = Vec::new();
+    for seed in 0..5 {
+        payloads.push(client.explore(spec_for(seed)).expect("cold").payload_json());
+    }
+    client.shutdown().expect("bye");
+    handle.join().expect("clean drain");
+
+    // "kill -9 mid-write": chop a few bytes off the newest segment so
+    // its final frame is torn; the persisted index is now stale too.
+    let segment = std::fs::read_dir(&dir)
+        .expect("store dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("seg-"))
+        })
+        .max()
+        .expect("at least one segment");
+    let bytes = std::fs::read(&segment).expect("read segment");
+    assert!(bytes.len() > 7);
+    std::fs::write(&segment, &bytes[..bytes.len() - 7]).expect("truncate tail");
+
+    // The restarted daemon must come up (index rebuilt by scan), serve
+    // the intact records byte-identically, and only re-execute the one
+    // whose frame was torn.
+    let handle = start(store_config(&dir));
+    let mut client = connect(&handle);
+    for (seed, payload) in payloads.iter().enumerate().take(4) {
+        let hit = client.explore(spec_for(seed as u64)).expect("intact");
+        assert!(hit.cached, "seed {seed} survived the torn tail");
+        assert_eq!(&hit.payload_json(), payload, "byte-identical");
+    }
+    let torn = client.explore(spec_for(4)).expect("recomputed");
+    assert!(!torn.cached, "the torn record is re-executed, not served");
+    assert_eq!(&torn.payload_json(), &payloads[4], "determinism holds");
+    let status = client.status().expect("status");
+    assert_eq!(status.completed, 1, "exactly one re-execution");
+    let text = client.metrics().expect("metrics");
+    assert!(
+        text.contains("bfdn_store_truncated_segments_total 1"),
+        "the dropped tail is observable: {text}"
+    );
+    client.shutdown().expect("bye");
+    handle.join().expect("clean drain");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn legacy_spill_migrates_into_the_store() {
+    let dir = std::env::temp_dir().join("bfdn_store_e2e_migrate");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let spill = dir.join("cache.jsonl");
+    let store = dir.join("store");
+
+    // A store-less server writes the legacy spill on shutdown.
+    let handle = start(ServerConfig {
+        spill: Some(spill.clone()),
+        ..ServerConfig::default()
+    });
+    let mut client = connect(&handle);
+    let cold = client.explore(spec_for(9)).expect("cold");
+    client.shutdown().expect("bye");
+    handle.join().expect("clean drain");
+    assert!(spill.exists());
+
+    // A store-backed server imports it once at startup and serves the
+    // spec from disk without re-executing.
+    let handle = start(ServerConfig {
+        store_dir: Some(store.clone()),
+        migrate_spill: Some(spill.clone()),
+        ..ServerConfig::default()
+    });
+    let mut client = connect(&handle);
+    let warm = client.explore(spec_for(9)).expect("warm");
+    assert!(warm.cached, "served from the migrated store");
+    assert_eq!(warm.payload_json(), cold.payload_json());
+    assert_eq!(client.status().expect("status").completed, 0);
+    assert!(client.cache_stats().expect("stats").store_hits >= 1);
+    client.shutdown().expect("bye");
+    handle.join().expect("clean drain");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resident_budget_holds_while_overflow_serves_from_disk() {
+    let dir = std::env::temp_dir().join("bfdn_store_e2e_budget");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // A budget far smaller than the working set: most results must live
+    // on disk only.
+    let budget = 4_096u64;
+    let handle = start(ServerConfig {
+        store_budget_bytes: Some(budget),
+        ..store_config(&dir)
+    });
+    let mut client = connect(&handle);
+    let specs: Vec<ExploreSpec> = (0..16).map(spec_for).collect();
+    let (cold, _, misses) = client.batch(specs.clone()).expect("cold batch");
+    assert_eq!(misses, 16);
+    let cache = client.cache_stats().expect("stats after flood");
+    assert!(
+        cache.resident_bytes <= budget,
+        "resident {} exceeds budget {budget}",
+        cache.resident_bytes
+    );
+    assert!(
+        cache.entries < 16,
+        "the memory tier cannot hold the working set"
+    );
+
+    // Everything is still retrievable, byte-identically, and serving it
+    // never pushes the gauge past the budget.
+    let (warm, hits, misses) = client.batch(specs).expect("warm batch");
+    assert_eq!((hits, misses), (16, 0), "no re-execution");
+    for (c, w) in cold.iter().zip(&warm) {
+        assert_eq!(c.payload_json(), w.payload_json());
+    }
+    let cache = client.cache_stats().expect("stats after reheat");
+    assert!(cache.resident_bytes <= budget);
+    assert!(cache.store_hits > 0, "overflow came back from disk");
+    let text = client.metrics().expect("metrics");
+    assert!(text.contains("bfdn_bound_violations_total 0"), "{text}");
+    client.shutdown().expect("bye");
+    handle.join().expect("clean drain");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,541 @@
+//! Self-contained compression and framing for store segments.
+//!
+//! Three layers, each checkable on its own:
+//!
+//! - **LZ block codec** ([`compress`] / [`decompress`]): a byte-oriented
+//!   LZ77 variant (greedy hash-chain matching, 64 KiB window, minimum
+//!   match 4) whose decompressor takes the *uncompressed size* as an
+//!   argument — the compress-with-size-header pattern: the producer
+//!   records the raw length next to the compressed bytes, and the
+//!   consumer allocates exactly once and knows precisely when the
+//!   stream must end.
+//! - **CRC-32** ([`crc32`]): the IEEE polynomial, used to checksum every
+//!   frame body so a crash-truncated or bit-flipped tail is *detected*
+//!   (and dropped by the segment scanner) instead of decoded into
+//!   garbage.
+//! - **Record frames** ([`encode_record`] / [`decode_record`]): the
+//!   length-prefixed on-disk unit. A frame stores its body length, the
+//!   body checksum, the record key, the uncompressed payload length and
+//!   the (possibly compressed) payload. Payloads that do not shrink
+//!   under LZ are stored raw — a frame is never larger than
+//!   `key + payload + FRAME_OVERHEAD`.
+//!
+//! Every decode path returns [`CodecError`] on malformed input; nothing
+//! in this module panics on untrusted bytes. That invariant is what the
+//! property tests fuzz.
+
+use std::fmt;
+
+/// Minimum match length the LZ tokenizer emits.
+pub const MIN_MATCH: usize = 4;
+
+/// Maximum back-reference distance (two-byte little-endian offset).
+const MAX_OFFSET: usize = u16::MAX as usize;
+
+/// log2 of the match-candidate hash table size.
+const HASH_BITS: u32 = 13;
+
+/// Fixed per-frame overhead: length prefix, CRC, encoding tag, key
+/// length, raw payload length.
+pub const FRAME_OVERHEAD: usize = 4 + 4 + 1 + 4 + 4;
+
+/// Frames larger than this are rejected as corrupt by the scanner —
+/// far above any real record, far below an accidental
+/// garbage-length read of gigabytes.
+pub const MAX_FRAME_BODY: usize = 1 << 26;
+
+/// Payload stored verbatim (LZ did not shrink it).
+const ENCODING_RAW: u8 = 0;
+/// Payload stored as an LZ block.
+const ENCODING_LZ: u8 = 1;
+
+/// Why a decode failed. Carries a short human-readable cause; the
+/// caller decides whether that means "truncated tail, stop scanning"
+/// or "report corruption".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "codec: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CodecError> {
+    Err(CodecError(msg.into()))
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE)
+// ---------------------------------------------------------------------------
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const CRC_TABLE: [u32; 256] = crc_table();
+
+/// IEEE CRC-32 of `data` (the polynomial used by gzip and zip; check
+/// value `crc32(b"123456789") == 0xCBF4_3926`).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// LZ block codec
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(2_654_435_761) >> (32 - HASH_BITS)) as usize
+}
+
+/// Appends the extension bytes for a length nibble that saturated at 15
+/// (LZ4-style 255-continuation encoding).
+fn write_ext(out: &mut Vec<u8>, v: usize) {
+    if v >= 15 {
+        let mut rem = v - 15;
+        while rem >= 255 {
+            out.push(255);
+            rem -= 255;
+        }
+        out.push(rem as u8);
+    }
+}
+
+fn emit_sequence(out: &mut Vec<u8>, literals: &[u8], offset: u16, match_len: usize) {
+    let ml = match_len - MIN_MATCH;
+    let lit_nibble = literals.len().min(15) as u8;
+    let match_nibble = ml.min(15) as u8;
+    out.push((lit_nibble << 4) | match_nibble);
+    write_ext(out, literals.len());
+    out.extend_from_slice(literals);
+    out.extend_from_slice(&offset.to_le_bytes());
+    write_ext(out, ml);
+}
+
+fn emit_trailing_literals(out: &mut Vec<u8>, literals: &[u8]) {
+    if literals.is_empty() {
+        return;
+    }
+    let lit_nibble = literals.len().min(15) as u8;
+    out.push(lit_nibble << 4);
+    write_ext(out, literals.len());
+    out.extend_from_slice(literals);
+}
+
+/// Compresses `src` into an LZ block. The output does *not* carry the
+/// uncompressed size — the producer stores it separately (the size
+/// header) and passes it back to [`decompress`].
+///
+/// The tokenizer is greedy: at each position it probes one hashed
+/// candidate, takes the first match of at least [`MIN_MATCH`] bytes
+/// within the 64 KiB window, and extends it maximally. Repetitive
+/// inputs (JSON payloads full of shared key names) compress well;
+/// incompressible inputs cost at most one token byte per 15 literals.
+pub fn compress(src: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(src.len() / 2 + 16);
+    let mut table = vec![0usize; 1 << HASH_BITS]; // position + 1; 0 = empty
+    let mut anchor = 0usize;
+    let mut pos = 0usize;
+    if src.len() >= MIN_MATCH {
+        let limit = src.len() - MIN_MATCH;
+        while pos <= limit {
+            let h = hash4(&src[pos..]);
+            let candidate = table[h];
+            table[h] = pos + 1;
+            if candidate != 0 {
+                let cand = candidate - 1;
+                if pos - cand <= MAX_OFFSET
+                    && src[cand..cand + MIN_MATCH] == src[pos..pos + MIN_MATCH]
+                {
+                    let mut len = MIN_MATCH;
+                    while pos + len < src.len() && src[cand + len] == src[pos + len] {
+                        len += 1;
+                    }
+                    emit_sequence(&mut out, &src[anchor..pos], (pos - cand) as u16, len);
+                    pos += len;
+                    anchor = pos;
+                    continue;
+                }
+            }
+            pos += 1;
+        }
+    }
+    emit_trailing_literals(&mut out, &src[anchor..]);
+    out
+}
+
+fn read_ext(src: &[u8], i: &mut usize, mut len: usize) -> Result<usize, CodecError> {
+    if len == 15 {
+        loop {
+            let Some(&b) = src.get(*i) else {
+                return err("truncated length extension");
+            };
+            *i += 1;
+            len += b as usize;
+            if b != 255 {
+                break;
+            }
+        }
+    }
+    Ok(len)
+}
+
+/// Decompresses an LZ block produced by [`compress`], given the exact
+/// uncompressed size recorded next to it. Every read is bounds-checked;
+/// malformed input yields [`CodecError`], never a panic or an
+/// out-of-bounds copy.
+pub fn decompress(src: &[u8], raw_len: usize) -> Result<Vec<u8>, CodecError> {
+    let mut dst: Vec<u8> = Vec::with_capacity(raw_len);
+    let mut i = 0usize;
+    while dst.len() < raw_len {
+        let Some(&token) = src.get(i) else {
+            return err("truncated block: missing token");
+        };
+        i += 1;
+        let lit_len = read_ext(src, &mut i, usize::from(token >> 4))?;
+        let lit_end = match i.checked_add(lit_len) {
+            Some(end) if end <= src.len() => end,
+            _ => return err("truncated block: literals run past the input"),
+        };
+        if dst.len() + lit_len > raw_len {
+            return err("literals overflow the declared size");
+        }
+        dst.extend_from_slice(&src[i..lit_end]);
+        i = lit_end;
+        if dst.len() == raw_len {
+            break; // trailing literals-only sequence
+        }
+        if i + 2 > src.len() {
+            return err("truncated block: missing match offset");
+        }
+        let offset = usize::from(u16::from_le_bytes([src[i], src[i + 1]]));
+        i += 2;
+        if offset == 0 || offset > dst.len() {
+            return err("match offset outside the produced output");
+        }
+        let match_len = read_ext(src, &mut i, usize::from(token & 0x0F))? + MIN_MATCH;
+        if dst.len() + match_len > raw_len {
+            return err("match overflows the declared size");
+        }
+        let start = dst.len() - offset;
+        for j in 0..match_len {
+            let b = dst[start + j];
+            dst.push(b);
+        }
+    }
+    if i != src.len() {
+        return err("trailing bytes after the declared size was reached");
+    }
+    Ok(dst)
+}
+
+// ---------------------------------------------------------------------------
+// Record frames
+// ---------------------------------------------------------------------------
+
+/// Encodes one `key → payload` record as a complete on-disk frame:
+///
+/// ```text
+/// frame := body_len:u32le  crc32(body):u32le  body
+/// body  := encoding:u8  key_len:u32le  key  raw_len:u32le  data
+/// ```
+///
+/// `data` is the LZ block when that is strictly smaller than the raw
+/// payload, else the raw bytes (`encoding` says which); `raw_len` is
+/// always the uncompressed payload length — the size header the
+/// decoder allocates from.
+pub fn encode_record(key: &str, payload: &str) -> Vec<u8> {
+    let raw = payload.as_bytes();
+    let compressed = compress(raw);
+    let (encoding, data): (u8, &[u8]) = if compressed.len() < raw.len() {
+        (ENCODING_LZ, &compressed)
+    } else {
+        (ENCODING_RAW, raw)
+    };
+    let mut body = Vec::with_capacity(1 + 4 + key.len() + 4 + data.len());
+    body.push(encoding);
+    body.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    body.extend_from_slice(key.as_bytes());
+    body.extend_from_slice(&(raw.len() as u32).to_le_bytes());
+    body.extend_from_slice(data);
+
+    let mut frame = Vec::with_capacity(8 + body.len());
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&body).to_le_bytes());
+    frame.extend_from_slice(&body);
+    frame
+}
+
+/// A record decoded from a frame body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// The record's lookup key.
+    pub key: String,
+    /// The uncompressed payload.
+    pub payload: String,
+    /// The payload's uncompressed length (the size header), kept so
+    /// callers can account raw-vs-stored bytes without re-measuring.
+    pub raw_len: u32,
+}
+
+fn read_u32(body: &[u8], at: usize) -> Result<u32, CodecError> {
+    match body.get(at..at + 4) {
+        Some(b) => Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]])),
+        None => err("frame body too short for a length field"),
+    }
+}
+
+/// Decodes a frame *body* (the bytes after the length prefix and CRC —
+/// the caller has already verified the checksum).
+pub fn decode_record(body: &[u8]) -> Result<Record, CodecError> {
+    let Some(&encoding) = body.first() else {
+        return err("empty frame body");
+    };
+    let key_len = read_u32(body, 1)? as usize;
+    let key_start = 1usize + 4;
+    let key_end = match key_start.checked_add(key_len) {
+        Some(end) if end <= body.len() => end,
+        _ => return err("key runs past the frame body"),
+    };
+    let key = match std::str::from_utf8(&body[key_start..key_end]) {
+        Ok(s) => s.to_string(),
+        Err(_) => return err("key is not UTF-8"),
+    };
+    let raw_len = read_u32(body, key_end)?;
+    let data = &body[key_end + 4..];
+    let payload_bytes = match encoding {
+        ENCODING_RAW => {
+            if data.len() != raw_len as usize {
+                return err("raw payload length disagrees with the size header");
+            }
+            data.to_vec()
+        }
+        ENCODING_LZ => decompress(data, raw_len as usize)?,
+        other => return err(format!("unknown encoding tag {other}")),
+    };
+    let payload = match String::from_utf8(payload_bytes) {
+        Ok(s) => s,
+        Err(_) => return err("payload is not UTF-8"),
+    };
+    Ok(Record {
+        key,
+        payload,
+        raw_len,
+    })
+}
+
+/// Reads the next frame out of `bytes` starting at `at`.
+///
+/// Returns `Ok(Some((record, frame_len)))` for an intact frame,
+/// `Ok(None)` when `at` is exactly the end of the input (clean EOF),
+/// and `Err` for anything else — a partial header, a body shorter than
+/// its length prefix, a CRC mismatch, an over-large length, or a body
+/// that does not decode. The segment scanner treats any `Err` as the
+/// crash-truncated tail: everything before `at` stays served,
+/// everything from `at` on is dropped.
+pub fn scan_frame(bytes: &[u8], at: usize) -> Result<Option<(Record, usize)>, CodecError> {
+    if at == bytes.len() {
+        return Ok(None);
+    }
+    let Some(header) = bytes.get(at..at + 8) else {
+        return err("partial frame header at the tail");
+    };
+    let body_len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+    if body_len > MAX_FRAME_BODY {
+        return err(format!("frame length {body_len} exceeds the cap"));
+    }
+    let crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+    let body_start = at + 8;
+    let Some(body) = bytes.get(body_start..body_start + body_len) else {
+        return err("frame body truncated");
+    };
+    if crc32(body) != crc {
+        return err("frame CRC mismatch");
+    }
+    let record = decode_record(body)?;
+    Ok(Some((record, 8 + body_len)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn round_trips_representative_inputs() {
+        let cases: Vec<Vec<u8>> = vec![
+            b"".to_vec(),
+            b"a".to_vec(),
+            b"abcd".to_vec(),
+            b"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa".to_vec(),
+            br#"{"spec":{"algorithm":"bfdn","family":"comb","n":300,"k":4,"seed":7},"nodes":300}"#
+                .to_vec(),
+            (0u8..=255).collect(),
+            b"abcabcabcabcabcabcabcabcabcXabcabcabc".to_vec(),
+            vec![0u8; 70_000], // long run, exercises extended lengths
+        ];
+        for case in cases {
+            let packed = compress(&case);
+            let unpacked = decompress(&packed, case.len()).expect("round trip");
+            assert_eq!(unpacked, case);
+        }
+    }
+
+    #[test]
+    fn repetitive_payloads_actually_shrink() {
+        let payload = r#"{"rounds":123,"moves":456,"idle":789}"#.repeat(50);
+        let packed = compress(payload.as_bytes());
+        assert!(
+            packed.len() < payload.len() / 4,
+            "{} vs {}",
+            packed.len(),
+            payload.len()
+        );
+    }
+
+    /// The compressed byte stream is a stable format: a frozen input
+    /// maps to frozen output. If this test ever fails, the on-disk
+    /// format changed and old stores would no longer decode.
+    #[test]
+    fn golden_compressed_bytes_are_stable() {
+        let input = b"to be or not to be, that is the question; to be or not";
+        let packed = compress(input);
+        let hex: String = packed.iter().map(|b| format!("{b:02x}")).collect();
+        assert_eq!(
+            hex,
+            "d1746f206265206f72206e6f74200d00f2082c2074686174206973207468\
+             65207175657374696f6e3b1d00032a00"
+                .replace(char::is_whitespace, ""),
+            "compressed stream drifted"
+        );
+        assert_eq!(decompress(&packed, input.len()).unwrap(), input);
+    }
+
+    /// A frozen frame decodes to a frozen record — the frame layout
+    /// (length prefix, CRC, encoding tag, key, size header) is pinned.
+    #[test]
+    fn golden_frame_layout_is_stable() {
+        let frame = encode_record("k1", "payload");
+        // body: enc=0 (raw; "payload" has no 4-byte match), key_len=2,
+        // "k1", raw_len=7, "payload"
+        assert_eq!(frame[0..4], (1 + 4 + 2 + 4 + 7u32).to_le_bytes());
+        assert_eq!(frame[8], ENCODING_RAW);
+        assert_eq!(frame[9..13], 2u32.to_le_bytes());
+        assert_eq!(&frame[13..15], b"k1");
+        assert_eq!(frame[15..19], 7u32.to_le_bytes());
+        assert_eq!(&frame[19..], b"payload");
+        let crc = u32::from_le_bytes([frame[4], frame[5], frame[6], frame[7]]);
+        assert_eq!(crc, crc32(&frame[8..]));
+
+        let (record, len) = scan_frame(&frame, 0).unwrap().unwrap();
+        assert_eq!(len, frame.len());
+        assert_eq!(record.key, "k1");
+        assert_eq!(record.payload, "payload");
+        assert_eq!(record.raw_len, 7);
+    }
+
+    #[test]
+    fn incompressible_payloads_are_stored_raw_not_inflated() {
+        let noise: String = (0..64u32)
+            .map(|i| char::from_u32(0x21 + (i * 37) % 90).unwrap())
+            .collect();
+        let frame = encode_record("k", &noise);
+        assert!(frame.len() <= noise.len() + "k".len() + FRAME_OVERHEAD);
+        let (record, _) = scan_frame(&frame, 0).unwrap().unwrap();
+        assert_eq!(record.payload, noise);
+    }
+
+    #[test]
+    fn every_truncation_of_a_frame_is_an_error_never_a_panic() {
+        let payload = r#"{"spec":"x","metrics":{"rounds":9,"moves":9,"rounds":9}}"#.repeat(4);
+        let frame = encode_record("spec-key", &payload);
+        for cut in 0..frame.len() {
+            let result = scan_frame(&frame[..cut], 0);
+            if cut == 0 {
+                assert_eq!(result, Ok(None), "empty input is clean EOF");
+            } else {
+                assert!(result.is_err(), "cut at {cut} must be detected");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_bytes_fail_the_crc() {
+        let frame = encode_record("key", "some payload some payload some payload");
+        for flip in [8usize, 15, frame.len() - 1] {
+            let mut bad = frame.clone();
+            bad[flip] ^= 0x40;
+            assert!(scan_frame(&bad, 0).is_err(), "flip at {flip}");
+        }
+    }
+
+    #[test]
+    fn decompress_rejects_malformed_blocks() {
+        // Offset pointing before the start of the output.
+        assert!(decompress(&[0x04, 0xFF, 0xFF, 0x00], 8).is_err());
+        // Offset of zero.
+        let mut block = Vec::new();
+        block.push(0x10); // 1 literal, match nibble 0
+        block.push(b'a');
+        block.extend_from_slice(&0u16.to_le_bytes());
+        assert!(decompress(&block, 6).is_err());
+        // Declared size smaller than the literals.
+        let packed = compress(b"hello world hello world");
+        assert!(decompress(&packed, 3).is_err());
+        // Declared size larger than the stream produces.
+        assert!(decompress(&packed, 1000).is_err());
+    }
+
+    #[test]
+    fn frames_concatenate_and_scan_in_order() {
+        let mut log = Vec::new();
+        let records = [("a", "payload-a"), ("b", "payload-b"), ("c", "payload-c")];
+        for (k, p) in records {
+            log.extend_from_slice(&encode_record(k, p));
+        }
+        let mut at = 0;
+        let mut seen = Vec::new();
+        while let Some((record, len)) = scan_frame(&log, at).unwrap() {
+            seen.push((record.key, record.payload));
+            at += len;
+        }
+        assert_eq!(at, log.len());
+        assert_eq!(
+            seen,
+            records
+                .iter()
+                .map(|(k, p)| (k.to_string(), p.to_string()))
+                .collect::<Vec<_>>()
+        );
+    }
+}

@@ -18,19 +18,17 @@ use std::time::{Duration, Instant};
 const BASE_MEASURE: Duration = Duration::from_millis(60);
 const WARMUP: Duration = Duration::from_millis(20);
 
+#[derive(Default)]
 pub struct Criterion {
     _private: (),
 }
 
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion { _private: () }
-    }
-}
-
 impl Criterion {
     pub fn benchmark_group(&mut self, name: &str) -> BenchGroup {
-        BenchGroup { name: name.to_owned(), sample_size: 100 }
+        BenchGroup {
+            name: name.to_owned(),
+            sample_size: 100,
+        }
     }
 
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
@@ -71,10 +69,16 @@ impl BenchGroup {
 }
 
 fn run_one(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
-    let mut b = Bencher { estimate_ns: None, budget: budget_for(sample_size) };
+    let mut b = Bencher {
+        estimate_ns: None,
+        budget: budget_for(sample_size),
+    };
     f(&mut b);
     match b.estimate_ns {
-        Some(ns) => println!("{label:<40} time: [{}]  (offline stand-in: mean)", fmt_ns(ns)),
+        Some(ns) => println!(
+            "{label:<40} time: [{}]  (offline stand-in: mean)",
+            fmt_ns(ns)
+        ),
         None => println!("{label:<40} time: [not measured — Bencher::iter never called]"),
     }
 }
@@ -136,11 +140,15 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(name: impl Display, param: impl Display) -> Self {
-        BenchmarkId { label: format!("{name}/{param}") }
+        BenchmarkId {
+            label: format!("{name}/{param}"),
+        }
     }
 
     pub fn from_parameter(param: impl Display) -> Self {
-        BenchmarkId { label: param.to_string() }
+        BenchmarkId {
+            label: param.to_string(),
+        }
     }
 }
 
@@ -174,7 +182,10 @@ mod tests {
     /// The stand-in must produce a real, positive timing estimate.
     #[test]
     fn iter_measures_something_positive() {
-        let mut b = Bencher { estimate_ns: None, budget: Duration::from_millis(5) };
+        let mut b = Bencher {
+            estimate_ns: None,
+            budget: Duration::from_millis(5),
+        };
         let mut acc = 0u64;
         b.iter(|| {
             acc = acc.wrapping_add(black_box(1));
@@ -189,7 +200,10 @@ mod tests {
     #[test]
     fn estimates_order_fast_vs_slow() {
         let measure = |work: u64| {
-            let mut b = Bencher { estimate_ns: None, budget: Duration::from_millis(10) };
+            let mut b = Bencher {
+                estimate_ns: None,
+                budget: Duration::from_millis(10),
+            };
             b.iter(|| {
                 let mut x = 0u64;
                 for i in 0..black_box(work) {

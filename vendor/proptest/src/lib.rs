@@ -389,20 +389,29 @@ pub mod collection {
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> Self {
-            SizeRange { min: n, max_inclusive: n }
+            SizeRange {
+                min: n,
+                max_inclusive: n,
+            }
         }
     }
 
     impl From<std::ops::Range<usize>> for SizeRange {
         fn from(r: std::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { min: r.start, max_inclusive: r.end - 1 }
+            SizeRange {
+                min: r.start,
+                max_inclusive: r.end - 1,
+            }
         }
     }
 
     impl From<std::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: std::ops::RangeInclusive<usize>) -> Self {
-            SizeRange { min: *r.start(), max_inclusive: *r.end() }
+            SizeRange {
+                min: *r.start(),
+                max_inclusive: *r.end(),
+            }
         }
     }
 
@@ -422,7 +431,10 @@ pub mod collection {
     }
 
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 }
 
@@ -508,7 +520,9 @@ macro_rules! prop_assert_ne {
         if *__l == *__r {
             return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
                 "prop_assert_ne!({}, {}): both {:?}",
-                ::std::stringify!($left), ::std::stringify!($right), __l,
+                ::std::stringify!($left),
+                ::std::stringify!($right),
+                __l,
             )));
         }
     }};
@@ -518,9 +532,9 @@ macro_rules! prop_assert_ne {
 macro_rules! prop_assume {
     ($cond:expr) => {
         if !$cond {
-            return ::std::result::Result::Err($crate::TestCaseError::reject(
-                ::std::stringify!($cond),
-            ));
+            return ::std::result::Result::Err($crate::TestCaseError::reject(::std::stringify!(
+                $cond
+            )));
         }
     };
 }
@@ -624,7 +638,9 @@ mod tests {
             );
         });
         let err = result.expect_err("a violated property must panic");
-        let msg = err.downcast_ref::<String>().expect("panic carries a message");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic carries a message");
         assert!(msg.contains("escaped the bound"), "{msg}");
     }
 }

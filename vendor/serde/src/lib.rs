@@ -25,7 +25,7 @@
 //!
 //! See `vendor/README.md` for the policy and the swap-to-upstream path.
 
-pub use serde_derive::{Deserialize as Deserialize, Serialize as Serialize};
+pub use serde_derive::{Deserialize, Serialize};
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
@@ -44,14 +44,40 @@ pub enum Value {
     Option(Option<Box<Value>>),
     Seq(Vec<Value>),
     Map(Vec<(Value, Value)>),
-    Struct { name: &'static str, fields: Vec<(&'static str, Value)> },
-    NewtypeStruct { name: &'static str, value: Box<Value> },
-    TupleStruct { name: &'static str, values: Vec<Value> },
-    UnitStruct { name: &'static str },
-    UnitVariant { name: &'static str, variant: &'static str },
-    NewtypeVariant { name: &'static str, variant: &'static str, value: Box<Value> },
-    TupleVariant { name: &'static str, variant: &'static str, values: Vec<Value> },
-    StructVariant { name: &'static str, variant: &'static str, fields: Vec<(&'static str, Value)> },
+    Struct {
+        name: &'static str,
+        fields: Vec<(&'static str, Value)>,
+    },
+    NewtypeStruct {
+        name: &'static str,
+        value: Box<Value>,
+    },
+    TupleStruct {
+        name: &'static str,
+        values: Vec<Value>,
+    },
+    UnitStruct {
+        name: &'static str,
+    },
+    UnitVariant {
+        name: &'static str,
+        variant: &'static str,
+    },
+    NewtypeVariant {
+        name: &'static str,
+        variant: &'static str,
+        value: Box<Value>,
+    },
+    TupleVariant {
+        name: &'static str,
+        variant: &'static str,
+        values: Vec<Value>,
+    },
+    StructVariant {
+        name: &'static str,
+        variant: &'static str,
+        fields: Vec<(&'static str, Value)>,
+    },
 }
 
 impl Value {
@@ -88,11 +114,15 @@ pub struct Error {
 
 impl Error {
     pub fn custom(msg: impl fmt::Display) -> Self {
-        Error { msg: msg.to_string() }
+        Error {
+            msg: msg.to_string(),
+        }
     }
 
     pub fn unexpected(expected: &str, got: &Value) -> Self {
-        Error { msg: format!("expected {expected}, found {}", got.kind()) }
+        Error {
+            msg: format!("expected {expected}, found {}", got.kind()),
+        }
     }
 }
 

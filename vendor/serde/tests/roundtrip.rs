@@ -59,7 +59,12 @@ fn named_struct_roundtrips() {
         c: Some(-42),
         d: vec![true, false],
     });
-    roundtrip(&Named { a: 0, b: String::new(), c: None, d: vec![] });
+    roundtrip(&Named {
+        a: 0,
+        b: String::new(),
+        c: None,
+        d: vec![],
+    });
 }
 
 #[test]
@@ -74,7 +79,10 @@ fn every_enum_variant_shape_roundtrips() {
     roundtrip(&Shape::Dot);
     roundtrip(&Shape::Circle(2.5));
     roundtrip(&Shape::Segment(-3, i64::MAX));
-    roundtrip(&Shape::Poly { sides: vec![3, 4, 5], closed: true });
+    roundtrip(&Shape::Poly {
+        sides: vec![3, 4, 5],
+        closed: true,
+    });
 }
 
 #[test]
@@ -91,12 +99,19 @@ fn nested_containers_roundtrip() {
 
 #[test]
 fn skip_fields_are_not_serialized_and_deserialize_to_default() {
-    let original = WithSkip { kept: 11, scratch: vec![1, 2, 3] };
+    let original = WithSkip {
+        kept: 11,
+        scratch: vec![1, 2, 3],
+    };
     let v = to_value(&original);
     match &v {
         Value::Struct { name, fields } => {
             assert_eq!(*name, "WithSkip");
-            assert_eq!(fields.len(), 1, "skipped field must not be serialized: {fields:?}");
+            assert_eq!(
+                fields.len(),
+                1,
+                "skipped field must not be serialized: {fields:?}"
+            );
             assert_eq!(fields[0].0, "kept");
         }
         other => panic!("expected struct value, got {other:?}"),
@@ -111,7 +126,10 @@ fn wrong_shapes_error_instead_of_defaulting() {
     assert!(from_value::<Named>(&Value::U64(1)).is_err());
     assert!(from_value::<Newtype>(&to_value(&Pair(1, "a".into()))).is_err());
     // Missing field: a Named value with a field renamed away.
-    let v = Value::Struct { name: "Named", fields: vec![("a", Value::U64(1))] };
+    let v = Value::Struct {
+        name: "Named",
+        fields: vec![("a", Value::U64(1))],
+    };
     let err = from_value::<Named>(&v).unwrap_err();
     assert!(err.to_string().contains("missing field"), "{err}");
 }

@@ -70,8 +70,14 @@ struct Variant {
 }
 
 enum Item {
-    Struct { name: String, body: Body },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        body: Body,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 // ---------------------------------------------------------------------------
@@ -85,7 +91,10 @@ struct Cursor {
 
 impl Cursor {
     fn new(ts: TokenStream) -> Self {
-        Cursor { tokens: ts.into_iter().collect(), pos: 0 }
+        Cursor {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
     }
 
     fn peek(&self) -> Option<&TokenTree> {
@@ -196,13 +205,19 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
         ));
     }
     match kind.as_str() {
-        "struct" => Ok(Item::Struct { name, body: parse_struct_body(&mut cur)? }),
+        "struct" => Ok(Item::Struct {
+            name,
+            body: parse_struct_body(&mut cur)?,
+        }),
         "enum" => {
             let group = match cur.next() {
                 Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
                 other => return Err(format!("expected enum body, found {other:?}")),
             };
-            Ok(Item::Enum { name, variants: parse_variants(group.stream())? })
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(group.stream())?,
+            })
         }
         other => Err(format!("cannot derive serde stand-in traits for `{other}`")),
     }
@@ -238,7 +253,11 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
         let name = cur.expect_ident()?;
         match cur.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
-            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
         }
         cur.skip_to_top_level_comma();
         fields.push(Field { name, skip });
@@ -260,7 +279,10 @@ fn parse_tuple_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
         }
         cur.take_visibility();
         cur.skip_to_top_level_comma();
-        fields.push(Field { name: index.to_string(), skip: false });
+        fields.push(Field {
+            name: index.to_string(),
+            skip: false,
+        });
         index += 1;
     }
     Ok(fields)
@@ -348,9 +370,7 @@ fn struct_ser_value(name: &str, body: &Body, access: &str, deref: bool) -> Strin
                     )
                 })
                 .collect();
-            format!(
-                "::serde::Value::Struct {{ name: {name:?}, fields: ::std::vec![{items}] }}"
-            )
+            format!("::serde::Value::Struct {{ name: {name:?}, fields: ::std::vec![{items}] }}")
         }
         Body::Tuple(fields) if fields.len() == 1 => format!(
             "::serde::Value::NewtypeStruct {{ name: {name:?}, \
@@ -402,7 +422,10 @@ fn enum_ser_arm(enum_name: &str, v: &Variant) -> String {
                 .iter()
                 .filter(|f| !f.skip)
                 .map(|f| {
-                    format!("({:?}, ::serde::Serialize::serialize(__f_{})),", f.name, f.name)
+                    format!(
+                        "({:?}, ::serde::Serialize::serialize(__f_{})),",
+                        f.name, f.name
+                    )
                 })
                 .collect();
             format!(
